@@ -1,0 +1,21 @@
+# Convenience targets for the Harmonia reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench report examples all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+all: test bench report

@@ -1,0 +1,27 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Besides
+being timed by pytest-benchmark, each writes the rows/series it
+reproduces to ``benchmarks/results/<experiment>.txt`` so the numbers are
+inspectable after a run (EXPERIMENTS.md archives them).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Write an experiment's reproduced rows to its results file."""
+
+    def _emit(experiment: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text.rstrip() + "\n")
+        print(f"\n[{experiment}]\n{text}")
+        return text
+
+    return _emit

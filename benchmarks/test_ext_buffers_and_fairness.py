@@ -1,0 +1,66 @@
+"""Extensions: buffer sizing (event-driven) and tenant fairness (DRR).
+
+* Buffer-depth sweep -- how deep inter-stage FIFOs must be before a
+  64-packet burst stops losing packets (what the Network RBB's queue
+  monitoring is for);
+* DRR fairness -- per-tenant byte shares track configured weights under
+  contention while staying work-conserving.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.rbb.host import DmaDescriptor
+from repro.core.rbb.scheduling import DeficitRoundRobinScheduler
+from repro.sim.clock import ClockDomain
+from repro.sim.des_pipeline import DesPipeline, packet_train
+from repro.sim.pipeline import PipelineStage
+
+
+def _buffer_sweep():
+    rows = []
+    for depth in (4, 8, 16, 32, 64):
+        stage = PipelineStage("mac", ClockDomain("mac", 100.0), 512, latency_cycles=6)
+        pipeline = DesPipeline([stage], fifo_depth=depth)
+        result = pipeline.run(packet_train(64, 512, gap_ps=1, burst=64))
+        rows.append((depth, result.delivered, result.dropped,
+                     round(result.loss_fraction * 100, 1)))
+    return rows
+
+
+def test_buffer_depth_sweep(benchmark, emit):
+    rows = benchmark(_buffer_sweep)
+    emit("ext_buffer_sweep", format_table(
+        ["FIFO depth", "delivered", "dropped", "loss %"], rows,
+        title="Extension -- ingress buffer sizing under a 64-packet burst",
+    ))
+    losses = [row[3] for row in rows]
+    assert losses == sorted(losses, reverse=True)   # deeper -> less loss
+    assert losses[0] > 0.0                          # shallow buffers do lose
+    assert losses[-1] == 0.0                        # 64-deep absorbs the burst
+
+
+def _fairness_rows():
+    weights = {0: 1, 1: 2, 2: 4}
+    scheduler = DeficitRoundRobinScheduler(weights)
+    for tenant in weights:
+        for _ in range(3_000):
+            scheduler.submit(DmaDescriptor(queue_id=0, size_bytes=1_024,
+                                           tenant_id=tenant))
+    for _ in range(40):
+        scheduler.schedule_round()
+    shares = scheduler.service_shares()
+    total_weight = sum(weights.values())
+    return [
+        (tenant, weights[tenant], round(shares[tenant], 3),
+         round(weights[tenant] / total_weight, 3))
+        for tenant in sorted(weights)
+    ]
+
+
+def test_drr_fairness(benchmark, emit):
+    rows = benchmark(_fairness_rows)
+    emit("ext_drr_fairness", format_table(
+        ["tenant", "weight", "measured share", "ideal share"], rows,
+        title="Extension -- DRR tenant fairness under contention",
+    ))
+    for _tenant, _weight, measured, ideal in rows:
+        assert abs(measured - ideal) < 0.05

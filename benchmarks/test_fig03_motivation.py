@@ -1,0 +1,104 @@
+"""Figure 3: the heterogeneity-motivation measurements.
+
+* 3a -- shells occupy the majority (66-87%) of handcraft FPGA logic;
+* 3b -- vendor-specific IPs differ by tens-to-hundreds of interface and
+  configuration properties;
+* 3c -- new FPGA device types arrive yearly while the fleet grows;
+* 3d -- module-initialization register programs differ across shells.
+"""
+
+from repro.analysis.tables import format_table
+from repro.apps import all_applications
+from repro.hw.ip import (
+    intel_emif_ddr4,
+    intel_etile_100g,
+    intel_ptile_mcdma,
+    xilinx_cmac_100g,
+    xilinx_ddr4_mig,
+    xilinx_qdma,
+)
+from repro.hw.registers import modification_cost
+from repro.metrics.configs import config_disparity, interface_disparity
+from repro.metrics.loc import shell_fraction
+from repro.platform.catalog import DEVICE_A
+from repro.platform.fleet import production_fleet
+
+
+def _fig03a_rows():
+    rows = []
+    for app in all_applications():
+        shell_loc = app.tailored_shell(DEVICE_A).loc()
+        fraction = shell_fraction(shell_loc, app.role().loc)
+        rows.append((app.name, round(fraction, 2), round(1 - fraction, 2)))
+    return rows
+
+
+def test_fig03a_shell_role_workload(benchmark, emit):
+    rows = benchmark(_fig03a_rows)
+    emit("fig03a_shell_role_workload", format_table(
+        ["application", "shell fraction", "role fraction"], rows,
+        title="Fig 3a -- handcraft development workload split (paper: shell 0.66-0.87)",
+    ))
+    fractions = [row[1] for row in rows]
+    assert all(0.60 <= fraction <= 0.90 for fraction in fractions)
+    assert max(fractions) - min(fractions) > 0.1  # real spread across apps
+
+
+def _fig03b_rows():
+    pairs = [
+        ("MAC", xilinx_cmac_100g(), intel_etile_100g()),
+        ("DMA", xilinx_qdma(), intel_ptile_mcdma()),
+        ("DDR", xilinx_ddr4_mig(), intel_emif_ddr4()),
+    ]
+    rows = []
+    for name, xilinx_ip, intel_ip in pairs:
+        rows.append((
+            name,
+            interface_disparity(xilinx_ip.interfaces, intel_ip.interfaces),
+            config_disparity(xilinx_ip.config_params, intel_ip.config_params),
+        ))
+    return rows
+
+
+def test_fig03b_vendor_differences(benchmark, emit):
+    rows = benchmark(_fig03b_rows)
+    emit("fig03b_vendor_differences", format_table(
+        ["vendor IP pair", "interface disparity", "config disparity"], rows,
+        title="Fig 3b -- Xilinx vs Intel IP property disparities (paper: tens to hundreds)",
+    ))
+    for _name, interfaces, configs in rows:
+        assert 10 <= interfaces <= 400
+        assert 10 <= configs <= 400
+
+
+def test_fig03c_fleet_growth(benchmark, emit):
+    fleet = production_fleet()
+    rows = benchmark(fleet.growth_table)
+    emit("fig03c_fleet_growth", format_table(
+        ["year", "new device types", "total active FPGAs"], rows,
+        title="Fig 3c -- heterogeneous fleet growth (paper: grows every year)",
+    ))
+    totals = [row[2] for row in rows]
+    assert totals == sorted(totals)
+    assert all(row[1] >= 1 for row in rows)
+
+
+def _fig03d_cost():
+    shell_a_init = xilinx_cmac_100g().init_sequence()   # poll-style
+    shell_b_init = intel_etile_100g().init_sequence()   # auto-init style
+    return shell_a_init, shell_b_init, modification_cost(shell_a_init, shell_b_init)
+
+
+def test_fig03d_init_sequences(benchmark, emit):
+    shell_a, shell_b, cost = benchmark(_fig03d_cost)
+    emit("fig03d_init_sequences", format_table(
+        ["shell", "style", "init operations"],
+        [
+            ("shell A (Xilinx CMAC)", "poll status, then program", len(shell_a)),
+            ("shell B (Intel E-tile)", "automation; write initial values", len(shell_b)),
+            ("migration cost (ops touched)", "", cost),
+        ],
+        title="Fig 3d -- initialization differs across shells",
+    ))
+    assert len(shell_a) > 3 * len(shell_b)   # polling shells are much longer
+    assert cost > 0

@@ -1,0 +1,68 @@
+"""Figures 11 & 12: what hierarchical shell tailoring buys.
+
+* Fig 11 -- tailored application shells consume 3-25.1% fewer resources
+  than the one-size-fits-all unified shell (device A);
+* Fig 12 -- property-level tailoring cuts the configuration items a
+  role must set by 8.8-19.8x.
+"""
+
+from repro.analysis.tables import format_percent, format_table
+from repro.apps import all_applications
+from repro.core.shell import build_unified_shell
+from repro.metrics.resources import reduction_fraction, utilisation_percent
+from repro.platform.catalog import DEVICE_A
+
+#: The applications Figure 11 plots against the unified shell.
+FIG11_APPS = ("sec-gateway", "layer4-lb", "retrieval")
+
+
+def _fig11_rows():
+    unified = build_unified_shell(DEVICE_A)
+    unified_util = utilisation_percent(unified.resources(), DEVICE_A.budget)
+    rows = [("unified-shell", round(unified_util["lut"], 1),
+             round(unified_util["ff"], 1), round(unified_util["bram_36k"], 1), "-")]
+    reductions = {}
+    for app in all_applications():
+        if app.name not in FIG11_APPS:
+            continue
+        tailored = app.tailored_shell(DEVICE_A)
+        util = utilisation_percent(tailored.resources(), DEVICE_A.budget)
+        reduction = reduction_fraction(unified.resources(), tailored.resources())["lut"]
+        reductions[app.name] = reduction
+        rows.append((f"{app.name}-shell", round(util["lut"], 1), round(util["ff"], 1),
+                     round(util["bram_36k"], 1), format_percent(reduction)))
+    return rows, reductions
+
+
+def test_fig11_tailoring_resources(benchmark, emit):
+    rows, reductions = benchmark(_fig11_rows)
+    emit("fig11_tailoring_resources", format_table(
+        ["shell", "LUT %", "REG %", "BRAM %", "LUT reduction"], rows,
+        title="Fig 11 -- shell resource occupancy on device A (paper: 3-25.1% reduction)",
+    ))
+    assert 0.03 <= min(reductions.values())
+    assert max(reductions.values()) <= 0.27
+    # Sec-Gateway saves the most (drops the entire memory subsystem).
+    assert max(reductions, key=reductions.get) == "sec-gateway"
+
+
+def _fig12_rows():
+    rows = []
+    factors = []
+    for app in all_applications():
+        shell = app.tailored_shell(DEVICE_A)
+        factor = shell.config_simplification_factor()
+        factors.append(factor)
+        rows.append((app.name, shell.native_config_item_count(),
+                     shell.role_config_item_count(), round(factor, 1)))
+    return rows, factors
+
+
+def test_fig12_tailoring_configs(benchmark, emit):
+    rows, factors = benchmark(_fig12_rows)
+    emit("fig12_tailoring_configs", format_table(
+        ["application", "native items", "role-oriented items", "reduction x"], rows,
+        title="Fig 12 -- role configuration items (paper: 8.8-19.8x fewer)",
+    ))
+    assert min(factors) >= 8.0
+    assert max(factors) <= 20.0

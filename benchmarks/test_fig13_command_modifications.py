@@ -1,0 +1,50 @@
+"""Figure 13: the command interface cuts software modifications 88-107x.
+
+For every application, migrate its shell from device C to device D and
+diff the full bring-up programs written against the register interface
+versus the command interface.
+"""
+
+from repro.analysis.tables import format_table
+from repro.apps import all_applications
+from repro.core.host_software import ControlPlane
+from repro.metrics.modifications import reduction_factor, trace_modifications
+from repro.platform.catalog import DEVICE_C, DEVICE_D
+
+
+def _migratable_apps():
+    """Apps deployable on both migration endpoints (C has no DRAM)."""
+    return [app for app in all_applications() if not app.role().demands.needs_memory]
+
+
+def _fig13_rows():
+    rows = []
+    factors = []
+    for app in _migratable_apps():
+        traces = {}
+        for device in (DEVICE_C, DEVICE_D):
+            control = ControlPlane(app.tailored_shell(device))
+            traces[device.name] = (
+                control.register_full_init().operation_signatures(),
+                control.command_full_init().invocation_signatures(),
+            )
+        register_mods = trace_modifications(traces["device-c"][0], traces["device-d"][0])
+        command_mods = trace_modifications(traces["device-c"][1], traces["device-d"][1])
+        factor = reduction_factor(register_mods, command_mods)
+        factors.append(factor)
+        rows.append((app.name, register_mods, command_mods, round(factor, 1)))
+    return rows, factors
+
+
+def test_fig13_command_modifications(benchmark, emit):
+    rows, factors = benchmark(_fig13_rows)
+    emit("fig13_command_modifications", format_table(
+        ["application", "register mods", "command mods", "reduction x"], rows,
+        title="Fig 13 -- software modifications migrating device C -> D "
+              "(paper: 88-107x fewer)",
+    ))
+    assert min(factors) >= 60.0
+    assert max(factors) <= 150.0
+    for _name, register_mods, command_mods, _factor in rows:
+        assert register_mods > 100
+        assert command_mods <= 6

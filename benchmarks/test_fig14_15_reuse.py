@@ -1,0 +1,61 @@
+"""Figures 14 & 15: development-workload reuse.
+
+* Fig 14 -- RBB code reuse: 69-76% cross-vendor, 84-93% cross-chip;
+* Fig 15 -- application shells reuse 70-80% of their code across FPGAs.
+"""
+
+from repro.analysis.tables import format_table
+from repro.apps import all_applications
+from repro.core.rbb.host import HostRbb
+from repro.core.rbb.memory import MemoryRbb
+from repro.core.rbb.network import NetworkRbb
+from repro.metrics.loc import Migration, reuse_rate
+from repro.platform.catalog import DEVICE_A
+
+
+def _fig14_rows():
+    rows = []
+    for rbb in (NetworkRbb(), HostRbb(), MemoryRbb()):
+        loc = rbb.loc()
+        rows.append((
+            rbb.name,
+            round(reuse_rate(loc, Migration.CROSS_VENDOR), 2),
+            round(reuse_rate(loc, Migration.CROSS_CHIP), 2),
+            loc.handcraft,
+        ))
+    return rows
+
+
+def test_fig14_rbb_reuse(benchmark, emit):
+    rows = benchmark(_fig14_rows)
+    emit("fig14_rbb_reuse", format_table(
+        ["RBB", "cross-vendor reuse", "cross-chip reuse", "handcraft LoC"], rows,
+        title="Fig 14 -- RBB reuse rates (paper: 0.69-0.76 cross-vendor, "
+              "0.84-0.93 cross-chip)",
+    ))
+    for _name, cross_vendor, cross_chip, _loc in rows:
+        assert 0.65 <= cross_vendor <= 0.78
+        assert 0.82 <= cross_chip <= 0.95
+        assert cross_chip > cross_vendor
+
+
+def _fig15_rows():
+    rows = []
+    for app in all_applications():
+        loc = app.tailored_shell(DEVICE_A).loc()
+        rows.append((
+            app.name,
+            round(reuse_rate(loc, Migration.CROSS_VENDOR), 2),
+            round(reuse_rate(loc, Migration.CROSS_CHIP), 2),
+        ))
+    return rows
+
+
+def test_fig15_app_reuse(benchmark, emit):
+    rows = benchmark(_fig15_rows)
+    emit("fig15_app_reuse", format_table(
+        ["application", "cross-vendor reuse", "cross-chip reuse"], rows,
+        title="Fig 15 -- application shell reuse (paper: 0.70-0.80)",
+    ))
+    for _name, cross_vendor, _cross_chip in rows:
+        assert 0.65 <= cross_vendor <= 0.82

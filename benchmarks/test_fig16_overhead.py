@@ -1,0 +1,77 @@
+"""Figure 16: Harmonia's hardware additions are negligible.
+
+Interface wrappers stay under 0.37% and the unified control kernel
+under 0.67% of device resources, across every evaluation device.
+"""
+
+from repro.adapters.wrapper import InterfaceWrapper
+from repro.analysis.tables import format_percent, format_table
+from repro.core.shell import build_unified_shell
+from repro.hw.ip.ddr import xilinx_ddr4_mig
+from repro.hw.ip.mac import xilinx_cmac_100g
+from repro.hw.ip.pcie import xilinx_qdma, xilinx_xdma
+from repro.platform.catalog import DEVICE_A, evaluation_devices
+
+WRAPPER_BOUND = 0.0037
+UCK_BOUND = 0.0067
+
+
+def _fig16_rows():
+    wrapper = InterfaceWrapper()
+    rows = []
+    peaks = []
+    for label, ip in (("MAC wrapper", xilinx_cmac_100g()),
+                      ("PCIe wrapper", xilinx_qdma()),
+                      ("DMA wrapper", xilinx_xdma()),
+                      ("DDR wrapper", xilinx_ddr4_mig())):
+        utilisation = DEVICE_A.budget.utilisation(wrapper.wrap(ip).resources)
+        peak = max(utilisation.values())
+        peaks.append(("wrapper", peak))
+        rows.append((label, format_percent(utilisation["lut"], 2),
+                     format_percent(utilisation["ff"], 2),
+                     format_percent(peak, 2)))
+    shell = build_unified_shell(DEVICE_A)
+    uck_util = DEVICE_A.budget.utilisation(shell.control_kernel_resources())
+    uck_peak = max(uck_util.values())
+    peaks.append(("uck", uck_peak))
+    rows.append(("unified control kernel", format_percent(uck_util["lut"], 2),
+                 format_percent(uck_util["ff"], 2), format_percent(uck_peak, 2)))
+    return rows, peaks
+
+
+def test_fig16_overhead(benchmark, emit):
+    rows, peaks = benchmark(_fig16_rows)
+    emit("fig16_overhead", format_table(
+        ["component", "LUT", "REG", "peak any-kind"], rows,
+        title="Fig 16 -- added-hardware overhead on device A "
+              "(paper: wrappers <0.37%, UCK <0.67%)",
+    ))
+    for kind, peak in peaks:
+        bound = WRAPPER_BOUND if kind == "wrapper" else UCK_BOUND
+        assert peak < bound, (kind, peak)
+
+
+def test_fig16_bounds_hold_on_every_device(benchmark, emit):
+    def sweep():
+        rows = []
+        for device in evaluation_devices():
+            shell = build_unified_shell(device)
+            wrapper_peak = max(
+                device.budget.utilisation(shell.wrapper_resources()).values()
+            )
+            uck_peak = max(
+                device.budget.utilisation(shell.control_kernel_resources()).values()
+            )
+            rows.append((device.name, format_percent(wrapper_peak, 2),
+                         format_percent(uck_peak, 2), wrapper_peak, uck_peak))
+        return rows
+
+    rows = benchmark(sweep)
+    emit("fig16_overhead_all_devices", format_table(
+        ["device", "all wrappers peak", "UCK peak"],
+        [row[:3] for row in rows],
+        title="Fig 16 (extended) -- overhead bounds across the fleet",
+    ))
+    for _name, _w, _u, wrapper_peak, uck_peak in rows:
+        assert wrapper_peak < WRAPPER_BOUND * 3   # whole-shell wrappers, summed
+        assert uck_peak < UCK_BOUND

@@ -1,0 +1,72 @@
+"""Figure 17: applications keep their performance under Harmonia.
+
+BITW applications (Sec-Gateway, L4 LB, Host Network) sweep packet sizes
+with and without the framework in the data path; the look-aside
+Retrieval sweeps corpus sizes.  Throughput must match natively and the
+latency increase stay ~1% (nanoseconds against microseconds).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table
+from repro.apps import HostNetwork, Layer4LoadBalancer, RetrievalApp, SecGateway
+from repro.platform.catalog import DEVICE_A
+
+PACKET_SIZES = (64, 128, 256, 512, 1_024)
+
+
+def _bitw_sweep(app):
+    harmonia = app.measure(DEVICE_A, PACKET_SIZES, packets_per_point=800)
+    native = app.measure(DEVICE_A, PACKET_SIZES, packets_per_point=800,
+                         with_harmonia=False)
+    rows = []
+    for with_h, without_h in zip(harmonia, native):
+        increase = (with_h.latency_us - without_h.latency_us) / without_h.latency_us
+        rows.append((with_h.label,
+                     round(without_h.throughput_gbps, 1), round(with_h.throughput_gbps, 1),
+                     round(without_h.latency_us, 3), round(with_h.latency_us, 3),
+                     round(increase * 100, 2)))
+    return rows
+
+
+def _check_bitw(rows):
+    for _label, native_tpt, harmonia_tpt, _nl, _hl, increase_pct in rows:
+        assert harmonia_tpt == pytest.approx(native_tpt, rel=0.02)
+        assert increase_pct < 2.0   # the paper's <1%, with simulation slack
+    throughputs = [row[2] for row in rows]
+    assert throughputs == sorted(throughputs)   # grows with packet size
+
+
+@pytest.mark.parametrize("app_factory,figure", [
+    (SecGateway, "fig17a_sec_gateway"),
+    (Layer4LoadBalancer, "fig17b_layer4_lb"),
+    (HostNetwork, "fig17c_host_network"),
+])
+def test_fig17_bitw_apps(benchmark, emit, app_factory, figure):
+    rows = benchmark(_bitw_sweep, app_factory())
+    emit(figure, format_table(
+        ["packet", "native Gbps", "harmonia Gbps", "native us", "harmonia us",
+         "lat increase %"],
+        rows,
+        title=f"Fig 17 ({figure}) -- w/ vs w/o Harmonia (paper: full bw, <1% latency)",
+    ))
+    _check_bitw(rows)
+
+
+def _retrieval_sweep():
+    app = RetrievalApp()
+    points = {}
+    for exponent in (3, 5, 7, 9):
+        points[f"1e{exponent}"] = round(app.queries_per_second(10 ** exponent))
+    return points
+
+
+def test_fig17d_retrieval(benchmark, emit):
+    points = benchmark(_retrieval_sweep)
+    emit("fig17d_retrieval", format_series(
+        "Fig 17d -- retrieval QPS vs corpus size (paper: QPS falls with corpus)",
+        points, unit="queries/s",
+    ))
+    values = list(points.values())
+    assert values == sorted(values, reverse=True)
+    assert values[0] > 100 * values[-1]

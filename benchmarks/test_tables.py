@@ -1,0 +1,113 @@
+"""Tables 1-4: capability matrix, experimental setup, device support,
+and interface simplification."""
+
+from repro.analysis.tables import format_table
+from repro.apps import all_applications
+from repro.baselines import all_frameworks
+from repro.baselines.base import Capability
+from repro.core.host_software import ControlPlane
+from repro.core.shell import build_unified_shell
+from repro.platform.catalog import DEVICE_A, evaluation_devices
+
+_MARK = {Capability.YES: "yes", Capability.NO: "no", Capability.PARTIAL: "partial"}
+
+
+def _table1_rows():
+    rows = []
+    for framework in all_frameworks():
+        row = framework.capability_row()
+        rows.append((framework.name,) + tuple(_MARK[row[key]] for key in (
+            "heterogeneity", "unified_shell", "portable_role",
+            "consistent_host_interface")))
+    return rows
+
+
+def test_table1_capabilities(benchmark, emit):
+    rows = benchmark(_table1_rows)
+    emit("table1_capabilities", format_table(
+        ["framework", "heterogeneity", "unified shell", "portable role",
+         "consistent host IF"],
+        rows,
+        title="Table 1 -- framework capability matrix",
+    ))
+    by_name = {row[0]: row[1:] for row in rows}
+    assert by_name["harmonia"] == ("yes", "yes", "yes", "yes")
+    assert all("partial" in values or "no" in values
+               for name, values in by_name.items() if name != "harmonia")
+
+
+def _table2_rows():
+    app_rows = [
+        (app.name, app.role().architecture.value, app.role().description)
+        for app in all_applications()
+    ]
+    device_rows = [(device.name, device.describe()) for device in evaluation_devices()]
+    return app_rows, device_rows
+
+
+def test_table2_setup(benchmark, emit):
+    app_rows, device_rows = benchmark(_table2_rows)
+    text = format_table(["application", "architecture", "function"], app_rows,
+                        title="Table 2 -- applications")
+    text += "\n\n" + format_table(["device", "description"], device_rows,
+                                  title="Table 2 -- FPGA devices")
+    emit("table2_setup", text)
+    assert len(app_rows) == 5
+    assert len(device_rows) == 4
+
+
+def _table3_rows():
+    devices = evaluation_devices()
+    rows = []
+    for framework in all_frameworks():
+        support = framework.supported_vendor_classes(devices)
+        rows.append((framework.name,
+                     "yes" if support["intel"] else "no",
+                     "yes" if support["xilinx"] else "no",
+                     "yes" if support["inhouse"] else "no"))
+    return rows
+
+
+def test_table3_device_support(benchmark, emit):
+    rows = benchmark(_table3_rows)
+    emit("table3_device_support", format_table(
+        ["framework", "Intel FPGAs", "Xilinx FPGAs", "in-house FPGAs"], rows,
+        title="Table 3 -- device support matrix",
+    ))
+    by_name = {row[0]: row[1:] for row in rows}
+    assert by_name["vitis"] == ("no", "yes", "no")
+    assert by_name["oneapi"] == ("yes", "no", "no")
+    assert by_name["coyote"] == ("no", "yes", "no")
+    assert by_name["harmonia"] == ("yes", "yes", "yes")
+
+
+def _table4_rows():
+    control = ControlPlane(build_unified_shell(DEVICE_A))
+    return [
+        ("monitoring statistics",
+         control.register_monitoring_walk().operation_count,
+         control.command_monitoring_walk().invocation_count),
+        ("network initialization",
+         control.register_network_init().operation_count,
+         control.command_network_init().invocation_count),
+        ("host interaction config",
+         control.register_host_interaction().operation_count,
+         control.command_host_interaction().invocation_count),
+    ]
+
+
+def test_table4_interface_simplification(benchmark, emit):
+    rows = benchmark(_table4_rows)
+    rendered = [(name, registers, commands, round(registers / commands, 1))
+                for name, registers, commands in rows]
+    emit("table4_interface_simplification", format_table(
+        ["configuration", "registers", "commands", "factor x"], rendered,
+        title="Table 4 -- host interface simplification "
+              "(paper: 84/115/60 registers vs 4/5/4 commands, 15-23x)",
+    ))
+    for _name, registers, commands, factor in rendered:
+        assert commands <= 6
+        assert 14.0 <= factor <= 24.0
+    by_name = {row[0]: row[1:3] for row in rendered}
+    assert by_name["monitoring statistics"] == (84, 4)
+    assert by_name["host interaction config"] == (60, 4)

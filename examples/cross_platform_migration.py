@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cross-platform migration: Host Network from Device C to Device D.
+
+Reproduces the paper's flagship software story (section 5.2, Figure 13):
+when an application moves to a new FPGA generation, register-level host
+software needs hundreds of line changes -- new addresses, new lane
+counts, new board I2C maps, reordered init -- while command-based
+software changes almost nothing.
+
+Run:  python examples/cross_platform_migration.py
+"""
+
+from repro import DEVICE_C, DEVICE_D, HierarchicalTailor, build_unified_shell
+from repro.apps import HostNetwork
+from repro.core.host_software import ControlPlane
+from repro.metrics.modifications import reduction_factor, trace_modifications
+
+
+def bring_up(device):
+    """Deploy Host Network on a device; return both software traces."""
+    app = HostNetwork()
+    shell = HierarchicalTailor(
+        build_unified_shell(device, tenants=app.role().demands.tenants)
+    ).tailor(app.role())
+    control = ControlPlane(shell)
+    registers = control.register_full_init()
+    commands = control.command_full_init()
+    return shell, registers, commands
+
+
+def main() -> None:
+    print("Deploying Host Network on Device C (in-house Agilex board, DSFP)...")
+    shell_c, registers_c, commands_c = bring_up(DEVICE_C)
+    print(f"  modules: {[ip.name for ip in shell_c.modules()]}")
+    print(f"  bring-up: {registers_c.operation_count} register ops / "
+          f"{commands_c.invocation_count} commands")
+
+    print("\nMigrating to Device D (Intel Agilex board, QSFP28 + DDR)...")
+    shell_d, registers_d, commands_d = bring_up(DEVICE_D)
+    print(f"  modules: {[ip.name for ip in shell_d.modules()]}")
+    print(f"  bring-up: {registers_d.operation_count} register ops / "
+          f"{commands_d.invocation_count} commands")
+
+    register_mods = trace_modifications(
+        registers_c.operation_signatures(), registers_d.operation_signatures()
+    )
+    command_mods = trace_modifications(
+        commands_c.invocation_signatures(), commands_d.invocation_signatures()
+    )
+    factor = reduction_factor(register_mods, command_mods)
+
+    print("\nMigration cost (host-software lines touched):")
+    print(f"  register interface : {register_mods}")
+    print(f"  command interface  : {command_mods}")
+    print(f"  reduction          : {factor:.0f}x  (paper reports 88-107x)")
+
+    print("\nWhy: the register program bakes in board knowledge --")
+    profile_c = ControlPlane(shell_c).profile
+    profile_d = ControlPlane(shell_d).profile
+    print(f"  serdes lanes : {profile_c.serdes_lanes} -> {profile_d.serdes_lanes}")
+    print(f"  I2C devices  : {len(profile_c.i2c_devices)} -> {len(profile_d.i2c_devices)}")
+    print(f"  BAR0 base    : {profile_c.bar0_base:#x} -> {profile_d.bar0_base:#x}")
+    print("while the command program only names modules and operations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Multi-tenant SmartNIC: isolation across the whole stack (paper §6).
+
+Four tenants share one Device B SmartNIC running the Layer-4 load
+balancer.  Isolation shows up three times:
+
+* the Network RBB's flow director confines each tenant's flows to its
+  own host-queue range;
+* the Host RBB's multi-queue scheduler only ever visits active queues
+  and rejects cross-tenant submissions;
+* partial-reconfiguration slots host independent tenant roles in the
+  role region.
+
+Run:  python examples/multi_tenant_smartnic.py
+"""
+
+from repro import DEVICE_B
+from repro.apps.layer4_lb import Layer4LoadBalancer
+from repro.core.multitenancy import PartialReconfigManager, even_slot_budgets
+from repro.core.rbb.host import DmaDescriptor
+from repro.errors import ConfigurationError
+from repro.workloads.packets import PacketGenerator
+
+TENANTS = 4
+
+
+def main() -> None:
+    app = Layer4LoadBalancer()
+    shell = app.tailored_shell(DEVICE_B)
+    network = shell.rbbs["network"]
+    host = shell.rbbs["host"]
+    print(f"Shell on {DEVICE_B.name}: {sorted(shell.rbbs)}; "
+          f"{network.flow_director.tenants} tenants, "
+          f"{network.flow_director.queues_per_tenant} queues each")
+
+    # 1. Flow steering never crosses tenant queue ranges.
+    generator = PacketGenerator(seed=1)
+    packets = generator.uniform_stream(4_000, 256, flow_count=256, tenant_count=TENANTS)
+    violations = 0
+    for packet, queue in network.process_packets(packets):
+        start, end = network.flow_director.queue_range(packet.tenant_id)
+        violations += int(not start <= queue < end)
+    print(f"\nFlow director steered {network.flow_director.directed} packets, "
+          f"{violations} isolation violations")
+
+    # 2. The DMA scheduler enforces queue ownership outright.
+    own_queue = host.scheduler.queues_of_tenant(1)[0]
+    host.scheduler.submit(DmaDescriptor(queue_id=own_queue, size_bytes=2_048, tenant_id=1))
+    try:
+        host.scheduler.submit(
+            DmaDescriptor(queue_id=own_queue, size_bytes=2_048, tenant_id=2)
+        )
+    except ConfigurationError as error:
+        print(f"Cross-tenant DMA rejected: {error}")
+    moved = host.scheduler.drain()
+    print(f"Scheduler drained {len(moved)} descriptor(s), "
+          f"visiting {host.scheduler.queue_visits} queue slots "
+          f"(not {host.scheduler.queue_count})")
+
+    # 3. Tenant roles live in separate PR slots.
+    manager = PartialReconfigManager(even_slot_budgets(DEVICE_B.budget, TENANTS))
+    for tenant in range(TENANTS):
+        slot = manager.load(f"tenant-{tenant}", app.role())
+        print(f"PR slot {slot.index}: {slot.tenant} active")
+    print(f"Active tenants: {manager.active_count()}")
+
+    # And the LB still balances: load spread across backends per tenant.
+    loads = app.distribute(packets)
+    busiest = max(loads.values())
+    idlest = min(loads.values())
+    print(f"\nBackend load spread over {len(loads)} real servers: "
+          f"max {busiest}, min {idlest} packets "
+          f"({app.new_flows} new flows, {app.established_hits} established hits)")
+
+
+if __name__ == "__main__":
+    main()

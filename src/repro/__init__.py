@@ -1,0 +1,95 @@
+"""Harmonia: a unified framework for heterogeneous FPGA acceleration.
+
+A simulation-backed reproduction of Li et al., ASPLOS 2025.  The public
+API mirrors the paper's architecture:
+
+* platform-specific layer: :mod:`repro.adapters` (device/vendor
+  adapters, interface wrappers, the automated build flow);
+* platform-independent layer: :mod:`repro.core` (RBBs, the unified
+  shell, hierarchical tailoring, the command-based interface, the
+  application lifecycle);
+* substrates: :mod:`repro.sim`, :mod:`repro.hw`, :mod:`repro.platform`,
+  :mod:`repro.workloads`;
+* evaluation: :mod:`repro.apps` (the five production applications),
+  :mod:`repro.baselines` (Vitis / oneAPI / Coyote models), and
+  :mod:`repro.metrics`.
+
+Quickstart::
+
+    from repro import build_unified_shell, HierarchicalTailor, DEVICE_A
+    from repro.apps import SecGateway
+
+    shell = build_unified_shell(DEVICE_A)
+    tailored = HierarchicalTailor(shell).tailor(SecGateway().role())
+    print(tailored.resources().as_dict())
+"""
+
+from repro.adapters import (
+    BuildFlow,
+    DeviceAdapter,
+    InterfaceWrapper,
+    ProjectBundle,
+    VendorAdapter,
+)
+from repro.core import (
+    HierarchicalTailor,
+    Role,
+    RoleDemands,
+    TailoredShell,
+    UnifiedShell,
+    build_unified_shell,
+)
+from repro.core.command import (
+    CommandCode,
+    CommandDriver,
+    CommandPacket,
+    RegisterDriver,
+    UnifiedControlKernel,
+)
+from repro.core.host_software import ControlPlane
+from repro.core.lifecycle import ApplicationProject, Lifecycle, PocEstimate
+from repro.errors import HarmoniaError
+from repro.platform import (
+    DEVICE_A,
+    DEVICE_B,
+    DEVICE_C,
+    DEVICE_D,
+    FpgaDevice,
+    Vendor,
+    all_devices,
+    device_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationProject",
+    "BuildFlow",
+    "CommandCode",
+    "CommandDriver",
+    "CommandPacket",
+    "ControlPlane",
+    "DEVICE_A",
+    "DEVICE_B",
+    "DEVICE_C",
+    "DEVICE_D",
+    "DeviceAdapter",
+    "FpgaDevice",
+    "HarmoniaError",
+    "HierarchicalTailor",
+    "InterfaceWrapper",
+    "Lifecycle",
+    "PocEstimate",
+    "ProjectBundle",
+    "RegisterDriver",
+    "Role",
+    "RoleDemands",
+    "TailoredShell",
+    "UnifiedControlKernel",
+    "UnifiedShell",
+    "Vendor",
+    "VendorAdapter",
+    "all_devices",
+    "build_unified_shell",
+    "device_by_name",
+]

@@ -1,0 +1,27 @@
+"""Harmonia's platform-specific layer (paper section 3.2).
+
+* :mod:`repro.adapters.device_adapter` -- automated device adapters
+  managing hardware-resource configurations (static + dynamic groups);
+* :mod:`repro.adapters.vendor_adapter` -- vendor adapters managing
+  deployment differences with key-value dependency inspection;
+* :mod:`repro.adapters.wrapper` -- lightweight interface wrappers
+  converting vendor interfaces into the six unified types;
+* :mod:`repro.adapters.toolchain` -- the automated integration flow that
+  checks dependencies, configures the platform, "compiles", and packages
+  bitstream + software into one project file.
+"""
+
+from repro.adapters.device_adapter import DeviceAdapter
+from repro.adapters.vendor_adapter import VendorAdapter
+from repro.adapters.wrapper import InterfaceWrapper, WRAPPER_LATENCY_CYCLES
+from repro.adapters.toolchain import BitstreamPackage, BuildFlow, ProjectBundle
+
+__all__ = [
+    "BitstreamPackage",
+    "BuildFlow",
+    "DeviceAdapter",
+    "InterfaceWrapper",
+    "ProjectBundle",
+    "VendorAdapter",
+    "WRAPPER_LATENCY_CYCLES",
+]

@@ -1,0 +1,200 @@
+"""Automated device adapters (hardware-resource configurations).
+
+The paper splits resource configurations into a *static group* --
+"inherent resource properties of FPGA chips and peripherals (e.g.,
+channel numbers, virtual functions, etc.), which only need to be
+configured once and reused anywhere" -- and a *dynamic group* of
+"mapping constraints between the logic and the device, such as I/O pins
+and clock mappings configured on-demand".
+
+:class:`DeviceAdapter` derives the static group from the device model
+once (cached) and manages dynamic allocations with conflict detection,
+replacing the "error-prone manual operations" the paper warns about.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.platform.device import (
+    FpgaDevice,
+    MEMORY_BANDWIDTH_GBPS,
+    MEMORY_CHANNELS,
+    NETWORK_RATE_GBPS,
+    Peripheral,
+    PeripheralKind,
+)
+
+#: Pins provided per peripheral kind (representative package numbers).
+_PINS_PER_PERIPHERAL: Dict[PeripheralKind, int] = {
+    PeripheralKind.QSFP28: 38,
+    PeripheralKind.QSFP56: 38,
+    PeripheralKind.QSFP112: 42,
+    PeripheralKind.DSFP: 40,
+    PeripheralKind.DDR3: 140,
+    PeripheralKind.DDR4: 160,
+    PeripheralKind.HBM: 0,        # in-package; no board pins
+    PeripheralKind.PCIE: 82,
+    PeripheralKind.I2C: 2,
+    PeripheralKind.FLASH: 6,
+}
+
+#: Global clock resources per device (simplified: one pool of MMCM/PLL).
+_CLOCK_SOURCES = ("sysclk_100", "sysclk_156_25", "sysclk_161_13", "sysclk_300",
+                  "pcie_refclk", "ddr_refclk", "hbm_refclk", "mgt_refclk_0",
+                  "mgt_refclk_1")
+
+
+@dataclass(frozen=True)
+class PinAllocation:
+    """A dynamic pin-bank assignment for one module."""
+
+    module: str
+    peripheral: PeripheralKind
+    bank: int
+    pins: int
+
+
+#: Cage kinds that satisfy a peripheral requirement interchangeably.
+_EQUIVALENT_CAGES: Dict[PeripheralKind, Tuple[PeripheralKind, ...]] = {
+    PeripheralKind.QSFP112: (PeripheralKind.QSFP112, PeripheralKind.DSFP,
+                             PeripheralKind.QSFP56),
+    PeripheralKind.QSFP28: (PeripheralKind.QSFP28,),
+}
+
+
+def satisfying_kinds(wanted: PeripheralKind) -> Tuple[PeripheralKind, ...]:
+    """Peripheral kinds that satisfy a requirement for ``wanted``."""
+    return _EQUIVALENT_CAGES.get(wanted, (wanted,))
+
+
+class DeviceAdapter:
+    """Derives and manages hardware-resource configuration for one device."""
+
+    def __init__(self, device: FpgaDevice) -> None:
+        self.device = device
+        self._static_config: Optional[Dict[str, object]] = None
+        self._pin_allocations: List[PinAllocation] = []
+        self._clock_mappings: Dict[str, str] = {}
+        self._next_bank = 0
+
+    # --- static group ----------------------------------------------------
+
+    def static_config(self) -> Dict[str, object]:
+        """The once-computed inherent properties of chip and peripherals.
+
+        Computed on first use and reused afterwards, mirroring the
+        paper's "configured once and reused anywhere".
+        """
+        if self._static_config is None:
+            self._static_config = self._derive_static_config()
+        return self._static_config
+
+    def _derive_static_config(self) -> Dict[str, object]:
+        device = self.device
+        config: Dict[str, object] = {
+            "chip": device.chip,
+            "family": device.family.name,
+            "process_nm": device.family.process_nm,
+            "chip_vendor": device.chip_vendor.value,
+            "board_vendor": device.board_vendor.value,
+            "lut_budget": device.budget.lut,
+            "ff_budget": device.budget.ff,
+            "bram_36k_budget": device.budget.bram_36k,
+            "uram_budget": device.budget.uram,
+            "dsp_budget": device.budget.dsp,
+            "pcie_generation": int(device.pcie.pcie_generation),
+            "pcie_lanes": device.pcie.pcie_lanes,
+            "pcie_virtual_functions": 16,
+            "host_bandwidth_gbps": device.host_gbps,
+        }
+        network_channels = 0
+        memory_channels: Dict[str, int] = {}
+        for peripheral in device.peripherals:
+            if peripheral.kind in NETWORK_RATE_GBPS:
+                network_channels += peripheral.count
+            if peripheral.kind in MEMORY_CHANNELS:
+                key = peripheral.kind.value
+                memory_channels[key] = (
+                    memory_channels.get(key, 0)
+                    + MEMORY_CHANNELS[peripheral.kind] * peripheral.count
+                )
+        config["network_channels"] = network_channels
+        config["network_bandwidth_gbps"] = device.network_gbps
+        config["memory_channels"] = memory_channels
+        config["memory_bandwidth_gbps"] = {
+            peripheral.kind.value: peripheral.memory_gbps
+            for peripheral in device.peripherals
+            if peripheral.kind in MEMORY_BANDWIDTH_GBPS
+        }
+        return config
+
+    # --- dynamic group ---------------------------------------------------
+
+    def allocate_pins(self, module: str, peripheral: PeripheralKind) -> PinAllocation:
+        """Assign a pin bank for ``module`` driving ``peripheral``.
+
+        Raises :class:`ConfigurationError` when the board does not carry
+        the peripheral or when all instances are already allocated.
+        """
+        kinds = satisfying_kinds(peripheral)
+        available = sum(
+            p.count for kind in kinds for p in self.device.peripherals_of(kind)
+        )
+        if available == 0:
+            raise ConfigurationError(
+                f"device {self.device.name!r} has no {peripheral.value} peripheral"
+            )
+        taken = sum(1 for alloc in self._pin_allocations if alloc.peripheral in kinds)
+        if taken >= available:
+            raise ConfigurationError(
+                f"all {available} {peripheral.value} instances on "
+                f"{self.device.name!r} are already allocated"
+            )
+        allocation = PinAllocation(
+            module=module,
+            peripheral=peripheral,
+            bank=self._next_bank,
+            pins=_PINS_PER_PERIPHERAL.get(peripheral, 0),
+        )
+        self._next_bank += 1
+        self._pin_allocations.append(allocation)
+        return allocation
+
+    def map_clock(self, logical_clock: str, source: str) -> None:
+        """Bind a logical clock to a physical source, rejecting conflicts."""
+        if source not in _CLOCK_SOURCES:
+            raise ConfigurationError(
+                f"unknown clock source {source!r}; available: {', '.join(_CLOCK_SOURCES)}"
+            )
+        existing = self._clock_mappings.get(logical_clock)
+        if existing is not None and existing != source:
+            raise ConfigurationError(
+                f"logical clock {logical_clock!r} already mapped to {existing!r}"
+            )
+        self._clock_mappings[logical_clock] = source
+
+    @property
+    def pin_allocations(self) -> List[PinAllocation]:
+        return list(self._pin_allocations)
+
+    @property
+    def clock_mappings(self) -> Dict[str, str]:
+        return dict(self._clock_mappings)
+
+    def dynamic_config(self) -> Dict[str, object]:
+        """The on-demand mapping state (pins + clocks)."""
+        return {
+            "pin_allocations": [
+                {"module": alloc.module, "peripheral": alloc.peripheral.value,
+                 "bank": alloc.bank, "pins": alloc.pins}
+                for alloc in self._pin_allocations
+            ],
+            "clock_mappings": dict(self._clock_mappings),
+        }
+
+    def reset_dynamic(self) -> None:
+        """Clear dynamic allocations (new build); static config persists."""
+        self._pin_allocations.clear()
+        self._clock_mappings.clear()
+        self._next_bank = 0

@@ -1,0 +1,111 @@
+"""Adapter-script generation (paper section 3.2, last line).
+
+"Both adapters are generated using vendor-provided tcl and ruby
+scripts, enabling easy development."  This module emits those artifacts:
+a Vivado/Quartus tcl script that applies the device adapter's platform
+configuration (pins, clocks, IP properties), and a ruby deployment
+script that runs the vendor adapter's dependency checks and initialises
+the hardware on the target host (the §4 stage-4 automation).
+
+The scripts are deterministic text, so builds are reproducible and the
+tests can assert their content.
+"""
+
+from typing import Iterable, List
+
+from repro.adapters.device_adapter import DeviceAdapter
+from repro.adapters.vendor_adapter import VendorAdapter
+from repro.hw.ip.base import VendorIp
+from repro.platform.device import FpgaDevice
+from repro.platform.vendor import ScriptLanguage
+
+
+def _tcl_header(device: FpgaDevice) -> List[str]:
+    return [
+        "# Auto-generated platform-adapter script -- do not edit.",
+        f"# device: {device.name} ({device.chip}, {device.family.name})",
+        f"# toolchain: {device.toolchain.name} {device.toolchain.version}",
+        "",
+    ]
+
+
+def generate_device_adapter_tcl(adapter: DeviceAdapter) -> str:
+    """The CAD-tool script applying static + dynamic configuration."""
+    device = adapter.device
+    lines = _tcl_header(device)
+    lines.append("# --- static resource group (configured once) ---")
+    for key, value in sorted(adapter.static_config().items(), key=lambda kv: kv[0]):
+        lines.append(f"set harmonia::static({key}) {{{value}}}")
+    lines.append("")
+    lines.append("# --- dynamic mapping group (per build) ---")
+    for allocation in adapter.pin_allocations:
+        lines.append(
+            f"assign_pins -module {allocation.module} "
+            f"-peripheral {allocation.peripheral.value} -bank {allocation.bank} "
+            f"-count {allocation.pins}"
+        )
+    for logical, source in sorted(adapter.clock_mappings.items()):
+        lines.append(f"create_clock_mapping -logical {logical} -source {source}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_ip_config_tcl(modules: Iterable[VendorIp]) -> str:
+    """Per-IP property settings, in the owning tool's idiom."""
+    lines = ["# Auto-generated IP configuration -- do not edit.", ""]
+    for ip in modules:
+        lines.append(f"# {ip.name} ({ip.vendor.value} {ip.kind.value})")
+        catalog = ip.dependencies.get("ip_catalog", ip.name)
+        version = ip.dependencies.get("ip_version", "*")
+        lines.append(f"create_ip -name {catalog} -version {version} "
+                     f"-module_name {ip.name.replace('-', '_')}")
+        for key in sorted(ip.config_params):
+            value = ip.config_params[key]
+            lines.append(
+                f"set_property CONFIG.{key} {{{value}}} "
+                f"[get_ips {ip.name.replace('-', '_')}]"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_deployment_ruby(
+    adapter: VendorAdapter, modules: Iterable[VendorIp], cluster: str
+) -> str:
+    """The stage-4 deployment script: checks, configuration, init.
+
+    "During this process, scripts in the platform adapter automate
+    hardware configuration, environmental dependency checks, and
+    hardware initialization based on the deployed FPGAs."
+    """
+    module_list = list(modules)
+    lines = [
+        "# Auto-generated deployment script -- do not edit.",
+        f"# cluster: {cluster}",
+        "require 'harmonia/deploy'",
+        "",
+        "environment = {",
+    ]
+    for key, value in sorted(adapter.environment.items()):
+        lines.append(f"  {key!r} => {value!r},")
+    lines.append("}")
+    lines.append("")
+    lines.append("dependencies = [")
+    for ip in module_list:
+        pairs = ", ".join(
+            f"{key!r} => {value!r}" for key, value in sorted(ip.dependencies.items())
+        )
+        lines.append(f"  {{ 'module' => {ip.name!r}, {pairs} }},")
+    lines.append("]")
+    lines.append("")
+    lines.append("Harmonia::Deploy.check!(environment, dependencies)")
+    for ip in module_list:
+        lines.append(f"Harmonia::Deploy.initialize_module({ip.name!r})")
+    lines.append(f"Harmonia::Deploy.register_cluster({cluster!r})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def script_language_for(device: FpgaDevice) -> ScriptLanguage:
+    """Which language the device's CAD flow is scripted in."""
+    return device.toolchain.script_language

@@ -1,0 +1,136 @@
+"""The automated integration flow (paper section 4, "Project implementation").
+
+"Firstly, Harmonia loads the vendor adapter and checks the dependencies
+between modules and environments.  After ensuring that there are no
+dependency conflicts, Harmonia completes platform configurations and
+invokes corresponding CAD tools for compilation.  Finally, the FPGA
+executable bitstream and software are packaged together into a
+consolidated project file."
+
+Synthesis itself is out of scope for a Python reproduction; the flow
+here performs every *checkable* step -- dependency inspection, resource
+fitting, pin/clock configuration -- and emits a deterministic,
+content-addressed package.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.adapters.device_adapter import DeviceAdapter
+from repro.adapters.vendor_adapter import VendorAdapter
+from repro.errors import DeploymentError
+from repro.hw.ip.base import VendorIp
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+
+
+@dataclass(frozen=True)
+class BitstreamPackage:
+    """The 'compiled' FPGA image: modules, configuration, resources."""
+
+    device_name: str
+    toolchain: str
+    module_names: Tuple[str, ...]
+    resources: ResourceUsage
+    static_config: str      # canonical JSON
+    dynamic_config: str     # canonical JSON
+    checksum: str
+
+    @staticmethod
+    def build(
+        device: FpgaDevice,
+        modules: Iterable[VendorIp],
+        resources: ResourceUsage,
+        static_config: Dict[str, object],
+        dynamic_config: Dict[str, object],
+    ) -> "BitstreamPackage":
+        module_names = tuple(sorted(ip.name for ip in modules))
+        static_json = json.dumps(static_config, sort_keys=True, default=str)
+        dynamic_json = json.dumps(dynamic_config, sort_keys=True, default=str)
+        digest = hashlib.sha256()
+        digest.update(device.name.encode())
+        digest.update("\x00".join(module_names).encode())
+        digest.update(static_json.encode())
+        digest.update(dynamic_json.encode())
+        return BitstreamPackage(
+            device_name=device.name,
+            toolchain=f"{device.toolchain.name}-{device.toolchain.version}",
+            module_names=module_names,
+            resources=resources,
+            static_config=static_json,
+            dynamic_config=dynamic_json,
+            checksum=digest.hexdigest(),
+        )
+
+
+@dataclass(frozen=True)
+class ProjectBundle:
+    """Bitstream plus host software, shipped as one project file."""
+
+    name: str
+    bitstream: BitstreamPackage
+    software_components: Tuple[str, ...]
+
+    @property
+    def artifact_id(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(self.bitstream.checksum.encode())
+        digest.update("\x00".join(self.software_components).encode())
+        return digest.hexdigest()[:16]
+
+
+class BuildFlow:
+    """Runs the four automated integration steps for one device."""
+
+    def __init__(self, device: FpgaDevice) -> None:
+        self.device = device
+        self.device_adapter = DeviceAdapter(device)
+        self.vendor_adapter = VendorAdapter(device.toolchain)
+
+    def build(
+        self,
+        project_name: str,
+        modules: Iterable[VendorIp],
+        extra_resources: ResourceUsage = ResourceUsage(),
+        software_components: Tuple[str, ...] = (),
+    ) -> ProjectBundle:
+        """Check, configure, compile, and package.
+
+        Raises :class:`DeploymentError` (wrapping the underlying adapter
+        error) when any step fails, so callers see one failure type at
+        the project boundary.
+        """
+        module_list: List[VendorIp] = list(modules)
+        # Step 1: dependency inspection.
+        report = self.vendor_adapter.inspect(module_list)
+        if not report.passed:
+            raise DeploymentError(
+                f"project {project_name!r} failed dependency inspection: "
+                + "; ".join(report.violations)
+            )
+        # Step 2: platform configuration (pins + clocks per module).
+        self.device_adapter.reset_dynamic()
+        for ip in module_list:
+            if ip.requires_peripheral is not None:
+                self.device_adapter.allocate_pins(ip.name, ip.requires_peripheral)
+            self.device_adapter.map_clock(ip.clock.name, "sysclk_100")
+        # Step 3: resource fitting ("compilation").
+        total = ResourceUsage.total(ip.resources for ip in module_list) + extra_resources
+        try:
+            self.device.budget.check_fits(total, design=project_name)
+        except Exception as error:
+            raise DeploymentError(
+                f"project {project_name!r} does not fit {self.device.name}: {error}"
+            ) from error
+        # Step 4: packaging.
+        bitstream = BitstreamPackage.build(
+            self.device,
+            module_list,
+            total,
+            self.device_adapter.static_config(),
+            self.device_adapter.dynamic_config(),
+        )
+        return ProjectBundle(project_name, bitstream, software_components)

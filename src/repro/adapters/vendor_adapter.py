@@ -1,0 +1,131 @@
+"""Vendor adapters: key-value dependency structuring and rigid inspection.
+
+The paper: "Harmonia incorporates the built-in handler to structure the
+vendor dependencies of each module as a series of key-value pairs and
+performs rigid inspections to ensure compatibility during deployment.
+The key defines vendor-specific attributes such as CAD tools, IP
+catalogs, etc.  The values are specified with independent version
+numbers to simplify dependency checks."
+
+Every :class:`repro.hw.ip.base.VendorIp` carries such a ``dependencies``
+mapping; the adapter validates the whole module set against the
+deployment environment before a build is allowed to proceed.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import DependencyError
+from repro.hw.ip.base import VendorIp
+from repro.platform.vendor import Toolchain, Vendor
+
+
+#: IP catalogs each toolchain ships (name -> available versions).
+_CATALOGS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "vivado": {
+        "cmac_usplus": ("3.0", "3.1"),
+        "xxv_ethernet": ("4.0", "4.1"),
+        "qdma": ("4.0", "5.0"),
+        "xdma": ("4.1",),
+        "ddr4": ("2.2",),
+        "hbm": ("1.0",),
+        "axi_iic": ("2.1",),
+        "axi_quad_spi": ("3.2",),
+    },
+    "quartus": {
+        "alt_ehipc3": ("7.4", "7.5"),
+        "mcdma": ("23.2",),
+        "emif": ("23.2",),
+        "axi_iic": ("2.1",),
+        "axi_quad_spi": ("3.2",),
+    },
+    "inhouse-cad": {
+        "bd_mac400": ("1.2",),
+        "bd_bdma": ("2.0",),
+        "axi_iic": ("2.1",),
+        "axi_quad_spi": ("3.2",),
+    },
+}
+
+
+@dataclass(frozen=True)
+class InspectionReport:
+    """Outcome of a rigid dependency inspection."""
+
+    toolchain: Toolchain
+    checked_modules: Tuple[str, ...]
+    violations: Tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+class VendorAdapter:
+    """Inspects module dependencies against a deployment toolchain."""
+
+    def __init__(self, toolchain: Toolchain) -> None:
+        self.toolchain = toolchain
+        self._environment: Dict[str, str] = {
+            "tool": toolchain.name,
+            "tool_version": toolchain.version,
+            "script_language": toolchain.script_language.value,
+            "ip_packaging": toolchain.ip_packaging.value,
+        }
+
+    @property
+    def environment(self) -> Dict[str, str]:
+        """The deployment environment as key-value pairs."""
+        return dict(self._environment)
+
+    def check_module(self, ip: VendorIp) -> List[str]:
+        """Validate one module's dependencies; returns violation messages."""
+        violations: List[str] = []
+        deps = ip.dependencies
+        tool = deps.get("tool", "any")
+        if tool not in ("any", self.toolchain.name):
+            violations.append(
+                f"{ip.name}: requires tool {tool!r} but environment provides "
+                f"{self.toolchain.name!r}"
+            )
+            return violations  # catalog checks are meaningless in a foreign tool
+        wanted_version = deps.get("tool_version", "*")
+        if wanted_version not in ("*", self.toolchain.version):
+            violations.append(
+                f"{ip.name}: requires {tool} {wanted_version} but environment has "
+                f"{self.toolchain.version}"
+            )
+        catalog = deps.get("ip_catalog")
+        if catalog is not None and tool != "any":
+            available = _CATALOGS.get(self.toolchain.name, {})
+            if catalog not in available:
+                violations.append(
+                    f"{ip.name}: IP catalog {catalog!r} not shipped with "
+                    f"{self.toolchain.name} {self.toolchain.version}"
+                )
+            else:
+                wanted_ip_version = deps.get("ip_version", "*")
+                if wanted_ip_version not in ("*",) + available[catalog]:
+                    versions = ", ".join(available[catalog])
+                    violations.append(
+                        f"{ip.name}: IP {catalog} version {wanted_ip_version} "
+                        f"unavailable (has: {versions})"
+                    )
+        return violations
+
+    def inspect(self, modules: Iterable[VendorIp]) -> InspectionReport:
+        """Rigidly inspect a module set; never raises."""
+        names: List[str] = []
+        violations: List[str] = []
+        for ip in modules:
+            names.append(ip.name)
+            violations.extend(self.check_module(ip))
+        return InspectionReport(self.toolchain, tuple(names), tuple(violations))
+
+    def require(self, modules: Iterable[VendorIp]) -> InspectionReport:
+        """Inspect and raise :class:`DependencyError` on any violation."""
+        report = self.inspect(modules)
+        if not report.passed:
+            detail = "; ".join(report.violations)
+            raise DependencyError(f"dependency inspection failed: {detail}")
+        return report

@@ -1,0 +1,5 @@
+"""Result formatting for the benchmark harness."""
+
+from repro.analysis.tables import format_table, format_percent, format_series
+
+__all__ = ["format_percent", "format_series", "format_table"]

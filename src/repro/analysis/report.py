@@ -1,0 +1,114 @@
+"""Collate benchmark artifacts into one reproduction report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one text artifact per
+experiment under ``benchmarks/results/``; this module stitches them into
+a single report (the machine-generated companion to EXPERIMENTS.md) and
+checks completeness against the expected experiment list.
+"""
+
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Every artifact a full benchmark run must produce.
+EXPECTED_EXPERIMENTS: Tuple[str, ...] = (
+    "fig03a_shell_role_workload",
+    "fig03b_vendor_differences",
+    "fig03c_fleet_growth",
+    "fig03d_init_sequences",
+    "fig10a_mac_wrapper",
+    "fig10b_pcie_wrapper",
+    "fig10c_ddr_wrapper",
+    "fig11_tailoring_resources",
+    "fig12_tailoring_configs",
+    "fig13_command_modifications",
+    "fig14_rbb_reuse",
+    "fig15_app_reuse",
+    "fig16_overhead",
+    "fig16_overhead_all_devices",
+    "fig17a_sec_gateway",
+    "fig17b_layer4_lb",
+    "fig17c_host_network",
+    "fig17d_retrieval",
+    "fig18a_framework_resources",
+    "fig18b_matmul",
+    "fig18c_database",
+    "fig18d_tcp",
+    "table1_capabilities",
+    "table2_setup",
+    "table3_device_support",
+    "table4_interface_simplification",
+)
+
+#: Extension artifacts: reported when present, not required.
+EXTENSION_EXPERIMENTS: Tuple[str, ...] = (
+    "ablation_interleaving",
+    "ablation_hot_cache",
+    "ablation_active_scheduling",
+    "ablation_tailoring_levels",
+    "ablation_cdc_matching",
+    "ablation_tailoring_power",
+    "ext_command_rtt",
+    "ext_command_burst",
+    "ext_buffer_sweep",
+    "ext_drr_fairness",
+)
+
+
+def default_results_dir() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def load_results(results_dir: Optional[pathlib.Path] = None) -> Dict[str, str]:
+    """Read every artifact in the results directory."""
+    directory = results_dir or default_results_dir()
+    if not directory.is_dir():
+        raise ConfigurationError(
+            f"no results at {directory}; run pytest benchmarks/ --benchmark-only first"
+        )
+    return {
+        path.stem: path.read_text().rstrip()
+        for path in sorted(directory.glob("*.txt"))
+    }
+
+
+def missing_experiments(results: Dict[str, str]) -> List[str]:
+    """Required experiments a run failed to produce."""
+    return [name for name in EXPECTED_EXPERIMENTS if name not in results]
+
+
+def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
+    """The full text report, sectioned into paper results and extensions."""
+    results = load_results(results_dir)
+    missing = missing_experiments(results)
+    lines: List[str] = ["=" * 72,
+                        "Harmonia reproduction -- benchmark report",
+                        "=" * 72, ""]
+    if missing:
+        lines.append("INCOMPLETE RUN -- missing experiments:")
+        lines.extend(f"  - {name}" for name in missing)
+        lines.append("")
+    lines.append(f"paper experiments reproduced: "
+                 f"{len(EXPECTED_EXPERIMENTS) - len(missing)}"
+                 f"/{len(EXPECTED_EXPERIMENTS)}")
+    extensions_present = [name for name in EXTENSION_EXPERIMENTS if name in results]
+    lines.append(f"extension experiments present: {len(extensions_present)}"
+                 f"/{len(EXTENSION_EXPERIMENTS)}")
+    lines.append("")
+    lines.append("-" * 72)
+    lines.append("PAPER TABLES AND FIGURES")
+    lines.append("-" * 72)
+    for name in EXPECTED_EXPERIMENTS:
+        if name in results:
+            lines.append("")
+            lines.append(results[name])
+    if extensions_present:
+        lines.append("")
+        lines.append("-" * 72)
+        lines.append("EXTENSIONS AND ABLATIONS")
+        lines.append("-" * 72)
+        for name in extensions_present:
+            lines.append("")
+            lines.append(results[name])
+    return "\n".join(lines) + "\n"

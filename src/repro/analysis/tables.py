@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting used by the benchmark harness.
+
+Every benchmark prints the rows or series the corresponding paper
+table/figure reports, in a stable text format that ends up in
+``bench_output.txt`` (and is archived in EXPERIMENTS.md).
+"""
+
+from typing import Iterable, List, Mapping, Sequence, Tuple, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1_000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """A monospace table with aligned columns."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """0.137 -> '13.7%'."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_series(name: str, points: Mapping[Cell, Cell], unit: str = "") -> str:
+    """A one-line x->y series ('Fig 18b vitis: x4=953 x8=1905 ...')."""
+    body = " ".join(f"{x}={_render(y)}" for x, y in points.items())
+    suffix = f" {unit}" if unit else ""
+    return f"{name}: {body}{suffix}"

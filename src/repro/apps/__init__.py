@@ -1,0 +1,23 @@
+"""The five real-world cloud applications of the evaluation (Table 2)."""
+
+from repro.apps.base import CloudApplication, PerformanceSample
+from repro.apps.sec_gateway import SecGateway
+from repro.apps.layer4_lb import Layer4LoadBalancer
+from repro.apps.host_network import HostNetwork
+from repro.apps.retrieval import RetrievalApp
+from repro.apps.board_test import BoardTest
+
+__all__ = [
+    "BoardTest",
+    "CloudApplication",
+    "HostNetwork",
+    "Layer4LoadBalancer",
+    "PerformanceSample",
+    "RetrievalApp",
+    "all_applications",
+]
+
+
+def all_applications():
+    """The evaluation's application mix, in Table 2 order."""
+    return [SecGateway(), Layer4LoadBalancer(), HostNetwork(), RetrievalApp(), BoardTest()]

@@ -1,0 +1,125 @@
+"""Board Test: infrastructure validation of custom FPGA boards (Table 2).
+
+"The Board Test serves infrastructure services to test the performance
+of custom FPGA boards."  It supports diverse architectures (the Table 2
+triangle) because it has to exercise every peripheral the board
+carries: MAC loopback, memory march patterns, DMA echo, sensor reads.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.base import CloudApplication
+from repro.apps.march_test import MarchTester, MemoryModel
+from repro.core.rbb.host import DmaDescriptor
+from repro.core.rbb.memory import MemoryAccess
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.core.tailoring import TailoredShell
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+from repro.sim.pipeline import run_packet_sweep
+
+
+@dataclass
+class TestReport:
+    """Outcome of one board-test item."""
+
+    item: str
+    passed: bool
+    measured: float
+    expected: float
+    unit: str
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] {self.item}: {self.measured:.2f} {self.unit} (>= {self.expected:.2f})"
+
+
+class BoardTest(CloudApplication):
+    """The board-validation application."""
+
+    name = "board-test"
+    role_latency_cycles = 16
+
+    def role(self) -> Role:
+        return Role(
+            name=self.name,
+            architecture=Architecture.FLEXIBLE,
+            demands=RoleDemands(
+                network_gbps=100.0,
+                memory_bandwidth_gibps=19.0,
+                memory_capacity_gib=4,
+                host_gbps=64.0,
+                bulk_dma=True,
+                needs_multicast=True,        # exercises the packet filter too
+                needs_flow_steering=True,
+                needs_hot_cache=True,
+                tenants=2,
+                user_clock_mhz=300.0,
+            ),
+            resources=ResourceUsage(lut=58_000, ff=84_000, bram_36k=184, uram=0, dsp=64),
+            loc=LocInventory(common=9_400, vendor_specific=0, device_specific=820,
+                             generated=2_100),
+            description="peripheral validation for custom boards",
+        )
+
+    def run_suite(self, device: FpgaDevice,
+                  shell: Optional[TailoredShell] = None) -> List[TestReport]:
+        """Exercise every peripheral the board carries."""
+        if shell is None:
+            shell = self.tailored_shell(device)
+        reports: List[TestReport] = []
+        network = shell.rbbs.get("network")
+        if network is not None:
+            chain = network.datapath_chain()
+            throughput_bps, _latency = run_packet_sweep(chain, 1_024, 500)
+            expected = network.instance.performance_gbps * 0.95
+            reports.append(
+                TestReport("mac-loopback", throughput_bps / 1e9 >= expected,
+                           throughput_bps / 1e9, expected, "Gbps")
+            )
+        memory = shell.rbbs.get("memory")
+        if memory is not None:
+            accesses = [MemoryAccess(address=index * 64) for index in range(2_000)]
+            result = memory.run_accesses(accesses)
+            # A sequential march should sustain a healthy share of one
+            # channel's burst bandwidth.
+            expected = 5.0
+            reports.append(
+                TestReport("memory-march", result.bandwidth_gbps >= expected,
+                           result.bandwidth_gbps, expected, "Gbps")
+            )
+            # Pattern verification over a representative window: walking
+            # ones/zeros, address-in-address, and MATS+ must all pass.
+            tester = MarchTester(MemoryModel(4_096))
+            tester.run_all()
+            reports.append(
+                TestReport("memory-patterns", tester.passed,
+                           float(len(tester.faults)), 0.0, "faults")
+            )
+        host = shell.rbbs.get("host")
+        if host is not None:
+            descriptors = [
+                DmaDescriptor(queue_id=host.scheduler.queues_of_tenant(0)[0],
+                              size_bytes=4_096)
+                for _ in range(256)
+            ]
+            count, total = host.transfer(descriptors)
+            reports.append(
+                TestReport("dma-echo", count == 256, float(count), 256.0, "descriptors")
+            )
+        # Sensor sanity through the management blocks.
+        for ip in shell.management:
+            if ip.name.startswith("sensor"):
+                regfile = ip.register_file()
+                temperature = regfile.read_by_name("TEMP_C")
+                reports.append(
+                    TestReport("sensor-read", 0 < temperature < 100,
+                               float(temperature), 1.0, "degC")
+                )
+        return reports
+
+    @staticmethod
+    def all_passed(reports: List[TestReport]) -> bool:
+        return all(report.passed for report in reports)

@@ -1,0 +1,118 @@
+"""Host Network: network-function offloading (Table 2 row 3).
+
+"The Host Networking offload network functions (e.g., Checksum, OVS,
+etc.) into FPGAs."
+
+The role implements an internet checksum engine and an OVS-style exact
+match-action flow cache with an upcall path for misses (the classic
+megaflow split: first packet of a flow goes to software, the installed
+flow entry handles the rest in hardware).
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.base import CloudApplication
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.workloads.packets import FiveTuple, Packet
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit one's-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class FlowAction(enum.Enum):
+    OUTPUT = "output"
+    DROP = "drop"
+    TO_HOST = "to-host"
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    action: FlowAction
+    out_port: int = 0
+
+
+class OvsOffload:
+    """Exact-match flow cache with software upcalls on miss."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        self.capacity = capacity
+        self.flow_cache: Dict[FiveTuple, FlowEntry] = {}
+        self.cache_hits = 0
+        self.upcalls = 0
+
+    def install(self, flow: FiveTuple, entry: FlowEntry) -> None:
+        if len(self.flow_cache) >= self.capacity and flow not in self.flow_cache:
+            # Simple eviction: drop an arbitrary (oldest-inserted) entry.
+            self.flow_cache.pop(next(iter(self.flow_cache)))
+        self.flow_cache[flow] = entry
+
+    def classify(self, packet: Packet) -> FlowEntry:
+        """Hardware fast path; a miss is an upcall that installs a rule."""
+        entry = self.flow_cache.get(packet.flow)
+        if entry is not None:
+            self.cache_hits += 1
+            return entry
+        self.upcalls += 1
+        # The "software slow path": a deterministic default action.
+        entry = FlowEntry(FlowAction.OUTPUT, out_port=packet.flow.dst_port % 8)
+        self.install(packet.flow, entry)
+        return entry
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.upcalls
+        return self.cache_hits / total if total else 0.0
+
+
+class HostNetwork(CloudApplication):
+    """The Host Network offloading application."""
+
+    name = "host-network"
+    role_latency_cycles = 48  # parser + match-action + checksum stages
+
+    def __init__(self) -> None:
+        self.ovs = OvsOffload()
+        self.checksummed = 0
+
+    def role(self) -> Role:
+        return Role(
+            name=self.name,
+            architecture=Architecture.BUMP_IN_THE_WIRE,
+            demands=RoleDemands(
+                network_gbps=100.0,
+                host_gbps=100.0,     # full packet path to the host
+                bulk_dma=False,
+                needs_flow_steering=True,
+                tenants=4,
+                user_clock_mhz=350.0,
+            ),
+            resources=ResourceUsage(lut=96_000, ff=142_000, bram_36k=432, uram=0, dsp=0),
+            loc=LocInventory(common=10_400, vendor_specific=0, device_specific=900,
+                             generated=2_400),
+            description="checksum + OVS offload SmartNIC",
+        )
+
+    def process(self, packets: Iterable[Packet]) -> Dict[FlowAction, int]:
+        """Classify a batch and checksum every forwarded payload."""
+        outcome: Dict[FlowAction, int] = {action: 0 for action in FlowAction}
+        for packet in packets:
+            entry = self.ovs.classify(packet)
+            outcome[entry.action] += 1
+            if entry.action is FlowAction.OUTPUT:
+                pseudo_header = packet.flow.src_ip.to_bytes(4, "big") + \
+                    packet.flow.dst_ip.to_bytes(4, "big")
+                internet_checksum(pseudo_header)
+                self.checksummed += 1
+        return outcome

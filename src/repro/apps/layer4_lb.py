@@ -1,0 +1,144 @@
+"""Layer-4 LB: stateful layer-4 load balancing (Table 2 row 2).
+
+"The Layer-4 LB provides layer-4 stateful load-balancing services for
+public applications.  FPGAs work as SmartNICs to distribute incoming
+flows to many real servers."
+
+The role implements Maglev-style consistent hashing for new flows plus
+a connection table that pins established flows to their chosen backend
+(the *stateful* part: backend changes never break existing
+connections).
+"""
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.base import CloudApplication
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.errors import ConfigurationError
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.workloads.packets import FiveTuple, Packet
+
+
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    divisor = 2
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 1
+    return True
+
+
+class MaglevTable:
+    """Maglev consistent-hash lookup table (Eisenbud et al., NSDI'16)."""
+
+    def __init__(self, backends: List[str], table_size: int = 251) -> None:
+        if not backends:
+            raise ConfigurationError("load balancer needs at least one backend")
+        if not _is_prime(table_size):
+            raise ConfigurationError("Maglev table size must be prime")
+        self.backends = list(backends)
+        self.table_size = table_size
+        self.table = self._populate()
+
+    def _populate(self) -> List[str]:
+        """The Maglev population algorithm: permutation-based filling."""
+        offsets = []
+        skips = []
+        for backend in self.backends:
+            digest = zlib.crc32(backend.encode()) & 0xFFFF_FFFF
+            offsets.append(digest % self.table_size)
+            skips.append(digest % (self.table_size - 1) + 1)
+        table: List[Optional[str]] = [None] * self.table_size
+        next_index = [0] * len(self.backends)
+        filled = 0
+        while filled < self.table_size:
+            for backend_index, backend in enumerate(self.backends):
+                while True:
+                    slot = (
+                        offsets[backend_index]
+                        + next_index[backend_index] * skips[backend_index]
+                    ) % self.table_size
+                    next_index[backend_index] += 1
+                    if table[slot] is None:
+                        table[slot] = backend
+                        filled += 1
+                        break
+                if filled == self.table_size:
+                    break
+        return [entry for entry in table if entry is not None]
+
+    def lookup(self, flow: FiveTuple) -> str:
+        return self.table[flow.hash32() % self.table_size]
+
+    def share_of(self, backend: str) -> float:
+        """Fraction of table slots owned by ``backend`` (load evenness)."""
+        return self.table.count(backend) / self.table_size
+
+
+class Layer4LoadBalancer(CloudApplication):
+    """The Layer-4 LB application."""
+
+    name = "layer4-lb"
+    role_latency_cycles = 32
+
+    def __init__(self, backends: Optional[List[str]] = None) -> None:
+        self.backends = backends or [f"rs-{index:02d}" for index in range(16)]
+        self.maglev = MaglevTable(self.backends)
+        self.connection_table: Dict[FiveTuple, str] = {}
+        self.new_flows = 0
+        self.established_hits = 0
+
+    def role(self) -> Role:
+        return Role(
+            name=self.name,
+            architecture=Architecture.BUMP_IN_THE_WIRE,
+            demands=RoleDemands(
+                network_gbps=100.0,
+                memory_bandwidth_gibps=19.0,   # connection table spill
+                memory_capacity_gib=8,
+                host_gbps=16.0,
+                bulk_dma=False,
+                needs_flow_steering=True,
+                tenants=4,
+                user_clock_mhz=350.0,
+            ),
+            resources=ResourceUsage(lut=78_000, ff=104_000, bram_36k=308, uram=0, dsp=0),
+            loc=LocInventory(common=6_300, vendor_specific=0, device_specific=640,
+                             generated=1_500),
+            description="stateful L4 load balancing as a SmartNIC",
+        )
+
+    # --- data plane ------------------------------------------------------------
+
+    def select_backend(self, packet: Packet) -> str:
+        """Connection-table hit, else Maglev + table insert."""
+        backend = self.connection_table.get(packet.flow)
+        if backend is not None:
+            self.established_hits += 1
+            return backend
+        backend = self.maglev.lookup(packet.flow)
+        self.connection_table[packet.flow] = backend
+        self.new_flows += 1
+        return backend
+
+    def distribute(self, packets: Iterable[Packet]) -> Dict[str, int]:
+        """Distribute a batch; returns packets-per-backend."""
+        loads: Dict[str, int] = {backend: 0 for backend in self.backends}
+        for packet in packets:
+            loads[self.select_backend(packet)] += 1
+        return loads
+
+    def remove_backend(self, backend: str) -> None:
+        """Drain a backend: new flows avoid it, established flows keep it.
+
+        This is the stateful guarantee the connection table provides.
+        """
+        if backend not in self.backends:
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        self.backends.remove(backend)
+        self.maglev = MaglevTable(self.backends, self.maglev.table_size)

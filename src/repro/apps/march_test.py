@@ -1,0 +1,158 @@
+"""Memory march tests for the Board Test application.
+
+A real board-validation suite does not just measure bandwidth -- it
+writes pattern sequences and verifies them back to catch stuck-at
+bits, coupling faults, and address-decoder aliasing.  This module
+implements the classic patterns over a byte-addressable memory model
+with injectable faults, so the Board Test app can demonstrate an
+actual failing board being caught.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    STUCK_AT_ZERO = "stuck-at-0"
+    STUCK_AT_ONE = "stuck-at-1"
+    ADDRESS_ALIAS = "address-alias"
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A hardware defect planted into the memory model."""
+
+    kind: FaultKind
+    address: int
+    bit: int = 0
+    alias_of: int = 0
+
+
+class MemoryModel:
+    """A byte-addressable DRAM model with optional defects."""
+
+    def __init__(self, size_bytes: int, faults: Tuple[InjectedFault, ...] = ()) -> None:
+        if size_bytes < 1:
+            raise ConfigurationError("memory must have at least one byte")
+        self.size_bytes = size_bytes
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+        self._faults = tuple(faults)
+        for fault in self._faults:
+            if not 0 <= fault.address < size_bytes:
+                raise ConfigurationError(f"fault address {fault.address:#x} out of range")
+
+    def _resolve(self, address: int) -> int:
+        for fault in self._faults:
+            if fault.kind is FaultKind.ADDRESS_ALIAS and address == fault.address:
+                return fault.alias_of
+        return address
+
+    def write(self, address: int, value: int) -> None:
+        address = self._resolve(address)
+        self._data[address] = value & 0xFF
+
+    def read(self, address: int) -> int:
+        address = self._resolve(address)
+        value = int(self._data[address])
+        for fault in self._faults:
+            if fault.address != address:
+                continue
+            if fault.kind is FaultKind.STUCK_AT_ZERO:
+                value &= ~(1 << fault.bit) & 0xFF
+            elif fault.kind is FaultKind.STUCK_AT_ONE:
+                value |= 1 << fault.bit
+        return value
+
+
+@dataclass(frozen=True)
+class MarchFault:
+    """One mismatch found by a march element."""
+
+    pattern: str
+    address: int
+    expected: int
+    observed: int
+
+
+class MarchTester:
+    """Walking patterns + MATS+ style march over a memory model."""
+
+    #: Patterns every qualification run applies.
+    PATTERNS = ("walking-ones", "walking-zeros", "address-in-address", "mats+")
+
+    def __init__(self, memory: MemoryModel, stride: int = 1) -> None:
+        if stride < 1:
+            raise ConfigurationError("stride must be positive")
+        self.memory = memory
+        self.stride = stride
+        self.faults: List[MarchFault] = []
+        self.reads = 0
+        self.writes = 0
+
+    def _addresses(self) -> range:
+        return range(0, self.memory.size_bytes, self.stride)
+
+    def _check(self, pattern: str, address: int, expected: int) -> None:
+        observed = self.memory.read(address)
+        self.reads += 1
+        if observed != expected:
+            self.faults.append(MarchFault(pattern, address, expected, observed))
+
+    def _fill(self, value: int) -> None:
+        for address in self._addresses():
+            self.memory.write(address, value)
+            self.writes += 1
+
+    def run_walking(self, ones: bool) -> None:
+        """Walk a single 1 (or 0) through every bit of every byte."""
+        name = "walking-ones" if ones else "walking-zeros"
+        for bit in range(8):
+            value = (1 << bit) if ones else (0xFF ^ (1 << bit))
+            self._fill(value)
+            for address in self._addresses():
+                self._check(name, address, value)
+
+    def run_address_in_address(self) -> None:
+        """Write each location's own address (mod 256) -- catches aliasing."""
+        for address in self._addresses():
+            self.memory.write(address, address & 0xFF)
+            self.writes += 1
+        for address in self._addresses():
+            self._check("address-in-address", address, address & 0xFF)
+
+    def run_mats_plus(self) -> None:
+        """MATS+: up(w0); up(r0, w1); down(r1, w0); up(r0)."""
+        self._fill(0x00)
+        for address in self._addresses():
+            self._check("mats+", address, 0x00)
+            self.memory.write(address, 0xFF)
+            self.writes += 1
+        for address in reversed(self._addresses()):
+            self._check("mats+", address, 0xFF)
+            self.memory.write(address, 0x00)
+            self.writes += 1
+        for address in self._addresses():
+            self._check("mats+", address, 0x00)
+
+    def run_all(self) -> List[MarchFault]:
+        """The full qualification sequence; returns every fault found."""
+        self.run_walking(ones=True)
+        self.run_walking(ones=False)
+        self.run_address_in_address()
+        self.run_mats_plus()
+        return list(self.faults)
+
+    @property
+    def passed(self) -> bool:
+        return not self.faults
+
+    def fault_summary(self) -> Dict[str, int]:
+        summary: Dict[str, int] = {}
+        for fault in self.faults:
+            summary[fault.pattern] = summary.get(fault.pattern, 0) + 1
+        return summary

@@ -1,0 +1,128 @@
+"""Retrieval: look-aside embedding retrieval (Table 2 row 4).
+
+"The Retrieval chooses relevant candidates from a large corpus for
+recommendation systems and FPGAs accelerate the similarity calculation
+and top-K selection."
+
+The role scores a query embedding against the corpus (inner product)
+and returns the top-K candidates.  The corpus lives in the Memory RBB's
+address space; queries and results cross the Host RBB -- the classic
+FAERY-style look-aside pipeline the paper cites.
+"""
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import CloudApplication
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.errors import ConfigurationError
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Top-K candidates for one query."""
+
+    indices: Tuple[int, ...]
+    scores: Tuple[float, ...]
+
+
+class EmbeddingCorpus:
+    """A corpus of normalised embeddings, deterministic per seed."""
+
+    def __init__(self, items: int, dim: int = 64, seed: int = 7) -> None:
+        if items < 1 or dim < 1:
+            raise ConfigurationError("corpus needs positive size and dimension")
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((items, dim), dtype=np.float32)
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        self.vectors = vectors / np.maximum(norms, 1e-12)
+        self.dim = dim
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def query_like(self, index: int, noise: float = 0.1, seed: int = 11) -> np.ndarray:
+        """A query vector near corpus item ``index`` (for recall checks)."""
+        rng = np.random.default_rng(seed + index)
+        query = self.vectors[index] + noise * rng.standard_normal(self.dim).astype(np.float32)
+        return query / np.linalg.norm(query)
+
+
+class RetrievalEngine:
+    """Similarity scoring + top-K selection over a corpus."""
+
+    def __init__(self, corpus: EmbeddingCorpus, k: int = 10) -> None:
+        if k < 1:
+            raise ConfigurationError("top-K needs K >= 1")
+        self.corpus = corpus
+        self.k = min(k, len(corpus))
+        self.queries_served = 0
+
+    def search(self, query: np.ndarray) -> RetrievalResult:
+        """Exact inner-product search (what the FPGA pipeline computes)."""
+        if query.shape != (self.corpus.dim,):
+            raise ConfigurationError(
+                f"query dimension {query.shape} != corpus dimension ({self.corpus.dim},)"
+            )
+        scores = self.corpus.vectors @ query
+        top = np.argpartition(-scores, self.k - 1)[: self.k]
+        ordered = top[np.argsort(-scores[top])]
+        self.queries_served += 1
+        return RetrievalResult(
+            indices=tuple(int(index) for index in ordered),
+            scores=tuple(float(scores[index]) for index in ordered),
+        )
+
+    def batch_search(self, queries: Sequence[np.ndarray]) -> List[RetrievalResult]:
+        return [self.search(query) for query in queries]
+
+
+class RetrievalApp(CloudApplication):
+    """The embedding-retrieval application (look-aside)."""
+
+    name = "retrieval"
+    role_latency_cycles = 96   # score + top-K systolic pipeline depth
+
+    #: Scoring throughput of the role pipeline: one corpus vector per
+    #: fabric cycle per scoring lane.
+    SCORING_LANES = 32
+
+    def __init__(self, corpus_items: int = 10_000, dim: int = 64, k: int = 10) -> None:
+        self.corpus = EmbeddingCorpus(corpus_items, dim)
+        self.engine = RetrievalEngine(self.corpus, k=k)
+
+    def role(self) -> Role:
+        return Role(
+            name=self.name,
+            architecture=Architecture.LOOK_ASIDE,
+            demands=RoleDemands(
+                memory_bandwidth_gibps=200.0,   # corpus streaming -> HBM class
+                memory_capacity_gib=8,
+                host_gbps=32.0,
+                bulk_dma=False,                 # many small query/result messages
+                needs_hot_cache=True,
+                user_clock_mhz=300.0,
+            ),
+            resources=ResourceUsage(lut=118_000, ff=160_000, bram_36k=466, uram=0,
+                                    dsp=1_024),
+            loc=LocInventory(common=6_300, vendor_specific=0, device_specific=620,
+                             generated=1_400),
+            description="embedding similarity + top-K for recommendations",
+        )
+
+    def queries_per_second(self, corpus_items: Optional[int] = None,
+                           clock_mhz: float = 300.0) -> float:
+        """Analytic QPS of the scoring pipeline for a corpus size.
+
+        The pipeline streams the whole corpus per query at
+        ``SCORING_LANES`` vectors/cycle, so QPS falls linearly with
+        corpus size -- the shape of Figure 17d's x-axis sweep.
+        """
+        items = corpus_items if corpus_items is not None else len(self.corpus)
+        cycles_per_query = items / self.SCORING_LANES + self.role_latency_cycles
+        return clock_mhz * 1e6 / cycles_per_query

@@ -1,0 +1,114 @@
+"""Sec-Gateway: bump-in-the-wire DCI access control (Table 2 row 1).
+
+"The Sec-Gateway deploys the FPGAs at the cloud network boundary to
+prevent cross-network malicious traffic.  FPGAs filter out specific
+traffic based on the deployed policies."
+
+The role implements a longest-prefix-match policy engine over source
+addresses plus exact 5-tuple deny rules; policies arrive from the host
+through TABLE_WRITE commands.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.base import CloudApplication
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.workloads.packets import Packet
+
+
+class PolicyAction(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """A source-prefix policy: /prefix_len match on the source IP."""
+
+    prefix: int
+    prefix_len: int
+    action: PolicyAction
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError("prefix length must be within [0, 32]")
+
+    def matches(self, src_ip: int) -> bool:
+        if self.prefix_len == 0:
+            return True
+        shift = 32 - self.prefix_len
+        return (src_ip >> shift) == (self.prefix >> shift)
+
+
+class PolicyEngine:
+    """Longest-prefix-match over rules, with a default-allow fallback."""
+
+    def __init__(self, default: PolicyAction = PolicyAction.ALLOW) -> None:
+        self.default = default
+        self._rules: List[PolicyRule] = []
+        self.allowed = 0
+        self.denied = 0
+
+    def install(self, rule: PolicyRule) -> None:
+        self._rules.append(rule)
+        # Keep longest prefixes first so the first match is the best match.
+        self._rules.sort(key=lambda item: -item.prefix_len)
+
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    def decide(self, packet: Packet) -> PolicyAction:
+        for rule in self._rules:
+            if rule.matches(packet.flow.src_ip):
+                action = rule.action
+                break
+        else:
+            action = self.default
+        if action is PolicyAction.ALLOW:
+            self.allowed += 1
+        else:
+            self.denied += 1
+        return action
+
+    def filter(self, packets: Iterable[Packet]) -> List[Packet]:
+        """The data-plane operation: forward only allowed packets."""
+        return [packet for packet in packets if self.decide(packet) is PolicyAction.ALLOW]
+
+
+class SecGateway(CloudApplication):
+    """The Sec-Gateway application."""
+
+    name = "sec-gateway"
+    role_latency_cycles = 24  # TCAM-style lookup depth
+
+    def __init__(self) -> None:
+        self.engine = PolicyEngine()
+
+    def role(self) -> Role:
+        return Role(
+            name=self.name,
+            architecture=Architecture.BUMP_IN_THE_WIRE,
+            demands=RoleDemands(
+                network_gbps=100.0,
+                host_gbps=16.0,       # policy updates + logging only
+                bulk_dma=False,       # discrete policy/log messages
+                user_clock_mhz=350.0,
+            ),
+            resources=ResourceUsage(lut=46_000, ff=61_000, bram_36k=128, uram=0, dsp=0),
+            loc=LocInventory(common=2_900, vendor_specific=0, device_specific=290,
+                             generated=800),
+            description="DCI access control at the cloud network boundary",
+        )
+
+    def install_policies(self, rules: Iterable[PolicyRule]) -> None:
+        for rule in rules:
+            self.engine.install(rule)
+
+    def process(self, packets: Iterable[Packet]) -> Tuple[List[Packet], Dict[str, int]]:
+        """Filter a batch; returns (forwarded packets, counters)."""
+        forwarded = self.engine.filter(packets)
+        return forwarded, {"allowed": self.engine.allowed, "denied": self.engine.denied}

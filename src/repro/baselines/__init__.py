@@ -1,0 +1,29 @@
+"""Baseline framework models for the section 5.4 comparison.
+
+Vitis and oneAPI are the commercial frameworks, Coyote the open-source
+FPGA OS; :class:`repro.baselines.harmonia.HarmoniaFramework` wraps this
+library behind the same interface so all four can be swept by one
+harness.
+"""
+
+from repro.baselines.base import Capability, Framework, FrameworkShell
+from repro.baselines.vitis import VitisFramework
+from repro.baselines.oneapi import OneApiFramework
+from repro.baselines.coyote import CoyoteFramework
+from repro.baselines.harmonia import HarmoniaFramework
+
+__all__ = [
+    "Capability",
+    "CoyoteFramework",
+    "Framework",
+    "FrameworkShell",
+    "HarmoniaFramework",
+    "OneApiFramework",
+    "VitisFramework",
+    "all_frameworks",
+]
+
+
+def all_frameworks():
+    """The comparison set, in the paper's order."""
+    return [VitisFramework(), OneApiFramework(), CoyoteFramework(), HarmoniaFramework()]

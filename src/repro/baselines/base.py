@@ -1,0 +1,110 @@
+"""The common framework interface the comparison harness sweeps.
+
+A framework deploys a *shell* for a benchmark role on a device it
+supports.  The structural differences the paper measures:
+
+* **Device support** (Table 3) -- which vendors/boards each framework
+  can target at all;
+* **Shell resources** (Figure 18a) -- monolithic shells carry every
+  service; Harmonia tailors;
+* **Host interface** (Table 4) -- register-level for the baselines,
+  command-based for Harmonia;
+* **Capabilities** (Table 1) -- heterogeneity / unified shell /
+  portable role / consistent host interface.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IncompatiblePlatformError
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+from repro.platform.vendor import Vendor
+
+
+class Capability(enum.Enum):
+    """Table 1 capability ratings."""
+
+    YES = "yes"
+    NO = "no"
+    PARTIAL = "partial"   # "requires laborious/ad-hoc work" (the triangle)
+
+
+@dataclass(frozen=True)
+class FrameworkShell:
+    """A deployed shell: its footprint and host-interface style."""
+
+    framework: str
+    device: FpgaDevice
+    resources: ResourceUsage
+    host_interface: str            # "register" or "command"
+    module_names: Tuple[str, ...]
+
+    def utilisation(self) -> Dict[str, float]:
+        return self.device.budget.utilisation(self.resources)
+
+
+class Framework:
+    """Base class for the framework models."""
+
+    name: str = "framework"
+
+    #: Table 1 row.
+    heterogeneity: Capability = Capability.NO
+    unified_shell: Capability = Capability.NO
+    portable_role: Capability = Capability.NO
+    consistent_host_interface: Capability = Capability.NO
+
+    #: Benchmark latency adjustment relative to the common data path, in
+    #: nanoseconds (framework plumbing differences; all are "comparable").
+    latency_offset_ns: float = 0.0
+
+    def supports(self, device: FpgaDevice) -> bool:
+        """Whether the framework can target this device at all."""
+        raise NotImplementedError
+
+    def deploy(self, device: FpgaDevice, benchmark: str) -> FrameworkShell:
+        """Build the shell for ``benchmark`` on ``device``."""
+        raise NotImplementedError
+
+    def _require_support(self, device: FpgaDevice) -> None:
+        if not self.supports(device):
+            raise IncompatiblePlatformError(
+                f"{self.name} does not support {device.name} "
+                f"({device.board_vendor.value} board, {device.chip_vendor.value} silicon)"
+            )
+
+    def capability_row(self) -> Dict[str, Capability]:
+        """This framework's Table 1 row."""
+        return {
+            "heterogeneity": self.heterogeneity,
+            "unified_shell": self.unified_shell,
+            "portable_role": self.portable_role,
+            "consistent_host_interface": self.consistent_host_interface,
+        }
+
+    def supported_vendor_classes(self, devices: List[FpgaDevice]) -> Dict[str, bool]:
+        """Table 3 row over a device list, grouped by board class."""
+        classes = {"intel": False, "xilinx": False, "inhouse": False}
+        for device in devices:
+            if not self.supports(device):
+                continue
+            if device.board_vendor is Vendor.INHOUSE:
+                classes["inhouse"] = True
+            elif device.chip_vendor is Vendor.INTEL:
+                classes["intel"] = True
+            elif device.chip_vendor is Vendor.XILINX:
+                classes["xilinx"] = True
+        return classes
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: The benchmark roles of section 5.1, with the services each needs.
+BENCHMARK_SERVICES: Dict[str, Tuple[str, ...]] = {
+    "matmul": ("host",),
+    "database": ("host", "memory"),
+    "tcp": ("host", "network"),
+}

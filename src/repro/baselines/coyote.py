@@ -1,0 +1,40 @@
+"""A Coyote-style open-source FPGA OS model.
+
+Coyote (Korolija et al., OSDI'20) runs on Xilinx Alveo boards and
+provides OS services -- virtual memory (TLBs), networking (RDMA/TCP
+stacks), memory striping, and vFPGA scheduling -- in a service-rich
+shell that is not tailored per application.  Roles attach through
+dynamic wrappers; host control is register/ioctl-level.
+"""
+
+from repro.baselines.base import Capability, Framework, FrameworkShell
+from repro.baselines.vitis import monolithic_shell
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+from repro.platform.vendor import Vendor
+
+
+class CoyoteFramework(Framework):
+    """The Coyote FPGA-OS model."""
+
+    name = "coyote"
+    heterogeneity = Capability.YES
+    unified_shell = Capability.PARTIAL      # per-shell dynamic wrappers
+    portable_role = Capability.YES
+    consistent_host_interface = Capability.PARTIAL
+    latency_offset_ns = 8.0                 # leaner ioctl path than XRT
+
+    #: Always-on OS services: striping TLBs, vFPGA scheduler, network
+    #: stack plumbing (public Coyote utilization reports).
+    MONOLITHIC_OVERHEAD = ResourceUsage(lut=10_000, ff=15_000, bram_36k=8, uram=0, dsp=0)
+
+    #: Coyote is published against Alveo (official Xilinx) boards.
+    def supports(self, device: FpgaDevice) -> bool:
+        return (
+            device.chip_vendor is Vendor.XILINX
+            and device.board_vendor is Vendor.XILINX
+        )
+
+    def deploy(self, device: FpgaDevice, benchmark: str) -> FrameworkShell:
+        self._require_support(device)
+        return monolithic_shell(self.name, device, benchmark, self.MONOLITHIC_OVERHEAD)

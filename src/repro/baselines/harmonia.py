@@ -1,0 +1,34 @@
+"""Harmonia wrapped behind the comparison-framework interface."""
+
+from repro.baselines.base import Capability, Framework, FrameworkShell
+from repro.baselines.vitis import benchmark_role
+from repro.core.shell import build_unified_shell
+from repro.core.tailoring import HierarchicalTailor
+from repro.platform.device import FpgaDevice
+
+
+class HarmoniaFramework(Framework):
+    """This library, as one of the compared frameworks."""
+
+    name = "harmonia"
+    heterogeneity = Capability.YES
+    unified_shell = Capability.YES
+    portable_role = Capability.YES
+    consistent_host_interface = Capability.YES
+    latency_offset_ns = 9.3                 # the interface wrapper's 3 cycles
+
+    def supports(self, device: FpgaDevice) -> bool:
+        """Harmonia targets every device in the catalog (Table 3)."""
+        return True
+
+    def deploy(self, device: FpgaDevice, benchmark: str) -> FrameworkShell:
+        self._require_support(device)
+        role = benchmark_role(benchmark, self.name)
+        tailored = HierarchicalTailor(build_unified_shell(device)).tailor(role)
+        return FrameworkShell(
+            framework=self.name,
+            device=device,
+            resources=tailored.resources(),
+            host_interface="command",
+            module_names=tuple(ip.name for ip in tailored.modules()),
+        )

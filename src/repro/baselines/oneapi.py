@@ -1,0 +1,38 @@
+"""A oneAPI/OFS-style commercial framework model.
+
+oneAPI with the Open FPGA Stack targets official Intel boards (Agilex,
+Stratix); the FIM (FPGA interface manager) is a fixed static region
+with always-on host, memory, and management services.  Host control is
+register-level through OPAE.
+"""
+
+from repro.baselines.base import Capability, Framework, FrameworkShell
+from repro.baselines.vitis import monolithic_shell
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+from repro.platform.vendor import Vendor
+
+
+class OneApiFramework(Framework):
+    """The oneAPI/OFS model."""
+
+    name = "oneapi"
+    heterogeneity = Capability.YES          # across Intel families only
+    unified_shell = Capability.PARTIAL
+    portable_role = Capability.YES
+    consistent_host_interface = Capability.PARTIAL
+    latency_offset_ns = 15.0                # OPAE/driver path
+
+    #: FIM extras above the minimal service set (PR region manager,
+    #: partial TLB, always-on host channels).
+    MONOLITHIC_OVERHEAD = ResourceUsage(lut=6_500, ff=10_500, bram_36k=5, uram=0, dsp=0)
+
+    def supports(self, device: FpgaDevice) -> bool:
+        return (
+            device.chip_vendor is Vendor.INTEL
+            and device.board_vendor is Vendor.INTEL
+        )
+
+    def deploy(self, device: FpgaDevice, benchmark: str) -> FrameworkShell:
+        self._require_support(device)
+        return monolithic_shell(self.name, device, benchmark, self.MONOLITHIC_OVERHEAD)

@@ -1,0 +1,95 @@
+"""A Vitis-style commercial framework model.
+
+Vitis targets official Xilinx boards (Alveo/Zynq/Versal) with a
+monolithic static-region shell: DMA, firewalls, debug bridges and
+bypass paths are always present regardless of what the kernel uses.
+The host interface is register-level (XRT ioctls over register maps).
+"""
+
+from typing import Tuple
+
+from repro.baselines.base import BENCHMARK_SERVICES, Capability, Framework, FrameworkShell
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.core.shell import build_unified_shell
+from repro.core.tailoring import HierarchicalTailor
+from repro.errors import IncompatiblePlatformError
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+from repro.platform.vendor import Vendor
+
+
+def benchmark_role(benchmark: str, framework: str) -> Role:
+    """The section 5.1 benchmark roles, shared by every framework."""
+    services = BENCHMARK_SERVICES.get(benchmark)
+    if services is None:
+        raise IncompatiblePlatformError(f"unknown benchmark {benchmark!r}")
+    demands = RoleDemands(
+        network_gbps=100.0 if "network" in services else 0.0,
+        memory_bandwidth_gibps=19.0 if "memory" in services else 0.0,
+        memory_capacity_gib=8 if "memory" in services else 0,
+        host_gbps=32.0,
+        bulk_dma=(benchmark == "matmul"),
+        user_clock_mhz=300.0,
+    )
+    return Role(
+        name=f"{benchmark}-{framework}",
+        architecture=Architecture.LOOK_ASIDE if benchmark != "tcp"
+        else Architecture.BUMP_IN_THE_WIRE,
+        demands=demands,
+    )
+
+
+def monolithic_shell(
+    framework_name: str,
+    device: FpgaDevice,
+    benchmark: str,
+    monolithic_overhead: ResourceUsage,
+) -> FrameworkShell:
+    """A baseline shell: the benchmark's module set, untailorable extras on top.
+
+    Baselines instantiate the same IP classes Harmonia does; the
+    difference Figure 18a measures is the monolithic integration
+    overhead (always-on firewalls, debug bridges, bypass paths, service
+    layers) that their one-size-fits-all static regions carry and
+    Harmonia's tailoring strips.
+    """
+    role = benchmark_role(benchmark, framework_name)
+    tailored = HierarchicalTailor(build_unified_shell(device)).tailor(role)
+    # Baselines also keep the Ex-function-equivalent service logic on
+    # even when the benchmark does not need it.
+    always_on_services = ResourceUsage.total(
+        fn.resources for rbb in tailored.rbbs.values()
+        for fn in rbb.ex_functions.values() if not fn.enabled
+    )
+    return FrameworkShell(
+        framework=framework_name,
+        device=device,
+        resources=tailored.resources() + monolithic_overhead + always_on_services,
+        host_interface="register",
+        module_names=tuple(ip.name for ip in tailored.modules()),
+    )
+
+
+class VitisFramework(Framework):
+    """The Vitis/XRT model."""
+
+    name = "vitis"
+    heterogeneity = Capability.YES          # across Xilinx families only
+    unified_shell = Capability.PARTIAL
+    portable_role = Capability.YES
+    consistent_host_interface = Capability.PARTIAL
+    latency_offset_ns = 12.0                # XRT syscall path
+
+    #: Static-region extras: firewalls, debug bridge/ILA, bypass XDMA
+    #: path, embedded scheduler (public Alveo platform reports).
+    MONOLITHIC_OVERHEAD = ResourceUsage(lut=8_000, ff=12_500, bram_36k=6, uram=0, dsp=0)
+
+    def supports(self, device: FpgaDevice) -> bool:
+        return (
+            device.chip_vendor is Vendor.XILINX
+            and device.board_vendor is Vendor.XILINX
+        )
+
+    def deploy(self, device: FpgaDevice, benchmark: str) -> FrameworkShell:
+        self._require_support(device)
+        return monolithic_shell(self.name, device, benchmark, self.MONOLITHIC_OVERHEAD)

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Gives operators the day-to-day views the library computes:
+
+* ``devices`` -- the heterogeneous device catalog;
+* ``describe DEVICE`` -- one device's peripherals and static config;
+* ``tailor DEVICE --app APP`` -- the role-specific shell summary;
+* ``bringup DEVICE --app APP`` -- command vs register bring-up cost;
+* ``migrate APP FROM TO`` -- software-modification cost of a move;
+* ``health DEVICE`` -- one monitoring cycle over the command plane;
+* ``report`` -- collate benchmark artifacts into one reproduction report.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.apps import all_applications
+from repro.core.health import HealthMonitor
+from repro.core.host_software import ControlPlane
+from repro.core.shell import build_unified_shell
+from repro.errors import HarmoniaError
+from repro.metrics.modifications import reduction_factor, trace_modifications
+from repro.metrics.resources import utilisation_percent
+from repro.platform.catalog import all_devices, device_by_name
+
+
+def _app_by_name(name: str):
+    for app in all_applications():
+        if app.name == name:
+            return app
+    known = ", ".join(app.name for app in all_applications())
+    raise HarmoniaError(f"unknown application {name!r}; known: {known}")
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    rows = [
+        (device.name, device.chip, device.board_vendor.value,
+         f"{device.network_gbps:g}G" if device.network_gbps else "-",
+         "/".join(kind.value for kind in device.memory_kinds) or "-",
+         f"Gen{int(device.pcie.pcie_generation)}x{device.pcie.pcie_lanes}")
+        for device in all_devices()
+    ]
+    print(format_table(
+        ["device", "chip", "board", "network", "memory", "pcie"], rows,
+        title="Device catalog",
+    ))
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    device = device_by_name(args.device)
+    print(device.describe())
+    from repro.adapters.device_adapter import DeviceAdapter
+
+    static = DeviceAdapter(device).static_config()
+    rows = sorted((key, str(value)) for key, value in static.items())
+    print(format_table(["property", "value"], rows, title="Static configuration"))
+    return 0
+
+
+def cmd_tailor(args: argparse.Namespace) -> int:
+    device = device_by_name(args.device)
+    app = _app_by_name(args.app)
+    shell = app.tailored_shell(device)
+    print(f"Tailored shell for {app.name!r} on {device.name}:")
+    print(f"  RBBs: {', '.join(sorted(shell.rbbs))}")
+    for name, rbb in sorted(shell.rbbs.items()):
+        enabled = [fn.name for fn in rbb.enabled_ex_functions()]
+        print(f"  {name}: instance={rbb.selected_instance_name} "
+              f"ex-functions={enabled or '[]'}")
+    utilisation = utilisation_percent(shell.resources(), device.budget)
+    print("  utilisation: " + ", ".join(
+        f"{kind}={value:.1f}%" for kind, value in utilisation.items()))
+    print(f"  role config items: {shell.role_config_item_count()} "
+          f"(native {shell.native_config_item_count()}, "
+          f"{shell.config_simplification_factor():.1f}x simpler)")
+    return 0
+
+
+def cmd_bringup(args: argparse.Namespace) -> int:
+    device = device_by_name(args.device)
+    app = _app_by_name(args.app)
+    control = ControlPlane(app.tailored_shell(device))
+    registers = control.register_full_init()
+    commands = control.command_full_init()
+    print(f"Bring-up of {app.name!r} on {device.name}:")
+    print(f"  register interface: {registers.operation_count} operations")
+    print(f"  command interface : {commands.invocation_count} commands")
+    if control.kernel.commands_failed:
+        print(f"  WARNING: {control.kernel.commands_failed} commands failed")
+        return 1
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    app = _app_by_name(args.app)
+    traces = {}
+    for name in (args.source, args.target):
+        control = ControlPlane(app.tailored_shell(device_by_name(name)))
+        traces[name] = (
+            control.register_full_init().operation_signatures(),
+            control.command_full_init().invocation_signatures(),
+        )
+    register_mods = trace_modifications(traces[args.source][0], traces[args.target][0])
+    command_mods = trace_modifications(traces[args.source][1], traces[args.target][1])
+    print(f"Migrating {app.name!r} {args.source} -> {args.target}:")
+    print(f"  register-interface modifications: {register_mods}")
+    print(f"  command-interface modifications : {command_mods}")
+    print(f"  reduction: {reduction_factor(register_mods, command_mods):.0f}x")
+    return 0
+
+
+def cmd_report(_args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report, load_results, missing_experiments
+
+    report = build_report()
+    print(report, end="")
+    return 0 if not missing_experiments(load_results()) else 3
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    device = device_by_name(args.device)
+    monitor = HealthMonitor(ControlPlane(build_unified_shell(device)))
+    report = monitor.poll_once()
+    rows = [(obs.name, round(obs.value, 1), obs.severity.value)
+            for obs in report.observations]
+    print(format_table(["observable", "value", "severity"], rows,
+                       title=f"Health of {device.name} (cycle {report.cycle})"))
+    return 0 if report.healthy else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Harmonia reproduction -- operator tooling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("devices", help="list the device catalog")
+
+    describe = commands.add_parser("describe", help="show one device")
+    describe.add_argument("device")
+
+    tailor = commands.add_parser("tailor", help="tailor a shell for an app")
+    tailor.add_argument("device")
+    tailor.add_argument("--app", required=True)
+
+    bringup = commands.add_parser("bringup", help="compare bring-up interfaces")
+    bringup.add_argument("device")
+    bringup.add_argument("--app", required=True)
+
+    migrate = commands.add_parser("migrate", help="migration cost between devices")
+    migrate.add_argument("app")
+    migrate.add_argument("source")
+    migrate.add_argument("target")
+
+    health = commands.add_parser("health", help="poll one device's health")
+    health.add_argument("device")
+
+    commands.add_parser("report", help="collate benchmark result artifacts")
+    return parser
+
+
+_HANDLERS = {
+    "devices": cmd_devices,
+    "describe": cmd_describe,
+    "tailor": cmd_tailor,
+    "bringup": cmd_bringup,
+    "migrate": cmd_migrate,
+    "health": cmd_health,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except (HarmoniaError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Harmonia's platform-independent layer (paper section 3.3).
+
+* :mod:`repro.core.rbb` -- the Reusable Building Block abstraction and
+  the Network / Memory / Host RBBs;
+* :mod:`repro.core.shell` -- the unified shell assembled from RBBs;
+* :mod:`repro.core.tailoring` -- hierarchical (module + property level)
+  shell tailoring;
+* :mod:`repro.core.role` -- roles and their demands;
+* :mod:`repro.core.command` -- the command-based software interface and
+  the unified control kernel;
+* :mod:`repro.core.lifecycle` -- the four-stage application lifecycle.
+"""
+
+from repro.core.role import Role, RoleDemands
+from repro.core.shell import UnifiedShell, build_unified_shell
+from repro.core.tailoring import HierarchicalTailor, TailoredShell
+
+__all__ = [
+    "HierarchicalTailor",
+    "Role",
+    "RoleDemands",
+    "TailoredShell",
+    "UnifiedShell",
+    "build_unified_shell",
+]

@@ -1,0 +1,19 @@
+"""The command-based software-hardware interface (paper section 3.3.3)."""
+
+from repro.core.command.codes import CommandCode, DstId, RbbId, SrcId
+from repro.core.command.packet import CommandPacket, COMMAND_VERSION
+from repro.core.command.kernel import ModuleEndpoint, UnifiedControlKernel
+from repro.core.command.driver import CommandDriver, RegisterDriver
+
+__all__ = [
+    "COMMAND_VERSION",
+    "CommandCode",
+    "CommandDriver",
+    "CommandPacket",
+    "DstId",
+    "ModuleEndpoint",
+    "RbbId",
+    "RegisterDriver",
+    "SrcId",
+    "UnifiedControlKernel",
+]

@@ -1,0 +1,62 @@
+"""Command, module, and controller identifiers (paper Figure 9).
+
+The first five command codes are the paper's published examples; the
+rest are the extension codes the walkthrough mentions (flash erase,
+time count, sensor reads) plus table reads -- the format explicitly
+supports "extension to new hardware modules and software".
+"""
+
+import enum
+
+
+class CommandCode(enum.IntEnum):
+    """Dedicated control operations defined by the RBBs."""
+
+    MODULE_STATUS_READ = 0x0000
+    MODULE_STATUS_WRITE = 0x0001
+    MODULE_INIT = 0x0002
+    MODULE_RESET = 0x0003
+    TABLE_WRITE = 0x0004
+    # Extension codes beyond the paper's published examples.
+    TABLE_READ = 0x0005
+    FLASH_ERASE = 0x0006
+    TIME_COUNT = 0x0007
+    SENSOR_READ = 0x0008
+    QUEUE_ENABLE = 0x0009
+    QUEUE_DISABLE = 0x000A
+    MULTICAST_JOIN = 0x000B
+    MULTICAST_LEAVE = 0x000C
+
+
+class SrcId(enum.IntEnum):
+    """Host-side controller types (who issued the command)."""
+
+    HOST_APPLICATION = 0x01
+    BMC = 0x02
+    STANDALONE_TOOL = 0x03
+    RESPONSE = 0x80  # set on packets travelling device -> host
+
+
+class DstId(enum.IntEnum):
+    """Hardware-side destinations."""
+
+    UNIFIED_CONTROL_KERNEL = 0x01
+
+
+class RbbId(enum.IntEnum):
+    """Target module classes (the ModuleID field)."""
+
+    NETWORK = 0x01
+    MEMORY = 0x02
+    HOST = 0x03
+    MANAGEMENT = 0x04
+    ROLE = 0x05
+
+
+class StatusCode(enum.IntEnum):
+    """Response status carried in the options field of replies."""
+
+    OK = 0x0
+    UNKNOWN_MODULE = 0x1
+    UNKNOWN_COMMAND = 0x2
+    EXECUTION_FAILED = 0x3

@@ -1,0 +1,174 @@
+"""Host-side drivers: the command interface and the register baseline.
+
+:class:`CommandDriver` implements the paper's ``cmd_read``/``cmd_write``
+interface (walkthrough steps 1-2 and 7): it builds command packets,
+ships them over a *separate control DMA queue* (performance-isolated
+from the data path), and routes responses back to the issuing
+controller by SrcID.
+
+:class:`RegisterDriver` is the traditional register read/write interface
+commercial frameworks expose; it exists so software-modification and
+configuration-count comparisons (Figure 13, Table 4) diff two real
+operation traces.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.command.codes import CommandCode, DstId, SrcId
+from repro.core.command.kernel import UnifiedControlKernel
+from repro.core.command.packet import CommandPacket
+from repro.errors import CommandError
+from repro.hw.registers import InitSequence, RegisterFile
+from repro.sim.fifo import SyncFifo
+
+
+@dataclass(frozen=True)
+class CommandResult:
+    """The outcome of one command round trip."""
+
+    status: int
+    data: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 0
+
+
+class CommandDriver:
+    """cmd_read / cmd_write over a dedicated control queue."""
+
+    def __init__(
+        self,
+        kernel: UnifiedControlKernel,
+        src_id: SrcId = SrcId.HOST_APPLICATION,
+        control_queue_depth: int = 128,
+    ) -> None:
+        self.kernel = kernel
+        self.src_id = src_id
+        # "a separate control queue in the DMA engine to ensure
+        # performance isolation from the data path"
+        self.control_queue = SyncFifo("driver.ctrl_queue", depth=control_queue_depth)
+        self.invocations: List[Tuple[str, int, int, int, Tuple[int, ...]]] = []
+        self.responses_by_src: Dict[int, List[CommandResult]] = {}
+
+    # --- public interface ------------------------------------------------------
+
+    def cmd_write(
+        self,
+        cmd_code: CommandCode,
+        rbb_id: int,
+        instance_id: int = 0,
+        data: Tuple[int, ...] = (),
+        options: int = 0,
+    ) -> CommandResult:
+        """Issue a state-changing command; one call = one software line."""
+        return self._round_trip("cmd_write", cmd_code, rbb_id, instance_id, data, options)
+
+    def cmd_read(
+        self,
+        cmd_code: CommandCode,
+        rbb_id: int,
+        instance_id: int = 0,
+        data: Tuple[int, ...] = (),
+        options: int = 0,
+    ) -> CommandResult:
+        """Issue a querying command and return its response data."""
+        return self._round_trip("cmd_read", cmd_code, rbb_id, instance_id, data, options)
+
+    @property
+    def invocation_count(self) -> int:
+        """Software lines issued through this driver (the Table 4 metric)."""
+        return len(self.invocations)
+
+    def invocation_signatures(self) -> List[Tuple[str, int, int, int, Tuple[int, ...]]]:
+        """(kind, code, rbb, instance, data) per call -- diffable across platforms."""
+        return list(self.invocations)
+
+    # --- walkthrough steps 1, 2, 7 ---------------------------------------------
+
+    def _round_trip(
+        self,
+        kind: str,
+        cmd_code: CommandCode,
+        rbb_id: int,
+        instance_id: int,
+        data: Tuple[int, ...],
+        options: int,
+    ) -> CommandResult:
+        # Step 1: command generation.
+        packet = CommandPacket(
+            src_id=int(self.src_id),
+            dst_id=int(DstId.UNIFIED_CONTROL_KERNEL),
+            rbb_id=rbb_id,
+            instance_id=instance_id,
+            command_code=int(cmd_code),
+            options=options,
+            data=data,
+        )
+        self.invocations.append((kind, int(cmd_code), rbb_id, instance_id, tuple(data)))
+        # Step 2: transfer over the control queue to the kernel buffer.
+        self.control_queue.push(packet.encode())
+        self.kernel.submit(self.control_queue.pop())
+        # Steps 3-6 happen inside the kernel.
+        raw_response = self.kernel.process_one()
+        if raw_response is None:
+            raise CommandError("control kernel returned no response")
+        # Step 7: upload + delivery by the SrcID recorded in the command.
+        response = CommandPacket.decode(raw_response)
+        result = CommandResult(status=response.options, data=response.data)
+        self.responses_by_src.setdefault(response.dst_id, []).append(result)
+        return result
+
+
+class RegisterDriver:
+    """The traditional register read/write host interface (baseline).
+
+    Every ``reg_read``/``reg_write``/init-program line is recorded so the
+    migration cost between two platforms can be measured by diffing the
+    traces (see :mod:`repro.metrics.modifications`).
+    """
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, RegisterFile] = {}
+        self.operations: List[Tuple[str, str, str, int]] = []
+
+    def attach(self, name: str, regfile: RegisterFile) -> None:
+        if name in self._modules:
+            raise CommandError(f"module {name!r} already attached")
+        self._modules[name] = regfile
+
+    def _regfile(self, module: str) -> RegisterFile:
+        try:
+            return self._modules[module]
+        except KeyError:
+            raise CommandError(f"no module {module!r} attached") from None
+
+    def reg_write(self, module: str, register: str, value: int) -> None:
+        regfile = self._regfile(module)
+        regfile.write_by_name(register, value)
+        self.operations.append(("write", module, register, value))
+
+    def reg_read(self, module: str, register: str) -> int:
+        regfile = self._regfile(module)
+        value = regfile.read_by_name(register)
+        self.operations.append(("read", module, register, 0))
+        return value
+
+    def run_init_program(self, module: str, sequence: InitSequence) -> int:
+        """Run a module init program, logging every register operation."""
+        regfile = self._regfile(module)
+        before = len(regfile.trace)
+        sequence.execute(regfile)
+        executed = regfile.trace[before:]
+        for kind, offset, value in executed:
+            self.operations.append((kind, module, f"@{offset:#06x}", value))
+        return len(executed)
+
+    @property
+    def operation_count(self) -> int:
+        """Register-level software lines (the Table 4 baseline metric)."""
+        return len(self.operations)
+
+    def operation_signatures(self) -> List[Tuple[str, str, str, int]]:
+        return list(self.operations)

@@ -1,0 +1,147 @@
+"""Command firmware: user-defined processing logic for the control kernel.
+
+Paper section 3.3.3: commands are executed by the soft core, "each of
+which defines its own processing logic", and the format must "support
+the extension to new hardware modules ... and software".  This module
+makes that extensibility concrete: a new command code is *programmed*,
+not hard-coded -- a small stack-machine program is installed on the
+unified control kernel and runs when its code arrives.
+
+The instruction set is deliberately tiny (the soft core is a Nios-class
+device): register read/write, packet-argument access, constants, a few
+ALU ops, table access, and response emission.  A step limit bounds
+execution, so a buggy program cannot wedge the kernel.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.command.kernel import ModuleEndpoint, UnifiedControlKernel
+from repro.core.command.packet import CommandPacket
+from repro.errors import CommandError
+
+
+class Op(enum.Enum):
+    """Stack-machine opcodes."""
+
+    PUSH = "push"            # operand: constant -> stack
+    ARG = "arg"              # operand: packet data index -> stack
+    REG_READ = "reg_read"    # operand: register name -> stack
+    REG_WRITE = "reg_write"  # operand: register name; value popped
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    SHL = "shl"              # operand: shift amount
+    TABLE_GET = "table_get"  # key popped -> value pushed
+    TABLE_SET = "table_set"  # value, key popped
+    EMIT = "emit"            # pop -> response data word
+    DUP = "dup"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: Op
+    operand: object = None
+
+
+class FirmwareProgram:
+    """A validated sequence of instructions for one command code."""
+
+    MAX_STEPS = 4_096
+    MAX_STACK = 64
+
+    def __init__(self, name: str, instructions: List[Instruction]) -> None:
+        if not instructions:
+            raise CommandError(f"firmware {name!r} has no instructions")
+        self.name = name
+        self.instructions = list(instructions)
+        self._validate()
+
+    def _validate(self) -> None:
+        """Static stack-depth check: no underflow, bounded depth."""
+        depth = 0
+        effects = {
+            Op.PUSH: 1, Op.ARG: 1, Op.REG_READ: 1, Op.REG_WRITE: -1,
+            Op.ADD: -1, Op.SUB: -1, Op.AND: -1, Op.OR: -1, Op.SHL: 0,
+            Op.TABLE_GET: 0, Op.TABLE_SET: -2, Op.EMIT: -1, Op.DUP: 1,
+        }
+        minimum_needed = {
+            Op.REG_WRITE: 1, Op.ADD: 2, Op.SUB: 2, Op.AND: 2, Op.OR: 2,
+            Op.SHL: 1, Op.TABLE_GET: 1, Op.TABLE_SET: 2, Op.EMIT: 1, Op.DUP: 1,
+        }
+        for index, instruction in enumerate(self.instructions):
+            needed = minimum_needed.get(instruction.op, 0)
+            if depth < needed:
+                raise CommandError(
+                    f"firmware {self.name!r}: stack underflow at step {index} "
+                    f"({instruction.op.value})"
+                )
+            depth += effects[instruction.op]
+            if depth > self.MAX_STACK:
+                raise CommandError(f"firmware {self.name!r}: stack overflow")
+
+    def execute(self, packet: CommandPacket, endpoint: ModuleEndpoint) -> Tuple[int, ...]:
+        """Run against a module endpoint; returns the response data."""
+        stack: List[int] = []
+        emitted: List[int] = []
+        steps = 0
+        for instruction in self.instructions:
+            steps += 1
+            if steps > self.MAX_STEPS:
+                raise CommandError(f"firmware {self.name!r} exceeded its step budget")
+            op = instruction.op
+            if op is Op.PUSH:
+                stack.append(int(instruction.operand) & 0xFFFF_FFFF)
+            elif op is Op.ARG:
+                index = int(instruction.operand)
+                if index >= len(packet.data):
+                    raise CommandError(
+                        f"firmware {self.name!r}: command carries no argument {index}"
+                    )
+                stack.append(packet.data[index])
+            elif op is Op.REG_READ:
+                stack.append(endpoint.regfile.read_by_name(str(instruction.operand)))
+            elif op is Op.REG_WRITE:
+                endpoint.regfile.write_by_name(str(instruction.operand), stack.pop())
+            elif op is Op.ADD:
+                right, left = stack.pop(), stack.pop()
+                stack.append((left + right) & 0xFFFF_FFFF)
+            elif op is Op.SUB:
+                right, left = stack.pop(), stack.pop()
+                stack.append((left - right) & 0xFFFF_FFFF)
+            elif op is Op.AND:
+                right, left = stack.pop(), stack.pop()
+                stack.append(left & right)
+            elif op is Op.OR:
+                right, left = stack.pop(), stack.pop()
+                stack.append(left | right)
+            elif op is Op.SHL:
+                stack.append((stack.pop() << int(instruction.operand)) & 0xFFFF_FFFF)
+            elif op is Op.TABLE_GET:
+                stack.append(endpoint.table.get(stack.pop(), 0))
+            elif op is Op.TABLE_SET:
+                value, key = stack.pop(), stack.pop()
+                endpoint.table[key] = value
+            elif op is Op.EMIT:
+                emitted.append(stack.pop())
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+        return tuple(emitted)
+
+
+def install_firmware(
+    kernel: UnifiedControlKernel,
+    rbb_id: int,
+    instance_id: int,
+    command_code: int,
+    program: FirmwareProgram,
+) -> None:
+    """Bind a program to a command code on one module endpoint."""
+    endpoint = kernel.endpoint(rbb_id, instance_id)
+    if command_code in endpoint.hooks:
+        raise CommandError(
+            f"command {command_code:#06x} already has firmware on {endpoint.name!r}"
+        )
+    endpoint.hooks[command_code] = lambda packet: program.execute(packet, endpoint)

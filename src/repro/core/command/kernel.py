@@ -1,0 +1,175 @@
+"""The unified control kernel (paper section 3.3.3 walkthrough, steps 3-6).
+
+Runs on the in-FPGA soft core; parses incoming command packets, executes
+them against the registered module endpoints (register read/write, init,
+reset, table ops, flash erase, time count, sensor reads), and
+encapsulates responses.  One kernel centralises command execution for
+every controller -- host applications, BMC, standalone tools.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.command.codes import CommandCode, SrcId, StatusCode
+from repro.core.command.packet import CommandPacket
+from repro.errors import CommandError, HarmoniaError
+from repro.hw.registers import InitSequence, RegisterFile
+from repro.sim.fifo import SyncFifo
+
+
+@dataclass
+class ModuleEndpoint:
+    """One controllable module: its registers, init program, and tables.
+
+    ``status_registers`` names the registers a STATUS_READ returns, in
+    order; ``table`` is the module's match/action or lookup table that
+    TABLE_WRITE/TABLE_READ operate on (policy tables, LB mappings,
+    embedding routing, ...).
+    """
+
+    name: str
+    regfile: RegisterFile
+    init_sequence: Optional[InitSequence] = None
+    status_registers: Tuple[str, ...] = ()
+    control_registers: Tuple[str, ...] = ()
+    table: Dict[int, int] = field(default_factory=dict)
+    hooks: Dict[int, Callable[[CommandPacket], Tuple[int, ...]]] = field(default_factory=dict)
+    init_runs: int = 0
+    resets: int = 0
+
+
+class UnifiedControlKernel:
+    """Command parser + executor + response encapsulator."""
+
+    def __init__(self, buffer_depth: int = 64) -> None:
+        self._endpoints: Dict[Tuple[int, int], ModuleEndpoint] = {}
+        self.buffer = SyncFifo("uck.cmd_buffer", depth=buffer_depth)
+        self.commands_executed = 0
+        self.commands_failed = 0
+        self._boot_count = 0
+
+    # --- registration ------------------------------------------------------
+
+    def register_module(self, rbb_id: int, instance_id: int, endpoint: ModuleEndpoint) -> None:
+        key = (int(rbb_id), int(instance_id))
+        if key in self._endpoints:
+            raise CommandError(
+                f"module (rbb={rbb_id:#x}, instance={instance_id:#x}) already registered"
+            )
+        self._endpoints[key] = endpoint
+
+    def endpoint(self, rbb_id: int, instance_id: int) -> ModuleEndpoint:
+        try:
+            return self._endpoints[(int(rbb_id), int(instance_id))]
+        except KeyError:
+            raise CommandError(
+                f"no module registered at (rbb={rbb_id:#x}, instance={instance_id:#x})"
+            ) from None
+
+    @property
+    def registered_modules(self) -> List[Tuple[int, int]]:
+        return sorted(self._endpoints)
+
+    # --- the walkthrough ------------------------------------------------------
+
+    def submit(self, raw: bytes) -> None:
+        """Step 2 tail: a command lands in the kernel's buffer."""
+        self.buffer.push(raw)
+
+    def process_one(self) -> Optional[bytes]:
+        """Steps 3-6: parse, execute, distribute, encapsulate.
+
+        Returns the encoded response packet, or None when idle.
+        Malformed packets that cannot be parsed raise; execution
+        failures return an error-status response instead (the host can
+        always observe the failure).
+        """
+        if self.buffer.is_empty:
+            return None
+        raw = self.buffer.pop()
+        packet = CommandPacket.decode(raw)  # step 3: parsing
+        try:
+            endpoint = self._endpoints.get((packet.rbb_id, packet.instance_id))
+            if endpoint is None:
+                response = packet.response(status=int(StatusCode.UNKNOWN_MODULE))
+                self.commands_failed += 1
+            else:
+                data = self._execute(packet, endpoint)  # steps 4-5
+                response = packet.response(data=data, status=int(StatusCode.OK))
+                self.commands_executed += 1
+        except HarmoniaError:
+            response = packet.response(status=int(StatusCode.EXECUTION_FAILED))
+            self.commands_failed += 1
+        return response.encode()  # step 6: encapsulation
+
+    def process_all(self) -> List[bytes]:
+        """Drain the buffer, executing commands sequentially."""
+        responses: List[bytes] = []
+        while not self.buffer.is_empty:
+            response = self.process_one()
+            if response is not None:
+                responses.append(response)
+        return responses
+
+    # --- command execution (step 4) -------------------------------------------
+
+    def _execute(self, packet: CommandPacket, endpoint: ModuleEndpoint) -> Tuple[int, ...]:
+        code = packet.command_code
+        hook = endpoint.hooks.get(code)
+        if hook is not None:
+            return hook(packet)
+        if code == CommandCode.MODULE_STATUS_READ:
+            return tuple(
+                endpoint.regfile.read_by_name(name) for name in endpoint.status_registers
+            )
+        if code == CommandCode.MODULE_STATUS_WRITE:
+            names = endpoint.control_registers or tuple(endpoint.regfile.names())
+            for name, value in zip(names, packet.data):
+                endpoint.regfile.write_by_name(name, value)
+            return ()
+        if code == CommandCode.MODULE_INIT:
+            if endpoint.init_sequence is None:
+                raise CommandError(f"module {endpoint.name!r} has no init program")
+            endpoint.init_sequence.execute(endpoint.regfile)
+            endpoint.init_runs += 1
+            return ()
+        if code == CommandCode.MODULE_RESET:
+            endpoint.regfile.reset_all()
+            endpoint.resets += 1
+            return ()
+        if code == CommandCode.TABLE_WRITE:
+            for index in range(0, len(packet.data) - 1, 2):
+                endpoint.table[packet.data[index]] = packet.data[index + 1]
+            return ()
+        if code == CommandCode.TABLE_READ:
+            return tuple(endpoint.table.get(key, 0) for key in packet.data)
+        if code == CommandCode.FLASH_ERASE:
+            if "SECTOR_ADDR" not in endpoint.regfile:
+                raise CommandError(f"module {endpoint.name!r} is not a flash device")
+            for sector in packet.data:
+                endpoint.regfile.write_by_name("SECTOR_ADDR", sector)
+                endpoint.regfile.write_by_name("ERASE_CMD", 0x1)
+            return ()
+        if code in (CommandCode.QUEUE_ENABLE, CommandCode.QUEUE_DISABLE):
+            state = 1 if code == CommandCode.QUEUE_ENABLE else 0
+            for queue in packet.data:
+                endpoint.table[0x1_0000 | queue] = state
+            return ()
+        if code in (CommandCode.MULTICAST_JOIN, CommandCode.MULTICAST_LEAVE):
+            state = 1 if code == CommandCode.MULTICAST_JOIN else 0
+            for group in packet.data:
+                endpoint.table[0x2_0000 | group] = state
+            return ()
+        if code == CommandCode.TIME_COUNT:
+            self._boot_count += 1
+            return (self._boot_count,)
+        if code == CommandCode.SENSOR_READ:
+            sensor_names = tuple(
+                name for name in ("TEMP_C", "VCCINT_MV", "VCCAUX_MV")
+                if name in endpoint.regfile
+            )
+            if not sensor_names:
+                raise CommandError(f"module {endpoint.name!r} exposes no sensors")
+            return tuple(endpoint.regfile.read_by_name(name) for name in sensor_names)
+        raise CommandError(f"unknown command code {code:#06x}")

@@ -1,0 +1,163 @@
+"""Byte-exact command packet encoding (paper Figure 9).
+
+Layout (big-endian, 32-bit words, lengths in 4-byte units):
+
+====  =======================================================
+word  fields
+====  =======================================================
+0     Version[4] HdLen[4] PayloadLen[8] SrcID[8] DstID[8]
+1     RbbID[8] InstanceID[8] CommandCode[16]
+2     Options[32]
+3..   Data words (PayloadLen of them)
+last  Checksum[32]
+====  =======================================================
+
+The checksum is the two's-complement of the 32-bit sum of all preceding
+words, so a valid packet sums to zero -- the classic IP-style header
+check, fitting the paper's "widely used packet format in communication".
+"""
+
+import struct
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ChecksumError, CommandError
+
+COMMAND_VERSION = 1
+
+#: Header words (version/len/ids, module operation code, options).
+HEADER_WORDS = 3
+
+_MAX_PAYLOAD_WORDS = 255  # PayloadLen is an 8-bit field
+
+
+def _fold32(value: int) -> int:
+    return value & 0xFFFF_FFFF
+
+
+def _checksum(words: Tuple[int, ...]) -> int:
+    return _fold32(-sum(words))
+
+
+@dataclass(frozen=True)
+class CommandPacket:
+    """One command (or response) packet."""
+
+    src_id: int
+    dst_id: int
+    rbb_id: int
+    instance_id: int
+    command_code: int
+    options: int = 0
+    data: Tuple[int, ...] = ()
+    version: int = COMMAND_VERSION
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.version < 16:
+            raise CommandError("version is a 4-bit field")
+        for name, width in (("src_id", 8), ("dst_id", 8), ("rbb_id", 8),
+                            ("instance_id", 8), ("command_code", 16)):
+            value = getattr(self, name)
+            if not 0 <= value < (1 << width):
+                raise CommandError(f"{name}={value:#x} exceeds its {width}-bit field")
+        if not 0 <= self.options < (1 << 32):
+            raise CommandError("options is a 32-bit field")
+        if len(self.data) > _MAX_PAYLOAD_WORDS:
+            raise CommandError(
+                f"payload of {len(self.data)} words exceeds the 8-bit PayloadLen field"
+            )
+        for word in self.data:
+            if not 0 <= word < (1 << 32):
+                raise CommandError(f"data word {word:#x} is not a 32-bit value")
+
+    # --- wire format -------------------------------------------------------
+
+    @property
+    def header_len_words(self) -> int:
+        return HEADER_WORDS
+
+    @property
+    def payload_len_words(self) -> int:
+        return len(self.data)
+
+    @property
+    def total_bytes(self) -> int:
+        return (HEADER_WORDS + len(self.data) + 1) * 4
+
+    def words(self) -> Tuple[int, ...]:
+        """All 32-bit words except the checksum."""
+        word0 = (
+            (self.version << 28)
+            | (self.header_len_words << 24)
+            | (self.payload_len_words << 16)
+            | (self.src_id << 8)
+            | self.dst_id
+        )
+        word1 = (self.rbb_id << 24) | (self.instance_id << 16) | self.command_code
+        return (word0, word1, self.options) + tuple(self.data)
+
+    def encode(self) -> bytes:
+        words = self.words()
+        checksum = _checksum(words)
+        return struct.pack(f">{len(words) + 1}I", *words, checksum)
+
+    @staticmethod
+    def decode(raw: bytes) -> "CommandPacket":
+        """Parse and validate a packet from the wire.
+
+        Mirrors the control kernel's parsing step: HdLen and PayloadLen
+        determine the boundaries, then every field is extracted and the
+        checksum verified.
+        """
+        if len(raw) < (HEADER_WORDS + 1) * 4:
+            raise CommandError(f"packet of {len(raw)} bytes is shorter than a header")
+        if len(raw) % 4 != 0:
+            raise CommandError("packet length is not 4-byte aligned")
+        words = struct.unpack(f">{len(raw) // 4}I", raw)
+        word0 = words[0]
+        version = word0 >> 28
+        header_len = (word0 >> 24) & 0xF
+        payload_len = (word0 >> 16) & 0xFF
+        src_id = (word0 >> 8) & 0xFF
+        dst_id = word0 & 0xFF
+        if header_len != HEADER_WORDS:
+            raise CommandError(f"unsupported header length {header_len}")
+        expected_words = header_len + payload_len + 1
+        if len(words) != expected_words:
+            raise CommandError(
+                f"length fields promise {expected_words} words, packet has {len(words)}"
+            )
+        if _fold32(sum(words)) != 0:
+            raise ChecksumError("command packet checksum mismatch")
+        word1 = words[1]
+        packet = CommandPacket(
+            version=version,
+            src_id=src_id,
+            dst_id=dst_id,
+            rbb_id=word1 >> 24,
+            instance_id=(word1 >> 16) & 0xFF,
+            command_code=word1 & 0xFFFF,
+            options=words[2],
+            data=tuple(words[HEADER_WORDS:HEADER_WORDS + payload_len]),
+        )
+        return packet
+
+    # --- convenience ---------------------------------------------------------
+
+    def response(self, data: Tuple[int, ...] = (), status: int = 0) -> "CommandPacket":
+        """A device->host reply: src/dst swapped, status in options.
+
+        The original ``src_id`` is preserved in the destination so the
+        driver can deliver the reply "to the corresponding host software
+        based on the srcID specified in the command".
+        """
+        return CommandPacket(
+            src_id=0x80,
+            dst_id=self.src_id,
+            rbb_id=self.rbb_id,
+            instance_id=self.instance_id,
+            command_code=self.command_code,
+            options=status,
+            data=data,
+            version=self.version,
+        )

@@ -1,0 +1,161 @@
+"""Health monitoring over the command-based interface.
+
+A production-grade shell "entails ... health monitoring" (paper §2.1);
+with Harmonia it is built on the same command plane as everything else:
+the monitor polls sensors and module statistics with ``cmd_read`` and
+raises alarms against configured thresholds.  Because the commands are
+platform-independent, one monitor implementation covers every device in
+the fleet -- which is exactly the point.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.command.codes import CommandCode, RbbId, SrcId
+from repro.core.command.driver import CommandDriver
+from repro.core.host_software import ControlPlane
+from repro.errors import ConfigurationError
+
+
+class Severity(enum.Enum):
+    OK = "ok"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """Alarm thresholds for one observable."""
+
+    warning: float
+    critical: float
+
+    def __post_init__(self) -> None:
+        if self.critical < self.warning:
+            raise ConfigurationError("critical threshold below warning threshold")
+
+    def classify(self, value: float) -> Severity:
+        if value >= self.critical:
+            return Severity.CRITICAL
+        if value >= self.warning:
+            return Severity.WARNING
+        return Severity.OK
+
+
+#: Default thresholds matching common datacenter operating envelopes.
+DEFAULT_THRESHOLDS: Dict[str, Threshold] = {
+    "temperature_c": Threshold(warning=85.0, critical=95.0),
+    "vccint_mv_delta": Threshold(warning=30.0, critical=60.0),  # from 850 mV nominal
+    "command_failures": Threshold(warning=1.0, critical=10.0),
+}
+
+_VCCINT_NOMINAL_MV = 850.0
+
+
+@dataclass(frozen=True)
+class HealthObservation:
+    """One polled observable with its classification."""
+
+    name: str
+    value: float
+    severity: Severity
+
+
+@dataclass
+class HealthReport:
+    """The outcome of one monitoring cycle on one device."""
+
+    device_name: str
+    cycle: int
+    observations: List[HealthObservation] = field(default_factory=list)
+
+    @property
+    def severity(self) -> Severity:
+        worst = Severity.OK
+        for observation in self.observations:
+            if observation.severity is Severity.CRITICAL:
+                return Severity.CRITICAL
+            if observation.severity is Severity.WARNING:
+                worst = Severity.WARNING
+        return worst
+
+    @property
+    def healthy(self) -> bool:
+        return self.severity is Severity.OK
+
+    def observation(self, name: str) -> HealthObservation:
+        for candidate in self.observations:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no observation {name!r} in this report")
+
+
+class HealthMonitor:
+    """Polls one device's control plane and classifies what it sees.
+
+    The monitor runs as a *standalone tool* controller (its own SrcID),
+    sharing the unified control kernel with applications and the BMC --
+    the multi-controller arrangement the paper's soft-core placement
+    enables.
+    """
+
+    def __init__(
+        self,
+        control: ControlPlane,
+        thresholds: Optional[Dict[str, Threshold]] = None,
+    ) -> None:
+        self.control = control
+        self.thresholds = dict(DEFAULT_THRESHOLDS)
+        if thresholds:
+            self.thresholds.update(thresholds)
+        self.driver = CommandDriver(control.kernel, src_id=SrcId.STANDALONE_TOOL)
+        self.cycles_run = 0
+        self.history: List[HealthReport] = []
+
+    def _classify(self, name: str, value: float) -> HealthObservation:
+        threshold = self.thresholds.get(name)
+        severity = threshold.classify(value) if threshold else Severity.OK
+        return HealthObservation(name, value, severity)
+
+    def poll_once(self) -> HealthReport:
+        """One monitoring cycle: sensors, heartbeat, failure counters."""
+        self.cycles_run += 1
+        report = HealthReport(self.control.device.name, self.cycles_run)
+        sensor_id = self.control.management_instance_id("sensor")
+        result = self.driver.cmd_read(
+            CommandCode.SENSOR_READ, int(RbbId.MANAGEMENT), sensor_id
+        )
+        if result.ok and len(result.data) >= 2:
+            temperature, vccint = result.data[0], result.data[1]
+            report.observations.append(self._classify("temperature_c", temperature))
+            report.observations.append(
+                self._classify("vccint_mv_delta", abs(vccint - _VCCINT_NOMINAL_MV))
+            )
+        else:
+            report.observations.append(
+                HealthObservation("sensor_reachable", 0.0, Severity.CRITICAL)
+            )
+        report.observations.append(
+            self._classify("command_failures", float(self.control.kernel.commands_failed))
+        )
+        self.history.append(report)
+        return report
+
+    def poll(self, cycles: int) -> List[HealthReport]:
+        """Run several cycles (the cron the deployment scripts install)."""
+        return [self.poll_once() for _ in range(cycles)]
+
+    def alarm_counts(self) -> Dict[Severity, int]:
+        counts = {severity: 0 for severity in Severity}
+        for report in self.history:
+            counts[report.severity] += 1
+        return counts
+
+
+def fleet_health(monitors: List[HealthMonitor]) -> Dict[str, Severity]:
+    """One polling sweep across a fleet; device name -> severity."""
+    return {
+        monitor.control.device.name: monitor.poll_once().severity
+        for monitor in monitors
+    }

@@ -1,0 +1,422 @@
+"""Host-software control programs over register and command interfaces.
+
+This module models what the paper measures in Figure 13 and Table 4:
+the *full bring-up, monitoring, and host-interaction programs* a host
+application runs, written once against the traditional register
+interface (platform-dependent: addresses, values, lane counts, board
+I2C maps, and operation ordering all vary) and once against Harmonia's
+command interface (platform-independent: one command per control
+operation).
+
+Programs execute against the live register files / the unified control
+kernel, and their traces are diffed to count migrations costs -- the
+counts are measured, not asserted.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.command.codes import CommandCode, RbbId
+from repro.core.command.driver import CommandDriver, RegisterDriver
+from repro.core.command.kernel import ModuleEndpoint, UnifiedControlKernel
+from repro.core.rbb.base import Rbb
+from repro.core.shell import UnifiedShell
+from repro.core.tailoring import TailoredShell
+from repro.errors import ConfigurationError
+from repro.platform.device import FpgaDevice, PeripheralKind
+from repro.platform.vendor import Vendor
+
+ShellLike = Union[UnifiedShell, TailoredShell]
+
+_RBB_IDS: Dict[str, RbbId] = {
+    "network": RbbId.NETWORK,
+    "memory": RbbId.MEMORY,
+    "host": RbbId.HOST,
+}
+
+_CONTROL_REGISTERS: Dict[str, Tuple[str, ...]] = {
+    "network": ("CTRL_RX", "CTRL_TX"),
+    "memory": ("CTRL_ENABLE", "REORDER_EN"),
+    "host": ("GLOBAL_CTRL",),
+}
+
+_STATUS_REGISTERS: Dict[str, Tuple[str, ...]] = {
+    "network": ("STAT_RX_TOTAL_PACKETS", "STAT_RX_TOTAL_BYTES", "STAT_RX_DROPPED",
+                "STAT_TX_TOTAL_PACKETS"),
+    "memory": ("STAT_READS", "STAT_WRITES"),
+    "host": ("STAT_H2C_PACKETS", "STAT_C2H_PACKETS", "STAT_H2C_BYTES", "STAT_C2H_BYTES"),
+}
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Board-specific constants the register-level software must know.
+
+    Exactly the knowledge the command interface hides: these values are
+    baked into register programs and change on every board migration.
+    """
+
+    serdes_lanes: int
+    i2c_devices: Tuple[int, ...]
+    bar0_base: int
+    dma_queues_at_init: int
+    filter_table_entries: int
+    director_queue_mappings: int
+
+    @staticmethod
+    def for_device(device: FpgaDevice) -> "BoardProfile":
+        """Derive the profile from the board's peripherals and vendor."""
+        if device.has_peripheral(PeripheralKind.QSFP112) or device.has_peripheral(
+            PeripheralKind.DSFP
+        ):
+            lanes = 8
+        else:
+            lanes = 4
+        i2c_base = 0x50 if device.board_vendor is Vendor.INHOUSE else 0x48
+        i2c_devices = tuple(i2c_base + index for index in range(len(device.peripherals)))
+        bar0 = 0xA000_0000 if device.board_vendor is Vendor.INHOUSE else 0xB000_0000
+        return BoardProfile(
+            serdes_lanes=lanes,
+            i2c_devices=i2c_devices,
+            bar0_base=bar0,
+            dma_queues_at_init=4 if device.pcie.pcie_lanes == 8 else 8,
+            filter_table_entries=8,
+            director_queue_mappings=24,
+        )
+
+
+class ControlPlane:
+    """Builds and runs the control programs for one shell on one device."""
+
+    def __init__(self, shell: ShellLike, device: Optional[FpgaDevice] = None) -> None:
+        self.shell = shell
+        self.device = device if device is not None else shell.device
+        self.profile = BoardProfile.for_device(self.device)
+        self.kernel = UnifiedControlKernel()
+        self._regfiles: Dict[str, object] = {}
+        self._wire_modules()
+
+    # --- wiring -----------------------------------------------------------
+
+    def _wire_modules(self) -> None:
+        for name, rbb in self.shell.rbbs.items():
+            regfile = rbb.register_file()
+            self._regfiles[name] = regfile
+            self.kernel.register_module(
+                int(_RBB_IDS[name]),
+                0,
+                ModuleEndpoint(
+                    name=name,
+                    regfile=regfile,
+                    init_sequence=rbb.init_sequence(),
+                    status_registers=_STATUS_REGISTERS.get(name, ()),
+                    control_registers=tuple(
+                        register for register in _CONTROL_REGISTERS.get(name, ())
+                        if register in regfile
+                    ),
+                ),
+            )
+        for index, ip in enumerate(self.shell.management):
+            regfile = ip.register_file()
+            self._regfiles[ip.name] = regfile
+            self.kernel.register_module(
+                int(RbbId.MANAGEMENT),
+                index,
+                ModuleEndpoint(
+                    name=ip.name,
+                    regfile=regfile,
+                    init_sequence=ip.init_sequence(),
+                ),
+            )
+
+    def _rbb(self, name: str) -> Optional[Rbb]:
+        return self.shell.rbbs.get(name)
+
+    def management_instance_id(self, name_prefix: str) -> int:
+        for index, ip in enumerate(self.shell.management):
+            if ip.name.startswith(name_prefix):
+                return index
+        raise ConfigurationError(f"no management module named {name_prefix}*")
+
+    # --- register-interface programs -----------------------------------------
+
+    def register_full_init(self) -> RegisterDriver:
+        """The complete platform-dependent bring-up over registers."""
+        driver = RegisterDriver()
+        for name, rbb in self.shell.rbbs.items():
+            driver.attach(name, self._regfiles[name])
+            driver.run_init_program(name, rbb.init_sequence())
+        for ip in self.shell.management:
+            driver.attach(ip.name, self._regfiles[ip.name])
+            driver.run_init_program(ip.name, ip.init_sequence())
+        self._register_board_bringup(driver)
+        self._register_exfn_setup(driver)
+        return driver
+
+    def _register_board_bringup(self, driver: RegisterDriver) -> None:
+        """Board-profile-specific operations (the migration pain)."""
+        profile = self.profile
+        # Optics/power devices on the board I2C bus.
+        i2c_name = next(
+            ip.name for ip in self.shell.management if ip.name.startswith("i2c")
+        )
+        for address in profile.i2c_devices:
+            driver.reg_write(i2c_name, "TARGET_ADDR", address)
+            driver.reg_write(i2c_name, "TX_DATA", 0x01)
+            driver.reg_write(i2c_name, "CTRL", 0x3)
+            driver.reg_read(i2c_name, "RX_DATA")
+        # Per-lane serdes tuning for the network cage.
+        network = self._rbb("network")
+        if network is not None:
+            lanes = min(profile.serdes_lanes, self._lane_count(network))
+            # Equalisation values depend on the board's insertion loss,
+            # so they change on every board migration.
+            salt = (profile.bar0_base >> 24) & 0xFF
+            for lane in range(lanes):
+                driver.reg_write("network", f"LANE{lane}_TX_CFG", salt + 0x20 + lane)
+                driver.reg_write("network", f"LANE{lane}_RX_CFG", salt + 0x10 + lane)
+        # DMA queue contexts carry board BAR addresses.
+        host = self._rbb("host")
+        if host is not None:
+            slots = self._context_slot_count(host)
+            for queue in range(profile.dma_queues_at_init):
+                for slot in range(slots):
+                    driver.reg_write(
+                        "host", f"QID_CTXT_DATA{slot}",
+                        (self.profile.bar0_base + queue * 0x1000 + slot) & 0xFFFF_FFFF,
+                    )
+                driver.reg_write(
+                    "host", "QID_CTXT_MASK",
+                    (self.profile.bar0_base >> 16 | queue) & 0xFFFF_FFFF,
+                )
+                driver.reg_write("host", "QID_CTXT_CMD", queue << 7 | 0x1)
+
+    def _register_exfn_setup(self, driver: RegisterDriver, attach: bool = False) -> None:
+        """Filter/director/cache tables written entry by entry.
+
+        Table state lives in Ex-function RAMs reached through the data
+        registers of the owning module's register file; each entry is
+        an address write plus a data write, which is how P4-style and
+        LB tables are really programmed over a reg interface.
+        """
+        network = self._rbb("network")
+        if network is None:
+            return
+        if attach:
+            driver.attach("network", self._regfiles["network"])
+        profile = self.profile
+        if network.ex_functions["packet_filter"].enabled:
+            for entry in range(profile.filter_table_entries):
+                driver.reg_write("network", "FLOW_CONTROL_CFG", entry)
+                driver.reg_write("network", "CTRL_RX", 0x1_0000 | entry)
+        if network.ex_functions["flow_director"].enabled:
+            for mapping in range(profile.director_queue_mappings):
+                driver.reg_write("network", "FLOW_CONTROL_CFG", 0x8000 | mapping)
+                driver.reg_write("network", "CTRL_TX", 0x1_0000 | mapping)
+                driver.reg_write("network", "CTRL_RX", 0x2_0000 | mapping)
+
+    def _lane_count(self, network: Rbb) -> int:
+        regfile = self._regfiles["network"]
+        lanes = 0
+        while f"LANE{lanes}_TX_CFG" in regfile:
+            lanes += 1
+        return lanes
+
+    def _context_slot_count(self, host: Rbb) -> int:
+        regfile = self._regfiles["host"]
+        if "QID_CTXT_DATA0" not in regfile:
+            return 0
+        slots = 0
+        while f"QID_CTXT_DATA{slots}" in regfile:
+            slots += 1
+        return slots
+
+    def register_network_init(self) -> RegisterDriver:
+        """Full network bring-up over registers (Table 4 row 2).
+
+        MAC init program + per-lane serdes tuning + the filter and
+        director tables, entry by entry.
+        """
+        driver = RegisterDriver()
+        network = self._rbb("network")
+        if network is None:
+            return driver
+        driver.attach("network", self._regfiles["network"])
+        driver.run_init_program("network", network.init_sequence())
+        lanes = min(self.profile.serdes_lanes, self._lane_count(network))
+        for lane in range(lanes):
+            driver.reg_write("network", f"LANE{lane}_TX_CFG", 0x20 + lane)
+            driver.reg_write("network", f"LANE{lane}_RX_CFG", 0x10 + lane)
+        self._register_exfn_setup(driver, attach=False)
+        return driver
+
+    def command_network_init(self) -> CommandDriver:
+        """Network bring-up over commands (Table 4 row 2)."""
+        driver = CommandDriver(self.kernel)
+        network = self._rbb("network")
+        if network is None:
+            return driver
+        driver.cmd_write(CommandCode.MODULE_INIT, int(RbbId.NETWORK), 0)
+        driver.cmd_write(
+            CommandCode.MODULE_STATUS_WRITE, int(RbbId.NETWORK), 0,
+            data=(int(network.instance.performance_gbps),),
+        )
+        if network.ex_functions["packet_filter"].enabled:
+            entries = tuple(
+                value
+                for entry in range(self.profile.filter_table_entries)
+                for value in (entry, 0x1)
+            )
+            driver.cmd_write(CommandCode.TABLE_WRITE, int(RbbId.NETWORK), 0, data=entries)
+            driver.cmd_write(CommandCode.MULTICAST_JOIN, int(RbbId.NETWORK), 0,
+                             data=(0x5E_00_00_01,))
+        if network.ex_functions["flow_director"].enabled:
+            mappings = tuple(
+                value
+                for mapping in range(self.profile.director_queue_mappings)
+                for value in (0x8000 | mapping, mapping)
+            )
+            driver.cmd_write(CommandCode.TABLE_WRITE, int(RbbId.NETWORK), 0, data=mappings)
+        return driver
+
+    def register_monitoring_walk(self) -> RegisterDriver:
+        """Configure + collect every statistics register (Table 4 row 1)."""
+        driver = RegisterDriver()
+        for name in self.shell.rbbs:
+            driver.attach(name, self._regfiles[name])
+        for ip in self.shell.management:
+            driver.attach(ip.name, self._regfiles[ip.name])
+        network = self._rbb("network")
+        if network is not None:
+            lanes = self._lane_count(network)
+            for lane in range(lanes):
+                driver.reg_read("network", f"LANE{lane}_STATUS")
+                driver.reg_read("network", f"LANE{lane}_RX_CFG")
+            for counter in ("STAT_RX_TOTAL_PACKETS", "STAT_RX_TOTAL_BYTES",
+                            "STAT_RX_BAD_FCS", "STAT_RX_DROPPED",
+                            "STAT_TX_TOTAL_PACKETS", "STAT_TX_TOTAL_BYTES",
+                            "STAT_TX_UNDERFLOW"):
+                driver.reg_read("network", counter)
+            driver.reg_read("network", "RSFEC_CONFIG")
+            driver.reg_read("network", "FLOW_CONTROL_CFG")
+        host = self._rbb("host")
+        if host is not None:
+            for queue in range(self.profile.dma_queues_at_init):
+                # Per-queue depth, packets, and speed: select, then read.
+                driver.reg_write("host", "QID_CTXT_CMD", queue << 7 | 0x2)
+                driver.reg_read("host", "QID_CTXT_DATA0")
+                driver.reg_read("host", "QID_CTXT_DATA1")
+                driver.reg_read("host", "QID_CTXT_DATA2")
+            for counter in ("STAT_H2C_PACKETS", "STAT_C2H_PACKETS", "STAT_H2C_BYTES",
+                            "STAT_C2H_BYTES", "STAT_DESC_FETCH_ERRORS", "STAT_WRB_DROPS"):
+                driver.reg_read("host", counter)
+        memory = self._rbb("memory")
+        if memory is not None:
+            regfile = self._regfiles["memory"]
+            for counter in ("STAT_READS", "STAT_WRITES", "STAT_ROW_HITS",
+                            "STAT_ROW_MISSES", "STAT_TEMP_C"):
+                if counter in regfile:
+                    driver.reg_read("memory", counter)
+            channel = 0
+            while f"MC{channel}_CTRL" in regfile:
+                driver.reg_read("memory", f"MC{channel}_CTRL")
+                channel += 1
+        for ip in self.shell.management:
+            if ip.name.startswith("sensor"):
+                for register in ("TEMP_C", "VCCINT_MV", "VCCAUX_MV"):
+                    driver.reg_read(ip.name, register)
+            elif ip.name.startswith("flash"):
+                driver.reg_read(ip.name, "STATUS")
+                driver.reg_read(ip.name, "WRITE_PROTECT")
+            elif ip.name.startswith("i2c"):
+                driver.reg_read(ip.name, "STATUS")
+            elif ip.name.startswith("softcore"):
+                driver.reg_read(ip.name, "STATUS")
+                driver.reg_read(ip.name, "FIRMWARE_VERSION")
+                driver.reg_read(ip.name, "CMD_PROCESSED")
+                driver.reg_read(ip.name, "HEARTBEAT")
+        return driver
+
+    def register_host_interaction(self) -> RegisterDriver:
+        """Host interaction config: queues, doorbells, IRQs (Table 4 row 3)."""
+        driver = RegisterDriver()
+        host = self._rbb("host")
+        if host is None:
+            return driver
+        driver.attach("host", self._regfiles["host"])
+        profile = self.profile
+        slots = self._context_slot_count(host)
+        driver.reg_write("host", "GLOBAL_CTRL", 0x0)
+        driver.reg_write("host", "IRQ_VECTOR_BASE", 0x20)
+        driver.reg_write("host", "IRQ_FUNCTION_MAP", 0x0)
+        driver.reg_write("host", "WRB_INTERVAL", 16)
+        for queue in range(profile.dma_queues_at_init):
+            for slot in range(slots):
+                driver.reg_write(
+                    "host", f"QID_CTXT_DATA{slot}",
+                    (profile.bar0_base + 0x8000 + queue * 0x100 + slot) & 0xFFFF_FFFF,
+                )
+            driver.reg_write("host", "QID_CTXT_MASK", 0xFFFF_FFFF)
+            driver.reg_write("host", "QID_CTXT_CMD", queue << 7 | 0x1)
+            # Doorbell address, completion ring, and MSI-X binding per queue.
+            driver.reg_write("host", "RING_SIZE_0", 1_024 + queue)
+            driver.reg_write("host", "RING_SIZE_1", 4_096 + queue)
+            driver.reg_write("host", "IRQ_VECTOR_BASE", 0x20 + queue)
+        driver.reg_write("host", "DATA_FENCE_CTRL", 0x1)
+        driver.reg_write("host", "CMPL_RING_CFG", 0x3)
+        driver.reg_write("host", "GLOBAL_CTRL", 0x1)
+        driver.reg_read("host", "GLOBAL_STATUS")
+        return driver
+
+    # --- command-interface programs -----------------------------------------------
+
+    def command_full_init(self) -> CommandDriver:
+        """The platform-independent bring-up: one command per operation."""
+        driver = CommandDriver(self.kernel)
+        for name, rbb in self.shell.rbbs.items():
+            driver.cmd_write(CommandCode.MODULE_INIT, int(_RBB_IDS[name]), 0)
+            # The one platform-visible knob: which instance tier the role
+            # selected (25/100/400G MAC, DDR vs HBM, BDMA vs SGDMA).
+            driver.cmd_write(
+                CommandCode.MODULE_STATUS_WRITE, int(_RBB_IDS[name]), 0,
+                data=(int(rbb.instance.performance_gbps),),
+            )
+        for index, _ip in enumerate(self.shell.management):
+            driver.cmd_write(CommandCode.MODULE_INIT, int(RbbId.MANAGEMENT), index)
+        network = self._rbb("network")
+        if network is not None and network.ex_functions["packet_filter"].enabled:
+            entries = tuple(
+                value
+                for entry in range(self.profile.filter_table_entries)
+                for value in (entry, 0x1)
+            )
+            driver.cmd_write(CommandCode.TABLE_WRITE, int(RbbId.NETWORK), 0, data=entries)
+        if network is not None and network.ex_functions["flow_director"].enabled:
+            mappings = tuple(
+                value
+                for mapping in range(self.profile.director_queue_mappings)
+                for value in (0x8000 | mapping, mapping)
+            )
+            driver.cmd_write(CommandCode.TABLE_WRITE, int(RbbId.NETWORK), 0, data=mappings)
+        return driver
+
+    def command_monitoring_walk(self) -> CommandDriver:
+        """Monitoring over commands: one STATUS_READ per module class."""
+        driver = CommandDriver(self.kernel)
+        for name in self.shell.rbbs:
+            driver.cmd_read(CommandCode.MODULE_STATUS_READ, int(_RBB_IDS[name]), 0)
+        sensor_id = self.management_instance_id("sensor")
+        driver.cmd_read(CommandCode.SENSOR_READ, int(RbbId.MANAGEMENT), sensor_id)
+        return driver
+
+    def command_host_interaction(self) -> CommandDriver:
+        """Host interaction over commands."""
+        driver = CommandDriver(self.kernel)
+        if self._rbb("host") is None:
+            return driver
+        queues = tuple(range(self.profile.dma_queues_at_init))
+        driver.cmd_write(CommandCode.MODULE_INIT, int(RbbId.HOST), 0)
+        driver.cmd_write(CommandCode.QUEUE_ENABLE, int(RbbId.HOST), 0, data=queues)
+        driver.cmd_write(CommandCode.MODULE_STATUS_WRITE, int(RbbId.HOST), 0, data=(0x1,))
+        driver.cmd_read(CommandCode.MODULE_STATUS_READ, int(RbbId.HOST), 0)
+        return driver

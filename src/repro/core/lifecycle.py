@@ -1,0 +1,175 @@
+"""The cloud FPGA application lifecycle (paper section 4).
+
+Four stages: requirement analysis (PoC feasibility), design &
+development (shell + role + software, automated integration),
+integration test, and deployment.  Each stage produces an auditable
+record; a stage failure stops the pipeline -- "ensuring that each part
+is thoroughly validated before online deployment".
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.adapters.toolchain import BuildFlow, ProjectBundle
+from repro.core.host_software import ControlPlane
+from repro.core.role import Role
+from repro.core.shell import UnifiedShell, build_unified_shell
+from repro.core.tailoring import HierarchicalTailor, TailoredShell
+from repro.errors import DeploymentError
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+
+
+class Stage(enum.Enum):
+    REQUIREMENT_ANALYSIS = "requirement-analysis"
+    DESIGN_DEVELOPMENT = "design-development"
+    INTEGRATION_TEST = "integration-test"
+    DEPLOYMENT = "deployment"
+
+
+@dataclass(frozen=True)
+class PocEstimate:
+    """Stage 1 output: projected acceleration benefit.
+
+    Uses Amdahl's law over the user-reported bottleneck fraction and the
+    hardware designers' estimated speedup of the offloaded part.
+    """
+
+    bottleneck_fraction: float
+    offload_speedup: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bottleneck_fraction <= 1.0:
+            raise ValueError("bottleneck fraction must be in (0, 1]")
+        if self.offload_speedup < 1.0:
+            raise ValueError("offload speedup below 1x is not an acceleration")
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        remaining = 1.0 - self.bottleneck_fraction
+        return 1.0 / (remaining + self.bottleneck_fraction / self.offload_speedup)
+
+    def is_worthwhile(self, threshold: float = 1.3) -> bool:
+        """The go/no-go gate hardware designers apply."""
+        return self.end_to_end_speedup >= threshold
+
+
+@dataclass
+class StageRecord:
+    stage: Stage
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ApplicationProject:
+    """One application moving through the lifecycle."""
+
+    role: Role
+    device: FpgaDevice
+    poc: PocEstimate
+    records: List[StageRecord] = field(default_factory=list)
+    tailored_shell: Optional[TailoredShell] = None
+    bundle: Optional[ProjectBundle] = None
+    deployed_cluster: Optional[str] = None
+
+    @property
+    def completed_stages(self) -> List[Stage]:
+        return [record.stage for record in self.records if record.passed]
+
+
+class Lifecycle:
+    """Drives a project through the four stages."""
+
+    def __init__(self, device: FpgaDevice, tenants: int = 1) -> None:
+        self.device = device
+        self.tenants = tenants
+
+    def run_requirement_analysis(self, project: ApplicationProject) -> None:
+        """Stage 1: PoC validation of the acceleration benefit."""
+        if not project.poc.is_worthwhile():
+            project.records.append(
+                StageRecord(
+                    Stage.REQUIREMENT_ANALYSIS, False,
+                    f"projected speedup {project.poc.end_to_end_speedup:.2f}x below gate",
+                )
+            )
+            raise DeploymentError(
+                f"{project.role.name}: acceleration benefit too small "
+                f"({project.poc.end_to_end_speedup:.2f}x)"
+            )
+        project.records.append(
+            StageRecord(
+                Stage.REQUIREMENT_ANALYSIS, True,
+                f"projected {project.poc.end_to_end_speedup:.2f}x end-to-end",
+            )
+        )
+
+    def run_design_development(self, project: ApplicationProject) -> None:
+        """Stage 2: unified shell, tailoring, and automated integration."""
+        unified = build_unified_shell(self.device, tenants=self.tenants)
+        tailored = HierarchicalTailor(unified).tailor(project.role)
+        flow = BuildFlow(self.device)
+        bundle = flow.build(
+            project_name=project.role.name,
+            modules=tailored.modules(),
+            extra_resources=project.role.resources,
+            software_components=(f"{project.role.name}-host", "harmonia-driver"),
+        )
+        project.tailored_shell = tailored
+        project.bundle = bundle
+        project.records.append(
+            StageRecord(Stage.DESIGN_DEVELOPMENT, True, f"bundle {bundle.artifact_id}")
+        )
+
+    def run_integration_test(self, project: ApplicationProject) -> None:
+        """Stage 3: exercise every component of the generated project."""
+        if project.tailored_shell is None or project.bundle is None:
+            raise DeploymentError("integration test requires a built project")
+        shell = project.tailored_shell
+        failures: List[str] = []
+        # Resource fit re-check with the role placed next to the shell.
+        try:
+            self.device.budget.check_fits(
+                shell.resources() + project.role.resources, design=project.role.name
+            )
+        except Exception as error:  # noqa: BLE001 - collected into the record
+            failures.append(str(error))
+        # Control-path bring-up over the command interface.
+        control = ControlPlane(shell)
+        driver = control.command_full_init()
+        failed_commands = control.kernel.commands_failed
+        if failed_commands:
+            failures.append(f"{failed_commands} commands failed during bring-up")
+        # Data-path sanity: every retained RBB sustains its line rate.
+        for name, rbb in shell.rbbs.items():
+            chain = rbb.datapath_chain()
+            native = rbb.datapath_chain(include_wrapper=False)
+            if chain.bandwidth_bps() < native.bandwidth_bps():
+                failures.append(f"RBB {name} loses bandwidth behind the wrapper")
+        passed = not failures
+        project.records.append(
+            StageRecord(Stage.INTEGRATION_TEST, passed, "; ".join(failures) or "all green")
+        )
+        if not passed:
+            raise DeploymentError(
+                f"{project.role.name} failed integration test: " + "; ".join(failures)
+            )
+
+    def run_deployment(self, project: ApplicationProject, cluster: str) -> None:
+        """Stage 4: release to the application cluster."""
+        if Stage.INTEGRATION_TEST not in project.completed_stages:
+            raise DeploymentError("cannot deploy before integration test passes")
+        project.deployed_cluster = cluster
+        project.records.append(
+            StageRecord(Stage.DEPLOYMENT, True, f"deployed to {cluster}")
+        )
+
+    def run_all(self, project: ApplicationProject, cluster: str) -> ApplicationProject:
+        """Run the complete pipeline; raises on the first failing stage."""
+        self.run_requirement_analysis(project)
+        self.run_design_development(project)
+        self.run_integration_test(project)
+        self.run_deployment(project, cluster)
+        return project

@@ -1,0 +1,104 @@
+"""Shell manifests: the serialisable description of a deployment.
+
+The paper's build flow packages "the FPGA executable bitstream and
+software ... together into a consolidated project file".  The manifest
+is that file's metadata half: device, role demands, selected instances,
+enabled Ex-functions, and exposed properties -- enough to rebuild the
+exact tailored shell elsewhere (e.g. on the deployment host, or for an
+audit diff between two releases).
+"""
+
+import json
+from typing import Dict
+
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.core.shell import build_unified_shell
+from repro.core.tailoring import HierarchicalTailor, TailoredShell
+from repro.errors import ConfigurationError
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.catalog import device_by_name
+
+MANIFEST_VERSION = 1
+
+
+def shell_manifest(shell: TailoredShell) -> Dict:
+    """The JSON-serialisable description of a tailored shell."""
+    demands = shell.role.demands
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "device": shell.device.name,
+        "role": {
+            "name": shell.role.name,
+            "architecture": shell.role.architecture.value,
+            "demands": {
+                "network_gbps": demands.network_gbps,
+                "memory_bandwidth_gibps": demands.memory_bandwidth_gibps,
+                "memory_capacity_gib": demands.memory_capacity_gib,
+                "host_gbps": demands.host_gbps,
+                "bulk_dma": demands.bulk_dma,
+                "tenants": demands.tenants,
+                "needs_multicast": demands.needs_multicast,
+                "needs_flow_steering": demands.needs_flow_steering,
+                "needs_hot_cache": demands.needs_hot_cache,
+                "user_clock_mhz": demands.user_clock_mhz,
+            },
+            "resources": shell.role.resources.as_dict(),
+        },
+        "rbbs": {
+            name: {
+                "instance": rbb.selected_instance_name,
+                "ex_functions": {
+                    fn.name: fn.enabled for fn in rbb.ex_functions.values()
+                },
+            }
+            for name, rbb in sorted(shell.rbbs.items())
+        },
+        "role_oriented_properties": sorted(shell.role_oriented_properties),
+        "shell_resources": shell.resources().as_dict(),
+    }
+
+
+def to_json(shell: TailoredShell, indent: int = 2) -> str:
+    return json.dumps(shell_manifest(shell), indent=indent, sort_keys=True)
+
+
+def _role_from_manifest(data: Dict) -> Role:
+    role_data = data["role"]
+    demands = RoleDemands(**role_data["demands"])
+    return Role(
+        name=role_data["name"],
+        architecture=Architecture(role_data["architecture"]),
+        demands=demands,
+        resources=ResourceUsage(**role_data["resources"]),
+    )
+
+
+def rebuild_from_manifest(data: Dict) -> TailoredShell:
+    """Re-tailor the shell a manifest describes and cross-check it.
+
+    Raises :class:`ConfigurationError` when the rebuilt shell disagrees
+    with the manifest (e.g. the library's selection logic changed since
+    the manifest was produced -- exactly what an audit should catch).
+    """
+    version = data.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise ConfigurationError(
+            f"unsupported manifest version {version!r} (expected {MANIFEST_VERSION})"
+        )
+    device = device_by_name(data["device"])
+    role = _role_from_manifest(data)
+    unified = build_unified_shell(device, tenants=role.demands.tenants)
+    shell = HierarchicalTailor(unified).tailor(role)
+    rebuilt = shell_manifest(shell)
+    for key in ("rbbs", "role_oriented_properties"):
+        if rebuilt[key] != data[key]:
+            raise ConfigurationError(
+                f"rebuilt shell disagrees with manifest on {key!r}: "
+                f"{rebuilt[key]!r} != {data[key]!r}"
+            )
+    return shell
+
+
+def from_json(text: str) -> TailoredShell:
+    return rebuild_from_manifest(json.loads(text))

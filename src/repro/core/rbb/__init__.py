@@ -1,0 +1,25 @@
+"""Reusable Building Blocks (paper section 3.3.1)."""
+
+from repro.core.rbb.base import ExFunction, Rbb, RbbKind
+from repro.core.rbb.cdc import ParamClockDomainCrossing
+from repro.core.rbb.host import HostRbb, MultiQueueScheduler
+from repro.core.rbb.memory import AddressInterleaver, HotCache, MemoryRbb
+from repro.core.rbb.network import FlowDirector, NetworkRbb, PacketFilter
+from repro.core.rbb.transport import LossyLink, ReliableTransport
+
+__all__ = [
+    "AddressInterleaver",
+    "ExFunction",
+    "FlowDirector",
+    "HostRbb",
+    "HotCache",
+    "MemoryRbb",
+    "MultiQueueScheduler",
+    "NetworkRbb",
+    "LossyLink",
+    "PacketFilter",
+    "ParamClockDomainCrossing",
+    "ReliableTransport",
+    "Rbb",
+    "RbbKind",
+]

@@ -1,0 +1,233 @@
+"""The Reusable Building Block abstraction.
+
+Each RBB consists of two parts (paper Figure 6):
+
+* the **specific instance** -- a selectable vendor IP providing the raw
+  connectivity (25/100/400G MAC, DDR/HBM controller, PCIe DMA flavour);
+* the **reusable logic** -- common logic extending beyond the instance:
+  *Ex-functions* for performance/feature enhancement, plus *control*
+  (initialization etc.) and *monitoring* logic for hardware management.
+
+The reusable part is what survives migration; the instance is swapped
+per platform behind the interface wrapper.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.adapters.wrapper import InterfaceWrapper, WrappedIp
+from repro.errors import ConfigurationError, TailoringError
+from repro.hw.ip.base import VendorIp
+from repro.hw.registers import InitSequence, RegisterFile
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.sim.pipeline import PipelineChain, PipelineStage
+from repro.sim.stats import MonitorSnapshot
+
+
+class RbbKind(enum.Enum):
+    """The RBB classes Harmonia provides."""
+
+    NETWORK = "network"
+    MEMORY = "memory"
+    HOST = "host"
+    MANAGEMENT = "management"
+
+
+@dataclass
+class ExFunction:
+    """One Ex-function: optional reusable enhancement logic.
+
+    Concrete behaviour (packet filtering, interleaving, ...) lives in
+    the RBB subclasses; this dataclass carries the bookkeeping that
+    tailoring and accounting operate on.
+    """
+
+    name: str
+    resources: ResourceUsage
+    role_properties: Tuple[str, ...] = ()
+    enabled: bool = True
+    latency_cycles: int = 1
+
+
+class Rbb:
+    """Base class for all Reusable Building Blocks."""
+
+    kind: RbbKind = RbbKind.MANAGEMENT
+
+    #: Reusable-logic code inventory (Ex-functions + control + monitor).
+    #: Subclasses override; mostly ``common`` by construction -- that is
+    #: the point of the abstraction.
+    reusable_loc: LocInventory = LocInventory()
+
+    #: Fabric cost of the always-present control + monitoring logic.
+    control_monitor_resources: ResourceUsage = ResourceUsage(lut=450, ff=700, bram_36k=1)
+
+    def __init__(self, name: str, instances: Dict[str, VendorIp], default: str) -> None:
+        if not instances:
+            raise ConfigurationError(f"RBB {name!r} needs at least one instance")
+        if default not in instances:
+            raise ConfigurationError(f"default instance {default!r} not in catalog")
+        self.name = name
+        self._instances = dict(instances)
+        self._selected = default
+        self._wrapper = InterfaceWrapper()
+        self._wrapped: Optional[WrappedIp] = None
+        self.ex_functions: Dict[str, ExFunction] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # --- instance selection ------------------------------------------------
+
+    @property
+    def instance_names(self) -> List[str]:
+        return sorted(self._instances)
+
+    @property
+    def instance(self) -> VendorIp:
+        """The currently selected specific instance."""
+        return self._instances[self._selected]
+
+    @property
+    def selected_instance_name(self) -> str:
+        return self._selected
+
+    def select_instance(self, name: str) -> VendorIp:
+        """Pick a specific instance matching the role's performance needs."""
+        if name not in self._instances:
+            available = ", ".join(self.instance_names)
+            raise TailoringError(
+                f"RBB {self.name!r} has no instance {name!r}; available: {available}"
+            )
+        self._selected = name
+        self._wrapped = None
+        return self.instance
+
+    # --- wrapped data path ---------------------------------------------------
+
+    @property
+    def wrapped(self) -> WrappedIp:
+        """The selected instance behind its interface wrapper (cached)."""
+        if self._wrapped is None or self._wrapped.ip is not self.instance:
+            self._wrapped = self._wrapper.wrap(self.instance)
+        return self._wrapped
+
+    def ex_function_stage(self) -> Optional[PipelineStage]:
+        """The enabled Ex-functions as one fully pipelined stage."""
+        enabled = [fn for fn in self.ex_functions.values() if fn.enabled]
+        if not enabled:
+            return None
+        return PipelineStage(
+            name=f"{self.name}.exfn",
+            clock=self.instance.clock,
+            data_width_bits=self.instance.data_width_bits,
+            latency_cycles=sum(fn.latency_cycles for fn in enabled),
+            initiation_interval=1,
+        )
+
+    def datapath_chain(self, include_wrapper: bool = True) -> PipelineChain:
+        """Instance (+ wrapper) (+ Ex-functions) as a pipeline chain."""
+        stages: List[PipelineStage] = [self.instance.datapath_stage()]
+        if include_wrapper:
+            stages.append(self.wrapped.wrapper_stage())
+        exfn_stage = self.ex_function_stage()
+        if exfn_stage is not None:
+            stages.append(exfn_stage)
+        return PipelineChain(f"{self.name}.datapath", stages)
+
+    # --- Ex-function management ---------------------------------------------
+
+    def add_ex_function(self, function: ExFunction) -> None:
+        if function.name in self.ex_functions:
+            raise ConfigurationError(f"duplicate Ex-function {function.name!r}")
+        self.ex_functions[function.name] = function
+
+    def disable_ex_function(self, name: str) -> None:
+        """Tailoring hook: drop an Ex-function the role does not need."""
+        try:
+            self.ex_functions[name].enabled = False
+        except KeyError:
+            raise TailoringError(f"RBB {self.name!r} has no Ex-function {name!r}") from None
+
+    def enabled_ex_functions(self) -> List[ExFunction]:
+        return [fn for fn in self.ex_functions.values() if fn.enabled]
+
+    # --- accounting ------------------------------------------------------------
+
+    def resources(self, include_wrapper: bool = True) -> ResourceUsage:
+        """Fabric cost of instance + wrapper + enabled reusable logic."""
+        total = self.instance.resources + self.control_monitor_resources
+        if include_wrapper:
+            total = total + self.wrapped.resources
+        for function in self.enabled_ex_functions():
+            total = total + function.resources
+        return total
+
+    def loc(self) -> LocInventory:
+        """Development-workload inventory: instance glue + reusable logic."""
+        return self.instance.loc + self.reusable_loc
+
+    def native_config_item_count(self) -> int:
+        """Configuration items the bare vendor instance exposes."""
+        return self.instance.config_item_count
+
+    def role_properties(self) -> List[str]:
+        """The role-oriented property subset (property-level tailoring)."""
+        properties = [f"{self.name}.instance_select", f"{self.name}.data_width"]
+        for function in self.enabled_ex_functions():
+            properties.extend(f"{self.name}.{prop}" for prop in function.role_properties)
+        return properties
+
+    # --- control & monitoring ----------------------------------------------
+
+    def register_file(self) -> RegisterFile:
+        return self.instance.register_file()
+
+    def init_sequence(self) -> InitSequence:
+        return self.instance.init_sequence()
+
+    def publish_monitors(self, regfile: RegisterFile) -> int:
+        """Poke monitoring counters into the module's STAT_* registers.
+
+        This is what the hardware statistics block does continuously;
+        calling it before a MODULE_STATUS_READ makes the command return
+        live traffic numbers.  Returns how many registers were updated.
+        """
+        mapping = {
+            "rx_packets": "STAT_RX_TOTAL_PACKETS",
+            "rx_bytes": "STAT_RX_TOTAL_BYTES",
+            "rx_dropped": "STAT_RX_DROPPED",
+            "filtered_packets": "STAT_RX_DROPPED",
+            "tx_packets": "STAT_TX_TOTAL_PACKETS",
+            "tx_bytes": "STAT_TX_TOTAL_BYTES",
+            "reads": "STAT_READS",
+            "writes": "STAT_WRITES",
+            "row_hits": "STAT_ROW_HITS",
+            "row_misses": "STAT_ROW_MISSES",
+            "submitted": "STAT_H2C_PACKETS",
+            "transferred": "STAT_C2H_PACKETS",
+            "transferred_bytes": "STAT_C2H_BYTES",
+        }
+        updated = 0
+        for counter, register in mapping.items():
+            if counter in self.counters and register in regfile:
+                regfile.poke(register, self.counters[counter])
+                updated += 1
+        return updated
+
+    def monitor_snapshot(self) -> MonitorSnapshot:
+        """Current monitoring state (what STATUS_READ commands return)."""
+        return MonitorSnapshot(
+            module=self.name, counters=dict(self.counters), gauges=dict(self.gauges)
+        )
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def reset_monitoring(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, instance={self._selected!r})"

@@ -1,0 +1,115 @@
+"""Parameterised clock-domain crossing (paper section 3.3.1, Figure 6).
+
+"To synchronize an RBB at S MHz clock and M bits data width with a user
+application at R MHz clock and U bits data width, Harmonia employs the
+widely used asynchronous FIFO to perform cross-domain data read and
+write ...  Users can select instances that match S x M = R x U to
+achieve lossless bandwidth."
+
+The crossing is built on :class:`repro.sim.fifo.AsyncFifo` (gray-code
+pointer timing) and exposes itself as a fully pipelined stage on the
+destination clock, so it adds fixed latency and -- when the bandwidth
+rule holds -- no throughput loss.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ClockDomain
+from repro.sim.fifo import AsyncFifo
+from repro.sim.pipeline import PipelineStage
+
+
+@dataclass(frozen=True)
+class CdcEndpoint:
+    """One side of the crossing: a clock and a data width."""
+
+    clock: ClockDomain
+    data_width_bits: int
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.clock.bandwidth_bps(self.data_width_bits)
+
+
+class ParamClockDomainCrossing:
+    """A configurable dual-clock, dual-width crossing."""
+
+    def __init__(
+        self,
+        name: str,
+        source: CdcEndpoint,
+        destination: CdcEndpoint,
+        fifo_depth: int = 64,
+        sync_stages: int = 2,
+    ) -> None:
+        if source.data_width_bits <= 0 or destination.data_width_bits <= 0:
+            raise ConfigurationError("CDC data widths must be positive")
+        self.name = name
+        self.source = source
+        self.destination = destination
+        self.fifo = AsyncFifo(
+            f"{name}.fifo",
+            depth=fifo_depth,
+            write_clock=source.clock,
+            read_clock=destination.clock,
+            sync_stages=sync_stages,
+        )
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when the destination can drain at least the source rate.
+
+        The paper's selection rule is the equality S x M = R x U; any
+        faster destination is equally lossless, so this is an
+        inequality check.
+        """
+        return self.destination.bandwidth_bps >= self.source.bandwidth_bps
+
+    @property
+    def width_ratio(self) -> float:
+        """Destination/source width ratio handled by the converter."""
+        return self.destination.data_width_bits / self.source.data_width_bits
+
+    @property
+    def added_latency_ps(self) -> int:
+        """Fixed latency: pointer synchronisation + output register."""
+        return self.fifo.crossing_latency_ps
+
+    def stage(self) -> PipelineStage:
+        """The crossing as a pipeline stage on the destination clock.
+
+        Latency is the synchroniser depth; the stage runs at the
+        destination's width and frequency, so a bandwidth-mismatched
+        crossing correctly becomes the chain's bottleneck.
+        """
+        latency_cycles = self.fifo.sync_stages + 1
+        return PipelineStage(
+            name=self.name,
+            clock=self.destination.clock,
+            data_width_bits=self.destination.data_width_bits,
+            latency_cycles=latency_cycles,
+            initiation_interval=1,
+        )
+
+    def require_lossless(self) -> None:
+        """Raise :class:`ConfigurationError` when the S*M <= R*U rule fails."""
+        if not self.is_lossless:
+            raise ConfigurationError(
+                f"CDC {self.name!r} loses bandwidth: source "
+                f"{self.source.bandwidth_bps / 1e9:.1f} Gbps > destination "
+                f"{self.destination.bandwidth_bps / 1e9:.1f} Gbps; select a "
+                "faster destination instance (S x M = R x U)"
+            )
+
+
+def matching_user_width(
+    rbb_clock_mhz: float, rbb_width_bits: int, user_clock_mhz: float
+) -> int:
+    """Smallest power-of-two user width satisfying S x M <= R x U."""
+    required = rbb_clock_mhz * rbb_width_bits / user_clock_mhz
+    width = 1
+    while width < required:
+        width *= 2
+    return width

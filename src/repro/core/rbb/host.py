@@ -1,0 +1,182 @@
+"""Host RBB: PCIe DMA connectivity (paper section 3.3.1).
+
+Ex-function: *multi-queue isolation* -- "provides 1K DMA queues to
+isolate the transmitted data from different tenants.  Harmonia
+maintains an active/inactive state for each queue, and only schedules
+active queues to improve the scheduling rate."
+
+Monitoring covers per-queue depth, transmitted packets and speed.  Data
+moves over mem-map and stream interfaces; control is a 32-bit reg
+interface; instances are PCIe DMA engines whose data width and clock
+double per PCIe generation.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.rbb.base import ExFunction, Rbb, RbbKind
+from repro.errors import ConfigurationError
+from repro.hw.ip.base import DmaEngineKind
+from repro.hw.ip.pcie import (
+    inhouse_bdma,
+    intel_ptile_mcdma,
+    xilinx_qdma,
+    xilinx_xdma,
+)
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import PcieGeneration
+from repro.platform.vendor import Vendor
+
+#: The paper's Ex-function provides 1K isolated DMA queues.
+DEFAULT_QUEUE_COUNT = 1_024
+
+
+@dataclass
+class DmaDescriptor:
+    """One queued DMA transfer."""
+
+    queue_id: int
+    size_bytes: int
+    tenant_id: int = 0
+
+
+class MultiQueueScheduler:
+    """Active-list round-robin over per-tenant isolated queues.
+
+    Keeping an explicit active list means scheduling cost is O(active
+    queues) rather than O(all queues) -- the paper's "only schedules
+    active queues to improve the scheduling rate" -- which the unit
+    tests verify by counting queue visits.
+    """
+
+    def __init__(self, queue_count: int = DEFAULT_QUEUE_COUNT, tenants: int = 1) -> None:
+        if queue_count < 1 or tenants < 1 or queue_count < tenants:
+            raise ConfigurationError("need at least one queue per tenant")
+        self.queue_count = queue_count
+        self.tenants = tenants
+        self.queues: List[Deque[DmaDescriptor]] = [deque() for _ in range(queue_count)]
+        self._active: Deque[int] = deque()
+        self._active_set: set = set()
+        self.queue_visits = 0
+        self.scheduled = 0
+
+    def queues_of_tenant(self, tenant_id: int) -> range:
+        per_tenant = self.queue_count // self.tenants
+        start = tenant_id * per_tenant
+        return range(start, start + per_tenant)
+
+    def submit(self, descriptor: DmaDescriptor) -> None:
+        """Enqueue a descriptor; tenant isolation is enforced here."""
+        if descriptor.queue_id not in self.queues_of_tenant(descriptor.tenant_id):
+            raise ConfigurationError(
+                f"tenant {descriptor.tenant_id} may not use queue {descriptor.queue_id}"
+            )
+        queue = self.queues[descriptor.queue_id]
+        queue.append(descriptor)
+        if descriptor.queue_id not in self._active_set:
+            self._active_set.add(descriptor.queue_id)
+            self._active.append(descriptor.queue_id)
+
+    @property
+    def active_queue_count(self) -> int:
+        return len(self._active)
+
+    def depth(self, queue_id: int) -> int:
+        return len(self.queues[queue_id])
+
+    def schedule(self) -> Optional[DmaDescriptor]:
+        """Pop the next descriptor in round-robin over active queues."""
+        while self._active:
+            self.queue_visits += 1
+            queue_id = self._active.popleft()
+            queue = self.queues[queue_id]
+            if not queue:
+                self._active_set.discard(queue_id)
+                continue
+            descriptor = queue.popleft()
+            if queue:
+                self._active.append(queue_id)
+            else:
+                self._active_set.discard(queue_id)
+            self.scheduled += 1
+            return descriptor
+        return None
+
+    def drain(self) -> List[DmaDescriptor]:
+        """Schedule until every queue is empty."""
+        result: List[DmaDescriptor] = []
+        while True:
+            descriptor = self.schedule()
+            if descriptor is None:
+                return result
+            result.append(descriptor)
+
+
+class HostRbb(Rbb):
+    """The Host Reusable Building Block."""
+
+    kind = RbbKind.HOST
+
+    reusable_loc = LocInventory(common=3_700, vendor_specific=150, device_specific=120)
+
+    control_monitor_resources = ResourceUsage(lut=1_500, ff=2_400, bram_36k=6)
+
+    reg_width_bits = 32
+
+    def __init__(
+        self,
+        generation: PcieGeneration = PcieGeneration.GEN4,
+        lanes: int = 16,
+        tenants: int = 1,
+        default_instance: str = "sgdma-xilinx",
+    ) -> None:
+        instances = {
+            "sgdma-xilinx": xilinx_qdma(generation, min(lanes, 8)),
+            "bdma-xilinx": xilinx_xdma(PcieGeneration.GEN3, lanes),
+            "sgdma-intel": intel_ptile_mcdma(generation, lanes),
+            "bdma-inhouse": inhouse_bdma(generation, lanes),
+        }
+        super().__init__("host", instances, default_instance)
+        self.scheduler = MultiQueueScheduler(DEFAULT_QUEUE_COUNT, tenants=tenants)
+        self.add_ex_function(
+            ExFunction(
+                name="multi_queue_isolation",
+                resources=ResourceUsage(lut=4_200, ff=5_500, bram_36k=20),
+                role_properties=("queue_count", "tenant_count", "active_scheduling"),
+                latency_cycles=2,
+            )
+        )
+
+    def instance_for_transfer(self, bulk: bool, vendor: Vendor) -> str:
+        """BDMA for bulk transfers, SGDMA for discrete transfers.
+
+        The silicon vendor's own engine is preferred; in-house IP is the
+        fallback for vendors without a matching engine style.
+        """
+        wanted = DmaEngineKind.BDMA if bulk else DmaEngineKind.SGDMA
+        fallback = None
+        for name in self.instance_names:
+            ip = self._instances[name]
+            if ip.dma_engine is not wanted:
+                continue
+            if ip.vendor is vendor:
+                return name
+            if ip.vendor is Vendor.INHOUSE:
+                fallback = name
+        if fallback is not None:
+            return fallback
+        raise ConfigurationError(f"no {wanted.value} engine for vendor {vendor.value}")
+
+    def transfer(self, descriptors: Iterable[DmaDescriptor]) -> Tuple[int, int]:
+        """Submit + drain descriptors; returns (count, bytes) moved."""
+        for descriptor in descriptors:
+            self.scheduler.submit(descriptor)
+            self._bump("submitted")
+        moved = self.scheduler.drain()
+        total_bytes = sum(d.size_bytes for d in moved)
+        self._bump("transferred", len(moved))
+        self._bump("transferred_bytes", total_bytes)
+        self.gauges["active_queues"] = float(self.scheduler.active_queue_count)
+        return len(moved), total_bytes

@@ -1,0 +1,321 @@
+"""Memory RBB: DDR/HBM management (paper section 3.3.1).
+
+Ex-functions:
+
+* :class:`AddressInterleaver` -- "maps data into different bank groups
+  to improve the efficiency of read/write operations";
+* :class:`HotCache` -- "stores consecutively accessed data on-chip for
+  fast access, avoiding situations where interleaved access is
+  impossible".
+
+The RBB owns a bank-state machine per channel built on the
+:class:`repro.hw.ip.ddr.DdrTiming` model, so the access-pattern effects
+the paper's storage benchmark shows (sequential > fixed > random,
+Figure 18c) come out of actual open-row/bank-group simulation.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.rbb.base import ExFunction, Rbb, RbbKind
+from repro.errors import ConfigurationError
+from repro.hw.ip.ddr import (
+    DDR3_1600,
+    DDR4_2400,
+    DdrTiming,
+    intel_emif_ddr4,
+    xilinx_ddr3_mig,
+    xilinx_ddr4_mig,
+)
+from repro.hw.ip.hbm import xilinx_hbm_stack
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.vendor import Vendor
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One read or write of ``size_bytes`` at ``address``."""
+
+    address: int
+    size_bytes: int = 64
+    is_write: bool = False
+
+
+@dataclass
+class AccessResult:
+    """Aggregate outcome of a batch of accesses."""
+
+    total_ps: int
+    row_hits: int
+    row_misses: int
+    cache_hits: int
+    bytes_moved: int
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        if self.total_ps == 0:
+            return 0.0
+        return self.bytes_moved * 8 / (self.total_ps / 1e12) / 1e9
+
+    def accesses_per_second(self) -> float:
+        count = self.row_hits + self.row_misses + self.cache_hits
+        if self.total_ps == 0:
+            return 0.0
+        return count / (self.total_ps / 1e12)
+
+
+class AddressInterleaver:
+    """Bank-group (and channel) interleaving via XOR bit folding.
+
+    Without interleaving, the bank group comes from high address bits,
+    so nearby addresses pile into one group and pay the long tCCD_L gap
+    back to back.  With interleaving, the group is the XOR of a low and
+    a high bit field, spreading consecutive rows across groups.
+    """
+
+    def __init__(self, timing: DdrTiming, channels: int, enabled: bool = True) -> None:
+        self.timing = timing
+        self.channels = channels
+        self.enabled = enabled
+
+    def map(self, address: int) -> Tuple[int, int, int, int]:
+        """address -> (channel, bank_group, bank, row).
+
+        The mapping is bijective on (group, bank, row) for a fixed
+        channel: distinct rows of the device never alias.  Interleaved
+        mode spreads consecutive rows across bank groups and banks
+        (bank-group-level parallelism); the naive mode is the classic
+        ROW-BANK-COLUMN layout where nearby rows share a bank and every
+        consecutive access re-activates it.
+        """
+        timing = self.timing
+        burst = address // timing.burst_bytes
+        row_index = address // timing.row_bytes
+        banks = timing.banks_per_group
+        groups = timing.bank_groups
+        if self.enabled:
+            channel = (burst ^ (burst >> 7)) % max(self.channels, 1)
+            group = row_index % groups
+            bank = (row_index // groups) % banks
+            row = row_index // (groups * banks)
+        else:
+            channel = (address >> 28) % max(self.channels, 1)
+            group = (row_index >> 10) % groups
+            bank = (row_index >> 8) % banks
+            row = row_index
+        return channel, group, bank, row
+
+
+class HotCache:
+    """A direct-mapped on-chip cache for consecutively accessed data."""
+
+    def __init__(self, lines: int = 1_024, line_bytes: int = 64, enabled: bool = True) -> None:
+        if lines < 1 or line_bytes < 1:
+            raise ConfigurationError("hot cache needs positive geometry")
+        self.lines = lines
+        self.line_bytes = line_bytes
+        self.enabled = enabled
+        self._tags: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    #: On-chip access time for a cache hit (a couple of fabric cycles).
+    HIT_TIME_PS = 6_000
+
+    def lookup(self, address: int, is_write: bool) -> bool:
+        """True on hit.  Writes allocate; reads allocate on miss."""
+        if not self.enabled:
+            return False
+        line = address // self.line_bytes
+        index = line % self.lines
+        if self._tags.get(index) == line and not is_write:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._tags[index] = line
+        return False
+
+    def flush(self) -> None:
+        self._tags.clear()
+
+
+class _ChannelState:
+    """Open-row, bank, and command-bus timing state for one channel.
+
+    Constraints modelled per JEDEC DDR4 semantics:
+
+    * the data bus carries one burst per BL/2 cycles;
+    * consecutive column commands to the same bank group wait tCCD_L,
+      across groups only tCCD_S;
+    * a row miss activates: activates to the same bank wait tRC, to any
+      bank tRRD, and at most four activates fit in a tFAW window.
+
+    Bank-level parallelism falls out: misses to different banks overlap,
+    misses hammering one bank serialise on tRC -- which is exactly what
+    the address-interleaving Ex-function exploits.
+    """
+
+    def __init__(self, timing: DdrTiming) -> None:
+        self.timing = timing
+        self.open_rows: Dict[Tuple[int, int], int] = {}
+        self.bank_free_ps: Dict[Tuple[int, int], int] = {}
+        self.activate_window: List[int] = []
+        self.last_issue_ps = 0
+        self.last_group: Optional[int] = None
+        self.bus_free_ps = 0
+
+    def service(self, group: int, bank: int, row: int, now_ps: int) -> Tuple[int, bool]:
+        """Issue one burst; returns (completion_ps, row_hit)."""
+        timing = self.timing
+        issue = max(now_ps, self.bus_free_ps)
+        if self.last_group is not None:
+            gap = (
+                timing.same_group_gap_ps
+                if group == self.last_group
+                else timing.cross_group_gap_ps
+            )
+            issue = max(issue, self.last_issue_ps + gap)
+        key = (group, bank)
+        row_hit = self.open_rows.get(key) == row
+        if not row_hit:
+            issue = max(issue, self.bank_free_ps.get(key, 0))
+            if self.activate_window:
+                issue = max(issue, self.activate_window[-1] + timing.trrd_ps)
+            if len(self.activate_window) == 4:
+                issue = max(issue, self.activate_window[0] + timing.tfaw_ps)
+                self.activate_window.pop(0)
+            self.activate_window.append(issue)
+            self.bank_free_ps[key] = issue + timing.trc_ps
+        self.open_rows[key] = row
+        self.last_issue_ps = issue
+        self.last_group = group
+        self.bus_free_ps = issue + timing.burst_transfer_ps
+        service = timing.row_hit_ps if row_hit else timing.row_miss_ps
+        return issue + service, row_hit
+
+
+class MemoryRbb(Rbb):
+    """The Memory Reusable Building Block."""
+
+    kind = RbbKind.MEMORY
+
+    reusable_loc = LocInventory(common=3_030, vendor_specific=160, device_specific=150)
+
+    control_monitor_resources = ResourceUsage(lut=1_100, ff=1_700, bram_36k=3)
+
+    #: Paper: 512-bit mem map data interface, 32-bit reg control.
+    mem_map_width_bits = 512
+    reg_width_bits = 32
+
+    def __init__(
+        self,
+        default_instance: str = "ddr4-xilinx",
+        timing: DdrTiming = DDR4_2400,
+        cache_lines: int = 1_024,
+    ) -> None:
+        instances = {
+            "ddr3-xilinx": xilinx_ddr3_mig(),
+            "ddr4-xilinx": xilinx_ddr4_mig(),
+            "ddr4-intel": intel_emif_ddr4(),
+            "hbm-xilinx": xilinx_hbm_stack(),
+        }
+        super().__init__("memory", instances, default_instance)
+        self.timing = timing
+        self.interleaver = AddressInterleaver(timing, channels=self.channel_count)
+        self.hot_cache = HotCache(lines=cache_lines)
+        self.add_ex_function(
+            ExFunction(
+                name="address_interleaving",
+                resources=ResourceUsage(lut=1_900, ff=2_300),
+                role_properties=("interleave_mode",),
+                latency_cycles=1,
+            )
+        )
+        self.add_ex_function(
+            ExFunction(
+                name="hot_cache",
+                resources=ResourceUsage(lut=2_600, ff=3_000, bram_36k=32),
+                role_properties=("cache_lines", "cache_line_bytes"),
+                latency_cycles=1,
+            )
+        )
+
+    @property
+    def channel_count(self) -> int:
+        """Channels of the selected instance (2 DDR dies -> 2; HBM -> 32)."""
+        return self.instance.channels
+
+    def select_instance(self, name: str):
+        ip = super().select_instance(name)
+        # Legacy DDR3 devices run the slower JEDEC timing set.
+        self.timing = DDR3_1600 if name.startswith("ddr3") else DDR4_2400
+        self.interleaver = AddressInterleaver(
+            self.timing, channels=self.channel_count, enabled=self.interleaver.enabled
+        )
+        return ip
+
+    def instance_for_bandwidth(self, gbps: float, vendor: Vendor, device=None) -> str:
+        """Pick DDR vs HBM by required GB/s on the vendor's silicon.
+
+        When a device is given, only instances whose memory kind the
+        board actually carries are considered.
+        """
+        candidates = []
+        for name in self.instance_names:
+            ip = self._instances[name]
+            if ip.performance_gbps / 8 < gbps:
+                continue
+            if ip.vendor not in (vendor, Vendor.INHOUSE):
+                continue
+            if device is not None and ip.requires_peripheral is not None:
+                if not device.has_peripheral(ip.requires_peripheral):
+                    continue
+            candidates.append((ip.performance_gbps, name))
+        if not candidates:
+            raise ConfigurationError(
+                f"no {vendor.value} memory instance reaches {gbps} GB/s"
+                + (f" on {device.name}" if device is not None else "")
+            )
+        return min(candidates)[1]
+
+    def run_accesses(self, accesses: Sequence[MemoryAccess]) -> AccessResult:
+        """Simulate a batch of accesses through cache + interleaved banks."""
+        interleave_on = self.ex_functions["address_interleaving"].enabled
+        cache_on = self.ex_functions["hot_cache"].enabled
+        self.interleaver.enabled = interleave_on
+        self.hot_cache.enabled = cache_on
+        channels = [_ChannelState(self.timing) for _ in range(max(self.channel_count, 1))]
+        now_ps = 0
+        finish_ps = 0
+        row_hits = 0
+        row_misses = 0
+        cache_hits = 0
+        bytes_moved = 0
+        for access in accesses:
+            bytes_moved += access.size_bytes
+            self._bump("writes" if access.is_write else "reads")
+            if self.hot_cache.lookup(access.address, access.is_write):
+                cache_hits += 1
+                finish_ps = max(finish_ps, now_ps + HotCache.HIT_TIME_PS)
+                now_ps += HotCache.HIT_TIME_PS // 4  # pipelined on-chip hits
+                continue
+            channel, group, bank, row = self.interleaver.map(access.address)
+            completion, hit = channels[channel].service(group, bank, row, now_ps)
+            if hit:
+                row_hits += 1
+            else:
+                row_misses += 1
+            finish_ps = max(finish_ps, completion)
+            # The front end issues one access per controller cycle; the
+            # channels absorb them in parallel.
+            now_ps += self.instance.clock.period_ps
+        self.counters["row_hits"] = self.counters.get("row_hits", 0) + row_hits
+        self.counters["row_misses"] = self.counters.get("row_misses", 0) + row_misses
+        return AccessResult(
+            total_ps=max(finish_ps, 1),
+            row_hits=row_hits,
+            row_misses=row_misses,
+            cache_hits=cache_hits,
+            bytes_moved=bytes_moved,
+        )

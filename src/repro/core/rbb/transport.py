@@ -1,0 +1,232 @@
+"""Flow-level reliable transport for the Network RBB.
+
+The paper's Network RBB covers "flow-level processing (e.g., RDMA)"
+alongside packet-level MACs.  This module implements the transport
+behaviour such an engine provides, in the style of the SRNIC
+architecture the paper cites: connection (queue-pair) state machines,
+go-back-N retransmission with sequence numbers and ACK/NAK, and a
+bounded outstanding-data window.
+
+The transport runs over an abstract lossy link so tests can inject
+loss, reordering-free corruption, and window pressure deterministically.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Maximum transfer unit of one transport segment (payload bytes).
+SEGMENT_MTU = 4_096
+
+
+class SegmentKind(enum.Enum):
+    DATA = "data"
+    ACK = "ack"
+    NAK = "nak"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One transport segment on the wire."""
+
+    kind: SegmentKind
+    connection_id: int
+    sequence: int
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0 or self.payload_bytes > SEGMENT_MTU:
+            raise ConfigurationError(
+                f"segment payload {self.payload_bytes} outside [0, {SEGMENT_MTU}]"
+            )
+
+
+class LossyLink:
+    """A deterministic lossy link: drops segments at scripted positions."""
+
+    def __init__(self, drop_positions: Optional[List[int]] = None) -> None:
+        self._drop_positions = set(drop_positions or [])
+        self._position = 0
+        self.delivered: List[Segment] = []
+        self.dropped: List[Segment] = []
+
+    def transmit(self, segment: Segment) -> Optional[Segment]:
+        """Returns the segment if delivered, None if dropped."""
+        position = self._position
+        self._position += 1
+        if position in self._drop_positions:
+            self.dropped.append(segment)
+            return None
+        self.delivered.append(segment)
+        return segment
+
+
+class ConnectionState(enum.Enum):
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass
+class _SenderConnection:
+    """Go-back-N sender state for one connection."""
+
+    connection_id: int
+    window_segments: int
+    next_sequence: int = 0          # next new sequence to assign
+    base_sequence: int = 0          # oldest unacknowledged sequence
+    state: ConnectionState = ConnectionState.OPEN
+    unacked: Dict[int, Segment] = field(default_factory=dict)
+    retransmissions: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.next_sequence - self.base_sequence
+
+    @property
+    def window_open(self) -> bool:
+        return self.in_flight < self.window_segments
+
+
+@dataclass
+class _ReceiverConnection:
+    """Cumulative-ACK receiver state for one connection."""
+
+    connection_id: int
+    expected_sequence: int = 0
+    received_bytes: int = 0
+    duplicates: int = 0
+
+
+class ReliableTransport:
+    """A go-back-N transport engine over a lossy link.
+
+    One engine instance owns both endpoints of the link (the test
+    harness drives the wire), matching how a NIC-local loopback or a
+    two-card bench exercises the data path.
+    """
+
+    def __init__(self, link: LossyLink, window_segments: int = 8) -> None:
+        if window_segments < 1:
+            raise ConfigurationError("window must hold at least one segment")
+        self.link = link
+        self.window_segments = window_segments
+        self._senders: Dict[int, _SenderConnection] = {}
+        self._receivers: Dict[int, _ReceiverConnection] = {}
+        self.acks_sent = 0
+        self.naks_sent = 0
+
+    # --- connection management ----------------------------------------------
+
+    def open_connection(self, connection_id: int) -> None:
+        if connection_id in self._senders:
+            raise ConfigurationError(f"connection {connection_id} already open")
+        self._senders[connection_id] = _SenderConnection(
+            connection_id, self.window_segments
+        )
+        self._receivers[connection_id] = _ReceiverConnection(connection_id)
+
+    def close_connection(self, connection_id: int) -> None:
+        sender = self._sender(connection_id)
+        if sender.in_flight:
+            raise ConfigurationError(
+                f"connection {connection_id} still has {sender.in_flight} "
+                "segments in flight"
+            )
+        sender.state = ConnectionState.CLOSED
+
+    def _sender(self, connection_id: int) -> _SenderConnection:
+        try:
+            return self._senders[connection_id]
+        except KeyError:
+            raise ConfigurationError(f"connection {connection_id} not open") from None
+
+    def _receiver(self, connection_id: int) -> _ReceiverConnection:
+        return self._receivers[connection_id]
+
+    # --- data path -----------------------------------------------------------
+
+    def send(self, connection_id: int, payload_bytes: int) -> List[Segment]:
+        """Queue a message; returns the DATA segments put on the wire.
+
+        The message is segmented at the MTU; segments beyond the window
+        wait (the caller re-pumps via :meth:`pump` after ACKs arrive).
+        """
+        sender = self._sender(connection_id)
+        if sender.state is not ConnectionState.OPEN:
+            raise ConfigurationError(f"connection {connection_id} is closed")
+        segments: List[Segment] = []
+        remaining = payload_bytes
+        while remaining > 0 and sender.window_open:
+            chunk = min(remaining, SEGMENT_MTU)
+            segment = Segment(SegmentKind.DATA, connection_id,
+                              sender.next_sequence, chunk)
+            sender.unacked[sender.next_sequence] = segment
+            sender.next_sequence += 1
+            remaining -= chunk
+            delivered = self.link.transmit(segment)
+            segments.append(segment)
+            if delivered is not None:
+                self._on_data(delivered)
+        return segments
+
+    def _on_data(self, segment: Segment) -> None:
+        """Receiver side: in-order accept, cumulative ACK, NAK on gap."""
+        receiver = self._receiver(segment.connection_id)
+        if segment.sequence == receiver.expected_sequence:
+            receiver.expected_sequence += 1
+            receiver.received_bytes += segment.payload_bytes
+            self.acks_sent += 1
+            self._on_ack(segment.connection_id, receiver.expected_sequence)
+        elif segment.sequence < receiver.expected_sequence:
+            receiver.duplicates += 1
+            self.acks_sent += 1
+            self._on_ack(segment.connection_id, receiver.expected_sequence)
+        else:
+            self.naks_sent += 1
+            self._on_nak(segment.connection_id, receiver.expected_sequence)
+
+    def _on_ack(self, connection_id: int, cumulative: int) -> None:
+        """Sender side: slide the window up to ``cumulative``."""
+        sender = self._sender(connection_id)
+        while sender.base_sequence < cumulative:
+            sender.unacked.pop(sender.base_sequence, None)
+            sender.base_sequence += 1
+
+    def _on_nak(self, connection_id: int, expected: int) -> None:
+        """Sender side: go-back-N from the receiver's expected sequence."""
+        sender = self._sender(connection_id)
+        for sequence in range(expected, sender.next_sequence):
+            segment = sender.unacked.get(sequence)
+            if segment is None:
+                continue
+            sender.retransmissions += 1
+            delivered = self.link.transmit(segment)
+            if delivered is not None:
+                self._on_data(delivered)
+
+    def pump(self, connection_id: int) -> None:
+        """Retransmit everything outstanding (the timeout path)."""
+        sender = self._sender(connection_id)
+        self._on_nak(connection_id, sender.base_sequence)
+
+    # --- introspection ---------------------------------------------------------
+
+    def stats(self, connection_id: int) -> Dict[str, int]:
+        sender = self._sender(connection_id)
+        receiver = self._receiver(connection_id)
+        return {
+            "in_flight": sender.in_flight,
+            "retransmissions": sender.retransmissions,
+            "received_bytes": receiver.received_bytes,
+            "duplicates": receiver.duplicates,
+            "acks": self.acks_sent,
+            "naks": self.naks_sent,
+        }
+
+    def transfer_complete(self, connection_id: int, payload_bytes: int) -> bool:
+        """True when every byte of a ``payload_bytes`` message arrived."""
+        sender = self._sender(connection_id)
+        receiver = self._receiver(connection_id)
+        return sender.in_flight == 0 and receiver.received_bytes >= payload_bytes

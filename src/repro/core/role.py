@@ -1,0 +1,69 @@
+"""Roles and their demands.
+
+A :class:`RoleDemands` is what hierarchical tailoring consumes: which
+services the role needs, at what performance, with which features.  A
+:class:`Role` couples the demands with the role's own footprint and the
+acceleration architecture it uses (Table 2's BITW / Look-aside split).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+
+
+class Architecture(enum.Enum):
+    """Acceleration architectures seen in the application mix."""
+
+    BUMP_IN_THE_WIRE = "bitw"
+    LOOK_ASIDE = "look-aside"
+    FLEXIBLE = "flexible"   # Board Test supports diverse architectures
+
+
+@dataclass(frozen=True)
+class RoleDemands:
+    """The resource and functional requirements of one role.
+
+    Zero-valued performance fields mean "service not required" -- the
+    corresponding RBB is removed at module-level tailoring.
+    """
+
+    network_gbps: float = 0.0
+    memory_bandwidth_gibps: float = 0.0       # GB/s
+    memory_capacity_gib: int = 0
+    host_gbps: float = 0.0
+    bulk_dma: bool = True
+    tenants: int = 1
+    needs_multicast: bool = False
+    needs_flow_steering: bool = False
+    needs_hot_cache: bool = False
+    user_clock_mhz: float = 250.0
+
+    @property
+    def needs_network(self) -> bool:
+        return self.network_gbps > 0
+
+    @property
+    def needs_memory(self) -> bool:
+        return self.memory_bandwidth_gibps > 0 or self.memory_capacity_gib > 0
+
+    @property
+    def needs_host(self) -> bool:
+        return self.host_gbps > 0
+
+
+@dataclass(frozen=True)
+class Role:
+    """A user-owned application region."""
+
+    name: str
+    architecture: Architecture
+    demands: RoleDemands
+    resources: ResourceUsage = ResourceUsage()
+    loc: LocInventory = LocInventory()
+    description: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.architecture.value})"

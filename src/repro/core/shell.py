@@ -1,0 +1,172 @@
+"""The unified shell abstraction (paper section 3.3.1, Figure 6).
+
+A :class:`UnifiedShell` bundles every RBB the target device can carry
+(network, memory, host) plus the management blocks (I2C, flash,
+sensors, and the soft core hosting the unified control kernel).  It is
+the one-size-fits-all artifact that hierarchical tailoring then prunes
+per role.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.adapters.wrapper import InterfaceWrapper, WrappedIp
+from repro.core.rbb.base import Rbb
+from repro.core.rbb.host import HostRbb
+from repro.core.rbb.memory import MemoryRbb
+from repro.core.rbb.network import NetworkRbb
+from repro.errors import ConfigurationError
+from repro.hw.ip.base import VendorIp
+from repro.hw.ip.misc import i2c_controller, qspi_flash, sensor_block, soft_core
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice, PeripheralKind
+from repro.platform.vendor import Vendor
+
+
+#: The static shell region every variant keeps: AXI interconnect,
+#: clock/reset trees, the partial-reconfiguration controller (ICAP/PR-IP),
+#: decoupling logic, and debug infrastructure.  Tailoring cannot remove
+#: it, which is why tailored shells save a bounded fraction of resources.
+SHELL_INFRASTRUCTURE = ResourceUsage(lut=39_000, ff=55_000, bram_36k=80, uram=0, dsp=0)
+
+#: Development inventory of that static region -- interconnect and PR
+#: plumbing is platform-independent by construction, with modest
+#: vendor-specific (ICAP vs PR-IP) and per-device (floorplan) slices.
+SHELL_INFRASTRUCTURE_LOC = LocInventory(
+    common=5_200, vendor_specific=700, device_specific=900, generated=3_600
+)
+
+
+class UnifiedShell:
+    """All services the platform offers on one device."""
+
+    def __init__(self, device: FpgaDevice, tenants: int = 1) -> None:
+        self.device = device
+        self.tenants = tenants
+        self.rbbs: Dict[str, Rbb] = {}
+        self.management: List[VendorIp] = []
+        self._wrapper = InterfaceWrapper()
+        self._build()
+
+    # --- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        device = self.device
+        vendor = device.chip_vendor
+        if device.network_gbps > 0:
+            network = NetworkRbb(tenants=self.tenants)
+            network.select_instance(self._pick_network_instance(vendor))
+            self.rbbs["network"] = network
+        if device.memory_kinds:
+            memory = MemoryRbb()
+            memory.select_instance(self._pick_memory_instance(vendor))
+            self.rbbs["memory"] = memory
+        host = HostRbb(
+            generation=device.pcie.pcie_generation,
+            lanes=device.pcie.pcie_lanes,
+            tenants=self.tenants,
+        )
+        host.select_instance(self._pick_host_instance(vendor))
+        self.rbbs["host"] = host
+        self.management = [
+            i2c_controller(device.board_vendor),
+            qspi_flash(device.board_vendor),
+            sensor_block(device.board_vendor),
+            soft_core(device.board_vendor),
+        ]
+
+    def _pick_network_instance(self, vendor: Vendor) -> str:
+        device = self.device
+        if device.has_peripheral(PeripheralKind.QSFP112):
+            return "400g-inhouse"
+        if device.has_peripheral(PeripheralKind.DSFP):
+            return "200g-inhouse"   # DSFP cages carry 2 x 100G
+        if vendor is Vendor.INTEL:
+            return "100g-intel"
+        return "100g-xilinx"
+
+    def _pick_memory_instance(self, vendor: Vendor) -> str:
+        if self.device.has_peripheral(PeripheralKind.HBM):
+            return "hbm-xilinx"
+        if self.device.has_peripheral(PeripheralKind.DDR4):
+            return "ddr4-intel" if vendor is Vendor.INTEL else "ddr4-xilinx"
+        return "ddr3-xilinx"
+
+    def _pick_host_instance(self, vendor: Vendor) -> str:
+        if vendor is Vendor.INTEL:
+            return "sgdma-intel"
+        if self.device.budget.uram == 0:
+            # QDMA is an UltraScale+ IP (URAM-backed descriptor storage);
+            # older Xilinx families take the XDMA block engine.
+            return "bdma-xilinx"
+        return "sgdma-xilinx"
+
+    # --- accessors ---------------------------------------------------------
+
+    @property
+    def network(self) -> Optional[NetworkRbb]:
+        rbb = self.rbbs.get("network")
+        return rbb if isinstance(rbb, NetworkRbb) else None
+
+    @property
+    def memory(self) -> Optional[MemoryRbb]:
+        rbb = self.rbbs.get("memory")
+        return rbb if isinstance(rbb, MemoryRbb) else None
+
+    @property
+    def host(self) -> HostRbb:
+        rbb = self.rbbs["host"]
+        assert isinstance(rbb, HostRbb)
+        return rbb
+
+    def rbb(self, name: str) -> Rbb:
+        try:
+            return self.rbbs[name]
+        except KeyError:
+            raise ConfigurationError(f"shell has no RBB {name!r}") from None
+
+    def modules(self) -> List[VendorIp]:
+        """Every vendor IP in the shell (RBB instances + management)."""
+        return [rbb.instance for rbb in self.rbbs.values()] + list(self.management)
+
+    # --- accounting ---------------------------------------------------------
+
+    def resources(self) -> ResourceUsage:
+        """Fabric cost of the whole shell (wrappers included)."""
+        total = ResourceUsage.total(rbb.resources() for rbb in self.rbbs.values())
+        management = ResourceUsage.total(ip.resources for ip in self.management)
+        management_wrappers = ResourceUsage.total(
+            self._wrapper.wrap(ip).resources for ip in self.management if ip.interfaces
+        )
+        return total + management + management_wrappers + SHELL_INFRASTRUCTURE
+
+    def wrapper_resources(self) -> ResourceUsage:
+        """Just the interface-wrapper overhead (Figure 16 numerator)."""
+        return ResourceUsage.total(rbb.wrapped.resources for rbb in self.rbbs.values())
+
+    def control_kernel_resources(self) -> ResourceUsage:
+        """The soft core carrying the unified control kernel."""
+        for ip in self.management:
+            if ip.name.startswith("softcore"):
+                return ip.resources
+        return ResourceUsage()
+
+    def loc(self) -> LocInventory:
+        """Development-workload inventory of the shell."""
+        total = LocInventory.total_of(rbb.loc() for rbb in self.rbbs.values())
+        total = total + LocInventory.total_of(ip.loc for ip in self.management)
+        return total + SHELL_INFRASTRUCTURE_LOC
+
+    def native_config_item_count(self) -> int:
+        """Config items of all RBB instances before property tailoring."""
+        return sum(rbb.native_config_item_count() for rbb in self.rbbs.values())
+
+    def __repr__(self) -> str:
+        rbb_list = ", ".join(sorted(self.rbbs))
+        return f"UnifiedShell({self.device.name!r}, rbbs=[{rbb_list}])"
+
+
+def build_unified_shell(device: FpgaDevice, tenants: int = 1) -> UnifiedShell:
+    """Factory mirroring the paper's 'create a unified shell from RBBs'."""
+    return UnifiedShell(device, tenants=tenants)

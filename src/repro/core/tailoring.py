@@ -1,0 +1,186 @@
+"""Hierarchical shell tailoring (paper section 3.3.2, Figure 7).
+
+Two passes:
+
+* **Module-level** -- remove non-essential RBBs given the role's
+  demands, then select instances meeting its data-transfer performance
+  (e.g. BDMA for bulk, SGDMA for discrete transfers) and drop
+  Ex-functions the role does not use;
+* **Property-level** -- split the surviving instances' properties into a
+  shell-oriented part (absorbed by the platform) and a role-oriented
+  part (exposed to the user), so the role sees only "the necessary
+  properties required by each role (e.g., occupied channels, desired
+  queues, etc.)".
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.adapters.wrapper import InterfaceWrapper
+from repro.core.rbb.base import Rbb
+from repro.core.role import Role, RoleDemands
+from repro.core.shell import UnifiedShell
+from repro.errors import TailoringError
+from repro.hw.ip.base import VendorIp
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import FpgaDevice
+
+
+@dataclass
+class TailoredShell:
+    """A role-specific shell instance produced by hierarchical tailoring."""
+
+    device: FpgaDevice
+    role: Role
+    rbbs: Dict[str, Rbb]
+    management: List[VendorIp]
+    role_oriented_properties: List[str]
+    shell_oriented_properties: List[str]
+
+    _wrapper: InterfaceWrapper = field(default_factory=InterfaceWrapper, repr=False)
+
+    def modules(self) -> List[VendorIp]:
+        return [rbb.instance for rbb in self.rbbs.values()] + list(self.management)
+
+    def resources(self) -> ResourceUsage:
+        from repro.core.shell import SHELL_INFRASTRUCTURE
+
+        total = ResourceUsage.total(rbb.resources() for rbb in self.rbbs.values())
+        management = ResourceUsage.total(ip.resources for ip in self.management)
+        return total + management + SHELL_INFRASTRUCTURE
+
+    def loc(self) -> LocInventory:
+        from repro.core.shell import SHELL_INFRASTRUCTURE_LOC
+
+        total = LocInventory.total_of(rbb.loc() for rbb in self.rbbs.values())
+        total = total + LocInventory.total_of(ip.loc for ip in self.management)
+        return total + SHELL_INFRASTRUCTURE_LOC
+
+    def native_config_item_count(self) -> int:
+        """What the role would configure without property tailoring."""
+        return sum(rbb.native_config_item_count() for rbb in self.rbbs.values())
+
+    def role_config_item_count(self) -> int:
+        """What the role actually configures after property tailoring."""
+        return len(self.role_oriented_properties)
+
+    def config_simplification_factor(self) -> float:
+        exposed = self.role_config_item_count()
+        if exposed == 0:
+            raise TailoringError("tailored shell exposes no properties at all")
+        return self.native_config_item_count() / exposed
+
+    def __repr__(self) -> str:
+        rbb_list = ", ".join(sorted(self.rbbs))
+        return (
+            f"TailoredShell(role={self.role.name!r}, device={self.device.name!r}, "
+            f"rbbs=[{rbb_list}])"
+        )
+
+
+class HierarchicalTailor:
+    """Runs module-level then property-level tailoring."""
+
+    def __init__(self, unified: UnifiedShell) -> None:
+        self.unified = unified
+
+    def tailor(self, role: Role) -> TailoredShell:
+        """Produce the role-specific shell for ``role``."""
+        demands = role.demands
+        retained = self._module_level(demands)
+        role_props, shell_props = self._property_level(retained)
+        return TailoredShell(
+            device=self.unified.device,
+            role=role,
+            rbbs=retained,
+            management=list(self.unified.management),
+            role_oriented_properties=role_props,
+            shell_oriented_properties=shell_props,
+        )
+
+    # --- module level --------------------------------------------------------
+
+    def _module_level(self, demands: RoleDemands) -> Dict[str, Rbb]:
+        """Keep required RBBs, select instances, drop unused Ex-functions.
+
+        RBBs are *re-built* (fresh objects) so tailoring one role never
+        mutates the unified shell or another role's shell.
+        """
+        from repro.core.rbb.host import HostRbb
+        from repro.core.rbb.memory import MemoryRbb
+        from repro.core.rbb.network import NetworkRbb
+
+        device = self.unified.device
+        vendor = device.chip_vendor
+        retained: Dict[str, Rbb] = {}
+
+        if demands.needs_network:
+            if self.unified.network is None:
+                raise TailoringError(
+                    f"role needs {demands.network_gbps} Gbps networking but device "
+                    f"{device.name!r} has no network cage"
+                )
+            if demands.network_gbps > device.network_gbps:
+                raise TailoringError(
+                    f"role needs {demands.network_gbps} Gbps but device "
+                    f"{device.name!r} tops out at {device.network_gbps} Gbps"
+                )
+            network = NetworkRbb(tenants=demands.tenants)
+            network.select_instance(
+                network.instance_for_rate(demands.network_gbps, vendor, device)
+            )
+            if not demands.needs_multicast:
+                network.disable_ex_function("packet_filter")
+            if not demands.needs_flow_steering and demands.tenants == 1:
+                network.disable_ex_function("flow_director")
+            retained["network"] = network
+
+        if demands.needs_memory:
+            if self.unified.memory is None:
+                raise TailoringError(
+                    f"role needs on-card memory but device {device.name!r} has none"
+                )
+            memory = MemoryRbb()
+            try:
+                memory.select_instance(
+                    memory.instance_for_bandwidth(
+                        demands.memory_bandwidth_gibps, vendor, device
+                    )
+                )
+            except Exception as error:
+                raise TailoringError(str(error)) from error
+            if not demands.needs_hot_cache:
+                memory.disable_ex_function("hot_cache")
+            retained["memory"] = memory
+
+        if demands.needs_host:
+            host = HostRbb(
+                generation=device.pcie.pcie_generation,
+                lanes=device.pcie.pcie_lanes,
+                tenants=demands.tenants,
+            )
+            host.select_instance(host.instance_for_transfer(demands.bulk_dma, vendor))
+            if demands.tenants == 1 and demands.bulk_dma:
+                host.disable_ex_function("multi_queue_isolation")
+            retained["host"] = host
+
+        if not retained:
+            raise TailoringError("role demands no services; nothing to tailor")
+        return retained
+
+    # --- property level ---------------------------------------------------------
+
+    def _property_level(self, retained: Dict[str, Rbb]):
+        """Split properties into role-oriented and shell-oriented parts."""
+        role_props: List[str] = []
+        shell_props: List[str] = []
+        for rbb in retained.values():
+            exposed = rbb.role_properties()
+            role_props.extend(exposed)
+            native = rbb.native_config_item_count()
+            hidden = max(native - len(exposed), 0)
+            shell_props.extend(
+                f"{rbb.name}.shell_param_{index}" for index in range(hidden)
+            )
+        return role_props, shell_props

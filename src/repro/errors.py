@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Harmonia reproduction.
+
+All library-specific failures derive from :class:`HarmoniaError`, so
+callers can catch one base class at an API boundary.
+"""
+
+
+class HarmoniaError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(HarmoniaError):
+    """An invalid or missing configuration value."""
+
+
+class DependencyError(HarmoniaError):
+    """A vendor-adapter dependency inspection failed (tool/IP mismatch)."""
+
+
+class IncompatiblePlatformError(HarmoniaError):
+    """A shell, role, or framework cannot be deployed on the target device."""
+
+
+class InterfaceMismatchError(HarmoniaError):
+    """Two hardware interfaces cannot be connected directly."""
+
+
+class ResourceExhaustedError(HarmoniaError):
+    """A design does not fit in the target device's resource budget."""
+
+
+class CommandError(HarmoniaError):
+    """A malformed, unsupported, or failed command packet."""
+
+
+class ChecksumError(CommandError):
+    """A command packet failed checksum validation."""
+
+
+class RegisterAccessError(HarmoniaError):
+    """A read/write to an unmapped or read-only register address."""
+
+
+class TailoringError(HarmoniaError):
+    """Shell tailoring could not satisfy the role's demands."""
+
+
+class DeploymentError(HarmoniaError):
+    """A project failed to build, validate, or deploy."""

@@ -1,0 +1,16 @@
+"""Behavioural hardware models: interface protocols, vendor IPs, registers.
+
+This package is the "silicon" of the reproduction.  It contains
+
+* :mod:`repro.hw.protocols` -- full signal-level definitions of the
+  vendor interface protocols (AXI4 family vs Avalon family), which is
+  what makes the paper's interface-disparity measurements (Figure 3b)
+  structural rather than asserted;
+* :mod:`repro.hw.ip` -- behavioural models of the vendor-specific IPs the
+  shells are assembled from (MAC, PCIe DMA, DDR, HBM, ...), each carrying
+  its real interface protocol, a realistic configuration-parameter
+  inventory, a resource footprint, and a development-workload (LoC)
+  inventory;
+* :mod:`repro.hw.registers` -- register files and the per-platform
+  initialization sequences that motivate the command-based interface.
+"""

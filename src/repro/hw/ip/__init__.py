@@ -1,0 +1,53 @@
+"""Behavioural vendor-specific IP models.
+
+Each factory in this package builds a :class:`repro.hw.ip.base.VendorIp`
+carrying the vendor-true interface protocol, a realistic configuration
+inventory, a resource/LoC footprint, a register file, and a
+platform-specific initialization program.  These are the "specific
+instances" the paper's RBBs are built around.
+"""
+
+from repro.hw.ip.base import DmaEngineKind, IpKind, VendorIp
+from repro.hw.ip.mac import (
+    inhouse_mac_400g,
+    intel_etile_100g,
+    xilinx_cmac_100g,
+    xilinx_xxv_25g,
+)
+from repro.hw.ip.pcie import (
+    inhouse_bdma,
+    intel_ptile_mcdma,
+    xilinx_qdma,
+    xilinx_xdma,
+)
+from repro.hw.ip.ddr import (
+    DdrTiming,
+    intel_emif_ddr4,
+    xilinx_ddr3_mig,
+    xilinx_ddr4_mig,
+)
+from repro.hw.ip.hbm import xilinx_hbm_stack
+from repro.hw.ip.misc import i2c_controller, qspi_flash, sensor_block, soft_core
+
+__all__ = [
+    "DdrTiming",
+    "DmaEngineKind",
+    "IpKind",
+    "VendorIp",
+    "i2c_controller",
+    "inhouse_bdma",
+    "inhouse_mac_400g",
+    "intel_emif_ddr4",
+    "intel_etile_100g",
+    "intel_ptile_mcdma",
+    "qspi_flash",
+    "sensor_block",
+    "soft_core",
+    "xilinx_cmac_100g",
+    "xilinx_ddr3_mig",
+    "xilinx_ddr4_mig",
+    "xilinx_hbm_stack",
+    "xilinx_qdma",
+    "xilinx_xdma",
+    "xilinx_xxv_25g",
+]

@@ -1,0 +1,298 @@
+"""DDR SDRAM controller IP models with a bank/row timing model.
+
+The :class:`DdrTiming` model is what gives the Memory RBB's address
+interleaving and hot cache something real to optimise: sequential
+accesses hit open rows (CAS-only latency) while random accesses pay the
+precharge+activate penalty, and consecutive accesses to the same bank
+group stall on tCCD_L -- the effect bank-group interleaving removes
+(Shin et al., "Bank-Group Level Parallelism", cited by the paper).
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.ip.base import IpKind, VendorIp
+from repro.hw.protocols.avalon import avalon_mm
+from repro.hw.protocols.axi import axi4_full, axi4_lite
+from repro.hw.registers import (
+    Access,
+    InitSequence,
+    OpKind,
+    Register,
+    RegisterFile,
+    RegisterOp,
+)
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import PeripheralKind
+from repro.platform.vendor import Vendor
+from repro.sim.clock import ClockDomain
+
+
+@dataclass(frozen=True)
+class DdrTiming:
+    """JEDEC-style timing parameters for one DDR device (cycles of tCK)."""
+
+    tck_ps: int = 833          # DDR4-2400
+    cas_cycles: int = 17       # CL
+    trcd_cycles: int = 17      # RAS-to-CAS delay
+    trp_cycles: int = 17       # row precharge
+    tccd_l_cycles: int = 6     # column-to-column, same bank group
+    tccd_s_cycles: int = 4     # column-to-column, different bank group
+    trc_cycles: int = 55       # row cycle: activate-to-activate, same bank
+    trrd_cycles: int = 6       # activate-to-activate, different banks
+    tfaw_cycles: int = 36      # four-activate window
+    burst_length: int = 8
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    row_bytes: int = 1_024     # bytes per open row (page size)
+
+    @property
+    def row_hit_ps(self) -> int:
+        """Service time for a burst hitting an open row."""
+        return (self.cas_cycles + self.burst_length // 2) * self.tck_ps
+
+    @property
+    def row_miss_ps(self) -> int:
+        """Service time for a burst that must precharge + activate first."""
+        return (
+            self.trp_cycles + self.trcd_cycles + self.cas_cycles + self.burst_length // 2
+        ) * self.tck_ps
+
+    @property
+    def same_group_gap_ps(self) -> int:
+        """Minimum gap between bursts issued to the same bank group."""
+        return self.tccd_l_cycles * self.tck_ps
+
+    @property
+    def cross_group_gap_ps(self) -> int:
+        """Minimum gap between bursts issued to different bank groups."""
+        return self.tccd_s_cycles * self.tck_ps
+
+    @property
+    def trc_ps(self) -> int:
+        """Activate-to-activate spacing within one bank."""
+        return self.trc_cycles * self.tck_ps
+
+    @property
+    def trrd_ps(self) -> int:
+        """Activate-to-activate spacing across banks."""
+        return self.trrd_cycles * self.tck_ps
+
+    @property
+    def tfaw_ps(self) -> int:
+        """Window in which at most four activates may issue."""
+        return self.tfaw_cycles * self.tck_ps
+
+    @property
+    def burst_transfer_ps(self) -> int:
+        """Data-bus occupancy of one burst (BL/2 clock cycles)."""
+        return (self.burst_length // 2) * self.tck_ps
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes transferred per burst (x64 device: 8 bytes/beat)."""
+        return self.burst_length * 8
+
+
+DDR4_2400 = DdrTiming()
+DDR3_1600 = DdrTiming(tck_ps=1_250, cas_cycles=11, trcd_cycles=11, trp_cycles=11,
+                      tccd_l_cycles=4, tccd_s_cycles=4, bank_groups=1,
+                      banks_per_group=8, row_bytes=1_024)
+
+
+def _ddr_register_file(name: str, auto_cal: bool) -> RegisterFile:
+    regfile = RegisterFile(name)
+    offset = 0
+
+    def add(register_name: str, access: Access = Access.RW, reset: int = 0) -> None:
+        nonlocal offset
+        regfile.add(Register(register_name, offset, access=access, reset_value=reset))
+        offset += 4
+
+    add("VERSION", Access.RO, reset=0x0104_0000)
+    # Calibration completes instantly in this transaction-level model.
+    add("CAL_STATUS", Access.RO, reset=0x1)
+    add("CTRL_ENABLE")
+    add("REFRESH_INTERVAL")
+    add("ADDR_MAP_MODE")
+    add("ECC_CTRL")
+    add("PHY_CONFIG")
+    if auto_cal:
+        add("AUTO_CAL")
+    for counter in ("STAT_READS", "STAT_WRITES", "STAT_ROW_HITS", "STAT_ROW_MISSES",
+                    "STAT_ECC_CORRECTED", "STAT_ECC_UNCORRECTED"):
+        add(counter, Access.RO)
+    return regfile
+
+
+def _mig_init(name: str) -> InitSequence:
+    """Xilinx MIG bring-up: poll calibration, then program and enable."""
+    sequence = InitSequence(name)
+    sequence.append(RegisterOp(OpKind.POLL, "CAL_STATUS", value=1, expect_mask=0x1,
+                               comment="wait for DDR calibration"))
+    sequence.append(RegisterOp(OpKind.WRITE, "ADDR_MAP_MODE", 0x2,
+                               comment="ROW_BANK_COLUMN mapping"))
+    sequence.append(RegisterOp(OpKind.WRITE, "REFRESH_INTERVAL", 7_800))
+    sequence.append(RegisterOp(OpKind.WRITE, "ECC_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "PHY_CONFIG", 0x11))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_ENABLE", 0x1))
+    sequence.append(RegisterOp(OpKind.READ, "STAT_ECC_UNCORRECTED",
+                               comment="confirm clean bring-up"))
+    return sequence
+
+
+def _emif_init(name: str) -> InitSequence:
+    """Intel EMIF bring-up: hardware auto-calibration."""
+    sequence = InitSequence(name)
+    sequence.append(RegisterOp(OpKind.WRITE, "AUTO_CAL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "ECC_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_ENABLE", 0x1))
+    return sequence
+
+
+def _ddr4_params(vendor_style: str) -> Dict[str, object]:
+    if vendor_style == "xilinx":
+        return {
+            "C0.DDR4_MemoryPart": "MT40A1G8SA-075E",
+            "C0.DDR4_TimePeriod": 833,
+            "C0.DDR4_InputClockPeriod": 3334,
+            "C0.DDR4_DataWidth": 64,
+            "C0.DDR4_CasLatency": 17,
+            "C0.DDR4_CasWriteLatency": 12,
+            "C0.DDR4_AxiDataWidth": 512,
+            "C0.DDR4_AxiAddressWidth": 31,
+            "C0.DDR4_AxiIDWidth": 4,
+            "C0.DDR4_Ecc": True,
+            "C0.DDR4_AutoPrecharge": False,
+            "C0.DDR4_Mem_Add_Map": "ROW_BANK_COLUMN",
+            "C0.DDR4_BurstLength": 8,
+            "C0.DDR4_Slot": "Single",
+            "C0.DDR4_Ordering": "Normal",
+            "C0.DDR4_DciCascade": False,
+            "C0.DDR4_PhyClockRatio": "4:1",
+            "C0.DDR4_SelfRefresh": True,
+            "C0.DDR4_Restore_Enable": False,
+            "C0.DDR4_UserRefreshZQCS": False,
+            "Debug_Signal": False,
+            "Simulation_Mode": "BFM",
+            **{f"C0.DDR4_ByteLane{lane}_{prop}": default
+               for lane in range(9)
+               for prop, default in (("Vref", 84), ("Odt", "RTT_40"),
+                                     ("Drive", "RZQ_7"))},
+        }
+    return {
+        "mem_protocol": "DDR4",
+        "mem_format": "COMPONENT",
+        "mem_part": "MT40A1G8SA-075E",
+        "mem_clk_freq_mhz": 1200.0,
+        "ref_clk_freq_mhz": 100.0,
+        "data_width": 64,
+        "dqs_group_count": 9,
+        "cas_latency": 17,
+        "write_cas_latency": 12,
+        "bank_group_width": 2,
+        "bank_addr_width": 2,
+        "row_addr_width": 16,
+        "col_addr_width": 10,
+        "enable_ecc": True,
+        "avmm_data_width": 512,
+        "address_ordering": "CS_R_B_BG_C",
+        "refresh_burst": 4,
+        "enable_user_refresh": False,
+        "phy_ac_placement": "bottom",
+        "io_voltage": 1.2,
+        "enable_cal_debug": False,
+        **{f"lane{lane}_{prop}": default
+           for lane in range(9)
+           for prop, default in (("vrefdq", 84), ("odt", "RTT_40"), ("ocd", "34ohm"))},
+    }
+
+
+def xilinx_ddr4_mig() -> VendorIp:
+    """Xilinx DDR4 memory interface generator (MIG), AXI4 user port."""
+    return VendorIp(
+        name="xilinx-ddr4-mig",
+        vendor=Vendor.XILINX,
+        kind=IpKind.DDR_CONTROLLER,
+        clock=ClockDomain("ddr4_ui", 300.0),
+        data_width_bits=512,
+        interfaces=(axi4_full("c0_ddr4_axi", data_width_bits=512, addr_width_bits=31),),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params=_ddr4_params("xilinx"),
+        resources=ResourceUsage(lut=21_500, ff=26_800, bram_36k=25, uram=0, dsp=3),
+        loc=LocInventory(common=380, vendor_specific=640, device_specific=180, generated=3_100),
+        latency_cycles=22,
+        requires_peripheral=PeripheralKind.DDR4,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "ddr4", "ip_version": "2.2"},
+        regfile_factory=lambda: _ddr_register_file("xilinx-ddr4-mig", auto_cal=False),
+        init_factory=lambda: _mig_init("xilinx-ddr4-mig-init"),
+        performance_gbps=19.2 * 8,
+    )
+
+
+def intel_emif_ddr4() -> VendorIp:
+    """Intel external memory interface (EMIF) for DDR4, Avalon-MM user port."""
+    return VendorIp(
+        name="intel-emif-ddr4",
+        vendor=Vendor.INTEL,
+        kind=IpKind.DDR_CONTROLLER,
+        clock=ClockDomain("emif_usr", 300.0),
+        data_width_bits=512,
+        interfaces=(avalon_mm("ctrl_amm", data_width_bits=512, addr_width_bits=31),),
+        control_interface=avalon_mm("csr_avmm", data_width_bits=32, burst_width_bits=1),
+        config_params=_ddr4_params("intel"),
+        resources=ResourceUsage(lut=19_800, ff=24_100, bram_36k=30, uram=0, dsp=0),
+        loc=LocInventory(common=370, vendor_specific=650, device_specific=175, generated=2_900),
+        latency_cycles=26,
+        requires_peripheral=PeripheralKind.DDR4,
+        dependencies={"tool": "quartus", "tool_version": "23.2",
+                      "ip_catalog": "emif", "ip_version": "23.2"},
+        regfile_factory=lambda: _ddr_register_file("intel-emif-ddr4", auto_cal=True),
+        init_factory=lambda: _emif_init("intel-emif-ddr4-init"),
+        performance_gbps=19.2 * 8,
+    )
+
+
+def xilinx_ddr3_mig() -> VendorIp:
+    """Xilinx 7-series DDR3 memory interface (legacy boards), AXI4 port."""
+    params = {
+        "MemoryPart": "MT41J256M8XX-125",
+        "TimePeriod": 1_250,
+        "DataWidth": 64,
+        "CasLatency": 11,
+        "CasWriteLatency": 8,
+        "AxiDataWidth": 256,
+        "AxiAddressWidth": 30,
+        "Ecc": False,
+        "Mem_Add_Map": "BANK_ROW_COLUMN",
+        "BurstLength": 8,
+        "PhyClockRatio": "4:1",
+        "InputClockPeriod": 5_000,
+        "Ordering": "Normal",
+        **{f"ByteLane{lane}_{prop}": default
+           for lane in range(8)
+           for prop, default in (("Vref", 75), ("Odt", "RTT_60"),
+                                 ("Drive", "RZQ_6"))},
+    }
+    return VendorIp(
+        name="xilinx-ddr3-mig",
+        vendor=Vendor.XILINX,
+        kind=IpKind.DDR_CONTROLLER,
+        clock=ClockDomain("ddr3_ui", 200.0),
+        data_width_bits=256,
+        interfaces=(axi4_full("c0_ddr3_axi", data_width_bits=256, addr_width_bits=30),),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=14_800, ff=17_200, bram_36k=12, uram=0, dsp=0),
+        loc=LocInventory(common=340, vendor_specific=580, device_specific=170,
+                         generated=2_400),
+        latency_cycles=26,
+        requires_peripheral=PeripheralKind.DDR3,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "ddr4", "ip_version": "2.2"},
+        regfile_factory=lambda: _ddr_register_file("xilinx-ddr3-mig", auto_cal=False),
+        init_factory=lambda: _mig_init("xilinx-ddr3-mig-init"),
+        performance_gbps=12.8 * 8,
+    )

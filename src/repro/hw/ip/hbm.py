@@ -1,0 +1,95 @@
+"""HBM stack controller model (32 pseudo-channels, 460 GB/s aggregate)."""
+
+from repro.hw.ip.base import IpKind, VendorIp, per_lane_params
+from repro.hw.protocols.axi import axi4_full, axi4_lite
+from repro.hw.registers import (
+    Access,
+    InitSequence,
+    OpKind,
+    Register,
+    RegisterFile,
+    RegisterOp,
+)
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import PeripheralKind
+from repro.platform.vendor import Vendor
+from repro.sim.clock import ClockDomain
+
+_CHANNELS = 32
+
+
+def _hbm_register_file() -> RegisterFile:
+    regfile = RegisterFile("xilinx-hbm")
+    offset = 0
+
+    def add(register_name: str, access: Access = Access.RW, reset: int = 0) -> None:
+        nonlocal offset
+        regfile.add(Register(register_name, offset, access=access, reset_value=reset))
+        offset += 4
+
+    add("VERSION", Access.RO, reset=0x0101_0000)
+    add("APB_COMPLETE", Access.RO, reset=0x1)  # power-on init done (instant in model)
+    add("TEMP_POLL_CFG")
+    add("REORDER_EN")
+    add("ECC_CTRL")
+    for channel in range(_CHANNELS):
+        add(f"MC{channel}_CTRL")
+    for counter in ("STAT_READS", "STAT_WRITES", "STAT_TEMP_C"):
+        add(counter, Access.RO)
+    return regfile
+
+
+def _hbm_init() -> InitSequence:
+    sequence = InitSequence("xilinx-hbm-init")
+    sequence.append(RegisterOp(OpKind.POLL, "APB_COMPLETE", value=1, expect_mask=0x1,
+                               comment="wait for HBM power-on init"))
+    sequence.append(RegisterOp(OpKind.WRITE, "REORDER_EN", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "ECC_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "TEMP_POLL_CFG", 0x64))
+    for channel in range(0, _CHANNELS, 8):
+        sequence.append(RegisterOp(OpKind.WRITE, f"MC{channel}_CTRL", 0x1,
+                                   comment=f"enable memory controller bank {channel // 8}"))
+    return sequence
+
+
+def xilinx_hbm_stack() -> VendorIp:
+    """Xilinx Virtex UltraScale+ HBM controller (two 4GB stacks)."""
+    params = {
+        "HBM_DENSITY": "8GB",
+        "STACKS": 2,
+        "AXI_CLK_FREQ_MHZ": 450,
+        "MC_ENABLE_GLOBAL": True,
+        "SWITCH_ENABLE": True,
+        "ECC_ENABLE": True,
+        "REFRESH_MODE": "SINGLE",
+        "TEMP_POLLING": True,
+        "REORDER_QUEUE": True,
+        "CLOCKING_MODE": "internal",
+        "PAGEHIT_PERCENT_TARGET": 75,
+    }
+    params.update(per_lane_params("mc", 16, {"enable": True, "traffic_pattern": "linear",
+                                             "lookahead_pch": True}))
+    return VendorIp(
+        name="xilinx-hbm",
+        vendor=Vendor.XILINX,
+        kind=IpKind.HBM_CONTROLLER,
+        clock=ClockDomain("hbm_axi", 450.0),
+        data_width_bits=256,
+        interfaces=tuple(
+            axi4_full(f"saxi_{channel:02d}", data_width_bits=256, addr_width_bits=34)
+            for channel in range(4)  # modelled per-quadrant; 32 in hardware
+        ),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=30_500, ff=38_200, bram_36k=36, uram=0, dsp=0),
+        loc=LocInventory(common=430, vendor_specific=760, device_specific=200, generated=3_500),
+        latency_cycles=34,
+        requires_peripheral=PeripheralKind.HBM,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "hbm", "ip_version": "1.0"},
+        regfile_factory=_hbm_register_file,
+        init_factory=_hbm_init,
+        performance_gbps=460.0 * 8,
+        channels=_CHANNELS,
+    )

@@ -1,0 +1,351 @@
+"""Ethernet MAC IP models (25G / 100G / 400G, three vendors).
+
+The three performance tiers follow the paper: data width scales
+128/512/2048 bits as link speed scales 25/100/400 Gbps, each with its
+vendor-true interface protocol and configuration inventory.
+
+Initialization style reproduces Figure 3d: the Xilinx CMAC requires the
+host to *poll* RX alignment before enabling the core ("shell A"), while
+the Intel E-tile exposes auto-initialization logic so the host simply
+writes initial values ("shell B").
+"""
+
+from typing import Dict
+
+from repro.hw.ip.base import IpKind, VendorIp, per_lane_params
+from repro.hw.protocols.avalon import avalon_mm, avalon_st
+from repro.hw.protocols.axi import axi4_lite, axi4_stream
+from repro.hw.registers import (
+    Access,
+    InitSequence,
+    OpKind,
+    Register,
+    RegisterFile,
+    RegisterOp,
+)
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import PeripheralKind
+from repro.platform.vendor import Vendor
+from repro.sim.clock import ClockDomain
+
+#: In this transaction-level model the optics align instantly at reset,
+#: so alignment-status polls (Figure 3d, shell A) terminate on the first
+#: read.  The *number and ordering* of host operations -- what the
+#: command interface abstracts away -- is unaffected.
+_ALIGNED_AT_RESET = 1
+
+_STAT_COUNTERS = (
+    "STAT_RX_TOTAL_PACKETS",
+    "STAT_RX_TOTAL_BYTES",
+    "STAT_RX_BAD_FCS",
+    "STAT_RX_DROPPED",
+    "STAT_TX_TOTAL_PACKETS",
+    "STAT_TX_TOTAL_BYTES",
+    "STAT_TX_UNDERFLOW",
+)
+
+
+def _mac_register_file(name: str, lanes: int, auto_init: bool) -> RegisterFile:
+    """Register block shared by all MAC models; lane count varies."""
+    regfile = RegisterFile(name)
+    offset = 0
+
+    def add(register_name: str, access: Access = Access.RW, reset: int = 0) -> None:
+        nonlocal offset
+        regfile.add(Register(register_name, offset, access=access, reset_value=reset))
+        offset += 4
+
+    add("VERSION", Access.RO, reset=0x0301_0000)
+    add("GT_RESET")
+    add("CTRL_TX")
+    add("CTRL_RX")
+    add("STAT_RX_ALIGNED", Access.RO, reset=_ALIGNED_AT_RESET)
+    add("STAT_RX_STATUS", Access.RO, reset=0x1)
+    add("RSFEC_CONFIG")
+    add("FLOW_CONTROL_CFG")
+    if auto_init:
+        add("AUTO_INIT")
+    for lane in range(lanes):
+        add(f"LANE{lane}_RX_CFG")
+        add(f"LANE{lane}_TX_CFG")
+        add(f"LANE{lane}_STATUS", Access.RO, reset=0x1)
+    for counter in _STAT_COUNTERS:
+        add(counter, Access.RO)
+    return regfile
+
+
+def _polling_init(name: str, lanes: int) -> InitSequence:
+    """Shell-A style init: wait for alignment, then program lane by lane."""
+    sequence = InitSequence(name)
+    sequence.append(RegisterOp(OpKind.POLL, "STAT_RX_ALIGNED", value=1, expect_mask=0x1,
+                               comment="wait for RX lane alignment"))
+    sequence.append(RegisterOp(OpKind.WRITE, "GT_RESET", 0x1, comment="pulse GT reset"))
+    sequence.append(RegisterOp(OpKind.WRITE, "GT_RESET", 0x0))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_RX", 0x0, comment="disable while configuring"))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_TX", 0x0))
+    for lane in range(lanes):
+        sequence.append(RegisterOp(OpKind.WRITE, f"LANE{lane}_RX_CFG", 0x3))
+        sequence.append(RegisterOp(OpKind.WRITE, f"LANE{lane}_TX_CFG", 0x3))
+        sequence.append(RegisterOp(OpKind.READ, f"LANE{lane}_STATUS",
+                                   comment="verify lane status"))
+    sequence.append(RegisterOp(OpKind.WRITE, "RSFEC_CONFIG", 0x7, comment="enable RS-FEC"))
+    sequence.append(RegisterOp(OpKind.WRITE, "FLOW_CONTROL_CFG", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_RX", 0x1, comment="enable RX"))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_TX", 0x1, comment="enable TX"))
+    sequence.append(RegisterOp(OpKind.READ, "STAT_RX_STATUS", comment="confirm link"))
+    return sequence
+
+
+def _auto_init(name: str) -> InitSequence:
+    """Shell-B style init: hardware automation; host writes initial values."""
+    sequence = InitSequence(name)
+    sequence.append(RegisterOp(OpKind.WRITE, "AUTO_INIT", 0x1,
+                               comment="kick built-in bring-up automation"))
+    sequence.append(RegisterOp(OpKind.WRITE, "RSFEC_CONFIG", 0x7))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_RX", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "CTRL_TX", 0x1))
+    return sequence
+
+
+def _cmac_config(lanes: int) -> Dict[str, object]:
+    """The Xilinx CMAC/XXV configuration inventory (UG578-shaped)."""
+    params: Dict[str, object] = {
+        "CMAC_CORE_SELECT": "CMACE4_X0Y0",
+        "GT_TYPE": "GTY",
+        "GT_REF_CLK_FREQ": "156.25",
+        "LINE_RATE": "100G",
+        "USER_INTERFACE": "AXIS",
+        "TX_FLOW_CONTROL": True,
+        "RX_FLOW_CONTROL": True,
+        "INCLUDE_RS_FEC": True,
+        "ENABLE_TIME_STAMPING": False,
+        "TX_PTP_1STEP_ENABLE": False,
+        "PTP_TRANSPCLK_MODE": False,
+        "RX_MAX_PACKET_LEN": 9_600,
+        "RX_MIN_PACKET_LEN": 64,
+        "TX_IPG_VALUE": 12,
+        "INS_LOSS_NYQ": 20,
+        "RX_EQ_MODE": "AUTO",
+        "RX_CHECK_PREAMBLE": True,
+        "RX_CHECK_SFD": True,
+        "RX_DELETE_FCS": True,
+        "TX_APPEND_FCS": True,
+        "RX_FORWARD_CONTROL_FRAMES": False,
+        "TX_OTN_INTERFACE": False,
+        "GT_DRP_CLK": "100",
+        "ADD_GT_CNTRL_STS_PORTS": False,
+        "ENABLE_AXI_INTERFACE": True,
+        "INCLUDE_STATISTICS_COUNTERS": True,
+        "ENABLE_DATAPATH_PARITY": False,
+        "LANE_ALIGNMENT_MODE": "AM",
+    }
+    params.update(
+        per_lane_params(
+            "GT_LANE", lanes, {"polarity": "NORMAL", "txdiffctrl": 24, "txpostcursor": 0,
+                               "txprecursor": 0, "rxlpmen": 1, "txmaincursor": 80,
+                               "rxterm": "AVTT", "loopback_mode": "off"}
+        )
+    )
+    return params
+
+
+def _etile_config(lanes: int) -> Dict[str, object]:
+    """The Intel E-tile Ethernet configuration inventory (UG20160-shaped)."""
+    params: Dict[str, object] = {
+        "eth_rate": "100G",
+        "client_interface": "AVST",
+        "pma_modulation": "NRZ",
+        "ref_clk_freq_mhz": "322.265625",
+        "enable_rsfec": True,
+        "fec_mode": "CL91",
+        "enable_ptp": False,
+        "rx_max_frame_size": 9_600,
+        "tx_ipg_mode": "DTC",
+        "enable_mac_stats": True,
+        "flow_control_mode": "SFC",
+        "enable_anlt": True,
+        "vsr_mode": False,
+        "enable_ecc": True,
+        "dr_enable": False,
+        "active_channels": 1,
+        "sync_e_support": False,
+        "tx_vlan_detection": True,
+        "rx_vlan_detection": True,
+        "link_fault_mode": "BIDIR",
+        "preamble_passthrough": False,
+        "source_address_insertion": False,
+    }
+    params.update(
+        per_lane_params(
+            "xcvr_lane", lanes, {"vod": 31, "pre_tap": 0, "post_tap": 5,
+                                 "ctle_mode": "auto", "media_type": "backplane",
+                                 "vga_gain": 4, "dfe_taps": 7, "adapt_mode": "ctle_dfe"}
+        )
+    )
+    return params
+
+
+def xilinx_cmac_100g() -> VendorIp:
+    """Xilinx UltraScale+ Integrated 100G Ethernet (CMAC), AXI4-Stream."""
+    lanes = 4
+    return VendorIp(
+        name="xilinx-cmac-100g",
+        vendor=Vendor.XILINX,
+        kind=IpKind.MAC,
+        clock=ClockDomain("cmac_core", 322.265625),
+        data_width_bits=512,
+        interfaces=(
+            axi4_stream("rx_axis", data_width_bits=512, user_width_bits=1),
+            axi4_stream("tx_axis", data_width_bits=512, user_width_bits=1),
+        ),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params=_cmac_config(lanes),
+        resources=ResourceUsage(lut=11_800, ff=21_500, bram_36k=18, uram=0, dsp=0),
+        loc=LocInventory(common=420, vendor_specific=610, device_specific=480, generated=2_900),
+        latency_cycles=14,
+        requires_peripheral=PeripheralKind.QSFP28,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "cmac_usplus", "ip_version": "3.1"},
+        regfile_factory=lambda: _mac_register_file("xilinx-cmac-100g", lanes, auto_init=False),
+        init_factory=lambda: _polling_init("xilinx-cmac-100g-init", lanes),
+        performance_gbps=100.0,
+    )
+
+
+def xilinx_xxv_25g() -> VendorIp:
+    """Xilinx XXV 25G Ethernet subsystem, 128-bit AXI4-Stream."""
+    lanes = 1
+    return VendorIp(
+        name="xilinx-xxv-25g",
+        vendor=Vendor.XILINX,
+        kind=IpKind.MAC,
+        clock=ClockDomain("xxv_core", 390.625),
+        data_width_bits=128,
+        interfaces=(
+            axi4_stream("rx_axis", data_width_bits=128),
+            axi4_stream("tx_axis", data_width_bits=128),
+        ),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params={k: v for k, v in _cmac_config(lanes).items()
+                       if not k.startswith("GT_LANE")} | per_lane_params(
+            "GT_LANE", lanes, {"polarity": "NORMAL", "txdiffctrl": 24, "txpostcursor": 0,
+                               "txprecursor": 0, "rxlpmen": 1, "txmaincursor": 80,
+                               "rxterm": "AVTT", "loopback_mode": "off"}),
+        resources=ResourceUsage(lut=6_400, ff=9_800, bram_36k=8, uram=0, dsp=0),
+        loc=LocInventory(common=380, vendor_specific=540, device_specific=410, generated=2_100),
+        latency_cycles=10,
+        requires_peripheral=PeripheralKind.QSFP28,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "xxv_ethernet", "ip_version": "4.1"},
+        regfile_factory=lambda: _mac_register_file("xilinx-xxv-25g", lanes, auto_init=False),
+        init_factory=lambda: _polling_init("xilinx-xxv-25g-init", lanes),
+        performance_gbps=25.0,
+    )
+
+
+def intel_etile_100g() -> VendorIp:
+    """Intel E-tile Hard IP for Ethernet (100G), Avalon-ST."""
+    lanes = 4
+    return VendorIp(
+        name="intel-etile-100g",
+        vendor=Vendor.INTEL,
+        kind=IpKind.MAC,
+        clock=ClockDomain("etile_core", 402.832031),
+        data_width_bits=512,
+        interfaces=(
+            avalon_st("rx_avst", data_width_bits=512),
+            avalon_st("tx_avst", data_width_bits=512),
+        ),
+        control_interface=avalon_mm("csr_avmm", data_width_bits=32, burst_width_bits=1),
+        config_params=_etile_config(lanes),
+        resources=ResourceUsage(lut=10_900, ff=19_200, bram_36k=22, uram=0, dsp=0),
+        loc=LocInventory(common=430, vendor_specific=590, device_specific=470, generated=2_700),
+        latency_cycles=16,
+        requires_peripheral=PeripheralKind.QSFP28,
+        dependencies={"tool": "quartus", "tool_version": "23.2",
+                      "ip_catalog": "alt_ehipc3", "ip_version": "7.5"},
+        regfile_factory=lambda: _mac_register_file("intel-etile-100g", lanes, auto_init=True),
+        init_factory=lambda: _auto_init("intel-etile-100g-init"),
+        performance_gbps=100.0,
+    )
+
+
+def inhouse_mac_200g() -> VendorIp:
+    """In-house 200G MAC for DSFP/QSFP56 boards, 1024-bit stream."""
+    lanes = 4
+    params: Dict[str, object] = {
+        "line_rate": "200G",
+        "serdes_mode": "PAM4",
+        "fec_mode": "KP4",
+        "max_frame_bytes": 9_600,
+        "min_frame_bytes": 64,
+        "stats_enable": True,
+        "pause_enable": True,
+        "channel_bonding": True,
+    }
+    params.update(per_lane_params("serdes", lanes, {"txeq_main": 38, "txeq_pre": 4,
+                                                    "txeq_post": 6, "rx_dfe": True}))
+    return VendorIp(
+        name="inhouse-mac-200g",
+        vendor=Vendor.INHOUSE,
+        kind=IpKind.MAC,
+        clock=ClockDomain("mac200_core", 250.0),
+        data_width_bits=1_024,
+        interfaces=(
+            axi4_stream("rx_axis", data_width_bits=1_024),
+            axi4_stream("tx_axis", data_width_bits=1_024),
+        ),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=19_500, ff=34_000, bram_36k=36, uram=0, dsp=0),
+        loc=LocInventory(common=500, vendor_specific=0, device_specific=1_900,
+                         generated=950),
+        latency_cycles=18,
+        requires_peripheral=PeripheralKind.QSFP112,
+        dependencies={"tool": "any", "tool_version": "*",
+                      "ip_catalog": "bd_mac400", "ip_version": "1.2"},
+        regfile_factory=lambda: _mac_register_file("inhouse-mac-200g", lanes,
+                                                   auto_init=True),
+        init_factory=lambda: _auto_init("inhouse-mac-200g-init"),
+        performance_gbps=200.0,
+    )
+
+
+def inhouse_mac_400g() -> VendorIp:
+    """In-house 400G MAC for QSFP112/DSFP boards, 2048-bit stream."""
+    lanes = 8
+    params: Dict[str, object] = {
+        "line_rate": "400G",
+        "serdes_mode": "PAM4",
+        "fec_mode": "KP4",
+        "max_frame_bytes": 9_600,
+        "min_frame_bytes": 64,
+        "stats_enable": True,
+        "pause_enable": True,
+        "channel_bonding": True,
+    }
+    params.update(per_lane_params("serdes", lanes, {"txeq_main": 40, "txeq_pre": 4,
+                                                    "txeq_post": 8, "rx_dfe": True}))
+    return VendorIp(
+        name="inhouse-mac-400g",
+        vendor=Vendor.INHOUSE,
+        kind=IpKind.MAC,
+        clock=ClockDomain("mac400_core", 250.0),
+        data_width_bits=2_048,
+        interfaces=(
+            axi4_stream("rx_axis", data_width_bits=2_048),
+            axi4_stream("tx_axis", data_width_bits=2_048),
+        ),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=34_000, ff=61_000, bram_36k=64, uram=0, dsp=0),
+        loc=LocInventory(common=520, vendor_specific=0, device_specific=2_400, generated=1_100),
+        latency_cycles=20,
+        requires_peripheral=PeripheralKind.QSFP112,
+        dependencies={"tool": "any", "tool_version": "*",
+                      "ip_catalog": "bd_mac400", "ip_version": "1.2"},
+        regfile_factory=lambda: _mac_register_file("inhouse-mac-400g", lanes, auto_init=True),
+        init_factory=lambda: _auto_init("inhouse-mac-400g-init"),
+        performance_gbps=400.0,
+    )

@@ -1,0 +1,204 @@
+"""Management peripherals: I2C, QSPI flash, sensors, and the soft core.
+
+These small blocks are what the unified control kernel (paper section
+3.3.3) multiplexes besides shell/role registers: flash erase, temperature
+and voltage reads, time counts -- the "various controllers on production
+servers (applications, BMC, standalone tools)" all reach them through
+commands.
+"""
+
+from repro.hw.ip.base import IpKind, VendorIp
+from repro.hw.protocols.axi import axi4_lite
+from repro.hw.registers import (
+    Access,
+    InitSequence,
+    OpKind,
+    Register,
+    RegisterFile,
+    RegisterOp,
+)
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import PeripheralKind
+from repro.platform.vendor import Vendor
+from repro.sim.clock import ClockDomain
+
+
+def _simple_regfile(name: str, registers) -> RegisterFile:
+    regfile = RegisterFile(name)
+    offset = 0
+    for register_name, access, reset in registers:
+        regfile.add(Register(register_name, offset, access=access, reset_value=reset))
+        offset += 4
+    return regfile
+
+
+def i2c_controller(vendor: Vendor = Vendor.INHOUSE) -> VendorIp:
+    """Board-management I2C master (optics, power, EEPROM buses)."""
+    def regfile() -> RegisterFile:
+        return _simple_regfile(
+            f"i2c-{vendor.value}",
+            [
+                ("CTRL", Access.RW, 0),
+                ("STATUS", Access.RO, 0x1),
+                ("PRESCALE", Access.RW, 249),
+                ("TX_DATA", Access.WO, 0),
+                ("RX_DATA", Access.RO, 0),
+                ("TARGET_ADDR", Access.RW, 0),
+                ("IRQ_MASK", Access.RW, 0),
+                ("IRQ_STATUS", Access.W1C, 0),
+            ],
+        )
+
+    def init() -> InitSequence:
+        sequence = InitSequence(f"i2c-{vendor.value}-init")
+        sequence.append(RegisterOp(OpKind.WRITE, "PRESCALE", 249, comment="100 kHz"))
+        sequence.append(RegisterOp(OpKind.WRITE, "IRQ_MASK", 0x3))
+        sequence.append(RegisterOp(OpKind.WRITE, "CTRL", 0x1))
+        return sequence
+
+    return VendorIp(
+        name=f"i2c-{vendor.value}",
+        vendor=vendor,
+        kind=IpKind.I2C,
+        clock=ClockDomain("i2c_axi", 100.0),
+        data_width_bits=32,
+        interfaces=(),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params={"bus_speed_khz": 100, "ten_bit_addressing": False,
+                       "tx_fifo_depth": 16, "rx_fifo_depth": 16, "smbus_mode": False},
+        resources=ResourceUsage(lut=650, ff=820, bram_36k=0, uram=0, dsp=0),
+        loc=LocInventory(common=180, vendor_specific=60, device_specific=210, generated=150),
+        latency_cycles=4,
+        requires_peripheral=PeripheralKind.I2C,
+        dependencies={"tool": "any", "tool_version": "*",
+                      "ip_catalog": "axi_iic", "ip_version": "2.1"},
+        regfile_factory=regfile,
+        init_factory=init,
+    )
+
+
+def qspi_flash(vendor: Vendor = Vendor.INHOUSE) -> VendorIp:
+    """Configuration flash controller (bitstream storage, golden image)."""
+    def regfile() -> RegisterFile:
+        return _simple_regfile(
+            f"flash-{vendor.value}",
+            [
+                ("CTRL", Access.RW, 0),
+                ("STATUS", Access.RO, 0x1),
+                ("SECTOR_ADDR", Access.RW, 0),
+                ("ERASE_CMD", Access.WO, 0),
+                ("PROGRAM_DATA", Access.WO, 0),
+                ("READ_DATA", Access.RO, 0),
+                ("WRITE_PROTECT", Access.RW, 1),
+                ("IMAGE_SELECT", Access.RW, 0),
+            ],
+        )
+
+    def init() -> InitSequence:
+        sequence = InitSequence(f"flash-{vendor.value}-init")
+        sequence.append(RegisterOp(OpKind.WRITE, "WRITE_PROTECT", 0x1))
+        sequence.append(RegisterOp(OpKind.WRITE, "CTRL", 0x1))
+        return sequence
+
+    return VendorIp(
+        name=f"flash-{vendor.value}",
+        vendor=vendor,
+        kind=IpKind.FLASH,
+        clock=ClockDomain("flash_axi", 100.0),
+        data_width_bits=32,
+        interfaces=(),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params={"flash_size_mb": 256, "quad_mode": True, "dual_parallel": False,
+                       "clock_div": 2, "golden_image_offset": 0x0100_0000},
+        resources=ResourceUsage(lut=900, ff=1_100, bram_36k=1, uram=0, dsp=0),
+        loc=LocInventory(common=200, vendor_specific=80, device_specific=240, generated=180),
+        latency_cycles=6,
+        requires_peripheral=PeripheralKind.FLASH,
+        dependencies={"tool": "any", "tool_version": "*",
+                      "ip_catalog": "axi_quad_spi", "ip_version": "3.2"},
+        regfile_factory=regfile,
+        init_factory=init,
+    )
+
+
+def sensor_block(vendor: Vendor = Vendor.INHOUSE) -> VendorIp:
+    """On-die sensors (temperature, voltage) read by health monitoring."""
+    def regfile() -> RegisterFile:
+        return _simple_regfile(
+            f"sensor-{vendor.value}",
+            [
+                ("CTRL", Access.RW, 0),
+                ("TEMP_C", Access.RO, 45),
+                ("VCCINT_MV", Access.RO, 850),
+                ("VCCAUX_MV", Access.RO, 1_800),
+                ("ALARM_THRESH", Access.RW, 95),
+                ("ALARM_STATUS", Access.W1C, 0),
+            ],
+        )
+
+    def init() -> InitSequence:
+        sequence = InitSequence(f"sensor-{vendor.value}-init")
+        sequence.append(RegisterOp(OpKind.WRITE, "ALARM_THRESH", 95))
+        sequence.append(RegisterOp(OpKind.WRITE, "CTRL", 0x1))
+        return sequence
+
+    return VendorIp(
+        name=f"sensor-{vendor.value}",
+        vendor=vendor,
+        kind=IpKind.SENSOR,
+        clock=ClockDomain("sysmon", 50.0),
+        data_width_bits=32,
+        interfaces=(),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params={"averaging": 16, "alarm_enable": True, "sequence_mode": "continuous"},
+        resources=ResourceUsage(lut=420, ff=510, bram_36k=0, uram=0, dsp=0),
+        loc=LocInventory(common=150, vendor_specific=70, device_specific=160, generated=120),
+        latency_cycles=2,
+        regfile_factory=regfile,
+        init_factory=init,
+    )
+
+
+def soft_core(vendor: Vendor = Vendor.INHOUSE) -> VendorIp:
+    """The lightweight soft processor hosting the unified control kernel.
+
+    The paper deploys its control kernel on in-FPGA soft cores (e.g.
+    Nios) so that every controller -- host applications, BMC, standalone
+    tools -- shares one command executor in hardware.
+    """
+    def regfile() -> RegisterFile:
+        return _simple_regfile(
+            f"softcore-{vendor.value}",
+            [
+                ("CTRL", Access.RW, 0),
+                ("STATUS", Access.RO, 0x1),
+                ("CMD_QUEUE_DEPTH", Access.RW, 64),
+                ("CMD_PROCESSED", Access.RO, 0),
+                ("FIRMWARE_VERSION", Access.RO, 0x0203_0001),
+                ("HEARTBEAT", Access.RO, 0),
+            ],
+        )
+
+    def init() -> InitSequence:
+        sequence = InitSequence(f"softcore-{vendor.value}-init")
+        sequence.append(RegisterOp(OpKind.WRITE, "CMD_QUEUE_DEPTH", 64))
+        sequence.append(RegisterOp(OpKind.WRITE, "CTRL", 0x1))
+        return sequence
+
+    return VendorIp(
+        name=f"softcore-{vendor.value}",
+        vendor=vendor,
+        kind=IpKind.SOFT_CORE,
+        clock=ClockDomain("softcore", 200.0),
+        data_width_bits=32,
+        interfaces=(),
+        control_interface=axi4_lite("s_axi_ctrl"),
+        config_params={"icache_kb": 16, "dcache_kb": 16, "tcm_kb": 128,
+                       "hart_count": 1, "isa": "rv32imc"},
+        resources=ResourceUsage(lut=3_900, ff=3_200, bram_36k=8, uram=0, dsp=4),
+        loc=LocInventory(common=900, vendor_specific=0, device_specific=150, generated=600),
+        latency_cycles=3,
+        regfile_factory=regfile,
+        init_factory=init,
+    )

@@ -1,0 +1,310 @@
+"""PCIe DMA engine IP models (Xilinx QDMA/XDMA, Intel P-tile MCDMA, in-house BDMA).
+
+Two engine styles matter to hierarchical tailoring (paper section 3.3.2):
+a *BDMA* instance suits bulk contiguous transfers, while an *SGDMA*
+(scatter-gather, multi-queue) instance suits discrete transfers.  Data
+width and user-clock frequency double with each PCIe generation, which
+is why the Host RBB pairs these IPs with a parameterised clock-domain
+crossing.
+"""
+
+import math
+from typing import Dict
+
+from repro.hw.ip.base import DmaEngineKind, IpKind, VendorIp, per_lane_params
+from repro.hw.protocols.avalon import avalon_mm, avalon_st
+from repro.hw.protocols.axi import axi4_full, axi4_lite, axi4_stream
+from repro.hw.registers import (
+    Access,
+    InitSequence,
+    OpKind,
+    Register,
+    RegisterFile,
+    RegisterOp,
+)
+from repro.metrics.loc import LocInventory
+from repro.metrics.resources import ResourceUsage
+from repro.platform.device import PcieGeneration, PeripheralKind
+from repro.platform.vendor import Vendor
+from repro.sim.clock import ClockDomain
+
+
+def _user_clock_mhz(generation: PcieGeneration) -> float:
+    """User-clock frequency; doubles with each PCIe generation."""
+    return {PcieGeneration.GEN3: 250.0, PcieGeneration.GEN4: 500.0,
+            PcieGeneration.GEN5: 1000.0}[generation]
+
+
+def _dma_register_file(name: str, context_slots: int, auto_ready: bool) -> RegisterFile:
+    """Register block for a multi-queue DMA engine."""
+    regfile = RegisterFile(name)
+    offset = 0
+
+    def add(register_name: str, access: Access = Access.RW, reset: int = 0) -> None:
+        nonlocal offset
+        regfile.add(Register(register_name, offset, access=access, reset_value=reset))
+        offset += 4
+
+    add("VERSION", Access.RO, reset=0x0200_0000)
+    add("GLOBAL_CTRL")
+    # The engine reports ready immediately in this model (link training is
+    # instantaneous at transaction level); polling programs still poll.
+    add("GLOBAL_STATUS", Access.RO, reset=0x1)
+    add("RING_SIZE_0")
+    add("RING_SIZE_1")
+    add("H2C_ENGINE_CTRL")
+    add("C2H_ENGINE_CTRL")
+    add("WRB_INTERVAL")
+    add("IRQ_VECTOR_BASE")
+    add("IRQ_FUNCTION_MAP")
+    add("QID_CTXT_CMD")
+    add("QID_CTXT_MASK")
+    for slot in range(context_slots):
+        add(f"QID_CTXT_DATA{slot}")
+    add("CMPL_RING_CFG")
+    add("DATA_FENCE_CTRL")
+    if auto_ready:
+        add("AUTO_BRINGUP")
+    for counter in ("STAT_H2C_PACKETS", "STAT_C2H_PACKETS", "STAT_H2C_BYTES",
+                    "STAT_C2H_BYTES", "STAT_DESC_FETCH_ERRORS", "STAT_WRB_DROPS"):
+        add(counter, Access.RO)
+    return regfile
+
+
+def _sgdma_init(name: str, context_slots: int, queues_at_init: int) -> InitSequence:
+    """Queue-context programming: the long, polling-style bring-up."""
+    sequence = InitSequence(name)
+    sequence.append(RegisterOp(OpKind.POLL, "GLOBAL_STATUS", value=1, expect_mask=0x1,
+                               comment="wait for link/engine ready"))
+    sequence.append(RegisterOp(OpKind.WRITE, "GLOBAL_CTRL", 0x0, comment="quiesce"))
+    sequence.append(RegisterOp(OpKind.WRITE, "RING_SIZE_0", 1024))
+    sequence.append(RegisterOp(OpKind.WRITE, "RING_SIZE_1", 4096))
+    sequence.append(RegisterOp(OpKind.WRITE, "WRB_INTERVAL", 16))
+    sequence.append(RegisterOp(OpKind.WRITE, "IRQ_VECTOR_BASE", 0x20))
+    sequence.append(RegisterOp(OpKind.WRITE, "IRQ_FUNCTION_MAP", 0x0))
+    for queue in range(queues_at_init):
+        for slot in range(context_slots):
+            sequence.append(RegisterOp(OpKind.WRITE, f"QID_CTXT_DATA{slot}",
+                                       queue << 8 | slot))
+        sequence.append(RegisterOp(OpKind.WRITE, "QID_CTXT_MASK", 0xFFFF_FFFF))
+        sequence.append(RegisterOp(OpKind.WRITE, "QID_CTXT_CMD", queue << 7 | 0x1,
+                                   comment=f"program context for queue {queue}"))
+    sequence.append(RegisterOp(OpKind.WRITE, "CMPL_RING_CFG", 0x3))
+    sequence.append(RegisterOp(OpKind.WRITE, "H2C_ENGINE_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "C2H_ENGINE_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "GLOBAL_CTRL", 0x1, comment="enable"))
+    return sequence
+
+
+def _bdma_init(name: str) -> InitSequence:
+    """Bulk-DMA bring-up: short, auto-bringup style."""
+    sequence = InitSequence(name)
+    sequence.append(RegisterOp(OpKind.WRITE, "AUTO_BRINGUP", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "RING_SIZE_0", 1024))
+    sequence.append(RegisterOp(OpKind.WRITE, "H2C_ENGINE_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "C2H_ENGINE_CTRL", 0x1))
+    sequence.append(RegisterOp(OpKind.WRITE, "GLOBAL_CTRL", 0x1))
+    return sequence
+
+
+def _pcie_core_params(generation: PcieGeneration, lanes: int, vendor_prefix: str) -> Dict[str, object]:
+    """Parameters every PCIe hard-IP wizard exposes."""
+    return {
+        f"{vendor_prefix}link_speed": f"gen{int(generation)}",
+        f"{vendor_prefix}link_width": f"x{lanes}",
+        f"{vendor_prefix}vendor_id": 0x10EE if vendor_prefix == "pl_" else 0x8086,
+        f"{vendor_prefix}device_id": 0x903F,
+        f"{vendor_prefix}class_code": 0x058000,
+        f"{vendor_prefix}bar0_size": "64MB",
+        f"{vendor_prefix}bar2_size": "4MB",
+        f"{vendor_prefix}max_payload_bytes": 512,
+        f"{vendor_prefix}max_read_request_bytes": 4096,
+        f"{vendor_prefix}extended_tags": True,
+        f"{vendor_prefix}relaxed_ordering": True,
+        f"{vendor_prefix}msix_vectors": 32,
+        f"{vendor_prefix}sriov_enable": True,
+        f"{vendor_prefix}num_virtual_functions": 16,
+        f"{vendor_prefix}aer_enable": True,
+        f"{vendor_prefix}ari_enable": True,
+        f"{vendor_prefix}acs_enable": False,
+        f"{vendor_prefix}ref_clk_mhz": 100,
+    }
+
+
+def xilinx_qdma(generation: PcieGeneration = PcieGeneration.GEN4, lanes: int = 8) -> VendorIp:
+    """Xilinx QDMA subsystem: scatter-gather, 2048-queue engine."""
+    params = _pcie_core_params(generation, lanes, "pl_")
+    params.update({
+        "dma_interface": "AXI-MM+AXI-ST",
+        "num_queues": 2048,
+        "descriptor_prefetch": True,
+        "completion_coalescing": True,
+        "wrb_timer_us": 5,
+        "c2h_stream_mode": "cached-bypass",
+        "h2c_stream_mode": "internal",
+        "enable_mailbox": True,
+        "enable_fl_cfg": True,
+        "desc_ring_sizes": "512,1024,2048,4096",
+        "enable_marker_response": True,
+        "axi_data_width": 512,
+        "axi_id_width": 4,
+    })
+    params.update(per_lane_params("pf", 4, {"bar_map": "dma", "queue_base": 0,
+                                            "queue_count": 512, "msix_table_size": 8,
+                                            "device_id_override": 0}))
+    return VendorIp(
+        name=f"xilinx-qdma-gen{int(generation)}x{lanes}",
+        vendor=Vendor.XILINX,
+        kind=IpKind.PCIE_DMA,
+        clock=ClockDomain("qdma_user", _user_clock_mhz(generation)),
+        data_width_bits=512,
+        interfaces=(
+            axi4_full("m_axi", data_width_bits=512, addr_width_bits=64),
+            axi4_stream("c2h_axis", data_width_bits=512, user_width_bits=64),
+            axi4_stream("h2c_axis", data_width_bits=512, user_width_bits=64),
+        ),
+        control_interface=axi4_lite("s_axil_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=68_000, ff=94_000, bram_36k=210, uram=16, dsp=0),
+        loc=LocInventory(common=680, vendor_specific=1_010, device_specific=390, generated=5_400),
+        latency_cycles=28,
+        requires_peripheral=PeripheralKind.PCIE,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "qdma", "ip_version": "5.0"},
+        dma_engine=DmaEngineKind.SGDMA,
+        regfile_factory=lambda: _dma_register_file("xilinx-qdma", 8, auto_ready=False),
+        init_factory=lambda: _sgdma_init("xilinx-qdma-init", context_slots=8, queues_at_init=8),
+        performance_gbps=generation.per_lane_gbps * lanes,
+        channels=2048,
+    )
+
+
+def xilinx_xdma(generation: PcieGeneration = PcieGeneration.GEN3, lanes: int = 16) -> VendorIp:
+    """Xilinx XDMA: block DMA (BDMA style) with 4 channels per direction."""
+    params = _pcie_core_params(generation, lanes, "pl_")
+    params.update({
+        "dma_interface": "AXI-MM",
+        "h2c_channels": 4,
+        "c2h_channels": 4,
+        "enable_pcie_to_axi_lite_master": True,
+        "enable_axi_bypass": False,
+        "axi_data_width": 512,
+        "axi_id_width": 4,
+        "descriptor_bypass": False,
+    })
+    params.update(per_lane_params("h2c_ch", 4, {"ring_size": 1024, "irq_vector": 0,
+                                                "priority": 0}))
+    params.update(per_lane_params("c2h_ch", 4, {"ring_size": 1024, "irq_vector": 0,
+                                                "priority": 0}))
+    return VendorIp(
+        name=f"xilinx-xdma-gen{int(generation)}x{lanes}",
+        vendor=Vendor.XILINX,
+        kind=IpKind.PCIE_DMA,
+        clock=ClockDomain("xdma_user", _user_clock_mhz(generation)),
+        data_width_bits=512,
+        interfaces=(
+            axi4_full("m_axi", data_width_bits=512, addr_width_bits=64),
+        ),
+        control_interface=axi4_lite("s_axil_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=41_000, ff=62_000, bram_36k=120, uram=0, dsp=0),
+        loc=LocInventory(common=590, vendor_specific=840, device_specific=330, generated=4_100),
+        latency_cycles=22,
+        requires_peripheral=PeripheralKind.PCIE,
+        dependencies={"tool": "vivado", "tool_version": "2023.1",
+                      "ip_catalog": "xdma", "ip_version": "4.1"},
+        dma_engine=DmaEngineKind.BDMA,
+        regfile_factory=lambda: _dma_register_file("xilinx-xdma", 4, auto_ready=True),
+        init_factory=lambda: _bdma_init("xilinx-xdma-init"),
+        performance_gbps=generation.per_lane_gbps * lanes,
+        channels=8,
+    )
+
+
+def intel_ptile_mcdma(generation: PcieGeneration = PcieGeneration.GEN4, lanes: int = 16) -> VendorIp:
+    """Intel P-tile Multi-Channel DMA, Avalon interfaces."""
+    params = _pcie_core_params(generation, lanes, "ip_")
+    params.update({
+        "user_mode": "MCDMA",
+        "num_dma_channels": 512,
+        "interface_type": "AVMM+AVST",
+        "d2h_prefetch_depth": 16,
+        "h2d_prefetch_depth": 16,
+        "completion_reordering": True,
+        "enable_bursting_master": True,
+        "avmm_data_width": 512,
+        "avst_ready_latency": 3,
+        "enable_pipa": False,
+        "user_msix_table": True,
+        "metadata_width": 64,
+    })
+    params.update(per_lane_params("func", 4, {"bar_layout": "mcdma", "chan_base": 0,
+                                              "chan_count": 128, "msix_table_size": 8,
+                                              "pasid_enable": False}))
+    return VendorIp(
+        name=f"intel-ptile-mcdma-gen{int(generation)}x{lanes}",
+        vendor=Vendor.INTEL,
+        kind=IpKind.PCIE_DMA,
+        clock=ClockDomain("ptile_user", _user_clock_mhz(generation)),
+        data_width_bits=512,
+        interfaces=(
+            avalon_mm("dma_avmm", data_width_bits=512, addr_width_bits=64),
+            avalon_st("d2h_avst", data_width_bits=512),
+            avalon_st("h2d_avst", data_width_bits=512),
+        ),
+        control_interface=avalon_mm("csr_avmm", data_width_bits=32, burst_width_bits=1),
+        config_params=params,
+        resources=ResourceUsage(lut=72_000, ff=101_000, bram_36k=260, uram=0, dsp=0),
+        loc=LocInventory(common=670, vendor_specific=1_050, device_specific=410, generated=5_900),
+        latency_cycles=32,
+        requires_peripheral=PeripheralKind.PCIE,
+        dependencies={"tool": "quartus", "tool_version": "23.2",
+                      "ip_catalog": "mcdma", "ip_version": "23.2"},
+        dma_engine=DmaEngineKind.SGDMA,
+        regfile_factory=lambda: _dma_register_file("intel-mcdma", 6, auto_ready=False),
+        init_factory=lambda: _sgdma_init("intel-mcdma-init", context_slots=6, queues_at_init=8),
+        performance_gbps=generation.per_lane_gbps * lanes,
+        channels=512,
+    )
+
+
+def inhouse_bdma(generation: PcieGeneration = PcieGeneration.GEN4, lanes: int = 16) -> VendorIp:
+    """In-house bulk DMA engine used on custom boards."""
+    params: Dict[str, object] = {
+        "link": f"gen{int(generation)}x{lanes}",
+        "channels": 4,
+        "max_burst_kb": 64,
+        "doorbell_mode": "mmio",
+        "interrupt_mode": "msix",
+        "data_width": 512,
+        "ecc": True,
+        "bar0_size_mb": 64,
+        "completion_timeout_us": 50,
+        "max_outstanding": 32,
+        "tag_bits": 8,
+    }
+    params.update(per_lane_params("ch", 4, {"ring_size": 1024, "irq_vector": 0,
+                                            "burst_kb": 64, "priority": 0}))
+    return VendorIp(
+        name=f"inhouse-bdma-gen{int(generation)}x{lanes}",
+        vendor=Vendor.INHOUSE,
+        kind=IpKind.PCIE_DMA,
+        clock=ClockDomain("bdma_user", _user_clock_mhz(generation)),
+        data_width_bits=512,
+        interfaces=(
+            axi4_full("m_axi", data_width_bits=512, addr_width_bits=64),
+        ),
+        control_interface=axi4_lite("s_axil_ctrl"),
+        config_params=params,
+        resources=ResourceUsage(lut=38_000, ff=55_000, bram_36k=96, uram=0, dsp=0),
+        loc=LocInventory(common=540, vendor_specific=0, device_specific=1_900, generated=900),
+        latency_cycles=18,
+        requires_peripheral=PeripheralKind.PCIE,
+        dependencies={"tool": "any", "tool_version": "*",
+                      "ip_catalog": "bd_bdma", "ip_version": "2.0"},
+        dma_engine=DmaEngineKind.BDMA,
+        regfile_factory=lambda: _dma_register_file("inhouse-bdma", 4, auto_ready=True),
+        init_factory=lambda: _bdma_init("inhouse-bdma-init"),
+        performance_gbps=generation.per_lane_gbps * lanes,
+        channels=4,
+    )

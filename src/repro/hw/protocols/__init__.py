@@ -1,0 +1,29 @@
+"""Hardware interface protocol definitions (AXI and Avalon families)."""
+
+from repro.hw.protocols.base import (
+    Direction,
+    InterfaceSpec,
+    ProtocolFamily,
+    SignalSpec,
+)
+from repro.hw.protocols.axi import (
+    axi4_full,
+    axi4_lite,
+    axi4_stream,
+)
+from repro.hw.protocols.avalon import (
+    avalon_mm,
+    avalon_st,
+)
+
+__all__ = [
+    "Direction",
+    "InterfaceSpec",
+    "ProtocolFamily",
+    "SignalSpec",
+    "axi4_full",
+    "axi4_lite",
+    "axi4_stream",
+    "avalon_mm",
+    "avalon_st",
+]

@@ -1,0 +1,74 @@
+"""Intel Avalon protocol definitions (Intel-side interfaces).
+
+Signal lists follow the Avalon Interface Specifications (Intel
+MNL-AVABUSREF): Avalon Streaming (Avalon-ST) for packet data and Avalon
+Memory-Mapped (Avalon-MM) for addressable transfers and registers.
+"""
+
+import math
+
+from repro.hw.protocols.base import Direction, InterfaceSpec, ProtocolFamily, SignalSpec
+
+_IN = Direction.INPUT
+_OUT = Direction.OUTPUT
+
+
+def avalon_st(
+    name: str = "avst",
+    data_width_bits: int = 512,
+    channel_width_bits: int = 1,
+    error_width_bits: int = 1,
+) -> InterfaceSpec:
+    """An Avalon-ST source interface of the given widths.
+
+    Unlike AXI4-Stream's TKEEP byte mask, Avalon-ST uses a binary
+    ``empty`` count of unused symbols in the final beat; the wrapper has
+    to translate between the two encodings.
+    """
+    symbols_per_beat = max(data_width_bits // 8, 1)
+    empty_width = max(int(math.ceil(math.log2(symbols_per_beat))), 1)
+    signals = (
+        SignalSpec("clk", 1, _IN, "interface clock"),
+        SignalSpec("reset_n", 1, _IN, "active-low reset"),
+        SignalSpec("valid", 1, _OUT, "qualifies all other signals"),
+        SignalSpec("ready", 1, _IN, "sink ready (readyLatency applies)"),
+        SignalSpec("data", data_width_bits, _OUT, "data beat"),
+        SignalSpec("channel", channel_width_bits, _OUT, "channel number"),
+        SignalSpec("error", error_width_bits, _OUT, "per-packet error bits"),
+        SignalSpec("startofpacket", 1, _OUT, "first beat of packet"),
+        SignalSpec("endofpacket", 1, _OUT, "last beat of packet"),
+        SignalSpec("empty", empty_width, _OUT, "unused symbols in final beat"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.AVALON_ST, signals, sideband=("error", "channel"))
+
+
+def avalon_mm(
+    name: str = "avmm",
+    data_width_bits: int = 512,
+    addr_width_bits: int = 32,
+    burst_width_bits: int = 7,
+) -> InterfaceSpec:
+    """An Avalon-MM host (master) interface of the given widths.
+
+    Avalon-MM has a single shared address bus and a ``waitrequest``
+    handshake, where AXI4 has five independent channels -- the structural
+    difference the interface wrapper hides.
+    """
+    byteenable_width = max(data_width_bits // 8, 1)
+    signals = (
+        SignalSpec("clk", 1, _IN, "interface clock"),
+        SignalSpec("reset_n", 1, _IN, "active-low reset"),
+        SignalSpec("address", addr_width_bits, _OUT, "word or byte address"),
+        SignalSpec("byteenable", byteenable_width, _OUT, "byte lane enables"),
+        SignalSpec("read", 1, _OUT, "read request"),
+        SignalSpec("readdata", data_width_bits, _IN, "read data"),
+        SignalSpec("readdatavalid", 1, _IN, "pipelined read data valid"),
+        SignalSpec("write", 1, _OUT, "write request"),
+        SignalSpec("writedata", data_width_bits, _OUT, "write data"),
+        SignalSpec("waitrequest", 1, _IN, "agent busy; hold request"),
+        SignalSpec("burstcount", burst_width_bits, _OUT, "beats in burst"),
+        SignalSpec("response", 2, _IN, "transfer response status"),
+        SignalSpec("lock", 1, _OUT, "arbitration lock"),
+        SignalSpec("debugaccess", 1, _OUT, "debug access to OCRAM"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.AVALON_MM, signals)

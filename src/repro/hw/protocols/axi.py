@@ -1,0 +1,140 @@
+"""AMBA AXI4 protocol definitions (Xilinx-side interfaces).
+
+Signal lists follow the AMBA AXI and ACE Protocol Specification
+(ARM IHI 0022) as instantiated by Xilinx IP (UG1037).  Three factory
+functions build parameterised :class:`InterfaceSpec` objects:
+
+* :func:`axi4_stream` -- the streaming protocol used by CMAC, Ethernet
+  subsystems and QDMA stream ports;
+* :func:`axi4_full` -- the full memory-mapped protocol used by DDR/HBM
+  controllers and DMA master ports;
+* :func:`axi4_lite` -- the register-access subset used for control.
+"""
+
+from repro.hw.protocols.base import Direction, InterfaceSpec, ProtocolFamily, SignalSpec
+
+_IN = Direction.INPUT
+_OUT = Direction.OUTPUT
+
+
+def axi4_stream(
+    name: str = "axis",
+    data_width_bits: int = 512,
+    user_width_bits: int = 1,
+    id_width_bits: int = 1,
+    dest_width_bits: int = 1,
+) -> InterfaceSpec:
+    """An AXI4-Stream interface of the given widths (master view)."""
+    keep_width = data_width_bits // 8
+    signals = (
+        SignalSpec("ACLK", 1, _IN, "interface clock"),
+        SignalSpec("ARESETn", 1, _IN, "active-low reset"),
+        SignalSpec("TVALID", 1, _OUT, "transfer valid"),
+        SignalSpec("TREADY", 1, _IN, "sink ready"),
+        SignalSpec("TDATA", data_width_bits, _OUT, "data beat"),
+        SignalSpec("TSTRB", keep_width, _OUT, "byte qualifier (data/position)"),
+        SignalSpec("TKEEP", keep_width, _OUT, "byte qualifier (null bytes)"),
+        SignalSpec("TLAST", 1, _OUT, "end of packet"),
+        SignalSpec("TID", id_width_bits, _OUT, "stream identifier"),
+        SignalSpec("TDEST", dest_width_bits, _OUT, "routing destination"),
+        SignalSpec("TUSER", user_width_bits, _OUT, "sideband user data"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.AXI4_STREAM, signals, sideband=("TUSER",))
+
+
+def axi4_full(
+    name: str = "axi",
+    data_width_bits: int = 512,
+    addr_width_bits: int = 34,
+    id_width_bits: int = 6,
+    user_width_bits: int = 1,
+) -> InterfaceSpec:
+    """A full AXI4 memory-mapped interface (master view, all 5 channels)."""
+    strb_width = data_width_bits // 8
+    signals = (
+        SignalSpec("ACLK", 1, _IN, "interface clock"),
+        SignalSpec("ARESETn", 1, _IN, "active-low reset"),
+        # Write address channel.
+        SignalSpec("AWID", id_width_bits, _OUT, "write transaction ID"),
+        SignalSpec("AWADDR", addr_width_bits, _OUT, "write address"),
+        SignalSpec("AWLEN", 8, _OUT, "burst length"),
+        SignalSpec("AWSIZE", 3, _OUT, "burst size"),
+        SignalSpec("AWBURST", 2, _OUT, "burst type"),
+        SignalSpec("AWLOCK", 1, _OUT, "lock type"),
+        SignalSpec("AWCACHE", 4, _OUT, "memory type"),
+        SignalSpec("AWPROT", 3, _OUT, "protection type"),
+        SignalSpec("AWQOS", 4, _OUT, "quality of service"),
+        SignalSpec("AWREGION", 4, _OUT, "region identifier"),
+        SignalSpec("AWUSER", user_width_bits, _OUT, "write address sideband"),
+        SignalSpec("AWVALID", 1, _OUT, "write address valid"),
+        SignalSpec("AWREADY", 1, _IN, "write address ready"),
+        # Write data channel.
+        SignalSpec("WDATA", data_width_bits, _OUT, "write data"),
+        SignalSpec("WSTRB", strb_width, _OUT, "write strobes"),
+        SignalSpec("WLAST", 1, _OUT, "last beat of burst"),
+        SignalSpec("WUSER", user_width_bits, _OUT, "write data sideband"),
+        SignalSpec("WVALID", 1, _OUT, "write data valid"),
+        SignalSpec("WREADY", 1, _IN, "write data ready"),
+        # Write response channel.
+        SignalSpec("BID", id_width_bits, _IN, "response transaction ID"),
+        SignalSpec("BRESP", 2, _IN, "write response"),
+        SignalSpec("BUSER", user_width_bits, _IN, "response sideband"),
+        SignalSpec("BVALID", 1, _IN, "response valid"),
+        SignalSpec("BREADY", 1, _OUT, "response ready"),
+        # Read address channel.
+        SignalSpec("ARID", id_width_bits, _OUT, "read transaction ID"),
+        SignalSpec("ARADDR", addr_width_bits, _OUT, "read address"),
+        SignalSpec("ARLEN", 8, _OUT, "burst length"),
+        SignalSpec("ARSIZE", 3, _OUT, "burst size"),
+        SignalSpec("ARBURST", 2, _OUT, "burst type"),
+        SignalSpec("ARLOCK", 1, _OUT, "lock type"),
+        SignalSpec("ARCACHE", 4, _OUT, "memory type"),
+        SignalSpec("ARPROT", 3, _OUT, "protection type"),
+        SignalSpec("ARQOS", 4, _OUT, "quality of service"),
+        SignalSpec("ARREGION", 4, _OUT, "region identifier"),
+        SignalSpec("ARUSER", user_width_bits, _OUT, "read address sideband"),
+        SignalSpec("ARVALID", 1, _OUT, "read address valid"),
+        SignalSpec("ARREADY", 1, _IN, "read address ready"),
+        # Read data channel.
+        SignalSpec("RID", id_width_bits, _IN, "read data transaction ID"),
+        SignalSpec("RDATA", data_width_bits, _IN, "read data"),
+        SignalSpec("RRESP", 2, _IN, "read response"),
+        SignalSpec("RLAST", 1, _IN, "last beat of burst"),
+        SignalSpec("RUSER", user_width_bits, _IN, "read data sideband"),
+        SignalSpec("RVALID", 1, _IN, "read data valid"),
+        SignalSpec("RREADY", 1, _OUT, "read data ready"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.AXI4_FULL, signals, sideband=("AWUSER", "WUSER", "ARUSER"))
+
+
+def axi4_lite(
+    name: str = "axil",
+    data_width_bits: int = 32,
+    addr_width_bits: int = 32,
+) -> InterfaceSpec:
+    """An AXI4-Lite register interface (master view)."""
+    strb_width = data_width_bits // 8
+    signals = (
+        SignalSpec("ACLK", 1, _IN, "interface clock"),
+        SignalSpec("ARESETn", 1, _IN, "active-low reset"),
+        SignalSpec("AWADDR", addr_width_bits, _OUT, "write address"),
+        SignalSpec("AWPROT", 3, _OUT, "protection type"),
+        SignalSpec("AWVALID", 1, _OUT, "write address valid"),
+        SignalSpec("AWREADY", 1, _IN, "write address ready"),
+        SignalSpec("WDATA", data_width_bits, _OUT, "write data"),
+        SignalSpec("WSTRB", strb_width, _OUT, "write strobes"),
+        SignalSpec("WVALID", 1, _OUT, "write data valid"),
+        SignalSpec("WREADY", 1, _IN, "write data ready"),
+        SignalSpec("BRESP", 2, _IN, "write response"),
+        SignalSpec("BVALID", 1, _IN, "response valid"),
+        SignalSpec("BREADY", 1, _OUT, "response ready"),
+        SignalSpec("ARADDR", addr_width_bits, _OUT, "read address"),
+        SignalSpec("ARPROT", 3, _OUT, "protection type"),
+        SignalSpec("ARVALID", 1, _OUT, "read address valid"),
+        SignalSpec("ARREADY", 1, _IN, "read address ready"),
+        SignalSpec("RDATA", data_width_bits, _IN, "read data"),
+        SignalSpec("RRESP", 2, _IN, "read response"),
+        SignalSpec("RVALID", 1, _IN, "read data valid"),
+        SignalSpec("RREADY", 1, _OUT, "read data ready"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.AXI4_LITE, signals)

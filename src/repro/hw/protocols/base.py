@@ -1,0 +1,110 @@
+"""Common machinery for describing hardware interface protocols.
+
+An :class:`InterfaceSpec` is a named bundle of :class:`SignalSpec`
+entries.  Vendor IPs expose their ports as interface specs; the
+Harmonia interface wrapper (:mod:`repro.adapters.wrapper`) converts them
+into the six unified types of :mod:`repro.hw.signal_types`.
+
+Interface *counts* matter to the paper: Figure 3b measures the disparity
+in interface and configuration properties between equivalent Xilinx and
+Intel IPs, so the definitions here follow the published signal lists of
+the respective protocol specifications (AMBA AXI4 IHI0022, Avalon
+Interface Specifications MNL-AVABUSREF).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ProtocolFamily(enum.Enum):
+    """The protocol families seen across the device fleet."""
+
+    AXI4_STREAM = "axi4-stream"
+    AXI4_FULL = "axi4-full"
+    AXI4_LITE = "axi4-lite"
+    AVALON_ST = "avalon-st"
+    AVALON_MM = "avalon-mm"
+    CUSTOM = "custom"
+    UNIFIED = "unified"
+
+
+class Direction(enum.Enum):
+    """Signal direction from the IP's point of view."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One port signal of an interface.
+
+    ``width`` may be parametric; the value stored is the width for the
+    instance under discussion (e.g. 512 for a 512-bit TDATA).
+    """
+
+    name: str
+    width: int
+    direction: Direction
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"signal {self.name!r} must be at least 1 bit wide")
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """A named bundle of signals speaking one protocol."""
+
+    name: str
+    family: ProtocolFamily
+    signals: Tuple[SignalSpec, ...]
+    sideband: Tuple[str, ...] = ()
+
+    @property
+    def signal_count(self) -> int:
+        """Number of distinct signals (the paper's 'interface' metric)."""
+        return len(self.signals)
+
+    @property
+    def total_width_bits(self) -> int:
+        """Sum of all signal widths."""
+        return sum(signal.width for signal in self.signals)
+
+    def signal(self, name: str) -> SignalSpec:
+        """Look up a signal by name."""
+        for candidate in self.signals:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"interface {self.name!r} has no signal {name!r}")
+
+    def signal_names(self) -> List[str]:
+        return [signal.name for signal in self.signals]
+
+    def data_width_bits(self) -> int:
+        """Width of the primary data signal, if the protocol has one."""
+        for candidate_name in ("TDATA", "WDATA", "data", "writedata", "wdata"):
+            try:
+                return self.signal(candidate_name).width
+            except KeyError:
+                continue
+        raise KeyError(f"interface {self.name!r} has no recognised data signal")
+
+    def renamed(self, name: str) -> "InterfaceSpec":
+        """A copy of this spec under a different instance name."""
+        return InterfaceSpec(name, self.family, self.signals, self.sideband)
+
+
+def disparity(left: InterfaceSpec, right: InterfaceSpec) -> int:
+    """Count of signals present in one interface but not the other.
+
+    This is the metric behind Figure 3b's interface bars: signals that
+    would need hand-written adaptation when swapping one vendor's IP for
+    the other's.
+    """
+    left_names = set(left.signal_names())
+    right_names = set(right.signal_names())
+    return len(left_names.symmetric_difference(right_names))

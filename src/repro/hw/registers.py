@@ -1,0 +1,249 @@
+"""Register files, register maps, and per-platform init sequences.
+
+The command-based interface (paper section 3.3.3) exists because shells
+expose *register-level* control whose details (widths, addresses, and --
+crucially -- operation ordering) vary across platforms.  This module
+models that faithfully:
+
+* :class:`Register` / :class:`RegisterFile` -- addressable state with
+  access control, exactly what the unified control kernel reads/writes;
+* :class:`RegisterOp` / :class:`InitSequence` -- ordered register
+  operation programs, including polling (the Figure 3d "shell A waits on
+  a status read" example), used to *measure* software modifications when
+  migrating between platforms.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import RegisterAccessError
+
+
+class Access(enum.Enum):
+    """Register access modes."""
+
+    RO = "read-only"
+    RW = "read-write"
+    WO = "write-only"
+    W1C = "write-1-to-clear"
+
+
+@dataclass
+class Register:
+    """One addressable register."""
+
+    name: str
+    offset: int
+    width: int = 32
+    access: Access = Access.RW
+    reset_value: int = 0
+    description: str = ""
+    value: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.offset % 4 != 0:
+            raise ValueError(f"register {self.name!r} offset must be a non-negative multiple of 4")
+        if self.width not in (8, 16, 32, 64):
+            raise ValueError(f"register {self.name!r} has unsupported width {self.width}")
+        self.value = self.reset_value
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def reset(self) -> None:
+        self.value = self.reset_value
+
+
+class RegisterFile:
+    """A module's register block at a base address.
+
+    Reads and writes are validated against each register's access mode and
+    recorded in an operation trace so migration costs can be measured by
+    diffing traces rather than asserting constants.
+    """
+
+    def __init__(self, name: str, base_address: int = 0) -> None:
+        self.name = name
+        self.base_address = base_address
+        self._by_offset: Dict[int, Register] = {}
+        self._by_name: Dict[str, Register] = {}
+        self.trace: List[Tuple[str, int, int]] = []
+
+    def add(self, register: Register) -> Register:
+        """Register a new :class:`Register`; offsets and names are unique."""
+        if register.offset in self._by_offset:
+            raise ValueError(f"offset {register.offset:#x} already used in {self.name!r}")
+        if register.name in self._by_name:
+            raise ValueError(f"register name {register.name!r} already used in {self.name!r}")
+        self._by_offset[register.offset] = register
+        self._by_name[register.name] = register
+        return register
+
+    def add_many(self, registers: Iterable[Register]) -> None:
+        for register in registers:
+            self.add(register)
+
+    def __len__(self) -> int:
+        return len(self._by_offset)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def register(self, name: str) -> Register:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RegisterAccessError(f"{self.name!r} has no register {name!r}") from None
+
+    def _lookup(self, offset: int) -> Register:
+        try:
+            return self._by_offset[offset]
+        except KeyError:
+            raise RegisterAccessError(
+                f"unmapped offset {offset:#x} in register file {self.name!r}"
+            ) from None
+
+    def read(self, offset: int) -> int:
+        """Read by offset; write-only registers reject reads."""
+        register = self._lookup(offset)
+        if register.access is Access.WO:
+            raise RegisterAccessError(f"register {register.name!r} is write-only")
+        self.trace.append(("read", offset, register.value))
+        return register.value
+
+    def write(self, offset: int, value: int) -> None:
+        """Write by offset, honouring RO and W1C semantics."""
+        register = self._lookup(offset)
+        if register.access is Access.RO:
+            raise RegisterAccessError(f"register {register.name!r} is read-only")
+        value &= register.mask
+        if register.access is Access.W1C:
+            register.value &= ~value
+        else:
+            register.value = value
+        self.trace.append(("write", offset, value))
+
+    def read_by_name(self, name: str) -> int:
+        return self.read(self.register(name).offset)
+
+    def write_by_name(self, name: str, value: int) -> None:
+        self.write(self.register(name).offset, value)
+
+    def poke(self, name: str, value: int) -> None:
+        """Hardware-side (untraced, access-unchecked) state update.
+
+        Used by behavioural models to reflect internal state into status
+        registers -- the equivalent of hardware driving a RO register.
+        """
+        register = self.register(name)
+        register.value = value & register.mask
+
+    def reset_all(self) -> None:
+        for register in self._by_offset.values():
+            register.reset()
+        self.trace.clear()
+
+
+class OpKind(enum.Enum):
+    """Kinds of host-visible register operations."""
+
+    READ = "read"
+    WRITE = "write"
+    POLL = "poll"
+
+
+@dataclass(frozen=True)
+class RegisterOp:
+    """One step of a control program against a register file."""
+
+    kind: OpKind
+    register: str
+    value: int = 0
+    expect_mask: int = 0xFFFF_FFFF
+    comment: str = ""
+
+    def signature(self) -> Tuple[str, str, int]:
+        """Identity used when diffing two sequences for migration cost."""
+        return (self.kind.value, self.register, self.value)
+
+
+class InitSequence:
+    """An ordered register program (e.g. module initialization).
+
+    ``execute`` runs the program against a live register file.  POLL ops
+    spin until the register's masked value equals ``value`` -- the
+    behavioural models arrange for status registers to be poked before
+    init runs, so polls terminate; a ``max_polls`` guard catches broken
+    programs.
+    """
+
+    def __init__(self, name: str, ops: Optional[List[RegisterOp]] = None) -> None:
+        self.name = name
+        self.ops: List[RegisterOp] = list(ops) if ops else []
+
+    def append(self, op: RegisterOp) -> "InitSequence":
+        self.ops.append(op)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def execute(self, regfile: RegisterFile, max_polls: int = 1024) -> int:
+        """Run the program; returns the number of register accesses made."""
+        accesses = 0
+        for op in self.ops:
+            offset = regfile.register(op.register).offset
+            if op.kind is OpKind.WRITE:
+                regfile.write(offset, op.value)
+                accesses += 1
+            elif op.kind is OpKind.READ:
+                regfile.read(offset)
+                accesses += 1
+            else:
+                for _ in range(max_polls):
+                    accesses += 1
+                    if regfile.read(offset) & op.expect_mask == op.value:
+                        break
+                else:
+                    raise RegisterAccessError(
+                        f"poll on {op.register!r} in {self.name!r} never satisfied"
+                    )
+        return accesses
+
+
+def modification_cost(old: InitSequence, new: InitSequence) -> int:
+    """Lines of host software touched when migrating ``old`` -> ``new``.
+
+    Counted as the size of the edit script between the two operation
+    lists (ops removed + ops added, by position-independent multiset
+    diff, plus reordering cost for ops whose relative order changed).
+    This mirrors how the paper counts "software modifications": every
+    register access whose address, value, or ordering changes is a line
+    the user must touch.
+    """
+    old_sigs = [op.signature() for op in old.ops]
+    new_sigs = [op.signature() for op in new.ops]
+    # Longest common subsequence keeps genuinely unchanged lines.
+    lcs = _lcs_length(old_sigs, new_sigs)
+    return (len(old_sigs) - lcs) + (len(new_sigs) - lcs)
+
+
+def _lcs_length(left: List, right: List) -> int:
+    """Classic O(n*m) longest-common-subsequence length."""
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    for left_item in left:
+        current = [0]
+        for column, right_item in enumerate(right, start=1):
+            if left_item == right_item:
+                current.append(previous[column - 1] + 1)
+            else:
+                current.append(max(previous[column], current[-1]))
+        previous = current
+    return previous[-1]

@@ -1,0 +1,141 @@
+"""Harmonia's unified interface types (paper section 3.2).
+
+The lightweight interface wrapper converts every vendor interface into
+one of six basic types:
+
+* ``clock`` / ``reset`` -- arrays of clock and reset signals; other
+  modules select entries by index;
+* ``stream`` -- continuous data with start/end-of-stream delimiters;
+* ``mem_map`` -- block data with an address and size;
+* ``reg`` -- register read/write with unique addresses per signal;
+* ``irq`` -- raw latency-intensive signals exposed directly.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hw.protocols.base import Direction, InterfaceSpec, ProtocolFamily, SignalSpec
+
+_IN = Direction.INPUT
+_OUT = Direction.OUTPUT
+
+
+class UnifiedType(enum.Enum):
+    """The six basic interface types of the platform-specific layer."""
+
+    CLOCK = "clock"
+    RESET = "reset"
+    STREAM = "stream"
+    MEM_MAP = "mem_map"
+    REG = "reg"
+    IRQ = "irq"
+
+
+#: Which unified type each vendor protocol family maps onto.
+FAMILY_TO_UNIFIED = {
+    ProtocolFamily.AXI4_STREAM: UnifiedType.STREAM,
+    ProtocolFamily.AVALON_ST: UnifiedType.STREAM,
+    ProtocolFamily.AXI4_FULL: UnifiedType.MEM_MAP,
+    ProtocolFamily.AVALON_MM: UnifiedType.MEM_MAP,
+    ProtocolFamily.AXI4_LITE: UnifiedType.REG,
+}
+
+
+def unified_clock(name: str = "clk", lanes: int = 4) -> InterfaceSpec:
+    """A clock array: modules index into it to pick a frequency."""
+    signals = tuple(
+        SignalSpec(f"clk_{index}", 1, _IN, f"clock lane {index}") for index in range(lanes)
+    )
+    return InterfaceSpec(name, ProtocolFamily.UNIFIED, signals)
+
+
+def unified_reset(name: str = "rst", lanes: int = 4) -> InterfaceSpec:
+    """A reset array covering hard and soft resets."""
+    signals = tuple(
+        SignalSpec(f"rst_{index}", 1, _IN, f"reset lane {index}") for index in range(lanes)
+    )
+    return InterfaceSpec(name, ProtocolFamily.UNIFIED, signals)
+
+
+def unified_stream(name: str = "u_stream", data_width_bits: int = 512) -> InterfaceSpec:
+    """The unified streaming data interface (start/end delimited)."""
+    keep_width = max(data_width_bits // 8, 1)
+    signals = (
+        SignalSpec("valid", 1, _OUT, "beat valid"),
+        SignalSpec("ready", 1, _IN, "sink ready"),
+        SignalSpec("data", data_width_bits, _OUT, "data beat"),
+        SignalSpec("keep", keep_width, _OUT, "valid bytes in beat"),
+        SignalSpec("sos", 1, _OUT, "start of stream"),
+        SignalSpec("eos", 1, _OUT, "end of stream"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.UNIFIED, signals)
+
+
+def unified_mem_map(
+    name: str = "u_memmap",
+    data_width_bits: int = 512,
+    addr_width_bits: int = 34,
+) -> InterfaceSpec:
+    """The unified memory-mapped interface (address + size per chunk)."""
+    signals = (
+        SignalSpec("valid", 1, _OUT, "request valid"),
+        SignalSpec("ready", 1, _IN, "target ready"),
+        SignalSpec("addr", addr_width_bits, _OUT, "chunk base address"),
+        SignalSpec("size", 16, _OUT, "chunk size in bytes"),
+        SignalSpec("write", 1, _OUT, "1 = write, 0 = read"),
+        SignalSpec("wdata", data_width_bits, _OUT, "write data beat"),
+        SignalSpec("rdata", data_width_bits, _IN, "read data beat"),
+        SignalSpec("rvalid", 1, _IN, "read data valid"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.UNIFIED, signals)
+
+
+def unified_reg(name: str = "u_reg", data_width_bits: int = 32) -> InterfaceSpec:
+    """The unified 32-bit register control interface."""
+    signals = (
+        SignalSpec("addr", 32, _OUT, "register address"),
+        SignalSpec("wdata", data_width_bits, _OUT, "write value"),
+        SignalSpec("rdata", data_width_bits, _IN, "read value"),
+        SignalSpec("wen", 1, _OUT, "write enable"),
+        SignalSpec("ren", 1, _OUT, "read enable"),
+        SignalSpec("ack", 1, _IN, "access acknowledged"),
+    )
+    return InterfaceSpec(name, ProtocolFamily.UNIFIED, signals)
+
+
+def unified_irq(name: str = "u_irq", lanes: int = 1) -> InterfaceSpec:
+    """Raw interrupt lines for latency-intensive signals."""
+    signals = tuple(
+        SignalSpec(f"irq_{index}", 1, _OUT, f"interrupt lane {index}") for index in range(lanes)
+    )
+    return InterfaceSpec(name, ProtocolFamily.UNIFIED, signals)
+
+
+@dataclass(frozen=True)
+class UnifiedPort:
+    """A wrapper-produced port: a unified type plus its interface spec."""
+
+    unified_type: UnifiedType
+    spec: InterfaceSpec
+
+    @property
+    def data_width_bits(self) -> int:
+        if self.unified_type in (UnifiedType.STREAM, UnifiedType.MEM_MAP):
+            return self.spec.data_width_bits()
+        if self.unified_type is UnifiedType.REG:
+            return self.spec.signal("wdata").width
+        return 1
+
+
+def make_unified_port(unified_type: UnifiedType, data_width_bits: int = 512) -> UnifiedPort:
+    """Factory for a unified port of the requested type and width."""
+    builders = {
+        UnifiedType.CLOCK: lambda: unified_clock(),
+        UnifiedType.RESET: lambda: unified_reset(),
+        UnifiedType.STREAM: lambda: unified_stream(data_width_bits=data_width_bits),
+        UnifiedType.MEM_MAP: lambda: unified_mem_map(data_width_bits=data_width_bits),
+        UnifiedType.REG: lambda: unified_reg(),
+        UnifiedType.IRQ: lambda: unified_irq(),
+    }
+    return UnifiedPort(unified_type, builders[unified_type]())

@@ -1,0 +1,16 @@
+"""Measurement data types and computations used across the framework.
+
+* :mod:`repro.metrics.resources` -- FPGA resource usage accounting
+  (LUT/FF/BRAM/URAM/DSP) against device budgets;
+* :mod:`repro.metrics.loc` -- development-workload (lines-of-code)
+  inventories and reuse-rate computation;
+* :mod:`repro.metrics.configs` -- configuration-item counting for
+  interfaces and IP parameters;
+* :mod:`repro.metrics.modifications` -- software-modification cost when
+  migrating control programs across platforms.
+"""
+
+from repro.metrics.loc import LocInventory, Migration, reuse_rate
+from repro.metrics.resources import ResourceBudget, ResourceUsage
+
+__all__ = ["LocInventory", "Migration", "ResourceBudget", "ResourceUsage", "reuse_rate"]

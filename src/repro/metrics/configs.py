@@ -1,0 +1,59 @@
+"""Configuration-item counting.
+
+Two results depend on counting configuration items:
+
+* Figure 3b counts the *disparity* in interfaces and configuration
+  parameters between equivalent Xilinx and Intel IPs;
+* Figure 12 counts how many configuration items a role must set with the
+  native IP versus with Harmonia's role-oriented property subset.
+
+Both are computed structurally from the IP models' parameter
+inventories.
+"""
+
+from typing import Dict, Iterable, Mapping, Set, Tuple
+
+from repro.hw.protocols.base import InterfaceSpec, disparity
+
+
+def config_disparity(left: Mapping[str, object], right: Mapping[str, object]) -> int:
+    """Parameters present in one IP's configuration but not the other's.
+
+    Parameters sharing a name but holding different default values also
+    count: they must be re-derived by hand for the new platform.
+    """
+    left_keys = set(left)
+    right_keys = set(right)
+    mismatched = len(left_keys.symmetric_difference(right_keys))
+    for key in left_keys & right_keys:
+        if left[key] != right[key]:
+            mismatched += 1
+    return mismatched
+
+
+def interface_disparity(
+    left: Iterable[InterfaceSpec], right: Iterable[InterfaceSpec]
+) -> int:
+    """Signal-level disparity between two IPs' port lists.
+
+    Interfaces are paired greedily by protocol role (order given);
+    unpaired interfaces contribute all their signals.
+    """
+    left_list = list(left)
+    right_list = list(right)
+    total = 0
+    for index in range(max(len(left_list), len(right_list))):
+        if index >= len(left_list):
+            total += right_list[index].signal_count
+        elif index >= len(right_list):
+            total += left_list[index].signal_count
+        else:
+            total += disparity(left_list[index], right_list[index])
+    return total
+
+
+def simplification_factor(native_items: int, exposed_items: int) -> float:
+    """How many times fewer items the tailored interface exposes."""
+    if exposed_items <= 0:
+        raise ValueError("exposed item count must be positive")
+    return native_items / exposed_items

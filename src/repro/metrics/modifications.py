@@ -1,0 +1,30 @@
+"""Software-modification cost when migrating across platforms.
+
+The metric follows the paper's framing: every host-software line whose
+register address, value, or ordering changes between two platforms is a
+modification the user must make.  We compute it as the edit distance
+(insertions + deletions around the longest common subsequence) between
+the two operation traces, captured from real driver runs.
+"""
+
+from typing import List, Sequence, Tuple
+
+from repro.hw.registers import _lcs_length
+
+
+def trace_modifications(old: Sequence[Tuple], new: Sequence[Tuple]) -> int:
+    """Lines touched migrating from trace ``old`` to trace ``new``."""
+    old_list = list(old)
+    new_list = list(new)
+    lcs = _lcs_length(old_list, new_list)
+    return (len(old_list) - lcs) + (len(new_list) - lcs)
+
+
+def reduction_factor(register_mods: int, command_mods: int) -> float:
+    """How many times fewer modifications the command interface needs.
+
+    A migration that needs zero command-side modifications is reported
+    against a floor of one line (the user always at least rebuilds),
+    keeping the factor finite as the paper's 88-107x figures are.
+    """
+    return register_mods / max(command_mods, 1)

@@ -1,0 +1,127 @@
+"""FPGA resource accounting.
+
+Every behavioural module carries a :class:`ResourceUsage` footprint;
+devices carry a :class:`ResourceBudget`.  Tailoring results (Figure 11),
+overhead results (Figure 16), and the framework comparison (Figure 18a)
+are all computed by summing footprints of the modules a given shell
+actually instantiates and dividing by the device budget.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import ResourceExhaustedError
+
+#: The resource classes tracked, in the order figures report them.
+RESOURCE_KINDS = ("lut", "ff", "bram_36k", "uram", "dsp")
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """A resource footprint (absolute element counts)."""
+
+    lut: int = 0
+    ff: int = 0
+    bram_36k: int = 0
+    uram: int = 0
+    dsp: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in RESOURCE_KINDS:
+            if getattr(self, kind) < 0:
+                raise ValueError(f"resource count {kind!r} cannot be negative")
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            *(getattr(self, kind) + getattr(other, kind) for kind in RESOURCE_KINDS)
+        )
+
+    def __sub__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            *(max(getattr(self, kind) - getattr(other, kind), 0) for kind in RESOURCE_KINDS)
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        """A footprint scaled by ``factor`` (rounded to whole elements)."""
+        return ResourceUsage(
+            *(int(round(getattr(self, kind) * factor)) for kind in RESOURCE_KINDS)
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {kind: getattr(self, kind) for kind in RESOURCE_KINDS}
+
+    @property
+    def is_zero(self) -> bool:
+        return all(getattr(self, kind) == 0 for kind in RESOURCE_KINDS)
+
+    @staticmethod
+    def total(usages: Iterable["ResourceUsage"]) -> "ResourceUsage":
+        result = ResourceUsage()
+        for usage in usages:
+            result = result + usage
+        return result
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Total resources available on a device."""
+
+    lut: int
+    ff: int
+    bram_36k: int
+    uram: int
+    dsp: int
+
+    def utilisation(self, usage: ResourceUsage) -> Dict[str, float]:
+        """Fraction of the budget consumed, per resource kind.
+
+        Kinds the device does not have at all (budget 0) report 0.0 when
+        unused; using a resource the device lacks raises
+        :class:`ResourceExhaustedError`.
+        """
+        result: Dict[str, float] = {}
+        for kind in RESOURCE_KINDS:
+            budget = getattr(self, kind)
+            used = getattr(usage, kind)
+            if budget == 0:
+                if used:
+                    raise ResourceExhaustedError(
+                        f"design uses {used} {kind} but device has none"
+                    )
+                result[kind] = 0.0
+            else:
+                result[kind] = used / budget
+        return result
+
+    def check_fits(self, usage: ResourceUsage, design: str = "design") -> None:
+        """Raise :class:`ResourceExhaustedError` if ``usage`` overflows."""
+        for kind, fraction in self.utilisation(usage).items():
+            if fraction > 1.0:
+                raise ResourceExhaustedError(
+                    f"{design} needs {getattr(usage, kind)} {kind} "
+                    f"but device offers {getattr(self, kind)}"
+                )
+
+    def headroom(self, usage: ResourceUsage) -> ResourceUsage:
+        """Resources left for the role after ``usage`` is placed."""
+        self.check_fits(usage)
+        return ResourceUsage(
+            *(getattr(self, kind) - getattr(usage, kind) for kind in RESOURCE_KINDS)
+        )
+
+
+def utilisation_percent(usage: ResourceUsage, budget: ResourceBudget) -> Dict[str, float]:
+    """Utilisation as percentages (convenience for figure output)."""
+    return {kind: fraction * 100.0 for kind, fraction in budget.utilisation(usage).items()}
+
+
+def reduction_fraction(before: ResourceUsage, after: ResourceUsage) -> Dict[str, float]:
+    """Per-kind fractional reduction going from ``before`` to ``after``."""
+    result: Dict[str, float] = {}
+    for kind in RESOURCE_KINDS:
+        base = getattr(before, kind)
+        if base == 0:
+            result[kind] = 0.0
+        else:
+            result[kind] = (base - getattr(after, kind)) / base
+    return result

@@ -1,0 +1,46 @@
+"""FPGA platform descriptions: vendors, chips, devices, and the fleet.
+
+* :mod:`repro.platform.vendor` -- chip vendors, CAD toolchains and IP
+  packaging formats;
+* :mod:`repro.platform.device` -- chip families, peripherals and device
+  models with resource budgets;
+* :mod:`repro.platform.catalog` -- the concrete device catalog of the
+  paper's evaluation (Devices A-D, Table 2) plus the wider generation
+  list of section 3.3.1;
+* :mod:`repro.platform.fleet` -- the deployment-history model behind
+  Figure 3c.
+"""
+
+from repro.platform.device import (
+    ChipFamily,
+    FpgaDevice,
+    Peripheral,
+    PeripheralKind,
+    PcieGeneration,
+)
+from repro.platform.vendor import IpPackaging, Toolchain, Vendor
+from repro.platform.catalog import (
+    DEVICE_A,
+    DEVICE_B,
+    DEVICE_C,
+    DEVICE_D,
+    all_devices,
+    device_by_name,
+)
+
+__all__ = [
+    "ChipFamily",
+    "DEVICE_A",
+    "DEVICE_B",
+    "DEVICE_C",
+    "DEVICE_D",
+    "FpgaDevice",
+    "IpPackaging",
+    "PcieGeneration",
+    "Peripheral",
+    "PeripheralKind",
+    "Toolchain",
+    "Vendor",
+    "all_devices",
+    "device_by_name",
+]

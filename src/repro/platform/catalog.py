@@ -1,0 +1,241 @@
+"""The concrete device catalog.
+
+Devices A-D reproduce Table 2 of the paper.  Resource budgets are the
+public datasheet element counts for the named parts (approximate where
+the datasheet aggregates differently); they matter only as denominators
+for utilisation percentages, so small deviations do not change any
+result shape.
+"""
+
+from typing import Dict, List
+
+from repro.metrics.resources import ResourceBudget
+from repro.platform.device import (
+    AGILEX,
+    ARRIA_10,
+    ChipFamily,
+    FpgaDevice,
+    PcieGeneration,
+    Peripheral,
+    PeripheralKind,
+    STRATIX_10,
+    VIRTEX_ULTRASCALE,
+    VIRTEX_ULTRASCALE_PLUS,
+    ZYNQ_7000,
+)
+from repro.platform.vendor import Vendor
+
+# --- Resource budgets (public datasheet values) -------------------------
+
+XCVU35P_BUDGET = ResourceBudget(lut=871_680, ff=1_743_360, bram_36k=1_344, uram=640, dsp=5_952)
+XCVU9P_BUDGET = ResourceBudget(lut=1_182_240, ff=2_364_480, bram_36k=2_160, uram=960, dsp=6_840)
+XCVU3P_BUDGET = ResourceBudget(lut=394_080, ff=788_160, bram_36k=720, uram=320, dsp=2_280)
+XCVU125_BUDGET = ResourceBudget(lut=716_160, ff=1_432_320, bram_36k=1_260, uram=0, dsp=1_200)
+# Agilex ALMs converted to LUT-equivalents (1 ALM ~ 2 LUT4); M20K blocks
+# expressed as 36Kb-equivalents (2 M20K ~ 1.1 BRAM36); no URAM on Agilex.
+AGF014_BUDGET = ResourceBudget(lut=974_400, ff=1_948_800, bram_36k=3_940, uram=0, dsp=4_510)
+ZYNQ7045_BUDGET = ResourceBudget(lut=218_600, ff=437_200, bram_36k=545, uram=0, dsp=900)
+
+# --- Devices A-D (Table 2) ----------------------------------------------
+
+DEVICE_A = FpgaDevice(
+    name="device-a",
+    chip="XCVU35P",
+    family=VIRTEX_ULTRASCALE_PLUS,
+    board_vendor=Vendor.XILINX,
+    budget=XCVU35P_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.HBM, capacity_gib=8),
+        Peripheral(PeripheralKind.DDR4, capacity_gib=16),
+        Peripheral(PeripheralKind.QSFP28, count=2),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN4, pcie_lanes=8),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2021,
+)
+
+DEVICE_B = FpgaDevice(
+    name="device-b",
+    chip="XCVU9P",
+    family=VIRTEX_ULTRASCALE_PLUS,
+    board_vendor=Vendor.INHOUSE,
+    budget=XCVU9P_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.DDR4, count=2, capacity_gib=32),
+        Peripheral(PeripheralKind.QSFP28, count=2),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN3, pcie_lanes=16),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2020,
+)
+
+DEVICE_C = FpgaDevice(
+    name="device-c",
+    chip="AGILEX7-AGF014",
+    family=AGILEX,
+    board_vendor=Vendor.INHOUSE,
+    budget=AGF014_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.DSFP, count=2),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN4, pcie_lanes=16),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2023,
+)
+
+DEVICE_D = FpgaDevice(
+    name="device-d",
+    chip="AGILEX7-AGF014",
+    family=AGILEX,
+    board_vendor=Vendor.INTEL,
+    budget=AGF014_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.QSFP28, count=2),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN4, pcie_lanes=16),
+        Peripheral(PeripheralKind.DDR4, capacity_gib=16),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2023,
+)
+
+# --- Additional generations (section 3.3.1's wider support list) --------
+
+DEVICE_VU3P_NIC = FpgaDevice(
+    name="device-vu3p-nic",
+    chip="XCVU3P",
+    family=VIRTEX_ULTRASCALE_PLUS,
+    board_vendor=Vendor.INHOUSE,
+    budget=XCVU3P_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.QSFP28, count=1),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN3, pcie_lanes=8),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2020,
+)
+
+DEVICE_VU125_LEGACY = FpgaDevice(
+    name="device-vu125-legacy",
+    chip="XCVU125",
+    family=VIRTEX_ULTRASCALE,
+    board_vendor=Vendor.INHOUSE,
+    budget=XCVU125_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.QSFP28, count=2),
+        Peripheral(PeripheralKind.DDR4, capacity_gib=8),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN3, pcie_lanes=8),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2020,
+)
+
+DEVICE_ZYNQ_EDGE = FpgaDevice(
+    name="device-zynq-edge",
+    chip="XC7Z045",
+    family=ZYNQ_7000,
+    board_vendor=Vendor.INHOUSE,
+    budget=ZYNQ7045_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.DDR3, capacity_gib=4),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN3, pcie_lanes=8),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2020,
+)
+
+SX2800_BUDGET = ResourceBudget(lut=1_866_240, ff=3_732_480, bram_36k=6_847, uram=0,
+                               dsp=5_760)
+GX1150_BUDGET = ResourceBudget(lut=854_400, ff=1_708_800, bram_36k=1_500, uram=0,
+                               dsp=1_518)
+
+DEVICE_STRATIX_NIC = FpgaDevice(
+    name="device-stratix-nic",
+    chip="1SX280HN2F43",
+    family=STRATIX_10,
+    board_vendor=Vendor.INTEL,
+    budget=SX2800_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.QSFP28, count=2),
+        Peripheral(PeripheralKind.DDR4, capacity_gib=16),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN3, pcie_lanes=16),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2021,
+)
+
+DEVICE_ARRIA_EDGE = FpgaDevice(
+    name="device-arria-edge",
+    chip="10AX115N2F45",
+    family=ARRIA_10,
+    board_vendor=Vendor.INHOUSE,
+    budget=GX1150_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.QSFP28, count=1),
+        Peripheral(PeripheralKind.DDR4, capacity_gib=8),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN3, pcie_lanes=8),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2020,
+)
+
+# A next-generation card: PCIe Gen5 host link and a 400G cage, the
+# direction section 3.3.1 says the fleet evolves in.
+DEVICE_GEN5_400G = FpgaDevice(
+    name="device-gen5-400g",
+    chip="XCVU35P",
+    family=VIRTEX_ULTRASCALE_PLUS,
+    board_vendor=Vendor.INHOUSE,
+    budget=XCVU35P_BUDGET,
+    peripherals=(
+        Peripheral(PeripheralKind.QSFP112, count=1),
+        Peripheral(PeripheralKind.HBM, capacity_gib=8),
+        Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN5, pcie_lanes=8),
+        Peripheral(PeripheralKind.I2C),
+        Peripheral(PeripheralKind.FLASH),
+    ),
+    first_deployed_year=2024,
+)
+
+_CATALOG: Dict[str, FpgaDevice] = {
+    device.name: device
+    for device in (
+        DEVICE_A,
+        DEVICE_B,
+        DEVICE_C,
+        DEVICE_D,
+        DEVICE_VU3P_NIC,
+        DEVICE_VU125_LEGACY,
+        DEVICE_ZYNQ_EDGE,
+        DEVICE_STRATIX_NIC,
+        DEVICE_ARRIA_EDGE,
+        DEVICE_GEN5_400G,
+    )
+}
+
+
+def all_devices() -> List[FpgaDevice]:
+    """Every device in the catalog, evaluation devices first."""
+    return list(_CATALOG.values())
+
+
+def evaluation_devices() -> List[FpgaDevice]:
+    """The four devices of Table 2."""
+    return [DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D]
+
+
+def device_by_name(name: str) -> FpgaDevice:
+    """Look a device up by catalog name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise KeyError(f"unknown device {name!r}; catalog has: {known}") from None

@@ -1,0 +1,200 @@
+"""Chip families, peripherals, and FPGA device models.
+
+A :class:`FpgaDevice` is the unit the paper calls an "FPGA generation":
+a chip (family + part) on a board (board vendor) with a peripheral set.
+The distinction between *chip vendor* and *board vendor* matters --
+Devices B and C in Table 2 are in-house boards carrying Xilinx/Intel
+silicon, which is exactly why commercial frameworks (tied to official
+boards) cannot target them while Harmonia can (Table 3).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.resources import ResourceBudget
+from repro.platform.vendor import Toolchain, Vendor, default_toolchain
+
+
+@dataclass(frozen=True)
+class ChipFamily:
+    """An FPGA silicon family at a process node."""
+
+    name: str
+    vendor: Vendor
+    process_nm: int
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.process_nm}nm, {self.vendor.value})"
+
+
+# The chip families Harmonia supports (paper section 3.3.1).
+VIRTEX_ULTRASCALE_PLUS = ChipFamily("Virtex UltraScale+", Vendor.XILINX, 16)
+VIRTEX_ULTRASCALE = ChipFamily("Virtex UltraScale", Vendor.XILINX, 20)
+ZYNQ_7000 = ChipFamily("Zynq 7000", Vendor.XILINX, 28)
+AGILEX = ChipFamily("Agilex", Vendor.INTEL, 10)
+STRATIX_10 = ChipFamily("Stratix 10", Vendor.INTEL, 14)
+ARRIA_10 = ChipFamily("Arria 10", Vendor.INTEL, 20)
+
+SUPPORTED_FAMILIES: Tuple[ChipFamily, ...] = (
+    VIRTEX_ULTRASCALE_PLUS,
+    VIRTEX_ULTRASCALE,
+    ZYNQ_7000,
+    AGILEX,
+    STRATIX_10,
+    ARRIA_10,
+)
+
+
+class PeripheralKind(enum.Enum):
+    """Off-chip peripheral classes seen across the fleet."""
+
+    QSFP28 = "qsfp28"      # 100G optical cage
+    QSFP56 = "qsfp56"      # 200G optical cage
+    QSFP112 = "qsfp112"    # 400G optical cage
+    DSFP = "dsfp"          # dual small form-factor (2x100G)
+    DDR3 = "ddr3"
+    DDR4 = "ddr4"
+    HBM = "hbm"
+    PCIE = "pcie"
+    I2C = "i2c"
+    FLASH = "flash"
+
+
+class PcieGeneration(enum.IntEnum):
+    """PCIe generations; per-lane bandwidth doubles each generation."""
+
+    GEN3 = 3
+    GEN4 = 4
+    GEN5 = 5
+
+    @property
+    def per_lane_gbps(self) -> float:
+        """Effective per-lane data rate in Gbit/s (after encoding)."""
+        return {3: 7.877, 4: 15.754, 5: 31.508}[int(self)]
+
+
+#: Peak network rate per cage kind, in Gbit/s.
+NETWORK_RATE_GBPS: Dict[PeripheralKind, float] = {
+    PeripheralKind.QSFP28: 100.0,
+    PeripheralKind.QSFP56: 200.0,
+    PeripheralKind.QSFP112: 400.0,
+    PeripheralKind.DSFP: 200.0,
+}
+
+#: Peak memory bandwidth per device kind, in GB/s (paper section 3.3.1
+#: quotes 460 GB/s for HBM and 19.2 GB/s for a DDR channel).
+MEMORY_BANDWIDTH_GBPS: Dict[PeripheralKind, float] = {
+    PeripheralKind.DDR3: 12.8,
+    PeripheralKind.DDR4: 19.2,
+    PeripheralKind.HBM: 460.0,
+}
+
+#: Channel counts per memory kind (2 for DDR, 32 for HBM in the paper).
+MEMORY_CHANNELS: Dict[PeripheralKind, int] = {
+    PeripheralKind.DDR3: 1,
+    PeripheralKind.DDR4: 1,
+    PeripheralKind.HBM: 32,
+}
+
+
+@dataclass(frozen=True)
+class Peripheral:
+    """One peripheral population on a board."""
+
+    kind: PeripheralKind
+    count: int = 1
+    pcie_generation: Optional[PcieGeneration] = None
+    pcie_lanes: int = 0
+    capacity_gib: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("peripheral count must be >= 1")
+        if self.kind is PeripheralKind.PCIE:
+            if self.pcie_generation is None or self.pcie_lanes not in (8, 16):
+                raise ValueError("PCIe peripherals need a generation and x8/x16 lanes")
+
+    @property
+    def network_gbps(self) -> float:
+        """Aggregate network bandwidth this peripheral provides."""
+        return NETWORK_RATE_GBPS.get(self.kind, 0.0) * self.count
+
+    @property
+    def memory_gbps(self) -> float:
+        """Aggregate memory bandwidth this peripheral provides (GB/s)."""
+        return MEMORY_BANDWIDTH_GBPS.get(self.kind, 0.0) * self.count
+
+    @property
+    def host_gbps(self) -> float:
+        """Host-link bandwidth in Gbit/s for PCIe peripherals."""
+        if self.kind is not PeripheralKind.PCIE or self.pcie_generation is None:
+            return 0.0
+        return self.pcie_generation.per_lane_gbps * self.pcie_lanes * self.count
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """A deployable FPGA generation: chip + board + peripherals."""
+
+    name: str
+    chip: str
+    family: ChipFamily
+    board_vendor: Vendor
+    budget: ResourceBudget
+    peripherals: Tuple[Peripheral, ...]
+    first_deployed_year: int = 2020
+
+    @property
+    def chip_vendor(self) -> Vendor:
+        """The silicon vendor (decides the CAD toolchain)."""
+        return self.family.vendor
+
+    @property
+    def toolchain(self) -> Toolchain:
+        return default_toolchain(self.chip_vendor)
+
+    def peripherals_of(self, kind: PeripheralKind) -> List[Peripheral]:
+        return [p for p in self.peripherals if p.kind is kind]
+
+    def has_peripheral(self, kind: PeripheralKind) -> bool:
+        return any(p.kind is kind for p in self.peripherals)
+
+    @property
+    def network_gbps(self) -> float:
+        """Total network cage bandwidth."""
+        return sum(p.network_gbps for p in self.peripherals)
+
+    @property
+    def memory_kinds(self) -> List[PeripheralKind]:
+        return [
+            p.kind
+            for p in self.peripherals
+            if p.kind in (PeripheralKind.DDR3, PeripheralKind.DDR4, PeripheralKind.HBM)
+        ]
+
+    @property
+    def pcie(self) -> Peripheral:
+        """The device's PCIe link (every cloud FPGA has exactly one)."""
+        links = self.peripherals_of(PeripheralKind.PCIE)
+        if len(links) != 1:
+            raise ValueError(f"device {self.name!r} must have exactly one PCIe link")
+        return links[0]
+
+    @property
+    def host_gbps(self) -> float:
+        return self.pcie.host_gbps
+
+    def describe(self) -> str:
+        """One-line human-readable summary (Table 2 row format)."""
+        parts = []
+        for peripheral in self.peripherals:
+            if peripheral.kind is PeripheralKind.PCIE:
+                parts.append(
+                    f"PCIe Gen{int(peripheral.pcie_generation)}x{peripheral.pcie_lanes}"
+                )
+            elif peripheral.count > 1:
+                parts.append(f"{peripheral.kind.value.upper()}x{peripheral.count}")
+            else:
+                parts.append(peripheral.kind.value.upper())
+        return f"{self.name}: {self.board_vendor.value} board, {self.chip}, " + ", ".join(parts)

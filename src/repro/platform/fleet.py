@@ -1,0 +1,94 @@
+"""Fleet deployment-history model (the data behind Figure 3c).
+
+The paper motivates Harmonia with the growth of heterogeneous FPGAs in
+Douyin's cloud: new device types arrive every year while the total
+installed base climbs into the tens of thousands.  We model the fleet as
+a sequence of yearly introduction events; counts are synthetic but
+follow the paper's description (device lifecycle >= 4 years, new devices
+every 1-2 years, total fleet growing every year, 2020-2024).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Introduction:
+    """One device type entering the fleet."""
+
+    year: int
+    device_name: str
+    units: int
+    lifecycle_years: int = 4
+
+
+class FleetHistory:
+    """Yearly introductions and the resulting installed base."""
+
+    def __init__(self, introductions: List[Introduction]) -> None:
+        self._introductions = sorted(introductions, key=lambda item: item.year)
+
+    @property
+    def years(self) -> List[int]:
+        if not self._introductions:
+            return []
+        first = self._introductions[0].year
+        last = max(item.year for item in self._introductions)
+        return list(range(first, last + 1))
+
+    def new_device_types(self, year: int) -> int:
+        """Distinct new device types introduced in ``year``."""
+        return len({item.device_name for item in self._introductions if item.year == year})
+
+    def active_units(self, year: int) -> int:
+        """Installed units still inside their lifecycle in ``year``."""
+        total = 0
+        for item in self._introductions:
+            if item.year <= year < item.year + item.lifecycle_years:
+                total += item.units
+        return total
+
+    def device_type_count(self, year: int) -> int:
+        """Distinct device types active in ``year`` (heterogeneity)."""
+        active = {
+            item.device_name
+            for item in self._introductions
+            if item.year <= year < item.year + item.lifecycle_years
+        }
+        return len(active)
+
+    def growth_table(self) -> List[Tuple[int, int, int]]:
+        """(year, new device types, total active units) rows (Fig 3c)."""
+        return [
+            (year, self.new_device_types(year), self.active_units(year))
+            for year in self.years
+        ]
+
+    def is_monotonically_growing(self) -> bool:
+        """True when the installed base grows every year."""
+        totals = [self.active_units(year) for year in self.years]
+        return all(later > earlier for earlier, later in zip(totals, totals[1:]))
+
+
+def production_fleet() -> FleetHistory:
+    """The 2020-2024 fleet history used by the Figure 3c bench.
+
+    Unit counts are synthetic (the paper reports only "tens of thousands
+    of FPGA accelerators") but reproduce the figure's two properties:
+    one-to-several new device types per year, and a total that grows
+    every year.
+    """
+    return FleetHistory(
+        [
+            Introduction(2020, "device-b", 3_000, lifecycle_years=5),
+            Introduction(2020, "device-vu3p-nic", 2_000, lifecycle_years=5),
+            Introduction(2020, "device-vu125-legacy", 1_000, lifecycle_years=5),
+            Introduction(2021, "device-a", 5_000, lifecycle_years=5),
+            Introduction(2021, "device-zynq-edge", 1_500, lifecycle_years=5),
+            Introduction(2022, "device-b-rev2", 6_000, lifecycle_years=5),
+            Introduction(2022, "device-a-100g", 2_500, lifecycle_years=5),
+            Introduction(2023, "device-c", 7_000, lifecycle_years=5),
+            Introduction(2023, "device-d", 4_000, lifecycle_years=5),
+            Introduction(2024, "device-c-400g", 8_000, lifecycle_years=5),
+        ]
+    )

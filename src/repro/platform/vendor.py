@@ -1,0 +1,76 @@
+"""Vendors, CAD toolchains, and IP packaging formats.
+
+The vendor adapter (paper section 3.2) manages "deployment differences
+related to vendors ... specific IP packaging format, compilation CAD
+tools".  The structures here give those differences concrete identity so
+the adapter's dependency inspection has something real to inspect.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Vendor(enum.Enum):
+    """Chip vendors present in the device fleet."""
+
+    XILINX = "xilinx"
+    INTEL = "intel"
+    INHOUSE = "inhouse"
+
+
+class IpPackaging(enum.Enum):
+    """How a vendor packages reusable IP."""
+
+    IP_XACT = "ip-xact"          # Xilinx (.xci wrapping IP-XACT)
+    PLATFORM_DESIGNER = "qsys"   # Intel Platform Designer (.ip/.qsys)
+    INTERNAL_YAML = "internal"   # in-house flow
+
+
+class ScriptLanguage(enum.Enum):
+    """Automation language the vendor's tools are scripted in."""
+
+    TCL = "tcl"
+    RUBY = "ruby"
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """A vendor CAD toolchain at a specific version."""
+
+    name: str
+    vendor: Vendor
+    version: str
+    script_language: ScriptLanguage
+    ip_packaging: IpPackaging
+
+    def dependency_key(self) -> Tuple[str, str]:
+        """The (attribute, version) pair vendor adapters inspect."""
+        return (self.name, self.version)
+
+
+#: Toolchains used across the reproduction.  Versions matter: the vendor
+#: adapter's rigid inspection rejects IP built against a different major
+#: version (a real failure mode the paper's built-in handler prevents).
+VIVADO_2022_2 = Toolchain("vivado", Vendor.XILINX, "2022.2", ScriptLanguage.TCL, IpPackaging.IP_XACT)
+VIVADO_2023_1 = Toolchain("vivado", Vendor.XILINX, "2023.1", ScriptLanguage.TCL, IpPackaging.IP_XACT)
+QUARTUS_22_3 = Toolchain(
+    "quartus", Vendor.INTEL, "22.3", ScriptLanguage.TCL, IpPackaging.PLATFORM_DESIGNER
+)
+QUARTUS_23_2 = Toolchain(
+    "quartus", Vendor.INTEL, "23.2", ScriptLanguage.TCL, IpPackaging.PLATFORM_DESIGNER
+)
+INHOUSE_CAD_3_0 = Toolchain(
+    "inhouse-cad", Vendor.INHOUSE, "3.0", ScriptLanguage.RUBY, IpPackaging.INTERNAL_YAML
+)
+
+DEFAULT_TOOLCHAINS: Dict[Vendor, Toolchain] = {
+    Vendor.XILINX: VIVADO_2023_1,
+    Vendor.INTEL: QUARTUS_23_2,
+    Vendor.INHOUSE: INHOUSE_CAD_3_0,
+}
+
+
+def default_toolchain(vendor: Vendor) -> Toolchain:
+    """The current default toolchain for a vendor."""
+    return DEFAULT_TOOLCHAINS[vendor]

@@ -1,0 +1,62 @@
+"""Clock domains.
+
+Every data-path element in the reproduction belongs to a clock domain.
+The paper's RBBs run in their own domains (e.g. the 100G MAC core clock at
+322.265625 MHz) while user roles pick an independent frequency; the
+parameterised clock-domain crossing in :mod:`repro.core.rbb.cdc` bridges
+the two with an asynchronous FIFO.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+PS_PER_S = 1_000_000_000_000
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with a fixed frequency.
+
+    Attributes:
+        name: human-readable domain name (e.g. ``"cmac_core"``).
+        freq_mhz: frequency in MHz.  Fractional frequencies (such as the
+            322.265625 MHz CMAC clock) are supported; periods are rounded
+            to the nearest picosecond.
+    """
+
+    name: str
+    freq_mhz: float
+    period_ps: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ValueError(f"clock {self.name!r} must have positive frequency")
+        object.__setattr__(self, "period_ps", int(round(1e6 / self.freq_mhz)))
+
+    @property
+    def freq_hz(self) -> float:
+        """Frequency in Hz."""
+        return self.freq_mhz * 1e6
+
+    def cycles_to_ps(self, cycles: int) -> int:
+        """Duration of ``cycles`` clock cycles, in picoseconds."""
+        return int(cycles) * self.period_ps
+
+    def ps_to_cycles(self, duration_ps: int) -> int:
+        """Whole cycles that fit in ``duration_ps`` (floor)."""
+        return int(duration_ps) // self.period_ps
+
+    def next_edge_ps(self, time_ps: int) -> int:
+        """Time of the first rising edge at or after ``time_ps``.
+
+        Edges are assumed to fall on multiples of the period starting at
+        time zero -- sufficient for transaction-level alignment.
+        """
+        return int(math.ceil(time_ps / self.period_ps)) * self.period_ps
+
+    def bandwidth_bps(self, data_width_bits: int) -> float:
+        """Raw bandwidth of a bus of ``data_width_bits`` in this domain."""
+        return self.freq_hz * data_width_bits
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.freq_mhz:g}MHz"

@@ -1,0 +1,171 @@
+"""Discrete-event simulator core.
+
+Time is kept as an integer number of picoseconds.  Using integers (rather
+than floats) makes event ordering exact and keeps long simulations free of
+accumulated rounding error; a picosecond granularity is fine enough to
+represent every clock in the catalog (the fastest domain in the paper's
+device fleet is the PCIe Gen5 user clock at 1 GHz, i.e. a 1000 ps period).
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time_ps, seq)`` so simultaneous events fire in
+    the order they were scheduled (deterministic replay).
+    """
+
+    time_ps: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running when it is popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1_000, lambda: print("1 ns elapsed"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now_ps = 0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now_ps(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now_ps / PS_PER_NS
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now_ps / PS_PER_US
+
+    def schedule(self, delay_ps: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay_ps`` picoseconds from now.
+
+        Returns the :class:`Event`, which may be cancelled before it fires.
+        Raises ``ValueError`` for negative delays -- the simulator never
+        travels backwards.
+        """
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ps} ps)")
+        event = Event(self._now_ps + int(delay_ps), next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_ps: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(int(time_ps) - self._now_ps, callback)
+
+    def peek_next_time(self) -> Optional[int]:
+        """Return the timestamp of the next pending event, if any."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time_ps
+
+    def step(self) -> bool:
+        """Process the next pending event.  Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ps = event.time_ps
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, a deadline, or an event cap.
+
+        ``until_ps`` is an absolute simulation time; events scheduled at
+        exactly ``until_ps`` are still processed.  Returns the number of
+        events processed by this call.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    break
+                if until_ps is not None and next_time > until_ps:
+                    self._now_ps = until_ps
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def advance_to(self, time_ps: int) -> None:
+        """Advance the clock to ``time_ps`` without running events.
+
+        Only legal when no pending event precedes ``time_ps``.
+        """
+        next_time = self.peek_next_time()
+        if next_time is not None and next_time < time_ps:
+            raise ValueError(
+                f"cannot advance to {time_ps} ps past pending event at {next_time} ps"
+            )
+        if time_ps < self._now_ps:
+            raise ValueError("cannot advance backwards")
+        self._now_ps = int(time_ps)
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return int(round(value * PS_PER_NS))
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return int(round(value * PS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer picoseconds."""
+    return int(round(value * PS_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer picoseconds."""
+    return int(round(value * PS_PER_S))

@@ -1,0 +1,174 @@
+"""Synchronous and asynchronous FIFO models.
+
+The asynchronous FIFO follows the classic gray-code pointer design
+(Cummings, SNUG 2002 -- the reference the paper itself cites for its
+parameterised clock-domain crossing).  At transaction level we do not
+model the pointer bits themselves; what matters for timing is that
+
+* each pointer crossing passes through a two-flop synchroniser in the
+  destination domain, adding ``sync_stages`` destination-clock cycles of
+  latency, and
+* the FIFO sustains one beat per cycle on both sides, so a crossing with
+  matched bandwidth (``S x M == R x U`` in the paper's notation) is
+  lossless.
+
+Both properties are reproduced exactly.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, Tuple
+
+from repro.sim.clock import ClockDomain
+
+
+class FifoFullError(RuntimeError):
+    """Raised when pushing to a FIFO that has no free slot."""
+
+
+class FifoEmptyError(RuntimeError):
+    """Raised when popping from an empty FIFO."""
+
+
+def to_gray(value: int) -> int:
+    """Binary-to-gray conversion (used by the CDC pointer model)."""
+    return value ^ (value >> 1)
+
+
+def from_gray(value: int) -> int:
+    """Gray-to-binary conversion."""
+    result = 0
+    while value:
+        result ^= value
+        value >>= 1
+    return result
+
+
+@dataclass
+class FifoEntry:
+    """An item queued in a FIFO, stamped with its enqueue time."""
+
+    item: Any
+    enqueue_time_ps: int
+
+
+class SyncFifo:
+    """A single-clock FIFO with bounded depth and occupancy statistics."""
+
+    def __init__(self, name: str, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.name = name
+        self.depth = depth
+        self._entries: Deque[FifoEntry] = deque()
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.drops = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of queued items."""
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, item: Any, time_ps: int = 0) -> None:
+        """Enqueue ``item``; raises :class:`FifoFullError` when full."""
+        if self.is_full:
+            self.drops += 1
+            raise FifoFullError(f"FIFO {self.name!r} full (depth={self.depth})")
+        self._entries.append(FifoEntry(item, time_ps))
+        self.total_pushed += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+
+    def try_push(self, item: Any, time_ps: int = 0) -> bool:
+        """Enqueue if space is available; returns success."""
+        if self.is_full:
+            self.drops += 1
+            return False
+        self.push(item, time_ps)
+        return True
+
+    def pop(self) -> Any:
+        """Dequeue the oldest item; raises :class:`FifoEmptyError` if empty."""
+        if self.is_empty:
+            raise FifoEmptyError(f"FIFO {self.name!r} empty")
+        entry = self._entries.popleft()
+        self.total_popped += 1
+        return entry.item
+
+    def pop_entry(self) -> FifoEntry:
+        """Dequeue and return the full entry (item + enqueue time)."""
+        if self.is_empty:
+            raise FifoEmptyError(f"FIFO {self.name!r} empty")
+        self.total_popped += 1
+        return self._entries.popleft()
+
+    def peek(self) -> Any:
+        """Return the oldest item without dequeuing it."""
+        if self.is_empty:
+            raise FifoEmptyError(f"FIFO {self.name!r} empty")
+        return self._entries[0].item
+
+
+class AsyncFifo(SyncFifo):
+    """A dual-clock FIFO with gray-code pointer synchronisation timing.
+
+    ``crossing_latency_ps`` reports the extra latency a beat pays to cross
+    from the write domain to the read domain: the write-pointer gray code
+    must settle through ``sync_stages`` flops of the read clock before the
+    read side observes the new occupancy, plus one read-clock cycle for
+    the output register.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        depth: int,
+        write_clock: ClockDomain,
+        read_clock: ClockDomain,
+        sync_stages: int = 2,
+    ) -> None:
+        super().__init__(name, depth)
+        if sync_stages < 1:
+            raise ValueError("a CDC synchroniser needs at least one stage")
+        self.write_clock = write_clock
+        self.read_clock = read_clock
+        self.sync_stages = sync_stages
+
+    @property
+    def crossing_latency_ps(self) -> int:
+        """Write-to-read latency added by the pointer synchronisers."""
+        return self.read_clock.cycles_to_ps(self.sync_stages + 1)
+
+    @property
+    def write_bandwidth_bps(self) -> float:
+        """Sustainable write-side bandwidth for a given beat width."""
+        raise NotImplementedError("use bandwidth_for(width_bits) instead")
+
+    def bandwidth_for(self, write_width_bits: int, read_width_bits: int) -> Tuple[float, float]:
+        """(write, read) bandwidth in bits/s for the two port widths."""
+        return (
+            self.write_clock.bandwidth_bps(write_width_bits),
+            self.read_clock.bandwidth_bps(read_width_bits),
+        )
+
+    def is_lossless(self, write_width_bits: int, read_width_bits: int) -> bool:
+        """True when read bandwidth >= write bandwidth (the S*M <= R*U rule).
+
+        The paper instructs users to select instances matching
+        ``S x M = R x U`` for lossless bandwidth; a faster read side is
+        equally safe, so the check is an inequality.
+        """
+        write_bw, read_bw = self.bandwidth_for(write_width_bits, read_width_bits)
+        return read_bw >= write_bw

@@ -1,0 +1,169 @@
+"""Measurement instrumentation: latency, throughput, and event counters.
+
+These are the software equivalents of the monitoring logic the paper puts
+in every RBB's reusable part ("real-time throughput, packet loss, queue
+usage, and processing rate").
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A named monotonic counter (packets, drops, hits, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a separate counter")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}={self.value})"
+
+
+class LatencyStats:
+    """Streaming latency statistics with exact percentiles.
+
+    Samples are stored (picoseconds) so percentiles are exact; benchmark
+    sweeps in this repository stay in the tens of thousands of samples so
+    memory use is negligible.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: List[int] = []
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    def add(self, sample_ps: int) -> None:
+        if sample_ps < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(sample_ps)
+        self._sum += sample_ps
+        self._min = sample_ps if self._min is None else min(self._min, sample_ps)
+        self._max = sample_ps if self._max is None else max(self._max, sample_ps)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean_ps(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return self._sum / len(self._samples)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.mean_ps / 1_000
+
+    @property
+    def mean_us(self) -> float:
+        return self.mean_ps / 1_000_000
+
+    @property
+    def min_ps(self) -> int:
+        if self._min is None:
+            raise ValueError("no samples recorded")
+        return self._min
+
+    @property
+    def max_ps(self) -> int:
+        if self._max is None:
+            raise ValueError("no samples recorded")
+        return self._max
+
+    def percentile_ps(self, fraction: float) -> int:
+        """Exact percentile by nearest-rank (``fraction`` in [0, 1])."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[rank]
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another stats object's samples into this one."""
+        for sample in other._samples:
+            self.add(sample)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sum = 0
+        self._min = None
+        self._max = None
+
+
+class ThroughputMeter:
+    """Accumulates transferred bytes/items over a simulated time window."""
+
+    def __init__(self, name: str = "throughput") -> None:
+        self.name = name
+        self.total_bytes = 0
+        self.total_items = 0
+        self._first_ps: Optional[int] = None
+        self._last_ps: Optional[int] = None
+
+    def record(self, size_bytes: int, time_ps: int) -> None:
+        """Record a completed transfer of ``size_bytes`` at ``time_ps``."""
+        self.total_bytes += size_bytes
+        self.total_items += 1
+        if self._first_ps is None or time_ps < self._first_ps:
+            self._first_ps = time_ps
+        if self._last_ps is None or time_ps > self._last_ps:
+            self._last_ps = time_ps
+
+    @property
+    def window_ps(self) -> int:
+        if self._first_ps is None or self._last_ps is None:
+            raise ValueError("no transfers recorded")
+        return max(self._last_ps - self._first_ps, 1)
+
+    @property
+    def bits_per_second(self) -> float:
+        return self.total_bytes * 8 / (self.window_ps / 1e12)
+
+    @property
+    def gbps(self) -> float:
+        return self.bits_per_second / 1e9
+
+    @property
+    def items_per_second(self) -> float:
+        return self.total_items / (self.window_ps / 1e12)
+
+    def reset(self) -> None:
+        self.total_bytes = 0
+        self.total_items = 0
+        self._first_ps = None
+        self._last_ps = None
+
+
+@dataclass
+class MonitorSnapshot:
+    """A point-in-time dump of a module's monitoring counters.
+
+    This is the payload a ``MODULE_STATUS_READ`` command returns from an
+    RBB's monitoring logic.
+    """
+
+    module: str
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        merged: Dict[str, float] = dict(self.counters)
+        merged.update(self.gauges)
+        return merged

@@ -1,0 +1,11 @@
+"""Synthetic workload generators.
+
+Substitutes for the paper's production traffic: packet/flow streams for
+the networking applications, matrices for the compute benchmark, vector
+accesses for the storage benchmark, and TCP segments for the
+communication benchmark.
+"""
+
+from repro.workloads.packets import FiveTuple, Packet, PacketGenerator
+
+__all__ = ["FiveTuple", "Packet", "PacketGenerator"]

@@ -1,0 +1,110 @@
+"""Flow-level traffic generation with realistic skew.
+
+Datacenter traffic is not uniform: flow popularity follows a Zipf-like
+law and flow sizes are heavy-tailed (many mice, few elephants).  The
+load balancer and flow director are only interesting under that skew,
+so this module generates it deterministically:
+
+* :func:`zipf_weights` -- a Zipf(alpha) popularity distribution;
+* :class:`FlowSet` -- a population of flows with heavy-tailed sizes;
+* :func:`skewed_packet_stream` -- packets drawn by flow popularity.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.packets import FiveTuple, Packet, PacketGenerator
+
+#: Mice/elephant boundary used in the size statistics (bytes).
+ELEPHANT_BYTES = 1_000_000
+
+
+def zipf_weights(count: int, alpha: float = 1.1) -> List[float]:
+    """Normalised Zipf popularity weights for ``count`` ranks."""
+    if count < 1:
+        raise ConfigurationError("need at least one flow")
+    if alpha <= 0:
+        raise ConfigurationError("Zipf alpha must be positive")
+    raw = [1.0 / (rank ** alpha) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+@dataclass(frozen=True)
+class FlowProfile:
+    """One flow with its popularity weight and total size."""
+
+    flow: FiveTuple
+    weight: float
+    total_bytes: int
+
+    @property
+    def is_elephant(self) -> bool:
+        return self.total_bytes >= ELEPHANT_BYTES
+
+
+class FlowSet:
+    """A deterministic population of skewed flows."""
+
+    def __init__(self, count: int, alpha: float = 1.1,
+                 pareto_shape: float = 1.2, mean_flow_bytes: int = 50_000,
+                 seed: int = 2_025) -> None:
+        if pareto_shape <= 1.0:
+            raise ConfigurationError("Pareto shape must exceed 1 for a finite mean")
+        self._rng = random.Random(seed)
+        generator = PacketGenerator(seed=seed)
+        weights = zipf_weights(count, alpha)
+        scale = mean_flow_bytes * (pareto_shape - 1) / pareto_shape
+        self.profiles: List[FlowProfile] = []
+        for rank in range(count):
+            size = int(scale * (1.0 - self._rng.random()) ** (-1.0 / pareto_shape))
+            self.profiles.append(
+                FlowProfile(generator.flow(rank), weights[rank], max(size, 64))
+            )
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def elephants(self) -> List[FlowProfile]:
+        return [profile for profile in self.profiles if profile.is_elephant]
+
+    def top_share(self, fraction: float = 0.1) -> float:
+        """Traffic share of the most popular ``fraction`` of flows."""
+        head = max(int(len(self.profiles) * fraction), 1)
+        return sum(profile.weight for profile in self.profiles[:head])
+
+
+def skewed_packet_stream(
+    flow_set: FlowSet,
+    packet_count: int,
+    packet_bytes: int = 512,
+    tenant_count: int = 1,
+    seed: int = 7,
+) -> List[Packet]:
+    """Packets drawn by flow popularity (deterministic per seed)."""
+    rng = random.Random(seed)
+    flows = [profile.flow for profile in flow_set.profiles]
+    weights = [profile.weight for profile in flow_set.profiles]
+    chosen = rng.choices(range(len(flows)), weights=weights, k=packet_count)
+    packets: List[Packet] = []
+    gap_ps = int(packet_bytes * 8 / 100e9 * 1e12)
+    for index, flow_index in enumerate(chosen):
+        packets.append(Packet(
+            flow=flows[flow_index],
+            size_bytes=packet_bytes,
+            dst_mac=0x02_AA_BB_CC_DD_EE,
+            tenant_id=flow_index % tenant_count,
+            arrival_ps=index * gap_ps,
+        ))
+    return packets
+
+
+def backend_imbalance(loads: Dict[str, int]) -> float:
+    """max/mean load ratio -- 1.0 is perfect balance."""
+    values = list(loads.values())
+    if not values or sum(values) == 0:
+        raise ConfigurationError("no load to measure")
+    mean = sum(values) / len(values)
+    return max(values) / mean

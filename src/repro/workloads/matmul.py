@@ -1,0 +1,88 @@
+"""Matrix-multiplication benchmark (paper section 5.1, Figure 18b).
+
+"We perform single-precision floating-point matrix calculations for
+matrices sized 64x64 across 1024 iterations, measuring the number of
+matrix calculations per second.  ... the speed of matrix calculations
+improves with increased parallelism through loop unrolling and using
+more DSPs."
+
+Two pieces: a *numerical kernel* (numpy reference + a blocked software
+implementation, cross-checked by the tests) and a *hardware throughput
+model* of a loop-unrolled systolic array whose MAC lanes scale with the
+unroll degree.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+MATRIX_N = 64
+ITERATIONS = 1_024
+
+#: DSP48/AGX DSP blocks consumed per single-precision MAC lane
+#: (mult + add, vendor soft-float mapping).
+DSPS_PER_LANE = 5
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The golden result."""
+    return a.astype(np.float32) @ b.astype(np.float32)
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray, block: int = 16) -> np.ndarray:
+    """A blocked implementation mirroring the FPGA kernel's loop order."""
+    if a.shape[1] != b.shape[0]:
+        raise ConfigurationError("inner dimensions do not match")
+    n, k = a.shape
+    _, m = b.shape
+    out = np.zeros((n, m), dtype=np.float32)
+    for row in range(0, n, block):
+        for col in range(0, m, block):
+            for inner in range(0, k, block):
+                out[row:row + block, col:col + block] += (
+                    a[row:row + block, inner:inner + block].astype(np.float32)
+                    @ b[inner:inner + block, col:col + block].astype(np.float32)
+                )
+    return out
+
+
+@dataclass(frozen=True)
+class MatmulThroughputModel:
+    """A loop-unrolled FPGA matmul kernel.
+
+    With unroll degree P, the kernel performs ``P`` MACs per cycle, so a
+    full N^3-MAC matrix product takes ``N^3 / P`` cycles plus a fixed
+    drain latency.
+    """
+
+    n: int = MATRIX_N
+    clock_mhz: float = 250.0
+    drain_cycles: int = 128
+    #: Initiation interval of the floating-point accumulation loop: the
+    #: FP adder's 4-cycle latency serialises dependent accumulations
+    #: unless the reduction tree is unrolled further.
+    accumulate_ii: int = 4
+
+    def cycles_per_matmul(self, parallelism: int) -> float:
+        if parallelism < 1:
+            raise ConfigurationError("parallelism must be >= 1")
+        return self.n ** 3 * self.accumulate_ii / parallelism + self.drain_cycles
+
+    def matmuls_per_second(self, parallelism: int) -> float:
+        return self.clock_mhz * 1e6 / self.cycles_per_matmul(parallelism)
+
+    def dsps_used(self, parallelism: int) -> int:
+        return parallelism * DSPS_PER_LANE
+
+    def sweep(self, degrees: Tuple[int, ...] = (4, 8, 16)) -> Tuple[Tuple[int, float], ...]:
+        """(parallelism, matmuls/s) series -- the Figure 18b x-axis."""
+        return tuple((degree, self.matmuls_per_second(degree)) for degree in degrees)
+
+
+def run_iterations(parallelism: int, iterations: int = ITERATIONS,
+                   model: MatmulThroughputModel = MatmulThroughputModel()) -> float:
+    """Wall-clock seconds (simulated) for the paper's 1024 iterations."""
+    return iterations * model.cycles_per_matmul(parallelism) / (model.clock_mhz * 1e6)

@@ -1,0 +1,127 @@
+"""Packet and flow models plus deterministic traffic generators."""
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: Ethernet frame size limits (bytes, without FCS games -- we keep it simple).
+MIN_FRAME_BYTES = 64
+MAX_FRAME_BYTES = 9_600
+
+#: Multicast MAC addresses have the least-significant bit of the first
+#: octet set (IEEE 802.3).
+_MULTICAST_BIT = 1 << 40
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """A transport flow identity."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = 6  # TCP
+
+    def hash32(self) -> int:
+        """A stable 32-bit flow hash (what the flow director keys on)."""
+        data = (
+            self.src_ip.to_bytes(4, "big")
+            + self.dst_ip.to_bytes(4, "big")
+            + self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.protocol.to_bytes(1, "big")
+        )
+        return zlib.crc32(data) & 0xFFFF_FFFF
+
+
+@dataclass
+class Packet:
+    """One network packet moving through the data path."""
+
+    flow: FiveTuple
+    size_bytes: int
+    dst_mac: int
+    src_mac: int = 0x02_00_00_00_00_01
+    tenant_id: int = 0
+    arrival_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if not MIN_FRAME_BYTES <= self.size_bytes <= MAX_FRAME_BYTES:
+            raise ValueError(
+                f"frame of {self.size_bytes} B outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}]"
+            )
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool(self.dst_mac & _MULTICAST_BIT)
+
+
+class PacketGenerator:
+    """Deterministic (seeded) packet stream generator."""
+
+    def __init__(self, seed: int = 2025) -> None:
+        self._rng = random.Random(seed)
+
+    def flow(self, index: Optional[int] = None) -> FiveTuple:
+        """A random flow; pass ``index`` for a reproducible distinct flow."""
+        rng = random.Random(index) if index is not None else self._rng
+        return FiveTuple(
+            src_ip=rng.getrandbits(32),
+            dst_ip=rng.getrandbits(32),
+            src_port=rng.randrange(1_024, 65_536),
+            dst_port=rng.choice((80, 443, 8_080, 6_379, 3_306)),
+            protocol=rng.choice((6, 6, 6, 17)),
+        )
+
+    def uniform_stream(
+        self,
+        count: int,
+        size_bytes: int,
+        flow_count: int = 64,
+        local_mac: int = 0x02_AA_BB_CC_DD_EE,
+        foreign_fraction: float = 0.0,
+        multicast_fraction: float = 0.0,
+        tenant_count: int = 1,
+        line_rate_gbps: float = 100.0,
+    ) -> List[Packet]:
+        """``count`` fixed-size packets over ``flow_count`` flows.
+
+        Arrival times are spaced at ``line_rate_gbps`` so downstream
+        pipeline models see realistic inter-arrival gaps.  A fraction of
+        packets can target foreign unicast MACs (to exercise the packet
+        filter) or multicast groups.
+        """
+        flows = [self.flow(index) for index in range(flow_count)]
+        gap_ps = int(size_bytes * 8 / (line_rate_gbps * 1e9) * 1e12)
+        packets: List[Packet] = []
+        for index in range(count):
+            draw = self._rng.random()
+            if draw < multicast_fraction:
+                dst_mac = _MULTICAST_BIT | 0x5E_00_00_00_01
+            elif draw < multicast_fraction + foreign_fraction:
+                dst_mac = 0x02_DE_AD_BE_EF_00
+            else:
+                dst_mac = local_mac
+            packets.append(
+                Packet(
+                    flow=flows[index % flow_count],
+                    size_bytes=size_bytes,
+                    dst_mac=dst_mac,
+                    tenant_id=index % tenant_count,
+                    arrival_ps=index * gap_ps,
+                )
+            )
+        return packets
+
+    def imix_stream(self, count: int, **kwargs) -> List[Packet]:
+        """An IMIX-like mix of 64/576/1500-byte packets (7:4:1)."""
+        sizes = [64] * 7 + [576] * 4 + [1_500]
+        packets: List[Packet] = []
+        for index in range(count):
+            size = sizes[index % len(sizes)]
+            packets.extend(self.uniform_stream(1, size, **kwargs))
+        for index, packet in enumerate(packets):
+            packet.arrival_ps = index * 120_000  # ~100G average pacing
+        return packets

@@ -1,0 +1,119 @@
+"""TCP transmission benchmark (paper section 5.1, Figure 18d).
+
+"We deploy FPGAs on two servers and connect them via the device network
+interfaces.  The FPGAs directly forward the host's TCP traffic,
+measuring end-to-end throughput and latency with varying packet sizes."
+
+The path modelled is host A -> FPGA A (forward) -> wire -> FPGA B
+(forward) -> host B.  TCP/IP/Ethernet headers consume 54 bytes of every
+frame, so goodput rises with payload size -- the Figure 18d shape.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.rbb.network import NetworkRbb
+from repro.errors import ConfigurationError
+from repro.sim.clock import ClockDomain
+from repro.sim.pipeline import PipelineChain, PipelineStage, run_packet_sweep
+
+#: Ethernet (14) + IPv4 (20) + TCP (20) headers.
+TCP_HEADER_BYTES = 54
+#: Preamble + inter-frame gap on the wire.
+WIRE_OVERHEAD_BYTES = 20
+#: One-way propagation between adjacent racks (~10 m of fibre + PHYs).
+WIRE_LATENCY_NS = 430.0
+#: Kernel TCP stacks on both hosts (socket, copy, interrupt); this is
+#: what puts Figure 18d's end-to-end latency in the tens of
+#: microseconds regardless of framework.
+HOST_STACK_LATENCY_US = 20.0
+#: Per-byte host cost (copies, checksum) paid on both ends.
+HOST_COPY_NS_PER_BYTE = 4.0
+
+
+@dataclass(frozen=True)
+class TcpRunResult:
+    """One payload-size point."""
+
+    payload_bytes: int
+    goodput_gbps: float
+    latency_us: float
+
+
+def _forwarding_chain(network: NetworkRbb, with_framework_stage: bool,
+                      framework_latency_ns: float) -> PipelineChain:
+    """One FPGA's forwarding data path (MAC in -> forward -> MAC out)."""
+    stages: List[PipelineStage] = [network.instance.datapath_stage("(rx)")]
+    if with_framework_stage:
+        # The framework's plumbing (wrapper for Harmonia, platform
+        # streams for the baselines) -- fully pipelined either way.
+        clock = network.instance.clock
+        cycles = max(int(round(framework_latency_ns / (clock.period_ps / 1_000))), 1)
+        stages.append(
+            PipelineStage(
+                name="framework-plumbing",
+                clock=clock,
+                data_width_bits=network.instance.data_width_bits,
+                latency_cycles=cycles,
+            )
+        )
+    stages.append(
+        PipelineStage(
+            name="forwarder",
+            clock=network.instance.clock,
+            data_width_bits=network.instance.data_width_bits,
+            latency_cycles=6,
+        )
+    )
+    stages.append(network.instance.datapath_stage("(tx)"))
+    return PipelineChain("tcp-forward", stages)
+
+
+def _wire_stage(rate_gbps: float) -> PipelineStage:
+    """The physical link, line-rate limited with framing overhead."""
+    clock = ClockDomain("wire", rate_gbps * 1_000 / 64)
+    return PipelineStage(
+        name="wire",
+        clock=clock,
+        data_width_bits=64,
+        latency_cycles=int(round(WIRE_LATENCY_NS / (clock.period_ps / 1_000))),
+        per_transaction_overhead_bytes=WIRE_OVERHEAD_BYTES,
+    )
+
+
+def run_tcp_benchmark(
+    payload_bytes: int,
+    framework_latency_ns: float = 9.3,
+    packet_count: int = 1_000,
+    network: NetworkRbb = None,
+) -> TcpRunResult:
+    """One end-to-end point: two forwarding FPGAs and the wire between."""
+    if payload_bytes < 1:
+        raise ConfigurationError("payload must be at least one byte")
+    if network is None:
+        network = NetworkRbb()
+    frame_bytes = payload_bytes + TCP_HEADER_BYTES
+    fpga_a = _forwarding_chain(network, True, framework_latency_ns)
+    fpga_b = _forwarding_chain(network, True, framework_latency_ns)
+    chain = PipelineChain(
+        "tcp-e2e",
+        fpga_a.stages + [_wire_stage(network.instance.performance_gbps)] + fpga_b.stages,
+    )
+    throughput_bps, latency_ns = run_packet_sweep(
+        chain, packet_size_bytes=frame_bytes, packet_count=packet_count
+    )
+    goodput_bps = throughput_bps * payload_bytes / frame_bytes
+    return TcpRunResult(
+        payload_bytes=payload_bytes,
+        goodput_gbps=goodput_bps / 1e9,
+        latency_us=latency_ns / 1_000.0 + HOST_STACK_LATENCY_US
+        + payload_bytes * HOST_COPY_NS_PER_BYTE / 1_000.0,
+    )
+
+
+def payload_sweep(
+    payloads: Tuple[int, ...] = (64, 512, 1_446),
+    framework_latency_ns: float = 9.3,
+) -> List[TcpRunResult]:
+    """The Figure 18d x-axis (64B / 512B / ~1500B frames)."""
+    return [run_tcp_benchmark(payload, framework_latency_ns) for payload in payloads]

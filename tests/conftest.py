@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.shell import build_unified_shell
+from repro.platform.catalog import DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D
+from repro.sim.clock import ClockDomain
+
+
+@pytest.fixture
+def device_a():
+    return DEVICE_A
+
+
+@pytest.fixture
+def device_b():
+    return DEVICE_B
+
+
+@pytest.fixture
+def device_c():
+    return DEVICE_C
+
+
+@pytest.fixture
+def device_d():
+    return DEVICE_D
+
+
+@pytest.fixture(params=["device-a", "device-b", "device-c", "device-d"])
+def any_device(request):
+    """Parametrised over all four evaluation devices."""
+    from repro.platform.catalog import device_by_name
+
+    return device_by_name(request.param)
+
+
+@pytest.fixture
+def unified_shell_a():
+    return build_unified_shell(DEVICE_A)
+
+
+@pytest.fixture
+def clk_300():
+    return ClockDomain("clk300", 300.0)
+
+
+@pytest.fixture
+def clk_100():
+    return ClockDomain("clk100", 100.0)

@@ -1,0 +1,91 @@
+"""Tests for adapter-script generation (tcl / ruby automation)."""
+
+import pytest
+
+from repro.adapters.device_adapter import DeviceAdapter
+from repro.adapters.scripts import (
+    generate_deployment_ruby,
+    generate_device_adapter_tcl,
+    generate_ip_config_tcl,
+    script_language_for,
+)
+from repro.adapters.vendor_adapter import VendorAdapter
+from repro.hw.ip.mac import xilinx_cmac_100g
+from repro.hw.ip.pcie import xilinx_qdma
+from repro.platform.catalog import DEVICE_A, DEVICE_B
+from repro.platform.vendor import ScriptLanguage, VIVADO_2023_1
+from repro.platform.device import PeripheralKind
+
+
+def configured_adapter():
+    adapter = DeviceAdapter(DEVICE_A)
+    adapter.allocate_pins("mac0", PeripheralKind.QSFP28)
+    adapter.map_clock("cmac_core", "sysclk_156_25")
+    return adapter
+
+
+class TestDeviceAdapterTcl:
+    def test_contains_static_and_dynamic_sections(self):
+        script = generate_device_adapter_tcl(configured_adapter())
+        assert "static resource group" in script
+        assert "dynamic mapping group" in script
+
+    def test_static_properties_emitted(self):
+        script = generate_device_adapter_tcl(configured_adapter())
+        assert "set harmonia::static(chip) {XCVU35P}" in script
+        assert "set harmonia::static(pcie_generation) {4}" in script
+
+    def test_dynamic_mappings_emitted(self):
+        script = generate_device_adapter_tcl(configured_adapter())
+        assert "assign_pins -module mac0 -peripheral qsfp28 -bank 0" in script
+        assert "create_clock_mapping -logical cmac_core -source sysclk_156_25" in script
+
+    def test_deterministic(self):
+        assert (generate_device_adapter_tcl(configured_adapter())
+                == generate_device_adapter_tcl(configured_adapter()))
+
+    def test_header_names_device_and_toolchain(self):
+        script = generate_device_adapter_tcl(DeviceAdapter(DEVICE_B))
+        assert "device: device-b" in script
+        assert "vivado" in script
+
+
+class TestIpConfigTcl:
+    def test_one_create_ip_per_module(self):
+        script = generate_ip_config_tcl([xilinx_cmac_100g(), xilinx_qdma()])
+        assert script.count("create_ip -name") == 2
+        assert "create_ip -name cmac_usplus -version 3.1" in script
+
+    def test_every_config_param_becomes_a_property(self):
+        ip = xilinx_cmac_100g()
+        script = generate_ip_config_tcl([ip])
+        assert script.count("set_property CONFIG.") == ip.config_item_count
+
+    def test_module_names_tclified(self):
+        script = generate_ip_config_tcl([xilinx_cmac_100g()])
+        assert "xilinx_cmac_100g" in script
+        assert "get_ips xilinx-cmac" not in script
+
+
+class TestDeploymentRuby:
+    def test_environment_and_dependencies_serialised(self):
+        script = generate_deployment_ruby(
+            VendorAdapter(VIVADO_2023_1), [xilinx_cmac_100g()], "dci-1"
+        )
+        assert "'tool' => 'vivado'" in script
+        assert "'module' => 'xilinx-cmac-100g'" in script
+        assert "Harmonia::Deploy.check!(environment, dependencies)" in script
+
+    def test_every_module_initialised(self):
+        modules = [xilinx_cmac_100g(), xilinx_qdma()]
+        script = generate_deployment_ruby(VendorAdapter(VIVADO_2023_1), modules, "c")
+        assert script.count("Harmonia::Deploy.initialize_module") == 2
+
+    def test_cluster_registered(self):
+        script = generate_deployment_ruby(VendorAdapter(VIVADO_2023_1), [], "edge-7")
+        assert "register_cluster('edge-7')" in script
+
+
+class TestScriptLanguage:
+    def test_language_follows_toolchain(self):
+        assert script_language_for(DEVICE_A) is ScriptLanguage.TCL

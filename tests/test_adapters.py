@@ -1,0 +1,247 @@
+"""Tests for the platform-specific layer: adapters, wrappers, build flow."""
+
+import pytest
+
+from repro.adapters.device_adapter import DeviceAdapter
+from repro.adapters.toolchain import BuildFlow
+from repro.adapters.vendor_adapter import VendorAdapter
+from repro.adapters.wrapper import (
+    InterfaceWrapper,
+    WRAPPER_LATENCY_CYCLES,
+    wrapper_resources,
+)
+from repro.errors import (
+    ConfigurationError,
+    DependencyError,
+    DeploymentError,
+    InterfaceMismatchError,
+)
+from repro.hw.ip.mac import intel_etile_100g, xilinx_cmac_100g
+from repro.hw.ip.misc import i2c_controller, sensor_block
+from repro.hw.ip.pcie import xilinx_qdma
+from repro.hw.protocols.base import Direction, InterfaceSpec, ProtocolFamily, SignalSpec
+from repro.hw.signal_types import UnifiedType
+from repro.metrics.resources import ResourceUsage
+from repro.platform.catalog import DEVICE_A, DEVICE_C
+from repro.platform.device import PeripheralKind
+from repro.platform.vendor import QUARTUS_23_2, VIVADO_2022_2, VIVADO_2023_1
+
+
+class TestDeviceAdapter:
+    def test_static_config_derives_from_device(self):
+        config = DeviceAdapter(DEVICE_A).static_config()
+        assert config["chip"] == "XCVU35P"
+        assert config["pcie_generation"] == 4
+        assert config["network_channels"] == 2
+        assert config["memory_channels"]["hbm"] == 32
+
+    def test_static_config_computed_once(self):
+        adapter = DeviceAdapter(DEVICE_A)
+        assert adapter.static_config() is adapter.static_config()
+
+    def test_pin_allocation_tracks_banks(self):
+        adapter = DeviceAdapter(DEVICE_A)
+        first = adapter.allocate_pins("mac0", PeripheralKind.QSFP28)
+        second = adapter.allocate_pins("mac1", PeripheralKind.QSFP28)
+        assert first.bank != second.bank
+
+    def test_overallocation_rejected(self):
+        adapter = DeviceAdapter(DEVICE_A)
+        adapter.allocate_pins("mac0", PeripheralKind.QSFP28)
+        adapter.allocate_pins("mac1", PeripheralKind.QSFP28)
+        with pytest.raises(ConfigurationError, match="already allocated"):
+            adapter.allocate_pins("mac2", PeripheralKind.QSFP28)
+
+    def test_missing_peripheral_rejected(self):
+        with pytest.raises(ConfigurationError, match="no hbm"):
+            DeviceAdapter(DEVICE_C).allocate_pins("hbm", PeripheralKind.HBM)
+
+    def test_clock_mapping_conflict_detected(self):
+        adapter = DeviceAdapter(DEVICE_A)
+        adapter.map_clock("core", "sysclk_100")
+        adapter.map_clock("core", "sysclk_100")  # idempotent remap is fine
+        with pytest.raises(ConfigurationError, match="already mapped"):
+            adapter.map_clock("core", "sysclk_300")
+
+    def test_unknown_clock_source_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown clock source"):
+            DeviceAdapter(DEVICE_A).map_clock("core", "bogus")
+
+    def test_reset_dynamic_keeps_static(self):
+        adapter = DeviceAdapter(DEVICE_A)
+        static = adapter.static_config()
+        adapter.allocate_pins("mac", PeripheralKind.QSFP28)
+        adapter.reset_dynamic()
+        assert adapter.pin_allocations == []
+        assert adapter.static_config() is static
+
+    def test_dynamic_config_dump(self):
+        adapter = DeviceAdapter(DEVICE_A)
+        adapter.allocate_pins("mac", PeripheralKind.QSFP28)
+        adapter.map_clock("core", "sysclk_100")
+        dump = adapter.dynamic_config()
+        assert dump["pin_allocations"][0]["module"] == "mac"
+        assert dump["clock_mappings"]["core"] == "sysclk_100"
+
+
+class TestVendorAdapter:
+    def test_matching_environment_passes(self):
+        report = VendorAdapter(VIVADO_2023_1).inspect([xilinx_cmac_100g()])
+        assert report.passed
+
+    def test_wrong_tool_detected(self):
+        report = VendorAdapter(QUARTUS_23_2).inspect([xilinx_cmac_100g()])
+        assert not report.passed
+        assert "requires tool 'vivado'" in report.violations[0]
+
+    def test_wrong_tool_version_detected(self):
+        report = VendorAdapter(VIVADO_2022_2).inspect([xilinx_cmac_100g()])
+        assert any("2023.1" in violation for violation in report.violations)
+
+    def test_tool_agnostic_module_passes_anywhere(self):
+        for toolchain in (VIVADO_2023_1, QUARTUS_23_2):
+            assert VendorAdapter(toolchain).inspect([sensor_block()]).passed
+
+    def test_require_raises_on_violation(self):
+        with pytest.raises(DependencyError):
+            VendorAdapter(QUARTUS_23_2).require([xilinx_qdma()])
+
+    def test_mixed_set_reports_all_violations(self):
+        report = VendorAdapter(VIVADO_2023_1).inspect(
+            [xilinx_cmac_100g(), intel_etile_100g()]
+        )
+        assert len(report.violations) == 1  # only the Intel module fails
+
+    def test_environment_key_values(self):
+        env = VendorAdapter(VIVADO_2023_1).environment
+        assert env["tool"] == "vivado"
+        assert env["ip_packaging"] == "ip-xact"
+
+
+class TestInterfaceWrapper:
+    def test_wrap_produces_unified_ports(self):
+        wrapped = InterfaceWrapper().wrap(xilinx_cmac_100g())
+        assert all(port.unified_type is UnifiedType.STREAM for port in wrapped.data_ports)
+        assert wrapped.control_port.unified_type is UnifiedType.REG
+
+    def test_avalon_and_axi_map_to_same_types(self):
+        wrapper = InterfaceWrapper()
+        xilinx_ports = wrapper.wrap(xilinx_cmac_100g()).data_ports
+        intel_ports = wrapper.wrap(intel_etile_100g()).data_ports
+        assert [p.unified_type for p in xilinx_ports] == [p.unified_type for p in intel_ports]
+
+    def test_unknown_protocol_rejected(self):
+        weird = InterfaceSpec(
+            "weird", ProtocolFamily.CUSTOM,
+            (SignalSpec("x", 8, Direction.OUTPUT),),
+        )
+        with pytest.raises(InterfaceMismatchError):
+            InterfaceWrapper().convert_interface(weird, 8)
+
+    def test_wrapper_preserves_throughput(self):
+        wrapped = InterfaceWrapper().wrap(xilinx_cmac_100g())
+        assert (wrapped.datapath_chain().bandwidth_bps()
+                == pytest.approx(wrapped.native_chain().bandwidth_bps()))
+
+    def test_wrapper_adds_fixed_latency(self):
+        wrapped = InterfaceWrapper().wrap(xilinx_cmac_100g())
+        extra = (wrapped.datapath_chain().zero_load_latency_ps(64)
+                 - wrapped.native_chain().zero_load_latency_ps(64))
+        assert extra == wrapped.ip.clock.cycles_to_ps(WRAPPER_LATENCY_CYCLES)
+        assert wrapped.added_latency_ps == extra
+
+    def test_resources_scale_with_width_and_count(self):
+        narrow = wrapper_resources(128, 1)
+        wide = wrapper_resources(2_048, 1)
+        double = wrapper_resources(128, 2)
+        assert wide.lut > narrow.lut
+        assert double.lut == 2 * narrow.lut
+
+    def test_no_interfaces_no_cost(self):
+        assert wrapper_resources(512, 0).is_zero
+
+    def test_wrapper_under_overhead_bound(self):
+        # Figure 16: interface wrapper below 0.37% of the device.
+        wrapped = InterfaceWrapper().wrap(xilinx_cmac_100g())
+        utilisation = DEVICE_A.budget.utilisation(wrapped.resources)
+        assert max(utilisation.values()) < 0.0037
+
+
+class TestBuildFlow:
+    MODULES = [xilinx_cmac_100g(), xilinx_qdma(), i2c_controller()]
+
+    def test_successful_build_packages_everything(self):
+        bundle = BuildFlow(DEVICE_A).build("proj", self.MODULES,
+                                           software_components=("driver",))
+        assert bundle.bitstream.device_name == "device-a"
+        assert "xilinx-cmac-100g" in bundle.bitstream.module_names
+        assert len(bundle.artifact_id) == 16
+
+    def test_build_is_deterministic(self):
+        first = BuildFlow(DEVICE_A).build("proj", self.MODULES)
+        second = BuildFlow(DEVICE_A).build("proj", self.MODULES)
+        assert first.bitstream.checksum == second.bitstream.checksum
+
+    def test_checksum_changes_with_module_set(self):
+        first = BuildFlow(DEVICE_A).build("proj", self.MODULES)
+        second = BuildFlow(DEVICE_A).build("proj", self.MODULES[:-1])
+        assert first.bitstream.checksum != second.bitstream.checksum
+
+    def test_wrong_vendor_modules_fail_dependency_step(self):
+        with pytest.raises(DeploymentError, match="dependency inspection"):
+            BuildFlow(DEVICE_A).build("proj", [intel_etile_100g()])
+
+    def test_oversized_design_fails_fit_step(self):
+        with pytest.raises(Exception):
+            BuildFlow(DEVICE_A).build(
+                "huge", self.MODULES,
+                extra_resources=ResourceUsage(lut=DEVICE_A.budget.lut),
+            )
+
+    def test_resources_accumulated(self):
+        bundle = BuildFlow(DEVICE_A).build("proj", self.MODULES)
+        expected = ResourceUsage.total(ip.resources for ip in self.MODULES)
+        assert bundle.bitstream.resources == expected
+
+
+class TestWrapperDataPlane:
+    """The wrapper's functional (byte-exact) stream conversion."""
+
+    def test_axi_ip_feeding_avalon_role(self):
+        from repro.hw.beats import from_avalon_st, to_axi_stream
+
+        payload = bytes(range(200)) * 3
+        axi_beats = to_axi_stream(payload, 512)
+        avalon_beats = InterfaceWrapper().convert_stream(
+            axi_beats, ProtocolFamily.AVALON_ST
+        )
+        assert from_avalon_st(avalon_beats) == payload
+
+    def test_avalon_ip_feeding_axi_role(self):
+        from repro.hw.beats import from_axi_stream, to_avalon_st
+
+        payload = b"\x5A" * 777
+        avalon_beats = to_avalon_st(payload, 512)
+        axi_beats = InterfaceWrapper().convert_stream(
+            avalon_beats, ProtocolFamily.AXI4_STREAM
+        )
+        assert from_axi_stream(axi_beats) == payload
+
+    def test_same_protocol_passthrough(self):
+        from repro.hw.beats import to_axi_stream
+
+        beats = to_axi_stream(b"\x01" * 64, 512)
+        assert InterfaceWrapper().convert_stream(
+            beats, ProtocolFamily.AXI4_STREAM
+        ) == beats
+
+    def test_non_stream_target_rejected(self):
+        from repro.hw.beats import to_axi_stream
+
+        beats = to_axi_stream(b"\x01" * 64, 512)
+        with pytest.raises(InterfaceMismatchError):
+            InterfaceWrapper().convert_stream(beats, ProtocolFamily.AXI4_LITE)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(InterfaceMismatchError):
+            InterfaceWrapper().convert_stream([], ProtocolFamily.AVALON_ST)

@@ -1,0 +1,73 @@
+"""Tests for application data-path construction (apps/base.py)."""
+
+import pytest
+
+from repro.apps import HostNetwork, RetrievalApp, SecGateway
+from repro.apps.base import PerformanceSample
+from repro.platform.catalog import DEVICE_A
+
+
+class TestDatapathComposition:
+    def test_harmonia_path_has_wrapper_exfn_and_cdc(self):
+        app = HostNetwork()
+        shell = app.tailored_shell(DEVICE_A)
+        with_harmonia = app.datapath(shell, with_harmonia=True)
+        without = app.datapath(shell, with_harmonia=False)
+        # link + ingress + wrapper + exfn + cdc + role + egress vs
+        # link + ingress + role + egress.
+        assert len(with_harmonia) == len(without) + 3
+
+    def test_bitw_app_enters_through_network(self):
+        app = SecGateway()
+        shell = app.tailored_shell(DEVICE_A)
+        chain = app.datapath(shell, with_harmonia=True)
+        assert any("cmac" in stage.name for stage in chain.stages)
+
+    def test_look_aside_app_enters_through_host(self):
+        app = RetrievalApp()
+        shell = app.tailored_shell(DEVICE_A)
+        chain = app.datapath(shell, with_harmonia=True)
+        assert any("qdma" in stage.name for stage in chain.stages)
+        assert not any("cmac" in stage.name for stage in chain.stages)
+
+    def test_link_stage_caps_throughput_at_line_rate(self):
+        app = SecGateway()
+        shell = app.tailored_shell(DEVICE_A)
+        chain = app.datapath(shell, with_harmonia=True)
+        # The 100G cage, not the 165 Gbps MAC core, is the bottleneck.
+        assert chain.bandwidth_bps() <= 100e9 * 1.01
+
+    def test_cdc_width_satisfies_lossless_rule(self):
+        app = SecGateway()
+        shell = app.tailored_shell(DEVICE_A)
+        rbb = shell.rbbs["network"]
+        role_stage = app.role_stage(rbb)
+        rbb_bandwidth = rbb.instance.clock.bandwidth_bps(rbb.instance.data_width_bits)
+        role_bandwidth = role_stage.clock.bandwidth_bps(role_stage.data_width_bits)
+        assert role_bandwidth >= rbb_bandwidth
+
+    def test_role_stage_runs_at_demanded_clock(self):
+        app = SecGateway()
+        shell = app.tailored_shell(DEVICE_A)
+        stage = app.role_stage(shell.rbbs["network"])
+        assert stage.clock.freq_mhz == app.role().demands.user_clock_mhz
+
+
+class TestMeasurement:
+    def test_path_latency_included_by_default(self):
+        app = SecGateway()
+        with_path = app.measure(DEVICE_A, packet_sizes=(256,), packets_per_point=100)
+        without_path = app.measure(DEVICE_A, packet_sizes=(256,), packets_per_point=100,
+                                   include_path_latency=False)
+        delta = with_path[0].latency_us - without_path[0].latency_us
+        assert delta == pytest.approx(app.PATH_LATENCY_US, abs=0.01)
+
+    def test_sample_unit_conversion(self):
+        sample = PerformanceSample("x", throughput_gbps=1.0, latency_us=2.5)
+        assert sample.latency_ns == 2_500.0
+
+    def test_throughput_monotone_in_packet_size(self):
+        samples = SecGateway().measure(DEVICE_A, packet_sizes=(64, 256, 1_024),
+                                       packets_per_point=300)
+        throughputs = [sample.throughput_gbps for sample in samples]
+        assert throughputs == sorted(throughputs)

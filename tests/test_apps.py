@@ -1,0 +1,222 @@
+"""Tests for the five evaluation applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import all_applications
+from repro.apps.board_test import BoardTest
+from repro.apps.host_network import FlowAction, HostNetwork, OvsOffload, internet_checksum
+from repro.apps.layer4_lb import Layer4LoadBalancer, MaglevTable
+from repro.apps.retrieval import EmbeddingCorpus, RetrievalApp, RetrievalEngine
+from repro.apps.sec_gateway import PolicyAction, PolicyEngine, PolicyRule, SecGateway
+from repro.core.role import Architecture
+from repro.errors import ConfigurationError
+from repro.platform.catalog import DEVICE_A, DEVICE_B
+from repro.workloads.packets import FiveTuple, Packet, PacketGenerator
+
+
+class TestApplicationMix:
+    def test_five_applications(self):
+        apps = all_applications()
+        assert len(apps) == 5
+        assert [app.name for app in apps] == [
+            "sec-gateway", "layer4-lb", "host-network", "retrieval", "board-test",
+        ]
+
+    def test_architectures_match_table2(self):
+        architectures = {app.name: app.role().architecture for app in all_applications()}
+        assert architectures["sec-gateway"] is Architecture.BUMP_IN_THE_WIRE
+        assert architectures["retrieval"] is Architecture.LOOK_ASIDE
+        assert architectures["board-test"] is Architecture.FLEXIBLE
+
+    def test_every_app_tailors_on_device_a(self):
+        for app in all_applications():
+            shell = app.tailored_shell(DEVICE_A)
+            assert shell.rbbs
+
+    def test_every_app_measures_with_and_without_harmonia(self):
+        for app in all_applications():
+            harmonia = app.measure(DEVICE_A, packet_sizes=(256,), packets_per_point=200)
+            native = app.measure(DEVICE_A, packet_sizes=(256,), packets_per_point=200,
+                                 with_harmonia=False)
+            assert harmonia[0].throughput_gbps == pytest.approx(
+                native[0].throughput_gbps, rel=0.02
+            )
+            assert harmonia[0].latency_us >= native[0].latency_us
+            increase = (harmonia[0].latency_us - native[0].latency_us) / native[0].latency_us
+            assert increase < 0.02  # the paper's <1%, with simulation slack
+
+
+class TestSecGateway:
+    def test_longest_prefix_wins(self):
+        engine = PolicyEngine()
+        engine.install(PolicyRule(0x0A00_0000, 8, PolicyAction.ALLOW))
+        engine.install(PolicyRule(0x0A0A_0000, 16, PolicyAction.DENY))
+        denied = Packet(FiveTuple(0x0A0A_0001, 2, 3, 80), 64, dst_mac=1)
+        allowed = Packet(FiveTuple(0x0A0B_0001, 2, 3, 80), 64, dst_mac=1)
+        assert engine.decide(denied) is PolicyAction.DENY
+        assert engine.decide(allowed) is PolicyAction.ALLOW
+
+    def test_default_allow(self):
+        engine = PolicyEngine()
+        packet = Packet(FiveTuple(1, 2, 3, 80), 64, dst_mac=1)
+        assert engine.decide(packet) is PolicyAction.ALLOW
+
+    def test_filter_removes_denied_traffic(self):
+        app = SecGateway()
+        app.install_policies([PolicyRule(0x0A00_0000, 8, PolicyAction.DENY)])
+        bad = Packet(FiveTuple(0x0A01_0203, 2, 3, 80), 64, dst_mac=1)
+        good = Packet(FiveTuple(0xC0A8_0001, 2, 3, 80), 64, dst_mac=1)
+        forwarded, counters = app.process([bad, good, bad])
+        assert forwarded == [good]
+        assert counters == {"allowed": 1, "denied": 2}
+
+    def test_invalid_prefix_length(self):
+        with pytest.raises(ValueError):
+            PolicyRule(0, 33, PolicyAction.DENY)
+
+    def test_zero_length_prefix_matches_all(self):
+        rule = PolicyRule(0, 0, PolicyAction.DENY)
+        assert rule.matches(0xFFFF_FFFF)
+
+
+class TestLayer4Lb:
+    def test_maglev_table_size_must_be_prime(self):
+        with pytest.raises(ConfigurationError):
+            MaglevTable(["a"], table_size=10)
+
+    def test_maglev_spreads_load_evenly(self):
+        table = MaglevTable([f"rs-{i}" for i in range(8)], table_size=251)
+        shares = [table.share_of(f"rs-{i}") for i in range(8)]
+        assert min(shares) > 0.5 / 8
+        assert max(shares) < 2.0 / 8
+
+    def test_established_flows_survive_backend_removal(self):
+        app = Layer4LoadBalancer()
+        packet = Packet(PacketGenerator().flow(1), 64, dst_mac=1)
+        chosen = app.select_backend(packet)
+        app.remove_backend(next(b for b in app.backends if b != chosen))
+        assert app.select_backend(packet) == chosen
+        assert app.established_hits >= 1
+
+    def test_new_flows_avoid_removed_backend(self):
+        app = Layer4LoadBalancer()
+        victim = app.backends[0]
+        app.remove_backend(victim)
+        generator = PacketGenerator()
+        packets = [Packet(generator.flow(seed), 64, dst_mac=1) for seed in range(200)]
+        loads = app.distribute(packets)
+        assert victim not in loads
+
+    def test_removing_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Layer4LoadBalancer().remove_backend("ghost")
+
+    def test_needs_at_least_one_backend(self):
+        with pytest.raises(ConfigurationError):
+            MaglevTable([])
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 10_000))
+    def test_lookup_deterministic(self, seed):
+        table = MaglevTable([f"rs-{i}" for i in range(4)])
+        flow = PacketGenerator().flow(seed)
+        assert table.lookup(flow) == table.lookup(flow)
+
+
+class TestHostNetwork:
+    def test_rfc1071_known_vector(self):
+        # Classic example: checksum of this header equals 0xB861.
+        header = bytes.fromhex("45000073000040004011") + b"\x00\x00" + \
+            bytes.fromhex("c0a80001c0a800c7")
+        assert internet_checksum(header) == 0xB861
+
+    def test_checksum_of_zero_padded_odd_length(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_first_packet_upcalls_then_hits(self):
+        ovs = OvsOffload()
+        packet = Packet(PacketGenerator().flow(1), 64, dst_mac=1)
+        ovs.classify(packet)
+        ovs.classify(packet)
+        assert ovs.upcalls == 1
+        assert ovs.cache_hits == 1
+
+    def test_hit_rate_approaches_one_for_stable_flows(self):
+        app = HostNetwork()
+        generator = PacketGenerator()
+        packets = [Packet(generator.flow(seed % 8), 64, dst_mac=1)
+                   for seed in range(400)]
+        app.process(packets)
+        assert app.ovs.hit_rate > 0.95
+
+    def test_cache_eviction_at_capacity(self):
+        ovs = OvsOffload(capacity=2)
+        generator = PacketGenerator()
+        for seed in range(3):
+            ovs.classify(Packet(generator.flow(seed), 64, dst_mac=1))
+        assert len(ovs.flow_cache) == 2
+
+    def test_process_counts_actions(self):
+        app = HostNetwork()
+        packets = [Packet(PacketGenerator().flow(seed), 64, dst_mac=1)
+                   for seed in range(10)]
+        outcome = app.process(packets)
+        assert outcome[FlowAction.OUTPUT] == 10
+        assert app.checksummed == 10
+
+
+class TestRetrieval:
+    def test_top1_recovers_perturbed_item(self):
+        app = RetrievalApp(corpus_items=500, dim=32)
+        result = app.engine.search(app.corpus.query_like(123))
+        assert result.indices[0] == 123
+
+    def test_scores_sorted_descending(self):
+        app = RetrievalApp(corpus_items=200)
+        result = app.engine.search(app.corpus.query_like(7))
+        assert list(result.scores) == sorted(result.scores, reverse=True)
+
+    def test_k_capped_at_corpus_size(self):
+        engine = RetrievalEngine(EmbeddingCorpus(5), k=10)
+        assert engine.k == 5
+
+    def test_wrong_query_dimension_rejected(self):
+        app = RetrievalApp(corpus_items=100, dim=64)
+        with pytest.raises(ConfigurationError):
+            app.engine.search(np.zeros(32, dtype=np.float32))
+
+    def test_qps_falls_with_corpus_size(self):
+        app = RetrievalApp()
+        assert app.queries_per_second(10 ** 3) > app.queries_per_second(10 ** 6)
+
+    def test_matches_numpy_exhaustive_search(self):
+        corpus = EmbeddingCorpus(300, dim=16, seed=5)
+        engine = RetrievalEngine(corpus, k=5)
+        query = corpus.query_like(42)
+        result = engine.search(query)
+        expected = np.argsort(-(corpus.vectors @ query))[:5]
+        assert list(result.indices) == list(expected)
+
+    def test_look_aside_shell_has_no_network(self):
+        shell = RetrievalApp().tailored_shell(DEVICE_A)
+        assert "network" not in shell.rbbs
+        assert shell.rbbs["memory"].selected_instance_name == "hbm-xilinx"
+
+
+class TestBoardTest:
+    def test_suite_passes_on_device_a(self):
+        reports = BoardTest().run_suite(DEVICE_A)
+        assert BoardTest.all_passed(reports), [str(r) for r in reports]
+        items = {report.item for report in reports}
+        assert {"mac-loopback", "memory-march", "dma-echo", "sensor-read"} <= items
+
+    def test_suite_adapts_to_device_peripherals(self):
+        reports = BoardTest().run_suite(DEVICE_B)
+        items = [report.item for report in reports]
+        assert "memory-march" in items  # device B carries DDR
+
+    def test_report_string_format(self):
+        reports = BoardTest().run_suite(DEVICE_A)
+        assert str(reports[0]).startswith("[PASS]")

@@ -1,0 +1,128 @@
+"""Tests for the framework comparison models (Vitis / oneAPI / Coyote)."""
+
+import pytest
+
+from repro.baselines import (
+    CoyoteFramework,
+    HarmoniaFramework,
+    OneApiFramework,
+    VitisFramework,
+    all_frameworks,
+)
+from repro.baselines.base import BENCHMARK_SERVICES, Capability
+from repro.baselines.vitis import benchmark_role
+from repro.errors import IncompatiblePlatformError
+from repro.platform.catalog import DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D, evaluation_devices
+
+BENCHMARKS = sorted(BENCHMARK_SERVICES)
+
+
+class TestDeviceSupport:
+    """Table 3: the device-support matrix."""
+
+    def test_vitis_supports_official_xilinx_only(self):
+        framework = VitisFramework()
+        assert framework.supports(DEVICE_A)
+        assert not framework.supports(DEVICE_B)   # in-house board
+        assert not framework.supports(DEVICE_D)   # Intel silicon
+
+    def test_coyote_mirrors_vitis_board_support(self):
+        framework = CoyoteFramework()
+        assert framework.supports(DEVICE_A)
+        assert not framework.supports(DEVICE_C)
+
+    def test_oneapi_supports_official_intel_only(self):
+        framework = OneApiFramework()
+        assert framework.supports(DEVICE_D)
+        assert not framework.supports(DEVICE_C)   # in-house board
+        assert not framework.supports(DEVICE_A)
+
+    def test_harmonia_supports_everything(self):
+        framework = HarmoniaFramework()
+        assert all(framework.supports(device) for device in evaluation_devices())
+
+    def test_table3_matrix(self):
+        rows = {
+            framework.name: framework.supported_vendor_classes(evaluation_devices())
+            for framework in all_frameworks()
+        }
+        assert rows["vitis"] == {"intel": False, "xilinx": True, "inhouse": False}
+        assert rows["oneapi"] == {"intel": True, "xilinx": False, "inhouse": False}
+        assert rows["coyote"] == {"intel": False, "xilinx": True, "inhouse": False}
+        assert rows["harmonia"] == {"intel": True, "xilinx": True, "inhouse": True}
+
+    def test_unsupported_deploy_raises(self):
+        with pytest.raises(IncompatiblePlatformError):
+            VitisFramework().deploy(DEVICE_D, "matmul")
+
+
+class TestCapabilities:
+    """Table 1: only Harmonia scores full marks everywhere."""
+
+    def test_harmonia_row_all_yes(self):
+        row = HarmoniaFramework().capability_row()
+        assert all(value is Capability.YES for value in row.values())
+
+    def test_baselines_have_partial_host_interface(self):
+        for framework in (VitisFramework(), OneApiFramework(), CoyoteFramework()):
+            assert framework.capability_row()["consistent_host_interface"] is Capability.PARTIAL
+
+    def test_baselines_lack_unified_shell(self):
+        for framework in (VitisFramework(), OneApiFramework(), CoyoteFramework()):
+            assert framework.capability_row()["unified_shell"] is not Capability.YES
+
+
+class TestShellResources:
+    """Figure 18a: Harmonia's tailored shells are leaner."""
+
+    @pytest.mark.parametrize("bench_name", BENCHMARKS)
+    def test_harmonia_leaner_than_xilinx_baselines(self, bench_name):
+        harmonia = HarmoniaFramework().deploy(DEVICE_A, bench_name).resources
+        for framework in (VitisFramework(), CoyoteFramework()):
+            baseline = framework.deploy(DEVICE_A, bench_name).resources
+            assert harmonia.lut < baseline.lut
+            assert harmonia.ff < baseline.ff
+
+    @pytest.mark.parametrize("bench_name", BENCHMARKS)
+    def test_reduction_in_paper_band(self, bench_name):
+        # Figure 18a: 3.5%-14.9% lower shell resource consumption.
+        harmonia_a = HarmoniaFramework().deploy(DEVICE_A, bench_name).resources
+        harmonia_d = HarmoniaFramework().deploy(DEVICE_D, bench_name).resources
+        pairs = [
+            (VitisFramework(), DEVICE_A, harmonia_a),
+            (CoyoteFramework(), DEVICE_A, harmonia_a),
+            (OneApiFramework(), DEVICE_D, harmonia_d),
+        ]
+        for framework, device, harmonia in pairs:
+            baseline = framework.deploy(device, bench_name).resources
+            for kind in ("lut", "ff", "bram_36k"):
+                base_value = getattr(baseline, kind)
+                if base_value == 0:
+                    continue
+                reduction = (base_value - getattr(harmonia, kind)) / base_value
+                assert 0.03 <= reduction <= 0.16, (framework.name, bench_name, kind)
+
+    def test_host_interface_styles(self):
+        assert HarmoniaFramework().deploy(DEVICE_A, "tcp").host_interface == "command"
+        assert VitisFramework().deploy(DEVICE_A, "tcp").host_interface == "register"
+
+    def test_shell_utilisation_within_device(self):
+        for framework in all_frameworks():
+            if framework.supports(DEVICE_A):
+                shell = framework.deploy(DEVICE_A, "tcp")
+                assert max(shell.utilisation().values()) < 1.0
+
+
+class TestBenchmarkRoles:
+    def test_benchmark_roles_demand_right_services(self):
+        assert not benchmark_role("matmul", "x").demands.needs_network
+        assert benchmark_role("database", "x").demands.needs_memory
+        assert benchmark_role("tcp", "x").demands.needs_network
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(IncompatiblePlatformError):
+            benchmark_role("raytracing", "x")
+
+    def test_matmul_uses_bulk_dma(self):
+        assert benchmark_role("matmul", "x").demands.bulk_dma
+        assert not benchmark_role("tcp", "x").demands.bulk_dma

@@ -1,0 +1,75 @@
+"""Tests for the extended device catalog (Stratix / Arria / Gen5-400G)."""
+
+import pytest
+
+from repro.core.host_software import ControlPlane
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.core.shell import build_unified_shell
+from repro.core.tailoring import HierarchicalTailor
+from repro.platform.catalog import (
+    DEVICE_ARRIA_EDGE,
+    DEVICE_GEN5_400G,
+    DEVICE_STRATIX_NIC,
+    all_devices,
+)
+from repro.platform.device import PcieGeneration, PeripheralKind
+from repro.platform.vendor import Vendor
+
+EXTENDED = (DEVICE_STRATIX_NIC, DEVICE_ARRIA_EDGE, DEVICE_GEN5_400G)
+
+
+class TestExtendedCatalog:
+    def test_catalog_spans_all_six_chip_families(self):
+        families = {device.family.name for device in all_devices()}
+        assert families == {
+            "Virtex UltraScale+", "Virtex UltraScale", "Zynq 7000",
+            "Agilex", "Stratix 10", "Arria 10",
+        }
+
+    def test_gen5_device_doubles_host_bandwidth(self):
+        gen5 = DEVICE_GEN5_400G.host_gbps
+        gen4_equivalent = (PcieGeneration.GEN4.per_lane_gbps * 8)
+        assert gen5 == pytest.approx(2 * gen4_equivalent, rel=0.01)
+
+    def test_stratix_is_official_intel_board(self):
+        assert DEVICE_STRATIX_NIC.board_vendor is Vendor.INTEL
+        assert DEVICE_STRATIX_NIC.chip_vendor is Vendor.INTEL
+
+    def test_arria_is_inhouse_board_on_intel_silicon(self):
+        assert DEVICE_ARRIA_EDGE.board_vendor is Vendor.INHOUSE
+        assert DEVICE_ARRIA_EDGE.chip_vendor is Vendor.INTEL
+
+    def test_gen5_device_carries_400g_cage(self):
+        assert DEVICE_GEN5_400G.has_peripheral(PeripheralKind.QSFP112)
+
+
+class TestExtendedDeployment:
+    @pytest.mark.parametrize("device", EXTENDED, ids=lambda d: d.name)
+    def test_unified_shell_builds_and_fits(self, device):
+        shell = build_unified_shell(device)
+        device.budget.check_fits(shell.resources(), design="unified shell")
+
+    @pytest.mark.parametrize("device", EXTENDED, ids=lambda d: d.name)
+    def test_command_bring_up_clean(self, device):
+        control = ControlPlane(build_unified_shell(device))
+        control.command_full_init()
+        assert control.kernel.commands_failed == 0
+
+    def test_gen5_shell_uses_400g_mac_and_gen5_dma(self):
+        shell = build_unified_shell(DEVICE_GEN5_400G)
+        assert shell.network.selected_instance_name == "400g-inhouse"
+        assert shell.host.instance.clock.freq_mhz == 1_000.0   # Gen5 user clock
+
+    def test_400g_role_tailors_on_gen5_device(self):
+        role = Role("nic-400", Architecture.BUMP_IN_THE_WIRE,
+                    RoleDemands(network_gbps=400.0, host_gbps=100.0, bulk_dma=False,
+                                user_clock_mhz=500.0))
+        shell = HierarchicalTailor(build_unified_shell(DEVICE_GEN5_400G)).tailor(role)
+        assert shell.rbbs["network"].instance.performance_gbps == 400.0
+
+    def test_oneapi_supports_stratix_but_not_arria_board(self):
+        from repro.baselines import OneApiFramework
+
+        framework = OneApiFramework()
+        assert framework.supports(DEVICE_STRATIX_NIC)
+        assert not framework.supports(DEVICE_ARRIA_EDGE)

@@ -1,0 +1,73 @@
+"""Tests for the operator CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDevices:
+    def test_lists_catalog(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("device-a", "device-b", "device-c", "device-d"):
+            assert name in out
+
+    def test_shows_pcie_and_memory(self, capsys):
+        main(["devices"])
+        out = capsys.readouterr().out
+        assert "Gen4x8" in out
+        assert "hbm" in out
+
+
+class TestDescribe:
+    def test_describes_device(self, capsys):
+        assert main(["describe", "device-a"]) == 0
+        out = capsys.readouterr().out
+        assert "XCVU35P" in out
+        assert "pcie_generation" in out
+
+    def test_unknown_device_errors(self, capsys):
+        assert main(["describe", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTailor:
+    def test_tailors_app_shell(self, capsys):
+        assert main(["tailor", "device-a", "--app", "sec-gateway"]) == 0
+        out = capsys.readouterr().out
+        assert "RBBs: host, network" in out
+        assert "x simpler" in out
+
+    def test_unknown_app_errors(self, capsys):
+        assert main(["tailor", "device-a", "--app", "nope"]) == 1
+        assert "known:" in capsys.readouterr().err
+
+
+class TestBringup:
+    def test_reports_both_interface_costs(self, capsys):
+        assert main(["bringup", "device-a", "--app", "sec-gateway"]) == 0
+        out = capsys.readouterr().out
+        assert "register interface:" in out
+        assert "command interface :" in out
+
+
+class TestMigrate:
+    def test_reports_reduction(self, capsys):
+        assert main(["migrate", "host-network", "device-c", "device-d"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction:" in out
+        assert "register-interface modifications: 182" in out
+
+
+class TestHealth:
+    def test_healthy_device_exit_zero(self, capsys):
+        assert main(["health", "device-b"]) == 0
+        out = capsys.readouterr().out
+        assert "temperature_c" in out
+        assert "ok" in out
+
+
+class TestParser:
+    def test_missing_command_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])

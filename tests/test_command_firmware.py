@@ -1,0 +1,142 @@
+"""Tests for programmable command firmware on the control kernel."""
+
+import pytest
+
+from repro.core.command.codes import CommandCode, RbbId, StatusCode
+from repro.core.command.driver import CommandDriver
+from repro.core.command.firmware import (
+    FirmwareProgram,
+    Instruction,
+    Op,
+    install_firmware,
+)
+from repro.core.command.kernel import ModuleEndpoint, UnifiedControlKernel
+from repro.errors import CommandError
+from repro.hw.ip.mac import xilinx_cmac_100g
+
+CUSTOM_CODE = 0x0100
+
+
+def make_kernel():
+    kernel = UnifiedControlKernel()
+    mac = xilinx_cmac_100g()
+    regfile = mac.register_file()
+    kernel.register_module(
+        int(RbbId.NETWORK), 0,
+        ModuleEndpoint("mac", regfile, mac.init_sequence()),
+    )
+    return kernel, regfile
+
+
+class TestProgramValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(CommandError, match="no instructions"):
+            FirmwareProgram("empty", [])
+
+    def test_stack_underflow_caught_statically(self):
+        with pytest.raises(CommandError, match="underflow"):
+            FirmwareProgram("bad", [Instruction(Op.ADD)])
+
+    def test_underflow_after_partial_consumption_caught(self):
+        with pytest.raises(CommandError, match="underflow"):
+            FirmwareProgram("bad", [Instruction(Op.PUSH, 1), Instruction(Op.ADD)])
+
+    def test_valid_program_accepted(self):
+        FirmwareProgram("ok", [Instruction(Op.PUSH, 1), Instruction(Op.PUSH, 2),
+                               Instruction(Op.ADD), Instruction(Op.EMIT)])
+
+
+class TestExecution:
+    def test_sum_two_counters(self):
+        kernel, regfile = make_kernel()
+        regfile.poke("STAT_RX_TOTAL_PACKETS", 30)
+        regfile.poke("STAT_TX_TOTAL_PACKETS", 12)
+        program = FirmwareProgram("sum-counters", [
+            Instruction(Op.REG_READ, "STAT_RX_TOTAL_PACKETS"),
+            Instruction(Op.REG_READ, "STAT_TX_TOTAL_PACKETS"),
+            Instruction(Op.ADD),
+            Instruction(Op.EMIT),
+        ])
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, program)
+        result = CommandDriver(kernel).cmd_read(CUSTOM_CODE, int(RbbId.NETWORK))
+        assert result.ok
+        assert result.data == (42,)
+
+    def test_arguments_flow_from_packet(self):
+        kernel, regfile = make_kernel()
+        program = FirmwareProgram("masked-write", [
+            Instruction(Op.ARG, 0),
+            Instruction(Op.PUSH, 0xFF),
+            Instruction(Op.AND),
+            Instruction(Op.REG_WRITE, "CTRL_RX"),
+        ])
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, program)
+        CommandDriver(kernel).cmd_write(CUSTOM_CODE, int(RbbId.NETWORK),
+                                        data=(0x1234,))
+        assert regfile.register("CTRL_RX").value == 0x34
+
+    def test_table_roundtrip_via_firmware(self):
+        kernel, _regfile = make_kernel()
+        writer = FirmwareProgram("table-write", [
+            Instruction(Op.ARG, 0), Instruction(Op.ARG, 1),
+            Instruction(Op.TABLE_SET),
+        ])
+        reader = FirmwareProgram("table-read", [
+            Instruction(Op.ARG, 0), Instruction(Op.TABLE_GET),
+            Instruction(Op.EMIT),
+        ])
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, writer)
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE + 1, reader)
+        driver = CommandDriver(kernel)
+        driver.cmd_write(CUSTOM_CODE, int(RbbId.NETWORK), data=(7, 99))
+        result = driver.cmd_read(CUSTOM_CODE + 1, int(RbbId.NETWORK), data=(7,))
+        assert result.data == (99,)
+
+    def test_missing_argument_fails_the_command_not_the_kernel(self):
+        kernel, _regfile = make_kernel()
+        program = FirmwareProgram("needs-arg", [Instruction(Op.ARG, 0),
+                                                Instruction(Op.EMIT)])
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, program)
+        driver = CommandDriver(kernel)
+        result = driver.cmd_read(CUSTOM_CODE, int(RbbId.NETWORK))
+        assert result.status == int(StatusCode.EXECUTION_FAILED)
+        # The kernel keeps serving built-in commands afterwards.
+        follow_up = driver.cmd_write(CommandCode.MODULE_RESET, int(RbbId.NETWORK))
+        assert follow_up.ok
+
+    def test_alu_and_shift(self):
+        kernel, _regfile = make_kernel()
+        program = FirmwareProgram("alu", [
+            Instruction(Op.PUSH, 0b1010),
+            Instruction(Op.SHL, 4),
+            Instruction(Op.PUSH, 0b1111),
+            Instruction(Op.OR),
+            Instruction(Op.DUP),
+            Instruction(Op.PUSH, 0b1000_0000),
+            Instruction(Op.SUB),
+            Instruction(Op.EMIT),
+            Instruction(Op.EMIT),
+        ])
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, program)
+        result = CommandDriver(kernel).cmd_read(CUSTOM_CODE, int(RbbId.NETWORK))
+        assert result.data == (0b0010_1111, 0b1010_1111)
+
+
+class TestInstallation:
+    def test_duplicate_code_rejected(self):
+        kernel, _regfile = make_kernel()
+        program = FirmwareProgram("p", [Instruction(Op.PUSH, 1), Instruction(Op.EMIT)])
+        install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, program)
+        with pytest.raises(CommandError, match="already has firmware"):
+            install_firmware(kernel, int(RbbId.NETWORK), 0, CUSTOM_CODE, program)
+
+    def test_firmware_overrides_builtin_semantics(self):
+        kernel, _regfile = make_kernel()
+        program = FirmwareProgram("fake-status", [Instruction(Op.PUSH, 0xBEEF),
+                                                  Instruction(Op.EMIT)])
+        install_firmware(kernel, int(RbbId.NETWORK), 0,
+                         int(CommandCode.MODULE_STATUS_READ), program)
+        result = CommandDriver(kernel).cmd_read(
+            CommandCode.MODULE_STATUS_READ, int(RbbId.NETWORK)
+        )
+        assert result.data == (0xBEEF,)

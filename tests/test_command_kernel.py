@@ -1,0 +1,196 @@
+"""Tests for the unified control kernel and the host drivers."""
+
+import pytest
+
+from repro.core.command.codes import CommandCode, RbbId, SrcId, StatusCode
+from repro.core.command.driver import CommandDriver, RegisterDriver
+from repro.core.command.kernel import ModuleEndpoint, UnifiedControlKernel
+from repro.core.command.packet import CommandPacket
+from repro.errors import CommandError
+from repro.hw.ip.mac import xilinx_cmac_100g
+from repro.hw.ip.misc import qspi_flash, sensor_block
+
+
+def make_kernel():
+    kernel = UnifiedControlKernel()
+    mac = xilinx_cmac_100g()
+    kernel.register_module(
+        int(RbbId.NETWORK), 0,
+        ModuleEndpoint("mac", mac.register_file(), mac.init_sequence(),
+                       status_registers=("STAT_RX_STATUS",),
+                       control_registers=("CTRL_RX",)),
+    )
+    flash = qspi_flash()
+    kernel.register_module(
+        int(RbbId.MANAGEMENT), 0,
+        ModuleEndpoint("flash", flash.register_file(), flash.init_sequence()),
+    )
+    sensor = sensor_block()
+    kernel.register_module(
+        int(RbbId.MANAGEMENT), 1,
+        ModuleEndpoint("sensor", sensor.register_file(), sensor.init_sequence()),
+    )
+    return kernel
+
+
+def roundtrip(kernel, **fields):
+    packet_fields = dict(src_id=int(SrcId.HOST_APPLICATION), dst_id=1,
+                         rbb_id=int(RbbId.NETWORK), instance_id=0,
+                         command_code=int(CommandCode.MODULE_STATUS_READ),
+                         data=())
+    packet_fields.update(fields)
+    kernel.submit(CommandPacket(**packet_fields).encode())
+    return CommandPacket.decode(kernel.process_one())
+
+
+class TestKernelExecution:
+    def test_status_read_returns_named_registers(self):
+        response = roundtrip(make_kernel())
+        assert response.options == int(StatusCode.OK)
+        assert response.data == (0x1,)  # STAT_RX_STATUS reset value
+
+    def test_status_write_targets_control_registers(self):
+        kernel = make_kernel()
+        roundtrip(kernel, command_code=int(CommandCode.MODULE_STATUS_WRITE), data=(0x3,))
+        endpoint = kernel.endpoint(int(RbbId.NETWORK), 0)
+        assert endpoint.regfile.register("CTRL_RX").value == 0x3
+
+    def test_module_init_runs_sequence(self):
+        kernel = make_kernel()
+        response = roundtrip(kernel, command_code=int(CommandCode.MODULE_INIT))
+        assert response.options == int(StatusCode.OK)
+        assert kernel.endpoint(int(RbbId.NETWORK), 0).init_runs == 1
+
+    def test_module_reset_restores_defaults(self):
+        kernel = make_kernel()
+        endpoint = kernel.endpoint(int(RbbId.NETWORK), 0)
+        endpoint.regfile.write_by_name("CTRL_RX", 0x7)
+        roundtrip(kernel, command_code=int(CommandCode.MODULE_RESET))
+        assert endpoint.regfile.register("CTRL_RX").value == 0
+        assert endpoint.resets == 1
+
+    def test_table_write_then_read(self):
+        kernel = make_kernel()
+        roundtrip(kernel, command_code=int(CommandCode.TABLE_WRITE), data=(10, 100, 20, 200))
+        response = roundtrip(kernel, command_code=int(CommandCode.TABLE_READ),
+                             data=(10, 20, 30))
+        assert response.data == (100, 200, 0)
+
+    def test_flash_erase_only_on_flash(self):
+        kernel = make_kernel()
+        ok = roundtrip(kernel, rbb_id=int(RbbId.MANAGEMENT), instance_id=0,
+                       command_code=int(CommandCode.FLASH_ERASE), data=(4,))
+        assert ok.options == int(StatusCode.OK)
+        bad = roundtrip(kernel, command_code=int(CommandCode.FLASH_ERASE), data=(4,))
+        assert bad.options == int(StatusCode.EXECUTION_FAILED)
+
+    def test_sensor_read_returns_environment(self):
+        response = roundtrip(make_kernel(), rbb_id=int(RbbId.MANAGEMENT), instance_id=1,
+                             command_code=int(CommandCode.SENSOR_READ))
+        temperature, vccint, vccaux = response.data
+        assert 0 < temperature < 100
+        assert vccint == 850
+
+    def test_time_count_increments(self):
+        kernel = make_kernel()
+        first = roundtrip(kernel, command_code=int(CommandCode.TIME_COUNT))
+        second = roundtrip(kernel, command_code=int(CommandCode.TIME_COUNT))
+        assert second.data[0] == first.data[0] + 1
+
+    def test_queue_enable_disable(self):
+        kernel = make_kernel()
+        roundtrip(kernel, command_code=int(CommandCode.QUEUE_ENABLE), data=(3, 4))
+        endpoint = kernel.endpoint(int(RbbId.NETWORK), 0)
+        assert endpoint.table[0x1_0003] == 1
+        roundtrip(kernel, command_code=int(CommandCode.QUEUE_DISABLE), data=(3,))
+        assert endpoint.table[0x1_0003] == 0
+
+    def test_unknown_module_reports_status(self):
+        response = roundtrip(make_kernel(), rbb_id=0x7F)
+        assert response.options == int(StatusCode.UNKNOWN_MODULE)
+
+    def test_unknown_command_reports_failure(self):
+        response = roundtrip(make_kernel(), command_code=0x1FFF)
+        assert response.options == int(StatusCode.EXECUTION_FAILED)
+
+    def test_custom_hook_takes_precedence(self):
+        kernel = make_kernel()
+        endpoint = kernel.endpoint(int(RbbId.NETWORK), 0)
+        endpoint.hooks[int(CommandCode.MODULE_STATUS_READ)] = lambda packet: (0xCAFE,)
+        assert roundtrip(kernel).data == (0xCAFE,)
+
+    def test_duplicate_registration_rejected(self):
+        kernel = make_kernel()
+        with pytest.raises(CommandError, match="already registered"):
+            kernel.register_module(int(RbbId.NETWORK), 0,
+                                   ModuleEndpoint("dup", xilinx_cmac_100g().register_file()))
+
+    def test_process_all_drains_buffer(self):
+        kernel = make_kernel()
+        for _ in range(3):
+            kernel.submit(CommandPacket(
+                src_id=1, dst_id=1, rbb_id=int(RbbId.NETWORK), instance_id=0,
+                command_code=int(CommandCode.MODULE_STATUS_READ)).encode())
+        assert len(kernel.process_all()) == 3
+        assert kernel.process_one() is None
+
+    def test_statistics_track_outcomes(self):
+        kernel = make_kernel()
+        roundtrip(kernel)
+        roundtrip(kernel, rbb_id=0x7F)
+        assert kernel.commands_executed == 1
+        assert kernel.commands_failed == 1
+
+
+class TestCommandDriver:
+    def test_cmd_read_write_roundtrip(self):
+        kernel = make_kernel()
+        driver = CommandDriver(kernel)
+        write = driver.cmd_write(CommandCode.MODULE_INIT, int(RbbId.NETWORK))
+        read = driver.cmd_read(CommandCode.MODULE_STATUS_READ, int(RbbId.NETWORK))
+        assert write.ok and read.ok
+        assert driver.invocation_count == 2
+
+    def test_responses_routed_by_src_id(self):
+        kernel = make_kernel()
+        app = CommandDriver(kernel, src_id=SrcId.HOST_APPLICATION)
+        tool = CommandDriver(kernel, src_id=SrcId.STANDALONE_TOOL)
+        app.cmd_read(CommandCode.MODULE_STATUS_READ, int(RbbId.NETWORK))
+        tool.cmd_read(CommandCode.MODULE_STATUS_READ, int(RbbId.NETWORK))
+        assert int(SrcId.HOST_APPLICATION) in app.responses_by_src
+        assert int(SrcId.STANDALONE_TOOL) in tool.responses_by_src
+
+    def test_invocation_signatures_include_payload(self):
+        driver = CommandDriver(make_kernel())
+        driver.cmd_write(CommandCode.TABLE_WRITE, int(RbbId.NETWORK), data=(1, 2))
+        kind, code, rbb, instance, data = driver.invocations[0]
+        assert (kind, code, data) == ("cmd_write", int(CommandCode.TABLE_WRITE), (1, 2))
+
+
+class TestRegisterDriver:
+    def test_operations_logged(self):
+        mac = xilinx_cmac_100g()
+        driver = RegisterDriver()
+        driver.attach("mac", mac.register_file())
+        driver.reg_write("mac", "CTRL_RX", 1)
+        driver.reg_read("mac", "CTRL_RX")
+        assert driver.operation_count == 2
+        assert driver.operations[0] == ("write", "mac", "CTRL_RX", 1)
+
+    def test_init_program_ops_counted_individually(self):
+        mac = xilinx_cmac_100g()
+        driver = RegisterDriver()
+        driver.attach("mac", mac.register_file())
+        executed = driver.run_init_program("mac", mac.init_sequence())
+        assert executed == driver.operation_count
+        assert executed >= len(mac.init_sequence())
+
+    def test_unattached_module_raises(self):
+        with pytest.raises(CommandError):
+            RegisterDriver().reg_read("ghost", "CTRL")
+
+    def test_duplicate_attach_rejected(self):
+        driver = RegisterDriver()
+        driver.attach("mac", xilinx_cmac_100g().register_file())
+        with pytest.raises(CommandError):
+            driver.attach("mac", xilinx_cmac_100g().register_file())

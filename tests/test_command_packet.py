@@ -1,0 +1,137 @@
+"""Tests for the byte-exact command packet format (paper Figure 9)."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.command.codes import CommandCode, DstId, SrcId
+from repro.core.command.packet import COMMAND_VERSION, CommandPacket, HEADER_WORDS
+from repro.errors import ChecksumError, CommandError
+
+
+def make_packet(**overrides):
+    fields = dict(src_id=int(SrcId.HOST_APPLICATION), dst_id=int(DstId.UNIFIED_CONTROL_KERNEL),
+                  rbb_id=1, instance_id=0, command_code=int(CommandCode.MODULE_INIT),
+                  options=0, data=())
+    fields.update(overrides)
+    return CommandPacket(**fields)
+
+
+class TestEncoding:
+    def test_wire_length(self):
+        packet = make_packet(data=(1, 2, 3))
+        assert len(packet.encode()) == (HEADER_WORDS + 3 + 1) * 4
+        assert packet.total_bytes == 28
+
+    def test_lengths_in_four_byte_units(self):
+        packet = make_packet(data=(7,))
+        assert packet.header_len_words == 3
+        assert packet.payload_len_words == 1
+
+    def test_word0_field_packing(self):
+        packet = make_packet(src_id=0xAB, dst_id=0xCD)
+        word0 = struct.unpack(">I", packet.encode()[:4])[0]
+        assert word0 >> 28 == COMMAND_VERSION
+        assert (word0 >> 24) & 0xF == HEADER_WORDS
+        assert (word0 >> 8) & 0xFF == 0xAB
+        assert word0 & 0xFF == 0xCD
+
+    def test_word1_field_packing(self):
+        packet = make_packet(rbb_id=0x12, instance_id=0x34, command_code=0x5678)
+        word1 = struct.unpack(">I", packet.encode()[4:8])[0]
+        assert word1 == 0x1234_5678
+
+    def test_words_sum_to_zero_with_checksum(self):
+        raw = make_packet(data=(0xDEAD_BEEF, 5)).encode()
+        words = struct.unpack(f">{len(raw) // 4}I", raw)
+        assert sum(words) & 0xFFFF_FFFF == 0
+
+
+class TestDecoding:
+    def test_roundtrip(self):
+        packet = make_packet(data=(1, 0xFFFF_FFFF), options=0x42)
+        assert CommandPacket.decode(packet.encode()) == packet
+
+    def test_corrupted_byte_fails_checksum(self):
+        raw = bytearray(make_packet(data=(9,)).encode())
+        raw[10] ^= 0x01
+        with pytest.raises(ChecksumError):
+            CommandPacket.decode(bytes(raw))
+
+    def test_truncated_packet_rejected(self):
+        raw = make_packet().encode()
+        with pytest.raises(CommandError, match="shorter"):
+            CommandPacket.decode(raw[:8])
+
+    def test_misaligned_length_rejected(self):
+        raw = make_packet().encode() + b"\x00"
+        with pytest.raises(CommandError, match="aligned"):
+            CommandPacket.decode(raw)
+
+    def test_length_field_mismatch_rejected(self):
+        # Claim one payload word but carry none.
+        packet = make_packet(data=(5,))
+        raw = bytearray(packet.encode())
+        del raw[12:16]  # drop the data word; lengths now lie
+        with pytest.raises(CommandError):
+            CommandPacket.decode(bytes(raw))
+
+
+class TestValidation:
+    def test_field_width_limits(self):
+        with pytest.raises(CommandError):
+            make_packet(src_id=256)
+        with pytest.raises(CommandError):
+            make_packet(command_code=1 << 16)
+        with pytest.raises(CommandError):
+            make_packet(options=1 << 32)
+
+    def test_payload_limit_is_255_words(self):
+        make_packet(data=tuple(range(255)))  # fits
+        with pytest.raises(CommandError, match="PayloadLen"):
+            make_packet(data=tuple(range(256)))
+
+    def test_data_words_must_be_32_bit(self):
+        with pytest.raises(CommandError):
+            make_packet(data=(1 << 32,))
+
+    def test_version_is_four_bits(self):
+        with pytest.raises(CommandError):
+            make_packet(version=16)
+
+
+class TestResponse:
+    def test_response_swaps_direction_and_keeps_srcid_as_dst(self):
+        request = make_packet(src_id=int(SrcId.STANDALONE_TOOL))
+        response = request.response(data=(1,), status=0)
+        assert response.dst_id == int(SrcId.STANDALONE_TOOL)
+        assert response.src_id == 0x80
+        assert response.command_code == request.command_code
+
+    def test_response_carries_status_in_options(self):
+        assert make_packet().response(status=3).options == 3
+
+
+@given(
+    src_id=st.integers(0, 255), dst_id=st.integers(0, 255),
+    rbb_id=st.integers(0, 255), instance_id=st.integers(0, 255),
+    command_code=st.integers(0, 0xFFFF), options=st.integers(0, 0xFFFF_FFFF),
+    data=st.lists(st.integers(0, 0xFFFF_FFFF), max_size=32).map(tuple),
+)
+def test_encode_decode_roundtrip_property(src_id, dst_id, rbb_id, instance_id,
+                                          command_code, options, data):
+    packet = CommandPacket(src_id=src_id, dst_id=dst_id, rbb_id=rbb_id,
+                           instance_id=instance_id, command_code=command_code,
+                           options=options, data=data)
+    assert CommandPacket.decode(packet.encode()) == packet
+
+
+@given(data=st.lists(st.integers(0, 0xFFFF_FFFF), max_size=16).map(tuple),
+       flip_bit=st.integers(0, 7), flip_byte_fraction=st.floats(0.0, 0.999))
+def test_any_single_bit_flip_is_detected(data, flip_bit, flip_byte_fraction):
+    raw = bytearray(make_packet(data=data).encode())
+    position = int(flip_byte_fraction * len(raw))
+    raw[position] ^= 1 << flip_bit
+    with pytest.raises((ChecksumError, CommandError)):
+        CommandPacket.decode(bytes(raw))

@@ -1,0 +1,89 @@
+"""Tests for the parameterised clock-domain crossing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rbb.cdc import (
+    CdcEndpoint,
+    ParamClockDomainCrossing,
+    matching_user_width,
+)
+from repro.errors import ConfigurationError
+from repro.sim.clock import ClockDomain
+from repro.sim.pipeline import PipelineChain, PipelineStage, run_packet_sweep
+
+
+def make_cdc(src_mhz=322.265625, src_bits=512, dst_mhz=250.0, dst_bits=1_024):
+    return ParamClockDomainCrossing(
+        "cdc",
+        CdcEndpoint(ClockDomain("src", src_mhz), src_bits),
+        CdcEndpoint(ClockDomain("dst", dst_mhz), dst_bits),
+    )
+
+
+class TestLosslessRule:
+    def test_paper_rule_s_m_equals_r_u(self):
+        # 500 MHz x 512 b == 250 MHz x 1024 b.
+        assert make_cdc(500.0, 512, 250.0, 1_024).is_lossless
+
+    def test_faster_destination_also_lossless(self):
+        assert make_cdc(250.0, 512, 500.0, 512).is_lossless
+
+    def test_slower_destination_lossy(self):
+        cdc = make_cdc(500.0, 512, 250.0, 512)
+        assert not cdc.is_lossless
+        with pytest.raises(ConfigurationError, match="loses bandwidth"):
+            cdc.require_lossless()
+
+    def test_width_ratio(self):
+        assert make_cdc(dst_bits=1_024, src_bits=512).width_ratio == 2.0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParamClockDomainCrossing(
+                "bad",
+                CdcEndpoint(ClockDomain("s", 100.0), 0),
+                CdcEndpoint(ClockDomain("d", 100.0), 512),
+            )
+
+    @given(src_mhz=st.floats(50.0, 1_000.0), src_bits=st.sampled_from([128, 512, 2_048]),
+           dst_mhz=st.floats(50.0, 1_000.0))
+    def test_matching_user_width_always_lossless(self, src_mhz, src_bits, dst_mhz):
+        width = matching_user_width(src_mhz, src_bits, dst_mhz)
+        cdc = ParamClockDomainCrossing(
+            "c",
+            CdcEndpoint(ClockDomain("s", src_mhz), src_bits),
+            CdcEndpoint(ClockDomain("d", dst_mhz), width),
+        )
+        assert cdc.is_lossless
+        # And it is minimal among powers of two.
+        if width > 1:
+            assert dst_mhz * (width // 2) < src_mhz * src_bits * 1.0000001
+
+
+class TestTiming:
+    def test_latency_counts_destination_cycles(self):
+        cdc = make_cdc(dst_mhz=100.0)
+        # 2 sync stages + 1 output register at 10 ns.
+        assert cdc.added_latency_ps == 30_000
+
+    def test_stage_runs_at_destination(self):
+        cdc = make_cdc(dst_mhz=250.0, dst_bits=1_024)
+        stage = cdc.stage()
+        assert stage.clock.freq_mhz == 250.0
+        assert stage.data_width_bits == 1_024
+
+    def test_lossless_crossing_preserves_chain_throughput(self):
+        source = PipelineStage("src", ClockDomain("s", 322.265625), 512, latency_cycles=4)
+        cdc = make_cdc()
+        base = PipelineChain("base", [source])
+        crossed = PipelineChain("crossed", [source, cdc.stage()])
+        base_tpt, _ = run_packet_sweep(base, 1_024, 500)
+        crossed_tpt, _ = run_packet_sweep(crossed, 1_024, 500)
+        assert crossed_tpt == pytest.approx(base_tpt, rel=0.02)
+
+    def test_lossy_crossing_becomes_bottleneck(self):
+        source = PipelineStage("src", ClockDomain("s", 500.0), 512, latency_cycles=4)
+        cdc = make_cdc(500.0, 512, 125.0, 512)
+        chain = PipelineChain("lossy", [source, cdc.stage()])
+        assert chain.bandwidth_bps() == pytest.approx(125e6 * 512)

@@ -1,0 +1,117 @@
+"""Tests for the Host RBB: multi-queue isolation and scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rbb.host import (
+    DEFAULT_QUEUE_COUNT,
+    DmaDescriptor,
+    HostRbb,
+    MultiQueueScheduler,
+)
+from repro.errors import ConfigurationError
+from repro.platform.device import PcieGeneration
+from repro.platform.vendor import Vendor
+
+
+class TestMultiQueueScheduler:
+    def test_default_provides_1k_queues(self):
+        # The paper's Ex-function provides 1K DMA queues.
+        assert MultiQueueScheduler().queue_count == 1_024 == DEFAULT_QUEUE_COUNT
+
+    def test_fifo_within_queue(self):
+        scheduler = MultiQueueScheduler(tenants=1)
+        scheduler.submit(DmaDescriptor(queue_id=3, size_bytes=1))
+        scheduler.submit(DmaDescriptor(queue_id=3, size_bytes=2))
+        assert scheduler.schedule().size_bytes == 1
+        assert scheduler.schedule().size_bytes == 2
+
+    def test_round_robin_across_queues(self):
+        scheduler = MultiQueueScheduler(tenants=1)
+        for queue in (0, 1):
+            for size in (queue * 10 + 1, queue * 10 + 2):
+                scheduler.submit(DmaDescriptor(queue_id=queue, size_bytes=size))
+        order = [scheduler.schedule().size_bytes for _ in range(4)]
+        assert order == [1, 11, 2, 12]
+
+    def test_only_active_queues_visited(self):
+        # The paper's scheduling-rate claim: cost scales with *active*
+        # queues, not the 1K total.
+        scheduler = MultiQueueScheduler(tenants=1)
+        for _ in range(5):
+            scheduler.submit(DmaDescriptor(queue_id=7, size_bytes=64))
+        scheduler.drain()
+        assert scheduler.queue_visits <= 6  # never sweeps all 1024 queues
+
+    def test_cross_tenant_submission_rejected(self):
+        scheduler = MultiQueueScheduler(queue_count=64, tenants=4)
+        foreign_queue = scheduler.queues_of_tenant(2)[0]
+        with pytest.raises(ConfigurationError, match="may not use"):
+            scheduler.submit(
+                DmaDescriptor(queue_id=foreign_queue, size_bytes=64, tenant_id=0)
+            )
+
+    def test_schedule_empty_returns_none(self):
+        assert MultiQueueScheduler().schedule() is None
+
+    def test_active_count_tracks_nonempty_queues(self):
+        scheduler = MultiQueueScheduler(tenants=1)
+        scheduler.submit(DmaDescriptor(queue_id=0, size_bytes=64))
+        scheduler.submit(DmaDescriptor(queue_id=1, size_bytes=64))
+        assert scheduler.active_queue_count == 2
+        scheduler.drain()
+        assert scheduler.active_queue_count == 0
+
+    def test_depth(self):
+        scheduler = MultiQueueScheduler(tenants=1)
+        scheduler.submit(DmaDescriptor(queue_id=5, size_bytes=64))
+        assert scheduler.depth(5) == 1
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiQueueScheduler(queue_count=2, tenants=4)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 4)), max_size=40))
+    def test_drain_returns_everything_exactly_once(self, submissions):
+        scheduler = MultiQueueScheduler(queue_count=16, tenants=4)
+        expected = 0
+        for tenant, burst in submissions:
+            queue = scheduler.queues_of_tenant(tenant)[0]
+            for _ in range(burst):
+                scheduler.submit(
+                    DmaDescriptor(queue_id=queue, size_bytes=64, tenant_id=tenant)
+                )
+                expected += 1
+        assert len(scheduler.drain()) == expected
+        assert scheduler.schedule() is None
+
+
+class TestHostRbb:
+    def test_instance_for_transfer_styles(self):
+        rbb = HostRbb()
+        assert rbb.instance_for_transfer(bulk=True, vendor=Vendor.XILINX) == "bdma-xilinx"
+        assert rbb.instance_for_transfer(bulk=False, vendor=Vendor.XILINX) == "sgdma-xilinx"
+        assert rbb.instance_for_transfer(bulk=False, vendor=Vendor.INTEL) == "sgdma-intel"
+
+    def test_transfer_moves_all_descriptors(self):
+        rbb = HostRbb(tenants=2)
+        queue = rbb.scheduler.queues_of_tenant(1)[0]
+        count, total = rbb.transfer(
+            [DmaDescriptor(queue_id=queue, size_bytes=512, tenant_id=1)
+             for _ in range(10)]
+        )
+        assert count == 10
+        assert total == 5_120
+        assert rbb.counters["transferred_bytes"] == 5_120
+
+    def test_generation_sets_instance_clock(self):
+        gen3 = HostRbb(generation=PcieGeneration.GEN3)
+        gen4 = HostRbb(generation=PcieGeneration.GEN4)
+        assert (gen4._instances["sgdma-xilinx"].clock.freq_mhz
+                == 2 * gen3._instances["sgdma-xilinx"].clock.freq_mhz)
+
+    def test_monitoring_gauges(self):
+        rbb = HostRbb()
+        rbb.transfer([DmaDescriptor(queue_id=0, size_bytes=64)])
+        assert "active_queues" in rbb.gauges

@@ -1,0 +1,147 @@
+"""Tests for the four-stage application lifecycle and multi-tenancy."""
+
+import pytest
+
+from repro.core.lifecycle import (
+    ApplicationProject,
+    Lifecycle,
+    PocEstimate,
+    Stage,
+)
+from repro.core.multitenancy import (
+    PartialReconfigManager,
+    PrSlot,
+    SlotState,
+    even_slot_budgets,
+)
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.errors import ConfigurationError, DeploymentError, ResourceExhaustedError
+from repro.metrics.resources import ResourceBudget, ResourceUsage
+from repro.platform.catalog import DEVICE_A
+
+
+def make_role(lut=40_000):
+    return Role("app", Architecture.BUMP_IN_THE_WIRE,
+                RoleDemands(network_gbps=100.0, host_gbps=16.0),
+                resources=ResourceUsage(lut=lut, ff=lut))
+
+
+def make_project(bottleneck=0.7, speedup=10.0, lut=40_000):
+    return ApplicationProject(role=make_role(lut), device=DEVICE_A,
+                              poc=PocEstimate(bottleneck, speedup))
+
+
+class TestPocEstimate:
+    def test_amdahl_speedup(self):
+        poc = PocEstimate(bottleneck_fraction=0.5, offload_speedup=10.0)
+        assert poc.end_to_end_speedup == pytest.approx(1 / 0.55)
+
+    def test_full_offload(self):
+        assert PocEstimate(1.0, 4.0).end_to_end_speedup == pytest.approx(4.0)
+
+    def test_worthwhile_gate(self):
+        assert PocEstimate(0.9, 10.0).is_worthwhile()
+        assert not PocEstimate(0.1, 10.0).is_worthwhile()
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            PocEstimate(0.0, 2.0)
+        with pytest.raises(ValueError):
+            PocEstimate(0.5, 0.9)
+
+
+class TestLifecycle:
+    def test_full_pipeline(self):
+        project = Lifecycle(DEVICE_A).run_all(make_project(), "cluster-1")
+        assert project.deployed_cluster == "cluster-1"
+        assert [record.stage for record in project.records] == list(Stage)
+        assert all(record.passed for record in project.records)
+
+    def test_weak_poc_stops_at_stage_one(self):
+        project = make_project(bottleneck=0.1)
+        with pytest.raises(DeploymentError, match="too small"):
+            Lifecycle(DEVICE_A).run_all(project, "cluster-1")
+        assert project.records[-1].stage is Stage.REQUIREMENT_ANALYSIS
+        assert not project.records[-1].passed
+
+    def test_oversized_role_fails_at_build(self):
+        project = make_project(lut=900_000)
+        lifecycle = Lifecycle(DEVICE_A)
+        lifecycle.run_requirement_analysis(project)
+        with pytest.raises(DeploymentError, match="does not fit"):
+            lifecycle.run_design_development(project)
+
+    def test_cannot_deploy_before_testing(self):
+        project = make_project()
+        lifecycle = Lifecycle(DEVICE_A)
+        lifecycle.run_requirement_analysis(project)
+        lifecycle.run_design_development(project)
+        with pytest.raises(DeploymentError, match="before integration test"):
+            lifecycle.run_deployment(project, "cluster-1")
+
+    def test_design_stage_produces_bundle_and_shell(self):
+        project = make_project()
+        lifecycle = Lifecycle(DEVICE_A)
+        lifecycle.run_requirement_analysis(project)
+        lifecycle.run_design_development(project)
+        assert project.bundle is not None
+        assert project.tailored_shell is not None
+        assert set(project.tailored_shell.rbbs) == {"network", "host"}
+
+
+class TestPartialReconfig:
+    def _manager(self, slots=2):
+        return PartialReconfigManager(even_slot_budgets(DEVICE_A.budget, slots))
+
+    def test_load_activates_slot(self):
+        manager = self._manager()
+        slot = manager.load("tenant-a", make_role())
+        assert slot.state is SlotState.ACTIVE
+        assert manager.tenants() == {slot.index: "tenant-a"}
+
+    def test_unload_frees_slot(self):
+        manager = self._manager()
+        slot = manager.load("tenant-a", make_role())
+        manager.unload(slot.index)
+        assert slot.state is SlotState.EMPTY
+        assert manager.active_count() == 0
+
+    def test_slot_reuse_counts_reconfigurations(self):
+        manager = self._manager()
+        slot = manager.load("a", make_role())
+        manager.unload(slot.index)
+        manager.load("b", make_role(), slot_index=slot.index)
+        assert slot.reconfigurations == 2
+
+    def test_role_too_big_for_slot_rejected(self):
+        manager = self._manager(slots=4)
+        with pytest.raises(ResourceExhaustedError):
+            manager.load("t", make_role(lut=800_000))
+
+    def test_occupied_slot_rejected(self):
+        manager = self._manager()
+        slot = manager.load("a", make_role())
+        with pytest.raises(ConfigurationError, match="not empty"):
+            manager.load("b", make_role(), slot_index=slot.index)
+
+    def test_unload_empty_slot_rejected(self):
+        with pytest.raises(ConfigurationError, match="no active tenant"):
+            self._manager().unload(0)
+
+    def test_slots_fill_in_order(self):
+        manager = self._manager(slots=3)
+        indices = [manager.load(f"t{i}", make_role()).index for i in range(3)]
+        assert indices == [0, 1, 2]
+
+    def test_even_budgets_respect_role_fraction(self):
+        budgets = even_slot_budgets(DEVICE_A.budget, 4, role_fraction=0.6)
+        assert len(budgets) == 4
+        assert budgets[0].lut == int(DEVICE_A.budget.lut * 0.15)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            even_slot_budgets(DEVICE_A.budget, 0)
+        with pytest.raises(ConfigurationError):
+            even_slot_budgets(DEVICE_A.budget, 2, role_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            PartialReconfigManager([])

@@ -1,0 +1,167 @@
+"""Tests for the Memory RBB: interleaving, hot cache, bank timing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rbb.memory import (
+    AddressInterleaver,
+    HotCache,
+    MemoryAccess,
+    MemoryRbb,
+)
+from repro.errors import ConfigurationError
+from repro.hw.ip.ddr import DDR4_2400
+from repro.platform.vendor import Vendor
+
+
+def sequential_accesses(count, stride=64):
+    return [MemoryAccess(address=index * stride) for index in range(count)]
+
+
+def random_accesses(count, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    return [MemoryAccess(address=rng.randrange(0, 1 << 30, 64)) for _ in range(count)]
+
+
+class TestAddressInterleaver:
+    def test_interleaving_spreads_consecutive_rows(self):
+        interleaver = AddressInterleaver(DDR4_2400, channels=1, enabled=True)
+        groups = {interleaver.map(row * DDR4_2400.row_bytes)[1] for row in range(16)}
+        assert len(groups) == DDR4_2400.bank_groups
+
+    def test_no_interleaving_piles_into_one_group(self):
+        interleaver = AddressInterleaver(DDR4_2400, channels=1, enabled=False)
+        groups = {interleaver.map(row * DDR4_2400.row_bytes)[1] for row in range(16)}
+        assert len(groups) == 1
+
+    def test_mapping_deterministic(self):
+        interleaver = AddressInterleaver(DDR4_2400, channels=4)
+        assert interleaver.map(0x1234_0000) == interleaver.map(0x1234_0000)
+
+    @given(address=st.integers(0, 1 << 34))
+    def test_mapping_within_geometry(self, address):
+        interleaver = AddressInterleaver(DDR4_2400, channels=32)
+        channel, group, bank, row = interleaver.map(address)
+        assert 0 <= channel < 32
+        assert 0 <= group < DDR4_2400.bank_groups
+        assert 0 <= bank < DDR4_2400.banks_per_group
+        assert row >= 0
+
+
+class TestHotCache:
+    def test_second_read_hits(self):
+        cache = HotCache(lines=64)
+        assert cache.lookup(0x1000, is_write=False) is False
+        assert cache.lookup(0x1000, is_write=False) is True
+
+    def test_write_allocates_but_does_not_hit(self):
+        cache = HotCache(lines=64)
+        cache.lookup(0x1000, is_write=True)
+        assert cache.lookup(0x1000, is_write=True) is False
+        assert cache.lookup(0x1000, is_write=False) is True
+
+    def test_conflicting_lines_evict(self):
+        cache = HotCache(lines=4, line_bytes=64)
+        cache.lookup(0, is_write=False)
+        cache.lookup(4 * 64, is_write=False)  # same index, different tag
+        assert cache.lookup(0, is_write=False) is False
+
+    def test_disabled_cache_never_hits(self):
+        cache = HotCache(enabled=False)
+        cache.lookup(0, False)
+        assert cache.lookup(0, False) is False
+
+    def test_flush(self):
+        cache = HotCache()
+        cache.lookup(0, False)
+        cache.flush()
+        assert cache.lookup(0, False) is False
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotCache(lines=0)
+
+
+class TestMemoryRbb:
+    def test_channel_count_follows_instance(self):
+        rbb = MemoryRbb()
+        assert rbb.channel_count == 1
+        rbb.select_instance("hbm-xilinx")
+        assert rbb.channel_count == 32
+
+    def test_instance_for_bandwidth(self):
+        rbb = MemoryRbb()
+        assert rbb.instance_for_bandwidth(19.0, Vendor.XILINX) == "ddr4-xilinx"
+        assert rbb.instance_for_bandwidth(200.0, Vendor.XILINX) == "hbm-xilinx"
+        assert rbb.instance_for_bandwidth(19.0, Vendor.INTEL) == "ddr4-intel"
+
+    def test_unsatisfiable_bandwidth_raises(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRbb().instance_for_bandwidth(10_000.0, Vendor.INTEL)
+
+    def test_sequential_beats_random(self):
+        rbb = MemoryRbb()
+        rbb.ex_functions["hot_cache"].enabled = False
+        seq = rbb.run_accesses(sequential_accesses(2_000))
+        rnd = MemoryRbb().run_accesses(random_accesses(2_000))
+        assert seq.bandwidth_gbps > 1.5 * rnd.bandwidth_gbps
+
+    def test_sequential_mostly_row_hits(self):
+        rbb = MemoryRbb()
+        rbb.ex_functions["hot_cache"].enabled = False
+        result = rbb.run_accesses(sequential_accesses(1_000))
+        assert result.row_hits > 0.8 * (result.row_hits + result.row_misses)
+
+    def test_random_mostly_row_misses(self):
+        rbb = MemoryRbb()
+        rbb.ex_functions["hot_cache"].enabled = False
+        result = rbb.run_accesses(random_accesses(1_000))
+        assert result.row_misses > 0.8 * (result.row_hits + result.row_misses)
+
+    def test_hot_cache_accelerates_reuse(self):
+        pattern = [MemoryAccess(address=(index % 8) * 64) for index in range(1_000)]
+        cached = MemoryRbb()
+        cached.ex_functions["hot_cache"].enabled = True
+        uncached = MemoryRbb()
+        uncached.ex_functions["hot_cache"].enabled = False
+        fast = cached.run_accesses(list(pattern))
+        slow = uncached.run_accesses(list(pattern))
+        assert fast.cache_hits > 900
+        assert fast.total_ps < slow.total_ps
+
+    def test_interleaving_helps_strided_traffic(self):
+        # Row-granular strides hammer one bank group without interleaving.
+        stride = DDR4_2400.row_bytes
+        pattern = [MemoryAccess(address=index * stride) for index in range(2_000)]
+        on = MemoryRbb()
+        on.ex_functions["hot_cache"].enabled = False
+        on.interleaver.enabled = True
+        off = MemoryRbb()
+        off.ex_functions["hot_cache"].enabled = False
+        off.ex_functions["address_interleaving"].enabled = False
+        fast = on.run_accesses(list(pattern))
+        slow = off.run_accesses(list(pattern))
+        assert fast.total_ps < slow.total_ps
+
+    def test_hbm_channels_parallelise_random_traffic(self):
+        ddr = MemoryRbb()
+        ddr.ex_functions["hot_cache"].enabled = False
+        hbm = MemoryRbb()
+        hbm.select_instance("hbm-xilinx")
+        hbm.ex_functions["hot_cache"].enabled = False
+        ddr_result = ddr.run_accesses(random_accesses(2_000))
+        hbm_result = hbm.run_accesses(random_accesses(2_000))
+        assert hbm_result.bandwidth_gbps > 2 * ddr_result.bandwidth_gbps
+
+    def test_counters_updated(self):
+        rbb = MemoryRbb()
+        rbb.run_accesses([MemoryAccess(address=0, is_write=True),
+                          MemoryAccess(address=64)])
+        assert rbb.counters["writes"] == 1
+        assert rbb.counters["reads"] == 1
+
+    def test_accesses_per_second_positive(self):
+        result = MemoryRbb().run_accesses(sequential_accesses(100))
+        assert result.accesses_per_second() > 0

@@ -1,0 +1,190 @@
+"""Tests for the Network RBB: packet filter, flow director, monitoring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rbb.network import FlowDirector, NetworkRbb, PacketFilter
+from repro.errors import ConfigurationError, TailoringError
+from repro.platform.catalog import DEVICE_A, DEVICE_C
+from repro.platform.vendor import Vendor
+from repro.workloads.packets import FiveTuple, Packet, PacketGenerator
+
+LOCAL_MAC = 0x02_AA_BB_CC_DD_EE
+MULTICAST_MAC = (1 << 40) | 0x5E_00_00_00_01
+FOREIGN_MAC = 0x02_DE_AD_BE_EF_00
+
+
+def make_packet(dst_mac=LOCAL_MAC, tenant=0, flow_seed=0):
+    return Packet(flow=PacketGenerator().flow(flow_seed), size_bytes=256,
+                  dst_mac=dst_mac, tenant_id=tenant)
+
+
+class TestPacketFilter:
+    def test_local_unicast_passes(self):
+        assert PacketFilter([LOCAL_MAC]).admit(make_packet()) is True
+
+    def test_foreign_unicast_intercepted(self):
+        pfilter = PacketFilter([LOCAL_MAC])
+        assert pfilter.admit(make_packet(FOREIGN_MAC)) is False
+        assert pfilter.intercepted == 1
+
+    def test_multicast_needs_group_membership(self):
+        pfilter = PacketFilter([LOCAL_MAC])
+        assert pfilter.admit(make_packet(MULTICAST_MAC)) is False
+        pfilter.join_group(MULTICAST_MAC)
+        assert pfilter.admit(make_packet(MULTICAST_MAC)) is True
+
+    def test_leave_group_reinstates_filtering(self):
+        pfilter = PacketFilter([LOCAL_MAC])
+        pfilter.join_group(MULTICAST_MAC)
+        pfilter.leave_group(MULTICAST_MAC)
+        assert pfilter.admit(make_packet(MULTICAST_MAC)) is False
+
+    def test_needs_at_least_one_local_mac(self):
+        with pytest.raises(ConfigurationError):
+            PacketFilter([])
+
+
+class TestFlowDirector:
+    def test_same_flow_same_queue(self):
+        director = FlowDirector()
+        packet = make_packet()
+        assert director.direct(packet) == director.direct(packet)
+
+    def test_queue_stays_in_tenant_range(self):
+        director = FlowDirector(total_queues=64, tenants=4)
+        for seed in range(50):
+            for tenant in range(4):
+                packet = make_packet(tenant=tenant, flow_seed=seed)
+                start, end = director.queue_range(tenant)
+                assert start <= director.direct(packet) < end
+
+    def test_tenant_ranges_disjoint(self):
+        director = FlowDirector(total_queues=64, tenants=4)
+        ranges = [director.queue_range(t) for t in range(4)]
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert e1 == s2
+
+    def test_invalid_tenant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowDirector(tenants=2).queue_range(5)
+
+    def test_needs_queue_per_tenant(self):
+        with pytest.raises(ConfigurationError):
+            FlowDirector(total_queues=2, tenants=4)
+
+    @settings(max_examples=50)
+    @given(seed=st.integers(0, 10_000), tenant=st.integers(0, 7))
+    def test_isolation_property(self, seed, tenant):
+        director = FlowDirector(total_queues=1_024, tenants=8)
+        packet = make_packet(tenant=tenant, flow_seed=seed)
+        start, end = director.queue_range(tenant)
+        assert start <= director.direct(packet) < end
+
+
+class TestNetworkRbb:
+    def test_instance_catalog_spans_rates(self):
+        rbb = NetworkRbb()
+        rates = {rbb._instances[name].performance_gbps for name in rbb.instance_names}
+        assert {25.0, 100.0, 200.0, 400.0} <= rates
+
+    def test_instance_for_rate_picks_cheapest_sufficient(self):
+        rbb = NetworkRbb()
+        assert rbb.instance_for_rate(25.0, Vendor.XILINX) == "25g-xilinx"
+        assert rbb.instance_for_rate(100.0, Vendor.XILINX) == "100g-xilinx"
+        assert rbb.instance_for_rate(100.0, Vendor.INTEL) == "100g-intel"
+
+    def test_instance_for_rate_respects_device_cages(self):
+        rbb = NetworkRbb()
+        # Device C has DSFP cages: only the high-rate MACs fit, and the
+        # 200G tier is the cheapest sufficient one.
+        assert rbb.instance_for_rate(100.0, Vendor.INTEL, DEVICE_C) == "200g-inhouse"
+        assert rbb.instance_for_rate(400.0, Vendor.INTEL, DEVICE_C) == "400g-inhouse"
+        assert rbb.instance_for_rate(100.0, Vendor.XILINX, DEVICE_A) == "100g-xilinx"
+
+    def test_unsatisfiable_rate_raises(self):
+        with pytest.raises(ConfigurationError):
+            NetworkRbb().instance_for_rate(800.0, Vendor.XILINX)
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(TailoringError, match="available"):
+            NetworkRbb().select_instance("bogus")
+
+    def test_process_packets_filters_and_steers(self):
+        rbb = NetworkRbb(local_macs=[LOCAL_MAC], tenants=2)
+        packets = PacketGenerator().uniform_stream(
+            200, 256, foreign_fraction=0.3, tenant_count=2
+        )
+        admitted = rbb.process_packets(packets)
+        assert 0 < len(admitted) < len(packets)
+        assert rbb.counters["filtered_packets"] == len(packets) - len(admitted)
+        assert rbb.counters["rx_packets"] == len(packets)
+
+    def test_disabled_filter_admits_everything(self):
+        rbb = NetworkRbb(local_macs=[LOCAL_MAC])
+        rbb.disable_ex_function("packet_filter")
+        packets = PacketGenerator().uniform_stream(100, 256, foreign_fraction=0.5)
+        assert len(rbb.process_packets(packets)) == 100
+
+    def test_disabled_director_sends_all_to_queue_zero(self):
+        rbb = NetworkRbb(local_macs=[LOCAL_MAC])
+        rbb.disable_ex_function("flow_director")
+        admitted = rbb.process_packets(PacketGenerator().uniform_stream(50, 256))
+        assert all(queue == 0 for _, queue in admitted)
+
+    def test_monitoring_snapshot(self):
+        rbb = NetworkRbb(local_macs=[LOCAL_MAC])
+        rbb.process_packets(PacketGenerator().uniform_stream(10, 512))
+        snapshot = rbb.monitor_snapshot()
+        assert snapshot.counters["rx_bytes"] == 10 * 512
+        assert 0 < snapshot.gauges["queue_usage"] <= 1.0
+
+    def test_role_properties_shrink_when_exfns_disabled(self):
+        rbb = NetworkRbb()
+        full = len(rbb.role_properties())
+        rbb.disable_ex_function("packet_filter")
+        assert len(rbb.role_properties()) < full
+
+    def test_reg_interface_is_32_bit(self):
+        assert NetworkRbb.reg_width_bits == 32
+
+    def test_datapath_includes_exfn_stage_only_when_enabled(self):
+        rbb = NetworkRbb()
+        with_exfn = len(rbb.datapath_chain())
+        rbb.disable_ex_function("packet_filter")
+        rbb.disable_ex_function("flow_director")
+        assert len(rbb.datapath_chain()) == with_exfn - 1
+
+
+class TestIngressSimulation:
+    """The DES-backed ingress path behind the loss/queue monitors."""
+
+    def test_steady_line_rate_traffic_is_lossless(self):
+        rbb = NetworkRbb(local_macs=[LOCAL_MAC])
+        packets = PacketGenerator().uniform_stream(400, 512, line_rate_gbps=100.0)
+        result = rbb.simulate_ingress(packets)
+        assert result.dropped == 0
+        assert rbb.counters.get("rx_dropped", 0) == 0
+        assert rbb.gauges["ingress_loss_fraction"] == 0.0
+
+    def test_burst_into_shallow_fifo_records_loss(self):
+        rbb = NetworkRbb(local_macs=[LOCAL_MAC])
+        packets = PacketGenerator().uniform_stream(300, 1_024, line_rate_gbps=100.0)
+        for packet in packets:
+            packet.arrival_ps = 0   # one giant burst
+        result = rbb.simulate_ingress(packets, fifo_depth=16)
+        assert result.dropped > 0
+        assert rbb.counters["rx_dropped"] == result.dropped
+        assert rbb.gauges["ingress_loss_fraction"] > 0.0
+
+    def test_occupancy_gauge_reflects_pressure(self):
+        relaxed = NetworkRbb(local_macs=[LOCAL_MAC])
+        packets = PacketGenerator().uniform_stream(200, 512, line_rate_gbps=25.0)
+        relaxed.simulate_ingress(packets)
+        bursty = NetworkRbb(local_macs=[LOCAL_MAC])
+        burst = PacketGenerator().uniform_stream(200, 512, line_rate_gbps=100.0)
+        for packet in burst:
+            packet.arrival_ps = 0
+        bursty.simulate_ingress(burst)
+        assert (bursty.gauges["ingress_peak_occupancy"]
+                > relaxed.gauges["ingress_peak_occupancy"])

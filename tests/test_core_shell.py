@@ -1,0 +1,169 @@
+"""Tests for the unified shell abstraction and the RBB base class."""
+
+import pytest
+
+from repro.core.rbb.base import ExFunction, Rbb
+from repro.core.rbb.network import NetworkRbb
+from repro.core.shell import (
+    SHELL_INFRASTRUCTURE,
+    UnifiedShell,
+    build_unified_shell,
+)
+from repro.errors import ConfigurationError, TailoringError
+from repro.metrics.resources import ResourceUsage
+from repro.platform.catalog import DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D
+
+
+class TestRbbBase:
+    def test_needs_at_least_one_instance(self):
+        with pytest.raises(ConfigurationError):
+            Rbb("empty", {}, "none")
+
+    def test_default_instance_must_exist(self):
+        from repro.hw.ip.misc import sensor_block
+
+        with pytest.raises(ConfigurationError):
+            Rbb("r", {"a": sensor_block()}, "b")
+
+    def test_wrapped_cache_invalidated_on_reselect(self):
+        rbb = NetworkRbb()
+        first = rbb.wrapped
+        rbb.select_instance("100g-intel")
+        assert rbb.wrapped is not first
+        assert rbb.wrapped.ip is rbb.instance
+
+    def test_duplicate_ex_function_rejected(self):
+        rbb = NetworkRbb()
+        with pytest.raises(ConfigurationError):
+            rbb.add_ex_function(ExFunction("packet_filter", ResourceUsage()))
+
+    def test_disable_unknown_ex_function_raises(self):
+        with pytest.raises(TailoringError):
+            NetworkRbb().disable_ex_function("bogus")
+
+    def test_resources_shrink_when_exfn_disabled(self):
+        rbb = NetworkRbb()
+        full = rbb.resources()
+        rbb.disable_ex_function("flow_director")
+        assert rbb.resources().lut < full.lut
+
+    def test_loc_combines_instance_and_reusable(self):
+        rbb = NetworkRbb()
+        assert rbb.loc().handcraft == (
+            rbb.instance.loc.handcraft + rbb.reusable_loc.handcraft
+        )
+
+    def test_reset_monitoring(self):
+        rbb = NetworkRbb()
+        rbb._bump("rx_packets")
+        rbb.reset_monitoring()
+        assert rbb.counters == {}
+
+
+class TestUnifiedShellConstruction:
+    def test_device_a_gets_all_three_rbbs(self, unified_shell_a):
+        assert set(unified_shell_a.rbbs) == {"network", "memory", "host"}
+
+    def test_device_c_has_no_memory_rbb(self):
+        shell = build_unified_shell(DEVICE_C)
+        assert "memory" not in shell.rbbs
+        assert shell.memory is None
+
+    def test_instance_selection_follows_device(self):
+        assert build_unified_shell(DEVICE_A).memory.selected_instance_name == "hbm-xilinx"
+        assert build_unified_shell(DEVICE_D).memory.selected_instance_name == "ddr4-intel"
+        assert build_unified_shell(DEVICE_C).network.selected_instance_name == "200g-inhouse"
+        assert build_unified_shell(DEVICE_D).network.selected_instance_name == "100g-intel"
+
+    def test_host_rbb_always_present(self):
+        for device in (DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D):
+            assert build_unified_shell(device).host is not None
+
+    def test_management_blocks_follow_board_vendor(self):
+        shell = build_unified_shell(DEVICE_B)
+        assert all("inhouse" in ip.name for ip in shell.management)
+
+    def test_unknown_rbb_lookup_raises(self, unified_shell_a):
+        with pytest.raises(ConfigurationError):
+            unified_shell_a.rbb("bogus")
+
+
+class TestUnifiedShellAccounting:
+    def test_resources_include_infrastructure(self, unified_shell_a):
+        rbb_total = ResourceUsage.total(
+            rbb.resources() for rbb in unified_shell_a.rbbs.values()
+        )
+        assert unified_shell_a.resources().lut >= rbb_total.lut + SHELL_INFRASTRUCTURE.lut
+
+    def test_shell_fits_every_device(self):
+        for device in (DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D):
+            shell = build_unified_shell(device)
+            device.budget.check_fits(shell.resources(), design="unified shell")
+
+    def test_modules_lists_rbb_instances_and_management(self, unified_shell_a):
+        names = [ip.name for ip in unified_shell_a.modules()]
+        assert "xilinx-cmac-100g" in names
+        assert any(name.startswith("softcore") for name in names)
+
+    def test_wrapper_overhead_under_bound(self, unified_shell_a):
+        # Figure 16: interface wrappers below 0.37% of the device.
+        utilisation = DEVICE_A.budget.utilisation(unified_shell_a.wrapper_resources())
+        assert max(utilisation.values()) < 0.0037
+
+    def test_control_kernel_overhead_under_bound(self, unified_shell_a):
+        # Figure 16: unified control kernel below 0.67% of the device.
+        utilisation = DEVICE_A.budget.utilisation(
+            unified_shell_a.control_kernel_resources()
+        )
+        assert max(utilisation.values()) < 0.0067
+
+    def test_loc_positive(self, unified_shell_a):
+        assert unified_shell_a.loc().handcraft > 10_000
+
+    def test_native_config_items_sum_instances(self, unified_shell_a):
+        expected = sum(
+            rbb.instance.config_item_count for rbb in unified_shell_a.rbbs.values()
+        )
+        assert unified_shell_a.native_config_item_count() == expected
+
+
+class TestMonitorPublication:
+    """Data-plane counters reach the control plane's registers."""
+
+    def test_network_counters_land_in_stat_registers(self):
+        from repro.workloads.packets import PacketGenerator
+
+        rbb = NetworkRbb()
+        rbb.process_packets(PacketGenerator().uniform_stream(25, 512))
+        regfile = rbb.register_file()
+        updated = rbb.publish_monitors(regfile)
+        assert updated >= 4
+        assert regfile.read_by_name("STAT_RX_TOTAL_PACKETS") == 25
+        assert regfile.read_by_name("STAT_RX_TOTAL_BYTES") == 25 * 512
+
+    def test_status_read_command_returns_live_traffic(self):
+        from repro.core.command.codes import CommandCode, RbbId
+        from repro.core.command.driver import CommandDriver
+        from repro.core.host_software import ControlPlane
+        from repro.workloads.packets import PacketGenerator
+
+        shell = build_unified_shell(DEVICE_A)
+        network = shell.network
+        network.process_packets(PacketGenerator().uniform_stream(40, 256))
+        control = ControlPlane(shell)
+        endpoint = control.kernel.endpoint(int(RbbId.NETWORK), 0)
+        network.publish_monitors(endpoint.regfile)
+        result = CommandDriver(control.kernel).cmd_read(
+            CommandCode.MODULE_STATUS_READ, int(RbbId.NETWORK)
+        )
+        assert result.data[0] == 40
+
+    def test_memory_counters_published(self):
+        from repro.core.rbb.memory import MemoryAccess, MemoryRbb
+
+        rbb = MemoryRbb()
+        rbb.run_accesses([MemoryAccess(address=0), MemoryAccess(address=64, is_write=True)])
+        regfile = rbb.register_file()
+        rbb.publish_monitors(regfile)
+        assert regfile.read_by_name("STAT_READS") == 1
+        assert regfile.read_by_name("STAT_WRITES") == 1

@@ -1,0 +1,127 @@
+"""Tests for hierarchical shell tailoring (module + property level)."""
+
+import pytest
+
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.core.shell import build_unified_shell
+from repro.core.tailoring import HierarchicalTailor
+from repro.errors import TailoringError
+from repro.metrics.resources import reduction_fraction
+from repro.platform.catalog import DEVICE_A, DEVICE_C
+
+
+def make_role(name="role", **demand_kwargs):
+    return Role(name, Architecture.BUMP_IN_THE_WIRE, RoleDemands(**demand_kwargs))
+
+
+def tailor(device, role):
+    return HierarchicalTailor(build_unified_shell(device)).tailor(role)
+
+
+class TestModuleLevel:
+    def test_unneeded_rbbs_removed(self):
+        shell = tailor(DEVICE_A, make_role(network_gbps=100.0, host_gbps=16.0))
+        assert set(shell.rbbs) == {"network", "host"}
+
+    def test_look_aside_role_keeps_memory_and_host_only(self):
+        shell = tailor(DEVICE_A, make_role(memory_bandwidth_gibps=100.0, host_gbps=32.0))
+        assert set(shell.rbbs) == {"memory", "host"}
+
+    def test_no_demands_rejected(self):
+        with pytest.raises(TailoringError, match="no services"):
+            tailor(DEVICE_A, make_role())
+
+    def test_network_demand_on_networkless_device_would_fail(self):
+        # Device C has network; craft a role demanding more than the cages.
+        with pytest.raises(TailoringError, match="tops out"):
+            tailor(DEVICE_A, make_role(network_gbps=500.0, host_gbps=1.0))
+
+    def test_memory_demand_on_memoryless_device_fails(self):
+        with pytest.raises(TailoringError, match="no"):
+            tailor(DEVICE_C, make_role(memory_bandwidth_gibps=19.0, host_gbps=1.0))
+
+    def test_instance_selected_by_performance(self):
+        shell = tailor(DEVICE_A, make_role(network_gbps=25.0, host_gbps=16.0))
+        assert shell.rbbs["network"].selected_instance_name == "25g-xilinx"
+
+    def test_dma_engine_follows_transfer_style(self):
+        bulk = tailor(DEVICE_A, make_role(host_gbps=16.0, bulk_dma=True))
+        discrete = tailor(DEVICE_A, make_role(host_gbps=16.0, bulk_dma=False))
+        assert bulk.rbbs["host"].selected_instance_name == "bdma-xilinx"
+        assert discrete.rbbs["host"].selected_instance_name == "sgdma-xilinx"
+
+    def test_ex_functions_follow_feature_demands(self):
+        plain = tailor(DEVICE_A, make_role(network_gbps=100.0, host_gbps=16.0))
+        rich = tailor(DEVICE_A, make_role(
+            network_gbps=100.0, host_gbps=16.0,
+            needs_multicast=True, needs_flow_steering=True, tenants=4,
+        ))
+        assert not plain.rbbs["network"].ex_functions["packet_filter"].enabled
+        assert rich.rbbs["network"].ex_functions["packet_filter"].enabled
+        assert rich.rbbs["network"].ex_functions["flow_director"].enabled
+
+    def test_tailoring_does_not_mutate_unified_shell(self):
+        unified = build_unified_shell(DEVICE_A)
+        before = unified.resources()
+        HierarchicalTailor(unified).tailor(make_role(network_gbps=100.0, host_gbps=16.0))
+        assert unified.resources() == before
+        assert unified.network.ex_functions["packet_filter"].enabled
+
+    def test_two_roles_get_independent_shells(self):
+        unified = build_unified_shell(DEVICE_A)
+        tailor_obj = HierarchicalTailor(unified)
+        first = tailor_obj.tailor(make_role("a", network_gbps=100.0, host_gbps=16.0,
+                                            needs_multicast=True))
+        second = tailor_obj.tailor(make_role("b", network_gbps=100.0, host_gbps=16.0))
+        assert first.rbbs["network"] is not second.rbbs["network"]
+        assert first.rbbs["network"].ex_functions["packet_filter"].enabled
+        assert not second.rbbs["network"].ex_functions["packet_filter"].enabled
+
+
+class TestPropertyLevel:
+    def test_role_sees_far_fewer_items_than_native(self):
+        shell = tailor(DEVICE_A, make_role(network_gbps=100.0, host_gbps=16.0))
+        assert shell.role_config_item_count() < shell.native_config_item_count() / 5
+
+    def test_hidden_properties_are_shell_oriented(self):
+        shell = tailor(DEVICE_A, make_role(network_gbps=100.0, host_gbps=16.0))
+        total = (shell.role_config_item_count()
+                 + len(shell.shell_oriented_properties))
+        assert total >= shell.native_config_item_count()
+
+    def test_simplification_factor_in_paper_band(self):
+        # Figure 12: 8.8x-19.8x across the five applications.
+        from repro.apps import all_applications
+
+        factors = [
+            app.tailored_shell(DEVICE_A).config_simplification_factor()
+            for app in all_applications()
+        ]
+        assert min(factors) > 8.0
+        assert max(factors) < 20.0
+
+    def test_exposed_properties_are_namespaced(self):
+        shell = tailor(DEVICE_A, make_role(network_gbps=100.0, host_gbps=16.0))
+        assert all("." in prop for prop in shell.role_oriented_properties)
+
+
+class TestResourceReduction:
+    def test_tailored_never_exceeds_unified(self):
+        from repro.apps import all_applications
+
+        unified = build_unified_shell(DEVICE_A).resources()
+        for app in all_applications():
+            tailored = app.tailored_shell(DEVICE_A).resources()
+            assert tailored.lut <= unified.lut
+
+    def test_reduction_in_paper_band(self):
+        # Figure 11: 3%-25.1% resource reduction for the tailored shells.
+        from repro.apps import all_applications
+
+        unified = build_unified_shell(DEVICE_A).resources()
+        for app in all_applications():
+            if app.name == "board-test":
+                continue  # Figure 11 covers the Fig-11 application set
+            tailored = app.tailored_shell(DEVICE_A).resources()
+            reduction = reduction_fraction(unified, tailored)["lut"]
+            assert 0.03 <= reduction <= 0.27, (app.name, reduction)

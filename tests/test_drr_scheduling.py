@@ -1,0 +1,104 @@
+"""Tests for deficit-round-robin tenant scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rbb.host import DmaDescriptor
+from repro.core.rbb.scheduling import (
+    DEFAULT_QUANTUM_BYTES,
+    DeficitRoundRobinScheduler,
+)
+from repro.errors import ConfigurationError
+
+
+def flood(scheduler, tenant, count, size=1_024):
+    for _ in range(count):
+        scheduler.submit(DmaDescriptor(queue_id=0, size_bytes=size, tenant_id=tenant))
+
+
+class TestFairness:
+    def test_equal_weights_split_evenly(self):
+        scheduler = DeficitRoundRobinScheduler({0: 1, 1: 1})
+        flood(scheduler, 0, 400)
+        flood(scheduler, 1, 400)
+        # Look at shares while both are backlogged (first rounds only).
+        for _ in range(20):
+            scheduler.schedule_round()
+        shares = scheduler.service_shares()
+        assert shares[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_weights_proportion_service(self):
+        scheduler = DeficitRoundRobinScheduler({0: 3, 1: 1})
+        flood(scheduler, 0, 1_000)
+        flood(scheduler, 1, 1_000)
+        for _ in range(30):
+            scheduler.schedule_round()
+        shares = scheduler.service_shares()
+        assert shares[0] == pytest.approx(0.75, abs=0.05)
+
+    def test_work_conserving_when_one_tenant_idle(self):
+        scheduler = DeficitRoundRobinScheduler({0: 1, 1: 9})
+        flood(scheduler, 0, 50)
+        served = scheduler.drain()
+        assert len(served) == 50
+        assert scheduler.service_shares()[0] == pytest.approx(1.0)
+
+    def test_large_descriptor_eventually_served(self):
+        scheduler = DeficitRoundRobinScheduler({0: 1}, quantum_bytes=512)
+        scheduler.submit(DmaDescriptor(queue_id=0, size_bytes=4_096, tenant_id=0))
+        served = scheduler.drain()
+        assert len(served) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(weight=st.integers(1, 8), rounds=st.integers(5, 20))
+    def test_share_tracks_weight_property(self, weight, rounds):
+        scheduler = DeficitRoundRobinScheduler({0: weight, 1: 1})
+        # Backlog deep enough that neither tenant drains during the
+        # measurement window (shares are only meaningful under contention).
+        per_round_descriptors = DEFAULT_QUANTUM_BYTES * weight // 1_024 + 1
+        depth = per_round_descriptors * (rounds + 2)
+        flood(scheduler, 0, depth)
+        flood(scheduler, 1, depth)
+        for _ in range(rounds):
+            scheduler.schedule_round()
+        assert scheduler.backlog > 0
+        shares = scheduler.service_shares()
+        expected = weight / (weight + 1)
+        assert shares[0] == pytest.approx(expected, abs=0.1)
+
+
+class TestMechanics:
+    def test_fifo_within_tenant(self):
+        scheduler = DeficitRoundRobinScheduler({0: 1})
+        scheduler.submit(DmaDescriptor(queue_id=0, size_bytes=100, tenant_id=0))
+        scheduler.submit(DmaDescriptor(queue_id=1, size_bytes=200, tenant_id=0))
+        served = scheduler.drain()
+        assert [d.size_bytes for d in served] == [100, 200]
+
+    def test_unknown_tenant_rejected(self):
+        scheduler = DeficitRoundRobinScheduler({0: 1})
+        with pytest.raises(ConfigurationError):
+            scheduler.submit(DmaDescriptor(queue_id=0, size_bytes=64, tenant_id=7))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeficitRoundRobinScheduler({})
+        with pytest.raises(ConfigurationError):
+            DeficitRoundRobinScheduler({0: 0})
+        with pytest.raises(ConfigurationError):
+            DeficitRoundRobinScheduler({0: 1}, quantum_bytes=0)
+
+    def test_idle_tenant_keeps_no_credit(self):
+        scheduler = DeficitRoundRobinScheduler({0: 1, 1: 1})
+        flood(scheduler, 0, 2)
+        scheduler.drain()
+        # Tenant 0 going idle must not bank deficit for later rounds.
+        assert scheduler._deficit[0] == 0
+
+    def test_drain_empties_everything(self):
+        scheduler = DeficitRoundRobinScheduler({0: 2, 1: 1, 2: 5})
+        for tenant in (0, 1, 2):
+            flood(scheduler, tenant, 37, size=777)
+        served = scheduler.drain()
+        assert len(served) == 3 * 37
+        assert scheduler.backlog == 0

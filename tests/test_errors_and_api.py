@@ -1,0 +1,60 @@
+"""Tests for the error hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.ConfigurationError,
+        errors.DependencyError,
+        errors.IncompatiblePlatformError,
+        errors.InterfaceMismatchError,
+        errors.ResourceExhaustedError,
+        errors.CommandError,
+        errors.ChecksumError,
+        errors.RegisterAccessError,
+        errors.TailoringError,
+        errors.DeploymentError,
+    ]
+
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_harmonia_error(self, error_type):
+        assert issubclass(error_type, errors.HarmoniaError)
+
+    def test_checksum_is_a_command_error(self):
+        assert issubclass(errors.ChecksumError, errors.CommandError)
+
+    def test_one_except_clause_catches_everything(self):
+        from repro.core.command.packet import CommandPacket
+
+        try:
+            CommandPacket.decode(b"\x00" * 4)
+        except errors.HarmoniaError:
+            caught = True
+        assert caught
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_quickstart_from_docstring_runs(self):
+        from repro import DEVICE_A, HierarchicalTailor, build_unified_shell
+        from repro.apps import SecGateway
+
+        shell = build_unified_shell(DEVICE_A)
+        tailored = HierarchicalTailor(shell).tailor(SecGateway().role())
+        assert tailored.resources().as_dict()["lut"] > 0
+
+    def test_device_constants_exported(self):
+        assert repro.DEVICE_A.name == "device-a"
+        assert len(repro.all_devices()) >= 4

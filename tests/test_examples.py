@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs cleanly and says what it should."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ("Project bundle:", "with Harmonia", "native"),
+    "cross_platform_migration.py": ("register interface", "command interface",
+                                    "reduction"),
+    "retrieval_service.py": ("Recall@1", "QPS vs corpus size"),
+    "multi_tenant_smartnic.py": ("isolation violations", "PR slot", "Cross-tenant"),
+    "fleet_rollout.py": ("fleet health sweep", "critical", "drain traffic"),
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs_and_reports(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    for marker in EXPECTATIONS[script]:
+        assert marker in output, (script, marker)
+
+
+def test_every_example_has_a_smoke_test():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTATIONS)

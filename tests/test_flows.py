@@ -1,0 +1,96 @@
+"""Tests for skewed flow-level traffic and its effect on balancing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.layer4_lb import Layer4LoadBalancer
+from repro.errors import ConfigurationError
+from repro.workloads.flows import (
+    FlowSet,
+    backend_imbalance,
+    skewed_packet_stream,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(100, alpha=1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_higher_alpha_concentrates_mass(self):
+        flat = zipf_weights(100, alpha=0.5)
+        steep = zipf_weights(100, alpha=2.0)
+        assert steep[0] > flat[0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(10, alpha=0.0)
+
+    @given(count=st.integers(1, 300), alpha=st.floats(0.3, 2.5))
+    def test_weights_always_a_distribution(self, count, alpha):
+        weights = zipf_weights(count, alpha)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(weight > 0 for weight in weights)
+
+
+class TestFlowSet:
+    def test_deterministic_per_seed(self):
+        first = FlowSet(50, seed=3)
+        second = FlowSet(50, seed=3)
+        assert [p.total_bytes for p in first.profiles] == \
+            [p.total_bytes for p in second.profiles]
+
+    def test_heavy_tail_has_mice_and_elephants(self):
+        flow_set = FlowSet(2_000, mean_flow_bytes=200_000, seed=5)
+        elephants = flow_set.elephants()
+        assert 0 < len(elephants) < len(flow_set) / 2
+
+    def test_top_flows_carry_most_traffic(self):
+        flow_set = FlowSet(1_000, alpha=1.2)
+        assert flow_set.top_share(0.1) > 0.5
+
+    def test_invalid_pareto_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowSet(10, pareto_shape=0.9)
+
+
+class TestSkewedStream:
+    def test_popular_flows_dominate_the_stream(self):
+        flow_set = FlowSet(200, alpha=1.3)
+        packets = skewed_packet_stream(flow_set, 5_000)
+        top_flow = flow_set.profiles[0].flow
+        hits = sum(1 for packet in packets if packet.flow == top_flow)
+        assert hits > 5_000 / 200 * 5   # way above the uniform share
+
+    def test_stream_deterministic(self):
+        flow_set = FlowSet(100)
+        first = skewed_packet_stream(flow_set, 500, seed=9)
+        second = skewed_packet_stream(flow_set, 500, seed=9)
+        assert [p.flow for p in first] == [p.flow for p in second]
+
+
+class TestBalancingUnderSkew:
+    def test_lb_stays_bounded_under_zipf_traffic(self):
+        app = Layer4LoadBalancer()
+        flow_set = FlowSet(500, alpha=1.1)
+        packets = skewed_packet_stream(flow_set, 8_000)
+        loads = app.distribute(packets)
+        # Flow-level hashing cannot split an elephant flow, so skewed
+        # traffic is imbalanced -- but consistent hashing keeps it within
+        # a small factor of the mean rather than collapsing onto one box.
+        assert 1.0 <= backend_imbalance(loads) < 4.0
+
+    def test_uniform_traffic_balances_tightly(self):
+        from repro.workloads.packets import PacketGenerator
+
+        app = Layer4LoadBalancer()
+        packets = PacketGenerator().uniform_stream(8_000, 256, flow_count=4_000)
+        assert backend_imbalance(app.distribute(packets)) < 1.5
+
+    def test_imbalance_requires_load(self):
+        with pytest.raises(ConfigurationError):
+            backend_imbalance({})

@@ -1,0 +1,113 @@
+"""Tests for command-plane health monitoring."""
+
+import pytest
+
+from repro.core.command.codes import RbbId
+from repro.core.health import (
+    DEFAULT_THRESHOLDS,
+    HealthMonitor,
+    HealthReport,
+    Severity,
+    Threshold,
+    fleet_health,
+)
+from repro.core.host_software import ControlPlane
+from repro.core.shell import build_unified_shell
+from repro.errors import ConfigurationError
+from repro.platform.catalog import DEVICE_A, evaluation_devices
+
+
+def make_monitor(device=DEVICE_A, thresholds=None):
+    control = ControlPlane(build_unified_shell(device))
+    return HealthMonitor(control, thresholds=thresholds)
+
+
+def _sensor_regfile(monitor):
+    control = monitor.control
+    sensor_id = control.management_instance_id("sensor")
+    return control.kernel.endpoint(int(RbbId.MANAGEMENT), sensor_id).regfile
+
+
+class TestThreshold:
+    def test_classification_bands(self):
+        threshold = Threshold(warning=85.0, critical=95.0)
+        assert threshold.classify(50.0) is Severity.OK
+        assert threshold.classify(85.0) is Severity.WARNING
+        assert threshold.classify(95.0) is Severity.CRITICAL
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Threshold(warning=90.0, critical=80.0)
+
+    def test_defaults_cover_the_basics(self):
+        assert {"temperature_c", "vccint_mv_delta", "command_failures"} <= set(
+            DEFAULT_THRESHOLDS
+        )
+
+
+class TestHealthMonitor:
+    def test_healthy_device_reports_ok(self):
+        monitor = make_monitor()
+        report = monitor.poll_once()
+        assert report.healthy
+        assert report.severity is Severity.OK
+        assert report.device_name == "device-a"
+
+    def test_hot_die_raises_warning_then_critical(self):
+        monitor = make_monitor()
+        regfile = _sensor_regfile(monitor)
+        regfile.poke("TEMP_C", 88)
+        assert monitor.poll_once().severity is Severity.WARNING
+        regfile.poke("TEMP_C", 97)
+        report = monitor.poll_once()
+        assert report.severity is Severity.CRITICAL
+        assert report.observation("temperature_c").value == 97
+
+    def test_voltage_excursion_detected(self):
+        monitor = make_monitor()
+        regfile = _sensor_regfile(monitor)
+        regfile.poke("VCCINT_MV", 850 - 70)
+        assert monitor.poll_once().severity is Severity.CRITICAL
+
+    def test_command_failures_surface_as_health(self):
+        monitor = make_monitor()
+        # Provoke kernel failures with a nonsense command.
+        from repro.core.command.codes import CommandCode
+        for _ in range(12):
+            monitor.driver.cmd_write(CommandCode.FLASH_ERASE, int(RbbId.HOST), data=(1,))
+        report = monitor.poll_once()
+        assert report.observation("command_failures").severity is Severity.CRITICAL
+
+    def test_custom_thresholds_override_defaults(self):
+        monitor = make_monitor(thresholds={"temperature_c": Threshold(10.0, 20.0)})
+        assert monitor.poll_once().severity is Severity.CRITICAL  # 45 C nominal
+
+    def test_history_and_alarm_counts(self):
+        monitor = make_monitor()
+        monitor.poll(3)
+        _sensor_regfile(monitor).poke("TEMP_C", 99)
+        monitor.poll_once()
+        counts = monitor.alarm_counts()
+        assert counts[Severity.OK] == 3
+        assert counts[Severity.CRITICAL] == 1
+        assert len(monitor.history) == 4
+
+    def test_report_unknown_observation_raises(self):
+        report = make_monitor().poll_once()
+        with pytest.raises(KeyError):
+            report.observation("nonexistent")
+
+
+class TestFleetHealth:
+    def test_sweep_covers_every_device(self):
+        monitors = [make_monitor(device) for device in evaluation_devices()]
+        sweep = fleet_health(monitors)
+        assert set(sweep) == {d.name for d in evaluation_devices()}
+        assert all(severity is Severity.OK for severity in sweep.values())
+
+    def test_one_sick_device_does_not_mask_others(self):
+        monitors = [make_monitor(device) for device in evaluation_devices()[:2]]
+        _sensor_regfile(monitors[0]).poke("TEMP_C", 99)
+        sweep = fleet_health(monitors)
+        assert sweep[monitors[0].control.device.name] is Severity.CRITICAL
+        assert sweep[monitors[1].control.device.name] is Severity.OK

@@ -1,0 +1,107 @@
+"""Tests for host-software control programs and migration measurement."""
+
+import pytest
+
+from repro.core.host_software import BoardProfile, ControlPlane
+from repro.core.shell import build_unified_shell
+from repro.metrics.modifications import reduction_factor, trace_modifications
+from repro.platform.catalog import DEVICE_A, DEVICE_B, DEVICE_C, DEVICE_D
+
+
+class TestBoardProfile:
+    def test_dsfp_boards_have_eight_lanes(self):
+        assert BoardProfile.for_device(DEVICE_C).serdes_lanes == 8
+        assert BoardProfile.for_device(DEVICE_A).serdes_lanes == 4
+
+    def test_bar_base_differs_by_board_vendor(self):
+        assert (BoardProfile.for_device(DEVICE_C).bar0_base
+                != BoardProfile.for_device(DEVICE_D).bar0_base)
+
+    def test_i2c_map_tracks_peripheral_count(self):
+        assert (len(BoardProfile.for_device(DEVICE_D).i2c_devices)
+                == len(DEVICE_D.peripherals))
+
+    def test_queue_count_tracks_lanes(self):
+        assert BoardProfile.for_device(DEVICE_A).dma_queues_at_init == 4  # x8
+        assert BoardProfile.for_device(DEVICE_B).dma_queues_at_init == 8  # x16
+
+
+class TestControlPrograms:
+    def test_register_init_much_larger_than_command_init(self, any_device):
+        control = ControlPlane(build_unified_shell(any_device))
+        registers = control.register_full_init()
+        commands = control.command_full_init()
+        assert registers.operation_count > 10 * commands.invocation_count
+
+    def test_command_init_actually_initialises_modules(self):
+        control = ControlPlane(build_unified_shell(DEVICE_A))
+        control.command_full_init()
+        for rbb_id, instance_id in control.kernel.registered_modules:
+            endpoint = control.kernel.endpoint(rbb_id, instance_id)
+            assert endpoint.init_runs == 1, endpoint.name
+
+    def test_no_commands_fail_during_bring_up(self, any_device):
+        control = ControlPlane(build_unified_shell(any_device))
+        control.command_full_init()
+        control.command_monitoring_walk()
+        control.command_host_interaction()
+        control.command_network_init()
+        assert control.kernel.commands_failed == 0
+
+    def test_table4_counts_on_device_a(self):
+        # Table 4: registers 84 / 115 / 60 vs commands 4 / 5 / 4.
+        control = ControlPlane(build_unified_shell(DEVICE_A))
+        assert control.register_monitoring_walk().operation_count == 84
+        assert control.register_network_init().operation_count == pytest.approx(115, abs=5)
+        assert control.register_host_interaction().operation_count == 60
+        assert control.command_monitoring_walk().invocation_count == 4
+        assert control.command_network_init().invocation_count == 5
+        assert control.command_host_interaction().invocation_count == 4
+
+    def test_table4_simplification_in_band(self):
+        # The paper's 15-23x simplification.
+        control = ControlPlane(build_unified_shell(DEVICE_A))
+        pairs = [
+            (control.register_monitoring_walk().operation_count,
+             control.command_monitoring_walk().invocation_count),
+            (control.register_network_init().operation_count,
+             control.command_network_init().invocation_count),
+            (control.register_host_interaction().operation_count,
+             control.command_host_interaction().invocation_count),
+        ]
+        factors = [registers / commands for registers, commands in pairs]
+        assert min(factors) >= 14.0
+        assert max(factors) <= 24.0
+
+    def test_monitoring_walk_reads_only(self):
+        control = ControlPlane(build_unified_shell(DEVICE_A))
+        driver = control.register_monitoring_walk()
+        # Monitoring configures per-queue selectors but is read-dominated.
+        reads = sum(1 for op in driver.operations if op[0] == "read")
+        assert reads > len(driver.operations) * 0.8
+
+
+class TestMigrationCost:
+    def _traces(self, device):
+        """Traces for the Host Network app's shell (the Figure 13 setup)."""
+        from repro.apps import HostNetwork
+
+        control = ControlPlane(HostNetwork().tailored_shell(device))
+        return (control.register_full_init().operation_signatures(),
+                control.command_full_init().invocation_signatures())
+
+    def test_same_device_costs_nothing(self):
+        first_registers, first_commands = self._traces(DEVICE_C)
+        second_registers, second_commands = self._traces(DEVICE_C)
+        assert trace_modifications(first_registers, second_registers) == 0
+        assert trace_modifications(first_commands, second_commands) == 0
+
+    def test_c_to_d_register_cost_dwarfs_command_cost(self):
+        registers_c, commands_c = self._traces(DEVICE_C)
+        registers_d, commands_d = self._traces(DEVICE_D)
+        register_mods = trace_modifications(registers_c, registers_d)
+        command_mods = trace_modifications(commands_c, commands_d)
+        assert register_mods > 100
+        assert command_mods < 10
+        # Figure 13's band, with simulation slack.
+        assert 60 <= reduction_factor(register_mods, command_mods) <= 150

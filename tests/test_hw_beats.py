@@ -1,0 +1,140 @@
+"""Unit and property tests for beat-level framing and conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InterfaceMismatchError
+from repro.hw.beats import (
+    AvalonStBeat,
+    AxiStreamBeat,
+    avalon_to_axi,
+    axi_to_avalon,
+    beats_needed,
+    convert_width,
+    from_avalon_st,
+    from_axi_stream,
+    to_avalon_st,
+    to_axi_stream,
+)
+
+payload_strategy = st.binary(min_size=1, max_size=400)
+width_strategy = st.sampled_from([64, 128, 512, 2_048])
+
+
+class TestAxiStreamFraming:
+    def test_exact_multiple_has_full_keep(self):
+        beats = to_axi_stream(b"\xAA" * 128, 512)
+        assert len(beats) == 2
+        assert all(beat.tkeep == (1 << 64) - 1 for beat in beats)
+        assert beats[-1].tlast and not beats[0].tlast
+
+    def test_partial_final_beat(self):
+        beats = to_axi_stream(b"\x01" * 70, 512)
+        assert beats[-1].valid_bytes == 6
+        assert beats[-1].tkeep == 0b111111
+        assert len(beats[-1].data) == 64   # padded to the bus width
+
+    def test_single_beat_packet(self):
+        beats = to_axi_stream(b"\x01\x02", 512)
+        assert len(beats) == 1
+        assert beats[0].tlast
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(InterfaceMismatchError):
+            to_axi_stream(b"", 512)
+
+    def test_reassembly_validates_tlast(self):
+        beats = to_axi_stream(b"\x01" * 100, 512)
+        broken = [AxiStreamBeat(beats[0].data, beats[0].tkeep, tlast=True),
+                  beats[-1]]
+        with pytest.raises(InterfaceMismatchError, match="TLAST"):
+            from_axi_stream(broken)
+
+    def test_reassembly_rejects_sparse_keep(self):
+        beat = AxiStreamBeat(b"\x00" * 64, tkeep=0b101, tlast=True)
+        with pytest.raises(InterfaceMismatchError, match="non-contiguous"):
+            from_axi_stream([beat])
+
+    @given(payload=payload_strategy, width=width_strategy)
+    def test_roundtrip(self, payload, width):
+        assert from_axi_stream(to_axi_stream(payload, width)) == payload
+
+
+class TestAvalonStFraming:
+    def test_empty_count_on_final_beat(self):
+        beats = to_avalon_st(b"\x01" * 70, 512)
+        assert beats[-1].empty == 58
+        assert beats[-1].valid_bytes == 6
+
+    def test_sop_eop_flags(self):
+        beats = to_avalon_st(b"\x01" * 200, 512)
+        assert beats[0].startofpacket and not beats[0].endofpacket
+        assert beats[-1].endofpacket and not beats[-1].startofpacket
+
+    def test_missing_sop_rejected(self):
+        beats = to_avalon_st(b"\x01" * 10, 512)
+        broken = [AvalonStBeat(beats[0].data, False, True, beats[0].empty)]
+        with pytest.raises(InterfaceMismatchError, match="startofpacket"):
+            from_avalon_st(broken)
+
+    def test_mid_packet_empty_rejected(self):
+        first = AvalonStBeat(b"\x00" * 64, True, False, empty=3)
+        last = AvalonStBeat(b"\x00" * 64, False, True, empty=0)
+        with pytest.raises(InterfaceMismatchError, match="final beat"):
+            from_avalon_st([first, last])
+
+    @given(payload=payload_strategy, width=width_strategy)
+    def test_roundtrip(self, payload, width):
+        assert from_avalon_st(to_avalon_st(payload, width)) == payload
+
+
+class TestProtocolConversion:
+    """The wrapper's actual data-plane job."""
+
+    @given(payload=payload_strategy, width=width_strategy)
+    def test_axi_to_avalon_preserves_bytes(self, payload, width):
+        axi = to_axi_stream(payload, width)
+        avalon = axi_to_avalon(axi)
+        assert from_avalon_st(avalon) == payload
+
+    @given(payload=payload_strategy, width=width_strategy)
+    def test_avalon_to_axi_preserves_bytes(self, payload, width):
+        avalon = to_avalon_st(payload, width)
+        axi = avalon_to_axi(avalon)
+        assert from_axi_stream(axi) == payload
+
+    @given(payload=payload_strategy, width=width_strategy)
+    def test_double_conversion_is_identity(self, payload, width):
+        axi = to_axi_stream(payload, width)
+        assert avalon_to_axi(axi_to_avalon(axi)) == axi
+
+    def test_keep_mask_vs_empty_count_for_same_packet(self):
+        # The two encodings of "6 valid bytes in the last 512-bit beat".
+        payload = b"\x01" * 70
+        axi = to_axi_stream(payload, 512)[-1]
+        avalon = to_avalon_st(payload, 512)[-1]
+        assert axi.valid_bytes == avalon.valid_bytes == 6
+        assert axi.tkeep == 0b111111
+        assert avalon.empty == 58
+
+
+class TestWidthConversion:
+    """The parameterised CDC's 512 <-> 128 bit conversion."""
+
+    @given(payload=payload_strategy,
+           from_width=width_strategy, to_width=width_strategy)
+    def test_width_conversion_byte_exact(self, payload, from_width, to_width):
+        wide = to_axi_stream(payload, from_width)
+        narrow = convert_width(wide, to_width)
+        assert from_axi_stream(narrow) == payload
+        assert all(len(beat.data) * 8 == to_width for beat in narrow)
+
+    def test_512_to_128_beat_count(self):
+        beats = convert_width(to_axi_stream(b"\x01" * 128, 512), 128)
+        assert len(beats) == 8
+
+    @given(payload_bytes=st.integers(1, 10_000), width=width_strategy)
+    def test_beats_needed_matches_framing(self, payload_bytes, width):
+        assert beats_needed(payload_bytes, width) == len(
+            to_axi_stream(b"\x00" * payload_bytes, width)
+        )

@@ -1,0 +1,193 @@
+"""Tests for the vendor IP models (MAC / PCIe DMA / DDR / HBM / misc)."""
+
+import pytest
+
+from repro.errors import RegisterAccessError
+from repro.hw.ip import (
+    DdrTiming,
+    DmaEngineKind,
+    IpKind,
+    i2c_controller,
+    inhouse_bdma,
+    inhouse_mac_400g,
+    intel_emif_ddr4,
+    intel_etile_100g,
+    intel_ptile_mcdma,
+    qspi_flash,
+    sensor_block,
+    soft_core,
+    xilinx_cmac_100g,
+    xilinx_ddr4_mig,
+    xilinx_hbm_stack,
+    xilinx_qdma,
+    xilinx_xdma,
+    xilinx_xxv_25g,
+)
+from repro.hw.ip.base import per_lane_params
+from repro.hw.ip.ddr import DDR3_1600, DDR4_2400
+from repro.hw.protocols.base import ProtocolFamily
+from repro.platform.device import PcieGeneration
+from repro.platform.vendor import Vendor
+
+ALL_IPS = [
+    xilinx_cmac_100g, xilinx_xxv_25g, intel_etile_100g, inhouse_mac_400g,
+    xilinx_qdma, xilinx_xdma, intel_ptile_mcdma, inhouse_bdma,
+    xilinx_ddr4_mig, intel_emif_ddr4, xilinx_hbm_stack,
+    i2c_controller, qspi_flash, sensor_block, soft_core,
+]
+
+
+class TestEveryIp:
+    @pytest.mark.parametrize("factory", ALL_IPS)
+    def test_register_file_and_init_execute_cleanly(self, factory):
+        ip = factory()
+        regfile = ip.register_file()
+        sequence = ip.init_sequence()
+        accesses = sequence.execute(regfile)
+        assert accesses >= len(sequence)
+
+    @pytest.mark.parametrize("factory", ALL_IPS)
+    def test_fresh_register_files_are_independent(self, factory):
+        ip = factory()
+        first, second = ip.register_file(), ip.register_file()
+        writable = next(
+            name for name in first.names()
+            if first.register(name).access.name in ("RW",)
+        )
+        first.write_by_name(writable, 0x5A)
+        assert second.read_by_name(writable) != 0x5A or second.register(writable).reset_value == 0x5A
+
+    @pytest.mark.parametrize("factory", ALL_IPS)
+    def test_resources_and_loc_nonempty(self, factory):
+        ip = factory()
+        assert not ip.resources.is_zero
+        assert ip.loc.handcraft > 0
+
+    @pytest.mark.parametrize("factory", ALL_IPS)
+    def test_datapath_stage_runs_at_ip_parameters(self, factory):
+        ip = factory()
+        stage = ip.datapath_stage()
+        assert stage.clock is ip.clock
+        assert stage.data_width_bits == ip.data_width_bits
+
+
+class TestMacs:
+    def test_width_scales_with_rate(self):
+        # The paper's 128/512/2048-bit scaling for 25/100/400G.
+        assert xilinx_xxv_25g().data_width_bits == 128
+        assert xilinx_cmac_100g().data_width_bits == 512
+        assert inhouse_mac_400g().data_width_bits == 2_048
+
+    def test_core_bandwidth_exceeds_line_rate(self):
+        for factory in (xilinx_xxv_25g, xilinx_cmac_100g, inhouse_mac_400g):
+            ip = factory()
+            assert ip.bandwidth_gbps > ip.performance_gbps
+
+    def test_vendor_protocols(self):
+        assert xilinx_cmac_100g().interfaces[0].family is ProtocolFamily.AXI4_STREAM
+        assert intel_etile_100g().interfaces[0].family is ProtocolFamily.AVALON_ST
+
+    def test_cmac_init_polls_alignment_first(self):
+        ops = xilinx_cmac_100g().init_sequence().ops
+        assert ops[0].kind.value == "poll"
+        assert ops[0].register == "STAT_RX_ALIGNED"
+
+    def test_etile_init_is_auto_style(self):
+        ops = intel_etile_100g().init_sequence().ops
+        assert ops[0].register == "AUTO_INIT"
+        assert len(ops) < len(xilinx_cmac_100g().init_sequence().ops)
+
+    def test_config_inventories_differ_across_vendors(self):
+        xilinx_keys = set(xilinx_cmac_100g().config_params)
+        intel_keys = set(intel_etile_100g().config_params)
+        assert not xilinx_keys & intel_keys
+
+
+class TestDma:
+    def test_engine_kinds(self):
+        assert xilinx_qdma().dma_engine is DmaEngineKind.SGDMA
+        assert xilinx_xdma().dma_engine is DmaEngineKind.BDMA
+        assert intel_ptile_mcdma().dma_engine is DmaEngineKind.SGDMA
+        assert inhouse_bdma().dma_engine is DmaEngineKind.BDMA
+
+    def test_user_clock_doubles_per_generation(self):
+        gen3 = xilinx_qdma(PcieGeneration.GEN3)
+        gen4 = xilinx_qdma(PcieGeneration.GEN4)
+        assert gen4.clock.freq_mhz == 2 * gen3.clock.freq_mhz
+
+    def test_performance_tracks_lanes(self):
+        x8 = xilinx_qdma(PcieGeneration.GEN4, 8)
+        assert x8.performance_gbps == pytest.approx(PcieGeneration.GEN4.per_lane_gbps * 8)
+
+    def test_qdma_has_2048_queues(self):
+        assert xilinx_qdma().channels == 2_048
+
+    def test_sgdma_init_programs_queue_contexts(self):
+        ops = xilinx_qdma().init_sequence().ops
+        context_writes = [op for op in ops if op.register.startswith("QID_CTXT_DATA")]
+        assert len(context_writes) == 8 * 8  # 8 queues x 8 context slots
+
+    def test_bdma_init_is_short(self):
+        assert len(inhouse_bdma().init_sequence()) < 8
+
+
+class TestDdrTiming:
+    def test_row_hit_faster_than_miss(self):
+        assert DDR4_2400.row_hit_ps < DDR4_2400.row_miss_ps
+
+    def test_cross_group_gap_shorter_than_same_group(self):
+        assert DDR4_2400.cross_group_gap_ps < DDR4_2400.same_group_gap_ps
+
+    def test_ddr3_slower_clock(self):
+        assert DDR3_1600.tck_ps > DDR4_2400.tck_ps
+
+    def test_burst_bytes(self):
+        assert DDR4_2400.burst_bytes == 64
+
+    def test_row_hit_value(self):
+        # CL17 + BL8/2 = 21 cycles at 833 ps.
+        assert DDR4_2400.row_hit_ps == 21 * 833
+
+
+class TestMemoryControllers:
+    def test_hbm_has_32_channels(self):
+        assert xilinx_hbm_stack().channels == 32
+
+    def test_hbm_outperforms_ddr(self):
+        assert xilinx_hbm_stack().performance_gbps > xilinx_ddr4_mig().performance_gbps
+
+    def test_mig_polls_calibration(self):
+        assert xilinx_ddr4_mig().init_sequence().ops[0].register == "CAL_STATUS"
+
+    def test_emif_auto_calibrates(self):
+        assert intel_emif_ddr4().init_sequence().ops[0].register == "AUTO_CAL"
+
+    def test_byte_lane_parameters_present(self):
+        params = xilinx_ddr4_mig().config_params
+        assert "C0.DDR4_ByteLane0_Vref" in params
+
+
+class TestManagementBlocks:
+    def test_flash_write_protect_defaults_on(self):
+        regfile = qspi_flash().register_file()
+        assert regfile.read_by_name("WRITE_PROTECT") == 1
+
+    def test_sensor_reports_sane_temperature(self):
+        regfile = sensor_block().register_file()
+        assert 0 < regfile.read_by_name("TEMP_C") < 100
+
+    def test_soft_core_kind(self):
+        assert soft_core().kind is IpKind.SOFT_CORE
+
+    def test_i2c_vendor_parameterised(self):
+        assert i2c_controller(Vendor.INTEL).vendor is Vendor.INTEL
+
+
+class TestPerLaneParams:
+    def test_expansion_count(self):
+        params = per_lane_params("lane", 4, {"a": 1, "b": 2})
+        assert len(params) == 8
+        assert params["lane3_b"] == 2
+
+    def test_zero_lanes_empty(self):
+        assert per_lane_params("lane", 0, {"a": 1}) == {}

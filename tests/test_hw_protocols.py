@@ -1,0 +1,124 @@
+"""Tests for interface protocol definitions and disparity metrics."""
+
+import pytest
+
+from repro.hw.protocols import (
+    Direction,
+    InterfaceSpec,
+    ProtocolFamily,
+    SignalSpec,
+    avalon_mm,
+    avalon_st,
+    axi4_full,
+    axi4_lite,
+    axi4_stream,
+)
+from repro.hw.protocols.base import disparity
+
+
+class TestSignalSpec:
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SignalSpec("bad", 0, Direction.INPUT)
+
+    def test_frozen(self):
+        signal = SignalSpec("s", 8, Direction.OUTPUT)
+        with pytest.raises(AttributeError):
+            signal.width = 16
+
+
+class TestAxi4Stream:
+    def test_signal_count_matches_spec(self):
+        # Clock + reset + 9 protocol signals (IHI0022 stream subset).
+        assert axi4_stream().signal_count == 11
+
+    def test_tdata_width_parameterised(self):
+        assert axi4_stream(data_width_bits=2_048).signal("TDATA").width == 2_048
+
+    def test_tkeep_is_byte_wide(self):
+        spec = axi4_stream(data_width_bits=512)
+        assert spec.signal("TKEEP").width == 64
+
+    def test_data_width_helper(self):
+        assert axi4_stream(data_width_bits=128).data_width_bits() == 128
+
+    def test_tuser_is_sideband(self):
+        assert "TUSER" in axi4_stream().sideband
+
+
+class TestAxi4Full:
+    def test_has_all_five_channels(self):
+        names = set(axi4_full().signal_names())
+        for representative in ("AWADDR", "WDATA", "BRESP", "ARADDR", "RDATA"):
+            assert representative in names
+
+    def test_signal_count(self):
+        # 2 clock/reset + 13 AW + 6 W + 5 B + 13 AR + 7 R.
+        assert axi4_full().signal_count == 46
+
+    def test_strobe_tracks_data_width(self):
+        assert axi4_full(data_width_bits=256).signal("WSTRB").width == 32
+
+    def test_unknown_signal_lookup_raises(self):
+        with pytest.raises(KeyError):
+            axi4_full().signal("NOPE")
+
+
+class TestAxi4Lite:
+    def test_is_axi4_subset(self):
+        lite_names = set(axi4_lite().signal_names())
+        full_names = set(axi4_full().signal_names())
+        # Everything in Lite exists in full AXI4 (no bursts, IDs, users).
+        assert lite_names <= full_names
+
+    def test_default_width_is_32(self):
+        assert axi4_lite().signal("WDATA").width == 32
+
+
+class TestAvalon:
+    def test_avalon_st_uses_empty_not_keep(self):
+        spec = avalon_st()
+        names = spec.signal_names()
+        assert "empty" in names
+        assert "TKEEP" not in names
+
+    def test_empty_width_is_log2_symbols(self):
+        # 512 bits = 64 symbols -> 6-bit empty count.
+        assert avalon_st(data_width_bits=512).signal("empty").width == 6
+
+    def test_avalon_mm_has_waitrequest_handshake(self):
+        names = avalon_mm().signal_names()
+        assert "waitrequest" in names
+        assert "AWVALID" not in names
+
+    def test_families(self):
+        assert avalon_st().family is ProtocolFamily.AVALON_ST
+        assert avalon_mm().family is ProtocolFamily.AVALON_MM
+
+
+class TestDisparity:
+    def test_identical_interfaces_have_zero_disparity(self):
+        assert disparity(axi4_stream(), axi4_stream("other")) == 0
+
+    def test_cross_protocol_disparity_is_total(self):
+        axi = axi4_stream()
+        avalon = avalon_st()
+        # No signal names are shared between the protocols.
+        assert disparity(axi, avalon) == axi.signal_count + avalon.signal_count
+
+    def test_disparity_symmetric(self):
+        assert disparity(axi4_full(), avalon_mm()) == disparity(avalon_mm(), axi4_full())
+
+    def test_renamed_keeps_signals(self):
+        renamed = axi4_stream().renamed("rx")
+        assert renamed.name == "rx"
+        assert renamed.signal_count == axi4_stream().signal_count
+
+
+class TestTotalWidth:
+    def test_total_width_sums_signals(self):
+        spec = InterfaceSpec(
+            "t", ProtocolFamily.CUSTOM,
+            (SignalSpec("a", 8, Direction.INPUT), SignalSpec("b", 24, Direction.OUTPUT)),
+        )
+        assert spec.total_width_bits == 32

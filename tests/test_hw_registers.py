@@ -1,0 +1,197 @@
+"""Tests for register files, init sequences, and modification costs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RegisterAccessError
+from repro.hw.registers import (
+    Access,
+    InitSequence,
+    OpKind,
+    Register,
+    RegisterFile,
+    RegisterOp,
+    _lcs_length,
+    modification_cost,
+)
+
+
+def make_regfile():
+    regfile = RegisterFile("mod")
+    regfile.add_many([
+        Register("CTRL", 0x00),
+        Register("STATUS", 0x04, access=Access.RO, reset_value=0x1),
+        Register("IRQ", 0x08, access=Access.W1C),
+        Register("KEY", 0x0C, access=Access.WO),
+        Register("WIDE", 0x10, width=64),
+    ])
+    return regfile
+
+
+class TestRegister:
+    def test_reset_value_applied(self):
+        assert Register("r", 0, reset_value=7).value == 7
+
+    def test_misaligned_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Register("r", 3)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            Register("r", 0, width=24)
+
+    def test_mask(self):
+        assert Register("r", 0, width=16).mask == 0xFFFF
+
+
+class TestRegisterFile:
+    def test_read_write_roundtrip(self):
+        regfile = make_regfile()
+        regfile.write(0x00, 0xABCD)
+        assert regfile.read(0x00) == 0xABCD
+
+    def test_by_name_access(self):
+        regfile = make_regfile()
+        regfile.write_by_name("CTRL", 5)
+        assert regfile.read_by_name("CTRL") == 5
+
+    def test_write_masks_to_width(self):
+        regfile = make_regfile()
+        regfile.write_by_name("CTRL", 0x1_FFFF_FFFF)
+        assert regfile.read_by_name("CTRL") == 0xFFFF_FFFF
+
+    def test_read_only_register_rejects_writes(self):
+        with pytest.raises(RegisterAccessError):
+            make_regfile().write_by_name("STATUS", 0)
+
+    def test_write_only_register_rejects_reads(self):
+        with pytest.raises(RegisterAccessError):
+            make_regfile().read_by_name("KEY")
+
+    def test_w1c_clears_set_bits(self):
+        regfile = make_regfile()
+        regfile.poke("IRQ", 0b1011)
+        regfile.write_by_name("IRQ", 0b0010)
+        assert regfile.register("IRQ").value == 0b1001
+
+    def test_unmapped_offset_raises(self):
+        with pytest.raises(RegisterAccessError):
+            make_regfile().read(0x100)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RegisterAccessError):
+            make_regfile().register("NOPE")
+
+    def test_duplicate_offset_rejected(self):
+        regfile = make_regfile()
+        with pytest.raises(ValueError):
+            regfile.add(Register("DUP", 0x00))
+
+    def test_duplicate_name_rejected(self):
+        regfile = make_regfile()
+        with pytest.raises(ValueError):
+            regfile.add(Register("CTRL", 0x40))
+
+    def test_poke_bypasses_access_checks_and_trace(self):
+        regfile = make_regfile()
+        regfile.poke("STATUS", 0x2)
+        assert regfile.register("STATUS").value == 0x2
+        assert regfile.trace == []
+
+    def test_trace_records_operations(self):
+        regfile = make_regfile()
+        regfile.write_by_name("CTRL", 1)
+        regfile.read_by_name("CTRL")
+        assert regfile.trace == [("write", 0x00, 1), ("read", 0x00, 1)]
+
+    def test_reset_all_restores_values_and_clears_trace(self):
+        regfile = make_regfile()
+        regfile.write_by_name("CTRL", 9)
+        regfile.reset_all()
+        assert regfile.read_by_name("CTRL") == 0
+        assert len(regfile.trace) == 1  # only the read above
+
+    def test_contains_and_names(self):
+        regfile = make_regfile()
+        assert "CTRL" in regfile
+        assert "NOPE" not in regfile
+        assert len(regfile) == 5
+
+
+class TestInitSequence:
+    def test_execute_runs_all_ops(self):
+        regfile = make_regfile()
+        sequence = InitSequence("init", [
+            RegisterOp(OpKind.WRITE, "CTRL", 1),
+            RegisterOp(OpKind.READ, "STATUS"),
+        ])
+        assert sequence.execute(regfile) == 2
+        assert regfile.read_by_name("CTRL") == 1
+
+    def test_poll_terminates_when_satisfied(self):
+        regfile = make_regfile()
+        sequence = InitSequence("init", [
+            RegisterOp(OpKind.POLL, "STATUS", value=1, expect_mask=0x1),
+        ])
+        assert sequence.execute(regfile) == 1
+
+    def test_poll_gives_up_after_max_polls(self):
+        regfile = make_regfile()
+        sequence = InitSequence("init", [
+            RegisterOp(OpKind.POLL, "STATUS", value=0xFF, expect_mask=0xFF),
+        ])
+        with pytest.raises(RegisterAccessError):
+            sequence.execute(regfile, max_polls=4)
+
+    def test_append_chains(self):
+        sequence = InitSequence("s").append(RegisterOp(OpKind.WRITE, "CTRL", 1))
+        assert len(sequence) == 1
+
+
+class TestModificationCost:
+    def _seq(self, ops):
+        return InitSequence("s", [RegisterOp(OpKind.WRITE, name, value)
+                                  for name, value in ops])
+
+    def test_identical_sequences_cost_nothing(self):
+        a = self._seq([("CTRL", 1), ("IRQ", 2)])
+        b = self._seq([("CTRL", 1), ("IRQ", 2)])
+        assert modification_cost(a, b) == 0
+
+    def test_value_change_costs_two_lines(self):
+        a = self._seq([("CTRL", 1)])
+        b = self._seq([("CTRL", 2)])
+        assert modification_cost(a, b) == 2  # remove old + add new
+
+    def test_added_op_costs_one_line(self):
+        a = self._seq([("CTRL", 1)])
+        b = self._seq([("CTRL", 1), ("IRQ", 2)])
+        assert modification_cost(a, b) == 1
+
+    def test_reorder_costs_lines(self):
+        a = self._seq([("CTRL", 1), ("IRQ", 2)])
+        b = self._seq([("IRQ", 2), ("CTRL", 1)])
+        assert modification_cost(a, b) == 2
+
+    def test_lcs_basics(self):
+        assert _lcs_length([1, 2, 3], [2, 3, 4]) == 2
+        assert _lcs_length([], [1]) == 0
+        assert _lcs_length([1, 1, 1], [1, 1]) == 2
+
+    @given(st.lists(st.integers(0, 5), max_size=20), st.lists(st.integers(0, 5), max_size=20))
+    def test_lcs_bounded_by_shorter_list(self, left, right):
+        assert _lcs_length(left, right) <= min(len(left), len(right))
+
+    @given(st.lists(st.integers(0, 5), max_size=20))
+    def test_lcs_with_self_is_length(self, items):
+        assert _lcs_length(items, items) == len(items)
+
+    @given(st.lists(st.tuples(st.sampled_from(["CTRL", "IRQ"]), st.integers(0, 3)),
+                    max_size=12),
+           st.lists(st.tuples(st.sampled_from(["CTRL", "IRQ"]), st.integers(0, 3)),
+                    max_size=12))
+    def test_cost_symmetric_and_bounded(self, left_ops, right_ops):
+        a, b = self._seq(left_ops), self._seq(right_ops)
+        cost = modification_cost(a, b)
+        assert cost == modification_cost(b, a)
+        assert 0 <= cost <= len(a.ops) + len(b.ops)

@@ -1,0 +1,72 @@
+"""Tests for the unified interface types."""
+
+import pytest
+
+from repro.hw.protocols.base import ProtocolFamily
+from repro.hw.signal_types import (
+    FAMILY_TO_UNIFIED,
+    UnifiedType,
+    make_unified_port,
+    unified_clock,
+    unified_irq,
+    unified_mem_map,
+    unified_reg,
+    unified_reset,
+    unified_stream,
+)
+
+
+class TestFamilyMapping:
+    def test_stream_families(self):
+        assert FAMILY_TO_UNIFIED[ProtocolFamily.AXI4_STREAM] is UnifiedType.STREAM
+        assert FAMILY_TO_UNIFIED[ProtocolFamily.AVALON_ST] is UnifiedType.STREAM
+
+    def test_mem_map_families(self):
+        assert FAMILY_TO_UNIFIED[ProtocolFamily.AXI4_FULL] is UnifiedType.MEM_MAP
+        assert FAMILY_TO_UNIFIED[ProtocolFamily.AVALON_MM] is UnifiedType.MEM_MAP
+
+    def test_reg_family(self):
+        assert FAMILY_TO_UNIFIED[ProtocolFamily.AXI4_LITE] is UnifiedType.REG
+
+    def test_custom_has_no_mapping(self):
+        assert ProtocolFamily.CUSTOM not in FAMILY_TO_UNIFIED
+
+
+class TestUnifiedInterfaces:
+    def test_stream_has_delimiters(self):
+        names = unified_stream().signal_names()
+        assert "sos" in names and "eos" in names
+
+    def test_mem_map_has_address_and_size(self):
+        names = unified_mem_map().signal_names()
+        assert "addr" in names and "size" in names
+
+    def test_reg_is_32_bit(self):
+        assert unified_reg().signal("wdata").width == 32
+
+    def test_clock_and_reset_are_arrays(self):
+        assert unified_clock(lanes=4).signal_count == 4
+        assert unified_reset(lanes=2).signal_count == 2
+
+    def test_irq_exposes_raw_lanes(self):
+        assert unified_irq(lanes=3).signal_count == 3
+
+    def test_stream_width_parameterised(self):
+        assert unified_stream(data_width_bits=2_048).data_width_bits() == 2_048
+
+
+class TestMakeUnifiedPort:
+    @pytest.mark.parametrize("unified_type", list(UnifiedType))
+    def test_factory_covers_all_types(self, unified_type):
+        port = make_unified_port(unified_type)
+        assert port.unified_type is unified_type
+
+    def test_stream_port_width(self):
+        port = make_unified_port(UnifiedType.STREAM, data_width_bits=128)
+        assert port.data_width_bits == 128
+
+    def test_reg_port_width_is_32(self):
+        assert make_unified_port(UnifiedType.REG).data_width_bits == 32
+
+    def test_clock_port_width_is_one(self):
+        assert make_unified_port(UnifiedType.CLOCK).data_width_bits == 1

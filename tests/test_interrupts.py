@@ -1,0 +1,116 @@
+"""Tests for the irq path: vector table, coalescing, MSI timing."""
+
+import pytest
+
+from repro.core.command.timing import CommandPathSimulator
+from repro.core.interrupts import MSI_WRITE_PS, InterruptController
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+def make_controller(**bind_kwargs):
+    controller = InterruptController()
+    controller.bind(0, "network", **bind_kwargs)
+    return controller
+
+
+class TestVectorTable:
+    def test_bind_and_raise_delivers(self):
+        controller = make_controller()
+        controller.raise_event(0)
+        controller.simulator.run()
+        assert len(controller.deliveries) == 1
+        assert controller.deliveries[0].vector == 0
+
+    def test_vector_bounds_checked(self):
+        controller = InterruptController(vector_count=4)
+        with pytest.raises(ConfigurationError):
+            controller.bind(4, "m")
+
+    def test_double_bind_rejected(self):
+        controller = make_controller()
+        with pytest.raises(ConfigurationError, match="already bound"):
+            controller.bind(0, "other")
+
+    def test_unbound_vector_rejected(self):
+        with pytest.raises(ConfigurationError, match="not bound"):
+            InterruptController().raise_event(3)
+
+    def test_invalid_moderation_rejected(self):
+        controller = InterruptController()
+        with pytest.raises(ConfigurationError):
+            controller.bind(0, "m", coalesce_count=0)
+
+
+class TestMasking:
+    def test_masked_vector_suppresses_delivery(self):
+        controller = make_controller()
+        controller.mask(0)
+        controller.raise_event(0)
+        controller.simulator.run()
+        assert controller.deliveries == []
+        assert controller.suppressed_while_masked == 1
+
+    def test_unmask_delivers_pending(self):
+        controller = make_controller()
+        controller.mask(0)
+        controller.raise_event(0)
+        controller.raise_event(0)
+        controller.unmask(0)
+        controller.simulator.run()
+        assert len(controller.deliveries) == 1
+        assert controller.deliveries[0].events_coalesced == 2
+
+
+class TestCoalescing:
+    def test_count_moderation_batches_events(self):
+        controller = make_controller(coalesce_count=4)
+        for _ in range(8):
+            controller.raise_event(0)
+        controller.simulator.run()
+        assert len(controller.deliveries) == 2
+        assert all(d.events_coalesced == 4 for d in controller.deliveries)
+
+    def test_time_moderation_flushes_partial_batch(self):
+        controller = make_controller(coalesce_count=100, coalesce_time_ps=1_000_000)
+        controller.raise_event(0)
+        controller.raise_event(0)
+        controller.simulator.run()
+        assert len(controller.deliveries) == 1
+        assert controller.deliveries[0].events_coalesced == 2
+        # Batch waited out the moderation timer before the MSI.
+        assert controller.deliveries[0].latency_ps >= 1_000_000
+
+    def test_rate_reduction_metric(self):
+        controller = make_controller(coalesce_count=8)
+        for _ in range(32):
+            controller.raise_event(0)
+        controller.simulator.run()
+        assert controller.interrupt_rate_reduction(0) == 8.0
+
+    def test_no_moderation_means_one_msi_per_event(self):
+        controller = make_controller()
+        simulator = controller.simulator
+        for index in range(5):
+            simulator.schedule_at(index * 10_000_000,
+                                  lambda: controller.raise_event(0))
+        simulator.run()
+        assert len(controller.deliveries) == 5
+
+
+class TestLatency:
+    def test_unmoderated_delivery_is_one_msi_write(self):
+        controller = make_controller()
+        controller.raise_event(0)
+        controller.simulator.run()
+        assert controller.deliveries[0].latency_ps == MSI_WRITE_PS
+
+    def test_irq_path_beats_polled_command_path(self):
+        """Why the raw irq type exists: notification in one PCIe write
+        versus a full command round trip."""
+        controller = make_controller()
+        controller.raise_event(0)
+        controller.simulator.run()
+        irq_latency_us = controller.deliveries[0].latency_ps / 1e6
+        command_rtt_us = CommandPathSimulator().round_trip_us(register_accesses=1)
+        assert irq_latency_us < command_rtt_us / 2

@@ -1,0 +1,75 @@
+"""Tests for shell manifests (serialise / rebuild / audit)."""
+
+import json
+
+import pytest
+
+from repro.apps import HostNetwork, RetrievalApp, SecGateway, all_applications
+from repro.core.manifest import (
+    MANIFEST_VERSION,
+    from_json,
+    rebuild_from_manifest,
+    shell_manifest,
+    to_json,
+)
+from repro.errors import ConfigurationError
+from repro.platform.catalog import DEVICE_A, DEVICE_D
+
+
+class TestSerialisation:
+    def test_manifest_contains_the_essentials(self):
+        shell = SecGateway().tailored_shell(DEVICE_A)
+        manifest = shell_manifest(shell)
+        assert manifest["device"] == "device-a"
+        assert manifest["role"]["name"] == "sec-gateway"
+        assert manifest["rbbs"]["network"]["instance"] == "100g-xilinx"
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+
+    def test_json_roundtrips_as_data(self):
+        shell = HostNetwork().tailored_shell(DEVICE_D)
+        text = to_json(shell)
+        assert json.loads(text) == shell_manifest(shell)
+
+    def test_ex_function_states_recorded(self):
+        shell = SecGateway().tailored_shell(DEVICE_A)
+        functions = shell_manifest(shell)["rbbs"]["network"]["ex_functions"]
+        assert functions["packet_filter"] is False   # no multicast demand
+        assert "flow_director" in functions
+
+    def test_manifest_is_deterministic(self):
+        first = to_json(SecGateway().tailored_shell(DEVICE_A))
+        second = to_json(SecGateway().tailored_shell(DEVICE_A))
+        assert first == second
+
+
+class TestRebuild:
+    @pytest.mark.parametrize("app_index", range(5))
+    def test_rebuild_matches_original(self, app_index):
+        app = all_applications()[app_index]
+        original = app.tailored_shell(DEVICE_A)
+        rebuilt = from_json(to_json(original))
+        assert shell_manifest(rebuilt) == shell_manifest(original)
+        assert rebuilt.resources() == original.resources()
+
+    def test_rebuild_on_other_device_uses_manifest_device(self):
+        original = RetrievalApp().tailored_shell(DEVICE_A)
+        rebuilt = from_json(to_json(original))
+        assert rebuilt.device.name == "device-a"
+
+    def test_wrong_version_rejected(self):
+        manifest = shell_manifest(SecGateway().tailored_shell(DEVICE_A))
+        manifest["manifest_version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            rebuild_from_manifest(manifest)
+
+    def test_tampered_manifest_detected(self):
+        manifest = shell_manifest(SecGateway().tailored_shell(DEVICE_A))
+        manifest["rbbs"]["network"]["instance"] = "400g-inhouse"
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            rebuild_from_manifest(manifest)
+
+    def test_property_list_tamper_detected(self):
+        manifest = shell_manifest(SecGateway().tailored_shell(DEVICE_A))
+        manifest["role_oriented_properties"].append("network.backdoor")
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            rebuild_from_manifest(manifest)

@@ -1,0 +1,113 @@
+"""Tests for the memory march-pattern engine (Board Test substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.march_test import (
+    FaultKind,
+    InjectedFault,
+    MarchTester,
+    MemoryModel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMemoryModel:
+    def test_healthy_memory_roundtrips(self):
+        memory = MemoryModel(256)
+        memory.write(10, 0xA5)
+        assert memory.read(10) == 0xA5
+
+    def test_stuck_at_zero_clears_bit(self):
+        memory = MemoryModel(64, faults=(
+            InjectedFault(FaultKind.STUCK_AT_ZERO, address=5, bit=3),))
+        memory.write(5, 0xFF)
+        assert memory.read(5) == 0xFF & ~0x08
+
+    def test_stuck_at_one_sets_bit(self):
+        memory = MemoryModel(64, faults=(
+            InjectedFault(FaultKind.STUCK_AT_ONE, address=7, bit=0),))
+        memory.write(7, 0x00)
+        assert memory.read(7) == 0x01
+
+    def test_address_alias_shadows_another_cell(self):
+        memory = MemoryModel(64, faults=(
+            InjectedFault(FaultKind.ADDRESS_ALIAS, address=8, alias_of=0),))
+        memory.write(0, 0x11)
+        memory.write(8, 0x22)   # lands on address 0
+        assert memory.read(0) == 0x22
+        assert memory.read(8) == 0x22
+
+    def test_fault_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(16, faults=(InjectedFault(FaultKind.STUCK_AT_ONE, 99),))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(0)
+
+
+class TestMarchPatterns:
+    def test_healthy_memory_passes_everything(self):
+        tester = MarchTester(MemoryModel(512))
+        assert tester.run_all() == []
+        assert tester.passed
+        assert tester.reads > 0 and tester.writes > 0
+
+    def test_walking_ones_catches_stuck_at_zero(self):
+        memory = MemoryModel(256, faults=(
+            InjectedFault(FaultKind.STUCK_AT_ZERO, address=100, bit=6),))
+        tester = MarchTester(memory)
+        tester.run_walking(ones=True)
+        assert not tester.passed
+        assert any(fault.address == 100 for fault in tester.faults)
+
+    def test_walking_zeros_catches_stuck_at_one(self):
+        memory = MemoryModel(256, faults=(
+            InjectedFault(FaultKind.STUCK_AT_ONE, address=33, bit=2),))
+        tester = MarchTester(memory)
+        tester.run_walking(ones=False)
+        assert any(fault.pattern == "walking-zeros" and fault.address == 33
+                   for fault in tester.faults)
+
+    def test_address_in_address_catches_aliasing(self):
+        memory = MemoryModel(512, faults=(
+            InjectedFault(FaultKind.ADDRESS_ALIAS, address=200, alias_of=40),))
+        tester = MarchTester(memory)
+        tester.run_address_in_address()
+        assert not tester.passed
+        faulty_addresses = {fault.address for fault in tester.faults}
+        assert faulty_addresses & {40, 200}
+
+    def test_mats_plus_catches_stuck_bits(self):
+        memory = MemoryModel(128, faults=(
+            InjectedFault(FaultKind.STUCK_AT_ZERO, address=64, bit=7),))
+        tester = MarchTester(memory)
+        tester.run_mats_plus()
+        assert any(fault.pattern == "mats+" for fault in tester.faults)
+
+    def test_fault_summary_groups_by_pattern(self):
+        memory = MemoryModel(64, faults=(
+            InjectedFault(FaultKind.STUCK_AT_ONE, address=1, bit=1),))
+        tester = MarchTester(memory)
+        tester.run_all()
+        summary = tester.fault_summary()
+        assert summary and all(count > 0 for count in summary.values())
+
+    def test_stride_reduces_coverage_cost(self):
+        fine = MarchTester(MemoryModel(1_024), stride=1)
+        coarse = MarchTester(MemoryModel(1_024), stride=16)
+        fine.run_address_in_address()
+        coarse.run_address_in_address()
+        assert coarse.reads < fine.reads
+
+    @settings(max_examples=20, deadline=None)
+    @given(address=st.integers(0, 255), bit=st.integers(0, 7),
+           stuck_one=st.booleans())
+    def test_any_single_stuck_bit_is_caught(self, address, bit, stuck_one):
+        kind = FaultKind.STUCK_AT_ONE if stuck_one else FaultKind.STUCK_AT_ZERO
+        memory = MemoryModel(256, faults=(InjectedFault(kind, address, bit),))
+        tester = MarchTester(memory)
+        tester.run_all()
+        assert not tester.passed
+        assert any(fault.address == address for fault in tester.faults)

@@ -1,0 +1,185 @@
+"""Tests for the metrics package (resources, LoC, configs, modifications)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ResourceExhaustedError
+from repro.hw.protocols.axi import axi4_stream
+from repro.hw.protocols.avalon import avalon_st
+from repro.metrics.configs import (
+    config_disparity,
+    interface_disparity,
+    simplification_factor,
+)
+from repro.metrics.loc import (
+    LocInventory,
+    Migration,
+    aggregate_reuse,
+    reuse_rate,
+    shell_fraction,
+)
+from repro.metrics.modifications import reduction_factor, trace_modifications
+from repro.metrics.resources import (
+    ResourceBudget,
+    ResourceUsage,
+    reduction_fraction,
+    utilisation_percent,
+)
+
+usage_strategy = st.builds(
+    ResourceUsage,
+    lut=st.integers(0, 10 ** 6), ff=st.integers(0, 10 ** 6),
+    bram_36k=st.integers(0, 5_000), uram=st.integers(0, 1_000),
+    dsp=st.integers(0, 10_000),
+)
+
+
+class TestResourceUsage:
+    def test_addition(self):
+        total = ResourceUsage(lut=10, ff=20) + ResourceUsage(lut=1, dsp=3)
+        assert total == ResourceUsage(lut=11, ff=20, dsp=3)
+
+    def test_subtraction_floors_at_zero(self):
+        assert (ResourceUsage(lut=5) - ResourceUsage(lut=9)).lut == 0
+
+    def test_scaled(self):
+        assert ResourceUsage(lut=100).scaled(0.5).lut == 50
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceUsage(lut=-1)
+
+    def test_total(self):
+        total = ResourceUsage.total([ResourceUsage(lut=1), ResourceUsage(lut=2)])
+        assert total.lut == 3
+
+    def test_is_zero(self):
+        assert ResourceUsage().is_zero
+        assert not ResourceUsage(ff=1).is_zero
+
+    @given(usage_strategy, usage_strategy)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+
+class TestResourceBudget:
+    BUDGET = ResourceBudget(lut=1_000, ff=2_000, bram_36k=10, uram=0, dsp=100)
+
+    def test_utilisation(self):
+        util = self.BUDGET.utilisation(ResourceUsage(lut=500))
+        assert util["lut"] == pytest.approx(0.5)
+
+    def test_using_absent_resource_raises(self):
+        with pytest.raises(ResourceExhaustedError):
+            self.BUDGET.utilisation(ResourceUsage(uram=1))
+
+    def test_zero_usage_of_absent_resource_is_fine(self):
+        assert self.BUDGET.utilisation(ResourceUsage())["uram"] == 0.0
+
+    def test_check_fits_overflow(self):
+        with pytest.raises(ResourceExhaustedError, match="lut"):
+            self.BUDGET.check_fits(ResourceUsage(lut=1_001))
+
+    def test_headroom(self):
+        headroom = self.BUDGET.headroom(ResourceUsage(lut=400))
+        assert headroom.lut == 600
+
+    def test_utilisation_percent(self):
+        assert utilisation_percent(ResourceUsage(lut=250), self.BUDGET)["lut"] == 25.0
+
+    def test_reduction_fraction(self):
+        red = reduction_fraction(ResourceUsage(lut=100), ResourceUsage(lut=80))
+        assert red["lut"] == pytest.approx(0.2)
+
+    def test_reduction_fraction_zero_base(self):
+        assert reduction_fraction(ResourceUsage(), ResourceUsage())["lut"] == 0.0
+
+
+class TestLocInventory:
+    INV = LocInventory(common=600, vendor_specific=150, device_specific=250, generated=900)
+
+    def test_handcraft_excludes_generated(self):
+        assert self.INV.handcraft == 1_000
+        assert self.INV.total == 1_900
+
+    def test_reuse_by_migration_kind(self):
+        assert reuse_rate(self.INV, Migration.SAME_DEVICE) == 1.0
+        assert reuse_rate(self.INV, Migration.CROSS_CHIP) == pytest.approx(0.75)
+        assert reuse_rate(self.INV, Migration.CROSS_VENDOR) == pytest.approx(0.6)
+
+    def test_cross_vendor_reuses_less_than_cross_chip(self):
+        assert (self.INV.reused_on(Migration.CROSS_VENDOR)
+                <= self.INV.reused_on(Migration.CROSS_CHIP))
+
+    def test_redeveloped_complements_reused(self):
+        for migration in Migration:
+            assert (self.INV.reused_on(migration) + self.INV.redeveloped_on(migration)
+                    == self.INV.handcraft)
+
+    def test_no_handcraft_reuse_undefined(self):
+        with pytest.raises(ValueError):
+            reuse_rate(LocInventory(generated=100), Migration.CROSS_CHIP)
+
+    def test_shell_fraction(self):
+        shell = LocInventory(common=870)
+        role = LocInventory(common=130)
+        assert shell_fraction(shell, role) == pytest.approx(0.87)
+
+    def test_aggregate_reuse_weighted(self):
+        inventories = {
+            "a": LocInventory(common=100),
+            "b": LocInventory(device_specific=100),
+        }
+        assert aggregate_reuse(inventories, Migration.CROSS_VENDOR) == pytest.approx(0.5)
+
+    def test_negative_loc_rejected(self):
+        with pytest.raises(ValueError):
+            LocInventory(common=-1)
+
+    @given(st.integers(0, 10 ** 5), st.integers(0, 10 ** 5), st.integers(0, 10 ** 5))
+    def test_reuse_rate_within_unit_interval(self, common, vendor, device):
+        inventory = LocInventory(common, vendor, device)
+        if inventory.handcraft == 0:
+            return
+        for migration in Migration:
+            assert 0.0 <= reuse_rate(inventory, migration) <= 1.0
+
+
+class TestConfigMetrics:
+    def test_config_disparity_counts_missing_and_changed(self):
+        left = {"a": 1, "b": 2, "c": 3}
+        right = {"b": 2, "c": 9, "d": 4}
+        # a missing (1) + d missing (1) + c changed (1).
+        assert config_disparity(left, right) == 3
+
+    def test_identical_configs_zero(self):
+        assert config_disparity({"a": 1}, {"a": 1}) == 0
+
+    def test_interface_disparity_pairs_in_order(self):
+        assert interface_disparity([axi4_stream()], [axi4_stream("x")]) == 0
+
+    def test_interface_disparity_unpaired_counts_fully(self):
+        extra = avalon_st()
+        assert interface_disparity([axi4_stream()], [axi4_stream("x"), extra]) == extra.signal_count
+
+    def test_simplification_factor(self):
+        assert simplification_factor(100, 10) == pytest.approx(10.0)
+
+    def test_simplification_needs_positive_exposed(self):
+        with pytest.raises(ValueError):
+            simplification_factor(100, 0)
+
+
+class TestModifications:
+    def test_trace_modifications_matches_register_semantics(self):
+        old = [("write", "m", "A", 1), ("write", "m", "B", 2)]
+        new = [("write", "m", "A", 1), ("write", "m", "B", 3)]
+        assert trace_modifications(old, new) == 2
+
+    def test_reduction_factor_floors_command_side_at_one(self):
+        assert reduction_factor(100, 0) == 100.0
+        assert reduction_factor(100, 2) == 50.0
+
+    @given(st.lists(st.integers(0, 3), max_size=15))
+    def test_identical_traces_cost_zero(self, trace):
+        assert trace_modifications(trace, trace) == 0

@@ -1,0 +1,154 @@
+"""Tests for vendors, devices, the catalog, and the fleet model."""
+
+import pytest
+
+from repro.errors import ResourceExhaustedError
+from repro.metrics.resources import ResourceUsage
+from repro.platform.catalog import (
+    DEVICE_A,
+    DEVICE_B,
+    DEVICE_C,
+    DEVICE_D,
+    all_devices,
+    device_by_name,
+    evaluation_devices,
+)
+from repro.platform.device import (
+    AGILEX,
+    FpgaDevice,
+    PcieGeneration,
+    Peripheral,
+    PeripheralKind,
+    SUPPORTED_FAMILIES,
+    VIRTEX_ULTRASCALE_PLUS,
+)
+from repro.platform.fleet import FleetHistory, Introduction, production_fleet
+from repro.platform.vendor import (
+    DEFAULT_TOOLCHAINS,
+    IpPackaging,
+    Vendor,
+    default_toolchain,
+)
+
+
+class TestVendors:
+    def test_every_vendor_has_a_toolchain(self):
+        for vendor in Vendor:
+            assert default_toolchain(vendor).vendor is vendor
+
+    def test_packaging_formats_differ(self):
+        assert default_toolchain(Vendor.XILINX).ip_packaging is IpPackaging.IP_XACT
+        assert default_toolchain(Vendor.INTEL).ip_packaging is IpPackaging.PLATFORM_DESIGNER
+
+    def test_dependency_key(self):
+        tool = default_toolchain(Vendor.XILINX)
+        assert tool.dependency_key() == ("vivado", tool.version)
+
+
+class TestPcieGeneration:
+    def test_per_lane_rate_doubles(self):
+        assert PcieGeneration.GEN4.per_lane_gbps == pytest.approx(
+            2 * PcieGeneration.GEN3.per_lane_gbps, rel=0.01
+        )
+
+    def test_gen4_x8_is_16gbs(self):
+        link = Peripheral(PeripheralKind.PCIE, pcie_generation=PcieGeneration.GEN4,
+                          pcie_lanes=8)
+        assert link.host_gbps == pytest.approx(126, rel=0.01)
+
+
+class TestPeripheral:
+    def test_pcie_needs_generation_and_lanes(self):
+        with pytest.raises(ValueError):
+            Peripheral(PeripheralKind.PCIE)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Peripheral(PeripheralKind.QSFP28, count=0)
+
+    def test_network_bandwidth_scales_with_count(self):
+        assert Peripheral(PeripheralKind.QSFP28, count=2).network_gbps == 200.0
+
+    def test_hbm_bandwidth(self):
+        assert Peripheral(PeripheralKind.HBM).memory_gbps == 460.0
+
+
+class TestCatalog:
+    def test_table2_devices_match_paper(self):
+        assert DEVICE_A.chip == "XCVU35P"
+        assert DEVICE_A.board_vendor is Vendor.XILINX
+        assert DEVICE_A.has_peripheral(PeripheralKind.HBM)
+        assert DEVICE_B.chip == "XCVU9P"
+        assert DEVICE_B.board_vendor is Vendor.INHOUSE
+        assert DEVICE_C.has_peripheral(PeripheralKind.DSFP)
+        assert DEVICE_D.board_vendor is Vendor.INTEL
+
+    def test_chip_vendor_follows_silicon_not_board(self):
+        # Device B is an in-house board carrying Xilinx silicon.
+        assert DEVICE_B.board_vendor is Vendor.INHOUSE
+        assert DEVICE_B.chip_vendor is Vendor.XILINX
+
+    def test_every_device_has_exactly_one_pcie_link(self):
+        for device in all_devices():
+            assert device.pcie.kind is PeripheralKind.PCIE
+
+    def test_lookup_by_name(self):
+        assert device_by_name("device-a") is DEVICE_A
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="device-a"):
+            device_by_name("nonexistent")
+
+    def test_evaluation_devices_are_four(self):
+        assert len(evaluation_devices()) == 4
+
+    def test_catalog_covers_multiple_process_nodes(self):
+        nodes = {device.family.process_nm for device in all_devices()}
+        assert len(nodes) >= 3
+
+    def test_supported_families_match_paper_list(self):
+        names = {family.name for family in SUPPORTED_FAMILIES}
+        assert {"Virtex UltraScale+", "Agilex", "Stratix 10", "Arria 10",
+                "Zynq 7000", "Virtex UltraScale"} == names
+
+    def test_describe_mentions_pcie(self):
+        assert "PCIe Gen4x8" in DEVICE_A.describe()
+
+    def test_budget_rejects_oversized_design(self):
+        huge = ResourceUsage(lut=DEVICE_A.budget.lut + 1)
+        with pytest.raises(ResourceExhaustedError):
+            DEVICE_A.budget.check_fits(huge)
+
+    def test_device_without_memory_has_no_memory_kinds(self):
+        assert DEVICE_C.memory_kinds == []
+        assert PeripheralKind.HBM in DEVICE_A.memory_kinds
+
+
+class TestFleet:
+    def test_production_fleet_grows_every_year(self):
+        assert production_fleet().is_monotonically_growing()
+
+    def test_new_devices_every_year(self):
+        fleet = production_fleet()
+        assert all(fleet.new_device_types(year) >= 1 for year in fleet.years)
+
+    def test_years_span_2020_to_2024(self):
+        assert production_fleet().years == [2020, 2021, 2022, 2023, 2024]
+
+    def test_lifecycle_retires_units(self):
+        fleet = FleetHistory([Introduction(2020, "old", 100, lifecycle_years=2)])
+        assert fleet.active_units(2021) == 100
+        assert fleet.active_units(2022) == 0
+
+    def test_device_type_count_reflects_heterogeneity(self):
+        fleet = production_fleet()
+        assert fleet.device_type_count(2024) > fleet.device_type_count(2020)
+
+    def test_growth_table_rows(self):
+        rows = production_fleet().growth_table()
+        assert len(rows) == 5
+        year, new_types, total = rows[0]
+        assert year == 2020 and new_types == 3 and total > 0
+
+    def test_empty_fleet(self):
+        assert FleetHistory([]).years == []

@@ -1,0 +1,72 @@
+"""Tests for the dynamic-power model."""
+
+import pytest
+
+from repro.apps import SecGateway, all_applications
+from repro.baselines import CoyoteFramework, HarmoniaFramework, VitisFramework
+from repro.core.shell import build_unified_shell
+from repro.errors import ConfigurationError
+from repro.metrics.power import (
+    dynamic_power_mw,
+    estimate,
+    tailoring_power_saving_mw,
+)
+from repro.metrics.resources import ResourceUsage
+from repro.platform.catalog import DEVICE_A
+
+
+class TestModel:
+    def test_power_scales_linearly_with_usage(self):
+        single = dynamic_power_mw(ResourceUsage(lut=10_000))
+        double = dynamic_power_mw(ResourceUsage(lut=20_000))
+        assert double == pytest.approx(2 * single)
+
+    def test_power_scales_with_toggle_rate_and_clock(self):
+        usage = ResourceUsage(lut=50_000, bram_36k=100)
+        base = dynamic_power_mw(usage, toggle_rate=0.25, clock_mhz=300.0)
+        hot = dynamic_power_mw(usage, toggle_rate=0.5, clock_mhz=600.0)
+        assert hot == pytest.approx(4 * base)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_power_mw(ResourceUsage(lut=1), toggle_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            dynamic_power_mw(ResourceUsage(lut=1), clock_mhz=-1.0)
+
+    def test_estimate_includes_device_leakage(self):
+        result = estimate(DEVICE_A, ResourceUsage(lut=10_000))
+        assert result.static_mw > 0
+        assert result.total_mw == pytest.approx(result.static_mw + result.dynamic_mw)
+        assert result.total_w == pytest.approx(result.total_mw / 1_000.0)
+
+    def test_estimate_rejects_oversized_designs(self):
+        with pytest.raises(Exception):
+            estimate(DEVICE_A, ResourceUsage(lut=DEVICE_A.budget.lut + 1))
+
+
+class TestPaperClaims:
+    def test_tailored_shells_save_dynamic_power(self):
+        """Section 5.4: tailoring 'helps reduce dynamic power consumption'."""
+        unified = build_unified_shell(DEVICE_A).resources()
+        for app in all_applications():
+            tailored = app.tailored_shell(DEVICE_A).resources()
+            saving = tailoring_power_saving_mw(DEVICE_A, unified, tailored)
+            assert saving > 0, app.name
+
+    def test_sec_gateway_saves_the_most(self):
+        unified = build_unified_shell(DEVICE_A).resources()
+        savings = {
+            app.name: tailoring_power_saving_mw(
+                DEVICE_A, unified, app.tailored_shell(DEVICE_A).resources()
+            )
+            for app in all_applications()
+            if app.name in ("sec-gateway", "layer4-lb", "retrieval")
+        }
+        assert max(savings, key=savings.get) == "sec-gateway"
+
+    def test_harmonia_shells_burn_less_than_baselines(self):
+        for bench in ("matmul", "database", "tcp"):
+            harmonia = HarmoniaFramework().deploy(DEVICE_A, bench).resources
+            for framework in (VitisFramework(), CoyoteFramework()):
+                baseline = framework.deploy(DEVICE_A, bench).resources
+                assert dynamic_power_mw(harmonia) < dynamic_power_mw(baseline)

@@ -1,0 +1,120 @@
+"""System-level property tests: invariants over randomised role demands.
+
+These fuzz the tailoring + manifest + control-plane stack with arbitrary
+(but satisfiable) role demands and check the invariants the design
+promises for *every* role, not just the five applications.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.host_software import ControlPlane
+from repro.core.manifest import from_json, shell_manifest, to_json
+from repro.core.role import Architecture, Role, RoleDemands
+from repro.core.shell import build_unified_shell
+from repro.core.tailoring import HierarchicalTailor
+from repro.platform.catalog import DEVICE_A, DEVICE_B, DEVICE_D, device_by_name
+
+DEVICES = ("device-a", "device-b", "device-d")
+
+demand_strategy = st.builds(
+    RoleDemands,
+    network_gbps=st.sampled_from([0.0, 25.0, 100.0]),
+    memory_bandwidth_gibps=st.sampled_from([0.0, 19.0]),
+    memory_capacity_gib=st.sampled_from([0, 8]),
+    host_gbps=st.sampled_from([8.0, 32.0, 64.0]),
+    bulk_dma=st.booleans(),
+    tenants=st.sampled_from([1, 2, 4]),
+    needs_multicast=st.booleans(),
+    needs_flow_steering=st.booleans(),
+    needs_hot_cache=st.booleans(),
+    user_clock_mhz=st.sampled_from([250.0, 300.0, 350.0]),
+)
+
+
+def satisfiable(device_name: str, demands: RoleDemands) -> bool:
+    device = device_by_name(device_name)
+    if demands.needs_network and device.network_gbps < demands.network_gbps:
+        return False
+    if demands.needs_memory and not device.memory_kinds:
+        return False
+    return True
+
+
+def tailor(device_name: str, demands: RoleDemands):
+    device = device_by_name(device_name)
+    role = Role("fuzz", Architecture.BUMP_IN_THE_WIRE, demands)
+    unified = build_unified_shell(device, tenants=demands.tenants)
+    return unified, HierarchicalTailor(unified).tailor(role)
+
+
+@settings(max_examples=40, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_tailored_never_exceeds_unified_resources(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    unified, tailored = tailor(device_name, demands)
+    # Fabric-dominant kinds are monotone under tailoring.  DSP/URAM may
+    # legitimately rise when instance substitution trades a few DSPs for
+    # tens of thousands of LUTs (e.g. DDR4 MIG vs the DSP-free HBM).
+    for kind in ("lut", "ff", "bram_36k"):
+        assert getattr(tailored.resources(), kind) <= getattr(unified.resources(), kind)
+
+
+@settings(max_examples=40, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_tailored_shell_always_fits_its_device(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    _unified, tailored = tailor(device_name, demands)
+    device_by_name(device_name).budget.check_fits(tailored.resources())
+
+
+@settings(max_examples=40, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_retained_rbbs_exactly_match_demands(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    _unified, tailored = tailor(device_name, demands)
+    assert ("network" in tailored.rbbs) == demands.needs_network
+    assert ("memory" in tailored.rbbs) == demands.needs_memory
+    assert ("host" in tailored.rbbs) == demands.needs_host
+
+
+@settings(max_examples=40, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_selected_instances_meet_performance_demands(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    _unified, tailored = tailor(device_name, demands)
+    network = tailored.rbbs.get("network")
+    if network is not None:
+        assert network.instance.performance_gbps >= demands.network_gbps
+    memory = tailored.rbbs.get("memory")
+    if memory is not None:
+        assert memory.instance.performance_gbps / 8 >= demands.memory_bandwidth_gibps
+
+
+@settings(max_examples=25, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_property_split_covers_the_native_inventory(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    _unified, tailored = tailor(device_name, demands)
+    covered = (tailored.role_config_item_count()
+               + len(tailored.shell_oriented_properties))
+    assert covered >= tailored.native_config_item_count()
+
+
+@settings(max_examples=20, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_manifest_roundtrip_for_any_role(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    _unified, tailored = tailor(device_name, demands)
+    rebuilt = from_json(to_json(tailored))
+    assert shell_manifest(rebuilt) == shell_manifest(tailored)
+
+
+@settings(max_examples=15, deadline=None)
+@given(device_name=st.sampled_from(DEVICES), demands=demand_strategy)
+def test_command_bring_up_never_fails_for_any_role(device_name, demands):
+    assume(satisfiable(device_name, demands))
+    _unified, tailored = tailor(device_name, demands)
+    control = ControlPlane(tailored)
+    control.command_full_init()
+    assert control.kernel.commands_failed == 0

@@ -1,0 +1,91 @@
+"""Tests for the benchmark-report collator."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import (
+    EXPECTED_EXPERIMENTS,
+    EXTENSION_EXPERIMENTS,
+    build_report,
+    load_results,
+    missing_experiments,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def fake_results(tmp_path):
+    """A results directory with every expected artifact present."""
+    for name in EXPECTED_EXPERIMENTS + EXTENSION_EXPERIMENTS[:2]:
+        (tmp_path / f"{name}.txt").write_text(f"{name}: row1\n")
+    return tmp_path
+
+
+class TestLoadAndCheck:
+    def test_load_reads_every_artifact(self, fake_results):
+        results = load_results(fake_results)
+        assert set(EXPECTED_EXPERIMENTS) <= set(results)
+        assert results["fig11_tailoring_resources"].startswith("fig11")
+
+    def test_missing_detected(self, tmp_path):
+        (tmp_path / "fig11_tailoring_resources.txt").write_text("x\n")
+        results = load_results(tmp_path)
+        missing = missing_experiments(results)
+        assert "fig13_command_modifications" in missing
+        assert "fig11_tailoring_resources" not in missing
+
+    def test_absent_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="run pytest"):
+            load_results(tmp_path / "nope")
+
+
+class TestBuildReport:
+    def test_complete_run_reports_full_counts(self, fake_results):
+        report = build_report(fake_results)
+        assert f"paper experiments reproduced: {len(EXPECTED_EXPERIMENTS)}/" in report
+        assert "INCOMPLETE" not in report
+        assert "EXTENSIONS AND ABLATIONS" in report
+
+    def test_incomplete_run_flags_missing(self, tmp_path):
+        (tmp_path / "fig11_tailoring_resources.txt").write_text("x\n")
+        report = build_report(tmp_path)
+        assert "INCOMPLETE RUN" in report
+        assert "- fig13_command_modifications" in report
+
+    def test_experiment_bodies_included_in_order(self, fake_results):
+        report = build_report(fake_results)
+        first = report.index("fig03a_shell_role_workload: row1")
+        last = report.index("table4_interface_simplification: row1")
+        assert first < last
+
+    def test_expected_list_matches_bench_suite(self):
+        """Every emit() in benchmarks/ appears in the expected lists."""
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        emitted = set()
+        for path in bench_dir.glob("test_*.py"):
+            text = path.read_text()
+            position = 0
+            while True:
+                position = text.find('emit("', position)
+                if position < 0:
+                    break
+                position += len('emit("')
+                emitted.add(text[position:text.index('"', position)])
+        expected = set(EXPECTED_EXPERIMENTS) | set(EXTENSION_EXPERIMENTS)
+        assert emitted <= expected
+        # Experiments emitted through a parametrised variable still
+        # appear as string literals in some benchmark source.
+        all_sources = "".join(path.read_text() for path in bench_dir.glob("test_*.py"))
+        for name in expected - emitted:
+            assert f'"{name}"' in all_sources, name
+
+
+class TestCliReport:
+    def test_report_command_runs_against_real_results(self, capsys):
+        # The repository ships with a full benchmark run's artifacts.
+        code = main(["report"])
+        out = capsys.readouterr().out
+        assert "Harmonia reproduction -- benchmark report" in out
+        assert code in (0, 3)

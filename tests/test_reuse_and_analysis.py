@@ -1,0 +1,85 @@
+"""Tests for development-workload claims (Figs 3a/14/15) and formatting."""
+
+import pytest
+
+from repro.analysis.tables import format_percent, format_series, format_table
+from repro.apps import all_applications
+from repro.core.rbb.host import HostRbb
+from repro.core.rbb.memory import MemoryRbb
+from repro.core.rbb.network import NetworkRbb
+from repro.core.shell import build_unified_shell
+from repro.metrics.loc import Migration, reuse_rate, shell_fraction
+from repro.platform.catalog import DEVICE_A
+
+
+class TestRbbReuse:
+    """Figure 14: 69-76% cross-vendor, 84-93% cross-chip reuse."""
+
+    @pytest.mark.parametrize("rbb_factory", [NetworkRbb, HostRbb, MemoryRbb])
+    def test_cross_vendor_band(self, rbb_factory):
+        rate = reuse_rate(rbb_factory().loc(), Migration.CROSS_VENDOR)
+        assert 0.65 <= rate <= 0.78
+
+    @pytest.mark.parametrize("rbb_factory", [NetworkRbb, HostRbb, MemoryRbb])
+    def test_cross_chip_band(self, rbb_factory):
+        rate = reuse_rate(rbb_factory().loc(), Migration.CROSS_CHIP)
+        assert 0.82 <= rate <= 0.95
+
+    @pytest.mark.parametrize("rbb_factory", [NetworkRbb, HostRbb, MemoryRbb])
+    def test_cross_chip_always_reuses_more(self, rbb_factory):
+        loc = rbb_factory().loc()
+        assert (reuse_rate(loc, Migration.CROSS_CHIP)
+                > reuse_rate(loc, Migration.CROSS_VENDOR))
+
+    def test_same_device_reuse_is_total(self):
+        assert reuse_rate(NetworkRbb().loc(), Migration.SAME_DEVICE) == 1.0
+
+
+class TestApplicationReuse:
+    """Figure 15: 70-80% shell reuse across applications."""
+
+    @pytest.mark.parametrize("app_index", range(5))
+    def test_app_shell_reuse_band(self, app_index):
+        app = all_applications()[app_index]
+        loc = app.tailored_shell(DEVICE_A).loc()
+        assert 0.65 <= reuse_rate(loc, Migration.CROSS_VENDOR) <= 0.80
+
+
+class TestShellFraction:
+    """Figure 3a: shells occupy 66-87% of handcraft logic."""
+
+    def test_fractions_in_band(self):
+        fractions = {
+            app.name: shell_fraction(app.tailored_shell(DEVICE_A).loc(), app.role().loc)
+            for app in all_applications()
+        }
+        assert all(0.60 <= value <= 0.90 for value in fractions.values()), fractions
+        # The extremes follow the paper's ordering: Sec-Gateway highest,
+        # Host Network lowest.
+        assert max(fractions, key=fractions.get) == "sec-gateway"
+        assert min(fractions, key=fractions.get) == "host-network"
+
+
+class TestFormatting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert len(lines) == 5
+
+    def test_format_percent(self):
+        assert format_percent(0.137) == "13.7%"
+        assert format_percent(0.0363, digits=2) == "3.63%"
+
+    def test_format_series(self):
+        line = format_series("fig", {"x4": 953.2, "x8": 1905.0}, unit="mm/s")
+        assert line.startswith("fig: x4=953")
+        assert line.endswith("mm/s")
+
+    def test_float_rendering_thresholds(self):
+        table = format_table(["v"], [[12_345.6], [42.0], [0.123], [0]])
+        assert "12,346" in table
+        assert "42.0" in table
+        assert "0.123" in table

@@ -1,0 +1,83 @@
+"""Unit tests for clock domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import ClockDomain
+
+
+class TestConstruction:
+    def test_period_of_100mhz_is_10ns(self):
+        assert ClockDomain("c", 100.0).period_ps == 10_000
+
+    def test_fractional_frequency_rounds_to_ps(self):
+        # The CMAC clock: 322.265625 MHz -> 3103.03 ps -> 3103 ps.
+        assert ClockDomain("cmac", 322.265625).period_ps == 3_103
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0.0)
+        with pytest.raises(ValueError):
+            ClockDomain("bad", -5.0)
+
+    def test_freq_hz(self):
+        assert ClockDomain("c", 250.0).freq_hz == pytest.approx(250e6)
+
+    def test_str_includes_name_and_frequency(self):
+        assert str(ClockDomain("core", 322.5)) == "core@322.5MHz"
+
+    def test_frozen(self):
+        clock = ClockDomain("c", 100.0)
+        with pytest.raises(AttributeError):
+            clock.freq_mhz = 200.0
+
+
+class TestConversions:
+    def test_cycles_to_ps(self):
+        assert ClockDomain("c", 100.0).cycles_to_ps(3) == 30_000
+
+    def test_ps_to_cycles_floors(self):
+        clock = ClockDomain("c", 100.0)
+        assert clock.ps_to_cycles(25_000) == 2
+
+    def test_roundtrip_whole_cycles(self):
+        clock = ClockDomain("c", 250.0)
+        assert clock.ps_to_cycles(clock.cycles_to_ps(17)) == 17
+
+    def test_next_edge_on_edge_is_identity(self):
+        clock = ClockDomain("c", 100.0)
+        assert clock.next_edge_ps(20_000) == 20_000
+
+    def test_next_edge_rounds_up(self):
+        clock = ClockDomain("c", 100.0)
+        assert clock.next_edge_ps(20_001) == 30_000
+
+    def test_next_edge_at_zero(self):
+        assert ClockDomain("c", 100.0).next_edge_ps(0) == 0
+
+
+class TestBandwidth:
+    def test_bandwidth_of_512b_at_322mhz_is_165g(self):
+        clock = ClockDomain("cmac", 322.265625)
+        assert clock.bandwidth_bps(512) == pytest.approx(165e9, rel=0.01)
+
+    def test_bandwidth_scales_linearly_with_width(self):
+        clock = ClockDomain("c", 200.0)
+        assert clock.bandwidth_bps(128) * 4 == pytest.approx(clock.bandwidth_bps(512))
+
+
+@given(freq=st.floats(min_value=1.0, max_value=4_000.0),
+       cycles=st.integers(min_value=0, max_value=10_000))
+def test_cycles_to_ps_is_linear(freq, cycles):
+    clock = ClockDomain("c", freq)
+    assert clock.cycles_to_ps(cycles) == cycles * clock.period_ps
+
+
+@given(freq=st.floats(min_value=1.0, max_value=4_000.0),
+       time_ps=st.integers(min_value=0, max_value=10 ** 9))
+def test_next_edge_is_aligned_and_not_before(freq, time_ps):
+    clock = ClockDomain("c", freq)
+    edge = clock.next_edge_ps(time_ps)
+    assert edge >= time_ps
+    assert edge % clock.period_ps == 0
+    assert edge - time_ps < clock.period_ps

@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.engine import (
+    PS_PER_NS,
+    PS_PER_US,
+    Simulator,
+    ms,
+    ns,
+    seconds,
+    us,
+)
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now_ps == 0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(300, lambda: fired.append("late"))
+        sim.schedule(100, lambda: fired.append("early"))
+        sim.schedule(200, lambda: fired.append("middle"))
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(100, lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_time_advances_to_event_timestamp(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(250, lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert seen == [250]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(500, lambda: seen.append(sim.now_ps))
+        sim.run()
+        assert seen == [500]
+
+    def test_events_scheduled_during_run_also_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(50, lambda: fired.append("nested"))
+
+        sim.schedule(100, first)
+        sim.run()
+        assert fired == ["first", "nested"]
+        assert sim.now_ps == 150
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(100, lambda: fired.append(True))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_event_not_counted_pending(self):
+        sim = Simulator()
+        event = sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+    def test_peek_skips_cancelled_events(self):
+        sim = Simulator()
+        event = sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        event.cancel()
+        assert sim.peek_next_time() == 200
+
+
+class TestRunControl:
+    def test_run_until_deadline_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append("a"))
+        sim.schedule(500, lambda: fired.append("b"))
+        sim.run(until_ps=200)
+        assert fired == ["a"]
+        assert sim.now_ps == 200
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_includes_events_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(200, lambda: fired.append(True))
+        sim.run(until_ps=200)
+        assert fired == [True]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        fired = []
+        for delay in (10, 20, 30):
+            sim.schedule(delay, lambda: fired.append(True))
+        processed = sim.run(max_events=2)
+        assert processed == 2
+        assert len(fired) == 2
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        for delay in (10, 20, 30):
+            sim.schedule(delay, lambda: None)
+        assert sim.run() == 3
+        assert sim.events_processed == 3
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except RuntimeError as error:
+                errors.append(error)
+
+        sim.schedule(10, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+
+class TestAdvance:
+    def test_advance_moves_clock(self):
+        sim = Simulator()
+        sim.advance_to(1_000)
+        assert sim.now_ps == 1_000
+
+    def test_advance_backwards_rejected(self):
+        sim = Simulator()
+        sim.advance_to(1_000)
+        with pytest.raises(ValueError):
+            sim.advance_to(500)
+
+    def test_advance_past_pending_event_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        with pytest.raises(ValueError):
+            sim.advance_to(200)
+
+
+class TestTimeConversions:
+    def test_now_properties_scale(self):
+        sim = Simulator()
+        sim.advance_to(2_500_000)
+        assert sim.now_ns == pytest.approx(2_500.0)
+        assert sim.now_us == pytest.approx(2.5)
+
+    @pytest.mark.parametrize(
+        "func,value,expected",
+        [(ns, 1, 1_000), (ns, 0.5, 500), (us, 1, 1_000_000),
+         (ms, 2, 2_000_000_000), (seconds, 1, 10 ** 12)],
+    )
+    def test_helpers(self, func, value, expected):
+        assert func(value) == expected
+
+    def test_constants_consistent(self):
+        assert PS_PER_US == 1_000 * PS_PER_NS

@@ -1,0 +1,151 @@
+"""Unit and property tests for the FIFO models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import ClockDomain
+from repro.sim.fifo import (
+    AsyncFifo,
+    FifoEmptyError,
+    FifoFullError,
+    SyncFifo,
+    from_gray,
+    to_gray,
+)
+
+
+class TestGrayCode:
+    @pytest.mark.parametrize("value,gray", [(0, 0), (1, 1), (2, 3), (3, 2), (4, 6)])
+    def test_known_values(self, value, gray):
+        assert to_gray(value) == gray
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_roundtrip(self, value):
+        assert from_gray(to_gray(value)) == value
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_adjacent_codes_differ_in_one_bit(self, value):
+        diff = to_gray(value) ^ to_gray(value + 1)
+        assert bin(diff).count("1") == 1
+
+
+class TestSyncFifo:
+    def test_fifo_order(self):
+        fifo = SyncFifo("f", 4)
+        for item in "abc":
+            fifo.push(item)
+        assert [fifo.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_push_to_full_raises_and_counts_drop(self):
+        fifo = SyncFifo("f", 1)
+        fifo.push("x")
+        with pytest.raises(FifoFullError):
+            fifo.push("y")
+        assert fifo.drops == 1
+
+    def test_try_push_returns_false_when_full(self):
+        fifo = SyncFifo("f", 1)
+        assert fifo.try_push("x") is True
+        assert fifo.try_push("y") is False
+
+    def test_pop_from_empty_raises(self):
+        with pytest.raises(FifoEmptyError):
+            SyncFifo("f", 2).pop()
+
+    def test_peek_does_not_consume(self):
+        fifo = SyncFifo("f", 2)
+        fifo.push("x")
+        assert fifo.peek() == "x"
+        assert fifo.occupancy == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(FifoEmptyError):
+            SyncFifo("f", 2).peek()
+
+    def test_occupancy_and_flags(self):
+        fifo = SyncFifo("f", 2)
+        assert fifo.is_empty and not fifo.is_full
+        fifo.push("x")
+        fifo.push("y")
+        assert fifo.is_full and not fifo.is_empty
+
+    def test_peak_occupancy_tracks_high_water(self):
+        fifo = SyncFifo("f", 4)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        fifo.push(3)
+        assert fifo.peak_occupancy == 2
+
+    def test_push_pop_counters(self):
+        fifo = SyncFifo("f", 4)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        assert fifo.total_pushed == 2
+        assert fifo.total_popped == 1
+
+    def test_entry_records_enqueue_time(self):
+        fifo = SyncFifo("f", 4)
+        fifo.push("x", time_ps=123)
+        entry = fifo.pop_entry()
+        assert entry.item == "x"
+        assert entry.enqueue_time_ps == 123
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SyncFifo("f", 0)
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_fifo_preserves_sequence(self, items):
+        fifo = SyncFifo("f", max(len(items), 1))
+        for item in items:
+            fifo.push(item)
+        assert [fifo.pop() for _ in items] == items
+
+
+class TestAsyncFifo:
+    def _fifo(self, write_mhz=322.0, read_mhz=250.0, stages=2):
+        return AsyncFifo(
+            "cdc", 32,
+            write_clock=ClockDomain("w", write_mhz),
+            read_clock=ClockDomain("r", read_mhz),
+            sync_stages=stages,
+        )
+
+    def test_crossing_latency_counts_read_clock_cycles(self):
+        fifo = self._fifo(read_mhz=100.0, stages=2)
+        # 2 synchroniser flops + 1 output register at 10 ns each.
+        assert fifo.crossing_latency_ps == 30_000
+
+    def test_more_stages_means_more_latency(self):
+        assert self._fifo(stages=3).crossing_latency_ps > self._fifo(stages=2).crossing_latency_ps
+
+    def test_sync_stages_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self._fifo(stages=0)
+
+    def test_bandwidth_for_both_ports(self):
+        fifo = self._fifo(write_mhz=322.265625, read_mhz=250.0)
+        write_bw, read_bw = fifo.bandwidth_for(512, 1024)
+        assert write_bw == pytest.approx(322.265625e6 * 512)
+        assert read_bw == pytest.approx(250e6 * 1024)
+
+    def test_lossless_when_read_faster(self):
+        # The paper's S x M = R x U rule: 322 MHz x 512 b < 250 MHz x 1024 b.
+        fifo = self._fifo(write_mhz=322.265625, read_mhz=250.0)
+        assert fifo.is_lossless(512, 1024)
+
+    def test_lossy_when_read_slower(self):
+        fifo = self._fifo(write_mhz=322.265625, read_mhz=250.0)
+        assert not fifo.is_lossless(512, 512)
+
+    def test_exact_rate_match_is_lossless(self):
+        fifo = self._fifo(write_mhz=500.0, read_mhz=250.0)
+        assert fifo.is_lossless(512, 1024)
+
+    def test_inherits_fifo_semantics(self):
+        fifo = self._fifo()
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.pop() == "a"

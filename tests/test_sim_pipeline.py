@@ -1,0 +1,188 @@
+"""Unit and property tests for the pipeline timing model.
+
+The load-bearing invariant for the whole evaluation lives here: adding
+a fully pipelined stage never reduces a chain's throughput, and adds
+exactly its fixed latency.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clock import ClockDomain
+from repro.sim.pipeline import (
+    PipelineChain,
+    PipelineStage,
+    Transaction,
+    run_packet_sweep,
+)
+
+
+def make_stage(name="s", freq=250.0, width=512, latency=4, ii=1, overhead=0):
+    return PipelineStage(
+        name, ClockDomain(name, freq), width,
+        latency_cycles=latency, initiation_interval=ii,
+        per_transaction_overhead_cycles=overhead,
+    )
+
+
+class TestStage:
+    def test_beats_rounds_up(self):
+        stage = make_stage(width=512)
+        assert stage.beats(64) == 1
+        assert stage.beats(65) == 2
+        assert stage.beats(128) == 2
+
+    def test_zero_size_takes_one_beat(self):
+        assert make_stage().beats(0) == 1
+
+    def test_bandwidth(self):
+        stage = make_stage(freq=250.0, width=512)
+        assert stage.bandwidth_bps == pytest.approx(128e9)
+
+    def test_initiation_interval_halves_bandwidth(self):
+        assert make_stage(ii=2).bandwidth_bps == pytest.approx(make_stage(ii=1).bandwidth_bps / 2)
+
+    def test_effective_bandwidth_penalised_by_overhead(self):
+        plain = make_stage(overhead=0)
+        taxed = make_stage(overhead=4)
+        assert taxed.effective_bandwidth_bps(64) < plain.effective_bandwidth_bps(64)
+        # Overhead amortises with size.
+        small_ratio = taxed.effective_bandwidth_bps(64) / plain.effective_bandwidth_bps(64)
+        large_ratio = taxed.effective_bandwidth_bps(4_096) / plain.effective_bandwidth_bps(4_096)
+        assert large_ratio > small_ratio
+
+    def test_overhead_bytes_converted_to_cycles(self):
+        stage = PipelineStage("s", ClockDomain("c", 100.0), 64,
+                              per_transaction_overhead_bytes=20)
+        assert stage.per_transaction_overhead_cycles == 3  # ceil(160/64)
+
+    def test_process_latency_is_fixed_cycles(self):
+        stage = make_stage(freq=100.0, latency=5)  # 10 ns period
+        timing = stage.process(arrival_ps=0, size_bytes=64)
+        assert timing.first_beat_out_ps == 50_000
+
+    def test_back_to_back_transactions_queue_on_busy_stage(self):
+        stage = make_stage(freq=100.0, width=512, latency=1)
+        first = stage.process(0, 512)   # 8 beats -> busy 80 ns
+        second = stage.process(0, 512)
+        assert second.start_ps >= first.start_ps + 80_000
+
+    def test_reset_clears_occupancy(self):
+        stage = make_stage()
+        stage.process(0, 4_096)
+        stage.reset()
+        timing = stage.process(0, 64)
+        assert timing.start_ps == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"width": 0}, {"latency": -1}, {"ii": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        mapping = {"width": "width", "latency": "latency", "ii": "ii"}
+        with pytest.raises(ValueError):
+            make_stage(**{mapping[k]: v for k, v in kwargs.items()})
+
+
+class TestChain:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineChain("empty", [])
+
+    def test_bandwidth_is_bottleneck(self):
+        fast = make_stage("fast", freq=500.0)
+        slow = make_stage("slow", freq=100.0)
+        chain = PipelineChain("c", [fast, slow])
+        assert chain.bandwidth_bps() == pytest.approx(slow.bandwidth_bps)
+
+    def test_zero_load_latency_sums_stage_latencies(self):
+        a = make_stage("a", freq=100.0, latency=3)   # 30 ns
+        b = make_stage("b", freq=200.0, latency=4)   # 20 ns
+        chain = PipelineChain("c", [a, b])
+        assert chain.zero_load_latency_ps(64) == 50_000
+
+    def test_process_sets_completion(self):
+        chain = PipelineChain("c", [make_stage()])
+        txn = chain.process(Transaction(size_bytes=256))
+        assert txn.completed_ps is not None
+        assert txn.latency_ps > 0
+
+    def test_latency_before_completion_raises(self):
+        with pytest.raises(ValueError):
+            Transaction(size_bytes=64).latency_ps
+
+    def test_extended_appends_stages(self):
+        chain = PipelineChain("c", [make_stage("a")])
+        longer = chain.extended("c2", [make_stage("b")])
+        assert len(longer) == 2
+        assert len(chain) == 1
+
+
+class TestFullPipeliningInvariant:
+    """The paper's wrapper contract, verified mechanically."""
+
+    def _sweep(self, chain, size=512):
+        return run_packet_sweep(chain, size, packet_count=1_000)
+
+    def test_extra_pipelined_stage_keeps_throughput(self):
+        base = PipelineChain("base", [make_stage("ip", latency=10)])
+        wrapped = PipelineChain("wrapped", [make_stage("ip", latency=10),
+                                            make_stage("wrapper", latency=3)])
+        base_tpt, _ = self._sweep(base)
+        wrapped_tpt, _ = self._sweep(wrapped)
+        assert wrapped_tpt == pytest.approx(base_tpt, rel=0.01)
+
+    def test_extra_pipelined_stage_adds_fixed_latency(self):
+        base = PipelineChain("base", [make_stage("ip", freq=100.0, latency=10)])
+        wrapped = PipelineChain("wrapped", [make_stage("ip", freq=100.0, latency=10),
+                                            make_stage("wrapper", freq=100.0, latency=3)])
+        _, base_lat = self._sweep(base)
+        _, wrapped_lat = self._sweep(wrapped)
+        assert wrapped_lat - base_lat == pytest.approx(30.0, abs=1.0)  # 3 cyc @ 100 MHz
+
+    def test_slow_stage_does_reduce_throughput(self):
+        base = PipelineChain("base", [make_stage("ip", freq=250.0)])
+        throttled = PipelineChain("thr", [make_stage("ip", freq=250.0),
+                                          make_stage("slow", freq=250.0, ii=2)])
+        base_tpt, _ = self._sweep(base)
+        throttled_tpt, _ = self._sweep(throttled)
+        assert throttled_tpt < base_tpt * 0.6
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        latencies=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=5),
+        size=st.sampled_from([64, 256, 1_024, 4_096]),
+    )
+    def test_throughput_independent_of_stage_latencies(self, latencies, size):
+        """Fixed latency never shows up in steady-state bandwidth."""
+        chains = [
+            PipelineChain(
+                "c",
+                [make_stage(f"s{i}", latency=lat) for i, lat in enumerate(latencies)],
+            ),
+            PipelineChain("ref", [make_stage("s", latency=0)]),
+        ]
+        results = [run_packet_sweep(chain, size, 500)[0] for chain in chains]
+        assert results[0] == pytest.approx(results[1], rel=0.02)
+
+
+class TestPacketSweep:
+    def test_throughput_bounded_by_bottleneck(self):
+        chain = PipelineChain("c", [make_stage(freq=100.0, width=512)])
+        throughput, _ = run_packet_sweep(chain, 512, 1_000)
+        assert throughput <= chain.bandwidth_bps(512) * 1.001
+
+    def test_explicit_offered_load_respected(self):
+        chain = PipelineChain("c", [make_stage(freq=500.0, width=512)])
+        throughput, _ = run_packet_sweep(chain, 512, 500, offered_load_bps=10e9)
+        assert throughput == pytest.approx(10e9, rel=0.05)
+
+    def test_small_packets_pay_framing_overhead(self):
+        stage = PipelineStage("line", ClockDomain("l", 1_562.5), 64,
+                              per_transaction_overhead_bytes=20)
+        chain = PipelineChain("wire", [stage])
+        small, _ = run_packet_sweep(chain, 64, 1_000)
+        large, _ = run_packet_sweep(chain, 1_024, 1_000)
+        assert small < large
+        assert small == pytest.approx(chain.bandwidth_bps(64), rel=0.05)
+        # Framing costs ~3 cycles per 8-beat packet: ~27% at 64 B.
+        assert small < 0.8 * chain.stages[0].bandwidth_bps

@@ -1,0 +1,136 @@
+"""Unit and property tests for the measurement instrumentation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counter, LatencyStats, MonitorSnapshot, ThroughputMeter
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("packets")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+        assert int(counter) == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestLatencyStats:
+    def test_mean_min_max(self):
+        stats = LatencyStats()
+        for sample in (10, 20, 30):
+            stats.add(sample)
+        assert stats.mean_ps == 20
+        assert stats.min_ps == 10
+        assert stats.max_ps == 30
+        assert stats.count == 3
+
+    def test_unit_conversions(self):
+        stats = LatencyStats()
+        stats.add(2_000_000)
+        assert stats.mean_ns == pytest.approx(2_000.0)
+        assert stats.mean_us == pytest.approx(2.0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().add(-1)
+
+    def test_empty_stats_raise(self):
+        stats = LatencyStats()
+        for accessor in ("mean_ps", "min_ps", "max_ps"):
+            with pytest.raises(ValueError):
+                getattr(stats, accessor)
+
+    def test_percentile_nearest_rank(self):
+        stats = LatencyStats()
+        for sample in range(1, 11):
+            stats.add(sample)
+        assert stats.percentile_ps(0.5) == 5
+        assert stats.percentile_ps(0.99) == 10
+        assert stats.percentile_ps(0.0) == 1
+
+    def test_percentile_bounds_checked(self):
+        stats = LatencyStats()
+        stats.add(1)
+        with pytest.raises(ValueError):
+            stats.percentile_ps(1.5)
+
+    def test_merge_combines_samples(self):
+        left, right = LatencyStats(), LatencyStats()
+        left.add(10)
+        right.add(30)
+        left.merge(right)
+        assert left.count == 2
+        assert left.mean_ps == 20
+
+    def test_reset_clears_everything(self):
+        stats = LatencyStats()
+        stats.add(10)
+        stats.reset()
+        assert stats.count == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9), min_size=1, max_size=200))
+    def test_mean_between_min_and_max(self, samples):
+        stats = LatencyStats()
+        for sample in samples:
+            stats.add(sample)
+        assert stats.min_ps <= stats.mean_ps <= stats.max_ps
+
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1, max_size=100))
+    def test_percentiles_monotonic(self, samples):
+        stats = LatencyStats()
+        for sample in samples:
+            stats.add(sample)
+        fractions = [0.1, 0.5, 0.9, 1.0]
+        values = [stats.percentile_ps(f) for f in fractions]
+        assert values == sorted(values)
+        assert values[-1] == stats.max_ps
+
+
+class TestThroughputMeter:
+    def test_gbps_over_window(self):
+        meter = ThroughputMeter()
+        meter.record(1_250, time_ps=0)
+        meter.record(1_250, time_ps=1_000_000)  # 1 us window
+        # 2500 B over 1 us = 20 Gbps.
+        assert meter.gbps == pytest.approx(20.0)
+
+    def test_items_per_second(self):
+        meter = ThroughputMeter()
+        for index in range(11):
+            meter.record(64, time_ps=index * 100_000)
+        assert meter.items_per_second == pytest.approx(11 / 1e-6, rel=0.01)
+
+    def test_empty_meter_raises(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().window_ps
+
+    def test_out_of_order_records_extend_window(self):
+        meter = ThroughputMeter()
+        meter.record(100, time_ps=500_000)
+        meter.record(100, time_ps=100_000)
+        assert meter.window_ps == 400_000
+
+    def test_reset(self):
+        meter = ThroughputMeter()
+        meter.record(100, 0)
+        meter.reset()
+        assert meter.total_bytes == 0
+        assert meter.total_items == 0
+
+
+class TestMonitorSnapshot:
+    def test_as_dict_merges_counters_and_gauges(self):
+        snapshot = MonitorSnapshot("network", counters={"rx": 5}, gauges={"load": 0.5})
+        merged = snapshot.as_dict()
+        assert merged == {"rx": 5, "load": 0.5}

@@ -1,0 +1,68 @@
+"""Whole-catalog coverage: every device builds, runs, and measures."""
+
+import pytest
+
+from repro.adapters.toolchain import BuildFlow
+from repro.core.host_software import ControlPlane
+from repro.core.rbb.memory import MemoryAccess, MemoryRbb
+from repro.core.shell import build_unified_shell
+from repro.platform.catalog import all_devices, device_by_name
+
+DEVICE_NAMES = [device.name for device in all_devices()]
+
+
+class TestEveryCatalogDevice:
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_unified_shell_builds_through_the_flow(self, name):
+        device = device_by_name(name)
+        shell = build_unified_shell(device)
+        bundle = BuildFlow(device).build("catalog-probe", shell.modules())
+        assert bundle.bitstream.device_name == name
+
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_command_bring_up_clean_everywhere(self, name):
+        control = ControlPlane(build_unified_shell(device_by_name(name)))
+        control.command_full_init()
+        assert control.kernel.commands_failed == 0
+
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_shell_instances_match_board_peripherals(self, name):
+        device = device_by_name(name)
+        shell = build_unified_shell(device)
+        for rbb in shell.rbbs.values():
+            required = rbb.instance.requires_peripheral
+            if required is None:
+                continue
+            from repro.adapters.device_adapter import satisfying_kinds
+
+            assert any(device.has_peripheral(kind)
+                       for kind in satisfying_kinds(required)), (name, rbb.name)
+
+
+class TestDdr3Path:
+    def test_zynq_board_gets_ddr3_controller(self):
+        shell = build_unified_shell(device_by_name("device-zynq-edge"))
+        assert shell.memory.selected_instance_name == "ddr3-xilinx"
+
+    def test_ddr3_timing_selected_with_instance(self):
+        rbb = MemoryRbb()
+        rbb.select_instance("ddr3-xilinx")
+        assert rbb.timing.tck_ps == 1_250
+        rbb.select_instance("ddr4-xilinx")
+        assert rbb.timing.tck_ps == 833
+
+    def test_ddr3_slower_than_ddr4_sequential(self):
+        def sequential_bandwidth(instance):
+            rbb = MemoryRbb()
+            rbb.select_instance(instance)
+            rbb.ex_functions["hot_cache"].enabled = False
+            accesses = [MemoryAccess(address=index * 64) for index in range(2_000)]
+            return rbb.run_accesses(accesses).bandwidth_gbps
+
+        assert sequential_bandwidth("ddr3-xilinx") < sequential_bandwidth("ddr4-xilinx")
+
+    def test_legacy_families_avoid_uram_ips(self):
+        for name in ("device-zynq-edge", "device-vu125-legacy"):
+            device = device_by_name(name)
+            shell = build_unified_shell(device)
+            assert shell.resources().uram == 0

@@ -1,0 +1,170 @@
+"""Tests for the workload generators and framework benchmarks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rbb.memory import MemoryRbb
+from repro.errors import ConfigurationError
+from repro.workloads.database import (
+    AccessMode,
+    VectorDatabase,
+    full_sweep,
+    run_access_benchmark,
+    vectors_per_access,
+)
+from repro.workloads.matmul import (
+    MatmulThroughputModel,
+    blocked_matmul,
+    reference_matmul,
+    run_iterations,
+)
+from repro.workloads.packets import MAX_FRAME_BYTES, MIN_FRAME_BYTES, Packet, PacketGenerator
+from repro.workloads.tcp import TCP_HEADER_BYTES, payload_sweep, run_tcp_benchmark
+
+
+class TestPacketGenerator:
+    def test_deterministic_with_seed(self):
+        first = PacketGenerator(seed=9).uniform_stream(20, 256)
+        second = PacketGenerator(seed=9).uniform_stream(20, 256)
+        assert [p.flow for p in first] == [p.flow for p in second]
+
+    def test_flow_count_respected(self):
+        packets = PacketGenerator().uniform_stream(100, 256, flow_count=8)
+        assert len({p.flow for p in packets}) == 8
+
+    def test_arrivals_paced_at_line_rate(self):
+        packets = PacketGenerator().uniform_stream(10, 1_250, line_rate_gbps=100.0)
+        gap = packets[1].arrival_ps - packets[0].arrival_ps
+        assert gap == pytest.approx(100_000, rel=0.01)  # 1250 B at 100 Gbps
+
+    def test_frame_size_limits_enforced(self):
+        with pytest.raises(ValueError):
+            Packet(PacketGenerator().flow(1), MIN_FRAME_BYTES - 1, dst_mac=1)
+        with pytest.raises(ValueError):
+            Packet(PacketGenerator().flow(1), MAX_FRAME_BYTES + 1, dst_mac=1)
+
+    def test_multicast_and_foreign_fractions(self):
+        packets = PacketGenerator(seed=5).uniform_stream(
+            1_000, 256, multicast_fraction=0.2, foreign_fraction=0.2
+        )
+        multicast = sum(1 for p in packets if p.is_multicast)
+        assert 120 < multicast < 280
+
+    def test_flow_hash_stable(self):
+        flow = PacketGenerator().flow(3)
+        assert flow.hash32() == flow.hash32()
+
+    def test_imix_mixes_sizes(self):
+        packets = PacketGenerator().imix_stream(24)
+        assert {p.size_bytes for p in packets} == {64, 576, 1_500}
+
+
+class TestMatmul:
+    def test_blocked_matches_reference(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 64)).astype(np.float32)
+        assert np.allclose(blocked_matmul(a, b), reference_matmul(a, b), atol=1e-3)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1_000))
+    def test_blocked_matches_reference_property(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 32)).astype(np.float32)
+        assert np.allclose(blocked_matmul(a, b, block=8), reference_matmul(a, b), atol=1e-3)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            blocked_matmul(np.zeros((4, 8)), np.zeros((4, 8)))
+
+    def test_throughput_scales_with_parallelism(self):
+        model = MatmulThroughputModel()
+        sweep = dict(model.sweep((4, 8, 16)))
+        assert sweep[8] == pytest.approx(2 * sweep[4], rel=0.01)
+        assert sweep[16] == pytest.approx(4 * sweep[4], rel=0.02)
+
+    def test_paper_scale(self):
+        # Figure 18b: roughly 1K-4K matmuls/s across x4-x16.
+        model = MatmulThroughputModel()
+        assert 500 < model.matmuls_per_second(4) < 2_000
+        assert 2_000 < model.matmuls_per_second(16) < 6_000
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            MatmulThroughputModel().matmuls_per_second(0)
+
+    def test_run_iterations_duration(self):
+        assert run_iterations(16) < run_iterations(4)
+
+    def test_dsp_accounting(self):
+        assert MatmulThroughputModel().dsps_used(16) == 80
+
+
+class TestDatabase:
+    def test_functional_read_write(self):
+        database = VectorDatabase(capacity_vectors=1_024)
+        database.write(100, 0xDEAD_BEEF)
+        assert database.read(100) == 0xDEAD_BEEF
+
+    def test_write_masks_to_32_bits(self):
+        database = VectorDatabase(capacity_vectors=64)
+        database.write(0, 1 << 33)
+        assert database.read(0) == 0
+
+    def test_sequential_addresses_are_contiguous(self):
+        database = VectorDatabase()
+        addresses = database.addresses(AccessMode.SEQUENTIAL, 320)
+        strides = {b - a for a, b in zip(addresses, addresses[1:])}
+        assert strides == {64}
+
+    def test_fixed_addresses_cycle(self):
+        database = VectorDatabase()
+        addresses = database.addresses(AccessMode.FIXED, 64 * 16)
+        assert len(set(addresses)) == 8
+
+    def test_amplification_model(self):
+        assert vectors_per_access(AccessMode.SEQUENTIAL) == 16
+        assert vectors_per_access(AccessMode.RANDOM) == 1
+
+    def test_figure18c_ordering(self):
+        memory = MemoryRbb()
+        memory.ex_functions["hot_cache"].enabled = False
+        results = full_sweep(memory, VectorDatabase(), vector_count=16_000)
+        assert (results[("sequential", "read")] > results[("fixed", "read")]
+                > results[("random", "read")])
+
+    def test_too_small_database_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorDatabase(capacity_vectors=4)
+
+
+class TestTcp:
+    def test_goodput_rises_with_payload(self):
+        results = payload_sweep((64, 512, 1_446))
+        goodputs = [result.goodput_gbps for result in results]
+        assert goodputs == sorted(goodputs)
+
+    def test_latency_rises_with_payload(self):
+        results = payload_sweep((64, 1_446))
+        assert results[0].latency_us < results[1].latency_us
+
+    def test_latency_is_tens_of_microseconds(self):
+        # Figure 18d's y-axis: host TCP stacks dominate.
+        result = run_tcp_benchmark(512)
+        assert 20.0 < result.latency_us < 30.0
+
+    def test_goodput_below_line_rate_by_header_share(self):
+        result = run_tcp_benchmark(1_446, packet_count=500)
+        assert result.goodput_gbps < 100.0 * 1_446 / (1_446 + TCP_HEADER_BYTES)
+
+    def test_framework_latency_offsets_are_second_order(self):
+        lean = run_tcp_benchmark(512, framework_latency_ns=8.0)
+        heavy = run_tcp_benchmark(512, framework_latency_ns=15.0)
+        assert heavy.latency_us >= lean.latency_us
+        assert (heavy.latency_us - lean.latency_us) / lean.latency_us < 0.01
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_tcp_benchmark(0)
