@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench report examples all
+.PHONY: test bench bench-smoke report examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -10,8 +10,21 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+bench-smoke:
+	$(PYTHON) benchmarks/perf_smoke.py
+
 report:
 	$(PYTHON) -m repro.cli report
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; falling back to a syntax check"; \
+		$(PYTHON) -m compileall -q src tests benchmarks; \
+	fi
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,98 @@
+"""Machine-readable runtime perf baseline (``make bench-smoke``).
+
+Times a fixed Fig-17-style sweep three ways:
+
+* ``plain`` -- no runtime context at all (the seed's hot path);
+* ``context`` -- under a :class:`repro.runtime.SimContext` with tracing
+  *off* (the everyday configuration; must cost ~nothing);
+* ``traced`` -- tracing on (per-point spans plus the first packets of
+  each point traced stage by stage).
+
+Results land in ``BENCH_runtime.json`` at the repository root so later
+PRs can track the trajectory; ``repro.cli report`` folds the file into
+the reproduction report when present.
+
+Run directly: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import all_applications  # noqa: E402
+from repro.platform.catalog import device_by_name  # noqa: E402
+from repro.runtime import SimContext  # noqa: E402
+
+#: The fixed workload: one Fig-17a sweep.
+APP_NAME = "sec-gateway"
+DEVICE = "device-a"
+PACKET_SIZES = (64, 128, 256, 512, 1024)
+PACKETS_PER_POINT = 2_000
+REPEATS = 5
+
+
+def _app():
+    return next(app for app in all_applications() if app.name == APP_NAME)
+
+
+def _time_sweep(context_factory):
+    """Best-of-``REPEATS`` wall time for one full sweep, in seconds."""
+    app, device = _app(), device_by_name(DEVICE)
+    best = float("inf")
+    for _ in range(REPEATS):
+        context = context_factory()
+        start = time.perf_counter()
+        app.measure(device, packet_sizes=PACKET_SIZES,
+                    packets_per_point=PACKETS_PER_POINT, context=context)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run() -> dict:
+    # One throwaway sweep so imports/caches warm up outside the window.
+    _app().measure(device_by_name(DEVICE), packet_sizes=(64,),
+                   packets_per_point=200)
+    plain = _time_sweep(lambda: None)
+    quiet = _time_sweep(lambda: SimContext(name="smoke", trace=False))
+    traced_context = {}
+
+    def _traced():
+        traced_context["ctx"] = SimContext(name="smoke", trace=True)
+        return traced_context["ctx"]
+
+    traced = _time_sweep(_traced)
+    trace = traced_context["ctx"].trace
+    return {
+        "workload": f"{APP_NAME}@{DEVICE} x{len(PACKET_SIZES)} sizes "
+                    f"x{PACKETS_PER_POINT} packets",
+        "plain_sweep_s": round(plain, 6),
+        "context_sweep_s": round(quiet, 6),
+        "traced_sweep_s": round(traced, 6),
+        "context_overhead_fraction": round(quiet / plain - 1.0, 4),
+        "traced_overhead_fraction": round(traced / plain - 1.0, 4),
+        "trace_records": len(trace),
+        "trace_span_names": len(trace.span_names()),
+    }
+
+
+def main() -> int:
+    baseline = run()
+    target = REPO_ROOT / "BENCH_runtime.json"
+    target.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(baseline, indent=2, sort_keys=True))
+    print(f"\nwrote {target}")
+    budget = 0.10
+    if baseline["context_overhead_fraction"] > budget:
+        print(f"FAIL: quiet-context sweep is "
+              f"{baseline['context_overhead_fraction']:.1%} slower than the "
+              f"plain sweep (budget {budget:.0%})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

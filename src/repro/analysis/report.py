@@ -6,8 +6,9 @@ a single report (the machine-generated companion to EXPERIMENTS.md) and
 checks completeness against the expected experiment list.
 """
 
+import json
 import pathlib
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -78,6 +79,32 @@ def missing_experiments(results: Dict[str, str]) -> List[str]:
     return [name for name in EXPECTED_EXPERIMENTS if name not in results]
 
 
+def default_perf_baseline_path() -> pathlib.Path:
+    """Where ``make bench-smoke`` leaves the runtime perf baseline."""
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_runtime.json"
+
+
+def load_perf_baseline(
+    path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, Any]]:
+    """The machine-readable runtime baseline, if a smoke run produced one."""
+    baseline = path or default_perf_baseline_path()
+    if not baseline.is_file():
+        return None
+    try:
+        return json.loads(baseline.read_text())
+    except (ValueError, OSError):
+        return None
+
+
+def _perf_baseline_lines(baseline: Dict[str, Any]) -> List[str]:
+    lines = ["", "-" * 72, "RUNTIME PERF BASELINE (benchmarks/perf_smoke.py)",
+             "-" * 72, ""]
+    for key in sorted(baseline):
+        lines.append(f"  {key}: {baseline[key]}")
+    return lines
+
+
 def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
     """The full text report, sectioned into paper results and extensions."""
     results = load_results(results_dir)
@@ -111,4 +138,7 @@ def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
         for name in extensions_present:
             lines.append("")
             lines.append(results[name])
+    baseline = load_perf_baseline()
+    if baseline is not None:
+        lines.extend(_perf_baseline_lines(baseline))
     return "\n".join(lines) + "\n"

@@ -25,6 +25,7 @@ from repro.core.role import Role
 from repro.core.shell import UnifiedShell, build_unified_shell
 from repro.core.tailoring import HierarchicalTailor, TailoredShell
 from repro.platform.device import FpgaDevice
+from repro.runtime import SimContext, current_context
 from repro.sim.clock import ClockDomain
 from repro.sim.pipeline import PipelineChain, PipelineStage, run_packet_sweep
 
@@ -150,23 +151,68 @@ class CloudApplication:
         packets_per_point: int = 2_000,
         with_harmonia: bool = True,
         include_path_latency: bool = True,
+        context: Optional[SimContext] = None,
     ) -> List[PerformanceSample]:
-        """Throughput/latency sweep over packet sizes (Figure 17a-c)."""
+        """Throughput/latency sweep over packet sizes (Figure 17a-c).
+
+        Run under a :class:`~repro.runtime.SimContext` -- passed
+        explicitly or active ambiently -- the sweep becomes replayable:
+        shell construction and every sweep point land on the context's
+        trace bus (per-stage spans through link -> RBB -> wrapper/CDC ->
+        role) and the per-point results in its metrics registry under
+        ``app.<name>``.  With no context the sweep is untraced and
+        byte-for-byte the old behaviour.
+        """
+        ctx = context if context is not None else current_context()
+        if ctx is not None and current_context() is not ctx:
+            with ctx:
+                return self._measure_in_context(
+                    ctx, device, packet_sizes, packets_per_point,
+                    with_harmonia, include_path_latency,
+                )
+        return self._measure_in_context(
+            ctx, device, packet_sizes, packets_per_point, with_harmonia,
+            include_path_latency,
+        )
+
+    def _measure_in_context(
+        self,
+        ctx: Optional[SimContext],
+        device: FpgaDevice,
+        packet_sizes: Tuple[int, ...],
+        packets_per_point: int,
+        with_harmonia: bool,
+        include_path_latency: bool,
+    ) -> List[PerformanceSample]:
+        variant = "harmonia" if with_harmonia else "native"
+        sweep_span = ns = None
+        if ctx is not None:
+            sweep_span = ctx.trace.begin(
+                f"app.{self.name}.measure", ts_ps=0, device=device.name,
+                variant=variant,
+            )
+            ns = ctx.metrics.namespace(f"app.{self.name}.{variant}")
         shell = self.tailored_shell(device)
         samples: List[PerformanceSample] = []
         path_us = self.PATH_LATENCY_US if include_path_latency else 0.0
         for size in packet_sizes:
             chain = self.datapath(shell, with_harmonia)
             throughput_bps, latency_ns = run_packet_sweep(
-                chain, packet_size_bytes=size, packet_count=packets_per_point
+                chain, packet_size_bytes=size, packet_count=packets_per_point,
+                context=ctx,
             )
-            samples.append(
-                PerformanceSample(
-                    label=f"{size}B",
-                    throughput_gbps=throughput_bps / 1e9,
-                    latency_us=latency_ns / 1_000.0 + path_us,
-                )
+            sample = PerformanceSample(
+                label=f"{size}B",
+                throughput_gbps=throughput_bps / 1e9,
+                latency_us=latency_ns / 1_000.0 + path_us,
             )
+            samples.append(sample)
+            if ns is not None:
+                point = ns.namespace(sample.label)
+                point.set_gauge("throughput_gbps", sample.throughput_gbps)
+                point.set_gauge("latency_us", sample.latency_us)
+        if ctx is not None:
+            ctx.trace.end(sweep_span, points=len(samples))
         return samples
 
     def __repr__(self) -> str:

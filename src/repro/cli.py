@@ -8,10 +8,15 @@ Gives operators the day-to-day views the library computes:
 * ``bringup DEVICE --app APP`` -- command vs register bring-up cost;
 * ``migrate APP FROM TO`` -- software-modification cost of a move;
 * ``health DEVICE`` -- one monitoring cycle over the command plane;
+* ``trace DEVICE --app APP`` -- run a Fig-17 sweep under a traced
+  runtime context and export the span trace as JSONL;
+* ``metrics DEVICE --app APP`` -- the same sweep's hierarchical
+  metrics snapshot as JSON;
 * ``report`` -- collate benchmark artifacts into one reproduction report.
 """
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -131,6 +136,44 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0 if report.healthy else 2
 
 
+def _traced_sweep(args: argparse.Namespace):
+    """Run one application sweep under a tracing runtime context."""
+    from repro.runtime import SimContext
+
+    device = device_by_name(args.device)
+    app = _app_by_name(args.app)
+    context = SimContext(name=f"{app.name}@{device.name}", trace=True)
+    sizes = tuple(args.sizes) if args.sizes else (64, 128, 256, 512, 1024)
+    samples = app.measure(
+        device, packet_sizes=sizes, packets_per_point=args.packets,
+        with_harmonia=not args.native, context=context,
+    )
+    return context, app, device, samples
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    context, app, device, samples = _traced_sweep(args)
+    jsonl = context.trace.export_jsonl()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(jsonl)
+        print(f"wrote {len(context.trace)} trace records to {args.out}")
+    else:
+        print(jsonl, end="")
+    print(f"# {app.name} on {device.name}: {len(samples)} sweep points, "
+          f"{len(context.trace)} trace records, "
+          f"{len(context.trace.span_names())} distinct span names",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    context, _app, _device, _samples = _traced_sweep(args)
+    snapshot = context.metrics.snapshot()
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -159,6 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
     health = commands.add_parser("health", help="poll one device's health")
     health.add_argument("device")
 
+    def _sweep_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("device")
+        sub.add_argument("--app", required=True)
+        sub.add_argument("--packets", type=int, default=500,
+                         help="packets per sweep point (default 500)")
+        sub.add_argument("--sizes", type=int, nargs="+",
+                         help="packet sizes in bytes (default paper sweep)")
+        sub.add_argument("--native", action="store_true",
+                         help="sweep the native (no-Harmonia) data path")
+
+    trace = commands.add_parser(
+        "trace", help="export a traced app sweep as JSONL")
+    _sweep_args(trace)
+    trace.add_argument("--out", help="write JSONL here instead of stdout")
+
+    metrics = commands.add_parser(
+        "metrics", help="print a sweep's hierarchical metrics snapshot")
+    _sweep_args(metrics)
+
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser
 
@@ -170,6 +232,8 @@ _HANDLERS = {
     "bringup": cmd_bringup,
     "migrate": cmd_migrate,
     "health": cmd_health,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "report": cmd_report,
 }
 

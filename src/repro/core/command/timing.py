@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.command.packet import CommandPacket
 from repro.errors import ConfigurationError
+from repro.runtime import SimContext, ensure_context
 from repro.sim.clock import ClockDomain
 from repro.sim.engine import Simulator
 from repro.sim.fifo import SyncFifo
@@ -51,8 +52,11 @@ class CommandPathSimulator:
         self,
         core_clock: ClockDomain = ClockDomain("softcore", 200.0),
         buffer_depth: int = 64,
+        context: Optional[SimContext] = None,
     ) -> None:
-        self.simulator = Simulator()
+        self.context = ensure_context(context)
+        self.simulator = self.context.simulator
+        self._metrics = self.context.metrics.namespace("command")
         self.core_clock = core_clock
         self.buffer = SyncFifo("uck.timed_buffer", depth=buffer_depth)
         self.latency = LatencyStats("command-rtt")
@@ -92,6 +96,12 @@ class CommandPathSimulator:
         completion = self.simulator.now_ps + PCIE_ONE_WAY_PS  # response DMA
         command.completed_ps = completion
         self.latency.add(completion - command.issued_ps)
+        self._metrics.increment("completed")
+        self._metrics.observe("rtt_ps", completion - command.issued_ps)
+        self.context.trace.complete(
+            "command.rtt", command.issued_ps, completion,
+            register_accesses=command.register_accesses,
+        )
         self.completed.append(command)
         self._maybe_start_core()
 
@@ -102,7 +112,11 @@ class CommandPathSimulator:
 
     def round_trip_us(self, register_accesses: int = 4) -> float:
         """RTT of a single command on an idle path."""
-        probe = CommandPathSimulator(self.core_clock, self.buffer.depth)
+        # The probe measures an *idle* path, so it runs on its own
+        # private context rather than joining an ambient one whose
+        # clock (and queue) may already be busy.
+        probe = CommandPathSimulator(self.core_clock, self.buffer.depth,
+                                     context=SimContext(name="rtt-probe"))
         command = TimedCommand(packet=_PROBE_PACKET, register_accesses=register_accesses)
         probe.issue(command, at_ps=0)
         probe.run()
@@ -125,9 +139,11 @@ def burst_latency_profile(
     blocking the control path has.
     """
     path = CommandPathSimulator(buffer_depth=max(buffer_depth, burst_size))
+    burst_start_ps = path.simulator.now_ps  # nonzero on a shared context
     for _ in range(burst_size):
         path.issue(TimedCommand(packet=_PROBE_PACKET,
-                                register_accesses=register_accesses), at_ps=0)
+                                register_accesses=register_accesses),
+                   at_ps=burst_start_ps)
     path.run()
     return {
         "mean_us": path.latency.mean_us,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.runtime import SimContext, ensure_context
 from repro.sim.engine import Simulator
 
 #: One posted MSI write crossing PCIe.
@@ -51,10 +52,15 @@ class InterruptController:
     """Vector table + coalescing + MSI delivery over the DES."""
 
     def __init__(self, simulator: Optional[Simulator] = None,
-                 vector_count: int = 32) -> None:
+                 vector_count: int = 32,
+                 context: Optional[SimContext] = None) -> None:
         if vector_count < 1:
             raise ConfigurationError("need at least one interrupt vector")
-        self.simulator = simulator or Simulator()
+        self.context = ensure_context(context)
+        # A caller-supplied engine still wins (legacy embedding); the
+        # context then only carries tracing and metrics.
+        self.simulator = simulator or self.context.simulator
+        self._metrics = self.context.metrics.namespace("irq")
         self.vector_count = vector_count
         self._vectors: Dict[int, _VectorState] = {}
         self.deliveries: List[Delivery] = []
@@ -103,11 +109,13 @@ class InterruptController:
         """A module raises its raw irq line (one event)."""
         state = self._state(vector)
         self.events_raised += 1
+        self._metrics.increment("events_raised")
         if state.first_pending_ps is None:
             state.first_pending_ps = self.simulator.now_ps
         state.pending_events += 1
         if state.masked:
             self.suppressed_while_masked += 1
+            self._metrics.increment("suppressed_while_masked")
             return
         if state.pending_events >= state.coalesce_count:
             self._fire(vector)
@@ -133,9 +141,16 @@ class InterruptController:
         delivered = self.simulator.now_ps + MSI_WRITE_PS
         self.simulator.schedule(
             MSI_WRITE_PS,
-            lambda: self.deliveries.append(
-                Delivery(vector, events, raised, delivered)
-            ),
+            lambda: self._deliver(Delivery(vector, events, raised, delivered)),
+        )
+
+    def _deliver(self, delivery: Delivery) -> None:
+        self.deliveries.append(delivery)
+        self._metrics.increment("delivered")
+        self._metrics.observe("delivery_latency_ps", delivery.latency_ps)
+        self.context.trace.complete(
+            f"irq.vector{delivery.vector}", delivery.raised_ps,
+            delivery.delivered_ps, events=delivery.events_coalesced,
         )
 
     # --- introspection -----------------------------------------------------------

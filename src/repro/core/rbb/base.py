@@ -22,6 +22,12 @@ from repro.hw.ip.base import VendorIp
 from repro.hw.registers import InitSequence, RegisterFile
 from repro.metrics.loc import LocInventory
 from repro.metrics.resources import ResourceUsage
+from repro.runtime import (
+    CounterDictView,
+    GaugeDictView,
+    MetricsRegistry,
+    current_context,
+)
 from repro.sim.pipeline import PipelineChain, PipelineStage
 from repro.sim.stats import MonitorSnapshot
 
@@ -75,8 +81,15 @@ class Rbb:
         self._wrapper = InterfaceWrapper()
         self._wrapped: Optional[WrappedIp] = None
         self.ex_functions: Dict[str, ExFunction] = {}
-        self.counters: Dict[str, int] = {}
-        self.gauges: Dict[str, float] = {}
+        # Monitoring publishes into the runtime metrics registry -- the
+        # ambient context's when one is active (so a whole shell scrapes
+        # from one tree), else a private registry.  ``counters`` and
+        # ``gauges`` stay dict-compatible live views over it.
+        registry = (current_context().metrics if current_context() is not None
+                    else MetricsRegistry())
+        self.metrics = registry.namespace(f"rbb.{name}")
+        self.counters = CounterDictView(self.metrics)
+        self.gauges = GaugeDictView(self.metrics)
 
     # --- instance selection ------------------------------------------------
 
@@ -223,11 +236,10 @@ class Rbb:
         )
 
     def _bump(self, counter: str, amount: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + amount
+        self.metrics.increment(counter, amount)
 
     def reset_monitoring(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
+        self.metrics.clear()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, instance={self._selected!r})"

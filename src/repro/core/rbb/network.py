@@ -197,7 +197,8 @@ class NetworkRbb(Rbb):
         exfn_stage = self.ex_function_stage()
         if exfn_stage is not None:
             stages.append(exfn_stage)
-        pipeline = DesPipeline(stages, fifo_depth=fifo_depth)
+        pipeline = DesPipeline(stages, fifo_depth=fifo_depth,
+                               name=f"{self.name}.ingress")
         train = [DesPacket(size_bytes=p.size_bytes, created_ps=p.arrival_ps)
                  for p in packets]
         result = pipeline.run(train)

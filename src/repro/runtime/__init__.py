@@ -1,0 +1,41 @@
+"""Unified runtime: shared event engine, tracing, and metrics.
+
+This package is the observability subsystem the rest of the tree plugs
+into.  A :class:`SimContext` carries the single clock of record, a
+span-based :class:`TraceBus`, and a hierarchical
+:class:`MetricsRegistry`; ``sim``, ``core``, and ``apps`` components
+join it explicitly (a ``context=`` argument), ambiently (``with
+SimContext():``), or not at all (each then gets a private context --
+the pre-runtime behaviour).
+
+See ``docs/architecture.md`` ("Runtime & observability") for the tour.
+"""
+
+from repro.runtime.context import (
+    ClockRegistry,
+    SimContext,
+    current_context,
+    ensure_context,
+)
+from repro.runtime.metrics import (
+    CounterDictView,
+    Gauge,
+    GaugeDictView,
+    MetricsNamespace,
+    MetricsRegistry,
+)
+from repro.runtime.trace import Span, TraceBus
+
+__all__ = [
+    "ClockRegistry",
+    "CounterDictView",
+    "Gauge",
+    "GaugeDictView",
+    "MetricsNamespace",
+    "MetricsRegistry",
+    "SimContext",
+    "Span",
+    "TraceBus",
+    "current_context",
+    "ensure_context",
+]

@@ -1,0 +1,157 @@
+"""The unified simulation runtime context.
+
+A :class:`SimContext` bundles the four things every layer of the stack
+previously improvised for itself:
+
+* the **event engine** -- one :class:`repro.sim.engine.Simulator`, the
+  single clock of record (this module is the only place in the tree
+  that constructs a bare ``Simulator()``);
+* a **clock-domain registry** -- named, memoised
+  :class:`repro.sim.clock.ClockDomain` instances, so two modules asking
+  for ``"cmac_core"`` get the *same* domain or a loud error on a
+  frequency mismatch;
+* a **trace bus** -- :class:`repro.runtime.trace.TraceBus` span/instant
+  events with integer-ps timestamps and JSONL export;
+* a **metrics registry** --
+  :class:`repro.runtime.metrics.MetricsRegistry`, the one scrape point
+  for counters/gauges/histograms.
+
+Context resolution
+------------------
+
+Components resolve their context with :func:`ensure_context`:
+
+1. an explicitly passed context wins;
+2. otherwise the innermost *ambient* context (``with SimContext(...):``)
+   is joined, which is how one run shares a clock and one trace across
+   layers;
+3. otherwise a fresh private context is created -- exactly the
+   one-engine-per-component behaviour the pre-runtime code had, so
+   existing constructors keep working unchanged.
+"""
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.trace import TraceBus
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Simulator
+
+#: Innermost-last stack of ambient contexts (``with SimContext():``).
+_ACTIVE: List["SimContext"] = []
+
+
+class ClockRegistry:
+    """Named clock domains; one definition per name per context."""
+
+    def __init__(self) -> None:
+        self._domains = {}
+
+    def domain(self, name: str, freq_mhz: Optional[float] = None) -> ClockDomain:
+        """Fetch (or, given a frequency, create) the domain ``name``."""
+        existing = self._domains.get(name)
+        if existing is not None:
+            if freq_mhz is not None and existing.freq_mhz != freq_mhz:
+                raise ConfigurationError(
+                    f"clock domain {name!r} already registered at "
+                    f"{existing.freq_mhz:g} MHz, not {freq_mhz:g} MHz"
+                )
+            return existing
+        if freq_mhz is None:
+            raise ConfigurationError(f"unknown clock domain {name!r}")
+        domain = ClockDomain(name, freq_mhz)
+        self._domains[name] = domain
+        return domain
+
+    def register(self, domain: ClockDomain) -> ClockDomain:
+        """Adopt an externally built domain (same name must agree)."""
+        return self.domain(domain.name, domain.freq_mhz) if (
+            domain.name in self._domains
+        ) else self._domains.setdefault(domain.name, domain)
+
+    def names(self) -> List[str]:
+        return sorted(self._domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+
+class SimContext:
+    """Owns the engine, clocks, trace bus, and metrics for one run."""
+
+    def __init__(self, name: str = "sim", trace: bool = False) -> None:
+        self.name = name
+        self.simulator = Simulator()
+        self.clocks = ClockRegistry()
+        self.trace = TraceBus(clock_ps=lambda: self.simulator.now_ps,
+                              enabled=trace)
+        self.metrics = MetricsRegistry()
+        self._dispatch_span_depth = 0
+
+    # --- clock of record ----------------------------------------------------
+
+    @property
+    def now_ps(self) -> int:
+        return self.simulator.now_ps
+
+    def run(self, until_ps: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run the shared engine (see :meth:`Simulator.run`)."""
+        return self.simulator.run(until_ps=until_ps, max_events=max_events)
+
+    # --- engine tracing -----------------------------------------------------
+
+    def trace_dispatches(self) -> None:
+        """Mirror every engine event dispatch onto the trace bus.
+
+        Off by default -- per-event instants are the firehose setting;
+        span-level tracing is the everyday one.
+        """
+        self.simulator.add_dispatch_hook(self._on_dispatch)
+
+    def _on_dispatch(self, time_ps: int, seq: int) -> None:
+        self.trace.instant("engine.dispatch", ts_ps=time_ps, seq=seq)
+
+    # --- ambient management -------------------------------------------------
+
+    def activate(self) -> "SimContext":
+        _ACTIVE.append(self)
+        return self
+
+    def deactivate(self) -> None:
+        if not _ACTIVE or _ACTIVE[-1] is not self:
+            raise ConfigurationError(
+                "SimContext deactivated out of order; use it as a "
+                "context manager"
+            )
+        _ACTIVE.pop()
+
+    def __enter__(self) -> "SimContext":
+        return self.activate()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.deactivate()
+
+    def __repr__(self) -> str:
+        return (f"SimContext({self.name!r}, now={self.simulator.now_ps}ps, "
+                f"trace={'on' if self.trace.enabled else 'off'}, "
+                f"metrics={len(self.metrics)})")
+
+
+def current_context() -> Optional[SimContext]:
+    """The innermost ambient context, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def ensure_context(context: Optional[SimContext] = None) -> SimContext:
+    """Resolve the context a component should join (see module docs)."""
+    if context is not None:
+        return context
+    ambient = current_context()
+    if ambient is not None:
+        return ambient
+    return SimContext(name="private")

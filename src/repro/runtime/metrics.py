@@ -1,0 +1,292 @@
+"""Hierarchical metrics registry.
+
+One registry per :class:`~repro.runtime.context.SimContext` holds every
+counter, gauge, and latency histogram the stack publishes, addressed by
+dot-separated paths (``rbb.network.rx_packets``,
+``command.rtt``, ``app.sec-gateway.64B.throughput_gbps``).  This is the
+single scrape point the paper assigns to the monitoring half of every
+RBB's reusable logic (§3.3.1): instead of each module keeping loose
+dicts, everything lands in one tree that :meth:`MetricsRegistry.snapshot`
+dumps deterministically.
+
+The metric primitives themselves are the existing
+:class:`repro.sim.stats.Counter` / :class:`repro.sim.stats.LatencyStats`
+classes -- the registry adds naming, namespacing, and aggregation, not a
+new measurement vocabulary.
+"""
+
+from collections.abc import MutableMapping
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import Counter, LatencyStats
+
+
+class Gauge:
+    """A named instantaneous value (occupancy, loss fraction, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}={self.value})"
+
+
+Metric = Union[Counter, Gauge, LatencyStats]
+
+
+def _check_path(path: str) -> str:
+    if not path or path.startswith(".") or path.endswith(".") or ".." in path:
+        raise ConfigurationError(f"invalid metric path {path!r}")
+    return path
+
+
+class MetricsRegistry:
+    """Flat path -> metric store with a hierarchical snapshot view."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # --- get-or-create ------------------------------------------------------
+
+    def _get_or_create(self, path: str, kind: type) -> Metric:
+        _check_path(path)
+        metric = self._metrics.get(path)
+        if metric is None:
+            metric = kind(path)
+            self._metrics[path] = metric
+        elif not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {path!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, path: str) -> Counter:
+        return self._get_or_create(path, Counter)
+
+    def gauge(self, path: str) -> Gauge:
+        return self._get_or_create(path, Gauge)
+
+    def histogram(self, path: str) -> LatencyStats:
+        return self._get_or_create(path, LatencyStats)
+
+    # --- convenience writers ------------------------------------------------
+
+    def increment(self, path: str, amount: int = 1) -> None:
+        self.counter(path).increment(amount)
+
+    def set_gauge(self, path: str, value: float) -> None:
+        self.gauge(path).set(value)
+
+    def observe(self, path: str, sample_ps: int) -> None:
+        self.histogram(path).add(sample_ps)
+
+    # --- structure ----------------------------------------------------------
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        """A scoped view; all paths are prefixed with ``prefix.``."""
+        _check_path(prefix)
+        return MetricsNamespace(self, prefix)
+
+    def remove(self, path: str) -> bool:
+        """Drop one metric; returns whether it existed."""
+        return self._metrics.pop(path, None) is not None
+
+    def paths(self, prefix: str = "") -> List[str]:
+        """Sorted metric paths, optionally below ``prefix``."""
+        if not prefix:
+            return sorted(self._metrics)
+        dotted = prefix + "."
+        return sorted(p for p in self._metrics if p.startswith(dotted))
+
+    def get(self, path: str) -> Optional[Metric]:
+        return self._metrics.get(path)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._metrics
+
+    # --- snapshot -----------------------------------------------------------
+
+    @staticmethod
+    def _leaf(metric: Metric) -> Any:
+        if isinstance(metric, Counter):
+            return metric.value
+        if isinstance(metric, Gauge):
+            return metric.value
+        if metric.count == 0:
+            return {"count": 0}
+        return {
+            "count": metric.count,
+            "mean_ps": metric.mean_ps,
+            "min_ps": metric.min_ps,
+            "max_ps": metric.max_ps,
+            "p50_ps": metric.percentile_ps(0.50),
+            "p99_ps": metric.percentile_ps(0.99),
+        }
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """The whole registry (or one subtree) as a nested dict.
+
+        Dot-separated path segments become nesting levels; keys are
+        sorted, so the snapshot of two identical runs compares (and
+        serialises) equal.
+        """
+        tree: Dict[str, Any] = {}
+        strip = len(prefix) + 1 if prefix else 0
+        for path in self.paths(prefix):
+            parts = path[strip:].split(".")
+            node = tree
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+                if not isinstance(node, dict):
+                    raise ConfigurationError(
+                        f"metric path {path!r} collides with a leaf metric"
+                    )
+            node[parts[-1]] = self._leaf(self._metrics[path])
+        return _sorted_tree(tree)
+
+
+def _sorted_tree(tree: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        key: _sorted_tree(value) if isinstance(value, dict) else value
+        for key, value in sorted(tree.items())
+    }
+
+
+class MetricsNamespace:
+    """A registry view rooted at a path prefix."""
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def _path(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._path(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self._path(name))
+
+    def histogram(self, name: str) -> LatencyStats:
+        return self.registry.histogram(self._path(name))
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.registry.increment(self._path(name), amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.registry.set_gauge(self._path(name), value)
+
+    def observe(self, name: str, sample_ps: int) -> None:
+        self.registry.observe(self._path(name), sample_ps)
+
+    def namespace(self, name: str) -> "MetricsNamespace":
+        return MetricsNamespace(self.registry, self._path(name))
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot(self.prefix)
+
+    def names(self) -> List[str]:
+        strip = len(self.prefix) + 1
+        return [path[strip:] for path in self.registry.paths(self.prefix)]
+
+    def clear(self) -> None:
+        for path in self.registry.paths(self.prefix):
+            self.registry.remove(path)
+
+
+class _MetricDictView(MutableMapping):
+    """dict-compatible live view over one metric kind in a namespace.
+
+    This is what keeps ``Rbb.counters`` / ``Rbb.gauges`` source- and
+    test-compatible while the actual values live in the shared registry:
+    reads, writes, ``.get``, ``dict(...)``, equality against plain
+    dicts, and ``.clear()`` all behave like the loose dicts they
+    replace.
+    """
+
+    _kind: type = Counter
+
+    def __init__(self, namespace: MetricsNamespace) -> None:
+        self._ns = namespace
+
+    def _metric(self, name: str):
+        metric = self._ns.registry.get(self._ns._path(name))
+        if metric is None or not isinstance(metric, self._kind):
+            raise KeyError(name)
+        return metric
+
+    def _read(self, metric: Metric) -> Any:
+        raise NotImplementedError
+
+    def _write(self, name: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def __getitem__(self, name: str) -> Any:
+        return self._read(self._metric(name))
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self._write(name, value)
+
+    def __delitem__(self, name: str) -> None:
+        self._metric(name)  # raises KeyError when absent
+        self._ns.registry.remove(self._ns._path(name))
+
+    def __iter__(self) -> Iterator[str]:
+        for name in self._ns.names():
+            metric = self._ns.registry.get(self._ns._path(name))
+            if isinstance(metric, self._kind):
+                yield name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, (dict, MutableMapping)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({dict(self)!r})"
+
+
+class CounterDictView(_MetricDictView):
+    """``Dict[str, int]``-compatible view over a namespace's counters."""
+
+    _kind = Counter
+
+    def _read(self, metric: Counter) -> int:
+        return metric.value
+
+    def _write(self, name: str, value: int) -> None:
+        self._ns.counter(name).value = int(value)
+
+
+class GaugeDictView(_MetricDictView):
+    """``Dict[str, float]``-compatible view over a namespace's gauges."""
+
+    _kind = Gauge
+
+    def _read(self, metric: Gauge) -> float:
+        return metric.value
+
+    def _write(self, name: str, value: float) -> None:
+        self._ns.gauge(name).set(value)

@@ -1,0 +1,187 @@
+"""Span-based trace bus with integer-picosecond timestamps.
+
+Every record on the bus is one of four kinds (the begin/end/complete/
+instant vocabulary of the Chrome trace-event format, which the JSONL
+export intentionally resembles):
+
+* ``B``/``E`` -- a span opened and closed against the context clock
+  (command round trips, measure windows, simulator phases);
+* ``X`` -- a *complete* span whose start and end were computed
+  analytically (a pipeline stage's occupancy for one transaction);
+* ``I`` -- an instant event (a drop, an interrupt firing).
+
+Spans carry sequential integer ids and an optional parent id, so a
+request can be followed across layers: link -> RBB -> wrapper/CDC ->
+role.  Timestamps are integer picoseconds from the owning
+:class:`~repro.runtime.context.SimContext`'s clock of record, and ids
+are assigned in emission order, so two identical runs serialise to
+byte-identical JSONL -- determinism is part of the contract, not an
+accident.
+
+The bus is disabled by default; every emit method starts with a single
+``enabled`` check so a quiescent bus costs one branch.
+"""
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+#: Sentinel for "no explicit timestamp; read the context clock".
+_NOW = None
+
+
+class Span:
+    """Handle for an open span (returned by :meth:`TraceBus.begin`)."""
+
+    __slots__ = ("span_id", "name", "bus")
+
+    def __init__(self, span_id: int, name: str, bus: "TraceBus") -> None:
+        self.span_id = span_id
+        self.name = name
+        self.bus = bus
+
+    def end(self, ts_ps: Optional[int] = None, **attrs: Any) -> None:
+        self.bus.end(self, ts_ps=ts_ps, **attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.end()
+
+    def __repr__(self) -> str:
+        return f"Span(id={self.span_id}, name={self.name!r})"
+
+
+class TraceBus:
+    """Collects trace records and exports them as deterministic JSONL."""
+
+    def __init__(self, clock_ps: Callable[[], int], enabled: bool = False) -> None:
+        self._clock_ps = clock_ps
+        self.enabled = enabled
+        self._records: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self._stack: List[int] = []
+
+    # --- emission -----------------------------------------------------------
+
+    def _ts(self, ts_ps: Optional[int]) -> int:
+        return self._clock_ps() if ts_ps is _NOW else int(ts_ps)
+
+    def _alloc(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _parent(self, parent: Optional[int]) -> Optional[int]:
+        if parent is not None:
+            return parent
+        return self._stack[-1] if self._stack else None
+
+    def begin(self, name: str, ts_ps: Optional[int] = None,
+              parent: Optional[int] = None, **attrs: Any) -> Optional[Span]:
+        """Open a span; it becomes the default parent until ended."""
+        if not self.enabled:
+            return None
+        span_id = self._alloc()
+        record: Dict[str, Any] = {
+            "type": "B", "id": span_id, "name": name, "ts_ps": self._ts(ts_ps),
+        }
+        parent_id = self._parent(parent)
+        if parent_id is not None:
+            record["parent"] = parent_id
+        if attrs:
+            record["attrs"] = attrs
+        self._records.append(record)
+        self._stack.append(span_id)
+        return Span(span_id, name, self)
+
+    def end(self, span: Optional[Span], ts_ps: Optional[int] = None,
+            **attrs: Any) -> None:
+        """Close a span opened with :meth:`begin`."""
+        if not self.enabled or span is None:
+            return
+        record: Dict[str, Any] = {
+            "type": "E", "id": span.span_id, "name": span.name,
+            "ts_ps": self._ts(ts_ps),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._records.append(record)
+        if span.span_id in self._stack:
+            # Pop up to and including the span (tolerates missed ends).
+            while self._stack and self._stack.pop() != span.span_id:
+                pass
+
+    def complete(self, name: str, start_ps: int, end_ps: int,
+                 parent: Optional[int] = None, **attrs: Any) -> Optional[int]:
+        """Record a span whose start/end were computed analytically."""
+        if not self.enabled:
+            return None
+        span_id = self._alloc()
+        record: Dict[str, Any] = {
+            "type": "X", "id": span_id, "name": name,
+            "ts_ps": int(start_ps), "dur_ps": int(end_ps) - int(start_ps),
+        }
+        parent_id = self._parent(parent)
+        if parent_id is not None:
+            record["parent"] = parent_id
+        if attrs:
+            record["attrs"] = attrs
+        self._records.append(record)
+        return span_id
+
+    def instant(self, name: str, ts_ps: Optional[int] = None,
+                parent: Optional[int] = None, **attrs: Any) -> None:
+        """Record a point event."""
+        if not self.enabled:
+            return
+        record: Dict[str, Any] = {
+            "type": "I", "id": self._alloc(), "name": name,
+            "ts_ps": self._ts(ts_ps),
+        }
+        parent_id = self._parent(parent)
+        if parent_id is not None:
+            record["parent"] = parent_id
+        if attrs:
+            record["attrs"] = attrs
+        self._records.append(record)
+
+    # --- inspection & export ------------------------------------------------
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """The raw record list (emission order)."""
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def span_names(self) -> List[str]:
+        """Distinct span/instant names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record["name"])
+        return list(seen)
+
+    def export_jsonl(self) -> str:
+        """Serialise every record, one JSON object per line.
+
+        Keys are sorted and separators fixed, so identical runs produce
+        byte-identical output.
+        """
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self._records
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the JSONL export to ``path``; returns the record count."""
+        with open(path, "w") as handle:
+            handle.write(self.export_jsonl())
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._stack.clear()
+        self._next_id = 0

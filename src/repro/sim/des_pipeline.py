@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.runtime import SimContext, ensure_context
 from repro.sim.engine import Simulator
 from repro.sim.fifo import SyncFifo
 from repro.sim.pipeline import PipelineStage
@@ -90,14 +91,26 @@ class _StageProcess:
 
 
 class DesPipeline:
-    """A chain of stages joined by finite FIFOs."""
+    """A chain of stages joined by finite FIFOs.
 
-    def __init__(self, stages: List[PipelineStage], fifo_depth: int = 16) -> None:
+    The pipeline runs on its :class:`~repro.runtime.SimContext`'s event
+    engine -- an explicitly passed context, the ambient one, or a fresh
+    private context (the default, matching the old one-engine-per-
+    pipeline behaviour).  Each :meth:`run` publishes offered/delivered/
+    dropped counters, a latency histogram, and FIFO-occupancy gauges
+    under ``des.<name>`` in the context's metrics registry.
+    """
+
+    def __init__(self, stages: List[PipelineStage], fifo_depth: int = 16,
+                 context: Optional[SimContext] = None,
+                 name: str = "pipeline") -> None:
         if not stages:
             raise ConfigurationError("a pipeline needs at least one stage")
         if fifo_depth < 1:
             raise ConfigurationError("inter-stage FIFOs need depth >= 1")
-        self.simulator = Simulator()
+        self.context = ensure_context(context)
+        self.name = name
+        self.simulator = self.context.simulator
         self.fifo_depth = fifo_depth
         self.delivered: List[DesPacket] = []
         self.fifos = [
@@ -125,14 +138,45 @@ class DesPipeline:
         return True
 
     def run(self, source: List[DesPacket]) -> "DesRunResult":
-        """Drive a packet train and run to completion."""
+        """Drive a packet train and run to completion.
+
+        On a shared context whose clock has already advanced, the train
+        is rebased so creation times are relative to *now* -- packet
+        schedules stay legal and latencies stay exact.
+        """
+        base_ps = self.simulator.now_ps
+        if base_ps:
+            for packet in source:
+                packet.created_ps += base_ps
+        span = self.context.trace.begin(
+            f"des.{self.name}.run", ts_ps=base_ps, packets=len(source)
+        )
+        delivered_mark = len(self.delivered)
+        offered_mark, dropped_mark = self.offered, self.dropped_at_ingress
         for packet in sorted(source, key=lambda item: item.created_ps):
             self.simulator.schedule_at(
                 packet.created_ps, lambda packet=packet: (self.offer(packet),
                                                           self.processes[0].kick())
             )
         self.simulator.run()
-        return self._result()
+        result = self._result()
+        self._publish(delivered_mark, offered_mark, dropped_mark)
+        self.context.trace.end(span, delivered=result.delivered,
+                               dropped=result.dropped)
+        return result
+
+    def _publish(self, delivered_mark: int, offered_mark: int,
+                 dropped_mark: int) -> None:
+        """Fold this run's deltas into the context metrics registry."""
+        ns = self.context.metrics.namespace(f"des.{self.name}")
+        ns.increment("offered", self.offered - offered_mark)
+        ns.increment("delivered", len(self.delivered) - delivered_mark)
+        ns.increment("dropped", self.dropped_at_ingress - dropped_mark)
+        histogram = ns.histogram("latency_ps")
+        for packet in self.delivered[delivered_mark:]:
+            histogram.add(packet.completed_ps - packet.created_ps)
+        for fifo in self.fifos:
+            ns.set_gauge(f"{fifo.name}.peak_occupancy", fifo.peak_occupancy)
 
     def _result(self) -> "DesRunResult":
         latency = LatencyStats()

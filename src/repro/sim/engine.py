@@ -52,6 +52,19 @@ class Simulator:
         self._now_ps = 0
         self._running = False
         self.events_processed = 0
+        self._dispatch_hooks: List[Callable[[int, int], Any]] = []
+
+    def add_dispatch_hook(self, hook: Callable[[int, int], Any]) -> None:
+        """Register ``hook(time_ps, seq)`` to run after each dispatch.
+
+        This is how the runtime's trace bus observes the engine without
+        the engine knowing about tracing; with no hooks registered the
+        dispatch path pays a single truthiness check.
+        """
+        self._dispatch_hooks.append(hook)
+
+    def remove_dispatch_hook(self, hook: Callable[[int, int], Any]) -> None:
+        self._dispatch_hooks.remove(hook)
 
     @property
     def now_ps(self) -> int:
@@ -102,6 +115,9 @@ class Simulator:
             self._now_ps = event.time_ps
             event.callback()
             self.events_processed += 1
+            if self._dispatch_hooks:
+                for hook in self._dispatch_hooks:
+                    hook(event.time_ps, event.seq)
             return True
         return False
 
@@ -109,7 +125,11 @@ class Simulator:
         """Run events until the queue drains, a deadline, or an event cap.
 
         ``until_ps`` is an absolute simulation time; events scheduled at
-        exactly ``until_ps`` are still processed.  Returns the number of
+        exactly ``until_ps`` are still processed.  When the queue drains
+        before the deadline, the clock still advances to ``until_ps`` --
+        the window a caller asked to simulate has elapsed whether or not
+        events filled it, and time-window throughput math relies on
+        ``now_ps`` landing on the deadline.  Returns the number of
         events processed by this call.
         """
         if self._running:
@@ -122,6 +142,8 @@ class Simulator:
                     break
                 next_time = self.peek_next_time()
                 if next_time is None:
+                    if until_ps is not None and until_ps > self._now_ps:
+                        self._now_ps = until_ps
                     break
                 if until_ps is not None and next_time > until_ps:
                     self._now_ps = until_ps

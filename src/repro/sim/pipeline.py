@@ -189,6 +189,29 @@ class PipelineChain:
         transaction.completed_ps = last_out
         return transaction
 
+    def process_traced(self, transaction: Transaction, trace,
+                       arrival_ps: Optional[int] = None) -> Transaction:
+        """Like :meth:`process`, emitting one trace span per stage.
+
+        A parent span covers the transaction end to end; each stage's
+        occupancy window (issue edge to last beat out) becomes a child
+        complete-span, so the JSONL trace shows the request crossing
+        link -> RBB -> wrapper/CDC -> role.  ``trace`` is a
+        :class:`repro.runtime.TraceBus`.
+        """
+        time_ps = transaction.created_ps if arrival_ps is None else arrival_ps
+        span = trace.begin(f"{self.name}.txn", ts_ps=time_ps,
+                           size_bytes=transaction.size_bytes)
+        last_out = time_ps
+        for stage in self.stages:
+            timing = stage.process(time_ps, transaction.size_bytes)
+            trace.complete(stage.name, timing.start_ps, timing.last_beat_out_ps)
+            time_ps = timing.first_beat_out_ps
+            last_out = timing.last_beat_out_ps
+        transaction.completed_ps = last_out
+        trace.end(span, ts_ps=last_out)
+        return transaction
+
     def reset(self) -> None:
         """Reset every stage in the chain."""
         for stage in self.stages:
@@ -210,12 +233,25 @@ def run_packet_sweep(
     packet_size_bytes: int,
     packet_count: int,
     offered_load_bps: Optional[float] = None,
+    context=None,
+    trace_packets: int = 4,
 ) -> Tuple[float, float]:
     """Drive ``packet_count`` packets through ``chain``; measure performance.
 
     Packets arrive back to back at ``offered_load_bps`` (default: line
     rate of the first stage).  Returns ``(throughput_bps, mean_latency_ns)``.
+
+    When a :class:`repro.runtime.SimContext` is supplied (or ambient),
+    the sweep point is wrapped in a trace span, the first
+    ``trace_packets`` transactions emit per-stage child spans, and the
+    point's latency histogram and throughput land in the metrics
+    registry under ``sweep.<chain>.<size>B``.  With no context the hot
+    loop is untouched.
     """
+    if context is None:
+        from repro.runtime import current_context
+
+        context = current_context()
     chain.reset()
     if offered_load_bps is None:
         # Saturate the chain without unbounded queueing: offer slightly
@@ -225,11 +261,24 @@ def run_packet_sweep(
     total_latency_ps = 0
     first_completion = None
     last_completion = 0
+    point_span = None
+    latencies: Optional[List[int]] = None
+    if context is not None:
+        point_span = context.trace.begin(
+            f"sweep.{chain.name}.{packet_size_bytes}B", ts_ps=0,
+            packets=packet_count,
+        )
+        latencies = []
     for index in range(packet_count):
         arrival = int(round(index * gap_ps))
         txn = Transaction(size_bytes=packet_size_bytes, created_ps=arrival)
-        chain.process(txn)
+        if latencies is not None and index < trace_packets:
+            chain.process_traced(txn, context.trace)
+        else:
+            chain.process(txn)
         total_latency_ps += txn.latency_ps
+        if latencies is not None:
+            latencies.append(txn.latency_ps)
         if first_completion is None:
             first_completion = txn.completed_ps
         last_completion = txn.completed_ps or last_completion
@@ -239,4 +288,12 @@ def run_packet_sweep(
     duration_ps = max(last_completion - (first_completion or 0), 1)
     throughput_bps = (packet_count - 1) * packet_size_bytes * 8 / (duration_ps / 1e12)
     mean_latency_ns = total_latency_ps / packet_count / 1_000
+    if context is not None:
+        ns = context.metrics.namespace(
+            f"sweep.{chain.name}.{packet_size_bytes}B"
+        )
+        ns.histogram("latency_ps").extend(latencies)
+        ns.set_gauge("throughput_gbps", throughput_bps / 1e9)
+        ns.set_gauge("mean_latency_ns", mean_latency_ns)
+        context.trace.end(point_span, ts_ps=last_completion)
     return throughput_bps, mean_latency_ns

@@ -46,6 +46,7 @@ class LatencyStats:
         self._sum = 0
         self._min: Optional[int] = None
         self._max: Optional[int] = None
+        self._sorted: Optional[List[int]] = None
 
     def add(self, sample_ps: int) -> None:
         if sample_ps < 0:
@@ -54,6 +55,7 @@ class LatencyStats:
         self._sum += sample_ps
         self._min = sample_ps if self._min is None else min(self._min, sample_ps)
         self._max = sample_ps if self._max is None else max(self._max, sample_ps)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -86,25 +88,50 @@ class LatencyStats:
         return self._max
 
     def percentile_ps(self, fraction: float) -> int:
-        """Exact percentile by nearest-rank (``fraction`` in [0, 1])."""
+        """Exact percentile by nearest-rank (``fraction`` in [0, 1]).
+
+        The sorted view is cached and invalidated on mutation, so
+        reading many percentiles costs one sort, not one per call.
+        """
         if not self._samples:
             raise ValueError("no samples recorded")
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must be within [0, 1]")
-        ordered = sorted(self._samples)
-        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
-        return ordered[rank]
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(0, math.ceil(fraction * len(self._sorted)) - 1)
+        return self._sorted[rank]
+
+    def extend(self, samples_ps: List[int]) -> None:
+        """Bulk-add samples (one pass of C-speed ``sum``/``min``/``max``)."""
+        if not samples_ps:
+            return
+        low = min(samples_ps)
+        if low < 0:
+            raise ValueError("latency cannot be negative")
+        high = max(samples_ps)
+        self._samples.extend(samples_ps)
+        self._sum += sum(samples_ps)
+        self._min = low if self._min is None else min(self._min, low)
+        self._max = high if self._max is None else max(self._max, high)
+        self._sorted = None
 
     def merge(self, other: "LatencyStats") -> None:
         """Fold another stats object's samples into this one."""
-        for sample in other._samples:
-            self.add(sample)
+        if not other._samples:
+            return
+        self._samples.extend(other._samples)
+        self._sum += other._sum
+        self._min = other._min if self._min is None else min(self._min, other._min)
+        self._max = other._max if self._max is None else max(self._max, other._max)
+        self._sorted = None
 
     def reset(self) -> None:
         self._samples.clear()
         self._sum = 0
         self._min = None
         self._max = None
+        self._sorted = None
 
 
 class ThroughputMeter:

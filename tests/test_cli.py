@@ -67,6 +67,51 @@ class TestHealth:
         assert "ok" in out
 
 
+class TestTrace:
+    def test_exports_jsonl_to_stdout(self, capsys):
+        assert main(["trace", "device-a", "--app", "sec-gateway",
+                     "--packets", "50", "--sizes", "64"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("{")]
+        assert lines, "expected JSONL records on stdout"
+        import json
+
+        names = {json.loads(line)["name"] for line in lines}
+        assert any("role" in name for name in names)
+        assert any(".link" in name for name in names)
+
+    def test_writes_jsonl_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "device-a", "--app", "sec-gateway",
+                     "--packets", "50", "--sizes", "64",
+                     "--out", str(target)]) == 0
+        assert target.is_file()
+        assert "trace records" in capsys.readouterr().out
+        assert target.read_text().count("\n") > 0
+
+    def test_unknown_app_errors(self, capsys):
+        assert main(["trace", "device-a", "--app", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetrics:
+    def test_prints_snapshot_tree(self, capsys):
+        assert main(["metrics", "device-a", "--app", "sec-gateway",
+                     "--packets", "50", "--sizes", "64"]) == 0
+        import json
+
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["app"]["sec-gateway"]["harmonia"]["64B"]["throughput_gbps"] > 0
+
+    def test_native_variant(self, capsys):
+        assert main(["metrics", "device-a", "--app", "sec-gateway",
+                     "--packets", "50", "--sizes", "64", "--native"]) == 0
+        import json
+
+        tree = json.loads(capsys.readouterr().out)
+        assert "native" in tree["app"]["sec-gateway"]
+
+
 class TestParser:
     def test_missing_command_is_usage_error(self):
         with pytest.raises(SystemExit):

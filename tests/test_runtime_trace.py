@@ -1,0 +1,326 @@
+"""Tests for the unified runtime: SimContext, tracing, and metrics.
+
+The two load-bearing guarantees:
+
+* **determinism** -- two identical Fig-17-style app sweeps produce
+  byte-identical JSONL traces and equal metrics snapshots;
+* **single engine** -- no module outside ``repro/runtime`` constructs a
+  bare ``Simulator()``; everything joins a context.
+"""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    MetricsRegistry,
+    SimContext,
+    current_context,
+    ensure_context,
+)
+from repro.sim.clock import ClockDomain
+
+
+def _sec_gateway():
+    from repro.apps import all_applications
+
+    return next(app for app in all_applications() if app.name == "sec-gateway")
+
+
+def _traced_sweep(packets=200, sizes=(64, 256)):
+    from repro.platform.catalog import device_by_name
+
+    context = SimContext(name="fig17", trace=True)
+    _sec_gateway().measure(
+        device_by_name("device-a"), packet_sizes=sizes,
+        packets_per_point=packets, context=context,
+    )
+    return context
+
+
+class TestSimContext:
+    def test_owns_engine_trace_metrics(self):
+        context = SimContext()
+        assert context.simulator.now_ps == 0
+        assert not context.trace.enabled
+        assert len(context.metrics) == 0
+
+    def test_ambient_resolution(self):
+        assert current_context() is None
+        with SimContext(name="outer") as outer:
+            assert current_context() is outer
+            assert ensure_context() is outer
+            with SimContext(name="inner") as inner:
+                assert ensure_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_explicit_context_wins_over_ambient(self):
+        mine = SimContext(name="mine")
+        with SimContext(name="ambient"):
+            assert ensure_context(mine) is mine
+
+    def test_no_context_means_fresh_private(self):
+        first = ensure_context()
+        second = ensure_context()
+        assert first is not second
+
+    def test_out_of_order_deactivation_raises(self):
+        outer, inner = SimContext(), SimContext()
+        outer.activate()
+        inner.activate()
+        with pytest.raises(ConfigurationError):
+            outer.deactivate()
+        inner.deactivate()
+        outer.deactivate()
+
+    def test_clock_registry_memoises_and_checks(self):
+        context = SimContext()
+        clk = context.clocks.domain("core", 300.0)
+        assert context.clocks.domain("core") is clk
+        with pytest.raises(ConfigurationError):
+            context.clocks.domain("core", 250.0)
+        with pytest.raises(ConfigurationError):
+            context.clocks.domain("never-registered")
+
+    def test_clock_registry_adopts_external_domain(self):
+        context = SimContext()
+        domain = ClockDomain("ext", 125.0)
+        assert context.clocks.register(domain) is domain
+        assert context.clocks.domain("ext") is domain
+
+    def test_dispatch_hooks_reach_trace_bus(self):
+        context = SimContext(trace=True)
+        context.trace_dispatches()
+        context.simulator.schedule(1_000, lambda: None)
+        context.simulator.schedule(2_000, lambda: None)
+        context.run()
+        dispatches = [r for r in context.trace.records
+                      if r["name"] == "engine.dispatch"]
+        assert [r["ts_ps"] for r in dispatches] == [1_000, 2_000]
+
+
+class TestTraceBus:
+    def test_disabled_bus_is_silent(self):
+        context = SimContext(trace=False)
+        span = context.trace.begin("noop")
+        context.trace.instant("noop")
+        context.trace.complete("noop", 0, 10)
+        context.trace.end(span)
+        assert len(context.trace) == 0
+        assert context.trace.export_jsonl() == ""
+
+    def test_span_nesting_sets_parents(self):
+        trace = SimContext(trace=True).trace
+        outer = trace.begin("outer", ts_ps=0)
+        trace.complete("child", 5, 9)
+        inner = trace.begin("inner", ts_ps=10)
+        trace.instant("leaf", ts_ps=11)
+        trace.end(inner, ts_ps=12)
+        trace.end(outer, ts_ps=20)
+        by_name = {r["name"]: r for r in trace.records if r["type"] != "E"}
+        assert "parent" not in by_name["outer"]
+        assert by_name["child"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["leaf"]["parent"] == by_name["inner"]["id"]
+
+    def test_timestamps_default_to_context_clock(self):
+        context = SimContext(trace=True)
+        context.simulator.schedule(5_000, lambda: context.trace.instant("tick"))
+        context.run()
+        assert context.trace.records[0]["ts_ps"] == 5_000
+
+    def test_jsonl_round_trips(self):
+        context = SimContext(trace=True)
+        with context.trace.begin("work", ts_ps=0, size_bytes=64):
+            context.trace.complete("stage", 0, 7)
+        lines = context.trace.export_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["B", "X", "E"]
+        assert records[0]["attrs"] == {"size_bytes": 64}
+        assert records[1]["dur_ps"] == 7
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.increment("rbb.network.rx_packets", 3)
+        registry.set_gauge("rbb.network.queue_usage", 0.5)
+        registry.observe("command.rtt_ps", 1_000)
+        registry.observe("command.rtt_ps", 3_000)
+        tree = registry.snapshot()
+        assert tree["rbb"]["network"]["rx_packets"] == 3
+        assert tree["rbb"]["network"]["queue_usage"] == 0.5
+        assert tree["command"]["rtt_ps"]["count"] == 2
+        assert tree["command"]["rtt_ps"]["p50_ps"] == 1_000
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a.b")
+
+    def test_bad_paths_raise(self):
+        registry = MetricsRegistry()
+        for path in ("", ".x", "x.", "a..b"):
+            with pytest.raises(ConfigurationError):
+                registry.counter(path)
+
+    def test_namespace_scopes_and_clears(self):
+        registry = MetricsRegistry()
+        ns = registry.namespace("rbb.network")
+        ns.increment("rx_packets")
+        registry.increment("rbb.host.submitted")
+        assert ns.names() == ["rx_packets"]
+        ns.clear()
+        assert "rbb.network.rx_packets" not in registry
+        assert "rbb.host.submitted" in registry
+
+    def test_subtree_snapshot(self):
+        registry = MetricsRegistry()
+        registry.increment("a.b.c", 7)
+        registry.increment("a.d", 1)
+        assert registry.snapshot("a.b") == {"c": 7}
+
+    def test_dict_views_are_dict_compatible(self):
+        from repro.runtime import CounterDictView, GaugeDictView
+
+        ns = MetricsRegistry().namespace("rbb.test")
+        counters, gauges = CounterDictView(ns), GaugeDictView(ns)
+        counters["hits"] = counters.get("hits", 0) + 2
+        gauges["usage"] = 0.25
+        assert counters["hits"] == 2
+        assert dict(counters) == {"hits": 2}
+        assert gauges == {"usage": 0.25}
+        assert "hits" not in gauges  # views are per-kind
+        counters.clear()
+        assert counters == {}
+        assert gauges == {"usage": 0.25}
+
+
+class TestRbbMonitorsOnRegistry:
+    def test_shell_monitors_land_in_ambient_registry(self, device_a):
+        from repro.core.shell import build_unified_shell
+        from repro.workloads.packets import PacketGenerator
+
+        with SimContext() as context:
+            shell = build_unified_shell(device_a)
+            network = shell.rbbs["network"]
+            network.process_packets(PacketGenerator().uniform_stream(50, 256))
+        tree = context.metrics.snapshot()
+        assert tree["rbb"]["network"]["rx_packets"] == 50
+        snapshot = network.monitor_snapshot()
+        assert snapshot.counters["rx_packets"] == 50
+
+    def test_private_registry_without_context(self, device_a):
+        from repro.core.shell import build_unified_shell
+
+        shell = build_unified_shell(device_a)
+        network = shell.rbbs["network"]
+        network._bump("rx_packets", 5)
+        assert network.counters["rx_packets"] == 5
+        assert current_context() is None
+
+
+class TestSweepDeterminism:
+    def test_identical_sweeps_byte_identical_traces(self):
+        first, second = _traced_sweep(), _traced_sweep()
+        jsonl = first.trace.export_jsonl()
+        assert jsonl  # non-empty
+        assert jsonl == second.trace.export_jsonl()
+        assert first.metrics.snapshot() == second.metrics.snapshot()
+
+    def test_trace_covers_every_datapath_layer(self):
+        names = _traced_sweep().trace.span_names()
+        joined = " ".join(names)
+        assert "network.link" in joined          # physical link
+        assert "(ingress)" in joined             # RBB specific instance
+        assert ".wrapper" in joined              # interface wrapper
+        assert "sec-gateway.cdc" in joined       # parameterised CDC
+        assert "sec-gateway.role" in joined      # user role
+        assert "(egress)" in joined
+
+    def test_sweep_metrics_tree_is_populated(self):
+        tree = _traced_sweep().metrics.snapshot()
+        point = tree["app"]["sec-gateway"]["harmonia"]["64B"]
+        assert point["throughput_gbps"] > 0
+        sweep = tree["sweep"]["sec-gateway"]["harmonia"]["64B"]
+        assert sweep["latency_ps"]["count"] == 200
+
+    def test_untraced_measure_matches_traced_numbers(self):
+        from repro.platform.catalog import device_by_name
+
+        device = device_by_name("device-a")
+        app = _sec_gateway()
+        plain = app.measure(device, packet_sizes=(128,), packets_per_point=100)
+        traced = app.measure(device, packet_sizes=(128,),
+                             packets_per_point=100,
+                             context=SimContext(trace=True))
+        assert plain[0].throughput_gbps == traced[0].throughput_gbps
+        assert plain[0].latency_us == traced[0].latency_us
+
+
+class TestSharedEngine:
+    def test_components_share_the_context_clock(self):
+        from repro.core.interrupts import InterruptController
+
+        with SimContext() as context:
+            controller = InterruptController(vector_count=4)
+            assert controller.simulator is context.simulator
+            controller.bind(0, "mac")
+            controller.raise_event(0)
+            context.run()
+        assert len(controller.deliveries) == 1
+        assert context.metrics.snapshot()["irq"]["delivered"] == 1
+
+    def test_des_pipeline_joins_and_publishes(self):
+        from repro.sim.des_pipeline import DesPacket, DesPipeline
+        from repro.sim.pipeline import PipelineStage
+
+        stage = PipelineStage("s0", ClockDomain("clk", 200.0), 64)
+        with SimContext() as context:
+            pipeline = DesPipeline([stage], fifo_depth=8, name="unit")
+            assert pipeline.simulator is context.simulator
+            result = pipeline.run(
+                [DesPacket(size_bytes=64, created_ps=i * 10_000)
+                 for i in range(5)]
+            )
+        assert result.delivered == 5
+        tree = context.metrics.snapshot()["des"]["unit"]
+        assert tree["delivered"] == 5
+        assert tree["latency_ps"]["count"] == 5
+
+    def test_command_path_rtt_publishes_histogram(self):
+        from repro.core.command.timing import burst_latency_profile
+
+        with SimContext() as context:
+            burst_latency_profile(burst_size=4)
+        tree = context.metrics.snapshot()["command"]
+        assert tree["completed"] == 4
+        assert tree["rtt_ps"]["count"] == 4
+
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: The definition site (class + usage docstring) is the one legal mention.
+_ALLOWED = {SRC_ROOT / "sim" / "engine.py"}
+
+
+class TestNoBareSimulatorConstruction:
+    def test_only_runtime_constructs_simulator(self):
+        """Grep-check: every engine comes from a SimContext."""
+        pattern = re.compile(r"\bSimulator\(\)")
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            if path in _ALLOWED or SRC_ROOT / "runtime" in path.parents:
+                continue
+            for number, line in enumerate(path.read_text().splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{path.relative_to(SRC_ROOT)}:{number}")
+        assert offenders == [], (
+            "bare Simulator() constructed outside repro/runtime: "
+            + ", ".join(offenders)
+        )

@@ -116,6 +116,44 @@ class TestRunControl:
         sim.run(until_ps=200)
         assert fired == [True]
 
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run(until_ps=1_000)
+        assert sim.now_ps == 1_000
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        sim.run(until_ps=750)
+        assert sim.now_ps == 750
+
+    def test_run_until_never_moves_clock_backwards(self):
+        sim = Simulator()
+        sim.schedule(500, lambda: None)
+        sim.run()
+        sim.run(until_ps=200)
+        assert sim.now_ps == 500
+
+    def test_max_events_break_does_not_jump_to_deadline(self):
+        sim = Simulator()
+        for delay in (10, 20, 30):
+            sim.schedule(delay, lambda: None)
+        sim.run(until_ps=1_000, max_events=2)
+        assert sim.now_ps == 20
+
+    def test_dispatch_hooks_observe_each_event(self):
+        sim = Simulator()
+        seen = []
+        sim.add_dispatch_hook(lambda time_ps, seq: seen.append(time_ps))
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run()
+        assert seen == [10, 20]
+        sim.remove_dispatch_hook(sim._dispatch_hooks[0])
+        sim.schedule(5, lambda: None)
+        sim.run()
+        assert seen == [10, 20]
+
     def test_max_events_cap(self):
         sim = Simulator()
         fired = []

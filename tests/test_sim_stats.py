@@ -73,6 +73,34 @@ class TestLatencyStats:
         assert left.count == 2
         assert left.mean_ps == 20
 
+    def test_merge_updates_extremes_and_percentiles(self):
+        left, right = LatencyStats(), LatencyStats()
+        for sample in (50, 60):
+            left.add(sample)
+        for sample in (10, 90):
+            right.add(sample)
+        left.percentile_ps(0.5)  # prime the sorted cache
+        left.merge(right)
+        assert left.min_ps == 10
+        assert left.max_ps == 90
+        assert left.percentile_ps(0.0) == 10
+        assert left.percentile_ps(1.0) == 90
+
+    def test_merge_empty_is_noop(self):
+        stats = LatencyStats()
+        stats.add(7)
+        stats.merge(LatencyStats())
+        assert stats.count == 1
+        assert stats.mean_ps == 7
+
+    def test_percentile_cache_invalidated_by_add(self):
+        stats = LatencyStats()
+        stats.add(100)
+        assert stats.percentile_ps(1.0) == 100
+        stats.add(5)
+        assert stats.percentile_ps(0.0) == 5
+        assert stats.percentile_ps(1.0) == 100
+
     def test_reset_clears_everything(self):
         stats = LatencyStats()
         stats.add(10)
