@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke report examples lint all
+.PHONY: test bench bench-smoke bench-sweep report examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +12,9 @@ bench:
 
 bench-smoke:
 	$(PYTHON) benchmarks/perf_smoke.py
+
+bench-sweep:
+	$(PYTHON) benchmarks/sweep_smoke.py
 
 report:
 	$(PYTHON) -m repro.cli report

@@ -35,6 +35,21 @@ PACKETS_PER_POINT = 2_000
 REPEATS = 5
 
 
+def best_of(workload, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall time of calling ``workload()``, in seconds.
+
+    Shared with ``benchmarks/sweep_smoke.py`` -- best-of timing is the
+    right statistic for these CPU-bound, allocation-light workloads
+    (the minimum is the least-noisy estimate of the true cost).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def _app():
     return next(app for app in all_applications() if app.name == APP_NAME)
 

@@ -1,0 +1,132 @@
+"""Sweep-runner perf baseline (``make bench-sweep``).
+
+Times one Fig-17/18-style multi-app x multi-device sweep three ways:
+
+* ``serial_seed`` -- the seed's serial hot path: a fresh chain per
+  point driven through the pinned
+  :func:`repro.sim.pipeline.run_packet_sweep_reference` loop (the
+  per-Transaction implementation preserved verbatim for exactly this
+  comparison);
+* ``parallel`` -- the :class:`repro.runtime.sweep.SweepRunner` with 4
+  workers and a cold cache;
+* ``cached`` -- the same runner re-run against the warm cache.
+
+Results land in ``BENCH_sweep.json`` at the repository root;
+``repro.cli report`` folds the file into the reproduction report.  The
+script exits non-zero when the parallel run fails its >= 2.5x speedup
+budget against the serial seed path or the warm re-run fails its >= 10x
+budget against the cold run.
+
+Run directly: ``PYTHONPATH=src python benchmarks/sweep_smoke.py``
+"""
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from perf_smoke import best_of  # noqa: E402
+
+from repro.apps import application_by_name  # noqa: E402
+from repro.platform.catalog import device_by_name  # noqa: E402
+from repro.runtime.sweep import (  # noqa: E402
+    SweepCache,
+    SweepPlan,
+    SweepRunner,
+)
+from repro.sim.pipeline import run_packet_sweep_reference  # noqa: E402
+
+#: The fixed workload: the three BITW apps of Figure 17 across three
+#: catalog devices that can host all of them, over the paper's
+#: packet-size axis.
+APPS = ("sec-gateway", "layer4-lb", "host-network")
+DEVICES = ("device-a", "device-b", "device-d")
+PACKET_SIZES = (64, 128, 256, 512, 1024)
+PACKETS_PER_POINT = 4_000
+WORKERS = 4
+REPEATS = 2
+
+PLAN = SweepPlan(apps=APPS, devices=DEVICES, packet_sizes=PACKET_SIZES,
+                 packets_per_point=PACKETS_PER_POINT)
+
+
+def serial_seed_sweep() -> list:
+    """The pre-runner shape: every point serially, seed-style.
+
+    Mirrors what ``CloudApplication.measure`` did before the overhaul --
+    build the chain, then push one Transaction per packet through the
+    reference loop.  No pool, no cache, no batch fast path.
+    """
+    results = []
+    for app_name in APPS:
+        app = application_by_name(app_name)
+        for device_name in DEVICES:
+            device = device_by_name(device_name)
+            shell = app.tailored_shell(device)
+            for size in PACKET_SIZES:
+                chain = app.datapath(shell, True)
+                results.append(run_packet_sweep_reference(
+                    chain, packet_size_bytes=size,
+                    packet_count=PACKETS_PER_POINT,
+                ))
+    return results
+
+
+def run() -> dict:
+    # Warm imports/catalog outside every timing window.
+    serial_seed_sweep_points = len(PLAN)
+    cache = SweepCache()
+    runner = SweepRunner(PLAN, workers=WORKERS, cache=cache)
+
+    serial_s = best_of(serial_seed_sweep, REPEATS)
+
+    def cold():
+        cache.clear()
+        runner.run()
+
+    cold_s = best_of(cold, REPEATS)
+
+    # Populate once, then time warm re-runs only.
+    runner.run()
+    warm_s = best_of(runner.run, REPEATS)
+
+    result = runner.run()
+    assert result.cache_hits == len(result), "warm run must be all hits"
+
+    return {
+        "workload": f"{len(APPS)} apps x {len(DEVICES)} devices x "
+                    f"{len(PACKET_SIZES)} sizes x {PACKETS_PER_POINT} packets "
+                    f"({serial_seed_sweep_points} points)",
+        "workers": WORKERS,
+        "serial_seed_s": round(serial_s, 6),
+        "parallel_cold_s": round(cold_s, 6),
+        "cached_warm_s": round(warm_s, 6),
+        "parallel_speedup": round(serial_s / cold_s, 3),
+        "cache_speedup": round(cold_s / warm_s, 3),
+        "cache_entries": len(cache),
+    }
+
+
+def main() -> int:
+    baseline = run()
+    target = REPO_ROOT / "BENCH_sweep.json"
+    target.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(baseline, indent=2, sort_keys=True))
+    print(f"\nwrote {target}")
+    failed = False
+    if baseline["parallel_speedup"] < 2.5:
+        print(f"FAIL: parallel sweep only {baseline['parallel_speedup']:.2f}x "
+              f"faster than the serial seed path (budget 2.5x)",
+              file=sys.stderr)
+        failed = True
+    if baseline["cache_speedup"] < 10.0:
+        print(f"FAIL: warm-cache re-run only {baseline['cache_speedup']:.2f}x "
+              f"faster than the cold run (budget 10x)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

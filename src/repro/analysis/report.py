@@ -84,6 +84,18 @@ def default_perf_baseline_path() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parents[3] / "BENCH_runtime.json"
 
 
+def default_sweep_baseline_path() -> pathlib.Path:
+    """Where ``make bench-sweep`` leaves the sweep-runner timings."""
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_sweep.json"
+
+
+def load_sweep_baseline(
+    path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, Any]]:
+    """The sweep-runner serial/parallel/cached timings, if recorded."""
+    return load_perf_baseline(path or default_sweep_baseline_path())
+
+
 def load_perf_baseline(
     path: Optional[pathlib.Path] = None,
 ) -> Optional[Dict[str, Any]]:
@@ -97,9 +109,8 @@ def load_perf_baseline(
         return None
 
 
-def _perf_baseline_lines(baseline: Dict[str, Any]) -> List[str]:
-    lines = ["", "-" * 72, "RUNTIME PERF BASELINE (benchmarks/perf_smoke.py)",
-             "-" * 72, ""]
+def _baseline_lines(title: str, baseline: Dict[str, Any]) -> List[str]:
+    lines = ["", "-" * 72, title, "-" * 72, ""]
     for key in sorted(baseline):
         lines.append(f"  {key}: {baseline[key]}")
     return lines
@@ -140,5 +151,10 @@ def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
             lines.append(results[name])
     baseline = load_perf_baseline()
     if baseline is not None:
-        lines.extend(_perf_baseline_lines(baseline))
+        lines.extend(_baseline_lines(
+            "RUNTIME PERF BASELINE (benchmarks/perf_smoke.py)", baseline))
+    sweep = load_sweep_baseline()
+    if sweep is not None:
+        lines.extend(_baseline_lines(
+            "SWEEP RUNNER BASELINE (benchmarks/sweep_smoke.py)", sweep))
     return "\n".join(lines) + "\n"

@@ -15,9 +15,26 @@ __all__ = [
     "PerformanceSample",
     "RetrievalApp",
     "all_applications",
+    "application_by_name",
 ]
 
 
 def all_applications():
     """The evaluation's application mix, in Table 2 order."""
     return [SecGateway(), Layer4LoadBalancer(), HostNetwork(), RetrievalApp(), BoardTest()]
+
+
+def application_by_name(name: str) -> CloudApplication:
+    """Look one application up by its registered name.
+
+    Sweep workers reconstruct applications from their names (only plain
+    strings cross the process boundary), so the lookup lives here rather
+    than in the CLI.
+    """
+    for app in all_applications():
+        if app.name == name:
+            return app
+    from repro.errors import HarmoniaError
+
+    known = ", ".join(app.name for app in all_applications())
+    raise HarmoniaError(f"unknown application {name!r}; known: {known}")

@@ -144,6 +144,27 @@ class CloudApplication:
     #: nanosecond addition is negligible (the paper's <1% claim).
     PATH_LATENCY_US = 2.0
 
+    def sample_for_point(
+        self,
+        packet_size_bytes: int,
+        throughput_bps: float,
+        mean_latency_ns: float,
+        include_path_latency: bool = True,
+    ) -> PerformanceSample:
+        """Fold one raw sweep-point measurement into a Figure-17 sample.
+
+        This is the single place the path-latency constant is applied;
+        :meth:`measure` and the parallel sweep runner
+        (:mod:`repro.runtime.sweep`) both go through it, so their samples
+        are identical by construction.
+        """
+        path_us = self.PATH_LATENCY_US if include_path_latency else 0.0
+        return PerformanceSample(
+            label=f"{packet_size_bytes}B",
+            throughput_gbps=throughput_bps / 1e9,
+            latency_us=mean_latency_ns / 1_000.0 + path_us,
+        )
+
     def measure(
         self,
         device: FpgaDevice,
@@ -194,17 +215,15 @@ class CloudApplication:
             ns = ctx.metrics.namespace(f"app.{self.name}.{variant}")
         shell = self.tailored_shell(device)
         samples: List[PerformanceSample] = []
-        path_us = self.PATH_LATENCY_US if include_path_latency else 0.0
         for size in packet_sizes:
             chain = self.datapath(shell, with_harmonia)
             throughput_bps, latency_ns = run_packet_sweep(
                 chain, packet_size_bytes=size, packet_count=packets_per_point,
                 context=ctx,
             )
-            sample = PerformanceSample(
-                label=f"{size}B",
-                throughput_gbps=throughput_bps / 1e9,
-                latency_us=latency_ns / 1_000.0 + path_us,
+            sample = self.sample_for_point(
+                size, throughput_bps, latency_ns,
+                include_path_latency=include_path_latency,
             )
             samples.append(sample)
             if ns is not None:

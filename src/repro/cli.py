@@ -12,12 +12,16 @@ Gives operators the day-to-day views the library computes:
   runtime context and export the span trace as JSONL;
 * ``metrics DEVICE --app APP`` -- the same sweep's hierarchical
   metrics snapshot as JSON;
+* ``sweep --apps ... --devices ... --workers N`` -- run an
+  (apps x devices x packet-sizes) sweep through the parallel cached
+  :class:`repro.runtime.sweep.SweepRunner`;
 * ``report`` -- collate benchmark artifacts into one reproduction report.
 """
 
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
@@ -174,6 +178,60 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runtime.sweep import SweepCache, SweepPlan, SweepRunner
+
+    for device in args.devices:
+        device_by_name(device)          # fail fast on unknown names
+    for app in args.apps:
+        _app_by_name(app)
+    plan = SweepPlan(
+        apps=tuple(args.apps),
+        devices=tuple(args.devices),
+        packet_sizes=tuple(args.sizes) if args.sizes else (64, 128, 256, 512, 1024),
+        packets_per_point=args.packets,
+        with_harmonia=not args.native,
+        trace=bool(args.trace_out),
+    )
+    cache = SweepCache()
+    if args.cache_file:
+        try:
+            cache.load(args.cache_file)
+        except FileNotFoundError:
+            pass                        # first run populates it
+    runner = SweepRunner(plan, workers=args.workers, cache=cache,
+                         use_cache=not args.no_cache)
+    start = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - start
+    rows = [
+        (point.point.app, point.point.device,
+         f"{point.point.packet_size_bytes}B",
+         round(point.throughput_bps / 1e9, 2),
+         round(point.mean_latency_ns, 1),
+         "hit" if point.cached else "miss")
+        for point in result.points
+    ]
+    print(format_table(
+        ["app", "device", "packet", "Gbps", "latency ns", "cache"], rows,
+        title=f"Sweep: {len(result)} points, {args.workers} worker(s)",
+    ))
+    print(f"# {elapsed:.3f}s wall, {result.cache_hits}/{len(result)} cache hits",
+          file=sys.stderr)
+    if args.cache_file:
+        cache.save(args.cache_file)
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            handle.write(result.merged_trace_jsonl())
+        print(f"# wrote merged trace to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote point results to {args.json}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -221,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="print a sweep's hierarchical metrics snapshot")
     _sweep_args(metrics)
 
+    sweep = commands.add_parser(
+        "sweep", help="run an (apps x devices x sizes) sweep, optionally parallel")
+    sweep.add_argument("--apps", required=True, nargs="+",
+                       help="application names (see `devices`/docs)")
+    sweep.add_argument("--devices", required=True, nargs="+",
+                       help="device names from the catalog")
+    sweep.add_argument("--sizes", type=int, nargs="+",
+                       help="packet sizes in bytes (default paper sweep)")
+    sweep.add_argument("--packets", type=int, default=2_000,
+                       help="packets per sweep point (default 2000)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--native", action="store_true",
+                       help="sweep the native (no-Harmonia) data path")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the content-keyed result cache")
+    sweep.add_argument("--cache-file",
+                       help="load/save the result cache at this JSON path")
+    sweep.add_argument("--trace-out",
+                       help="trace every point; write merged JSONL here")
+    sweep.add_argument("--json", help="write per-point results JSON here")
+
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser
 
@@ -234,6 +314,7 @@ _HANDLERS = {
     "health": cmd_health,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "sweep": cmd_sweep,
     "report": cmd_report,
 }
 

@@ -16,6 +16,7 @@ from repro.runtime.context import (
     SimContext,
     current_context,
     ensure_context,
+    isolated_context_stack,
 )
 from repro.runtime.metrics import (
     CounterDictView,
@@ -23,6 +24,17 @@ from repro.runtime.metrics import (
     GaugeDictView,
     MetricsNamespace,
     MetricsRegistry,
+)
+from repro.runtime.sweep import (
+    PointResult,
+    SweepCache,
+    SweepPlan,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    chain_signature,
+    run_plan,
+    sweep_cache_key,
 )
 from repro.runtime.trace import Span, TraceBus
 
@@ -33,9 +45,19 @@ __all__ = [
     "GaugeDictView",
     "MetricsNamespace",
     "MetricsRegistry",
+    "PointResult",
     "SimContext",
     "Span",
+    "SweepCache",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
     "TraceBus",
+    "chain_signature",
     "current_context",
     "ensure_context",
+    "isolated_context_stack",
+    "run_plan",
+    "sweep_cache_key",
 ]

@@ -30,7 +30,8 @@ Components resolve their context with :func:`ensure_context`:
    existing constructors keep working unchanged.
 """
 
-from typing import List, Optional
+import contextlib
+from typing import Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.runtime.metrics import MetricsRegistry
@@ -145,6 +146,25 @@ class SimContext:
 def current_context() -> Optional[SimContext]:
     """The innermost ambient context, if any."""
     return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def isolated_context_stack() -> Iterator[None]:
+    """Temporarily hide every ambient context.
+
+    Inside the block, :func:`current_context` returns ``None`` no matter
+    what ``with SimContext():`` blocks enclose the caller.  The sweep
+    runner uses this so an in-process (``workers=1``) run resolves
+    contexts exactly like a worker process would -- a freshly spawned
+    worker has an empty ambient stack, and determinism across worker
+    counts depends on the serial path seeing the same thing.
+    """
+    saved = _ACTIVE[:]
+    _ACTIVE.clear()
+    try:
+        yield
+    finally:
+        _ACTIVE[:] = saved
 
 
 def ensure_context(context: Optional[SimContext] = None) -> SimContext:

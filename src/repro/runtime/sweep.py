@@ -1,0 +1,469 @@
+"""Parallel sweep runner with content-keyed result caching.
+
+Every headline figure of the paper (Figs 10, 16, 17, 18) is a sweep of
+independent (application x device x packet-size) points through the same
+deterministic pipeline models.  Independence is the whole trick -- the
+same shape SYNERGY exploits by treating FPGA workloads as schedulable
+units and Funky by fanning them across isolated executors -- so this
+module does the simulation-side equivalent:
+
+* a :class:`SweepPlan` expands into independent :class:`SweepPoint`\\ s;
+* a :class:`SweepRunner` executes them across a
+  ``concurrent.futures.ProcessPoolExecutor`` (``workers=1`` falls back
+  to an in-process serial loop with no pool at all) and merges results
+  in plan order, so the output -- including exported traces -- is
+  byte-identical no matter how many workers ran;
+* a :class:`SweepCache` memoises point results under a **content key**
+  (the stage timing parameters of the chain, the packet size, the packet
+  count, and the offered load).  The analytic models are pure functions
+  of those inputs, so a repeated figure is a cache lookup, not a
+  re-simulation.
+
+Only plain strings and numbers cross the process boundary: a worker
+receives an app name, a device name, and sweep parameters, reconstructs
+the chain from the catalog, and returns floats (plus the point's JSONL
+trace when tracing was requested).  Workers never share the parent's
+cache; the parent consults the cache before dispatching and stores the
+merged results afterwards.
+"""
+
+import dataclasses
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.context import SimContext, isolated_context_stack
+
+#: Paper sweep of Figure 17/18: the default packet-size axis.
+DEFAULT_PACKET_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+
+# ---------------------------------------------------------------------------
+# Plan and points
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of sweep work."""
+
+    app: str
+    device: str
+    packet_size_bytes: int
+    packet_count: int
+    with_harmonia: bool = True
+    trace: bool = False
+
+    def label(self) -> str:
+        variant = "harmonia" if self.with_harmonia else "native"
+        return (f"{self.app}@{self.device}/{variant}/"
+                f"{self.packet_size_bytes}B")
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An (apps x devices x packet-sizes) sweep specification."""
+
+    apps: Tuple[str, ...]
+    devices: Tuple[str, ...]
+    packet_sizes: Tuple[int, ...] = DEFAULT_PACKET_SIZES
+    packets_per_point: int = 2_000
+    with_harmonia: bool = True
+    include_path_latency: bool = True
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.apps or not self.devices or not self.packet_sizes:
+            raise ConfigurationError(
+                "a sweep plan needs at least one app, device, and packet size"
+            )
+        if self.packets_per_point < 1:
+            raise ConfigurationError("packets_per_point must be >= 1")
+
+    def expand(self) -> List[SweepPoint]:
+        """The plan's points in canonical (app, device, size) order."""
+        return [
+            SweepPoint(
+                app=app, device=device, packet_size_bytes=size,
+                packet_count=self.packets_per_point,
+                with_harmonia=self.with_harmonia, trace=self.trace,
+            )
+            for app in self.apps
+            for device in self.devices
+            for size in self.packet_sizes
+        ]
+
+    def __len__(self) -> int:
+        return len(self.apps) * len(self.devices) * len(self.packet_sizes)
+
+
+# ---------------------------------------------------------------------------
+# Content-keyed cache
+# ---------------------------------------------------------------------------
+
+def chain_signature(chain) -> Tuple[Tuple[Any, ...], ...]:
+    """The timing-relevant content of a chain: one tuple per stage.
+
+    Two chains with equal signatures are observationally identical to
+    :func:`repro.sim.pipeline.run_packet_sweep` -- stage and chain names
+    are deliberately excluded, so e.g. two apps whose datapaths happen to
+    reduce to the same stage parameters share cache entries.
+    """
+    return tuple(
+        (
+            stage.clock.freq_mhz,
+            stage.data_width_bits,
+            stage.latency_cycles,
+            stage.initiation_interval,
+            stage.per_transaction_overhead_cycles,
+        )
+        for stage in chain.stages
+    )
+
+
+def sweep_cache_key(
+    signature: Tuple[Tuple[Any, ...], ...],
+    packet_size_bytes: int,
+    packet_count: int,
+    offered_load_bps: Optional[float] = None,
+    trace_of: Optional[str] = None,
+) -> str:
+    """A stable content key for one analytic sweep point.
+
+    ``trace_of`` is the chain name and is folded in **only for traced
+    points**: throughput/latency are pure functions of the timing
+    signature alone, but an exported trace embeds span names, so a
+    traced entry may only be reused under the same chain name.
+    """
+    payload = json.dumps(
+        [list(stage) for stage in signature]
+        + [packet_size_bytes, packet_count, offered_load_bps, trace_of],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """In-memory (optionally file-backed) memo of sweep-point results.
+
+    Entries are keyed by :func:`sweep_cache_key` and carry the measured
+    throughput/latency plus, when the point was traced, its exported
+    JSONL -- a warm hit must be able to reproduce the cold run's trace
+    byte for byte.  An entry without a stored trace does **not** satisfy
+    a traced request (it counts as a miss), so enabling tracing never
+    silently loses spans.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str, need_trace: bool) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(key)
+        if entry is None or (need_trace and "trace_jsonl" not in entry):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, entry: Dict[str, Any]) -> None:
+        existing = self._entries.get(key)
+        if (existing is not None and "trace_jsonl" in existing
+                and "trace_jsonl" not in entry):
+            return  # never downgrade an entry that carries its trace
+        self._entries[key] = dict(entry)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # --- persistence --------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write the cache as deterministic JSON; returns the entry count."""
+        with open(path, "w") as handle:
+            json.dump(self._entries, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+        return len(self._entries)
+
+    def load(self, path: str) -> int:
+        """Merge entries from ``path``; returns how many were loaded."""
+        with open(path) as handle:
+            loaded = json.load(handle)
+        if not isinstance(loaded, dict):
+            raise ConfigurationError(f"{path} is not a sweep cache file")
+        for key, entry in loaded.items():
+            self._entries.setdefault(key, entry)
+        return len(loaded)
+
+
+#: The process-wide cache every runner joins unless given a private one.
+DEFAULT_CACHE = SweepCache()
+
+
+# ---------------------------------------------------------------------------
+# Point execution (worker side)
+# ---------------------------------------------------------------------------
+
+def _build_chain(point: SweepPoint):
+    """App/device names -> the tailored datapath chain for this point."""
+    from repro.apps import application_by_name
+    from repro.platform.catalog import device_by_name
+
+    app = application_by_name(point.app)
+    device = device_by_name(point.device)
+    shell = app.tailored_shell(device)
+    return app.datapath(shell, point.with_harmonia)
+
+
+def _run_chain_point(chain, point: SweepPoint) -> Dict[str, Any]:
+    """Run one point on ``chain``; pure function of the chain's content.
+
+    Runs with the ambient-context stack hidden, so results and traces do
+    not depend on whether the caller happened to sit inside a
+    ``with SimContext():`` block -- the worker-process path never does,
+    and the serial path must match it byte for byte.
+    """
+    from repro.sim.pipeline import run_packet_sweep
+
+    with isolated_context_stack():
+        context = SimContext(name=point.label(), trace=True) if point.trace else None
+        throughput_bps, mean_latency_ns = run_packet_sweep(
+            chain, packet_size_bytes=point.packet_size_bytes,
+            packet_count=point.packet_count, context=context,
+        )
+    entry: Dict[str, Any] = {
+        "throughput_bps": throughput_bps,
+        "mean_latency_ns": mean_latency_ns,
+    }
+    if context is not None:
+        entry["trace_jsonl"] = context.trace.export_jsonl()
+    return entry
+
+
+#: Process-wide chain memo.  The (app, device, variant) combo repeats
+#: across the packet-size axis and across runs, and a chain is a pure
+#: (resettable) function of its combo, so each process -- pool worker or
+#: parent -- tailors a given shell at most once.
+_CHAIN_MEMO: Dict[Tuple[str, str, bool], Any] = {}
+
+
+def _chain_for(point: SweepPoint):
+    combo = (point.app, point.device, point.with_harmonia)
+    chain = _CHAIN_MEMO.get(combo)
+    if chain is None:
+        chain = _build_chain(point)
+        _CHAIN_MEMO[combo] = chain
+    return chain
+
+
+def _execute_point(point_fields: Tuple[Any, ...]) -> Dict[str, Any]:
+    """Worker entry: rebuild the point and its chain, run, return floats."""
+    point = SweepPoint(*point_fields)
+    return _run_chain_point(_chain_for(point), point)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointResult:
+    """One sweep point's outcome plus its cache provenance."""
+
+    point: SweepPoint
+    throughput_bps: float
+    mean_latency_ns: float
+    cache_key: str
+    cached: bool
+    trace_jsonl: str = ""
+
+
+class SweepResult:
+    """Deterministically merged outcome of one :class:`SweepRunner` run."""
+
+    def __init__(self, plan: SweepPlan, points: List[PointResult],
+                 workers: int) -> None:
+        self.plan = plan
+        self.points = points
+        self.workers = workers
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for point in self.points if point.cached)
+
+    def samples(self):
+        """Per-(app, device) Figure-17 samples, in plan order.
+
+        Returns ``{(app, device): [PerformanceSample, ...]}`` with the
+        same path-latency fold :meth:`CloudApplication.measure` applies.
+        """
+        from repro.apps import application_by_name
+
+        apps = {name: application_by_name(name) for name in self.plan.apps}
+        grouped: Dict[Tuple[str, str], list] = {}
+        for result in self.points:
+            sample = apps[result.point.app].sample_for_point(
+                result.point.packet_size_bytes,
+                result.throughput_bps,
+                result.mean_latency_ns,
+                include_path_latency=self.plan.include_path_latency,
+            )
+            grouped.setdefault((result.point.app, result.point.device),
+                               []).append(sample)
+        return grouped
+
+    def merged_trace_jsonl(self) -> str:
+        """Every point's trace concatenated in plan order.
+
+        Per-point traces come from per-point fresh contexts, so the
+        concatenation is identical whether the points ran serially, on
+        four workers, or straight out of the cache.
+        """
+        return "".join(point.trace_jsonl for point in self.points)
+
+    def to_json(self) -> Dict[str, Any]:
+        """A deterministic JSON-serialisable summary.
+
+        Deliberately excludes wall-clock data *and* the worker count:
+        the artifact is a pure function of the plan, so two runs of the
+        same plan diff clean no matter how they were executed.
+        """
+        return {
+            "plan": dataclasses.asdict(self.plan),
+            "points": [
+                {
+                    "app": point.point.app,
+                    "device": point.point.device,
+                    "packet_size_bytes": point.point.packet_size_bytes,
+                    "packet_count": point.point.packet_count,
+                    "with_harmonia": point.point.with_harmonia,
+                    "throughput_gbps": point.throughput_bps / 1e9,
+                    "mean_latency_ns": point.mean_latency_ns,
+                    "cached": point.cached,
+                    "cache_key": point.cache_key,
+                }
+                for point in self.points
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+class SweepRunner:
+    """Executes a :class:`SweepPlan` across workers with caching.
+
+    ``workers=1`` (the default) runs every point in-process with no pool;
+    ``workers=N`` fans cache misses out over a ``ProcessPoolExecutor``.
+    Results are merged in plan order either way, and each point runs in
+    its own fresh context, so worker count is invisible in the output --
+    a determinism test asserts byte-identical traces for 1 vs 4 workers.
+    """
+
+    def __init__(self, plan: SweepPlan, workers: int = 1,
+                 cache: Optional[SweepCache] = None,
+                 use_cache: bool = True) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.plan = plan
+        self.workers = workers
+        self.cache = cache if cache is not None else DEFAULT_CACHE
+        self.use_cache = use_cache
+
+    def run(self) -> SweepResult:
+        points = self.plan.expand()
+        # Chains are resolved through the process-wide memo: built once
+        # per (app, device, variant), which is cheap relative to a
+        # point's simulation and exactly what the content key needs.
+        # The serial path reuses them for execution too
+        # (run_packet_sweep resets the chain, so reuse is deterministic).
+        keys: List[str] = []
+        for point in points:
+            chain = _chain_for(point)
+            keys.append(sweep_cache_key(
+                chain_signature(chain), point.packet_size_bytes,
+                point.packet_count,
+                trace_of=chain.name if point.trace else None,
+            ))
+
+        entries: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        pending: List[int] = []
+        for index, (point, key) in enumerate(zip(points, keys)):
+            entry = (self.cache.lookup(key, need_trace=point.trace)
+                     if self.use_cache else None)
+            if entry is None:
+                pending.append(index)
+            else:
+                entries[index] = entry
+
+        if pending:
+            # Intra-run dedup: two pending points with equal content keys
+            # are the same pure computation (traced points fold the chain
+            # name into the key, so shared entries stay trace-safe).
+            # Only the first index per key is executed.
+            executed: List[int] = []
+            duplicates: Dict[str, int] = {}
+            for index in pending:
+                first = duplicates.setdefault(keys[index], index)
+                if first == index:
+                    executed.append(index)
+            if self.workers > 1:
+                self._run_pooled(points, executed, entries)
+            else:
+                for index in executed:
+                    point = points[index]
+                    entries[index] = _run_chain_point(_chain_for(point), point)
+            for index in pending:
+                if entries[index] is None:
+                    entries[index] = entries[duplicates[keys[index]]]
+            if self.use_cache:
+                for index in executed:
+                    self.cache.store(keys[index], entries[index])
+
+        pending_set = set(pending)
+        results = [
+            PointResult(
+                point=point,
+                throughput_bps=entry["throughput_bps"],
+                mean_latency_ns=entry["mean_latency_ns"],
+                cache_key=key,
+                cached=index not in pending_set,
+                trace_jsonl=entry.get("trace_jsonl", "") if point.trace else "",
+            )
+            for index, (point, key, entry) in enumerate(zip(points, keys, entries))
+        ]
+        return SweepResult(self.plan, results, self.workers)
+
+    def _run_pooled(self, points: List[SweepPoint], pending: List[int],
+                    entries: List[Optional[Dict[str, Any]]]) -> None:
+        """Fan the pending points out over a process pool, merge in order."""
+        specs: Iterable[Tuple[Any, ...]] = [
+            dataclasses.astuple(points[index]) for index in pending
+        ]
+        chunksize = max(1, len(pending) // (self.workers * 4) or 1)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            for index, entry in zip(pending,
+                                    pool.map(_execute_point, specs,
+                                             chunksize=chunksize)):
+                entries[index] = entry
+
+
+def run_plan(plan: SweepPlan, workers: int = 1,
+             cache: Optional[SweepCache] = None,
+             use_cache: bool = True) -> SweepResult:
+    """Convenience wrapper: build a runner and run the plan once."""
+    return SweepRunner(plan, workers=workers, cache=cache,
+                       use_cache=use_cache).run()

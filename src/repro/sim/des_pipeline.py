@@ -15,7 +15,7 @@ zero-load latency -- a property the tests check, which keeps the fast
 analytic model honest.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -36,7 +36,17 @@ class DesPacket:
 
 
 class _StageProcess:
-    """One stage: pulls from its input FIFO when free, pushes downstream."""
+    """One stage: pulls from its input FIFO when free, pushes downstream.
+
+    Service and hand-off callbacks are the *bound methods* ``_finish``
+    and ``_deliver`` with the packet passed as an event argument -- no
+    per-packet closure is allocated on the hot path -- and per-size
+    service times are memoised (a train repeats a handful of sizes
+    thousands of times).
+    """
+
+    __slots__ = ("simulator", "stage", "input_fifo", "downstream", "sink",
+                 "busy", "dropped_in_flight", "_latency_ps", "_service_cache")
 
     def __init__(self, simulator: Simulator, stage: PipelineStage,
                  input_fifo: SyncFifo,
@@ -48,6 +58,20 @@ class _StageProcess:
         self.downstream = downstream
         self.sink = sink
         self.busy = False
+        self.dropped_in_flight = 0
+        self._latency_ps = stage.clock.cycles_to_ps(stage.latency_cycles)
+        self._service_cache: dict = {}
+
+    def _service_ps(self, size_bytes: int) -> int:
+        service = self._service_cache.get(size_bytes)
+        if service is None:
+            stage = self.stage
+            service = stage.clock.cycles_to_ps(
+                stage.beats(size_bytes) * stage.initiation_interval
+                + stage.per_transaction_overhead_cycles
+            )
+            self._service_cache[size_bytes] = service
+        return service
 
     def kick(self) -> None:
         """Try to start service (idempotent; called on arrival/finish)."""
@@ -57,25 +81,16 @@ class _StageProcess:
             return  # backpressure: hold the packet upstream
         packet: DesPacket = self.input_fifo.pop()
         self.busy = True
-        beats = self.stage.beats(packet.size_bytes)
-        service_ps = self.stage.clock.cycles_to_ps(
-            beats * self.stage.initiation_interval
-            + self.stage.per_transaction_overhead_cycles
-        )
-        latency_ps = self.stage.clock.cycles_to_ps(self.stage.latency_cycles)
-        self.simulator.schedule(
-            service_ps, lambda: self._finish(packet, latency_ps)
-        )
+        self.simulator.schedule(self._service_ps(packet.size_bytes),
+                                self._finish, packet)
 
-    def _finish(self, packet: DesPacket, latency_ps: int) -> None:
+    def _finish(self, packet: DesPacket) -> None:
         self.busy = False
         if self.downstream is not None:
             # The fixed pipeline latency rides along with the hand-off.
-            self.simulator.schedule(
-                latency_ps, lambda: self._deliver(packet)
-            )
+            self.simulator.schedule(self._latency_ps, self._deliver, packet)
         else:
-            packet.completed_ps = self.simulator.now_ps + latency_ps
+            packet.completed_ps = self.simulator.now_ps + self._latency_ps
             self.sink.append(packet)
         self.kick()
 
@@ -84,9 +99,10 @@ class _StageProcess:
             self.downstream.kick()
         else:
             # Finite buffer overflowed despite backpressure (the latency
-            # hand-off is in flight); count it as a drop like hardware
-            # skid buffers do.
-            pass
+            # hand-off was already in flight when the FIFO filled); count
+            # it like a hardware skid-buffer drop so loss accounting
+            # stays honest.
+            self.dropped_in_flight += 1
         self.kick()
 
 
@@ -137,41 +153,57 @@ class DesPipeline:
             return False
         return True
 
+    @property
+    def dropped_in_flight(self) -> int:
+        """Packets lost to in-flight hand-off overflow, summed over stages."""
+        return sum(process.dropped_in_flight for process in self.processes)
+
+    def _inject(self, packet: DesPacket) -> None:
+        """Arrival callback: offer at the ingress and kick the first stage."""
+        self.offer(packet)
+        self.processes[0].kick()
+
     def run(self, source: List[DesPacket]) -> "DesRunResult":
         """Drive a packet train and run to completion.
 
         On a shared context whose clock has already advanced, the train
-        is rebased so creation times are relative to *now* -- packet
-        schedules stay legal and latencies stay exact.
+        is rebased so creation times are relative to *now*.  The rebase
+        works on **copies** -- the caller's packets are never mutated, so
+        re-running the same train on the same context cannot double-shift
+        its timestamps.
         """
         base_ps = self.simulator.now_ps
         if base_ps:
-            for packet in source:
-                packet.created_ps += base_ps
+            source = [
+                DesPacket(size_bytes=packet.size_bytes,
+                          created_ps=packet.created_ps + base_ps)
+                for packet in source
+            ]
         span = self.context.trace.begin(
             f"des.{self.name}.run", ts_ps=base_ps, packets=len(source)
         )
         delivered_mark = len(self.delivered)
         offered_mark, dropped_mark = self.offered, self.dropped_at_ingress
-        for packet in sorted(source, key=lambda item: item.created_ps):
-            self.simulator.schedule_at(
-                packet.created_ps, lambda packet=packet: (self.offer(packet),
-                                                          self.processes[0].kick())
-            )
+        in_flight_mark = self.dropped_in_flight
+        self.simulator.schedule_at_batch(
+            (packet.created_ps, self._inject, (packet,))
+            for packet in sorted(source, key=lambda item: item.created_ps)
+        )
         self.simulator.run()
         result = self._result()
-        self._publish(delivered_mark, offered_mark, dropped_mark)
+        self._publish(delivered_mark, offered_mark, dropped_mark, in_flight_mark)
         self.context.trace.end(span, delivered=result.delivered,
                                dropped=result.dropped)
         return result
 
     def _publish(self, delivered_mark: int, offered_mark: int,
-                 dropped_mark: int) -> None:
+                 dropped_mark: int, in_flight_mark: int) -> None:
         """Fold this run's deltas into the context metrics registry."""
         ns = self.context.metrics.namespace(f"des.{self.name}")
         ns.increment("offered", self.offered - offered_mark)
         ns.increment("delivered", len(self.delivered) - delivered_mark)
         ns.increment("dropped", self.dropped_at_ingress - dropped_mark)
+        ns.increment("dropped_in_flight", self.dropped_in_flight - in_flight_mark)
         histogram = ns.histogram("latency_ps")
         for packet in self.delivered[delivered_mark:]:
             histogram.add(packet.completed_ps - packet.created_ps)
@@ -184,14 +216,16 @@ class DesPipeline:
         for packet in self.delivered:
             latency.add(packet.completed_ps - packet.created_ps)
             total_bytes += packet.size_bytes
-        if self.delivered:
+        if len(self.delivered) > 1:
             window_ps = max(
                 self.delivered[-1].completed_ps - self.delivered[0].completed_ps, 1
             )
-            throughput_bps = (
-                (len(self.delivered) - 1) * self.delivered[0].size_bytes * 8
-                / (window_ps / 1e12)
-            ) if len(self.delivered) > 1 else 0.0
+            # Steady-state window opens at the first completion, so the
+            # first packet's bytes sit outside it; summing the actual
+            # bytes of the rest keeps mixed-size trains honest (a
+            # uniform train reduces to the old (n-1) * size formula).
+            window_bytes = total_bytes - self.delivered[0].size_bytes
+            throughput_bps = window_bytes * 8 / (window_ps / 1e12)
         else:
             throughput_bps = 0.0
         return DesRunResult(
@@ -200,23 +234,35 @@ class DesPipeline:
             throughput_bps=throughput_bps,
             latency=latency,
             peak_occupancies=tuple(fifo.peak_occupancy for fifo in self.fifos),
+            dropped_in_flight=self.dropped_in_flight,
         )
 
 
 @dataclass(frozen=True)
 class DesRunResult:
-    """Outcome of one event-driven run."""
+    """Outcome of one event-driven run.
+
+    ``dropped`` counts ingress-FIFO rejections; ``dropped_in_flight``
+    counts packets lost when a latency hand-off overflowed a downstream
+    FIFO (previously discarded silently, under-reporting loss).
+    """
 
     delivered: int
     dropped: int
     throughput_bps: float
     latency: LatencyStats
     peak_occupancies: Tuple[int, ...]
+    dropped_in_flight: int = 0
+
+    @property
+    def lost(self) -> int:
+        """Every packet that entered and never completed."""
+        return self.dropped + self.dropped_in_flight
 
     @property
     def loss_fraction(self) -> float:
-        total = self.delivered + self.dropped
-        return self.dropped / total if total else 0.0
+        total = self.delivered + self.lost
+        return self.lost / total if total else 0.0
 
 
 def packet_train(count: int, size_bytes: int, gap_ps: int,

@@ -102,12 +102,21 @@ class PipelineStage:
         self._next_free_ps = 0
         self.transactions_processed = 0
         self.busy_ps = 0
+        self._beats_cache: Dict[int, int] = {}
 
     def beats(self, size_bytes: int) -> int:
-        """Number of data beats needed to carry ``size_bytes``."""
-        if size_bytes <= 0:
-            return 1
-        return math.ceil(size_bytes * 8 / self.data_width_bits)
+        """Number of data beats needed to carry ``size_bytes``.
+
+        Sweeps push thousands of same-sized transactions through a
+        stage, so the ceil-division is memoised per size.
+        """
+        cached = self._beats_cache.get(size_bytes)
+        if cached is None:
+            cached = 1 if size_bytes <= 0 else math.ceil(
+                size_bytes * 8 / self.data_width_bits
+            )
+            self._beats_cache[size_bytes] = cached
+        return cached
 
     @property
     def bandwidth_bps(self) -> float:
@@ -189,6 +198,68 @@ class PipelineChain:
         transaction.completed_ps = last_out
         return transaction
 
+    def process_batch(
+        self,
+        size_bytes: int,
+        gap_ps: float,
+        start_index: int,
+        count: int,
+        latencies: Optional[List[int]] = None,
+    ) -> Tuple[int, int, int]:
+        """Push ``count`` equal-sized transactions through the chain.
+
+        Packet ``i`` (absolute index ``start_index + i``) arrives at
+        ``int(round(index * gap_ps))`` -- the same arrival law as the
+        per-Transaction sweep loop.  Returns ``(first_completion_ps,
+        last_completion_ps, total_latency_ps)`` and, when ``latencies``
+        is given, appends each packet's latency to it.
+
+        This is the sweep hot path: per-stage constants (period, busy
+        time, fixed latency, last-beat offset) are hoisted out of the
+        packet loop, no Transaction objects are allocated, and stage
+        occupancy/statistics are folded back in bulk afterwards --
+        observationally identical to ``count`` :meth:`process` calls
+        (pinned by tests against :func:`run_packet_sweep_reference`).
+        """
+        if count <= 0:
+            return 0, 0, 0
+        params = []
+        for stage in self.stages:
+            period = stage.clock.period_ps
+            beats = stage.beats(size_bytes)
+            busy = (beats * stage.initiation_interval
+                    + stage.per_transaction_overhead_cycles) * period
+            latency = stage.latency_cycles * period
+            tail = (stage.latency_cycles
+                    + (beats - 1) * stage.initiation_interval) * period
+            params.append([stage.clock.next_edge_ps, busy, latency, tail,
+                           stage._next_free_ps, busy * count])
+        first_completion = None
+        last_out = 0
+        total_latency = 0
+        collect = latencies.append if latencies is not None else None
+        for index in range(start_index, start_index + count):
+            arrival = int(round(index * gap_ps))
+            time_ps = arrival
+            for entry in params:
+                free_ps = entry[4]
+                start = time_ps if time_ps > free_ps else free_ps
+                start = entry[0](start)
+                entry[4] = start + entry[1]
+                last_out = start + entry[3]
+                time_ps = start + entry[2]
+            latency = last_out - arrival
+            total_latency += latency
+            if collect is not None:
+                collect(latency)
+            if first_completion is None:
+                first_completion = last_out
+        for stage, entry in zip(self.stages, params):
+            stage._next_free_ps = entry[4]
+            stage.transactions_processed += count
+            stage.busy_ps += entry[5]
+        return first_completion, last_out, total_latency
+
     def process_traced(self, transaction: Transaction, trace,
                        arrival_ps: Optional[int] = None) -> Transaction:
         """Like :meth:`process`, emitting one trace span per stage.
@@ -269,19 +340,26 @@ def run_packet_sweep(
             packets=packet_count,
         )
         latencies = []
-    for index in range(packet_count):
+    traced_head = min(trace_packets, packet_count) if latencies is not None else 0
+    for index in range(traced_head):
         arrival = int(round(index * gap_ps))
         txn = Transaction(size_bytes=packet_size_bytes, created_ps=arrival)
-        if latencies is not None and index < trace_packets:
-            chain.process_traced(txn, context.trace)
-        else:
-            chain.process(txn)
-        total_latency_ps += txn.latency_ps
-        if latencies is not None:
-            latencies.append(txn.latency_ps)
+        chain.process_traced(txn, context.trace)
+        latency_ps = txn.completed_ps - arrival
+        total_latency_ps += latency_ps
+        latencies.append(latency_ps)
         if first_completion is None:
             first_completion = txn.completed_ps
         last_completion = txn.completed_ps or last_completion
+    if packet_count > traced_head:
+        first_batch, last_batch, batch_latency = chain.process_batch(
+            packet_size_bytes, gap_ps, traced_head,
+            packet_count - traced_head, latencies,
+        )
+        total_latency_ps += batch_latency
+        if first_completion is None:
+            first_completion = first_batch
+        last_completion = last_batch
     # Steady-state window: first completion to last completion, so the
     # pipeline's fill latency does not bias the throughput of a finite
     # packet train.
@@ -296,4 +374,38 @@ def run_packet_sweep(
         ns.set_gauge("throughput_gbps", throughput_bps / 1e9)
         ns.set_gauge("mean_latency_ns", mean_latency_ns)
         context.trace.end(point_span, ts_ps=last_completion)
+    return throughput_bps, mean_latency_ns
+
+
+def run_packet_sweep_reference(
+    chain: PipelineChain,
+    packet_size_bytes: int,
+    packet_count: int,
+    offered_load_bps: Optional[float] = None,
+) -> Tuple[float, float]:
+    """The original per-Transaction sweep loop, preserved verbatim.
+
+    Kept for two jobs: tests pin :func:`run_packet_sweep`'s fast path to
+    it transaction for transaction, and ``benchmarks/sweep_smoke.py``
+    times it as the serial baseline the optimised runner is measured
+    against.  Do not optimise this function.
+    """
+    chain.reset()
+    if offered_load_bps is None:
+        offered_load_bps = chain.bandwidth_bps(packet_size_bytes) * 0.98
+    gap_ps = packet_size_bytes * 8 / offered_load_bps * 1e12
+    total_latency_ps = 0
+    first_completion = None
+    last_completion = 0
+    for index in range(packet_count):
+        arrival = int(round(index * gap_ps))
+        txn = Transaction(size_bytes=packet_size_bytes, created_ps=arrival)
+        chain.process(txn)
+        total_latency_ps += txn.latency_ps
+        if first_completion is None:
+            first_completion = txn.completed_ps
+        last_completion = txn.completed_ps or last_completion
+    duration_ps = max(last_completion - (first_completion or 0), 1)
+    throughput_bps = (packet_count - 1) * packet_size_bytes * 8 / (duration_ps / 1e12)
+    mean_latency_ns = total_latency_ps / packet_count / 1_000
     return throughput_bps, mean_latency_ns

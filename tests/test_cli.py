@@ -112,6 +112,45 @@ class TestMetrics:
         assert "native" in tree["app"]["sec-gateway"]
 
 
+class TestSweep:
+    BASE = ["sweep", "--apps", "sec-gateway", "--devices", "device-a",
+            "--sizes", "64", "256", "--packets", "100"]
+
+    def test_prints_point_table(self, capsys):
+        assert main(self.BASE) == 0
+        captured = capsys.readouterr()
+        assert "2 points" in captured.out
+        assert "sec-gateway" in captured.out
+        assert "cache hits" in captured.err
+
+    def test_json_artifact_and_cache_file(self, capsys, tmp_path):
+        import json
+
+        artifact = tmp_path / "sweep.json"
+        cache_file = tmp_path / "sweep.cache.json"
+        args = self.BASE + ["--json", str(artifact),
+                            "--cache-file", str(cache_file)]
+        assert main(args) == 0
+        points = json.loads(artifact.read_text())["points"]
+        assert len(points) == 2
+        assert all(point["throughput_gbps"] > 0 for point in points)
+        assert not any(point["cached"] for point in points)
+        # A second invocation is served entirely from the saved cache.
+        assert main(args) == 0
+        points = json.loads(artifact.read_text())["points"]
+        assert all(point["cached"] for point in points)
+
+    def test_trace_out_writes_merged_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.trace.jsonl"
+        assert main(self.BASE + ["--trace-out", str(trace)]) == 0
+        assert trace.read_text().count("\n") > 0
+
+    def test_unknown_device_errors(self, capsys):
+        assert main(["sweep", "--apps", "sec-gateway",
+                     "--devices", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_is_usage_error(self):
         with pytest.raises(SystemExit):

@@ -9,6 +9,7 @@ loss under burst, backpressure holding packets upstream, occupancy.
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.runtime import SimContext
 from repro.sim.clock import ClockDomain
 from repro.sim.des_pipeline import DesPacket, DesPipeline, packet_train
 from repro.sim.pipeline import PipelineChain, PipelineStage
@@ -98,6 +99,125 @@ class TestFiniteBufferEffects:
         congested = DesPipeline([make_stage()], fifo_depth=64).run(
             packet_train(400, 512, gap_ps=1, burst=16))
         assert congested.latency.mean_ps > relaxed.latency.mean_ps
+
+
+class TestPacketTrain:
+    def test_default_burst_spaces_every_packet(self):
+        train = packet_train(4, 512, gap_ps=100)
+        assert [p.created_ps for p in train] == [0, 100, 200, 300]
+
+    def test_burst_groups_share_a_slot(self):
+        train = packet_train(6, 512, gap_ps=100, burst=3)
+        assert [p.created_ps for p in train] == [0, 0, 0, 100, 100, 100]
+
+    def test_count_not_a_multiple_of_burst_leaves_a_short_tail(self):
+        train = packet_train(5, 512, gap_ps=100, burst=2)
+        assert [p.created_ps for p in train] == [0, 0, 100, 100, 200]
+
+    def test_burst_of_count_arrives_all_at_once(self):
+        train = packet_train(8, 512, gap_ps=1_000, burst=8)
+        assert {p.created_ps for p in train} == {0}
+
+    def test_empty_train(self):
+        assert packet_train(0, 512, gap_ps=100) == []
+
+
+class TestSharedContextRerun:
+    def test_rerun_on_shared_context_does_not_mutate_source(self):
+        # The rebase onto the advanced clock must work on copies: the
+        # caller's train is reusable, with its timestamps untouched.
+        context = SimContext(name="shared")
+        train = packet_train(20, 512, gap_ps=10_000)
+        original_times = [p.created_ps for p in train]
+        pipeline = DesPipeline([make_stage()], fifo_depth=32, context=context)
+        first = pipeline.run(train)
+        assert context.simulator.now_ps > 0
+        second = pipeline.run(train)
+        assert [p.created_ps for p in train] == original_times
+        # Pipeline counters are cumulative; each run delivers the full train.
+        assert first.delivered == 20
+        assert second.delivered - first.delivered == 20
+        assert second.dropped == 0
+
+    def test_rerun_results_agree_between_fresh_and_shared_contexts(self):
+        train = packet_train(50, 512, gap_ps=10_000)
+        fresh = DesPipeline([make_stage()], fifo_depth=32).run(train)
+        context = SimContext(name="shared")
+        pipeline = DesPipeline([make_stage()], fifo_depth=32, context=context)
+        pipeline.run(train)                 # advance the shared clock
+        rerun = pipeline.run(train)
+        assert rerun.latency.mean_ps == fresh.latency.mean_ps
+        assert rerun.throughput_bps == pytest.approx(fresh.throughput_bps)
+
+
+class TestInFlightLoss:
+    @staticmethod
+    def overflow_run(context=None):
+        # A fast front stage with a huge hand-off latency feeding a much
+        # slower back stage: the front drains the whole train (paced at
+        # its own service rate, so the backpressure check in kick() sees
+        # an empty downstream FIFO every time) and puts 40 hand-offs in
+        # flight before the first one lands.  Once the slow stage's FIFO
+        # fills, the remaining in-flight hand-offs have nowhere to land.
+        stages = [make_stage("fast", freq=1000.0, latency=50_000),
+                  make_stage("slow", freq=1.0)]
+        # fast service: 8 beats @ 1 GHz = 8_000 ps -> pace arrivals to match.
+        pipeline = DesPipeline(stages, fifo_depth=4, context=context)
+        return pipeline, pipeline.run(packet_train(40, 512, gap_ps=8_000))
+
+    def test_in_flight_overflow_is_counted_not_silent(self):
+        _pipeline, result = self.overflow_run()
+        assert result.dropped_in_flight > 0
+        # Conservation: every offered packet is delivered or accounted lost.
+        assert result.delivered + result.lost == 40
+        assert result.loss_fraction == result.lost / 40
+
+    def test_in_flight_drops_surface_in_metrics(self):
+        context = SimContext(name="loss")
+        pipeline, result = self.overflow_run(context)
+        counters = context.metrics.namespace(f"des.{pipeline.name}")
+        assert counters.counter("dropped_in_flight").value == \
+            result.dropped_in_flight
+
+    def test_lossless_runs_report_zero(self):
+        result = DesPipeline([make_stage()], fifo_depth=32).run(
+            steady_train(load=0.5))
+        assert result.dropped_in_flight == 0
+        assert result.lost == 0
+
+
+class TestThroughputWindow:
+    def test_single_packet_has_no_window(self):
+        result = DesPipeline([make_stage()]).run(
+            [DesPacket(size_bytes=512, created_ps=0)])
+        assert result.delivered == 1
+        assert result.throughput_bps == 0.0
+
+    def test_uniform_train_reduces_to_n_minus_one_formula(self):
+        pipeline = DesPipeline([make_stage()], fifo_depth=64)
+        result = pipeline.run(packet_train(100, 512, gap_ps=40_000))
+        assert result.delivered == 100
+        window_ps = (pipeline.delivered[-1].completed_ps
+                     - pipeline.delivered[0].completed_ps)
+        expected = (99 * 512 * 8) / (window_ps / 1e12)
+        assert result.throughput_bps == pytest.approx(expected)
+
+    def test_mixed_size_train_counts_actual_window_bytes(self):
+        # Alternate 64B/1500B packets: the window opens at the first
+        # completion, so the first packet's bytes stay outside it and
+        # the rest contribute their true sizes.
+        sizes = [64, 1500] * 10
+        train = [DesPacket(size_bytes=size, created_ps=index * 100_000)
+                 for index, size in enumerate(sizes)]
+        pipeline = DesPipeline([make_stage()], fifo_depth=64)
+        result = pipeline.run(train)
+        assert result.delivered == len(sizes)
+        window_ps = (pipeline.delivered[-1].completed_ps
+                     - pipeline.delivered[0].completed_ps)
+        window_bytes = (sum(p.size_bytes for p in pipeline.delivered)
+                        - pipeline.delivered[0].size_bytes)
+        assert result.throughput_bps == pytest.approx(
+            window_bytes * 8 / (window_ps / 1e12))
 
 
 class TestValidation:

@@ -73,6 +73,52 @@ class TestScheduling:
         assert sim.now_ps == 150
 
 
+class TestCallbackArguments:
+    def test_schedule_passes_positional_args(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "payload")
+        sim.schedule_at(20, lambda a, b: fired.append((a, b)), 1, 2)
+        sim.run()
+        assert fired == ["payload", (1, 2)]
+
+
+class TestBatchScheduling:
+    def test_batch_matches_serial_schedule_at_order(self):
+        serial, batched = Simulator(), Simulator()
+        fired_serial, fired_batched = [], []
+        # Same timestamps submitted out of order, plus a tie at t=100.
+        entries = [(300, "late"), (100, "tie-a"), (100, "tie-b"), (200, "mid")]
+        for time_ps, tag in entries:
+            serial.schedule_at(time_ps, fired_serial.append, tag)
+        batched.schedule_at_batch(
+            (time_ps, fired_batched.append, (tag,)) for time_ps, tag in entries
+        )
+        serial.run()
+        batched.run()
+        assert fired_batched == fired_serial == ["tie-a", "tie-b", "mid", "late"]
+
+    def test_batch_counts_as_pending_and_returns_events(self):
+        sim = Simulator()
+        events = sim.schedule_at_batch((t, lambda: None, ()) for t in (10, 20))
+        assert len(events) == 2
+        assert sim.pending_events() == 2
+        events[0].cancel()
+        assert sim.pending_events() == 1
+
+    def test_batch_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at_batch([(50, lambda: None, ())])
+
+    def test_empty_batch_is_a_no_op(self):
+        sim = Simulator()
+        assert sim.schedule_at_batch([]) == []
+        assert sim.pending_events() == 0
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()
@@ -95,6 +141,54 @@ class TestCancellation:
         sim.schedule(200, lambda: None)
         event.cancel()
         assert sim.peek_next_time() == 200
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events() == 1
+
+    def test_cancel_after_firing_is_a_no_op(self):
+        sim = Simulator()
+        event = sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        sim.run(max_events=1)
+        event.cancel()           # already fired; must not corrupt counts
+        assert sim.pending_events() == 1
+        assert sim.run() == 1
+
+    def test_pending_count_stays_exact_across_a_mixed_run(self):
+        sim = Simulator()
+        events = [sim.schedule(10 * (i + 1), lambda: None) for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending_events() == 5
+        assert sim.run() == 5
+        assert sim.pending_events() == 0
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        # Past the compaction threshold (queue >= 64, stale majority),
+        # cancelled entries are dropped from the heap outright instead
+        # of lingering until popped.
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(100)]
+        for event in events[:60]:
+            event.cancel()
+        # Without compaction all 100 entries would linger until popped;
+        # the exact survivor count depends on when the threshold trips.
+        assert len(sim._queue) < 60
+        assert sim.pending_events() == 40
+        assert sim.run() == 40
+
+    def test_small_queues_skip_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        for event in events[:8]:
+            event.cancel()
+        assert len(sim._queue) == 10     # lazy purge only, below threshold
+        assert sim.pending_events() == 2
 
 
 class TestRunControl:

@@ -1,0 +1,235 @@
+"""Tests for the parallel sweep runner and its content-keyed cache.
+
+The load-bearing guarantees: (1) worker count is invisible -- a plan run
+at ``workers=1`` and ``workers=4`` produces byte-identical results and
+merged traces; (2) the cache only ever returns what a fresh simulation
+would have produced, including traces; (3) the batch fast path inside
+``run_packet_sweep`` agrees exactly with the pinned reference loop.
+"""
+
+import pytest
+
+from repro.apps import application_by_name
+from repro.errors import ConfigurationError, HarmoniaError
+from repro.platform.catalog import device_by_name
+from repro.runtime.sweep import (
+    SweepCache,
+    SweepPlan,
+    SweepPoint,
+    SweepRunner,
+    chain_signature,
+    run_plan,
+    sweep_cache_key,
+)
+from repro.sim.clock import ClockDomain
+from repro.sim.pipeline import (
+    PipelineChain,
+    PipelineStage,
+    run_packet_sweep,
+    run_packet_sweep_reference,
+)
+
+APP = "sec-gateway"
+DEVICE = "device-a"
+
+
+def small_plan(**overrides):
+    defaults = dict(apps=(APP,), devices=(DEVICE,), packet_sizes=(64, 256),
+                    packets_per_point=200)
+    defaults.update(overrides)
+    return SweepPlan(**defaults)
+
+
+def app_chain(app_name=APP, device_name=DEVICE, with_harmonia=True):
+    app = application_by_name(app_name)
+    device = device_by_name(device_name)
+    return app.datapath(app.tailored_shell(device), with_harmonia)
+
+
+class TestPlan:
+    def test_expand_is_app_device_size_ordered(self):
+        plan = SweepPlan(apps=("a1", "a2"), devices=("d1", "d2"),
+                        packet_sizes=(64, 128), packets_per_point=10)
+        labels = [(p.app, p.device, p.packet_size_bytes)
+                  for p in plan.expand()]
+        assert labels == [
+            ("a1", "d1", 64), ("a1", "d1", 128),
+            ("a1", "d2", 64), ("a1", "d2", 128),
+            ("a2", "d1", 64), ("a2", "d1", 128),
+            ("a2", "d2", 64), ("a2", "d2", 128),
+        ]
+        assert len(plan) == 8
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepPlan(apps=(), devices=("d",), packet_sizes=(64,))
+
+    def test_zero_packets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_plan(packets_per_point=0)
+
+    def test_point_label(self):
+        point = SweepPoint(app="a", device="d", packet_size_bytes=64,
+                           packet_count=10, with_harmonia=False)
+        assert point.label() == "a@d/native/64B"
+
+
+class TestCacheKey:
+    def test_key_is_stable_and_content_only(self):
+        chain_a = app_chain()
+        chain_b = app_chain()          # fresh tailoring, same content
+        sig_a, sig_b = chain_signature(chain_a), chain_signature(chain_b)
+        assert sig_a == sig_b
+        assert (sweep_cache_key(sig_a, 64, 100)
+                == sweep_cache_key(sig_b, 64, 100))
+
+    def test_signature_ignores_names(self):
+        def chain(name):
+            return PipelineChain(name, [
+                PipelineStage(f"{name}-stage", ClockDomain("clk", 250.0), 512,
+                              latency_cycles=4)])
+        assert chain_signature(chain("x")) == chain_signature(chain("y"))
+
+    def test_key_varies_with_every_sweep_parameter(self):
+        sig = chain_signature(app_chain())
+        base = sweep_cache_key(sig, 64, 100)
+        assert sweep_cache_key(sig, 128, 100) != base
+        assert sweep_cache_key(sig, 64, 200) != base
+        assert sweep_cache_key(sig, 64, 100, offered_load_bps=1e9) != base
+
+    def test_traced_points_fold_in_the_chain_name(self):
+        # Throughput is name-blind but traces embed span names, so a
+        # traced entry is only shareable under the same chain name.
+        sig = chain_signature(app_chain())
+        assert sweep_cache_key(sig, 64, 100, trace_of="c1") != \
+            sweep_cache_key(sig, 64, 100, trace_of="c2")
+        assert sweep_cache_key(sig, 64, 100, trace_of=None) == \
+            sweep_cache_key(sig, 64, 100)
+
+
+class TestSweepCache:
+    def test_untraced_entry_misses_for_traced_request(self):
+        cache = SweepCache()
+        cache.store("k", {"throughput_bps": 1.0, "mean_latency_ns": 2.0})
+        assert cache.lookup("k", need_trace=True) is None
+        assert cache.lookup("k", need_trace=False) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_traced_entry_never_downgraded(self):
+        cache = SweepCache()
+        cache.store("k", {"throughput_bps": 1.0, "mean_latency_ns": 2.0,
+                          "trace_jsonl": "line\n"})
+        cache.store("k", {"throughput_bps": 1.0, "mean_latency_ns": 2.0})
+        assert cache.lookup("k", need_trace=True)["trace_jsonl"] == "line\n"
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = SweepCache()
+        cache.store("k1", {"throughput_bps": 1.0, "mean_latency_ns": 2.0})
+        path = tmp_path / "sweep.cache.json"
+        assert cache.save(str(path)) == 1
+        fresh = SweepCache()
+        assert fresh.load(str(path)) == 1
+        assert fresh.lookup("k1", need_trace=False)["throughput_bps"] == 1.0
+
+    def test_load_rejects_non_cache_file(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ConfigurationError):
+            SweepCache().load(str(path))
+
+
+class TestRunner:
+    def test_second_run_is_all_cache_hits_with_identical_floats(self):
+        cache = SweepCache()
+        runner = SweepRunner(small_plan(), cache=cache)
+        cold = runner.run()
+        warm = runner.run()
+        assert cold.cache_hits == 0 or cold.cache_hits < len(cold)
+        assert warm.cache_hits == len(warm)
+        for first, second in zip(cold.points, warm.points):
+            assert first.throughput_bps == second.throughput_bps
+            assert first.mean_latency_ns == second.mean_latency_ns
+            assert first.cache_key == second.cache_key
+
+    def test_use_cache_false_never_reads_or_writes(self):
+        cache = SweepCache()
+        result = run_plan(small_plan(), cache=cache, use_cache=False)
+        assert result.cache_hits == 0
+        assert len(cache) == 0
+
+    def test_matches_direct_reference_sweep(self):
+        # The runner's numbers are exactly what the seed's serial loop
+        # produces point by point -- caching and batching change nothing.
+        result = run_plan(small_plan(), use_cache=False)
+        chain = app_chain()
+        for point in result.points:
+            expected = run_packet_sweep_reference(
+                chain, packet_size_bytes=point.point.packet_size_bytes,
+                packet_count=point.point.packet_count)
+            assert point.throughput_bps == expected[0]
+            assert point.mean_latency_ns == expected[1]
+
+    def test_samples_match_app_measure(self):
+        plan = small_plan(packet_sizes=(64, 256, 1024))
+        samples = run_plan(plan, use_cache=False).samples()[(APP, DEVICE)]
+        direct = application_by_name(APP).measure(
+            device_by_name(DEVICE), packet_sizes=(64, 256, 1024),
+            packets_per_point=200)
+        assert [s.throughput_gbps for s in samples] == \
+            [s.throughput_gbps for s in direct]
+        assert [s.latency_us for s in samples] == \
+            [s.latency_us for s in direct]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(small_plan(), workers=0)
+
+    def test_unknown_app_raises_harmonia_error(self):
+        with pytest.raises(HarmoniaError):
+            run_plan(SweepPlan(apps=("no-such-app",), devices=(DEVICE,),
+                               packet_sizes=(64,), packets_per_point=10),
+                     use_cache=False)
+
+
+class TestDeterminism:
+    def test_worker_count_is_invisible_in_results_and_traces(self):
+        # ISSUE acceptance: byte-identical output at workers=1 vs workers=4.
+        plan = small_plan(packet_sizes=(64, 256), packets_per_point=50,
+                          trace=True)
+        serial = run_plan(plan, workers=1, use_cache=False)
+        pooled = run_plan(plan, workers=4, use_cache=False)
+        assert serial.to_json() == pooled.to_json()
+        assert serial.merged_trace_jsonl() == pooled.merged_trace_jsonl()
+        assert serial.merged_trace_jsonl()   # non-trivial comparison
+
+    def test_warm_cache_reproduces_cold_traces_byte_for_byte(self):
+        plan = small_plan(packet_sizes=(64,), packets_per_point=50, trace=True)
+        cache = SweepCache()
+        cold = run_plan(plan, cache=cache)
+        warm = run_plan(plan, cache=cache)
+        assert warm.cache_hits == len(warm)
+        assert warm.merged_trace_jsonl() == cold.merged_trace_jsonl()
+
+    def test_each_traced_point_carries_its_own_chain_spans(self):
+        # Guards the trace_of key component: a traced point must never
+        # serve another chain's spans even when timing content matches.
+        plan = SweepPlan(apps=(APP, "host-network"), devices=(DEVICE,),
+                         packet_sizes=(64,), packets_per_point=50, trace=True)
+        result = run_plan(plan, use_cache=False)
+        for point in result.points:
+            app = application_by_name(point.point.app)
+            chain = app.datapath(
+                app.tailored_shell(device_by_name(point.point.device)),
+                point.point.with_harmonia)
+            assert chain.name in point.trace_jsonl
+
+
+class TestFastPathAgainstReference:
+    @pytest.mark.parametrize("size", [64, 256, 1024])
+    def test_run_packet_sweep_equals_reference(self, size):
+        chain = app_chain()
+        fast = run_packet_sweep(chain, packet_size_bytes=size,
+                                packet_count=500)
+        reference = run_packet_sweep_reference(chain, packet_size_bytes=size,
+                                               packet_count=500)
+        assert fast == reference
