@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-sweep report examples lint all
+.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet report examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -15,6 +15,12 @@ bench-smoke:
 
 bench-sweep:
 	$(PYTHON) benchmarks/sweep_smoke.py
+
+bench-vector:
+	$(PYTHON) benchmarks/vector_smoke.py
+
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) -m repro.cli fleet --json BENCH_fleet.json
 
 report:
 	$(PYTHON) -m repro.cli report

@@ -96,6 +96,30 @@ def load_sweep_baseline(
     return load_perf_baseline(path or default_sweep_baseline_path())
 
 
+def default_vector_baseline_path() -> pathlib.Path:
+    """Where ``make bench-vector`` leaves the vector-kernel timings."""
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_vector.json"
+
+
+def load_vector_baseline(
+    path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, Any]]:
+    """The vector-kernel vs scalar-batch timings, if recorded."""
+    return load_perf_baseline(path or default_vector_baseline_path())
+
+
+def default_fleet_baseline_path() -> pathlib.Path:
+    """Where ``make bench-fleet`` leaves the fleet serving results."""
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_fleet.json"
+
+
+def load_fleet_baseline(
+    path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, Any]]:
+    """The fleet-scale serving results, if a fleet run produced them."""
+    return load_perf_baseline(path or default_fleet_baseline_path())
+
+
 def load_perf_baseline(
     path: Optional[pathlib.Path] = None,
 ) -> Optional[Dict[str, Any]]:
@@ -113,6 +137,31 @@ def _baseline_lines(title: str, baseline: Dict[str, Any]) -> List[str]:
     lines = ["", "-" * 72, title, "-" * 72, ""]
     for key in sorted(baseline):
         lines.append(f"  {key}: {baseline[key]}")
+    return lines
+
+
+def _fleet_lines(fleet: Dict[str, Any]) -> List[str]:
+    """A compact per-policy summary of a ``repro.cli fleet`` artifact."""
+    lines = ["", "-" * 72, "FLEET SERVING BASELINE (repro.cli fleet)",
+             "-" * 72, ""]
+    spec = fleet.get("spec", {})
+    lines.append(
+        f"  {spec.get('flow_count', '?'):,} flows x "
+        f"{spec.get('device_count', '?'):,} devices x "
+        f"{spec.get('tenant_count', '?')} tenants, "
+        f"{fleet.get('effective_offered_gbps', 0) / 1_000:.1f} of "
+        f"{fleet.get('total_capacity_gbps', 0) / 1_000:.1f} Tbps offered"
+    )
+    for policy in fleet.get("policies", []):
+        lines.append(
+            f"  {policy.get('policy', '?'):13s} "
+            f"p50 {policy.get('p50_ns', 0) / 1_000:8.1f} us  "
+            f"p99 {policy.get('p99_ns', 0) / 1_000:9.1f} us  "
+            f"util {policy.get('utilization_mean', 0):.2f}  "
+            f"imbalance {policy.get('imbalance', 0):.2f}"
+        )
+    if "best_policy" in fleet:
+        lines.append(f"  best policy by p99: {fleet['best_policy']}")
     return lines
 
 
@@ -157,4 +206,11 @@ def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
     if sweep is not None:
         lines.extend(_baseline_lines(
             "SWEEP RUNNER BASELINE (benchmarks/sweep_smoke.py)", sweep))
+    vector = load_vector_baseline()
+    if vector is not None:
+        lines.extend(_baseline_lines(
+            "VECTOR KERNEL BASELINE (benchmarks/vector_smoke.py)", vector))
+    fleet = load_fleet_baseline()
+    if fleet is not None:
+        lines.extend(_fleet_lines(fleet))
     return "\n".join(lines) + "\n"

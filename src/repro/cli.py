@@ -14,7 +14,10 @@ Gives operators the day-to-day views the library computes:
   metrics snapshot as JSON;
 * ``sweep --apps ... --devices ... --workers N`` -- run an
   (apps x devices x packet-sizes) sweep through the parallel cached
-  :class:`repro.runtime.sweep.SweepRunner`;
+  :class:`repro.runtime.sweep.SweepRunner` (``--engine`` picks the
+  vector/DES execution tier);
+* ``fleet`` -- shard millions of Zipf-skewed flows across the
+  production fleet under several load-balancing policies;
 * ``report`` -- collate benchmark artifacts into one reproduction report.
 """
 
@@ -200,7 +203,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except FileNotFoundError:
             pass                        # first run populates it
     runner = SweepRunner(plan, workers=args.workers, cache=cache,
-                         use_cache=not args.no_cache)
+                         use_cache=not args.no_cache, engine=args.engine)
     start = time.perf_counter()
     result = runner.run()
     elapsed = time.perf_counter() - start
@@ -229,6 +232,57 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             json.dump(result.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# wrote point results to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.runtime import SimContext
+    from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
+
+    spec = FleetSpec(
+        flow_count=args.flows, device_count=args.devices,
+        tenant_count=args.tenants, slots_per_device=args.slots,
+        alpha=args.alpha, offered_load=args.load, seed=args.seed,
+    )
+    policies = tuple(args.policies) if args.policies else POLICIES
+    context = SimContext(name="fleet", trace=True)
+    simulation = FleetSimulation(spec, context=context)
+    start = time.perf_counter()
+    result = simulation.run(policies)
+    elapsed = time.perf_counter() - start
+    rows = [
+        (policy.policy,
+         round(policy.p50_ns / 1_000, 1), round(policy.p99_ns / 1_000, 1),
+         f"{policy.utilization_mean:.2f}", f"{policy.utilization_max:.2f}",
+         round(policy.imbalance, 2), policy.overloaded_devices,
+         f"{policy.non_resident_flows / spec.flow_count:.0%}")
+        for policy in result.policies
+    ]
+    print(format_table(
+        ["policy", "p50 us", "p99 us", "util mean", "util max",
+         "imbalance", "overloaded", "non-resident"],
+        rows,
+        title=(f"Fleet: {spec.flow_count:,} flows x {result.spec.device_count:,} "
+               f"devices x {spec.tenant_count} tenants "
+               f"({result.effective_offered_gbps / 1_000:.1f} of "
+               f"{result.total_capacity_gbps / 1_000:.1f} Tbps offered)"),
+    ))
+    for policy in result.policies:
+        hottest = ", ".join(f"{label}={value:.2f}"
+                            for label, value in policy.hottest[:3])
+        print(f"  {policy.policy}: hottest devices {hottest}")
+    best = result.best_policy()
+    print(f"  best policy by p99: {best.policy} "
+          f"({best.p99_ns / 1_000:.1f} us)")
+    print(f"# {elapsed:.2f}s wall, {len(result.policies)} policies, "
+          f"{len(context.trace)} trace records", file=sys.stderr)
+    if args.json:
+        payload = result.to_json()
+        payload["elapsed_s"] = round(elapsed, 3)
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote fleet results to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -300,6 +354,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace-out",
                        help="trace every point; write merged JSONL here")
     sweep.add_argument("--json", help="write per-point results JSON here")
+    sweep.add_argument("--engine", choices=("auto", "vector", "des"),
+                       default="auto",
+                       help="execution tier for cache misses: auto picks the "
+                            "vector kernel when the chain is analytic")
+
+    fleet = commands.add_parser(
+        "fleet", help="serve Zipf-skewed flows across the production fleet")
+    fleet.add_argument("--flows", type=int, default=1_000_000,
+                       help="flow population size (default 1,000,000)")
+    fleet.add_argument("--devices", type=int, default=1_024,
+                       help="device instances to shard across (default 1024)")
+    fleet.add_argument("--tenants", type=int, default=16,
+                       help="tenant count sharing the fleet (default 16)")
+    fleet.add_argument("--slots", type=int, default=4,
+                       help="PR slots per device (default 4)")
+    fleet.add_argument("--alpha", type=float, default=1.05,
+                       help="Zipf skew of flow popularity (default 1.05)")
+    fleet.add_argument("--load", type=float, default=0.65,
+                       help="offered load as a fraction of fleet capacity")
+    fleet.add_argument("--seed", type=int, default=2_025,
+                       help="deterministic scenario seed")
+    fleet.add_argument("--policies", nargs="+",
+                       choices=("round-robin", "least-loaded", "flow-hash"),
+                       help="policies to evaluate (default: all three)")
+    fleet.add_argument("--json", help="write fleet results JSON here")
 
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser
@@ -315,6 +394,7 @@ _HANDLERS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "sweep": cmd_sweep,
+    "fleet": cmd_fleet,
     "report": cmd_report,
 }
 

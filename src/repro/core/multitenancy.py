@@ -15,6 +15,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+try:  # numpy is a declared dependency, but degrade instead of crashing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 from repro.core.role import Role
 from repro.errors import ConfigurationError, ResourceExhaustedError
 from repro.metrics.resources import ResourceBudget, ResourceUsage
@@ -105,6 +110,35 @@ class PartialReconfigManager:
 
     def active_count(self) -> int:
         return sum(1 for slot in self.slots if slot.state is SlotState.ACTIVE)
+
+
+def residency_matrix(tenant_load, slots: int):
+    """Which tenants keep their partial bitstream resident, per device.
+
+    ``tenant_load`` is a ``(devices, tenants)`` array of offered load;
+    on each device the ``slots`` heaviest tenants hold the PR slots
+    (their roles stay programmed), everyone else pays a partial
+    reconfiguration on arrival.  Returns a boolean mask of the same
+    shape.  Ties break toward the lower tenant index (stable sort), so
+    the residency plan is deterministic for a given load matrix.  This
+    is the fleet-scale, vectorized companion to
+    :class:`PartialReconfigManager`, which models one device's slots in
+    full mechanical detail.
+    """
+    if _np is None:
+        raise ConfigurationError("numpy is required for residency_matrix")
+    if slots < 1:
+        raise ConfigurationError("need at least one slot")
+    loads = _np.asarray(tenant_load, dtype=_np.float64)
+    if loads.ndim != 2:
+        raise ConfigurationError("tenant_load must be (devices, tenants)")
+    tenants = loads.shape[1]
+    if tenants <= slots:
+        return _np.ones(loads.shape, dtype=bool)
+    order = _np.argsort(-loads, axis=1, kind="stable")
+    resident = _np.zeros(loads.shape, dtype=bool)
+    _np.put_along_axis(resident, order[:, :slots], True, axis=1)
+    return resident
 
 
 def even_slot_budgets(total: ResourceBudget, slots: int,

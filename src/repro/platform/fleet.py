@@ -48,6 +48,19 @@ class FleetHistory:
                 total += item.units
         return total
 
+    def active_introductions(self, year: int) -> List[Introduction]:
+        """Introductions still inside their lifecycle in ``year``.
+
+        Sorted by (introduction year, device name) so downstream
+        consumers (the fleet simulator shards device instances from
+        this list) see a deterministic order.
+        """
+        active = [
+            item for item in self._introductions
+            if item.year <= year < item.year + item.lifecycle_years
+        ]
+        return sorted(active, key=lambda item: (item.year, item.device_name))
+
     def device_type_count(self, year: int) -> int:
         """Distinct device types active in ``year`` (heterogeneity)."""
         active = {

@@ -18,6 +18,14 @@ from repro.runtime.context import (
     ensure_context,
     isolated_context_stack,
 )
+from repro.runtime.fleet import (
+    FleetResult,
+    FleetSimulation,
+    FleetSpec,
+    PolicyResult,
+    TenantStats,
+    run_fleet,
+)
 from repro.runtime.metrics import (
     CounterDictView,
     Gauge,
@@ -41,11 +49,15 @@ from repro.runtime.trace import Span, TraceBus
 __all__ = [
     "ClockRegistry",
     "CounterDictView",
+    "FleetResult",
+    "FleetSimulation",
+    "FleetSpec",
     "Gauge",
     "GaugeDictView",
     "MetricsNamespace",
     "MetricsRegistry",
     "PointResult",
+    "PolicyResult",
     "SimContext",
     "Span",
     "SweepCache",
@@ -53,11 +65,13 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
+    "TenantStats",
     "TraceBus",
     "chain_signature",
     "current_context",
     "ensure_context",
     "isolated_context_stack",
+    "run_fleet",
     "run_plan",
     "sweep_cache_key",
 ]

@@ -19,6 +19,12 @@ module does the simulation-side equivalent:
   of those inputs, so a repeated figure is a cache lookup, not a
   re-simulation.
 
+Each cold point then executes through a three-tier engine: cache hit ->
+the closed-form numpy kernel (:mod:`repro.sim.vector`) -> the scalar
+DES-equivalent loop for chains with non-analytic features.  The kernel
+is pinned to exact integer equality against the scalar reference, so
+the tier a point took is invisible in the results.
+
 Only plain strings and numbers cross the process boundary: a worker
 receives an app name, a device name, and sweep parameters, reconstructs
 the chain from the catalog, and returns floats (plus the point's JSONL
@@ -30,12 +36,15 @@ merged results afterwards.
 import dataclasses
 import hashlib
 import json
+import os
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.context import SimContext, isolated_context_stack
+from repro.sim.vector import ENGINES
 
 #: Paper sweep of Figure 17/18: the default packet-size axis.
 DEFAULT_PACKET_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024)
@@ -47,7 +56,14 @@ DEFAULT_PACKET_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024)
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One independent unit of sweep work."""
+    """One independent unit of sweep work.
+
+    ``engine`` picks the execution tier for the point's untraced bulk
+    (``auto`` / ``vector`` / ``des`` -- see :mod:`repro.sim.vector`).
+    It is deliberately *not* part of the cache key and not serialised in
+    results: the vector kernel is pinned to exact equality against the
+    scalar path, so the tier is invisible in the output.
+    """
 
     app: str
     device: str
@@ -55,6 +71,7 @@ class SweepPoint:
     packet_count: int
     with_harmonia: bool = True
     trace: bool = False
+    engine: str = "auto"
 
     def label(self) -> str:
         variant = "harmonia" if self.with_harmonia else "native"
@@ -187,17 +204,47 @@ class SweepCache:
     # --- persistence --------------------------------------------------------
 
     def save(self, path: str) -> int:
-        """Write the cache as deterministic JSON; returns the entry count."""
-        with open(path, "w") as handle:
-            json.dump(self._entries, handle, sort_keys=True,
-                      separators=(",", ":"))
-            handle.write("\n")
+        """Write the cache as deterministic JSON; returns the entry count.
+
+        The write is atomic: the JSON lands in a temporary file in the
+        same directory and is moved into place with ``os.replace``, so a
+        run interrupted mid-save leaves either the old file or the new
+        one -- never a truncated half-cache.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, prefix=os.path.basename(path) + ".",
+            suffix=".tmp", delete=False,
+        )
+        try:
+            with handle:
+                json.dump(self._entries, handle, sort_keys=True,
+                          separators=(",", ":"))
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
         return len(self._entries)
 
     def load(self, path: str) -> int:
-        """Merge entries from ``path``; returns how many were loaded."""
+        """Merge entries from ``path``; returns how many were loaded.
+
+        A file that is not valid JSON (e.g. truncated by a crash that
+        predates atomic saves) raises :class:`ConfigurationError` with
+        the path, not a bare ``json`` traceback.
+        """
         with open(path) as handle:
-            loaded = json.load(handle)
+            try:
+                loaded = json.load(handle)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"{path} is not a sweep cache file (corrupt or "
+                    f"truncated JSON: {error})"
+                ) from None
         if not isinstance(loaded, dict):
             raise ConfigurationError(f"{path} is not a sweep cache file")
         for key, entry in loaded.items():
@@ -234,11 +281,18 @@ def _run_chain_point(chain, point: SweepPoint) -> Dict[str, Any]:
     """
     from repro.sim.pipeline import run_packet_sweep
 
+    from repro.sim.pipeline import reset_transaction_ids
+
     with isolated_context_stack():
+        # Every point starts from transaction id 0, so the ids a traced
+        # point embeds in its spans cannot depend on pool-worker reuse
+        # or on whatever ran earlier in this process.
+        reset_transaction_ids()
         context = SimContext(name=point.label(), trace=True) if point.trace else None
         throughput_bps, mean_latency_ns = run_packet_sweep(
             chain, packet_size_bytes=point.packet_size_bytes,
             packet_count=point.packet_count, context=context,
+            engine=point.engine,
         )
     entry: Dict[str, Any] = {
         "throughput_bps": throughput_bps,
@@ -375,16 +429,25 @@ class SweepRunner:
 
     def __init__(self, plan: SweepPlan, workers: int = 1,
                  cache: Optional[SweepCache] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True, engine: str = "auto") -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown sweep engine {engine!r}; choose from "
+                f"{', '.join(ENGINES)}"
+            )
         self.plan = plan
         self.workers = workers
         self.cache = cache if cache is not None else DEFAULT_CACHE
         self.use_cache = use_cache
+        self.engine = engine
 
     def run(self) -> SweepResult:
         points = self.plan.expand()
+        if self.engine != "auto":
+            points = [dataclasses.replace(point, engine=self.engine)
+                      for point in points]
         # Chains are resolved through the process-wide memo: built once
         # per (app, device, variant), which is cheap relative to a
         # point's simulation and exactly what the content key needs.
@@ -463,7 +526,7 @@ class SweepRunner:
 
 def run_plan(plan: SweepPlan, workers: int = 1,
              cache: Optional[SweepCache] = None,
-             use_cache: bool = True) -> SweepResult:
+             use_cache: bool = True, engine: str = "auto") -> SweepResult:
     """Convenience wrapper: build a runner and run the plan once."""
     return SweepRunner(plan, workers=workers, cache=cache,
-                       use_cache=use_cache).run()
+                       use_cache=use_cache, engine=engine).run()

@@ -18,14 +18,48 @@ a downstream stage starts working as soon as the first beat of a
 transaction emerges from the upstream stage.
 """
 
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.clock import ClockDomain
 
-_transaction_ids = itertools.count()
+
+class _TransactionIdCounter:
+    """Resettable allocator behind :attr:`Transaction.txn_id`.
+
+    The seed used a module-global ``itertools.count()``, so the ids a
+    run observed depended on every Transaction any earlier test or
+    reused pool worker had ever created.  A resettable counter keeps
+    allocation O(1) while letting each run (the sweep runner resets it
+    per point) hand out the same ids every time.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def reset(self, start: int = 0) -> None:
+        self._next = start
+
+
+_TXN_IDS = _TransactionIdCounter()
+
+
+def next_transaction_id() -> int:
+    """Allocate the next transaction id (monotonic within a run)."""
+    return _TXN_IDS.allocate()
+
+
+def reset_transaction_ids(start: int = 0) -> None:
+    """Restart transaction-id allocation (deterministic-run boundary)."""
+    _TXN_IDS.reset(start)
 
 
 @dataclass
@@ -36,7 +70,7 @@ class Transaction:
     created_ps: int = 0
     kind: str = "data"
     metadata: Dict[str, Any] = field(default_factory=dict)
-    txn_id: int = field(default_factory=lambda: next(_transaction_ids))
+    txn_id: int = field(default_factory=next_transaction_id)
     completed_ps: Optional[int] = None
 
     @property
@@ -272,7 +306,8 @@ class PipelineChain:
         """
         time_ps = transaction.created_ps if arrival_ps is None else arrival_ps
         span = trace.begin(f"{self.name}.txn", ts_ps=time_ps,
-                           size_bytes=transaction.size_bytes)
+                           size_bytes=transaction.size_bytes,
+                           txn=transaction.txn_id)
         last_out = time_ps
         for stage in self.stages:
             timing = stage.process(time_ps, transaction.size_bytes)
@@ -306,6 +341,7 @@ def run_packet_sweep(
     offered_load_bps: Optional[float] = None,
     context=None,
     trace_packets: int = 4,
+    engine: str = "auto",
 ) -> Tuple[float, float]:
     """Drive ``packet_count`` packets through ``chain``; measure performance.
 
@@ -318,12 +354,27 @@ def run_packet_sweep(
     point's latency histogram and throughput land in the metrics
     registry under ``sweep.<chain>.<size>B``.  With no context the hot
     loop is untouched.
+
+    ``engine`` selects how the untraced bulk of the train executes:
+    ``"auto"`` (the default) uses the closed-form numpy kernel in
+    :mod:`repro.sim.vector` whenever the chain is analytic, ``"vector"``
+    demands it, and ``"des"`` forces the scalar reference-semantics
+    loop.  The kernel is pinned to exact integer equality against the
+    scalar path, so the engine is invisible in the results.
     """
+    from repro.sim.vector import process_batch_vector, resolve_engine
+
+    use_vector = resolve_engine(chain, engine)
     if context is None:
         from repro.runtime import current_context
 
         context = current_context()
     chain.reset()
+    # A sweep point is a run boundary: ids restart at zero so the txn
+    # ids embedded in traced spans are a pure function of the point, not
+    # of whatever ran earlier in this process (test order, pool-worker
+    # reuse, a previous sweep on the same context).
+    reset_transaction_ids()
     if offered_load_bps is None:
         # Saturate the chain without unbounded queueing: offer slightly
         # under the bottleneck's effective bandwidth for this size.
@@ -352,10 +403,16 @@ def run_packet_sweep(
             first_completion = txn.completed_ps
         last_completion = txn.completed_ps or last_completion
     if packet_count > traced_head:
-        first_batch, last_batch, batch_latency = chain.process_batch(
-            packet_size_bytes, gap_ps, traced_head,
-            packet_count - traced_head, latencies,
-        )
+        if use_vector:
+            first_batch, last_batch, batch_latency = process_batch_vector(
+                chain, packet_size_bytes, gap_ps, traced_head,
+                packet_count - traced_head, latencies,
+            )
+        else:
+            first_batch, last_batch, batch_latency = chain.process_batch(
+                packet_size_bytes, gap_ps, traced_head,
+                packet_count - traced_head, latencies,
+            )
         total_latency_ps += batch_latency
         if first_completion is None:
             first_completion = first_batch

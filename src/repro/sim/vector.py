@@ -1,0 +1,273 @@
+"""Closed-form vectorized packet-train kernel.
+
+The scalar sweep loop (:meth:`repro.sim.pipeline.PipelineChain.process`
+and its batch form ``process_batch``) walks one packet at a time through
+the cut-through recurrence
+
+    start[i, j] = next_edge_j(max(out[i, j-1], start[i-1, j] + busy[i-1, j]))
+
+where ``out[i, j-1]`` is the first-beat-out time of packet ``i`` at the
+upstream stage and ``busy`` is the stage's occupancy per packet.  Two
+facts make the recurrence collapse into array operations:
+
+* ``busy`` is always a whole number of clock periods, and ``start`` is
+  always edge-aligned, so ``start[i-1] + busy[i-1]`` is already on a
+  clock edge -- ``next_edge`` distributes over the ``max``:
+  ``start[i] = max(next_edge(out[i]), start[i-1] + busy[i-1])``;
+* subtracting the exclusive prefix sum ``B[i] = busy[0] + ... +
+  busy[i-1]`` turns that into a running maximum:
+  ``start[i] - B[i] = max(next_edge(out[i]) - B[i], start[i-1] -
+  B[i-1])``, i.e. ``start = B + cummax(next_edge(out) - B)``.
+
+One ``cumsum`` + one ``cummax`` per stage therefore replays the entire
+train -- back-pressure through stage occupancy included -- in a handful
+of numpy passes, and every operation reproduces the scalar arithmetic
+bit for bit (the float divisions inside ``next_edge`` and ``beats`` are
+replicated, not "improved", so the kernel is pinned to **exact integer
+equality** against :func:`repro.sim.pipeline.run_packet_sweep_reference`
+for uniform and mixed-size trains alike).
+
+When numpy is unavailable every entry point degrades gracefully:
+:func:`chain_supports_vector` returns ``False`` and the callers fall
+back to the scalar path.
+"""
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple
+
+try:  # numpy is a declared dependency, but degrade instead of crashing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ClockDomain
+from repro.sim.pipeline import PipelineChain, PipelineStage
+
+#: Recognised execution engines for analytic packet sweeps.
+ENGINES: Tuple[str, ...] = ("auto", "vector", "des")
+
+
+def numpy_available() -> bool:
+    """Whether the vector kernel can run at all."""
+    return _np is not None
+
+
+def chain_supports_vector(chain: PipelineChain) -> bool:
+    """True when every stage is an analytic :class:`PipelineStage`.
+
+    Subclassed stages or clocks may override ``process``/``next_edge_ps``
+    with behaviour the closed form cannot see, so anything but the exact
+    base types routes to the scalar (DES-equivalent) fallback.
+    """
+    if _np is None:
+        return False
+    return all(
+        type(stage) is PipelineStage and type(stage.clock) is ClockDomain
+        for stage in chain.stages
+    )
+
+
+def resolve_engine(chain: PipelineChain, engine: str) -> bool:
+    """Map an engine name to "use the vector kernel?" for ``chain``.
+
+    ``auto`` picks the vector kernel whenever the chain supports it;
+    ``vector`` demands it (raising :class:`ConfigurationError` when the
+    chain has non-analytic features or numpy is missing); ``des`` forces
+    the scalar reference-semantics path.
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown sweep engine {engine!r}; choose from {', '.join(ENGINES)}"
+        )
+    if engine == "des":
+        return False
+    supported = chain_supports_vector(chain)
+    if engine == "vector" and not supported:
+        raise ConfigurationError(
+            "engine='vector' requested but the chain has non-analytic "
+            "stages (or numpy is unavailable); use engine='auto' or 'des'"
+        )
+    return supported
+
+
+class TrainTiming:
+    """Per-packet timings of one vectorized train replay."""
+
+    __slots__ = ("arrivals_ps", "completed_ps", "latencies_ps")
+
+    def __init__(self, arrivals_ps, completed_ps) -> None:
+        self.arrivals_ps = arrivals_ps
+        self.completed_ps = completed_ps
+        self.latencies_ps = completed_ps - arrivals_ps
+
+    def __len__(self) -> int:
+        return len(self.completed_ps)
+
+    @property
+    def first_completion_ps(self) -> int:
+        return int(self.completed_ps[0])
+
+    @property
+    def last_completion_ps(self) -> int:
+        return int(self.completed_ps[-1])
+
+    @property
+    def total_latency_ps(self) -> int:
+        return int(self.latencies_ps.sum())
+
+    def latencies_list(self) -> List[int]:
+        """Latencies as plain Python ints (registry/JSON safe)."""
+        return self.latencies_ps.tolist()
+
+
+def _next_edge_array(times_ps, period_ps: int):
+    """Vectorized ``ClockDomain.next_edge_ps`` -- same float ceil-divide."""
+    return _np.ceil(times_ps / period_ps).astype(_np.int64) * period_ps
+
+
+def _stage_beats(stage: PipelineStage, sizes_bytes) -> Any:
+    """Vectorized ``PipelineStage.beats`` (same float ceil-divide)."""
+    beats = _np.ceil((sizes_bytes * 8) / stage.data_width_bits).astype(_np.int64)
+    return _np.where(sizes_bytes <= 0, 1, beats)
+
+
+def simulate_train(
+    chain: PipelineChain,
+    arrivals_ps,
+    sizes_bytes,
+    update_state: bool = True,
+) -> TrainTiming:
+    """Replay a whole train through ``chain`` as array operations.
+
+    ``arrivals_ps`` is an int64 array of creation times; ``sizes_bytes``
+    is either a scalar (uniform train) or an int64 array of per-packet
+    sizes (mixed train).  Starting occupancy is read from each stage's
+    live ``_next_free_ps``, and with ``update_state`` (the default) the
+    final occupancy and the ``transactions_processed``/``busy_ps``
+    statistics are folded back -- observationally identical to calling
+    :meth:`PipelineChain.process` once per packet, which the tests pin
+    packet for packet.
+    """
+    if _np is None:
+        raise ConfigurationError("numpy is required for the vector kernel")
+    arrivals = _np.asarray(arrivals_ps, dtype=_np.int64)
+    count = int(arrivals.shape[0])
+    if count == 0:
+        raise ConfigurationError("a train needs at least one packet")
+    uniform = _np.isscalar(sizes_bytes) or getattr(sizes_bytes, "ndim", 1) == 0
+    if not uniform:
+        sizes = _np.asarray(sizes_bytes, dtype=_np.int64)
+        if sizes.shape != arrivals.shape:
+            raise ConfigurationError("per-packet sizes must match arrivals")
+    out = arrivals
+    last_out = arrivals
+    index = _np.arange(count, dtype=_np.int64)
+    for stage in chain.stages:
+        period = stage.clock.period_ps
+        if uniform:
+            beats = stage.beats(int(sizes_bytes))
+            busy = (beats * stage.initiation_interval
+                    + stage.per_transaction_overhead_cycles) * period
+            tail = (stage.latency_cycles
+                    + (beats - 1) * stage.initiation_interval) * period
+            ramp = busy * index
+            busy_total = busy * count
+            last_busy = busy
+        else:
+            beats = _stage_beats(stage, sizes)
+            busy = (beats * stage.initiation_interval
+                    + stage.per_transaction_overhead_cycles) * period
+            tail = (stage.latency_cycles
+                    + (beats - 1) * stage.initiation_interval) * period
+            ramp = _np.concatenate(([0], _np.cumsum(busy[:-1])))
+            busy_total = int(busy.sum())
+            last_busy = int(busy[-1])
+        latency = stage.latency_cycles * period
+        edges = _next_edge_array(out, period)
+        free0 = stage._next_free_ps
+        if free0 > 0:
+            # next_edge distributes over max, so the carried-in occupancy
+            # only needs folding into the first packet's issue edge.
+            aligned = int(math.ceil(free0 / period)) * period
+            if aligned > edges[0]:
+                edges[0] = aligned
+        starts = ramp + _np.maximum.accumulate(edges - ramp)
+        out = starts + latency
+        last_out = starts + tail
+        if update_state:
+            stage._next_free_ps = int(starts[-1]) + last_busy
+            stage.transactions_processed += count
+            stage.busy_ps += busy_total
+    return TrainTiming(arrivals, last_out)
+
+
+def process_batch_vector(
+    chain: PipelineChain,
+    size_bytes: int,
+    gap_ps: float,
+    start_index: int,
+    count: int,
+    latencies: Optional[List[int]] = None,
+) -> Tuple[int, int, int]:
+    """Drop-in vector replacement for :meth:`PipelineChain.process_batch`.
+
+    Same arrival law (``int(round(index * gap_ps))``, replicated via
+    ``np.rint`` on the identical float products), same return tuple,
+    same side effects on stage occupancy and statistics.
+    """
+    if count <= 0:
+        return 0, 0, 0
+    indices = _np.arange(start_index, start_index + count, dtype=_np.float64)
+    arrivals = _np.rint(indices * gap_ps).astype(_np.int64)
+    timing = simulate_train(chain, arrivals, size_bytes)
+    if latencies is not None:
+        latencies.extend(timing.latencies_list())
+    return (timing.first_completion_ps, timing.last_completion_ps,
+            timing.total_latency_ps)
+
+
+def run_packet_sweep_vector(
+    chain: PipelineChain,
+    packet_size_bytes: int,
+    packet_count: int,
+    offered_load_bps: Optional[float] = None,
+) -> Tuple[float, float]:
+    """Vectorized :func:`repro.sim.pipeline.run_packet_sweep_reference`.
+
+    Returns the identical ``(throughput_bps, mean_latency_ns)`` floats:
+    the arrival grid, the per-stage recurrence, and the final float
+    arithmetic all reproduce the reference loop exactly.
+    """
+    chain.reset()
+    if offered_load_bps is None:
+        offered_load_bps = chain.bandwidth_bps(packet_size_bytes) * 0.98
+    gap_ps = packet_size_bytes * 8 / offered_load_bps * 1e12
+    first, last, total_latency = process_batch_vector(
+        chain, packet_size_bytes, gap_ps, 0, packet_count,
+    )
+    duration_ps = max(last - (first or 0), 1)
+    throughput_bps = (packet_count - 1) * packet_size_bytes * 8 / (duration_ps / 1e12)
+    mean_latency_ns = total_latency / packet_count / 1_000
+    return throughput_bps, mean_latency_ns
+
+
+def simulate_train_reference(
+    chain: PipelineChain,
+    arrivals_ps: Sequence[int],
+    sizes_bytes: Sequence[int],
+) -> List[int]:
+    """Scalar oracle for :func:`simulate_train` (per-packet completions).
+
+    Pushes one :class:`~repro.sim.pipeline.Transaction` per packet
+    through :meth:`PipelineChain.process` -- the bench and the property
+    tests compare the kernel against this loop packet for packet.
+    """
+    from repro.sim.pipeline import Transaction
+
+    completed: List[int] = []
+    for arrival, size in zip(arrivals_ps, sizes_bytes):
+        txn = Transaction(size_bytes=int(size), created_ps=int(arrival))
+        chain.process(txn)
+        completed.append(txn.completed_ps)
+    return completed

@@ -8,11 +8,23 @@ so this module generates it deterministically:
 * :func:`zipf_weights` -- a Zipf(alpha) popularity distribution;
 * :class:`FlowSet` -- a population of flows with heavy-tailed sizes;
 * :func:`skewed_packet_stream` -- packets drawn by flow popularity.
+
+Sampling is vectorized with a seeded :class:`numpy.random.Generator`,
+so million-flow populations and million-packet streams build at array
+speed; the fleet simulator (:mod:`repro.runtime.fleet`) leans on the
+array forms (:func:`zipf_weights_array`, :func:`flow_hashes32`,
+``FlowSet.sizes_bytes``) directly.  Without numpy everything falls back
+to the original scalar loops.
 """
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
+
+try:  # numpy is a declared dependency, but degrade instead of crashing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 from repro.errors import ConfigurationError
 from repro.workloads.packets import FiveTuple, Packet, PacketGenerator
@@ -20,16 +32,64 @@ from repro.workloads.packets import FiveTuple, Packet, PacketGenerator
 #: Mice/elephant boundary used in the size statistics (bytes).
 ELEPHANT_BYTES = 1_000_000
 
+_MASK64 = (1 << 64) - 1
 
-def zipf_weights(count: int, alpha: float = 1.1) -> List[float]:
-    """Normalised Zipf popularity weights for ``count`` ranks."""
+
+def _check_zipf(count: int, alpha: float) -> None:
     if count < 1:
         raise ConfigurationError("need at least one flow")
     if alpha <= 0:
         raise ConfigurationError("Zipf alpha must be positive")
+
+
+def zipf_weights_array(count: int, alpha: float = 1.1):
+    """Normalised Zipf weights as a float64 array (requires numpy)."""
+    if _np is None:
+        raise ConfigurationError("numpy is required for zipf_weights_array")
+    _check_zipf(count, alpha)
+    ranks = _np.arange(1, count + 1, dtype=_np.float64)
+    raw = 1.0 / ranks ** alpha
+    return raw / raw.sum()
+
+
+def zipf_weights(count: int, alpha: float = 1.1) -> List[float]:
+    """Normalised Zipf popularity weights for ``count`` ranks."""
+    if _np is not None:
+        return zipf_weights_array(count, alpha).tolist()
+    _check_zipf(count, alpha)
     raw = [1.0 / (rank ** alpha) for rank in range(1, count + 1)]
     total = sum(raw)
     return [weight / total for weight in raw]
+
+
+def _splitmix64(value: int) -> int:
+    """Scalar splitmix64 finaliser (the fallback for :func:`flow_hashes32`)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def flow_hashes32(count: int, seed: int = 0):
+    """Deterministic 32-bit hashes for flow ranks 0..count-1.
+
+    A vectorized splitmix64 finaliser over ``rank + seed * golden``;
+    statistically well-mixed, stable across platforms and numpy
+    versions (pure integer arithmetic, no Generator state involved).
+    Returns a ``uint32`` array, or a plain list without numpy.
+    """
+    if count < 0:
+        raise ConfigurationError("hash count must be non-negative")
+    offset = (seed * 0x9E3779B97F4A7C15) & _MASK64
+    if _np is None:
+        return [_splitmix64((rank + offset) & _MASK64) >> 32
+                for rank in range(count)]
+    x = _np.arange(count, dtype=_np.uint64) + _np.uint64(offset)
+    x = x + _np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+    x = x ^ (x >> _np.uint64(31))
+    return (x >> _np.uint64(32)).astype(_np.uint32)
 
 
 @dataclass(frozen=True)
@@ -46,34 +106,64 @@ class FlowProfile:
 
 
 class FlowSet:
-    """A deterministic population of skewed flows."""
+    """A deterministic population of skewed flows.
+
+    ``weights`` and ``sizes_bytes`` are built as arrays up front (cheap
+    even for millions of flows); the per-flow :class:`FlowProfile` list
+    -- which needs a Python :class:`FiveTuple` object per flow -- is
+    materialised lazily on first access to :attr:`profiles`.
+    """
 
     def __init__(self, count: int, alpha: float = 1.1,
                  pareto_shape: float = 1.2, mean_flow_bytes: int = 50_000,
                  seed: int = 2_025) -> None:
         if pareto_shape <= 1.0:
             raise ConfigurationError("Pareto shape must exceed 1 for a finite mean")
-        self._rng = random.Random(seed)
-        generator = PacketGenerator(seed=seed)
-        weights = zipf_weights(count, alpha)
+        _check_zipf(count, alpha)
+        self.count = count
+        self._seed = seed
         scale = mean_flow_bytes * (pareto_shape - 1) / pareto_shape
-        self.profiles: List[FlowProfile] = []
-        for rank in range(count):
-            size = int(scale * (1.0 - self._rng.random()) ** (-1.0 / pareto_shape))
-            self.profiles.append(
-                FlowProfile(generator.flow(rank), weights[rank], max(size, 64))
-            )
+        if _np is not None:
+            self.weights = zipf_weights_array(count, alpha)
+            rng = _np.random.default_rng(seed)
+            raw = scale * (1.0 - rng.random(count)) ** (-1.0 / pareto_shape)
+            # Inverse-CDF Pareto sampling; clip the astronomically rare
+            # top draws so the int64 cast can never overflow.
+            self.sizes_bytes = _np.clip(raw, 64, 2.0 ** 62).astype(_np.int64)
+        else:
+            self.weights = zipf_weights(count, alpha)
+            rng = random.Random(seed)
+            self.sizes_bytes = [
+                max(int(scale * (1.0 - rng.random()) ** (-1.0 / pareto_shape)), 64)
+                for _ in range(count)
+            ]
+        self._profiles: List[FlowProfile] = []
+
+    @property
+    def profiles(self) -> List[FlowProfile]:
+        if not self._profiles:
+            generator = PacketGenerator(seed=self._seed)
+            weights = self.weights.tolist() if _np is not None else self.weights
+            sizes = (self.sizes_bytes.tolist() if _np is not None
+                     else self.sizes_bytes)
+            self._profiles = [
+                FlowProfile(generator.flow(rank), weights[rank], sizes[rank])
+                for rank in range(self.count)
+            ]
+        return self._profiles
 
     def __len__(self) -> int:
-        return len(self.profiles)
+        return self.count
 
     def elephants(self) -> List[FlowProfile]:
         return [profile for profile in self.profiles if profile.is_elephant]
 
     def top_share(self, fraction: float = 0.1) -> float:
         """Traffic share of the most popular ``fraction`` of flows."""
-        head = max(int(len(self.profiles) * fraction), 1)
-        return sum(profile.weight for profile in self.profiles[:head])
+        head = max(int(self.count * fraction), 1)
+        if _np is not None:
+            return float(self.weights[:head].sum())
+        return sum(self.weights[:head])
 
 
 def skewed_packet_stream(
@@ -84,10 +174,17 @@ def skewed_packet_stream(
     seed: int = 7,
 ) -> List[Packet]:
     """Packets drawn by flow popularity (deterministic per seed)."""
-    rng = random.Random(seed)
+    if _np is not None:
+        rng = _np.random.default_rng(seed)
+        chosen = rng.choice(
+            flow_set.count, size=packet_count, p=_np.asarray(flow_set.weights)
+        ).tolist()
+    else:
+        rng = random.Random(seed)
+        chosen = rng.choices(
+            range(flow_set.count), weights=list(flow_set.weights), k=packet_count
+        )
     flows = [profile.flow for profile in flow_set.profiles]
-    weights = [profile.weight for profile in flow_set.profiles]
-    chosen = rng.choices(range(len(flows)), weights=weights, k=packet_count)
     packets: List[Packet] = []
     gap_ps = int(packet_bytes * 8 / 100e9 * 1e12)
     for index, flow_index in enumerate(chosen):

@@ -155,3 +155,45 @@ class TestParser:
     def test_missing_command_is_usage_error(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFleet:
+    def test_small_fleet_run(self, capsys):
+        assert main(["fleet", "--flows", "20000", "--devices", "64",
+                     "--tenants", "8", "--slots", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "least-loaded" in out
+        assert "round-robin" in out
+        assert "flow-hash" in out
+        assert "best policy by p99" in out
+
+    def test_policy_subset_and_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fleet.json"
+        assert main(["fleet", "--flows", "5000", "--devices", "16",
+                     "--tenants", "4", "--slots", "2",
+                     "--policies", "least-loaded",
+                     "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert [p["policy"] for p in payload["policies"]] == ["least-loaded"]
+        assert payload["spec"]["flow_count"] == 5000
+        assert len(payload["policies"][0]["device_utilization"]) == 16
+
+    def test_invalid_spec_errors(self, capsys):
+        assert main(["fleet", "--flows", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepEngine:
+    def test_engine_flag_accepted(self, capsys):
+        assert main(["sweep", "--apps", "sec-gateway",
+                     "--devices", "device-a", "--sizes", "64",
+                     "--packets", "100", "--no-cache",
+                     "--engine", "vector"]) == 0
+        assert "sec-gateway" in capsys.readouterr().out
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--apps", "sec-gateway",
+                  "--devices", "device-a", "--engine", "warp"])

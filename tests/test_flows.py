@@ -94,3 +94,73 @@ class TestBalancingUnderSkew:
     def test_imbalance_requires_load(self):
         with pytest.raises(ConfigurationError):
             backend_imbalance({})
+
+
+class TestVectorizedSampling:
+    def test_flowset_sizes_are_seed_stable(self):
+        # ISSUE satellite: pin the numpy Generator stream so a silent
+        # sampling change (numpy upgrade, refactor) fails loudly.
+        flow_set = FlowSet(8, seed=11)
+        sizes = (flow_set.sizes_bytes.tolist()
+                 if hasattr(flow_set.sizes_bytes, "tolist")
+                 else list(flow_set.sizes_bytes))
+        assert sizes == [9345, 14830, 17938, 8537, 9522, 74834, 8856, 9356]
+
+    def test_flow_hashes_are_seed_stable(self):
+        from repro.workloads.flows import flow_hashes32
+
+        hashes = flow_hashes32(6, seed=3)
+        values = hashes.tolist() if hasattr(hashes, "tolist") else hashes
+        assert values == [4169906344, 1908508304, 3287450234,
+                          312960251, 2112154380, 426659522]
+
+    def test_flow_hashes_match_scalar_splitmix(self):
+        from repro.workloads.flows import _MASK64, _splitmix64, flow_hashes32
+
+        offset = (3 * 0x9E3779B97F4A7C15) & _MASK64
+        expected = [_splitmix64((rank + offset) & _MASK64) >> 32
+                    for rank in range(100)]
+        hashes = flow_hashes32(100, seed=3)
+        values = hashes.tolist() if hasattr(hashes, "tolist") else hashes
+        assert values == expected
+
+    def test_stream_choice_is_seed_stable(self):
+        flow_set = FlowSet(50, seed=2)
+        flows = [profile.flow for profile in flow_set.profiles]
+        packets = skewed_packet_stream(flow_set, 10, seed=5)
+        assert [flows.index(p.flow) for p in packets] == \
+            [17, 17, 3, 1, 0, 2, 2, 0, 0, 49]
+
+    def test_profiles_materialise_lazily_and_consistently(self):
+        flow_set = FlowSet(100, seed=4)
+        assert not flow_set._profiles           # arrays only, so far
+        profiles = flow_set.profiles
+        assert len(profiles) == 100
+        sizes = (flow_set.sizes_bytes.tolist()
+                 if hasattr(flow_set.sizes_bytes, "tolist")
+                 else list(flow_set.sizes_bytes))
+        assert [p.total_bytes for p in profiles] == sizes
+        weights = zipf_weights(100)
+        assert profiles[0].weight == pytest.approx(weights[0])
+
+    def test_million_flow_population_is_cheap(self):
+        import time
+
+        start = time.perf_counter()
+        flow_set = FlowSet(1_000_000, alpha=1.05)
+        elapsed = time.perf_counter() - start
+        assert len(flow_set) == 1_000_000
+        assert elapsed < 5.0                    # array-speed, not a loop
+
+    def test_zipf_weights_array_matches_list_form(self):
+        from repro.workloads.flows import zipf_weights_array
+
+        array = zipf_weights_array(500, alpha=1.3)
+        assert array.tolist() == pytest.approx(zipf_weights(500, alpha=1.3))
+        assert float(array.sum()) == pytest.approx(1.0)
+
+    def test_hash_count_validation(self):
+        from repro.workloads.flows import flow_hashes32
+
+        with pytest.raises(ConfigurationError):
+            flow_hashes32(-1)

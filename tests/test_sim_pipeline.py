@@ -186,3 +186,35 @@ class TestPacketSweep:
         assert small == pytest.approx(chain.bandwidth_bps(64), rel=0.05)
         # Framing costs ~3 cycles per 8-beat packet: ~27% at 64 B.
         assert small < 0.8 * chain.stages[0].bandwidth_bps
+
+
+class TestTransactionIds:
+    def test_ids_are_resettable_and_sequential(self):
+        from repro.sim.pipeline import next_transaction_id, reset_transaction_ids
+
+        reset_transaction_ids()
+        first = Transaction(size_bytes=64)
+        second = Transaction(size_bytes=64)
+        assert (first.txn_id, second.txn_id) == (0, 1)
+        reset_transaction_ids()
+        assert Transaction(size_bytes=64).txn_id == 0
+        reset_transaction_ids(10)
+        assert next_transaction_id() == 10
+
+    def test_run_packet_sweep_is_a_run_boundary(self):
+        # ISSUE satellite: ids embedded in traces must not depend on how
+        # many Transactions this process allocated before the sweep.
+        from repro.runtime import SimContext
+
+        def traced_ids():
+            chain = PipelineChain("ids", [make_stage()])
+            context = SimContext(name="ids", trace=True)
+            run_packet_sweep(chain, 64, 20, context=context)
+            return [record["attrs"]["txn"]
+                    for record in context.trace.records
+                    if record.get("attrs", {}).get("txn") is not None]
+
+        first = traced_ids()
+        Transaction(size_bytes=64)          # perturb the global counter
+        second = traced_ids()
+        assert first and first == second

@@ -233,3 +233,74 @@ class TestFastPathAgainstReference:
         reference = run_packet_sweep_reference(chain, packet_size_bytes=size,
                                                packet_count=500)
         assert fast == reference
+
+
+class TestAtomicCacheSave:
+    def test_truncated_cache_file_raises_configuration_error(self, tmp_path):
+        # ISSUE satellite: a crash-truncated cache must not surface as a
+        # bare JSON traceback.
+        path = tmp_path / "sweep.cache.json"
+        cache = SweepCache()
+        cache.store("k1", {"throughput_bps": 1.0, "mean_latency_ns": 2.0})
+        cache.save(str(path))
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(ConfigurationError) as excinfo:
+            SweepCache().load(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        cache = SweepCache()
+        cache.store("k1", {"throughput_bps": 1.0, "mean_latency_ns": 2.0})
+        path = tmp_path / "sweep.cache.json"
+        cache.save(str(path))
+        cache.save(str(path))               # overwrite goes through replace
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.cache.json"]
+
+    def test_failed_save_preserves_previous_file(self, tmp_path, monkeypatch):
+        cache = SweepCache()
+        cache.store("k1", {"throughput_bps": 1.0, "mean_latency_ns": 2.0})
+        path = tmp_path / "sweep.cache.json"
+        cache.save(str(path))
+        before = path.read_text()
+
+        import json as json_module
+
+        def boom(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json_module, "dump", boom)
+        with pytest.raises(OSError):
+            cache.save(str(path))
+        monkeypatch.undo()
+        assert path.read_text() == before   # old cache intact
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.cache.json"]
+
+
+class TestEngineTiers:
+    def test_vector_and_des_tiers_are_byte_identical(self):
+        # ISSUE acceptance: vector-vs-DES invisible for analytic chains.
+        plan = small_plan(packet_sizes=(64, 256), packets_per_point=100,
+                          trace=True)
+        vector = run_plan(plan, use_cache=False, engine="vector")
+        des = run_plan(plan, use_cache=False, engine="des")
+        assert vector.to_json() == des.to_json()
+        assert vector.merged_trace_jsonl() == des.merged_trace_jsonl()
+        assert vector.merged_trace_jsonl()  # non-trivial comparison
+
+    def test_engine_is_not_part_of_the_cache_key(self):
+        cache = SweepCache()
+        plan = small_plan(packet_sizes=(64,), packets_per_point=100)
+        run_plan(plan, cache=cache, engine="vector")
+        warm = run_plan(plan, cache=cache, engine="des")
+        assert warm.cache_hits == len(warm)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(small_plan(), engine="warp")
+
+    def test_point_results_identical_across_workers_with_vector(self):
+        plan = small_plan(packet_sizes=(64, 256), packets_per_point=50)
+        serial = run_plan(plan, workers=1, use_cache=False, engine="vector")
+        pooled = run_plan(plan, workers=4, use_cache=False, engine="vector")
+        assert serial.to_json() == pooled.to_json()
