@@ -1,0 +1,155 @@
+"""Observability overhead gates (``make bench-obs``).
+
+Three gates keep the telemetry subsystem honest:
+
+* **streaming** -- a fleet run with the flight recorder attached (full
+  JSONL streamed to disk, bounded resident ring) must stay within
+  1.25x of the same run untraced.  Streaming is the expensive mode;
+  if it regresses, every ``--trace-out`` user pays.
+* **quiet** -- a fleet run under a context with tracing *off* must stay
+  within 10% of a bare run, same budget as ``perf_smoke``'s
+  quiet-context gate.  The disabled bus is the everyday configuration.
+* **deep spans** -- 20k begin/end pairs nested 64 deep must cost no
+  more than 3x the same pairs at depth 1.  ``TraceBus.end`` resolves
+  spans through an auxiliary membership set in amortized O(1); a
+  regression to the old linear stack scan blows this ratio up
+  quadratically and fails the gate immediately.
+
+Results land in ``BENCH_obs.json`` at the repository root;
+``repro.cli report`` folds the file into the reproduction report.
+
+Run directly: ``PYTHONPATH=src python benchmarks/obs_smoke.py``
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.recorder import FlightRecorder  # noqa: E402
+from repro.runtime import SimContext  # noqa: E402
+from repro.runtime.fleet import FleetSpec, run_fleet  # noqa: E402
+from repro.runtime.trace import TraceBus  # noqa: E402
+
+#: The fixed workload: a mid-size fleet scenario under all policies.
+FLEET_SPEC = FleetSpec(flow_count=60_000, device_count=128)
+RING = 4_096
+REPEATS = 5
+
+#: Gate budgets.
+STREAMING_BUDGET = 1.25   # streamed-trace run vs untraced run
+QUIET_BUDGET = 0.10       # tracing-off context vs bare run
+DEEP_SPAN_BUDGET = 3.0    # nested begin/end vs flat begin/end
+
+#: Deep-span micro-gate shape.
+SPAN_PAIRS = 20_000
+DEPTH = 64
+
+
+def best_of(workload, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall time of ``workload()``, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bare_run() -> None:
+    run_fleet(FLEET_SPEC, context=SimContext(name="obs-bare", trace=False))
+
+
+def _quiet_run() -> None:
+    # Same as bare today, but kept as a separate gate: any future cost
+    # added to the disabled bus shows up here first.
+    run_fleet(FLEET_SPEC, context=SimContext(name="obs-quiet", trace=False))
+
+
+def _streamed_run(path: str) -> None:
+    context = SimContext(name="obs-stream", trace=True)
+    with FlightRecorder(context.trace, path, ring=RING):
+        run_fleet(FLEET_SPEC, context=context)
+
+
+def _span_pairs(nested: bool) -> float:
+    """Wall time for ``SPAN_PAIRS`` begin/end pairs, flat or nested."""
+    bus = TraceBus(clock_ps=lambda: 0, enabled=True)
+    start = time.perf_counter()
+    if nested:
+        # Keep DEPTH spans permanently open, then churn pairs at the
+        # bottom of the stack -- the old linear `end` scan walked the
+        # whole stack for every close.
+        outer = [bus.begin(f"deep.level{level}") for level in range(DEPTH)]
+        for index in range(SPAN_PAIRS):
+            span = bus.begin("deep.leaf", index=index)
+            bus.end(span)
+        for span in reversed(outer):
+            bus.end(span)
+    else:
+        for index in range(SPAN_PAIRS):
+            span = bus.begin("flat.leaf", index=index)
+            bus.end(span)
+    return time.perf_counter() - start
+
+
+def run() -> dict:
+    _bare_run()  # warm imports/caches outside the timing window
+    bare = best_of(_bare_run)
+    quiet = best_of(_quiet_run)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(pathlib.Path(tmp) / "fleet_trace.jsonl")
+        streamed = best_of(lambda: _streamed_run(trace_path))
+        trace_lines = sum(
+            1 for _ in open(trace_path, encoding="utf-8"))
+    flat = min(_span_pairs(nested=False) for _ in range(REPEATS))
+    nested = min(_span_pairs(nested=True) for _ in range(REPEATS))
+    return {
+        "workload": f"fleet {FLEET_SPEC.flow_count:,} flows x "
+                    f"{FLEET_SPEC.device_count} devices, ring {RING}",
+        "bare_fleet_s": round(bare, 6),
+        "quiet_fleet_s": round(quiet, 6),
+        "streamed_fleet_s": round(streamed, 6),
+        "quiet_overhead_fraction": round(quiet / bare - 1.0, 4),
+        "streaming_ratio": round(streamed / bare, 4),
+        "streamed_trace_lines": trace_lines,
+        "flat_span_pairs_s": round(flat, 6),
+        "nested_span_pairs_s": round(nested, 6),
+        "deep_span_ratio": round(nested / flat, 4),
+        "span_pairs": SPAN_PAIRS,
+        "span_depth": DEPTH,
+    }
+
+
+def main() -> int:
+    baseline = run()
+    target = REPO_ROOT / "BENCH_obs.json"
+    target.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(baseline, indent=2, sort_keys=True))
+    print(f"\nwrote {target}")
+    failed = False
+    if baseline["streaming_ratio"] > STREAMING_BUDGET:
+        print(f"FAIL: streamed fleet run is {baseline['streaming_ratio']:.2f}x "
+              f"the untraced run (budget {STREAMING_BUDGET:.2f}x)",
+              file=sys.stderr)
+        failed = True
+    if baseline["quiet_overhead_fraction"] > QUIET_BUDGET:
+        print(f"FAIL: tracing-off context adds "
+              f"{baseline['quiet_overhead_fraction']:.1%} over a bare run "
+              f"(budget {QUIET_BUDGET:.0%})", file=sys.stderr)
+        failed = True
+    if baseline["deep_span_ratio"] > DEEP_SPAN_BUDGET:
+        print(f"FAIL: deeply-nested span pairs cost "
+              f"{baseline['deep_span_ratio']:.2f}x flat pairs "
+              f"(budget {DEEP_SPAN_BUDGET:.1f}x) -- TraceBus.end is no "
+              f"longer amortized O(1)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

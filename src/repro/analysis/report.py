@@ -120,6 +120,18 @@ def load_fleet_baseline(
     return load_perf_baseline(path or default_fleet_baseline_path())
 
 
+def default_obs_baseline_path() -> pathlib.Path:
+    """Where ``make bench-obs`` leaves the observability overheads."""
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_obs.json"
+
+
+def load_obs_baseline(
+    path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, Any]]:
+    """The tracing/streaming overhead numbers, if recorded."""
+    return load_perf_baseline(path or default_obs_baseline_path())
+
+
 def load_perf_baseline(
     path: Optional[pathlib.Path] = None,
 ) -> Optional[Dict[str, Any]]:
@@ -213,4 +225,8 @@ def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
     fleet = load_fleet_baseline()
     if fleet is not None:
         lines.extend(_fleet_lines(fleet))
+    obs = load_obs_baseline()
+    if obs is not None:
+        lines.extend(_baseline_lines(
+            "OBSERVABILITY BASELINE (benchmarks/obs_smoke.py)", obs))
     return "\n".join(lines) + "\n"

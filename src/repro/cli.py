@@ -9,15 +9,20 @@ Gives operators the day-to-day views the library computes:
 * ``migrate APP FROM TO`` -- software-modification cost of a move;
 * ``health DEVICE`` -- one monitoring cycle over the command plane;
 * ``trace DEVICE --app APP`` -- run a Fig-17 sweep under a traced
-  runtime context and export the span trace as JSONL;
+  runtime context and export the span trace as JSONL (or, with
+  ``--format chrome``, as a Chrome/Perfetto ``trace_event`` array);
 * ``metrics DEVICE --app APP`` -- the same sweep's hierarchical
-  metrics snapshot as JSON;
+  metrics snapshot as JSON (or Prometheus text exposition with
+  ``--format prometheus``);
+* ``profile`` -- run a representative sweep + fleet workload under the
+  wall-clock self-profiler and print the top-N phase table;
 * ``sweep --apps ... --devices ... --workers N`` -- run an
   (apps x devices x packet-sizes) sweep through the parallel cached
   :class:`repro.runtime.sweep.SweepRunner` (``--engine`` picks the
   vector/DES execution tier);
 * ``fleet`` -- shard millions of Zipf-skewed flows across the
-  production fleet under several load-balancing policies;
+  production fleet under several load-balancing policies (``--slo``
+  evaluates service objectives and exits nonzero on violations);
 * ``report`` -- collate benchmark artifacts into one reproduction report.
 """
 
@@ -160,13 +165,18 @@ def _traced_sweep(args: argparse.Namespace):
 
 def cmd_trace(args: argparse.Namespace) -> int:
     context, app, device, samples = _traced_sweep(args)
-    jsonl = context.trace.export_jsonl()
+    if args.format == "chrome":
+        from repro.obs.chrome import export_chrome_json
+
+        payload = export_chrome_json(context.trace)
+    else:
+        payload = context.trace.export_jsonl()
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(jsonl)
+        with open(args.out, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(payload)
         print(f"wrote {len(context.trace)} trace records to {args.out}")
     else:
-        print(jsonl, end="")
+        print(payload, end="")
     print(f"# {app.name} on {device.name}: {len(samples)} sweep points, "
           f"{len(context.trace)} trace records, "
           f"{len(context.trace.span_names())} distinct span names",
@@ -176,8 +186,53 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     context, _app, _device, _samples = _traced_sweep(args)
+    if args.format == "prometheus":
+        from repro.obs.prometheus import to_prometheus_text
+
+        print(to_prometheus_text(context.metrics), end="")
+        return 0
     snapshot = context.metrics.snapshot()
     print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _slo_monitor(spec: str):
+    """``--slo`` argument -> monitor: a JSON file path, or ``default``."""
+    from repro.obs.slo import SloMonitor, default_fleet_slos
+
+    if spec == "default":
+        return SloMonitor(default_fleet_slos())
+    return SloMonitor.load(spec)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table as _format
+    from repro.obs.profiler import SelfProfiler
+    from repro.runtime import FleetSpec, SimContext, SweepPlan, run_fleet, run_plan
+
+    profiler = SelfProfiler()
+    with profiler:
+        with profiler.phase("workload.sweep"):
+            run_plan(
+                SweepPlan(apps=(args.app,), devices=(args.device,),
+                          packets_per_point=args.packets),
+                use_cache=False,
+            )
+        with profiler.phase("workload.fleet"):
+            run_fleet(
+                FleetSpec(flow_count=args.flows, device_count=256),
+                context=SimContext(name="profile"),
+            )
+    rows = [
+        (stats.name, stats.calls,
+         f"{stats.cumulative_s * 1e3:.2f}", f"{stats.self_s * 1e3:.2f}")
+        for stats in profiler.table(args.top)
+    ]
+    print(_format(
+        ["phase", "calls", "cumulative ms", "self ms"], rows,
+        title=f"Self-profile: top {len(rows)} phases, "
+              f"{profiler.total_s * 1e3:.2f} ms profiled",
+    ))
     return 0
 
 
@@ -224,14 +279,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_file:
         cache.save(args.cache_file)
     if args.trace_out:
-        with open(args.trace_out, "w") as handle:
+        with open(args.trace_out, "w", encoding="utf-8",
+                  newline="\n") as handle:
             handle.write(result.merged_trace_jsonl())
         print(f"# wrote merged trace to {args.trace_out}", file=sys.stderr)
     if args.json:
-        with open(args.json, "w") as handle:
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
             json.dump(result.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# wrote point results to {args.json}", file=sys.stderr)
+    if args.slo:
+        from repro.obs.slo import registry_from_sweep
+
+        report = _slo_monitor(args.slo).evaluate(registry_from_sweep(result))
+        print(report.format())
+        return report.exit_code
     return 0
 
 
@@ -248,7 +310,29 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     context = SimContext(name="fleet", trace=True)
     simulation = FleetSimulation(spec, context=context)
     start = time.perf_counter()
-    result = simulation.run(policies)
+
+    def _run_and_check():
+        outcome = simulation.run(policies)
+        # Evaluate SLOs while any flight recorder is still attached, so
+        # violation instants land inside the streamed trace.
+        report = (_slo_monitor(args.slo).evaluate(context.metrics,
+                                                  trace=context.trace)
+                  if args.slo else None)
+        return outcome, report
+
+    if args.trace_out:
+        # Stream the trace through the flight recorder: full JSONL on
+        # disk, only the last --trace-ring records resident in memory.
+        from repro.obs.recorder import FlightRecorder
+
+        with FlightRecorder(context.trace, args.trace_out,
+                            ring=args.trace_ring):
+            result, slo_report = _run_and_check()
+        print(f"# streamed {context.trace.total_records} trace records "
+              f"to {args.trace_out} "
+              f"({len(context.trace)} resident)", file=sys.stderr)
+    else:
+        result, slo_report = _run_and_check()
     elapsed = time.perf_counter() - start
     rows = [
         (policy.policy,
@@ -276,14 +360,18 @@ def cmd_fleet(args: argparse.Namespace) -> int:
           f"({best.p99_ns / 1_000:.1f} us)")
     print(f"# {elapsed:.2f}s wall, {len(result.policies)} policies, "
           f"{len(context.trace)} trace records", file=sys.stderr)
+    if slo_report is not None:
+        print(slo_report.format())
     if args.json:
         payload = result.to_json()
         payload["elapsed_s"] = round(elapsed, 3)
-        with open(args.json, "w") as handle:
+        if slo_report is not None:
+            payload["slo"] = slo_report.to_json()
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# wrote fleet results to {args.json}", file=sys.stderr)
-    return 0
+    return slo_report.exit_code if slo_report is not None else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,13 +413,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep the native (no-Harmonia) data path")
 
     trace = commands.add_parser(
-        "trace", help="export a traced app sweep as JSONL")
+        "trace", help="export a traced app sweep as JSONL or Chrome JSON")
     _sweep_args(trace)
-    trace.add_argument("--out", help="write JSONL here instead of stdout")
+    trace.add_argument("--out", help="write the export here instead of stdout")
+    trace.add_argument("--format", choices=("jsonl", "chrome"),
+                       default="jsonl",
+                       help="jsonl (native records) or chrome "
+                            "(trace_event JSON for chrome://tracing/Perfetto)")
 
     metrics = commands.add_parser(
         "metrics", help="print a sweep's hierarchical metrics snapshot")
     _sweep_args(metrics)
+    metrics.add_argument("--format", choices=("json", "prometheus"),
+                         default="json",
+                         help="json (nested snapshot) or prometheus "
+                              "(text exposition format)")
+
+    profile = commands.add_parser(
+        "profile", help="self-profile the simulator's own hot phases")
+    profile.add_argument("--app", default="sec-gateway",
+                         help="application for the sweep workload")
+    profile.add_argument("--device", default="device-a",
+                         help="device for the sweep workload")
+    profile.add_argument("--packets", type=int, default=500,
+                         help="packets per sweep point (default 500)")
+    profile.add_argument("--flows", type=int, default=100_000,
+                         help="flows for the fleet workload (default 100,000)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="show the top-N phases by cumulative time")
 
     sweep = commands.add_parser(
         "sweep", help="run an (apps x devices x sizes) sweep, optionally parallel")
@@ -358,6 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto",
                        help="execution tier for cache misses: auto picks the "
                             "vector kernel when the chain is analytic")
+    sweep.add_argument("--slo",
+                       help="check results against SLO specs: a JSON file "
+                            "or 'default'; violations exit with code 4")
 
     fleet = commands.add_parser(
         "fleet", help="serve Zipf-skewed flows across the production fleet")
@@ -379,6 +491,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("round-robin", "least-loaded", "flow-hash"),
                        help="policies to evaluate (default: all three)")
     fleet.add_argument("--json", help="write fleet results JSON here")
+    fleet.add_argument("--slo",
+                       help="check metrics against SLO specs: a JSON file "
+                            "or 'default'; violations exit with code 4")
+    fleet.add_argument("--trace-out",
+                       help="stream the run's trace to this JSONL file "
+                            "via the flight recorder")
+    fleet.add_argument("--trace-ring", type=int, default=4_096,
+                       help="resident trace ring size while streaming "
+                            "(default 4096)")
 
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser
@@ -393,6 +514,7 @@ _HANDLERS = {
     "health": cmd_health,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "profile": cmd_profile,
     "sweep": cmd_sweep,
     "fleet": cmd_fleet,
     "report": cmd_report,

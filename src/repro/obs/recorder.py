@@ -1,0 +1,107 @@
+"""Streaming flight recorder: O(1)-memory tracing for fleet-scale runs.
+
+An unbounded :class:`~repro.runtime.trace.TraceBus` keeps every record
+resident, which makes tracing a 1M-flow fleet run a memory hazard.  The
+:class:`FlightRecorder` combines the bus's two containment features
+into the operator-facing tool:
+
+* it attaches a **streaming JSONL sink**, so every record is written
+  through to disk the moment it is emitted (byte-identical to what
+  :meth:`TraceBus.export_jsonl` would have produced on an unbounded
+  bus -- the serialiser is literally shared);
+* it optionally applies a **ring-buffer cap** (``ring=N``), so the bus
+  keeps only the last N records resident -- the black-box-recorder
+  view for post-mortems -- while the sink still captures everything.
+
+The on-disk file is finalised atomically: records stream into
+``<path>.tmp`` (UTF-8, ``\\n`` newlines) and ``os.replace`` moves it
+into place on :meth:`close`, so an interrupted run leaves the previous
+trace (or nothing), never a torn file.  Records already resident on the
+bus when the recorder attaches are written first, so attach-time is
+invisible in the output.
+
+Usage::
+
+    context = SimContext(name="fleet", trace=True)
+    with FlightRecorder(context.trace, "fleet.jsonl", ring=4096):
+        FleetSimulation(spec, context=context).run()
+    # fleet.jsonl holds the full trace; the bus holds the last 4096.
+"""
+
+import os
+from typing import Optional
+
+from repro.runtime.trace import TraceBus, dumps_record
+
+
+class FlightRecorder:
+    """Streams a TraceBus to a JSONL file with an optional residency cap."""
+
+    def __init__(self, bus: TraceBus, path: str,
+                 ring: Optional[int] = None) -> None:
+        self.bus = bus
+        self.path = path
+        self.ring = ring
+        self._tmp_path = path + ".tmp"
+        self._handle = None
+        self.records_written = 0
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "FlightRecorder":
+        """Open the stream, back-fill resident records, attach the sink."""
+        if self._handle is not None:
+            raise RuntimeError("flight recorder already started")
+        self._handle = open(self._tmp_path, "w", encoding="utf-8",
+                            newline="\n")
+        try:
+            for record in self.bus.records:
+                self._handle.write(dumps_record(record) + "\n")
+                self.records_written += 1
+            self.bus.add_sink(self._sink)
+            if self.ring is not None:
+                self.bus.limit_records(self.ring)
+        except BaseException:
+            self._abort()
+            raise
+        return self
+
+    def _sink(self, line: str) -> None:
+        self._handle.write(line + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Detach, flush, and atomically move the stream into place."""
+        if self._handle is None:
+            return
+        self.bus.remove_sink(self._sink)
+        handle, self._handle = self._handle, None
+        handle.close()
+        os.replace(self._tmp_path, self.path)
+
+    def _abort(self) -> None:
+        """Tear down without publishing (start failed mid-way)."""
+        if self._handle is not None:
+            handle, self._handle = self._handle, None
+            handle.close()
+        try:
+            os.unlink(self._tmp_path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.start()
+
+    def __exit__(self, exc_type: object, *_exc: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # The run died: keep nothing half-written.  The bus's
+            # resident ring still holds the tail for post-mortems.
+            if self._handle is not None:
+                self.bus.remove_sink(self._sink)
+            self._abort()
+
+    @property
+    def active(self) -> bool:
+        return self._handle is not None

@@ -1,0 +1,295 @@
+"""Declarative SLO specs evaluated against the metrics registry.
+
+Operating a fleet means knowing, mechanically, whether a run met its
+service objectives -- per-tenant tail latency, drop-rate ceilings,
+utilisation bands -- not eyeballing a table.  A :class:`SloSpec`
+declares one objective against registry dot-paths (with ``*``
+wildcards, so one spec covers every policy/tenant), a
+:class:`SloMonitor` evaluates a list of them against a
+:class:`~repro.runtime.metrics.MetricsRegistry`, and every violation is
+
+* collected into a :class:`SloReport` (text section + JSON),
+* emitted as an ``I`` instant (``slo.violation``) on the trace bus
+  when one is supplied, so violations land inside the trace timeline
+  they describe,
+* surfaced as a nonzero exit (:data:`SLO_EXIT_CODE`) by the CLI's
+  ``--slo`` flags, which is what makes the monitor CI-enforceable.
+
+Value extraction by metric kind: counters and gauges read their value;
+latency histograms read ``percentile`` (default p99).  A spec with
+``ratio_to`` divides by a second metric's value (e.g. drop rate =
+``dropped / offered``); empty histograms and zero denominators are
+skipped, not violated -- absence of traffic is not an SLO breach.
+
+Specs load from JSON (``SloMonitor.load``)::
+
+    [{"name": "tenant-p99", "metric": "fleet.*.tenant.*.p99_ns",
+      "upper": 500000.0},
+     {"name": "util-band", "metric": "fleet.*.utilization_mean",
+      "lower": 0.2, "upper": 0.9}]
+"""
+
+import fnmatch
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import Gauge, MetricsRegistry
+from repro.runtime.trace import TraceBus
+from repro.sim.stats import Counter, LatencyStats
+
+#: CLI exit code when any SLO is violated (distinct from error=1,
+#: unhealthy=2, incomplete-report=3).
+SLO_EXIT_CODE = 4
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective against registry dot-paths."""
+
+    name: str
+    metric: str
+    upper: Optional[float] = None
+    lower: Optional[float] = None
+    percentile: float = 0.99
+    ratio_to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an SLO spec needs a name")
+        if not self.metric:
+            raise ConfigurationError(f"SLO {self.name!r} needs a metric path")
+        if self.upper is None and self.lower is None:
+            raise ConfigurationError(
+                f"SLO {self.name!r} needs an upper and/or lower bound")
+        if not 0.0 <= self.percentile <= 1.0:
+            raise ConfigurationError(
+                f"SLO {self.name!r} percentile must be within [0, 1]")
+
+    def bound_text(self) -> str:
+        parts = []
+        if self.lower is not None:
+            parts.append(f">= {self.lower:g}")
+        if self.upper is not None:
+            parts.append(f"<= {self.upper:g}")
+        return " and ".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name, "metric": self.metric}
+        if self.upper is not None:
+            payload["upper"] = self.upper
+        if self.lower is not None:
+            payload["lower"] = self.lower
+        if self.percentile != 0.99:
+            payload["percentile"] = self.percentile
+        if self.ratio_to is not None:
+            payload["ratio_to"] = self.ratio_to
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SloSpec":
+        if not isinstance(payload, dict):
+            raise ConfigurationError("an SLO spec must be a JSON object")
+        known = {"name", "metric", "upper", "lower", "percentile", "ratio_to"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SLO spec fields: {', '.join(sorted(unknown))}")
+        return cls(
+            name=payload.get("name", ""),
+            metric=payload.get("metric", ""),
+            upper=payload.get("upper"),
+            lower=payload.get("lower"),
+            percentile=payload.get("percentile", 0.99),
+            ratio_to=payload.get("ratio_to"),
+        )
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One metric path that broke one spec's bound."""
+
+    slo: str
+    metric: str
+    value: float
+    bound: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"slo": self.slo, "metric": self.metric,
+                "value": round(self.value, 6), "bound": self.bound}
+
+
+class SloReport:
+    """Outcome of evaluating a spec list against one registry."""
+
+    def __init__(self, specs: Sequence[SloSpec],
+                 violations: List[SloViolation], checked: int) -> None:
+        self.specs = tuple(specs)
+        self.violations = violations
+        self.checked = checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else SLO_EXIT_CODE
+
+    def format(self) -> str:
+        """A report section: one line per violation, or the all-clear."""
+        lines = [f"SLO check: {len(self.specs)} spec(s), "
+                 f"{self.checked} series checked, "
+                 f"{len(self.violations)} violation(s)"]
+        for violation in self.violations:
+            lines.append(
+                f"  VIOLATION {violation.slo}: {violation.metric} = "
+                f"{violation.value:g} (bound {violation.bound})"
+            )
+        if not self.violations:
+            lines.append("  all objectives met")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "specs": [spec.to_json() for spec in self.specs],
+            "checked": self.checked,
+            "violations": [violation.to_json()
+                           for violation in self.violations],
+            "ok": self.ok,
+        }
+
+
+def _metric_value(metric: Any, percentile: float) -> Optional[float]:
+    if isinstance(metric, Counter):
+        return float(metric.value)
+    if isinstance(metric, Gauge):
+        return float(metric.value)
+    if isinstance(metric, LatencyStats):
+        if metric.count == 0:
+            return None
+        return float(metric.percentile_ps(percentile))
+    return None
+
+
+class SloMonitor:
+    """Evaluates a list of :class:`SloSpec` against a registry."""
+
+    def __init__(self, specs: Iterable[SloSpec]) -> None:
+        self.specs: Tuple[SloSpec, ...] = tuple(specs)
+
+    def _matches(self, registry: MetricsRegistry,
+                 pattern: str) -> List[str]:
+        if any(char in pattern for char in "*?["):
+            return [path for path in registry.paths()
+                    if fnmatch.fnmatchcase(path, pattern)]
+        return [pattern] if pattern in registry else []
+
+    def evaluate(self, registry: MetricsRegistry,
+                 trace: Optional[TraceBus] = None) -> SloReport:
+        """Check every spec; emit ``slo.violation`` instants on ``trace``."""
+        violations: List[SloViolation] = []
+        checked = 0
+        for spec in self.specs:
+            for path in self._matches(registry, spec.metric):
+                value = _metric_value(registry.get(path), spec.percentile)
+                if value is None:
+                    continue
+                if spec.ratio_to is not None:
+                    denominators = self._matches(registry, spec.ratio_to)
+                    if not denominators:
+                        continue
+                    denominator = _metric_value(
+                        registry.get(denominators[0]), spec.percentile)
+                    if not denominator:
+                        continue
+                    value = value / denominator
+                checked += 1
+                breached = ((spec.upper is not None and value > spec.upper)
+                            or (spec.lower is not None and value < spec.lower))
+                if not breached:
+                    continue
+                violation = SloViolation(
+                    slo=spec.name, metric=path, value=value,
+                    bound=spec.bound_text(),
+                )
+                violations.append(violation)
+                if trace is not None:
+                    trace.instant(
+                        "slo.violation", slo=spec.name, metric=path,
+                        value=round(value, 6), bound=spec.bound_text(),
+                    )
+        return SloReport(self.specs, violations, checked)
+
+    # --- persistence --------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "SloMonitor":
+        if isinstance(payload, dict):
+            payload = payload.get("slos", payload.get("specs"))
+        if not isinstance(payload, list):
+            raise ConfigurationError(
+                "SLO specs must be a JSON list (or an object with a "
+                "'slos' list)")
+        return cls(SloSpec.from_json(item) for item in payload)
+
+    @classmethod
+    def load(cls, path: str) -> "SloMonitor":
+        with open(path, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"{path} is not an SLO spec file (invalid JSON: {error})"
+                ) from None
+        return cls.from_json(payload)
+
+
+def load_slo_specs(path: str) -> SloMonitor:
+    """Convenience alias for :meth:`SloMonitor.load`."""
+    return SloMonitor.load(path)
+
+
+def default_fleet_slos(p99_ns: float = 400_000.0,
+                       utilization_low: float = 0.05,
+                       utilization_high: float = 0.95,
+                       non_resident_ceiling: float = 0.35) -> List[SloSpec]:
+    """The stock objectives for a ``repro.cli fleet`` run.
+
+    * every tenant's p99 stays under ``p99_ns`` (per policy);
+    * mean fleet utilisation sits inside the band -- below it the fleet
+      is over-provisioned, above it one hot device away from overload;
+    * no devices driven past their line rate;
+    * at most ``non_resident_ceiling`` of flows pay a PR reconfiguration.
+    """
+    return [
+        SloSpec(name="tenant-p99", metric="fleet.*.tenant.*.p99_ns",
+                upper=p99_ns),
+        SloSpec(name="utilization-band", metric="fleet.*.utilization_mean",
+                lower=utilization_low, upper=utilization_high),
+        SloSpec(name="no-overload", metric="fleet.*.overloaded_devices",
+                upper=0.0),
+        SloSpec(name="pr-resident", metric="fleet.*.non_resident_flows",
+                ratio_to="fleet.flows", upper=non_resident_ceiling),
+    ]
+
+
+def registry_from_sweep(result: Any) -> MetricsRegistry:
+    """Summarise a :class:`~repro.runtime.sweep.SweepResult` as metrics.
+
+    Sweep points execute in isolated per-point contexts, so their
+    numbers never land in one shared registry; this folds the merged
+    result back into ``sweep.<app>.<device>.<size>B.*`` gauges so the
+    same SLO machinery covers sweeps (e.g. a throughput floor or a
+    latency ceiling per point).
+    """
+    registry = MetricsRegistry()
+    for point in result.points:
+        namespace = registry.namespace(
+            f"sweep.{point.point.app}.{point.point.device}."
+            f"{point.point.packet_size_bytes}B"
+        )
+        namespace.set_gauge("throughput_gbps", point.throughput_bps / 1e9)
+        namespace.set_gauge("mean_latency_ns", point.mean_latency_ns)
+    return registry

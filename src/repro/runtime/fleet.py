@@ -49,6 +49,7 @@ from repro.core.multitenancy import (
     residency_matrix,
 )
 from repro.errors import ConfigurationError
+from repro.obs.profiler import phase as _profile_phase
 from repro.platform.catalog import device_by_name
 from repro.platform.fleet import FleetHistory, production_fleet
 from repro.runtime.context import SimContext, ensure_context
@@ -380,6 +381,10 @@ class FleetSimulation:
     # --- evaluation ---------------------------------------------------------
 
     def run_policy(self, policy: str) -> PolicyResult:
+        with _profile_phase("fleet.policy"):
+            return self._run_policy(policy)
+
+    def _run_policy(self, policy: str) -> PolicyResult:
         spec = self.spec
         devices = self.device_count
         span = self.context.trace.begin(
@@ -452,6 +457,15 @@ class FleetSimulation:
         metrics.set_gauge("imbalance", result.imbalance)
         metrics.set_gauge("overloaded_devices", result.overloaded_devices)
         metrics.set_gauge("non_resident_flows", result.non_resident_flows)
+        # Per-tenant visibility (the paper's per-tenant monitoring half):
+        # tail latency lands under fleet.<policy>.tenant.<id>.*, which is
+        # what the stock tenant-p99 SLO spec pattern-matches against.
+        for tenant in result.tenants:
+            tenant_ns = metrics.namespace(f"tenant.{tenant.tenant:02d}")
+            tenant_ns.set_gauge("flows", tenant.flows)
+            tenant_ns.set_gauge("offered_gbps", tenant.offered_gbps)
+            tenant_ns.set_gauge("p50_ns", tenant.p50_ns)
+            tenant_ns.set_gauge("p99_ns", tenant.p99_ns)
         self.context.trace.end(span, ts_ps=0, p99_ns=round(p99, 3))
         return result
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.profiler import phase as _profile_phase
 from repro.runtime.context import SimContext, isolated_context_stack
 from repro.sim.vector import ENGINES
 
@@ -283,7 +284,7 @@ def _run_chain_point(chain, point: SweepPoint) -> Dict[str, Any]:
 
     from repro.sim.pipeline import reset_transaction_ids
 
-    with isolated_context_stack():
+    with _profile_phase("sweep.point"), isolated_context_stack():
         # Every point starts from transaction id 0, so the ids a traced
         # point embeds in its spans cannot depend on pool-worker reuse
         # or on whatever ran earlier in this process.

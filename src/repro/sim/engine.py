@@ -22,6 +22,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
+from repro.obs.profiler import phase as _profile_phase
+
 PS_PER_NS = 1_000
 PS_PER_US = 1_000_000
 PS_PER_MS = 1_000_000_000
@@ -220,19 +222,23 @@ class Simulator:
         self._running = True
         processed = 0
         try:
-            while True:
-                if max_events is not None and processed >= max_events:
-                    break
-                next_time = self.peek_next_time()
-                if next_time is None:
-                    if until_ps is not None and until_ps > self._now_ps:
+            # Wall-clock phase for the self-profiler (repro.obs.profiler)
+            # -- a single no-op context when no profiler is active, so
+            # the dispatch loop itself stays untouched.
+            with _profile_phase("engine.run"):
+                while True:
+                    if max_events is not None and processed >= max_events:
+                        break
+                    next_time = self.peek_next_time()
+                    if next_time is None:
+                        if until_ps is not None and until_ps > self._now_ps:
+                            self._now_ps = until_ps
+                        break
+                    if until_ps is not None and next_time > until_ps:
                         self._now_ps = until_ps
-                    break
-                if until_ps is not None and next_time > until_ps:
-                    self._now_ps = until_ps
-                    break
-                self.step()
-                processed += 1
+                        break
+                    self.step()
+                    processed += 1
         finally:
             self._running = False
         return processed

@@ -41,6 +41,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
 from repro.errors import ConfigurationError
+from repro.obs.profiler import phase as _profile_phase
 from repro.sim.clock import ClockDomain
 from repro.sim.pipeline import PipelineChain, PipelineStage
 
@@ -163,42 +164,43 @@ def simulate_train(
     out = arrivals
     last_out = arrivals
     index = _np.arange(count, dtype=_np.int64)
-    for stage in chain.stages:
-        period = stage.clock.period_ps
-        if uniform:
-            beats = stage.beats(int(sizes_bytes))
-            busy = (beats * stage.initiation_interval
-                    + stage.per_transaction_overhead_cycles) * period
-            tail = (stage.latency_cycles
-                    + (beats - 1) * stage.initiation_interval) * period
-            ramp = busy * index
-            busy_total = busy * count
-            last_busy = busy
-        else:
-            beats = _stage_beats(stage, sizes)
-            busy = (beats * stage.initiation_interval
-                    + stage.per_transaction_overhead_cycles) * period
-            tail = (stage.latency_cycles
-                    + (beats - 1) * stage.initiation_interval) * period
-            ramp = _np.concatenate(([0], _np.cumsum(busy[:-1])))
-            busy_total = int(busy.sum())
-            last_busy = int(busy[-1])
-        latency = stage.latency_cycles * period
-        edges = _next_edge_array(out, period)
-        free0 = stage._next_free_ps
-        if free0 > 0:
-            # next_edge distributes over max, so the carried-in occupancy
-            # only needs folding into the first packet's issue edge.
-            aligned = int(math.ceil(free0 / period)) * period
-            if aligned > edges[0]:
-                edges[0] = aligned
-        starts = ramp + _np.maximum.accumulate(edges - ramp)
-        out = starts + latency
-        last_out = starts + tail
-        if update_state:
-            stage._next_free_ps = int(starts[-1]) + last_busy
-            stage.transactions_processed += count
-            stage.busy_ps += busy_total
+    with _profile_phase("vector.kernel"):
+        for stage in chain.stages:
+            period = stage.clock.period_ps
+            if uniform:
+                beats = stage.beats(int(sizes_bytes))
+                busy = (beats * stage.initiation_interval
+                        + stage.per_transaction_overhead_cycles) * period
+                tail = (stage.latency_cycles
+                        + (beats - 1) * stage.initiation_interval) * period
+                ramp = busy * index
+                busy_total = busy * count
+                last_busy = busy
+            else:
+                beats = _stage_beats(stage, sizes)
+                busy = (beats * stage.initiation_interval
+                        + stage.per_transaction_overhead_cycles) * period
+                tail = (stage.latency_cycles
+                        + (beats - 1) * stage.initiation_interval) * period
+                ramp = _np.concatenate(([0], _np.cumsum(busy[:-1])))
+                busy_total = int(busy.sum())
+                last_busy = int(busy[-1])
+            latency = stage.latency_cycles * period
+            edges = _next_edge_array(out, period)
+            free0 = stage._next_free_ps
+            if free0 > 0:
+                # next_edge distributes over max, so the carried-in occupancy
+                # only needs folding into the first packet's issue edge.
+                aligned = int(math.ceil(free0 / period)) * period
+                if aligned > edges[0]:
+                    edges[0] = aligned
+            starts = ramp + _np.maximum.accumulate(edges - ramp)
+            out = starts + latency
+            last_out = starts + tail
+            if update_state:
+                stage._next_free_ps = int(starts[-1]) + last_busy
+                stage.transactions_processed += count
+                stage.busy_ps += busy_total
     return TrainTiming(arrivals, last_out)
 
 

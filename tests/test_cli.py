@@ -197,3 +197,127 @@ class TestSweepEngine:
         with pytest.raises(SystemExit):
             main(["sweep", "--apps", "sec-gateway",
                   "--devices", "device-a", "--engine", "warp"])
+
+
+class TestTraceChrome:
+    BASE = ["trace", "device-a", "--app", "sec-gateway",
+            "--packets", "50", "--sizes", "64", "--format", "chrome"]
+
+    def test_exports_trace_event_json(self, capsys):
+        import json
+
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        body = out[: out.rindex("\n# ") + 1] if "\n# " in out else out
+        events = json.loads(body.splitlines()[0])
+        assert isinstance(events, list) and events
+        assert all("ph" in event and "pid" in event and "tid" in event
+                   for event in events)
+
+    def test_writes_valid_chrome_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(self.BASE + ["--out", str(target)]) == 0
+        events = json.loads(target.read_text(encoding="utf-8"))
+        begins = sum(1 for event in events if event["ph"] == "B")
+        ends = sum(1 for event in events if event["ph"] == "E")
+        assert begins and begins == ends
+
+    def test_byte_identical_across_runs(self, tmp_path):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        assert main(self.BASE + ["--out", str(first)]) == 0
+        assert main(self.BASE + ["--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestMetricsPrometheus:
+    def test_exposition_format(self, capsys):
+        assert main(["metrics", "device-a", "--app", "sec-gateway",
+                     "--packets", "50", "--sizes", "64",
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP harmonia_" in out
+        assert "# TYPE harmonia_" in out
+        assert 'quantile="0.99"' in out
+
+
+class TestProfile:
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["profile", "--packets", "50", "--flows", "2000",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative ms" in out
+        assert "fleet.policy" in out
+        assert "sweep.point" in out
+
+
+class TestSloFlags:
+    def test_fleet_default_slos_violation_exit_code(self, capsys):
+        # The stock scenario overdrives hot devices, so default SLOs trip.
+        assert main(["fleet", "--flows", "20000", "--devices", "64",
+                     "--slo", "default"]) == 4
+        out = capsys.readouterr().out
+        assert "SLO check:" in out and "VIOLATION" in out
+
+    def test_fleet_passing_slo_file_exit_zero(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps([
+            {"name": "sane-util", "metric": "fleet.*.utilization_mean",
+             "upper": 1e9},
+        ]), encoding="utf-8")
+        assert main(["fleet", "--flows", "5000", "--devices", "16",
+                     "--slo", str(spec)]) == 0
+        assert "all objectives met" in capsys.readouterr().out
+
+    def test_fleet_json_embeds_slo_report(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fleet.json"
+        assert main(["fleet", "--flows", "20000", "--devices", "64",
+                     "--slo", "default", "--json", str(target)]) == 4
+        payload = json.loads(target.read_text())
+        assert payload["slo"]["ok"] is False
+        assert payload["slo"]["violations"]
+
+    def test_sweep_slo_flag(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps([
+            {"name": "throughput-floor", "metric": "sweep.*.throughput_gbps",
+             "lower": 1e9},
+        ]), encoding="utf-8")
+        assert main(["sweep", "--apps", "sec-gateway",
+                     "--devices", "device-a", "--sizes", "64",
+                     "--packets", "100", "--no-cache",
+                     "--slo", str(spec)]) == 4
+        assert "VIOLATION throughput-floor" in capsys.readouterr().out
+
+    def test_bad_slo_file_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nope", encoding="utf-8")
+        assert main(["fleet", "--flows", "5000", "--devices", "16",
+                     "--slo", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFleetTraceOut:
+    def test_streams_trace_with_bounded_residency(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fleet_trace.jsonl"
+        assert main(["fleet", "--flows", "20000", "--devices", "64",
+                     "--slo", "default", "--trace-out", str(target),
+                     "--trace-ring", "8"]) == 4
+        err = capsys.readouterr().err
+        assert "streamed" in err and "8 resident" in err
+        lines = target.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        # The violation instants land inside the streamed trace.
+        assert any(record["name"] == "slo.violation" for record in records)
+        ids = [record["id"] for record in records]
+        assert ids == sorted(ids)  # emission order survives streaming

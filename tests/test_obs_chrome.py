@@ -1,0 +1,155 @@
+"""Chrome/Perfetto ``trace_event`` export: golden-shape and determinism.
+
+The export must open in ``chrome://tracing``: every event carries
+ph/ts/pid/tid, B/E pairs balance per track, timestamps are monotonic in
+file order, and two identical runs serialise byte for byte.
+"""
+
+import json
+from collections import Counter as TallyCounter
+
+from repro.obs.chrome import (
+    DEFAULT_PROCESS,
+    chrome_trace_events,
+    export_chrome_json,
+    write_chrome_json,
+)
+from repro.runtime import SimContext
+from repro.runtime.trace import TraceBus
+
+
+def _bus(**kwargs) -> TraceBus:
+    clock = {"now": 0}
+    bus = TraceBus(clock_ps=lambda: clock["now"], enabled=True, **kwargs)
+    bus._test_clock = clock
+    return bus
+
+
+def _sample_bus() -> TraceBus:
+    bus = _bus()
+    outer = bus.begin("engine.run", device="device-a")
+    bus._test_clock["now"] = 1_000
+    inner = bus.begin("engine.dispatch")
+    bus.complete("stage.occupancy", 1_000, 3_000, stage="parser")
+    bus.instant("fifo.drop", reason="full")
+    bus._test_clock["now"] = 4_000
+    bus.end(inner)
+    bus._test_clock["now"] = 5_000
+    bus.end(outer, packets=7)
+    return bus
+
+
+def _traced_sweep_context(packets=120, sizes=(64, 256)):
+    from repro.apps import all_applications
+    from repro.platform.catalog import device_by_name
+
+    app = next(app for app in all_applications()
+               if app.name == "sec-gateway")
+    context = SimContext(name="chrome", trace=True)
+    app.measure(device_by_name("device-a"), packet_sizes=sizes,
+                packets_per_point=packets, context=context)
+    return context
+
+
+class TestEventShape:
+    def test_every_event_has_required_fields(self):
+        events = chrome_trace_events(_sample_bus().records)
+        assert events, "export produced no events"
+        for event in events:
+            assert event["ph"] in ("B", "E", "X", "I", "M")
+            assert "ts" in event and "pid" in event and "tid" in event
+            assert "name" in event
+
+    def test_phase_mapping(self):
+        events = chrome_trace_events(_sample_bus().records)
+        phases = TallyCounter(event["ph"] for event in events)
+        assert phases["B"] == 2 and phases["E"] == 2
+        assert phases["X"] == 1 and phases["I"] == 1
+        x_event = next(event for event in events if event["ph"] == "X")
+        assert x_event["dur"] == 2_000 / 1e6
+        i_event = next(event for event in events if event["ph"] == "I")
+        assert i_event["s"] == "t"
+
+    def test_timestamps_are_microseconds_and_exact(self):
+        bus = _bus()
+        bus.instant("tick", ts_ps=5)
+        events = chrome_trace_events(bus.records)
+        tick = next(event for event in events if event["name"] == "tick")
+        assert tick["ts"] == 5e-06  # 5 ps exactly, no float noise
+
+    def test_args_carry_span_id_parent_and_attrs(self):
+        events = chrome_trace_events(_sample_bus().records)
+        begin = next(event for event in events
+                     if event["ph"] == "B" and event["name"] == "engine.run")
+        assert begin["args"]["span_id"] == 0
+        assert begin["args"]["device"] == "device-a"
+        child = next(event for event in events
+                     if event["name"] == "engine.dispatch"
+                     and event["ph"] == "B")
+        assert child["args"]["parent"] == 0
+
+
+class TestTracks:
+    def test_pid_from_device_attr_tid_from_name_head(self):
+        events = chrome_trace_events(_sample_bus().records)
+        processes = {event["args"]["name"]: event["pid"]
+                     for event in events
+                     if event["ph"] == "M"
+                     and event["name"] == "process_name"}
+        assert "device-a" in processes
+        assert DEFAULT_PROCESS in processes
+        threads = {(event["pid"], event["args"]["name"])
+                   for event in events
+                   if event["ph"] == "M" and event["name"] == "thread_name"}
+        assert (processes["device-a"], "engine") in threads
+
+    def test_begin_end_balanced_per_track(self):
+        context = _traced_sweep_context()
+        events = chrome_trace_events(context.trace.records)
+        per_track: TallyCounter = TallyCounter()
+        for event in events:
+            track = (event["pid"], event["tid"])
+            if event["ph"] == "B":
+                per_track[track] += 1
+            elif event["ph"] == "E":
+                per_track[track] -= 1
+        assert all(count == 0 for count in per_track.values()), per_track
+
+    def test_unclosed_span_gets_synthetic_end(self):
+        bus = _bus()
+        bus.begin("engine.run")
+        bus._test_clock["now"] = 9_000
+        bus.instant("late")
+        events = chrome_trace_events(bus.records)
+        synthetic = [event for event in events
+                     if event["ph"] == "E"
+                     and event["args"].get("synthetic_end")]
+        assert len(synthetic) == 1
+        assert synthetic[0]["ts"] == 9_000 / 1e6  # closed at trace end
+
+
+class TestGoldenExport:
+    def test_valid_json_and_monotonic_ts(self):
+        context = _traced_sweep_context()
+        text = export_chrome_json(context.trace)
+        events = json.loads(text)
+        assert isinstance(events, list) and events
+        timestamps = [event["ts"] for event in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_byte_identical_across_runs(self):
+        first = export_chrome_json(_traced_sweep_context().trace)
+        second = export_chrome_json(_traced_sweep_context().trace)
+        assert first == second
+
+    def test_write_is_atomic_and_counts_events(self, tmp_path):
+        bus = _sample_bus()
+        target = tmp_path / "trace.json"
+        count = write_chrome_json(bus, str(target))
+        events = json.loads(target.read_text(encoding="utf-8"))
+        assert count == len(events)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_accepts_raw_record_list(self):
+        bus = _sample_bus()
+        assert export_chrome_json(bus.records) == export_chrome_json(bus)

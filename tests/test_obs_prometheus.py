@@ -1,0 +1,130 @@
+"""Prometheus exposition: shape, kind mapping, and determinism.
+
+The shape contract: exactly one ``# HELP`` and one ``# TYPE`` line per
+family, no duplicate series, counters carry the ``_total`` suffix,
+summaries expose quantile series plus ``_sum``/``_count``.
+"""
+
+import re
+from collections import Counter as TallyCounter
+
+from repro.obs.prometheus import (
+    QUANTILES,
+    to_prometheus_text,
+    write_prometheus_text,
+)
+from repro.runtime import MetricsRegistry
+
+_SERIES = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.increment("engine.events", 42)
+    registry.set_gauge("fleet.round-robin.utilization_mean", 0.71)
+    registry.set_gauge("fleet.least-loaded.utilization_mean", 0.66)
+    for sample in (100, 200, 300, 400, 1_000):
+        registry.observe("fleet.round-robin.latency_ps", sample)
+    return registry
+
+
+def _parse(text: str):
+    helps: TallyCounter = TallyCounter()
+    types: TallyCounter = TallyCounter()
+    series = []
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helps[line.split()[2]] += 1
+        elif line.startswith("# TYPE "):
+            types[line.split()[2]] += 1
+        else:
+            match = _SERIES.match(line)
+            assert match, f"unparseable exposition line: {line!r}"
+            series.append((match.group(1), match.group(2) or "",
+                           match.group(3)))
+    return helps, types, series
+
+
+class TestShape:
+    def test_help_and_type_once_per_family(self):
+        helps, types, _series = _parse(to_prometheus_text(_registry()))
+        assert helps and set(helps) == set(types)
+        assert all(count == 1 for count in helps.values())
+        assert all(count == 1 for count in types.values())
+
+    def test_no_duplicate_series(self):
+        _helps, _types, series = _parse(to_prometheus_text(_registry()))
+        keys = [(name, labels) for name, labels, _value in series]
+        assert len(keys) == len(set(keys))
+
+    def test_every_series_belongs_to_a_declared_family(self):
+        text = to_prometheus_text(_registry())
+        helps, _types, series = _parse(text)
+        for name, _labels, _value in series:
+            base = re.sub(r"_(sum|count)$", "", name)
+            assert name in helps or base in helps, name
+
+    def test_empty_registry_exposes_nothing(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestKindMapping:
+    def test_counter_total_suffix(self):
+        text = to_prometheus_text(_registry())
+        assert "# TYPE harmonia_events_total counter" in text
+        assert 'harmonia_events_total{path="engine"} 42' in text
+
+    def test_gauge_with_path_label(self):
+        text = to_prometheus_text(_registry())
+        assert "# TYPE harmonia_utilization_mean gauge" in text
+        assert ('harmonia_utilization_mean{path="fleet.round-robin"} 0.71'
+                in text)
+
+    def test_summary_quantiles_sum_count(self):
+        text = to_prometheus_text(_registry())
+        assert "# TYPE harmonia_latency_ps summary" in text
+        for quantile in QUANTILES:
+            assert f'quantile="{quantile:g}"' in text
+        assert ('harmonia_latency_ps_sum{path="fleet.round-robin"} 2000'
+                in text)
+        assert ('harmonia_latency_ps_count{path="fleet.round-robin"} 5'
+                in text)
+
+    def test_empty_histogram_exposes_zero_sum_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("engine.idle_ps")
+        text = to_prometheus_text(registry)
+        assert 'harmonia_idle_ps_sum{path="engine"} 0' in text
+        assert 'harmonia_idle_ps_count{path="engine"} 0' in text
+        assert "quantile" not in text
+
+    def test_kind_collision_keeps_both_families(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("a.depth", 3)
+        registry.increment("b.depth", 2)
+        helps, _types, series = _parse(to_prometheus_text(registry))
+        names = {name for name, _labels, _value in series}
+        assert len(names) == 2  # one family per kind, both exposed
+        assert all(count == 1 for count in helps.values())
+
+
+class TestDeterminismAndSanitising:
+    def test_byte_identical_for_identical_registries(self):
+        assert (to_prometheus_text(_registry())
+                == to_prometheus_text(_registry()))
+
+    def test_hyphenated_paths_stay_in_labels(self):
+        text = to_prometheus_text(_registry())
+        # The hyphen lives in the label value, never the family name.
+        assert 'path="fleet.round-robin"' in text
+        for line in text.splitlines():
+            name = line.split("{")[0].split()[-1 if "#" in line else 0]
+            assert "-" not in name.split("{")[0]
+
+    def test_write_is_atomic(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        lines = write_prometheus_text(_registry(), str(target))
+        body = target.read_text(encoding="utf-8")
+        assert lines == body.count("\n")
+        assert body == to_prometheus_text(_registry())
+        assert not list(tmp_path.glob("*.tmp"))

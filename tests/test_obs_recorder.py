@@ -1,0 +1,176 @@
+"""Flight recorder and TraceBus ring/streaming properties.
+
+The load-bearing invariants, property-tested with hypothesis:
+
+* a bounded bus retains exactly the *last N* records an unbounded bus
+  would hold (and counts the rest as dropped);
+* a streaming sink reproduces ``export_jsonl`` byte for byte, with or
+  without a ring cap in front of it.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.recorder import FlightRecorder
+from repro.runtime.trace import TraceBus, dumps_record
+
+# One trace "operation": (kind, name-index, ts). Spans open and close
+# immediately -- nesting is exercised separately in test_runtime_trace.
+_OPS = st.lists(
+    st.tuples(st.sampled_from(("span", "instant", "complete")),
+              st.integers(min_value=0, max_value=4),
+              st.integers(min_value=0, max_value=10_000)),
+    max_size=60,
+)
+
+
+def _drive(bus: TraceBus, ops) -> None:
+    for kind, name_index, ts in ops:
+        name = f"op.{name_index}"
+        if kind == "span":
+            span = bus.begin(name, ts_ps=ts)
+            bus.end(span, ts_ps=ts + 5)
+        elif kind == "instant":
+            bus.instant(name, ts_ps=ts)
+        else:
+            bus.complete(name, ts, ts + 7)
+
+
+class TestRingBufferProperties:
+    @given(ops=_OPS, cap=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_bus_keeps_exactly_last_n(self, ops, cap):
+        unbounded = TraceBus(clock_ps=lambda: 0, enabled=True)
+        bounded = TraceBus(clock_ps=lambda: 0, enabled=True,
+                           max_records=cap)
+        _drive(unbounded, ops)
+        _drive(bounded, ops)
+        full = unbounded.records
+        tail = full[-cap:] if cap else []
+        assert bounded.records == tail
+        assert bounded.dropped_records == len(full) - len(tail)
+        assert bounded.total_records == len(full)
+
+    @given(ops=_OPS, cap=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_sink_matches_batch_export(self, ops, cap):
+        unbounded = TraceBus(clock_ps=lambda: 0, enabled=True)
+        _drive(unbounded, ops)
+        streamed: list = []
+        bounded = TraceBus(clock_ps=lambda: 0, enabled=True,
+                           max_records=cap)
+        bounded.add_sink(lambda line: streamed.append(line + "\n"))
+        _drive(bounded, ops)
+        assert "".join(streamed) == unbounded.export_jsonl()
+
+    @given(ops=_OPS, cap=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_records_mid_run_matches_construction(self, ops, cap):
+        constructed = TraceBus(clock_ps=lambda: 0, enabled=True,
+                               max_records=cap)
+        _drive(constructed, ops)
+        limited = TraceBus(clock_ps=lambda: 0, enabled=True)
+        _drive(limited, ops)
+        limited.limit_records(cap)
+        assert limited.records == constructed.records
+        assert limited.dropped_records == constructed.dropped_records
+
+
+class TestFlightRecorder:
+    def _bus(self) -> TraceBus:
+        return TraceBus(clock_ps=lambda: 0, enabled=True)
+
+    def test_streams_byte_identical_to_unbounded_export(self, tmp_path):
+        reference = self._bus()
+        _drive(reference, [("span", 0, 10), ("instant", 1, 20),
+                           ("complete", 2, 30)] * 40)
+        target = tmp_path / "trace.jsonl"
+        bus = self._bus()
+        with FlightRecorder(bus, str(target), ring=8) as recorder:
+            _drive(bus, [("span", 0, 10), ("instant", 1, 20),
+                         ("complete", 2, 30)] * 40)
+        assert target.read_text(encoding="utf-8") == reference.export_jsonl()
+        assert recorder.records_written == reference.total_records
+        assert len(bus) == 8  # resident capped while the file is complete
+
+    def test_backfills_records_emitted_before_attach(self, tmp_path):
+        bus = self._bus()
+        bus.instant("early", ts_ps=1)
+        target = tmp_path / "trace.jsonl"
+        with FlightRecorder(bus, str(target)):
+            bus.instant("late", ts_ps=2)
+        lines = target.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == [
+            "early", "late"]
+
+    def test_file_appears_only_on_clean_close(self, tmp_path):
+        bus = self._bus()
+        target = tmp_path / "trace.jsonl"
+        recorder = FlightRecorder(bus, str(target))
+        recorder.start()
+        bus.instant("tick", ts_ps=1)
+        assert not target.exists()  # still streaming into the tempfile
+        assert recorder.active
+        recorder.close()
+        assert target.exists()
+        assert not recorder.active
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crash_keeps_previous_trace_and_no_tmp(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        target.write_text("previous run\n", encoding="utf-8")
+        bus = self._bus()
+        with pytest.raises(RuntimeError):
+            with FlightRecorder(bus, str(target)):
+                bus.instant("doomed", ts_ps=1)
+                raise RuntimeError("run died")
+        assert target.read_text(encoding="utf-8") == "previous run\n"
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not bus._sinks  # sink detached even on the failure path
+
+    def test_double_start_rejected(self, tmp_path):
+        recorder = FlightRecorder(self._bus(),
+                                  str(tmp_path / "trace.jsonl"))
+        recorder.start()
+        with pytest.raises(RuntimeError):
+            recorder.start()
+        recorder.close()
+
+    def test_ring_none_leaves_residency_unbounded(self, tmp_path):
+        bus = self._bus()
+        with FlightRecorder(bus, str(tmp_path / "trace.jsonl")):
+            _drive(bus, [("instant", 0, 1)] * 50)
+        assert len(bus) == 50
+        assert bus.max_records is None
+
+
+class TestAtomicWriteJsonl:
+    def test_write_jsonl_replaces_atomically(self, tmp_path):
+        bus = TraceBus(clock_ps=lambda: 0, enabled=True)
+        bus.instant("tick", ts_ps=3)
+        target = tmp_path / "out.jsonl"
+        target.write_text("stale\n", encoding="utf-8")
+        count = bus.write_jsonl(str(target))
+        assert count == 1
+        assert target.read_text(encoding="utf-8") == (
+            dumps_record(bus.records[0]) + "\n")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_write_keeps_previous_file(self, tmp_path, monkeypatch):
+        bus = TraceBus(clock_ps=lambda: 0, enabled=True)
+        bus.instant("tick", ts_ps=3)
+        target = tmp_path / "out.jsonl"
+        target.write_text("previous\n", encoding="utf-8")
+
+        def exploding_replace(_src, _dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            bus.write_jsonl(str(target))
+        monkeypatch.undo()
+        assert target.read_text(encoding="utf-8") == "previous\n"
+        assert not list(tmp_path.glob("*.tmp"))
