@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet bench-obs report examples lint all
+.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet bench-obs bench-build report examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -24,6 +24,9 @@ bench-fleet:
 
 bench-obs:
 	$(PYTHON) benchmarks/obs_smoke.py
+
+bench-build:
+	$(PYTHON) benchmarks/build_smoke.py
 
 report:
 	$(PYTHON) -m repro.cli report

@@ -132,6 +132,18 @@ def load_obs_baseline(
     return load_perf_baseline(path or default_obs_baseline_path())
 
 
+def default_build_baseline_path() -> pathlib.Path:
+    """Where ``make bench-build`` leaves the build-farm timings."""
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_build.json"
+
+
+def load_build_baseline(
+    path: Optional[pathlib.Path] = None,
+) -> Optional[Dict[str, Any]]:
+    """The build-farm naive/cold/warm timings, if recorded."""
+    return load_perf_baseline(path or default_build_baseline_path())
+
+
 def load_perf_baseline(
     path: Optional[pathlib.Path] = None,
 ) -> Optional[Dict[str, Any]]:
@@ -229,4 +241,8 @@ def build_report(results_dir: Optional[pathlib.Path] = None) -> str:
     if obs is not None:
         lines.extend(_baseline_lines(
             "OBSERVABILITY BASELINE (benchmarks/obs_smoke.py)", obs))
+    build = load_build_baseline()
+    if build is not None:
+        lines.extend(_baseline_lines(
+            "BUILD FARM BASELINE (benchmarks/build_smoke.py)", build))
     return "\n".join(lines) + "\n"

@@ -23,6 +23,11 @@ Gives operators the day-to-day views the library computes:
 * ``fleet`` -- shard millions of Zipf-skewed flows across the
   production fleet under several load-balancing policies (``--slo``
   evaluates service objectives and exits nonzero on violations);
+* ``build --workers N --cache-dir DIR`` -- compile the fleet's
+  device x role matrix through the parallel content-addressed
+  :class:`repro.runtime.buildfarm.BuildFarm` (warm reruns are served
+  from the artifact store; manifests are byte-identical at any worker
+  count);
 * ``report`` -- collate benchmark artifacts into one reproduction report.
 """
 
@@ -297,6 +302,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.runtime import SimContext
+    from repro.runtime.buildfarm import (ArtifactStore, BuildFarm, BuildPlan,
+                                         fleet_build_plan)
+
+    if args.devices:
+        from repro.platform.catalog import resolve_device
+
+        for device in args.devices:
+            resolve_device(device)      # fail fast on unknown names
+        for app in (args.apps or ()):
+            _app_by_name(app)
+        apps = tuple(args.apps) if args.apps else tuple(
+            app.name for app in all_applications())
+        plan = BuildPlan(devices=tuple(args.devices), roles=apps,
+                         effort=args.effort)
+    else:
+        plan = fleet_build_plan(year=args.year, roles=args.apps,
+                                effort=args.effort)
+    context = SimContext(name="buildfarm", trace=True)
+    store = ArtifactStore(args.cache_dir)
+    farm = BuildFarm(plan, workers=args.workers, store=store,
+                     use_cache=not args.no_cache, context=context)
+    start = time.perf_counter()
+    report = farm.run()
+    elapsed = time.perf_counter() - start
+    rows = [
+        (result.target.role, result.target.device, result.status,
+         result.build_key[:12] if result.build_key else "-",
+         f"{result.wall_s * 1e3:.1f}" if result.status == "built" else "-")
+        for result in report.targets
+    ]
+    print(format_table(
+        ["role", "device", "status", "key", "build ms"], rows,
+        title=(f"Build farm: {len(report)} targets, {args.workers} worker(s), "
+               f"{report.built} built / {report.shared} shared / "
+               f"{report.cached} cached / {report.failed} failed / "
+               f"{report.incompatible} incompatible"),
+    ))
+    print(f"# {elapsed:.3f}s wall, {store.hits} store hits, "
+          f"{report.tailor_memo_hits} tailor-memo hits", file=sys.stderr)
+    if args.manifests_out:
+        with open(args.manifests_out, "w", encoding="utf-8",
+                  newline="\n") as handle:
+            handle.write(report.manifests_jsonl())
+        print(f"# wrote manifests to {args.manifests_out}", file=sys.stderr)
+    if args.json:
+        payload = report.to_json()
+        payload["elapsed_s"] = round(elapsed, 3)
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote build report to {args.json}", file=sys.stderr)
+    if args.trace_out:
+        if args.trace_format == "chrome":
+            from repro.obs.chrome import export_chrome_json
+
+            payload_text = export_chrome_json(context.trace)
+        else:
+            payload_text = context.trace.export_jsonl()
+        with open(args.trace_out, "w", encoding="utf-8",
+                  newline="\n") as handle:
+            handle.write(payload_text)
+        print(f"# wrote build trace to {args.trace_out}", file=sys.stderr)
+    if args.slo:
+        from repro.obs.slo import SloMonitor, default_build_slos
+
+        monitor = (SloMonitor(default_build_slos()) if args.slo == "default"
+                   else SloMonitor.load(args.slo))
+        slo_report = monitor.evaluate(context.metrics, trace=context.trace)
+        print(slo_report.format())
+        return slo_report.exit_code
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.runtime import SimContext
     from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
@@ -471,6 +551,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check results against SLO specs: a JSON file "
                             "or 'default'; violations exit with code 4")
 
+    build = commands.add_parser(
+        "build", help="compile the fleet's device x role matrix in parallel")
+    build.add_argument("--devices", nargs="+",
+                       help="device names (default: the production fleet's "
+                            "active types for --year)")
+    build.add_argument("--apps", nargs="+",
+                       help="application roles (default: all five)")
+    build.add_argument("--year", type=int, default=2024,
+                       help="fleet deployment year when --devices is not "
+                            "given (default 2024)")
+    build.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    build.add_argument("--effort", type=int, default=0,
+                       help="modelled CAD compile effort (0 = skip the "
+                            "compile model's iteration loop)")
+    build.add_argument("--cache-dir",
+                       help="content-addressed artifact store directory "
+                            "(default: in-memory, this run only)")
+    build.add_argument("--no-cache", action="store_true",
+                       help="bypass the artifact store")
+    build.add_argument("--manifests-out",
+                       help="write the deterministic manifests JSONL here")
+    build.add_argument("--json", help="write the build report JSON here")
+    build.add_argument("--trace-out",
+                       help="write the build Gantt trace here")
+    build.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                       default="jsonl",
+                       help="jsonl (native records) or chrome "
+                            "(trace_event JSON for chrome://tracing)")
+    build.add_argument("--slo",
+                       help="check build metrics against SLO specs: a JSON "
+                            "file or 'default'; violations exit with code 4")
+
     fleet = commands.add_parser(
         "fleet", help="serve Zipf-skewed flows across the production fleet")
     fleet.add_argument("--flows", type=int, default=1_000_000,
@@ -516,6 +629,7 @@ _HANDLERS = {
     "metrics": cmd_metrics,
     "profile": cmd_profile,
     "sweep": cmd_sweep,
+    "build": cmd_build,
     "fleet": cmd_fleet,
     "report": cmd_report,
 }

@@ -29,7 +29,14 @@ from repro.platform.device import FpgaDevice
 
 @dataclass
 class TailoredShell:
-    """A role-specific shell instance produced by hierarchical tailoring."""
+    """A role-specific shell instance produced by hierarchical tailoring.
+
+    The derived totals (:meth:`resources`, :meth:`loc`,
+    :meth:`native_config_item_count`) are memoised on first computation:
+    a shell is effectively frozen once tailoring returns it, while
+    reports and fitting checks read the same totals many times over --
+    each a full O(modules) re-sum without the cache.
+    """
 
     device: FpgaDevice
     role: Role
@@ -39,27 +46,41 @@ class TailoredShell:
     shell_oriented_properties: List[str]
 
     _wrapper: InterfaceWrapper = field(default_factory=InterfaceWrapper, repr=False)
+    _resources_memo: Optional[ResourceUsage] = field(
+        default=None, init=False, repr=False, compare=False)
+    _loc_memo: Optional[LocInventory] = field(
+        default=None, init=False, repr=False, compare=False)
+    _native_config_memo: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def modules(self) -> List[VendorIp]:
         return [rbb.instance for rbb in self.rbbs.values()] + list(self.management)
 
     def resources(self) -> ResourceUsage:
-        from repro.core.shell import SHELL_INFRASTRUCTURE
+        if self._resources_memo is None:
+            from repro.core.shell import SHELL_INFRASTRUCTURE
 
-        total = ResourceUsage.total(rbb.resources() for rbb in self.rbbs.values())
-        management = ResourceUsage.total(ip.resources for ip in self.management)
-        return total + management + SHELL_INFRASTRUCTURE
+            total = ResourceUsage.total(rbb.resources() for rbb in self.rbbs.values())
+            management = ResourceUsage.total(ip.resources for ip in self.management)
+            self._resources_memo = total + management + SHELL_INFRASTRUCTURE
+        return self._resources_memo
 
     def loc(self) -> LocInventory:
-        from repro.core.shell import SHELL_INFRASTRUCTURE_LOC
+        if self._loc_memo is None:
+            from repro.core.shell import SHELL_INFRASTRUCTURE_LOC
 
-        total = LocInventory.total_of(rbb.loc() for rbb in self.rbbs.values())
-        total = total + LocInventory.total_of(ip.loc for ip in self.management)
-        return total + SHELL_INFRASTRUCTURE_LOC
+            total = LocInventory.total_of(rbb.loc() for rbb in self.rbbs.values())
+            total = total + LocInventory.total_of(ip.loc for ip in self.management)
+            self._loc_memo = total + SHELL_INFRASTRUCTURE_LOC
+        return self._loc_memo
 
     def native_config_item_count(self) -> int:
         """What the role would configure without property tailoring."""
-        return sum(rbb.native_config_item_count() for rbb in self.rbbs.values())
+        if self._native_config_memo is None:
+            self._native_config_memo = sum(
+                rbb.native_config_item_count() for rbb in self.rbbs.values()
+            )
+        return self._native_config_memo
 
     def role_config_item_count(self) -> int:
         """What the role actually configures after property tailoring."""
@@ -77,6 +98,65 @@ class TailoredShell:
             f"TailoredShell(role={self.role.name!r}, device={self.device.name!r}, "
             f"rbbs=[{rbb_list}])"
         )
+
+
+def tailor_signature(device: FpgaDevice, demands: RoleDemands) -> Dict[str, object]:
+    """The pure inputs of hierarchical tailoring, as canonical JSON data.
+
+    Tailoring is a deterministic function of the target hardware and the
+    role's demands -- it never reads the device *name*.  Two devices
+    with identical chips, boards, and peripheral populations therefore
+    produce identical tailored shells for the same role, and the build
+    farm uses this signature to tailor such shells once and fan the
+    result out across device variants.
+
+    The returned mapping contains only canonically serialisable values
+    (see :func:`repro.adapters.toolchain.canonical_json`), so it can be
+    hashed into a stable content key.
+    """
+    return {
+        "chip": device.chip,
+        "family": device.family.name,
+        "chip_vendor": device.chip_vendor.value,
+        "board_vendor": device.board_vendor.value,
+        "budget": {
+            "lut": device.budget.lut,
+            "ff": device.budget.ff,
+            "bram_36k": device.budget.bram_36k,
+            "uram": device.budget.uram,
+            "dsp": device.budget.dsp,
+        },
+        "peripherals": sorted(
+            (
+                {
+                    "kind": peripheral.kind.value,
+                    "count": peripheral.count,
+                    "capacity_gib": peripheral.capacity_gib,
+                    "pcie_generation": (
+                        int(peripheral.pcie_generation)
+                        if peripheral.pcie_generation is not None else 0
+                    ),
+                    "pcie_lanes": peripheral.pcie_lanes,
+                }
+                for peripheral in device.peripherals
+            ),
+            key=lambda entry: (entry["kind"], entry["count"],
+                               entry["capacity_gib"], entry["pcie_generation"],
+                               entry["pcie_lanes"]),
+        ),
+        "demands": {
+            "network_gbps": demands.network_gbps,
+            "memory_bandwidth_gibps": demands.memory_bandwidth_gibps,
+            "memory_capacity_gib": demands.memory_capacity_gib,
+            "host_gbps": demands.host_gbps,
+            "bulk_dma": demands.bulk_dma,
+            "tenants": demands.tenants,
+            "needs_multicast": demands.needs_multicast,
+            "needs_flow_steering": demands.needs_flow_steering,
+            "needs_hot_cache": demands.needs_hot_cache,
+            "user_clock_mhz": demands.user_clock_mhz,
+        },
+    }
 
 
 class HierarchicalTailor:

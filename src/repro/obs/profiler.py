@@ -5,7 +5,9 @@ clock) tells you what the *modelled hardware* did; it says nothing about
 where the *simulator process* spends its wall-clock.  This module is the
 second ledger: named phase timers around the stack's hot regions --
 the engine dispatch loop, the vector kernel, sweep point execution,
-fleet policy evaluation -- aggregated into a cumulative/self-time table
+fleet policy evaluation, the build farm's planning and per-step
+execution (``buildfarm.plan`` / ``buildfarm.build`` /
+``buildfarm.step``) -- aggregated into a cumulative/self-time table
 (``python -m repro.cli profile``).
 
 The two ledgers never mix: the profiler reads ``time.perf_counter``

@@ -275,6 +275,28 @@ def default_fleet_slos(p99_ns: float = 400_000.0,
     ]
 
 
+def default_build_slos(target_p99_s: float = 300.0,
+                       step_p99_s: float = 120.0) -> List[SloSpec]:
+    """The stock objectives for a ``repro.cli build`` run.
+
+    * no build *failures* -- tailoring-incompatible (device, role) pairs
+      are counted separately (``build.incompatible``) and are a property
+      of the matrix, not a regression, so they do not breach;
+    * p99 whole-target build time stays under ``target_p99_s``;
+    * p99 of every individual step stays under ``step_p99_s``.
+
+    Times compare against the ``build.*.wall_ps`` histograms the farm
+    publishes, so the bounds are converted to picoseconds here.
+    """
+    return [
+        SloSpec(name="build-failures", metric="build.failed", upper=0.0),
+        SloSpec(name="build-target-p99", metric="build.target.wall_ps",
+                upper=target_p99_s * 1e12),
+        SloSpec(name="build-step-p99", metric="build.step.*.wall_ps",
+                upper=step_p99_s * 1e12),
+    ]
+
+
 def registry_from_sweep(result: Any) -> MetricsRegistry:
     """Summarise a :class:`~repro.runtime.sweep.SweepResult` as metrics.
 

@@ -239,3 +239,25 @@ def device_by_name(name: str) -> FpgaDevice:
     except KeyError:
         known = ", ".join(sorted(_CATALOG))
         raise KeyError(f"unknown device {name!r}; catalog has: {known}") from None
+
+
+def resolve_device(name: str) -> FpgaDevice:
+    """Resolve a device name, accepting fleet-history variant names.
+
+    The deployment history (:mod:`repro.platform.fleet`) names device
+    *revisions* the catalog does not model separately -- board respins
+    (``device-b-rev2``) and speed grades (``device-a-100g``,
+    ``device-c-400g``) share the base type's chip, shell, and toolchain.
+    Those resolve to their base catalog entry by stripping one dashed
+    suffix; exact catalog names resolve directly.  Unknown names raise
+    ``KeyError`` listing the catalog, like :func:`device_by_name`.
+    """
+    device = _CATALOG.get(name)
+    if device is not None:
+        return device
+    stem, _, suffix = name.rpartition("-")
+    if stem and suffix:
+        device = _CATALOG.get(stem)
+        if device is not None:
+            return device
+    return device_by_name(name)   # raises with the catalog listing

@@ -61,6 +61,15 @@ class FleetHistory:
         ]
         return sorted(active, key=lambda item: (item.year, item.device_name))
 
+    def active_device_names(self, year: int) -> List[str]:
+        """Sorted distinct device types active in ``year``.
+
+        The build farm expands this list against the role mix into its
+        device x role build matrix, so the order must be deterministic.
+        """
+        return sorted({item.device_name
+                       for item in self.active_introductions(year)})
+
     def device_type_count(self, year: int) -> int:
         """Distinct device types active in ``year`` (heterogeneity)."""
         active = {

@@ -46,7 +46,36 @@ from repro.runtime.sweep import (
 )
 from repro.runtime.trace import Span, TraceBus
 
+# The build farm reaches back into ``core``/``adapters``, which
+# themselves import the runtime primitives above -- importing it eagerly
+# here would close an import cycle before SimContext exists.  Its names
+# resolve lazily on first attribute access instead (PEP 562).
+_BUILDFARM_EXPORTS = frozenset({
+    "ArtifactStore",
+    "BuildFarm",
+    "BuildPlan",
+    "BuildReport",
+    "BuildTarget",
+    "TargetResult",
+    "fleet_build_plan",
+    "run_build_plan",
+})
+
+
+def __getattr__(name: str):
+    if name in _BUILDFARM_EXPORTS:
+        from repro.runtime import buildfarm
+
+        return getattr(buildfarm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ArtifactStore",
+    "BuildFarm",
+    "BuildPlan",
+    "BuildReport",
+    "BuildTarget",
     "ClockRegistry",
     "CounterDictView",
     "FleetResult",
@@ -65,12 +94,15 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
+    "TargetResult",
     "TenantStats",
     "TraceBus",
     "chain_signature",
     "current_context",
     "ensure_context",
+    "fleet_build_plan",
     "isolated_context_stack",
+    "run_build_plan",
     "run_fleet",
     "run_plan",
     "sweep_cache_key",

@@ -151,6 +151,52 @@ class TestSweep:
         assert "error:" in capsys.readouterr().err
 
 
+class TestBuild:
+    BASE = ["build", "--devices", "device-a", "device-b-rev2",
+            "--apps", "sec-gateway", "board-test"]
+
+    def test_prints_target_table(self, capsys):
+        assert main(self.BASE) == 0
+        captured = capsys.readouterr()
+        assert "4 targets" in captured.out
+        assert "built" in captured.out
+        assert "tailor-memo hits" in captured.err
+
+    def test_variant_devices_share_builds(self, capsys):
+        assert main(self.BASE) == 0
+        assert "shared" in capsys.readouterr().out
+
+    def test_cache_dir_makes_the_rerun_warm(self, capsys, tmp_path):
+        import json
+
+        args = self.BASE + ["--cache-dir", str(tmp_path / "store"),
+                            "--json", str(tmp_path / "build.json")]
+        assert main(args) == 0
+        cold = json.loads((tmp_path / "build.json").read_text())
+        assert main(args) == 0
+        warm = json.loads((tmp_path / "build.json").read_text())
+        statuses = [target["status"] for target in warm["targets"]]
+        assert statuses == ["cached"] * 4
+        for before, after in zip(cold["targets"], warm["targets"]):
+            assert before["checksum"] == after["checksum"]
+
+    def test_manifests_and_trace_artifacts(self, capsys, tmp_path):
+        manifests = tmp_path / "manifests.jsonl"
+        trace = tmp_path / "build.trace.jsonl"
+        assert main(self.BASE + ["--manifests-out", str(manifests),
+                                 "--trace-out", str(trace)]) == 0
+        assert manifests.read_text().count("\n") == 4
+        assert '"build.target"' in trace.read_text()
+
+    def test_default_slos_pass(self, capsys):
+        assert main(self.BASE + ["--slo", "default"]) == 0
+        assert "all objectives met" in capsys.readouterr().out
+
+    def test_unknown_device_errors(self, capsys):
+        assert main(["build", "--devices", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_is_usage_error(self):
         with pytest.raises(SystemExit):

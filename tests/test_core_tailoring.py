@@ -125,3 +125,52 @@ class TestResourceReduction:
             tailored = app.tailored_shell(DEVICE_A).resources()
             reduction = reduction_fraction(unified, tailored)["lut"]
             assert 0.03 <= reduction <= 0.27, (app.name, reduction)
+
+
+class TestMemoisedTotals:
+    def test_derived_totals_are_computed_once(self):
+        shell = tailor(DEVICE_A, make_role(network_gbps=100.0, host_gbps=16.0))
+        assert shell.resources() is shell.resources()
+        assert shell.loc() is shell.loc()
+        first = shell.native_config_item_count()
+        assert shell.native_config_item_count() == first
+        assert shell._native_config_memo == first
+
+    def test_memo_matches_a_fresh_recomputation(self):
+        role = make_role(network_gbps=100.0, host_gbps=16.0)
+        warmed = tailor(DEVICE_A, role)
+        warmed.resources(), warmed.loc()              # populate memos
+        fresh = tailor(DEVICE_A, role)
+        assert warmed.resources() == fresh.resources()
+        assert warmed.loc().total == fresh.loc().total
+
+
+class TestTailorSignature:
+    def test_signature_is_canonically_serialisable(self):
+        from repro.adapters.toolchain import canonical_json
+        from repro.core.tailoring import tailor_signature
+
+        role = make_role(network_gbps=100.0, host_gbps=16.0)
+        payload = canonical_json(tailor_signature(DEVICE_A, role.demands))
+        assert payload == canonical_json(
+            tailor_signature(DEVICE_A, role.demands))
+
+    def test_signature_ignores_the_device_name(self):
+        import dataclasses
+
+        from repro.core.tailoring import tailor_signature
+
+        role = make_role(network_gbps=100.0, host_gbps=16.0)
+        renamed = dataclasses.replace(DEVICE_A, name="device-a-rev9")
+        assert tailor_signature(DEVICE_A, role.demands) == \
+            tailor_signature(renamed, role.demands)
+
+    def test_signature_varies_with_demands_and_hardware(self):
+        from repro.core.tailoring import tailor_signature
+
+        base = make_role(network_gbps=100.0, host_gbps=16.0)
+        other = make_role(network_gbps=100.0, host_gbps=16.0, tenants=4)
+        assert tailor_signature(DEVICE_A, base.demands) != \
+            tailor_signature(DEVICE_A, other.demands)
+        assert tailor_signature(DEVICE_A, base.demands) != \
+            tailor_signature(DEVICE_C, base.demands)

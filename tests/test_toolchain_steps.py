@@ -1,0 +1,167 @@
+"""Resumable toolchain steps, canonical hashing, and the compile model."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.adapters.toolchain import (
+    BUILD_STEP_NAMES,
+    BitstreamPackage,
+    BuildFlow,
+    canonical_json,
+    compile_cost_units,
+    module_inventory,
+    run_compile_model,
+)
+from repro.apps import application_by_name
+from repro.errors import ConfigurationError, DeploymentError
+from repro.metrics.resources import ResourceUsage
+from repro.platform.catalog import device_by_name
+
+
+def _shell(device_name="device-a", app_name="board-test"):
+    device = device_by_name(device_name)
+    return device, application_by_name(app_name).tailored_shell(device)
+
+
+class TestCanonicalJson:
+    def test_sorted_compact_and_stable(self):
+        assert canonical_json({"b": 1, "a": [True, None, 1.5]}) == \
+            '{"a":[true,null,1.5],"b":1}'
+
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"a": 1, "b": 2}) == \
+            canonical_json({"b": 2, "a": 1})
+
+    def test_rejects_unknown_types_naming_the_path(self):
+        with pytest.raises(ConfigurationError, match=r"\$\.config\[1\]"):
+            canonical_json({"config": [1, object()]})
+
+    def test_rejects_non_string_dict_keys(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({1: "x"})
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"fmax": math.nan})
+        with pytest.raises(ConfigurationError):
+            canonical_json([math.inf])
+
+    def test_package_checksum_rejects_non_canonical_config(self):
+        # Regression: the old encoder used ``default=str``, silently
+        # coercing unknown objects into strings inside the checksum.
+        device, shell = _shell()
+        modules = shell.modules()
+        total = ResourceUsage.total(ip.resources for ip in modules)
+        with pytest.raises(ConfigurationError):
+            BitstreamPackage.build(device, modules, total,
+                                   {"bad": object()}, {})
+
+    def test_package_checksum_is_key_order_independent(self):
+        device, shell = _shell()
+        modules = shell.modules()
+        total = ResourceUsage.total(ip.resources for ip in modules)
+        one = BitstreamPackage.build(device, modules, total,
+                                     {"a": 1, "b": 2}, {})
+        two = BitstreamPackage.build(device, modules, total,
+                                     {"b": 2, "a": 1}, {})
+        assert one.checksum == two.checksum
+
+
+class TestModuleInventory:
+    def test_inventory_is_order_independent(self):
+        _device, shell = _shell()
+        modules = shell.modules()
+        assert module_inventory(modules) == \
+            module_inventory(list(reversed(modules)))
+
+    def test_inventory_carries_names_and_dependencies(self):
+        _device, shell = _shell()
+        inventory = module_inventory(shell.modules())
+        assert all(set(entry) == {"name", "dependencies"}
+                   for entry in inventory)
+        names = [entry["name"] for entry in inventory]
+        assert names == sorted(names)
+
+
+class TestCompileModel:
+    def test_zero_effort_skips_the_iteration_loop(self):
+        report = run_compile_model("ab" * 32, units=100, effort=0)
+        assert report.iterations == 0
+        assert 350.0 <= report.fmax_mhz < 550.0
+
+    def test_model_is_deterministic(self):
+        one = run_compile_model("12" * 32, units=40, effort=3)
+        two = run_compile_model("12" * 32, units=40, effort=3)
+        assert one == two
+        assert one.iterations == 120
+
+    def test_seed_changes_the_outputs(self):
+        one = run_compile_model("11" * 32, units=40, effort=3)
+        two = run_compile_model("22" * 32, units=40, effort=3)
+        assert (one.fmax_mhz, one.congestion) != (two.fmax_mhz, two.congestion)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_compile_model("ab", units=-1, effort=0)
+
+    def test_cost_units_grow_with_module_count(self):
+        _device, shell = _shell()
+        modules = shell.modules()
+        total = ResourceUsage.total(ip.resources for ip in modules)
+        assert compile_cost_units(modules, total) > \
+            compile_cost_units(modules[:1], modules[0].resources)
+
+
+class TestResumableSteps:
+    def test_compile_chains_the_steps_with_timings(self):
+        device, shell = _shell()
+        outcome = BuildFlow(device).compile("proj", shell.modules())
+        assert [timing.step for timing in outcome.step_timings] == \
+            list(BUILD_STEP_NAMES)
+        assert all(timing.wall_s >= 0.0 for timing in outcome.step_timings)
+        assert outcome.bundle.bitstream.checksum
+        assert outcome.timing_report.iterations == 0
+
+    def test_build_keeps_the_one_call_surface(self):
+        device, shell = _shell()
+        bundle = BuildFlow(device).build("proj", shell.modules())
+        outcome = BuildFlow(device).compile("proj", shell.modules())
+        assert bundle.bitstream.checksum == outcome.bundle.bitstream.checksum
+
+    def test_inspect_raises_deployment_error_on_conflict(self):
+        device, shell = _shell()
+        modules = shell.modules()
+        broken = dataclasses.replace(
+            modules[0], dependencies={"tool": "some-other-cad"})
+        with pytest.raises(DeploymentError, match="dependency inspection"):
+            BuildFlow(device).step_inspect("proj", [broken] + modules[1:])
+
+    def test_fit_raises_deployment_error_when_over_budget(self):
+        device, shell = _shell()
+        oversize = ResourceUsage(lut=device.budget.lut + 1)
+        with pytest.raises(DeploymentError, match="does not fit"):
+            BuildFlow(device).step_fit("proj", shell.modules(),
+                                       extra_resources=oversize)
+
+    def test_fit_returns_total_including_extras(self):
+        device, shell = _shell()
+        modules = shell.modules()
+        extra = ResourceUsage(lut=1_000)
+        total, report = BuildFlow(device).step_fit("proj", modules,
+                                                   extra_resources=extra)
+        bare = ResourceUsage.total(ip.resources for ip in modules)
+        assert total.lut == bare.lut + 1_000
+        assert report.units == compile_cost_units(modules, total)
+
+    def test_effort_feeds_the_model_not_the_checksum(self):
+        device, shell = _shell()
+        modules = shell.modules()
+        flow = BuildFlow(device)
+        _, fast = flow.step_fit("proj", modules, effort=0)
+        _, slow = flow.step_fit("proj", modules, effort=2)
+        assert slow.iterations > fast.iterations == 0
+        bundle_fast = flow.step_package("proj", modules, ResourceUsage())
+        bundle_slow = flow.step_package("proj", modules, ResourceUsage())
+        assert bundle_fast.bitstream.checksum == bundle_slow.bitstream.checksum
