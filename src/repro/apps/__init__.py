@@ -29,12 +29,15 @@ def application_by_name(name: str) -> CloudApplication:
 
     Sweep workers reconstruct applications from their names (only plain
     strings cross the process boundary), so the lookup lives here rather
-    than in the CLI.
+    than in the CLI -- which shares this single path instead of keeping
+    its own copy.  Unknown names raise
+    :class:`repro.errors.ConfigurationError` listing the valid names,
+    the same loud contract the scenario spec uses everywhere.
     """
     for app in all_applications():
         if app.name == name:
             return app
-    from repro.errors import HarmoniaError
+    from repro.errors import ConfigurationError
 
     known = ", ".join(app.name for app in all_applications())
-    raise HarmoniaError(f"unknown application {name!r}; known: {known}")
+    raise ConfigurationError(f"unknown application {name!r}; known: {known}")

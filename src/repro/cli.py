@@ -28,7 +28,16 @@ Gives operators the day-to-day views the library computes:
   :class:`repro.runtime.buildfarm.BuildFarm` (warm reruns are served
   from the artifact store; manifests are byte-identical at any worker
   count);
+* ``fuzz`` -- differential conformance fuzzing: generate random valid
+  scenarios, cross-check the cache/vector/DES tiers for exact equality,
+  and shrink any failure to a minimal JSON repro;
 * ``report`` -- collate benchmark artifacts into one reproduction report.
+
+``sweep``, ``fleet``, and ``build`` all accept ``--scenario FILE``: one
+declarative :class:`repro.scenario.Scenario` JSON replaces the
+subcommand's shape flags, and flag and scenario invocations of the same
+run produce byte-identical results, traces, and manifests (see
+``docs/scenarios.md``).
 """
 
 import argparse
@@ -38,22 +47,50 @@ import time
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
-from repro.apps import all_applications
+from repro.apps import application_by_name
 from repro.core.health import HealthMonitor
 from repro.core.host_software import ControlPlane
 from repro.core.shell import build_unified_shell
-from repro.errors import HarmoniaError
+from repro.errors import ConfigurationError, HarmoniaError
 from repro.metrics.modifications import reduction_factor, trace_modifications
 from repro.metrics.resources import utilisation_percent
-from repro.platform.catalog import all_devices, device_by_name
+from repro.platform.catalog import all_devices
 
 
-def _app_by_name(name: str):
-    for app in all_applications():
-        if app.name == name:
-            return app
-    known = ", ".join(app.name for app in all_applications())
-    raise HarmoniaError(f"unknown application {name!r}; known: {known}")
+def device_by_name(name: str):
+    """Catalog lookup with the CLI's loud, consistent error contract.
+
+    Every subcommand resolves device names through this one path, so an
+    unknown name always raises :class:`ConfigurationError` listing the
+    catalog -- matching :func:`repro.apps.application_by_name` and the
+    scenario spec's validators.
+    """
+    from repro.scenario import require_device
+
+    return require_device(name)
+
+
+def _load_scenario_arg(path: str, kind: str):
+    """The shared ``--scenario`` loader of sweep/fleet/build."""
+    from repro.scenario import load_scenario
+
+    scenario = load_scenario(path)
+    if scenario.kind != kind:
+        raise ConfigurationError(
+            f"{path} is a {scenario.kind!r} scenario; this subcommand "
+            f"needs \"kind\": \"{kind}\""
+        )
+    return scenario
+
+
+def _reject_scenario_conflicts(flags) -> None:
+    """``--scenario`` owns the run's shape; shape flags conflict with it."""
+    given = [name for name, value in flags if value not in (None, False)]
+    if given:
+        raise ConfigurationError(
+            "--scenario already describes the run; drop the conflicting "
+            "flag(s): " + ", ".join(given)
+        )
 
 
 def cmd_devices(_args: argparse.Namespace) -> int:
@@ -84,7 +121,7 @@ def cmd_describe(args: argparse.Namespace) -> int:
 
 def cmd_tailor(args: argparse.Namespace) -> int:
     device = device_by_name(args.device)
-    app = _app_by_name(args.app)
+    app = application_by_name(args.app)
     shell = app.tailored_shell(device)
     print(f"Tailored shell for {app.name!r} on {device.name}:")
     print(f"  RBBs: {', '.join(sorted(shell.rbbs))}")
@@ -103,7 +140,7 @@ def cmd_tailor(args: argparse.Namespace) -> int:
 
 def cmd_bringup(args: argparse.Namespace) -> int:
     device = device_by_name(args.device)
-    app = _app_by_name(args.app)
+    app = application_by_name(args.app)
     control = ControlPlane(app.tailored_shell(device))
     registers = control.register_full_init()
     commands = control.command_full_init()
@@ -117,7 +154,7 @@ def cmd_bringup(args: argparse.Namespace) -> int:
 
 
 def cmd_migrate(args: argparse.Namespace) -> int:
-    app = _app_by_name(args.app)
+    app = application_by_name(args.app)
     traces = {}
     for name in (args.source, args.target):
         control = ControlPlane(app.tailored_shell(device_by_name(name)))
@@ -158,7 +195,7 @@ def _traced_sweep(args: argparse.Namespace):
     from repro.runtime import SimContext
 
     device = device_by_name(args.device)
-    app = _app_by_name(args.app)
+    app = application_by_name(args.app)
     context = SimContext(name=f"{app.name}@{device.name}", trace=True)
     sizes = tuple(args.sizes) if args.sizes else (64, 128, 256, 512, 1024)
     samples = app.measure(
@@ -241,21 +278,48 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_scenario(args):
+    """The scenario a ``sweep`` invocation describes (file or flags)."""
+    from repro.scenario import Scenario, WorkloadSpec
+
+    if args.scenario:
+        _reject_scenario_conflicts([
+            ("--apps", args.apps), ("--devices", args.devices),
+            ("--sizes", args.sizes), ("--packets", args.packets),
+            ("--native", args.native), ("--engine", args.engine),
+        ])
+        scenario = _load_scenario_arg(args.scenario, "sweep")
+        if args.trace_out and not scenario.workload.trace:
+            import dataclasses
+
+            scenario = scenario.replace(workload=dataclasses.replace(
+                scenario.workload, trace=True))
+        return scenario
+    if not args.apps or not args.devices:
+        raise ConfigurationError(
+            "sweep needs --apps and --devices (or --scenario FILE)")
+    scenario = Scenario(
+        kind="sweep",
+        apps=tuple(args.apps),
+        devices=tuple(args.devices),
+        engine=args.engine if args.engine is not None else "auto",
+        workload=WorkloadSpec(
+            packet_sizes=(tuple(args.sizes) if args.sizes
+                          else (64, 128, 256, 512, 1024)),
+            packets_per_point=(args.packets if args.packets is not None
+                               else 2_000),
+            with_harmonia=not args.native,
+            trace=bool(args.trace_out),
+        ),
+    )
+    return scenario.validate_names()   # fail fast on unknown names
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runtime.sweep import SweepCache, SweepPlan, SweepRunner
 
-    for device in args.devices:
-        device_by_name(device)          # fail fast on unknown names
-    for app in args.apps:
-        _app_by_name(app)
-    plan = SweepPlan(
-        apps=tuple(args.apps),
-        devices=tuple(args.devices),
-        packet_sizes=tuple(args.sizes) if args.sizes else (64, 128, 256, 512, 1024),
-        packets_per_point=args.packets,
-        with_harmonia=not args.native,
-        trace=bool(args.trace_out),
-    )
+    scenario = _sweep_scenario(args)
+    plan = SweepPlan.from_scenario(scenario)
     cache = SweepCache()
     if args.cache_file:
         try:
@@ -263,7 +327,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except FileNotFoundError:
             pass                        # first run populates it
     runner = SweepRunner(plan, workers=args.workers, cache=cache,
-                         use_cache=not args.no_cache, engine=args.engine)
+                         use_cache=not args.no_cache, engine=scenario.engine)
     start = time.perf_counter()
     result = runner.run()
     elapsed = time.perf_counter() - start
@@ -302,25 +366,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_scenario(args):
+    """The scenario a ``build`` invocation describes (file or flags)."""
+    from repro.scenario import Scenario, BuildSpec
+
+    if args.scenario:
+        _reject_scenario_conflicts([
+            ("--devices", args.devices), ("--apps", args.apps),
+            ("--year", args.year), ("--effort", args.effort),
+        ])
+        return _load_scenario_arg(args.scenario, "build")
+    scenario = Scenario(
+        kind="build",
+        apps=tuple(args.apps) if args.apps else (),
+        devices=tuple(args.devices) if args.devices else (),
+        year=args.year if args.year is not None else 2_024,
+        build=BuildSpec(effort=args.effort if args.effort is not None else 0),
+    )
+    return scenario.validate_names()   # fail fast on unknown names
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     from repro.runtime import SimContext
-    from repro.runtime.buildfarm import (ArtifactStore, BuildFarm, BuildPlan,
-                                         fleet_build_plan)
+    from repro.runtime.buildfarm import ArtifactStore, BuildFarm, BuildPlan
 
-    if args.devices:
-        from repro.platform.catalog import resolve_device
-
-        for device in args.devices:
-            resolve_device(device)      # fail fast on unknown names
-        for app in (args.apps or ()):
-            _app_by_name(app)
-        apps = tuple(args.apps) if args.apps else tuple(
-            app.name for app in all_applications())
-        plan = BuildPlan(devices=tuple(args.devices), roles=apps,
-                         effort=args.effort)
-    else:
-        plan = fleet_build_plan(year=args.year, roles=args.apps,
-                                effort=args.effort)
+    scenario = _build_scenario(args)
+    plan = BuildPlan.from_scenario(scenario)
     context = SimContext(name="buildfarm", trace=True)
     store = ArtifactStore(args.cache_dir)
     farm = BuildFarm(plan, workers=args.workers, store=store,
@@ -377,15 +448,41 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_scenario(args):
+    """The scenario a ``fleet`` invocation describes (file or flags)."""
+    from repro.scenario import Scenario, TenancySpec
+
+    if args.scenario:
+        _reject_scenario_conflicts([
+            ("--flows", args.flows), ("--devices", args.devices),
+            ("--tenants", args.tenants), ("--slots", args.slots),
+            ("--alpha", args.alpha), ("--load", args.load),
+            ("--seed", args.seed),
+        ])
+        return _load_scenario_arg(args.scenario, "fleet")
+
+    def _or(value, default):
+        return value if value is not None else default
+
+    return Scenario(
+        kind="fleet",
+        seed=_or(args.seed, 2_025),
+        tenancy=TenancySpec(
+            flow_count=_or(args.flows, 1_000_000),
+            device_count=_or(args.devices, 1_024),
+            tenant_count=_or(args.tenants, 16),
+            slots_per_device=_or(args.slots, 4),
+            alpha=_or(args.alpha, 1.05),
+            offered_load=_or(args.load, 0.65),
+        ),
+    )
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.runtime import SimContext
     from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
 
-    spec = FleetSpec(
-        flow_count=args.flows, device_count=args.devices,
-        tenant_count=args.tenants, slots_per_device=args.slots,
-        alpha=args.alpha, offered_load=args.load, seed=args.seed,
-    )
+    spec = FleetSpec.from_scenario(_fleet_scenario(args))
     policies = tuple(args.policies) if args.policies else POLICIES
     context = SimContext(name="fleet", trace=True)
     simulation = FleetSimulation(spec, context=context)
@@ -452,6 +549,36 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"# wrote fleet results to {args.json}", file=sys.stderr)
     return slo_report.exit_code if slo_report is not None else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.scenario.fuzz import DifferentialFuzzer
+
+    fuzzer = DifferentialFuzzer(
+        seed=args.seed, repro_dir=args.repro_dir,
+        inject_size_threshold=args.inject_failure,
+    )
+    start = time.perf_counter()
+    report = fuzzer.run(args.budget)
+    elapsed = time.perf_counter() - start
+    print(f"Fuzz: {report.scenarios_run} scenarios, "
+          f"{report.points_checked} points, {report.checks_run} checks, "
+          f"coverage {report.coverage} keys, "
+          f"{len(report.failures)} failure(s)")
+    for failure in report.failures:
+        where = failure.repro_path or "(repro not written)"
+        print(f"  FAIL {failure.check}: {failure.detail}")
+        print(f"       minimized scenario {failure.shrunk.scenario_id()[:12]} "
+              f"-> {where}")
+    print(f"# {elapsed:.2f}s wall, seed {report.seed}", file=sys.stderr)
+    if args.json:
+        payload = report.to_json()
+        payload["elapsed_s"] = round(elapsed, 3)
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote fuzz report to {args.json}", file=sys.stderr)
+    return 5 if report.failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -524,13 +651,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = commands.add_parser(
         "sweep", help="run an (apps x devices x sizes) sweep, optionally parallel")
-    sweep.add_argument("--apps", required=True, nargs="+",
+    sweep.add_argument("--scenario",
+                       help="declarative scenario JSON describing the sweep "
+                            "(replaces --apps/--devices/--sizes/--packets/"
+                            "--native/--engine; see docs/scenarios.md)")
+    sweep.add_argument("--apps", nargs="+",
                        help="application names (see `devices`/docs)")
-    sweep.add_argument("--devices", required=True, nargs="+",
+    sweep.add_argument("--devices", nargs="+",
                        help="device names from the catalog")
     sweep.add_argument("--sizes", type=int, nargs="+",
                        help="packet sizes in bytes (default paper sweep)")
-    sweep.add_argument("--packets", type=int, default=2_000,
+    sweep.add_argument("--packets", type=int,
                        help="packets per sweep point (default 2000)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = in-process serial)")
@@ -544,7 +675,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace every point; write merged JSONL here")
     sweep.add_argument("--json", help="write per-point results JSON here")
     sweep.add_argument("--engine", choices=("auto", "vector", "des"),
-                       default="auto",
                        help="execution tier for cache misses: auto picks the "
                             "vector kernel when the chain is analytic")
     sweep.add_argument("--slo",
@@ -553,17 +683,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = commands.add_parser(
         "build", help="compile the fleet's device x role matrix in parallel")
+    build.add_argument("--scenario",
+                       help="declarative scenario JSON describing the build "
+                            "matrix (replaces --devices/--apps/--year/"
+                            "--effort; see docs/scenarios.md)")
     build.add_argument("--devices", nargs="+",
                        help="device names (default: the production fleet's "
                             "active types for --year)")
     build.add_argument("--apps", nargs="+",
                        help="application roles (default: all five)")
-    build.add_argument("--year", type=int, default=2024,
+    build.add_argument("--year", type=int,
                        help="fleet deployment year when --devices is not "
                             "given (default 2024)")
     build.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = in-process serial)")
-    build.add_argument("--effort", type=int, default=0,
+    build.add_argument("--effort", type=int,
                        help="modelled CAD compile effort (0 = skip the "
                             "compile model's iteration loop)")
     build.add_argument("--cache-dir",
@@ -586,19 +720,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = commands.add_parser(
         "fleet", help="serve Zipf-skewed flows across the production fleet")
-    fleet.add_argument("--flows", type=int, default=1_000_000,
+    fleet.add_argument("--scenario",
+                       help="declarative scenario JSON describing the fleet "
+                            "run (replaces --flows/--devices/--tenants/"
+                            "--slots/--alpha/--load/--seed; see "
+                            "docs/scenarios.md)")
+    fleet.add_argument("--flows", type=int,
                        help="flow population size (default 1,000,000)")
-    fleet.add_argument("--devices", type=int, default=1_024,
+    fleet.add_argument("--devices", type=int,
                        help="device instances to shard across (default 1024)")
-    fleet.add_argument("--tenants", type=int, default=16,
+    fleet.add_argument("--tenants", type=int,
                        help="tenant count sharing the fleet (default 16)")
-    fleet.add_argument("--slots", type=int, default=4,
+    fleet.add_argument("--slots", type=int,
                        help="PR slots per device (default 4)")
-    fleet.add_argument("--alpha", type=float, default=1.05,
+    fleet.add_argument("--alpha", type=float,
                        help="Zipf skew of flow popularity (default 1.05)")
-    fleet.add_argument("--load", type=float, default=0.65,
+    fleet.add_argument("--load", type=float,
                        help="offered load as a fraction of fleet capacity")
-    fleet.add_argument("--seed", type=int, default=2_025,
+    fleet.add_argument("--seed", type=int,
                        help="deterministic scenario seed")
     fleet.add_argument("--policies", nargs="+",
                        choices=("round-robin", "least-loaded", "flow-hash"),
@@ -613,6 +752,21 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--trace-ring", type=int, default=4_096,
                        help="resident trace ring size while streaming "
                             "(default 4096)")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential conformance fuzzing across engine tiers")
+    fuzz.add_argument("--budget", type=int, default=200,
+                      help="scenarios to generate and cross-check "
+                           "(default 200)")
+    fuzz.add_argument("--seed", type=int, default=2_025,
+                      help="deterministic generation seed (default 2025)")
+    fuzz.add_argument("--repro-dir", default="fuzz-repros",
+                      help="write minimized failing scenarios here "
+                           "(default fuzz-repros/)")
+    fuzz.add_argument("--json", help="write the fuzz report JSON here")
+    fuzz.add_argument("--inject-failure", type=int, metavar="SIZE",
+                      help="testing hook: treat any point with packet size "
+                           ">= SIZE as failing, to exercise the shrinker")
 
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser
@@ -631,6 +785,7 @@ _HANDLERS = {
     "sweep": cmd_sweep,
     "build": cmd_build,
     "fleet": cmd_fleet,
+    "fuzz": cmd_fuzz,
     "report": cmd_report,
 }
 

@@ -124,9 +124,36 @@ class BuildPlan:
     def __len__(self) -> int:
         return len(self.devices) * len(self.roles)
 
+    @classmethod
+    def from_scenario(cls, scenario) -> "BuildPlan":
+        """Build the plan a build-kind :class:`repro.scenario.Scenario`
+        describes.
+
+        Explicit ``devices`` make an explicit matrix; an empty device
+        list means "the production fleet's active types for the
+        scenario's year" (the :func:`fleet_build_plan` path).  An empty
+        app list means all registered applications either way.
+        """
+        if scenario.kind != "build":
+            raise ConfigurationError(
+                f"scenario kind {scenario.kind!r} cannot drive a build plan")
+        roles = tuple(scenario.apps) if scenario.apps else None
+        software = tuple(scenario.build.software)
+        if scenario.devices:
+            if roles is None:
+                from repro.apps import all_applications
+
+                roles = tuple(app.name for app in all_applications())
+            return cls(devices=tuple(scenario.devices), roles=roles,
+                       effort=scenario.build.effort, software=software)
+        return fleet_build_plan(year=scenario.year, roles=roles,
+                                effort=scenario.build.effort,
+                                software=software)
+
 
 def fleet_build_plan(year: int = 2024, roles: Optional[Sequence[str]] = None,
-                     effort: int = 0) -> BuildPlan:
+                     effort: int = 0,
+                     software: Sequence[str] = DEFAULT_SOFTWARE) -> BuildPlan:
     """The production fleet's build matrix for one deployment year.
 
     Devices are every type active in ``year`` (variant names included:
@@ -140,7 +167,8 @@ def fleet_build_plan(year: int = 2024, roles: Optional[Sequence[str]] = None,
     devices = tuple(production_fleet().active_device_names(year))
     if not devices:
         raise ConfigurationError(f"no fleet devices active in {year}")
-    return BuildPlan(devices=devices, roles=tuple(roles), effort=effort)
+    return BuildPlan(devices=devices, roles=tuple(roles), effort=effort,
+                     software=tuple(software))
 
 
 # ---------------------------------------------------------------------------

@@ -100,6 +100,26 @@ class FleetSpec:
         if self.mean_packet_bytes < 1:
             raise ConfigurationError("mean packet size must be positive")
 
+    @classmethod
+    def from_scenario(cls, scenario) -> "FleetSpec":
+        """Build the spec a fleet-kind :class:`repro.scenario.Scenario`
+        describes: the tenancy section plus the shared seed and year."""
+        if scenario.kind != "fleet":
+            raise ConfigurationError(
+                f"scenario kind {scenario.kind!r} cannot drive a fleet spec")
+        tenancy = scenario.tenancy
+        return cls(
+            flow_count=tenancy.flow_count,
+            device_count=tenancy.device_count,
+            tenant_count=tenancy.tenant_count,
+            slots_per_device=tenancy.slots_per_device,
+            alpha=tenancy.alpha,
+            offered_load=tenancy.offered_load,
+            mean_packet_bytes=tenancy.mean_packet_bytes,
+            seed=scenario.seed,
+            year=scenario.year,
+        )
+
 
 @dataclass(frozen=True)
 class DeviceGroup:

@@ -101,20 +101,48 @@ class SweepPlan:
             raise ConfigurationError("packets_per_point must be >= 1")
 
     def expand(self) -> List[SweepPoint]:
-        """The plan's points in canonical (app, device, size) order."""
-        return [
-            SweepPoint(
-                app=app, device=device, packet_size_bytes=size,
-                packet_count=self.packets_per_point,
-                with_harmonia=self.with_harmonia, trace=self.trace,
-            )
-            for app in self.apps
-            for device in self.devices
-            for size in self.packet_sizes
-        ]
+        """The plan's points in canonical (app, device, size) order.
+
+        Expansion is owned by the unified scenario spec
+        (:meth:`repro.scenario.Scenario.expand_points`): the plan round
+        trips through its scenario form, so sweeps, scenario files, and
+        the differential fuzzer all expand one way.
+        """
+        return self.to_scenario().expand_points()
 
     def __len__(self) -> int:
         return len(self.apps) * len(self.devices) * len(self.packet_sizes)
+
+    def to_scenario(self):
+        """This plan as a sweep-kind :class:`repro.scenario.Scenario`."""
+        from repro.scenario import Scenario, WorkloadSpec
+
+        return Scenario(
+            kind="sweep", apps=self.apps, devices=self.devices,
+            workload=WorkloadSpec(
+                packet_sizes=self.packet_sizes,
+                packets_per_point=self.packets_per_point,
+                with_harmonia=self.with_harmonia,
+                include_path_latency=self.include_path_latency,
+                trace=self.trace,
+            ),
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario) -> "SweepPlan":
+        """Build the plan a sweep-kind scenario describes."""
+        if scenario.kind != "sweep":
+            raise ConfigurationError(
+                f"scenario kind {scenario.kind!r} cannot drive a sweep plan")
+        workload = scenario.workload
+        return cls(
+            apps=tuple(scenario.apps), devices=tuple(scenario.devices),
+            packet_sizes=tuple(workload.packet_sizes),
+            packets_per_point=workload.packets_per_point,
+            with_harmonia=workload.with_harmonia,
+            include_path_latency=workload.include_path_latency,
+            trace=workload.trace,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -324,6 +352,21 @@ def _execute_point(point_fields: Tuple[Any, ...]) -> Dict[str, Any]:
     """Worker entry: rebuild the point and its chain, run, return floats."""
     point = SweepPoint(*point_fields)
     return _run_chain_point(_chain_for(point), point)
+
+
+def run_point(point: SweepPoint) -> Dict[str, Any]:
+    """Execute one point in isolation and return its raw result entry.
+
+    The differential fuzzer's entry: it pins the engine on the point it
+    passes in and compares the returned entries (including any
+    ``trace_jsonl``) for exact equality across tiers.
+    """
+    return _run_chain_point(_chain_for(point), point)
+
+
+def point_chain(point: SweepPoint):
+    """The (memoised) tailored chain a point runs on."""
+    return _chain_for(point)
 
 
 # ---------------------------------------------------------------------------

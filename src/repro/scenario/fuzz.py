@@ -1,0 +1,549 @@
+"""Differential conformance fuzzer across the engine tiers.
+
+The reproduction's central determinism claim is that its three
+execution tiers -- the content-keyed :class:`repro.runtime.sweep.SweepCache`,
+the closed-form numpy kernel (:mod:`repro.sim.vector`), and the scalar
+DES-equivalent loop -- are *exactly* interchangeable: same throughputs,
+same latencies, byte-identical traces and metrics.  The unit suite pins
+that equality on hand-picked chains; this module hunts for the chains
+nobody hand-picked.
+
+:class:`DifferentialFuzzer` generates random **valid**
+:class:`repro.scenario.Scenario` objects from one seeded
+``random.Random`` stream (a given seed always produces the same
+scenarios, failures, and shrinks), guided by a coverage map over
+(app, device, size-magnitude, datapath-variant, tracing,
+vector-supported) keys: a scenario that lights up new coverage joins
+the corpus and later scenarios mutate corpus members instead of
+starting from scratch.
+
+Each scenario passes through four conformance checks:
+
+* **serialization** -- canonical-JSON round trip is the identity, the
+  canonical text is a fixpoint, and :meth:`Scenario.scenario_id` is
+  invariant under the engine field;
+* **engine-equivalence** -- every expanded point runs on the forced
+  ``des`` tier and (when the chain supports it) the forced ``vector``
+  tier; entries must match **exactly** -- floats, integers, and the
+  full ``trace_jsonl`` -- and the first point's metrics snapshot and
+  trace export must match across tiers too;
+* **cache-tier** -- the plan runs cold then warm against a private
+  :class:`SweepCache`; the warm run must be all hits and numerically
+  and trace-wise identical to the cold run;
+* **baseline-capabilities** -- every framework model keeps its Table 1
+  capability row well-formed, ``deploy`` honours ``supports`` (loud
+  :class:`IncompatiblePlatformError` when unsupported), Harmonia
+  supports every device and always presents the command-based host
+  interface.
+
+A failing scenario is **shrunk**: a deterministic greedy pass drops
+apps/devices/sizes, halves magnitudes, and resets fields to defaults
+while the failing check keeps failing, then the minimal scenario is
+written (canonical JSON) into ``repro_dir`` for replay with
+``repro.cli sweep --scenario``.  The ``inject_size_threshold`` hook
+plants an artificial failure (any packet size >= the threshold) so the
+shrinker itself is testable end to end.
+"""
+
+import dataclasses
+import functools
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import HarmoniaError, IncompatiblePlatformError
+from repro.scenario.spec import (
+    Scenario,
+    WorkloadSpec,
+    known_app_names,
+    known_device_names,
+    loads_scenario,
+    require_device,
+    save_scenario,
+)
+
+#: A conformance check: ``None`` means pass, a string is the failure detail.
+CheckFn = Callable[[Scenario], Optional[str]]
+
+#: Table 1 column names every capability row must carry.
+_CAPABILITY_COLUMNS = ("heterogeneity", "unified_shell", "portable_role",
+                      "consistent_host_interface")
+
+
+@functools.lru_cache(maxsize=1)
+def feasible_pairs() -> Dict[str, Tuple[str, ...]]:
+    """App name -> the catalog devices the app can actually tailor to.
+
+    Tailoring is allowed to refuse a device (no network cage, no
+    on-card memory, memory bandwidth below the role's floor); those are
+    capacity outcomes, not conformance bugs, so the fuzzer generates
+    only runnable (app, device) pairs.  A hand-written scenario naming
+    an infeasible pair still fails loudly at run time.
+    """
+    from repro.apps import all_applications
+    from repro.platform.catalog import all_devices
+
+    pairs: Dict[str, Tuple[str, ...]] = {}
+    for app in all_applications():
+        feasible: List[str] = []
+        for device in sorted(all_devices(), key=lambda d: d.name):
+            try:
+                shell = app.tailored_shell(device)
+                for with_harmonia in (True, False):
+                    app.datapath(shell, with_harmonia)
+            except HarmoniaError:
+                continue
+            feasible.append(device.name)
+        pairs[app.name] = tuple(feasible)
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Failure and report records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One conformance violation, with its minimized reproducer."""
+
+    check: str                  # which check tripped
+    detail: str                 # human-readable mismatch description
+    scenario: Scenario          # the scenario as generated
+    shrunk: Scenario            # the minimal scenario that still fails
+    repro_path: Optional[str] = None   # where the shrunk JSON landed
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "check": self.check,
+            "detail": self.detail,
+            "scenario_id": self.shrunk.scenario_id(),
+            "scenario": self.scenario.to_json(),
+            "shrunk": self.shrunk.to_json(),
+            "repro_path": self.repro_path,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :meth:`DifferentialFuzzer.run` campaign."""
+
+    seed: int
+    budget: int
+    scenarios_run: int = 0
+    points_checked: int = 0
+    checks_run: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    coverage: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "scenarios_run": self.scenarios_run,
+            "points_checked": self.points_checked,
+            "checks_run": self.checks_run,
+            "coverage": self.coverage,
+            "ok": self.ok,
+            "failures": [failure.to_json() for failure in self.failures],
+        }
+
+
+# ---------------------------------------------------------------------------
+# The fuzzer
+# ---------------------------------------------------------------------------
+
+class DifferentialFuzzer:
+    """Coverage-guided differential fuzzer over the scenario space.
+
+    Deterministic by construction: every random draw comes from one
+    ``random.Random(seed)`` stream, so two campaigns with equal seeds
+    and budgets generate identical scenarios, find identical failures,
+    and shrink them to identical minimal reproducers.
+    """
+
+    def __init__(self, seed: int = 2_025, repro_dir: Optional[str] = None,
+                 inject_size_threshold: Optional[int] = None,
+                 max_apps: int = 2, max_devices: int = 2,
+                 max_sizes: int = 3, max_packets: int = 48,
+                 max_size_bytes: int = 2_048) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.repro_dir = repro_dir
+        self.inject_size_threshold = inject_size_threshold
+        self.max_apps = max_apps
+        self.max_devices = max_devices
+        self.max_sizes = max_sizes
+        self.max_packets = max_packets
+        self.max_size_bytes = max_size_bytes
+        self._apps: Tuple[str, ...] = known_app_names()
+        self._devices: Tuple[str, ...] = known_device_names()
+        self._feasible: Dict[str, Tuple[str, ...]] = feasible_pairs()
+        self.coverage: Set[Tuple[Any, ...]] = set()
+        self.corpus: List[Scenario] = []
+        self._baseline_memo: Dict[str, Optional[str]] = {}
+        self.checks: List[Tuple[str, CheckFn]] = [
+            ("serialization", self.check_serialization),
+            ("engine-equivalence", self.check_engine_equivalence),
+            ("cache-tier", self.check_cache_tier),
+            ("baseline-capabilities", self.check_baseline_capabilities),
+        ]
+        if inject_size_threshold is not None:
+            self.checks.append(("injected", self.check_injected))
+
+    # --- generation -----------------------------------------------------
+
+    def _shared_devices(self, apps: Tuple[str, ...]) -> List[str]:
+        """Devices every app in ``apps`` can tailor to, in catalog order."""
+        return [device for device in self._devices
+                if all(device in self._feasible[app] for app in apps)]
+
+    def _feasible_apps(self, devices: Tuple[str, ...]) -> List[str]:
+        """Apps that can tailor to every device in ``devices``."""
+        return [app for app in self._apps
+                if all(device in self._feasible[app] for device in devices)]
+
+    def generate(self) -> Scenario:
+        """One random valid, runnable sweep scenario from the seeded stream."""
+        rng = self.rng
+        apps = tuple(sorted(rng.sample(
+            self._apps, rng.randint(1, min(self.max_apps, len(self._apps))))))
+        shared = self._shared_devices(apps)
+        if not shared:
+            apps = (rng.choice(self._apps),)
+            shared = list(self._feasible[apps[0]])
+        devices = tuple(sorted(rng.sample(
+            shared, rng.randint(1, min(self.max_devices, len(shared))))))
+        sizes = tuple(sorted({
+            rng.randint(1, self.max_size_bytes)
+            for _ in range(rng.randint(1, self.max_sizes))
+        }))
+        workload = WorkloadSpec(
+            packet_sizes=sizes,
+            packets_per_point=rng.randint(1, self.max_packets),
+            with_harmonia=rng.random() < 0.8,
+            include_path_latency=rng.random() < 0.8,
+            trace=rng.random() < 0.3,
+        )
+        return Scenario(kind="sweep", apps=apps, devices=devices,
+                        seed=rng.randrange(2 ** 31), workload=workload)
+
+    def mutate(self, scenario: Scenario) -> Scenario:
+        """A single random mutation of one corpus member."""
+        rng = self.rng
+        workload = scenario.workload
+        move = rng.randrange(6)
+        if move == 0:
+            pool = self._feasible_apps(scenario.devices)
+            apps = tuple(sorted(rng.sample(
+                pool, rng.randint(1, min(self.max_apps, len(pool))))))
+            return scenario.replace(apps=apps)
+        if move == 1:
+            pool = self._shared_devices(scenario.apps)
+            devices = tuple(sorted(rng.sample(
+                pool, rng.randint(1, min(self.max_devices, len(pool))))))
+            return scenario.replace(devices=devices)
+        if move == 2:
+            sizes = set(workload.packet_sizes)
+            sizes.add(rng.randint(1, self.max_size_bytes))
+            workload = dataclasses.replace(
+                workload, packet_sizes=tuple(sorted(sizes))[:self.max_sizes])
+            return scenario.replace(workload=workload)
+        if move == 3:
+            workload = dataclasses.replace(
+                workload, packets_per_point=rng.randint(1, self.max_packets))
+            return scenario.replace(workload=workload)
+        if move == 4:
+            workload = dataclasses.replace(
+                workload, with_harmonia=not workload.with_harmonia)
+            return scenario.replace(workload=workload)
+        workload = dataclasses.replace(workload, trace=not workload.trace)
+        return scenario.replace(workload=workload)
+
+    def _coverage_keys(self, scenario: Scenario) -> Set[Tuple[Any, ...]]:
+        """Structural coverage keys for one scenario's points."""
+        from repro.runtime.sweep import point_chain
+        from repro.sim.vector import chain_supports_vector
+
+        keys: Set[Tuple[Any, ...]] = set()
+        for point in scenario.expand_points():
+            supported = chain_supports_vector(point_chain(point))
+            keys.add((point.app, point.device,
+                      point.packet_size_bytes.bit_length(),
+                      point.with_harmonia, point.trace, supported))
+        return keys
+
+    # --- checks ---------------------------------------------------------
+
+    def check_serialization(self, scenario: Scenario) -> Optional[str]:
+        """Canonical JSON round trip + engine-free identity."""
+        text = scenario.canonical_json()
+        clone = loads_scenario(text, source="<round-trip>")
+        if clone != scenario:
+            return "canonical JSON round trip changed the scenario"
+        if clone.canonical_json() != text:
+            return "canonical JSON is not a serialisation fixpoint"
+        base_id = scenario.scenario_id()
+        for engine in ("auto", "vector", "des"):
+            variant = scenario.replace(engine=engine)
+            if variant.scenario_id() != base_id:
+                return f"scenario_id depends on engine={engine!r}"
+        return None
+
+    def check_engine_equivalence(self, scenario: Scenario) -> Optional[str]:
+        """Forced-vector and forced-DES runs must match exactly."""
+        from repro.runtime.sweep import point_chain, run_point
+        from repro.sim.vector import chain_supports_vector
+
+        first_supported = True
+        for point in scenario.expand_points():
+            if not chain_supports_vector(point_chain(point)):
+                continue
+            des = run_point(dataclasses.replace(point, engine="des"))
+            vec = run_point(dataclasses.replace(point, engine="vector"))
+            if vec != des:
+                diff = sorted(key for key in set(des) | set(vec)
+                              if des.get(key) != vec.get(key))
+                return (f"vector != des at {point.label()}: "
+                        f"mismatched {', '.join(diff)}")
+            if first_supported:
+                first_supported = False
+                mismatch = self._surfaces_mismatch(point)
+                if mismatch:
+                    return mismatch
+        return None
+
+    def _surfaces_mismatch(self, point) -> Optional[str]:
+        """Metrics snapshot + trace export must match across tiers."""
+        from repro.runtime.sweep import point_chain
+
+        chain = point_chain(point)
+        surfaces = {}
+        for engine in ("des", "vector"):
+            surfaces[engine] = _observable_surface(chain, point, engine)
+        if surfaces["des"] != surfaces["vector"]:
+            metrics_equal = (surfaces["des"][0] == surfaces["vector"][0])
+            what = "trace export" if metrics_equal else "metrics snapshot"
+            return (f"{what} differs between vector and des "
+                    f"at {point.label()}")
+        return None
+
+    def check_cache_tier(self, scenario: Scenario) -> Optional[str]:
+        """Cold vs warm runs of the plan against one private cache."""
+        from repro.runtime.sweep import SweepCache, run_plan
+
+        plan = scenario.sweep_plan()
+        cache = SweepCache()
+        cold = run_plan(plan, cache=cache, engine=scenario.engine)
+        warm = run_plan(plan, cache=cache, engine=scenario.engine)
+        missed = [r.point.label() for r in warm.points if not r.cached]
+        if missed:
+            return f"warm rerun missed the cache at {', '.join(missed)}"
+        for cold_r, warm_r in zip(cold.points, warm.points):
+            if (cold_r.throughput_bps, cold_r.mean_latency_ns,
+                    cold_r.trace_jsonl) != (warm_r.throughput_bps,
+                                            warm_r.mean_latency_ns,
+                                            warm_r.trace_jsonl):
+                return (f"cache tier diverged from the computed result "
+                        f"at {cold_r.point.label()}")
+        if cold.merged_trace_jsonl() != warm.merged_trace_jsonl():
+            return "merged trace differs between cold and warm runs"
+        return None
+
+    def check_baseline_capabilities(self, scenario: Scenario) -> Optional[str]:
+        """Framework-model invariants on every device the scenario uses."""
+        for name in scenario.devices:
+            memo = self._baseline_memo.get(name, "")
+            if memo == "":
+                memo = self._baseline_device_check(name)
+                self._baseline_memo[name] = memo
+            if memo is not None:
+                return memo
+        return None
+
+    def _baseline_device_check(self, device_name: str) -> Optional[str]:
+        from repro.baselines import Capability, all_frameworks
+
+        device = require_device(device_name)
+        for framework in all_frameworks():
+            row = framework.capability_row()
+            if tuple(row) != _CAPABILITY_COLUMNS:
+                return (f"{framework.name} capability row has columns "
+                        f"{tuple(row)!r}")
+            if not all(isinstance(v, Capability) for v in row.values()):
+                return f"{framework.name} capability row has non-Capability values"
+            if framework.name == "harmonia" and not framework.supports(device):
+                return f"harmonia must support every device, not {device.name}"
+            if not framework.supports(device):
+                try:
+                    framework.deploy(device, "tcp")
+                except IncompatiblePlatformError:
+                    continue
+                return (f"{framework.name}.deploy succeeded on unsupported "
+                        f"{device.name}")
+            try:
+                shell = framework.deploy(device, "tcp")
+                utilisation = shell.utilisation()
+            except HarmoniaError:
+                # Supported-but-infeasible (no network cage, a monolithic
+                # shell blowing a small device's resource budget, ...) is a
+                # capacity outcome, not a conformance bug.
+                continue
+            if shell.host_interface not in ("register", "command"):
+                return (f"{framework.name} host interface "
+                        f"{shell.host_interface!r} is neither register nor "
+                        f"command")
+            if framework.name == "harmonia" and shell.host_interface != "command":
+                return "harmonia must present the command-based host interface"
+            if any(value < 0 for value in utilisation.values()):
+                return f"{framework.name} shell reports negative utilisation"
+        return None
+
+    def check_injected(self, scenario: Scenario) -> Optional[str]:
+        """Artificial failure for testing the shrinker end to end."""
+        threshold = self.inject_size_threshold
+        assert threshold is not None
+        bad = [size for size in scenario.workload.packet_sizes
+               if size >= threshold]
+        if bad:
+            return (f"injected failure: packet size {min(bad)} >= "
+                    f"{threshold}")
+        return None
+
+    # --- shrinking ------------------------------------------------------
+
+    def shrink(self, scenario: Scenario, check: CheckFn) -> Scenario:
+        """Greedy deterministic minimisation while ``check`` still fails.
+
+        Candidates are tried in a fixed order and the first still-failing
+        one is taken, so equal inputs always shrink to equal outputs.
+        """
+        current = scenario
+        progress = True
+        while progress:
+            progress = False
+            for candidate in self._shrink_candidates(current):
+                try:
+                    failed = check(candidate) is not None
+                except HarmoniaError:
+                    failed = False   # shrink must preserve *this* failure
+                if failed:
+                    current = candidate
+                    progress = True
+                    break
+        return current
+
+    def _shrink_candidates(self, scenario: Scenario):
+        """Strictly-smaller-or-more-default neighbours, in fixed order."""
+        workload = scenario.workload
+        if len(scenario.apps) > 1:
+            for index in range(len(scenario.apps)):
+                yield scenario.replace(
+                    apps=scenario.apps[:index] + scenario.apps[index + 1:])
+        if len(scenario.devices) > 1:
+            for index in range(len(scenario.devices)):
+                yield scenario.replace(
+                    devices=(scenario.devices[:index]
+                             + scenario.devices[index + 1:]))
+        if len(workload.packet_sizes) > 1:
+            for index in range(len(workload.packet_sizes)):
+                sizes = (workload.packet_sizes[:index]
+                         + workload.packet_sizes[index + 1:])
+                yield scenario.replace(workload=dataclasses.replace(
+                    workload, packet_sizes=sizes))
+        for target in (1, workload.packets_per_point // 2):
+            if 1 <= target < workload.packets_per_point:
+                yield scenario.replace(workload=dataclasses.replace(
+                    workload, packets_per_point=target))
+        for index, size in enumerate(workload.packet_sizes):
+            for target in (1, size // 2):
+                if 1 <= target < size:
+                    sizes = tuple(sorted(set(
+                        workload.packet_sizes[:index] + (target,)
+                        + workload.packet_sizes[index + 1:])))
+                    yield scenario.replace(workload=dataclasses.replace(
+                        workload, packet_sizes=sizes))
+        if not workload.with_harmonia:
+            yield scenario.replace(workload=dataclasses.replace(
+                workload, with_harmonia=True))
+        if not workload.include_path_latency:
+            yield scenario.replace(workload=dataclasses.replace(
+                workload, include_path_latency=True))
+        if workload.trace:
+            yield scenario.replace(workload=dataclasses.replace(
+                workload, trace=False))
+        if scenario.engine != "auto":
+            yield scenario.replace(engine="auto")
+        if scenario.seed != 2_025:
+            yield scenario.replace(seed=2_025)
+
+    def _write_repro(self, shrunk: Scenario) -> Optional[str]:
+        if self.repro_dir is None:
+            return None
+        os.makedirs(self.repro_dir, exist_ok=True)
+        path = os.path.join(self.repro_dir,
+                            f"scenario-{shrunk.scenario_id()[:16]}.json")
+        save_scenario(shrunk, path)
+        return path
+
+    # --- campaign -------------------------------------------------------
+
+    def check_scenario(self, scenario: Scenario) -> Optional[Tuple[str, str, CheckFn]]:
+        """Run every check; the first failure as (name, detail, fn)."""
+        for name, check in self.checks:
+            detail = check(scenario)
+            if detail is not None:
+                return name, detail, check
+        return None
+
+    def run(self, budget: int = 200) -> FuzzReport:
+        """Fuzz ``budget`` scenarios; returns the campaign report."""
+        report = FuzzReport(seed=self.seed, budget=budget)
+        for _ in range(budget):
+            if self.corpus and self.rng.random() < 0.5:
+                scenario = self.mutate(self.rng.choice(self.corpus))
+            else:
+                scenario = self.generate()
+            fresh = self._coverage_keys(scenario) - self.coverage
+            if fresh:
+                self.coverage |= fresh
+                self.corpus.append(scenario)
+            report.scenarios_run += 1
+            report.points_checked += len(scenario.expand_points())
+            report.checks_run += len(self.checks)
+            failure = self.check_scenario(scenario)
+            if failure is not None:
+                name, detail, check = failure
+                shrunk = self.shrink(scenario, check)
+                report.failures.append(FuzzFailure(
+                    check=name, detail=detail, scenario=scenario,
+                    shrunk=shrunk, repro_path=self._write_repro(shrunk)))
+        report.coverage = len(self.coverage)
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _observable_surface(chain, point, engine: str):
+    """(metrics snapshot, trace JSONL) of one traced point on ``engine``.
+
+    Mirrors the isolation discipline of the sweep worker path: hidden
+    context stack, transaction ids reset, one fresh context per run.
+    """
+    from repro.runtime.context import SimContext, isolated_context_stack
+    from repro.sim.pipeline import reset_transaction_ids, run_packet_sweep
+
+    with isolated_context_stack():
+        reset_transaction_ids()
+        context = SimContext(name=point.label(), trace=True)
+        run_packet_sweep(
+            chain, packet_size_bytes=point.packet_size_bytes,
+            packet_count=point.packet_count, context=context, engine=engine,
+        )
+        return context.metrics.snapshot(), context.trace.export_jsonl()

@@ -1,0 +1,146 @@
+"""The differential conformance fuzzer: determinism, shrinking, and
+the pinned corpus replay."""
+
+import glob
+import os
+
+from repro.scenario import DifferentialFuzzer, load_scenario
+from repro.scenario.fuzz import feasible_pairs
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "scenarios")
+
+
+def corpus_paths():
+    paths = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+    assert len(paths) == 10, "the pinned corpus must hold ten scenarios"
+    return paths
+
+
+class TestGeneration:
+    def test_generation_is_seed_deterministic(self):
+        first_fuzzer = DifferentialFuzzer(seed=42)
+        first = [first_fuzzer.generate() for _ in range(5)]
+        second_fuzzer = DifferentialFuzzer(seed=42)
+        second = [second_fuzzer.generate() for _ in range(5)]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        one = DifferentialFuzzer(seed=1)
+        two = DifferentialFuzzer(seed=2)
+        assert ([one.generate() for _ in range(3)]
+                != [two.generate() for _ in range(3)])
+
+    def test_generated_pairs_are_feasible(self):
+        fuzzer = DifferentialFuzzer(seed=9)
+        pairs = feasible_pairs()
+        for _ in range(20):
+            scenario = fuzzer.generate()
+            for app in scenario.apps:
+                for device in scenario.devices:
+                    assert device in pairs[app], (app, device)
+
+    def test_mutations_stay_valid_and_feasible(self):
+        fuzzer = DifferentialFuzzer(seed=11)
+        pairs = feasible_pairs()
+        scenario = fuzzer.generate()
+        for _ in range(25):
+            scenario = fuzzer.mutate(scenario)
+            scenario.validate_names()
+            for app in scenario.apps:
+                for device in scenario.devices:
+                    assert device in pairs[app], (app, device)
+
+
+class TestCampaign:
+    def test_clean_campaign_reports_no_failures(self):
+        report = DifferentialFuzzer(seed=3, max_packets=8).run(budget=8)
+        assert report.ok
+        assert report.scenarios_run == 8
+        assert report.points_checked >= 8
+        assert report.checks_run == 8 * 4
+        assert report.coverage > 0
+
+    def test_campaign_is_seed_deterministic(self):
+        first = DifferentialFuzzer(seed=5, max_packets=8).run(budget=6)
+        second = DifferentialFuzzer(seed=5, max_packets=8).run(budget=6)
+        assert first.to_json() == second.to_json()
+
+    def test_coverage_guides_the_corpus(self):
+        fuzzer = DifferentialFuzzer(seed=4, max_packets=8)
+        fuzzer.run(budget=6)
+        assert fuzzer.corpus
+        assert len(fuzzer.coverage) > 0
+
+
+class TestInjectedFailuresAndShrinking:
+    def test_injected_failure_is_found_and_minimised(self, tmp_path):
+        fuzzer = DifferentialFuzzer(seed=13, max_packets=8,
+                                    repro_dir=str(tmp_path),
+                                    inject_size_threshold=1_024)
+        report = fuzzer.run(budget=12)
+        assert report.failures, "seed 13 must generate a >=1024B size"
+        failure = report.failures[0]
+        assert failure.check == "injected"
+        shrunk = failure.shrunk
+        # Minimal shape: one app, one device, one offending size, one packet.
+        assert len(shrunk.apps) == 1
+        assert len(shrunk.devices) == 1
+        assert len(shrunk.workload.packet_sizes) == 1
+        assert shrunk.workload.packet_sizes[0] >= 1_024
+        assert shrunk.workload.packets_per_point == 1
+        assert shrunk.workload.trace is False
+        assert shrunk.engine == "auto"
+
+    def test_repro_file_replays_the_shrunk_scenario(self, tmp_path):
+        fuzzer = DifferentialFuzzer(seed=13, max_packets=8,
+                                    repro_dir=str(tmp_path),
+                                    inject_size_threshold=1_024)
+        report = fuzzer.run(budget=12)
+        failure = report.failures[0]
+        assert failure.repro_path is not None
+        assert load_scenario(failure.repro_path) == failure.shrunk
+        assert failure.shrunk.scenario_id()[:16] in failure.repro_path
+
+    def test_shrinking_is_deterministic_across_runs(self, tmp_path):
+        runs = []
+        for tag in ("a", "b"):
+            repro_dir = tmp_path / tag
+            fuzzer = DifferentialFuzzer(seed=13, max_packets=8,
+                                        repro_dir=str(repro_dir),
+                                        inject_size_threshold=1_024)
+            report = fuzzer.run(budget=12)
+            runs.append([(f.check, f.detail, f.shrunk.canonical_json())
+                         for f in report.failures])
+        assert runs[0] == runs[1]
+
+    def test_report_json_counts_failures(self):
+        fuzzer = DifferentialFuzzer(seed=13, max_packets=8,
+                                    inject_size_threshold=1)
+        report = fuzzer.run(budget=3)
+        payload = report.to_json()
+        assert payload["ok"] is False
+        assert len(payload["failures"]) == len(report.failures)
+        assert payload["failures"][0]["scenario_id"] == \
+            report.failures[0].shrunk.scenario_id()
+
+
+class TestPinnedCorpus:
+    """Replay of the ten pinned fuzzer scenarios, every run."""
+
+    def test_corpus_files_are_canonical_json(self):
+        for path in corpus_paths():
+            scenario = load_scenario(path)
+            with open(path, encoding="utf-8") as handle:
+                assert handle.read() == scenario.canonical_json() + "\n"
+
+    def test_corpus_replays_clean_through_every_check(self):
+        fuzzer = DifferentialFuzzer(seed=0)
+        for path in corpus_paths():
+            scenario = load_scenario(path)
+            failure = fuzzer.check_scenario(scenario)
+            assert failure is None, (path, failure)
+
+    def test_corpus_ids_match_their_file_names(self):
+        for path in corpus_paths():
+            scenario = load_scenario(path)
+            assert scenario.scenario_id()[:12] in os.path.basename(path)
