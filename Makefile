@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet bench-obs bench-build fuzz-smoke report examples lint all
+.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet bench-obs bench-build bench-serve fuzz-smoke report examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -27,6 +27,9 @@ bench-obs:
 
 bench-build:
 	$(PYTHON) benchmarks/build_smoke.py
+
+bench-serve:
+	$(PYTHON) benchmarks/serve_smoke.py
 
 fuzz-smoke:
 	$(PYTHON) benchmarks/fuzz_smoke.py

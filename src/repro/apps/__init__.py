@@ -16,12 +16,25 @@ __all__ = [
     "RetrievalApp",
     "all_applications",
     "application_by_name",
+    "application_names",
 ]
+
+#: The evaluation's application mix, in Table 2 order.  A type registry
+#: rather than an instance list: some constructors are expensive
+#: (RetrievalApp builds its embedding corpus), so name lookups must not
+#: pay for applications they never asked for.
+_APP_TYPES = (SecGateway, Layer4LoadBalancer, HostNetwork, RetrievalApp,
+              BoardTest)
 
 
 def all_applications():
-    """The evaluation's application mix, in Table 2 order."""
-    return [SecGateway(), Layer4LoadBalancer(), HostNetwork(), RetrievalApp(), BoardTest()]
+    """Fresh instances of the application mix, in Table 2 order."""
+    return [app_type() for app_type in _APP_TYPES]
+
+
+def application_names():
+    """The registered names, in Table 2 order, without constructing any."""
+    return [app_type.name for app_type in _APP_TYPES]
 
 
 def application_by_name(name: str) -> CloudApplication:
@@ -30,14 +43,15 @@ def application_by_name(name: str) -> CloudApplication:
     Sweep workers reconstruct applications from their names (only plain
     strings cross the process boundary), so the lookup lives here rather
     than in the CLI -- which shares this single path instead of keeping
-    its own copy.  Unknown names raise
-    :class:`repro.errors.ConfigurationError` listing the valid names,
-    the same loud contract the scenario spec uses everywhere.
+    its own copy.  Only the named application is constructed.  Unknown
+    names raise :class:`repro.errors.ConfigurationError` listing the
+    valid names, the same loud contract the scenario spec uses
+    everywhere.
     """
-    for app in all_applications():
-        if app.name == name:
-            return app
+    for app_type in _APP_TYPES:
+        if app_type.name == name:
+            return app_type()
     from repro.errors import ConfigurationError
 
-    known = ", ".join(app.name for app in all_applications())
+    known = ", ".join(application_names())
     raise ConfigurationError(f"unknown application {name!r}; known: {known}")

@@ -238,15 +238,6 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _slo_monitor(spec: str):
-    """``--slo`` argument -> monitor: a JSON file path, or ``default``."""
-    from repro.obs.slo import SloMonitor, default_fleet_slos
-
-    if spec == "default":
-        return SloMonitor(default_fleet_slos())
-    return SloMonitor.load(spec)
-
-
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table as _format
     from repro.obs.profiler import SelfProfiler
@@ -316,21 +307,19 @@ def _sweep_scenario(args):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.runtime.sweep import SweepCache, SweepPlan, SweepRunner
+    from repro.runtime.sweep import SweepCache
+    from repro.service import run_sweep_service
 
     scenario = _sweep_scenario(args)
-    plan = SweepPlan.from_scenario(scenario)
     cache = SweepCache()
     if args.cache_file:
         try:
             cache.load(args.cache_file)
         except FileNotFoundError:
             pass                        # first run populates it
-    runner = SweepRunner(plan, workers=args.workers, cache=cache,
-                         use_cache=not args.no_cache, engine=scenario.engine)
-    start = time.perf_counter()
-    result = runner.run()
-    elapsed = time.perf_counter() - start
+    outcome = run_sweep_service(scenario, workers=args.workers, cache=cache,
+                                use_cache=not args.no_cache, slo=args.slo)
+    result = outcome.result
     rows = [
         (point.point.app, point.point.device,
          f"{point.point.packet_size_bytes}B",
@@ -343,7 +332,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ["app", "device", "packet", "Gbps", "latency ns", "cache"], rows,
         title=f"Sweep: {len(result)} points, {args.workers} worker(s)",
     ))
-    print(f"# {elapsed:.3f}s wall, {result.cache_hits}/{len(result)} cache hits",
+    print(f"# {outcome.elapsed_s:.3f}s wall, "
+          f"{result.cache_hits}/{len(result)} cache hits",
           file=sys.stderr)
     if args.cache_file:
         cache.save(args.cache_file)
@@ -357,13 +347,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             json.dump(result.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# wrote point results to {args.json}", file=sys.stderr)
-    if args.slo:
-        from repro.obs.slo import registry_from_sweep
-
-        report = _slo_monitor(args.slo).evaluate(registry_from_sweep(result))
-        print(report.format())
-        return report.exit_code
-    return 0
+    if outcome.slo is not None:
+        print(outcome.slo.format())
+    return outcome.exit_code
 
 
 def _build_scenario(args):
@@ -387,18 +373,16 @@ def _build_scenario(args):
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    from repro.runtime import SimContext
-    from repro.runtime.buildfarm import ArtifactStore, BuildFarm, BuildPlan
+    from repro.runtime.buildfarm import ArtifactStore
+    from repro.service import run_build_service
 
     scenario = _build_scenario(args)
-    plan = BuildPlan.from_scenario(scenario)
-    context = SimContext(name="buildfarm", trace=True)
     store = ArtifactStore(args.cache_dir)
-    farm = BuildFarm(plan, workers=args.workers, store=store,
-                     use_cache=not args.no_cache, context=context)
-    start = time.perf_counter()
-    report = farm.run()
-    elapsed = time.perf_counter() - start
+    outcome = run_build_service(scenario, workers=args.workers, store=store,
+                                use_cache=not args.no_cache, slo=args.slo)
+    report = outcome.result
+    context = outcome.context
+    elapsed = outcome.elapsed_s
     rows = [
         (result.target.role, result.target.device, result.status,
          result.build_key[:12] if result.build_key else "-",
@@ -437,15 +421,34 @@ def cmd_build(args: argparse.Namespace) -> int:
                   newline="\n") as handle:
             handle.write(payload_text)
         print(f"# wrote build trace to {args.trace_out}", file=sys.stderr)
-    if args.slo:
-        from repro.obs.slo import SloMonitor, default_build_slos
+    if outcome.slo is not None:
+        print(outcome.slo.format())
+    return outcome.exit_code
 
-        monitor = (SloMonitor(default_build_slos()) if args.slo == "default"
-                   else SloMonitor.load(args.slo))
-        slo_report = monitor.evaluate(context.metrics, trace=context.trace)
-        print(slo_report.format())
-        return slo_report.exit_code
-    return 0
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, ServingDaemon
+
+    config = ServeConfig(
+        host=args.host, port=args.port, exec_workers=args.exec_workers,
+        max_queue=args.max_queue, quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        cache_entries=args.cache_entries if args.cache_entries > 0 else None,
+        cache_file=args.cache_file, artifact_dir=args.artifact_dir,
+        allow_remote_shutdown=args.allow_remote_shutdown)
+    daemon = ServingDaemon(config)
+
+    def _announce(host: str, port: int) -> None:
+        print(f"serving on http://{host}:{port}", flush=True)
+
+    code = daemon.run(on_ready=_announce)
+    served = daemon.metrics.counter("serve.requests").value
+    coalesce = daemon.coalescer.counters()
+    print(f"# shutdown after {served} request(s), "
+          f"{coalesce['executions']} execution(s), "
+          f"{coalesce['attached']} coalesced, "
+          f"{len(daemon.cache)} cache entr(ies) resident", file=sys.stderr)
+    return code
 
 
 def _fleet_scenario(args):
@@ -479,38 +482,25 @@ def _fleet_scenario(args):
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.runtime import SimContext
-    from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
+    from repro.service import run_fleet_service
 
-    spec = FleetSpec.from_scenario(_fleet_scenario(args))
-    policies = tuple(args.policies) if args.policies else POLICIES
-    context = SimContext(name="fleet", trace=True)
-    simulation = FleetSimulation(spec, context=context)
-    start = time.perf_counter()
-
-    def _run_and_check():
-        outcome = simulation.run(policies)
-        # Evaluate SLOs while any flight recorder is still attached, so
-        # violation instants land inside the streamed trace.
-        report = (_slo_monitor(args.slo).evaluate(context.metrics,
-                                                  trace=context.trace)
-                  if args.slo else None)
-        return outcome, report
-
+    scenario = _fleet_scenario(args)
+    # The service layer runs the simulation, streams the trace through
+    # the flight recorder when asked, and evaluates SLOs while the
+    # recorder is still attached -- identical semantics over HTTP.
+    outcome = run_fleet_service(
+        scenario, policies=args.policies, slo=args.slo,
+        trace_out=args.trace_out, trace_ring=args.trace_ring,
+    )
+    result = outcome.result
+    slo_report = outcome.slo
+    context = outcome.context
+    spec = result.spec
+    elapsed = outcome.elapsed_s
     if args.trace_out:
-        # Stream the trace through the flight recorder: full JSONL on
-        # disk, only the last --trace-ring records resident in memory.
-        from repro.obs.recorder import FlightRecorder
-
-        with FlightRecorder(context.trace, args.trace_out,
-                            ring=args.trace_ring):
-            result, slo_report = _run_and_check()
         print(f"# streamed {context.trace.total_records} trace records "
               f"to {args.trace_out} "
               f"({len(context.trace)} resident)", file=sys.stderr)
-    else:
-        result, slo_report = _run_and_check()
-    elapsed = time.perf_counter() - start
     rows = [
         (policy.policy,
          round(policy.p50_ns / 1_000, 1), round(policy.p99_ns / 1_000, 1),
@@ -548,7 +538,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# wrote fleet results to {args.json}", file=sys.stderr)
-    return slo_report.exit_code if slo_report is not None else 0
+    return outcome.exit_code
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -768,6 +758,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="testing hook: treat any point with packet size "
                            ">= SIZE as failing, to exercise the shrinker")
 
+    serve = commands.add_parser(
+        "serve", help="run the warm serving daemon (resident caches, "
+                      "request coalescing, admission control)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8_787,
+                       help="bind port; 0 picks a free port (default 8787)")
+    serve.add_argument("--exec-workers", type=int, default=4,
+                       help="scenario-execution threads (default 4)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="bounded execution queue; new work beyond this "
+                            "is shed with 503 (default 32)")
+    serve.add_argument("--quota-rps", type=float, default=0.0,
+                       help="per-tenant token-bucket rate in requests/s; "
+                            "0 disables quotas (default 0)")
+    serve.add_argument("--quota-burst", type=float, default=None,
+                       help="per-tenant burst capacity "
+                            "(default 2x --quota-rps)")
+    serve.add_argument("--cache-entries", type=int, default=4_096,
+                       help="sweep-cache LRU bound; 0 means unbounded "
+                            "(default 4096)")
+    serve.add_argument("--cache-file",
+                       help="sweep-cache JSON: loaded at boot, saved on "
+                            "clean shutdown")
+    serve.add_argument("--artifact-dir",
+                       help="build-artifact store directory "
+                            "(default: in-memory)")
+    serve.add_argument("--allow-remote-shutdown", action="store_true",
+                       help="enable POST /v1/shutdown (default: signals only)")
+
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser
 
@@ -785,6 +805,7 @@ _HANDLERS = {
     "sweep": cmd_sweep,
     "build": cmd_build,
     "fleet": cmd_fleet,
+    "serve": cmd_serve,
     "fuzz": cmd_fuzz,
     "report": cmd_report,
 }

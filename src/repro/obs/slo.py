@@ -297,6 +297,35 @@ def default_build_slos(target_p99_s: float = 300.0,
     ]
 
 
+def default_serve_slos(request_p99_s: float = 0.5,
+                       error_ratio: float = 0.01,
+                       shed_ratio: float = 0.10) -> List[SloSpec]:
+    """The stock objectives for the :mod:`repro.serve` daemon.
+
+    * p99 end-to-end request latency (admission -> response bytes
+      queued) stays under ``request_p99_s`` -- the warm-path promise the
+      load benchmark gates;
+    * internal errors (HTTP 500s) stay under ``error_ratio`` of all
+      requests;
+    * load shedding (503s from the bounded admission queue) stays under
+      ``shed_ratio`` -- shedding is the designed overload response, but
+      a daemon shedding more than this is under-provisioned.
+
+    Latency compares against the ``serve.request.wall_ps`` histogram the
+    daemon publishes, so the bound is converted to picoseconds here.
+    Quota rejections (429s) are deliberately *not* an objective: they
+    are the per-tenant contract working, not the service failing.
+    """
+    return [
+        SloSpec(name="serve-request-p99", metric="serve.request.wall_ps",
+                upper=request_p99_s * 1e12),
+        SloSpec(name="serve-error-ratio", metric="serve.responses.500",
+                ratio_to="serve.requests", upper=error_ratio),
+        SloSpec(name="serve-shed-ratio", metric="serve.shed",
+                ratio_to="serve.requests", upper=shed_ratio),
+    ]
+
+
 def registry_from_sweep(result: Any) -> MetricsRegistry:
     """Summarise a :class:`~repro.runtime.sweep.SweepResult` as metrics.
 

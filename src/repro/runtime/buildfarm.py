@@ -46,6 +46,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -186,6 +187,10 @@ class ArtifactStore:
     :class:`ConfigurationError` naming the path rather than surfacing a
     bare JSON traceback.  Without a root the store is a plain in-memory
     dict with the same interface.
+
+    A lock serialises in-memory reads/writes and the hit/miss counters,
+    so one store can stay resident in a serving daemon and be shared by
+    concurrent request threads (the on-disk path is already atomic).
     """
 
     def __init__(self, root: Optional[str] = None) -> None:
@@ -193,6 +198,7 @@ class ArtifactStore:
         if root is not None:
             os.makedirs(root, exist_ok=True)
         self._memory: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -209,7 +215,8 @@ class ArtifactStore:
     def lookup(self, key: str) -> Optional[Dict[str, Any]]:
         """Fetch one artifact; ``None`` (a miss) when absent."""
         if self.root is None:
-            entry = self._memory.get(key)
+            with self._lock:
+                entry = self._memory.get(key)
         else:
             path = self._path(key)
             try:
@@ -229,9 +236,11 @@ class ArtifactStore:
             raise ConfigurationError(
                 f"{source} is not a build artifact (no manifest)")
         if entry is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return entry
 
     def store(self, key: str, entry: Dict[str, Any]) -> None:
@@ -239,7 +248,8 @@ class ArtifactStore:
         if "manifest" not in entry:
             raise ConfigurationError("a build artifact needs a manifest")
         if self.root is None:
-            self._memory[key] = dict(entry)
+            with self._lock:
+                self._memory[key] = dict(entry)
             return
         path = self._path(key)
         handle = tempfile.NamedTemporaryFile(
@@ -267,7 +277,13 @@ class ArtifactStore:
 #: Process-wide tailored-shell memo keyed by the tailor-signature hash.
 #: Device variants sharing hardware resolve to one entry; pool workers
 #: forked from a parent that already resolved the plan inherit it warm.
+#: :data:`_MEMO_LOCK` guards this memo, :data:`_TAILOR_FAILED`, and
+#: :data:`_RESOLVE_MEMO`: the serving daemon resolves builds from
+#: concurrent request threads, and interleaved dict writes must not be
+#: able to corrupt an entry or double-count a failure.
 _TAILOR_MEMO: Dict[str, TailoredShell] = {}
+
+_MEMO_LOCK = threading.Lock()
 
 
 def _tailor_key(device, demands) -> str:
@@ -291,18 +307,23 @@ def _tailored_shell(device, app) -> Tuple[str, TailoredShell, bool]:
     from repro.errors import TailoringError
 
     key = _tailor_key(device, app.role().demands)
-    shell = _TAILOR_MEMO.get(key)
-    if shell is not None:
-        return key, shell, True
-    failure = _TAILOR_FAILED.get(key)
+    with _MEMO_LOCK:
+        shell = _TAILOR_MEMO.get(key)
+        if shell is not None:
+            return key, shell, True
+        failure = _TAILOR_FAILED.get(key)
     if failure is not None:
         raise TailoringError(failure)
+    # Tailoring is deterministic: two threads racing here compute
+    # interchangeable shells (or identical failures); first store wins.
     try:
         shell = app.tailored_shell(device)
     except TailoringError as error:
-        _TAILOR_FAILED[key] = str(error)
+        with _MEMO_LOCK:
+            _TAILOR_FAILED.setdefault(key, str(error))
         raise
-    _TAILOR_MEMO[key] = shell
+    with _MEMO_LOCK:
+        shell = _TAILOR_MEMO.setdefault(key, shell)
     return key, shell, False
 
 
@@ -613,14 +634,16 @@ class BuildFarm:
         # themselves.  Only the per-run bookkeeping stays outside.
         memo_key = (device.name, target.role, self.plan.effort,
                     self.plan.software)
-        template = _RESOLVE_MEMO.get(memo_key)
+        with _MEMO_LOCK:
+            template = _RESOLVE_MEMO.get(memo_key)
         if template is not None:
             resolved = dataclasses.replace(template, target=target)
             if resolved.tailor_key:
                 _count_tailor_key(seen_tailor_keys, resolved.tailor_key)
             return resolved
         resolved = self._resolve_fresh(target, device)
-        _RESOLVE_MEMO[memo_key] = resolved
+        with _MEMO_LOCK:
+            _RESOLVE_MEMO.setdefault(memo_key, resolved)
         if resolved.tailor_key:
             _count_tailor_key(seen_tailor_keys, resolved.tailor_key)
         return resolved
@@ -721,7 +744,8 @@ class BuildFarm:
             if item.error:
                 statuses[index] = "incompatible"
                 continue
-            memoised_failure = _BUILD_FAILED.get(item.build_key)
+            with _MEMO_LOCK:
+                memoised_failure = _BUILD_FAILED.get(item.build_key)
             if memoised_failure is not None:
                 entries[item.build_key] = dict(memoised_failure)
                 statuses[index] = "failed"  # reclassified from the entry
@@ -755,8 +779,9 @@ class BuildFarm:
                 entry = entries[key]
                 if "error" in entry:
                     if entry.get("kind") in _INCOMPATIBLE_KINDS:
-                        _BUILD_FAILED[key] = {"error": entry["error"],
-                                              "kind": entry["kind"]}
+                        with _MEMO_LOCK:
+                            _BUILD_FAILED[key] = {"error": entry["error"],
+                                                  "kind": entry["kind"]}
                 elif self.use_cache:
                     self.store.store(
                         key, {"schema": BUILD_SCHEMA,

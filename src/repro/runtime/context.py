@@ -31,6 +31,7 @@ Components resolve their context with :func:`ensure_context`:
 """
 
 import contextlib
+import threading
 from typing import Iterator, List, Optional
 
 from repro.errors import ConfigurationError
@@ -39,8 +40,27 @@ from repro.runtime.trace import TraceBus
 from repro.sim.clock import ClockDomain
 from repro.sim.engine import Simulator
 
-#: Innermost-last stack of ambient contexts (``with SimContext():``).
-_ACTIVE: List["SimContext"] = []
+
+class _AmbientStacks(threading.local):
+    """Innermost-last stack of ambient contexts, one per thread.
+
+    ``with SimContext():`` is a dynamically scoped binding, and dynamic
+    scope follows the call stack -- which is per thread.  A process-wide
+    list would let one serving-daemon request's ``isolated_context_stack``
+    save/clear/restore race another request's ``activate``; per-thread
+    stacks make ambient resolution immune to concurrent requests while
+    staying invisible to single-threaded callers.
+    """
+
+    def __init__(self) -> None:
+        self.stack: List["SimContext"] = []
+
+
+_AMBIENT = _AmbientStacks()
+
+
+def _active() -> List["SimContext"]:
+    return _AMBIENT.stack
 
 
 class ClockRegistry:
@@ -120,16 +140,16 @@ class SimContext:
     # --- ambient management -------------------------------------------------
 
     def activate(self) -> "SimContext":
-        _ACTIVE.append(self)
+        _active().append(self)
         return self
 
     def deactivate(self) -> None:
-        if not _ACTIVE or _ACTIVE[-1] is not self:
+        if not _active() or _active()[-1] is not self:
             raise ConfigurationError(
                 "SimContext deactivated out of order; use it as a "
                 "context manager"
             )
-        _ACTIVE.pop()
+        _active().pop()
 
     def __enter__(self) -> "SimContext":
         return self.activate()
@@ -144,27 +164,31 @@ class SimContext:
 
 
 def current_context() -> Optional[SimContext]:
-    """The innermost ambient context, if any."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """The innermost ambient context of the calling thread, if any."""
+    stack = _active()
+    return stack[-1] if stack else None
 
 
 @contextlib.contextmanager
 def isolated_context_stack() -> Iterator[None]:
-    """Temporarily hide every ambient context.
+    """Temporarily hide the calling thread's ambient contexts.
 
     Inside the block, :func:`current_context` returns ``None`` no matter
     what ``with SimContext():`` blocks enclose the caller.  The sweep
     runner uses this so an in-process (``workers=1``) run resolves
     contexts exactly like a worker process would -- a freshly spawned
     worker has an empty ambient stack, and determinism across worker
-    counts depends on the serial path seeing the same thing.
+    counts depends on the serial path seeing the same thing.  Stacks are
+    per thread, so hiding this thread's contexts never disturbs a
+    concurrent request's.
     """
-    saved = _ACTIVE[:]
-    _ACTIVE.clear()
+    stack = _active()
+    saved = stack[:]
+    stack.clear()
     try:
         yield
     finally:
-        _ACTIVE[:] = saved
+        stack[:] = saved
 
 
 def ensure_context(context: Optional[SimContext] = None) -> SimContext:

@@ -38,6 +38,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -200,35 +202,74 @@ class SweepCache:
     byte for byte.  An entry without a stored trace does **not** satisfy
     a traced request (it counts as a miss), so enabling tracing never
     silently loses spans.
+
+    ``max_entries`` bounds residency: the cache becomes an LRU (a hit
+    refreshes an entry, a store beyond the bound evicts the least
+    recently used one), so a long-lived serving daemon that keeps one
+    cache resident forever cannot grow it without limit.  Evictions are
+    counted on :attr:`evictions` and, when a registry is attached via
+    :meth:`attach_metrics`, on the ``sweep.cache.evictions`` counter.
+
+    All mutating operations take an internal lock, so one cache can be
+    shared by concurrent daemon request threads.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[str, Dict[str, Any]] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1 (or None)")
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._metrics = None
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def attach_metrics(self, registry) -> "SweepCache":
+        """Count future evictions on ``registry`` (``sweep.cache.evictions``)."""
+        self._metrics = registry
+        return self
+
+    def _evict_over_bound(self) -> None:
+        # Called with the lock held.
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._metrics is not None:
+                self._metrics.increment("sweep.cache.evictions")
+
     def lookup(self, key: str, need_trace: bool) -> Optional[Dict[str, Any]]:
-        entry = self._entries.get(key)
-        if entry is None or (need_trace and "trace_jsonl" not in entry):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or (need_trace and "trace_jsonl" not in entry):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: str, entry: Dict[str, Any]) -> None:
-        existing = self._entries.get(key)
-        if (existing is not None and "trace_jsonl" in existing
-                and "trace_jsonl" not in entry):
-            return  # never downgrade an entry that carries its trace
-        self._entries[key] = dict(entry)
+        with self._lock:
+            existing = self._entries.get(key)
+            if (existing is not None and "trace_jsonl" in existing
+                    and "trace_jsonl" not in entry):
+                self._entries.move_to_end(key)
+                return  # never downgrade an entry that carries its trace
+            self._entries[key] = dict(entry)
+            self._entries.move_to_end(key)
+            self._evict_over_bound()
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     # --- persistence --------------------------------------------------------
 
@@ -240,6 +281,8 @@ class SweepCache:
         run interrupted mid-save leaves either the old file or the new
         one -- never a truncated half-cache.
         """
+        with self._lock:
+            snapshot = {key: entry for key, entry in self._entries.items()}
         directory = os.path.dirname(os.path.abspath(path))
         handle = tempfile.NamedTemporaryFile(
             "w", dir=directory, prefix=os.path.basename(path) + ".",
@@ -247,7 +290,7 @@ class SweepCache:
         )
         try:
             with handle:
-                json.dump(self._entries, handle, sort_keys=True,
+                json.dump(snapshot, handle, sort_keys=True,
                           separators=(",", ":"))
                 handle.write("\n")
             os.replace(handle.name, path)
@@ -257,7 +300,7 @@ class SweepCache:
             except OSError:
                 pass
             raise
-        return len(self._entries)
+        return len(snapshot)
 
     def load(self, path: str) -> int:
         """Merge entries from ``path``; returns how many were loaded.
@@ -276,8 +319,10 @@ class SweepCache:
                 ) from None
         if not isinstance(loaded, dict):
             raise ConfigurationError(f"{path} is not a sweep cache file")
-        for key, entry in loaded.items():
-            self._entries.setdefault(key, entry)
+        with self._lock:
+            for key, entry in loaded.items():
+                self._entries.setdefault(key, entry)
+            self._evict_over_bound()
         return len(loaded)
 
 
@@ -300,6 +345,16 @@ def _build_chain(point: SweepPoint):
     return app.datapath(shell, point.with_harmonia)
 
 
+#: One point executes at a time per process.  A point run mutates
+#: process-wide state -- the global transaction-id counter and the
+#: memoised (stateful, resettable) chains -- so two daemon request
+#: threads interleaving would produce nondeterministic ids and corrupt
+#: FIFO state.  The lock makes the critical section atomic; it costs the
+#: single-threaded CLI nothing, and Python threads never overlapped the
+#: CPU-bound simulation anyway.
+_POINT_LOCK = threading.RLock()
+
+
 def _run_chain_point(chain, point: SweepPoint) -> Dict[str, Any]:
     """Run one point on ``chain``; pure function of the chain's content.
 
@@ -312,7 +367,7 @@ def _run_chain_point(chain, point: SweepPoint) -> Dict[str, Any]:
 
     from repro.sim.pipeline import reset_transaction_ids
 
-    with _profile_phase("sweep.point"), isolated_context_stack():
+    with _POINT_LOCK, _profile_phase("sweep.point"), isolated_context_stack():
         # Every point starts from transaction id 0, so the ids a traced
         # point embeds in its spans cannot depend on pool-worker reuse
         # or on whatever ran earlier in this process.
@@ -335,16 +390,23 @@ def _run_chain_point(chain, point: SweepPoint) -> Dict[str, Any]:
 #: Process-wide chain memo.  The (app, device, variant) combo repeats
 #: across the packet-size axis and across runs, and a chain is a pure
 #: (resettable) function of its combo, so each process -- pool worker or
-#: parent -- tailors a given shell at most once.
+#: parent -- tailors a given shell at most once.  Reads and writes take
+#: :data:`_CHAIN_MEMO_LOCK`: concurrent daemon requests must never
+#: interleave dict writes or observe a half-installed entry.
 _CHAIN_MEMO: Dict[Tuple[str, str, bool], Any] = {}
+_CHAIN_MEMO_LOCK = threading.Lock()
 
 
 def _chain_for(point: SweepPoint):
     combo = (point.app, point.device, point.with_harmonia)
-    chain = _CHAIN_MEMO.get(combo)
+    with _CHAIN_MEMO_LOCK:
+        chain = _CHAIN_MEMO.get(combo)
     if chain is None:
+        # Tailoring is deterministic, so two threads racing to build the
+        # same chain produce interchangeable objects; first store wins.
         chain = _build_chain(point)
-        _CHAIN_MEMO[combo] = chain
+        with _CHAIN_MEMO_LOCK:
+            chain = _CHAIN_MEMO.setdefault(combo, chain)
     return chain
 
 

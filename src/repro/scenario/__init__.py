@@ -19,6 +19,7 @@ from repro.scenario.spec import (
     load_scenario,
     loads_scenario,
     require_app,
+    require_app_name,
     require_device,
     require_engine,
     save_scenario,
@@ -60,6 +61,7 @@ __all__ = [
     "load_scenario",
     "loads_scenario",
     "require_app",
+    "require_app_name",
     "require_device",
     "require_engine",
     "save_scenario",

@@ -72,9 +72,9 @@ DEFAULT_BUILD_SOFTWARE: Tuple[str, ...] = ("driver", "runtime-lib", "health-agen
 @functools.lru_cache(maxsize=1)
 def known_app_names() -> Tuple[str, ...]:
     """Registered application names, in Table 2 order."""
-    from repro.apps import all_applications
+    from repro.apps import application_names
 
-    return tuple(app.name for app in all_applications())
+    return tuple(application_names())
 
 
 @functools.lru_cache(maxsize=1)
@@ -85,6 +85,16 @@ def known_device_names() -> Tuple[str, ...]:
     return tuple(sorted(device.name for device in all_devices()))
 
 
+def require_app_name(name: str) -> str:
+    """Application-name check without constructing anything; loud."""
+    if name not in known_app_names():
+        raise ConfigurationError(
+            f"unknown application {name!r}; known: "
+            f"{', '.join(known_app_names())}"
+        )
+    return name
+
+
 def require_app(name: str):
     """Application-name lookup that fails loudly and consistently.
 
@@ -93,12 +103,7 @@ def require_app(name: str):
     """
     from repro.apps import application_by_name
 
-    if name not in known_app_names():
-        raise ConfigurationError(
-            f"unknown application {name!r}; known: "
-            f"{', '.join(known_app_names())}"
-        )
-    return application_by_name(name)
+    return application_by_name(require_app_name(name))
 
 
 def require_device(name: str, variants: bool = False):
@@ -469,7 +474,7 @@ class Scenario:
     def validate_names(self) -> "Scenario":
         """Check every app/device name against the registries; loud."""
         for name in self.apps:
-            require_app(name)
+            require_app_name(name)
         variants = self.kind == "build"
         for name in self.devices:
             require_device(name, variants=variants)

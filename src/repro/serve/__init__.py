@@ -1,0 +1,38 @@
+"""Warm serving daemon: resident caches behind a stdlib HTTP front end.
+
+See ``docs/serving.md`` for the API, admission-control semantics, and
+the warm-state model; :mod:`repro.serve.daemon` for the server itself.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.client import (
+    HttpResponse,
+    LoadGenerator,
+    LoadReport,
+    ServeClient,
+    http_request,
+    percentile,
+)
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.daemon import (
+    DaemonHandle,
+    ServeConfig,
+    ServingDaemon,
+    serve_in_thread,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DaemonHandle",
+    "HttpResponse",
+    "LoadGenerator",
+    "LoadReport",
+    "RequestCoalescer",
+    "ServeClient",
+    "ServeConfig",
+    "ServingDaemon",
+    "TokenBucket",
+    "http_request",
+    "percentile",
+    "serve_in_thread",
+]

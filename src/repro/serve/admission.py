@@ -1,0 +1,136 @@
+"""Admission control for the serving daemon.
+
+The daemon's front door applies two independent checks before any work
+is queued, in this order:
+
+1. **per-tenant token-bucket quotas** -- each tenant (the ``X-Tenant``
+   request header) owns a :class:`TokenBucket` refilled at
+   ``quota_rps`` tokens per second up to a ``quota_burst`` ceiling.  A
+   request that finds the bucket empty is rejected with HTTP 429: the
+   tenant exceeded *its* contract, independent of how loaded the
+   daemon is.  ``quota_rps <= 0`` disables quotas entirely.
+2. **a bounded execution queue** -- at most ``max_queue`` executions
+   may be queued-or-running at once.  A request that needs a *new*
+   execution beyond the bound is shed with HTTP 503: the daemon
+   protects its latency by refusing work instead of building an
+   unbounded backlog.  Requests that coalesce onto an execution already
+   in flight never consume a slot -- attaching is free.
+
+Both checks are lock-protected and clock-injectable, so unit tests are
+deterministic and concurrent request threads cannot corrupt counters.
+"""
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+class TokenBucket:
+    """One tenant's rate contract: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ConfigurationError("token bucket rate must be positive")
+        if burst < 1:
+            raise ConfigurationError("token bucket burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate)
+            self._refilled_at = now
+            if self._tokens < tokens:
+                return False
+            self._tokens -= tokens
+            return True
+
+    @property
+    def tokens(self) -> float:
+        """The current (refilled) token level; for introspection/tests."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled_at) * self.rate)
+            self._refilled_at = now
+            return self._tokens
+
+
+class AdmissionController:
+    """Quotas plus the bounded execution queue, behind one lock."""
+
+    def __init__(self, max_queue: int, quota_rps: float = 0.0,
+                 quota_burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if quota_burst is not None and quota_burst < 1:
+            raise ConfigurationError("quota_burst must be >= 1 (or None)")
+        self.max_queue = max_queue
+        self.quota_rps = float(quota_rps)
+        self.quota_burst = (float(quota_burst) if quota_burst is not None
+                            else max(1.0, 2.0 * self.quota_rps))
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.quota_rejections = 0
+        self.shed = 0
+
+    # --- per-tenant quotas --------------------------------------------------
+
+    def check_quota(self, tenant: str) -> bool:
+        """True when ``tenant`` may proceed; False counts a rejection."""
+        if self.quota_rps <= 0:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.quota_rps, self.quota_burst,
+                                     clock=self._clock)
+                self._buckets[tenant] = bucket
+        if bucket.try_acquire():
+            return True
+        with self._lock:
+            self.quota_rejections += 1
+        return False
+
+    def tenants(self) -> Dict[str, float]:
+        """Current token level per known tenant (for ``/stats``)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {tenant: bucket.tokens for tenant, bucket in buckets.items()}
+
+    # --- bounded execution queue -------------------------------------------
+
+    def try_enter(self) -> bool:
+        """Claim one execution slot; False (a shed) when the queue is full."""
+        with self._lock:
+            if self._in_flight >= self.max_queue:
+                self.shed += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def leave(self) -> None:
+        """Release a slot claimed by :meth:`try_enter`."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise ConfigurationError(
+                    "admission leave() without a matching try_enter()")
+            self._in_flight -= 1
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._in_flight

@@ -1,0 +1,215 @@
+"""Stdlib HTTP client and closed-loop load generator for the daemon.
+
+The client is a thin socket wrapper (the daemon speaks
+``Connection: close`` HTTP/1.1, so one socket per request is the
+protocol, not a shortcut).  :class:`LoadGenerator` drives the daemon
+from ``concurrency`` worker threads in a closed loop -- each worker
+issues its next request as soon as the previous response lands -- and
+records per-request latency so benchmarks can gate on percentiles.
+"""
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+def http_request(host: str, port: int, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None,
+                 timeout: float = 60.0) -> HttpResponse:
+    """One HTTP/1.1 request over a fresh socket; parses the full response."""
+    payload = body or b""
+    lines = [f"{method} {path} HTTP/1.1",
+             f"Host: {host}:{port}",
+             f"Content-Length: {len(payload)}",
+             "Connection: close"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    request = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(request)
+        chunks = []
+        while True:
+            chunk = sock.recv(65_536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    response_headers: Dict[str, str] = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    return HttpResponse(status=status, headers=response_headers, body=rest)
+
+
+class ServeClient:
+    """Typed helpers over :func:`http_request` for one daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _get(self, path: str) -> HttpResponse:
+        return http_request(self.host, self.port, "GET", path,
+                            timeout=self.timeout)
+
+    def health(self) -> Dict[str, Any]:
+        return self._get("/healthz").json()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._get("/stats").json()
+
+    def slo(self) -> Dict[str, Any]:
+        return self._get("/slo").json()
+
+    def metrics_text(self) -> str:
+        return self._get("/metrics").body.decode("utf-8")
+
+    def run_scenario(self, scenario: Any, *, endpoint: str = "run",
+                     slo: Optional[str] = None,
+                     tenant: Optional[str] = None) -> HttpResponse:
+        """POST one scenario (a dict, JSON text, or Scenario object)."""
+        if hasattr(scenario, "to_json"):
+            scenario = scenario.to_json()
+        if isinstance(scenario, (dict, list)):
+            body = json.dumps(scenario).encode("utf-8")
+        elif isinstance(scenario, str):
+            body = scenario.encode("utf-8")
+        else:
+            body = scenario
+        path = f"/v1/{endpoint}"
+        if slo is not None:
+            path += f"?slo={slo}"
+        headers = {"X-Tenant": tenant} if tenant else None
+        return http_request(self.host, self.port, "POST", path, body=body,
+                            headers=headers, timeout=self.timeout)
+
+    def shutdown(self) -> HttpResponse:
+        return http_request(self.host, self.port, "POST", "/v1/shutdown",
+                            timeout=self.timeout)
+
+
+@dataclass
+class LoadReport:
+    """What a load run observed, ready for benchmark gates."""
+
+    sent: int = 0
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        return self.status_counts.get(200, 0)
+
+    @property
+    def rps(self) -> float:
+        return self.sent / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency at ``fraction`` (e.g. 0.99) in seconds; 0 when empty."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "status_counts": {str(code): count
+                              for code, count in sorted(
+                                  self.status_counts.items())},
+            "rps": round(self.rps, 3),
+            "latency_p50_s": round(self.latency_percentile(0.50), 6),
+            "latency_p99_s": round(self.latency_percentile(0.99), 6),
+            "elapsed_s": round(self.elapsed_s, 6),
+            "errors": self.errors[:10],
+        }
+
+
+class LoadGenerator:
+    """Closed-loop load: N threads, round-robin over scenario bodies."""
+
+    def __init__(self, host: str, port: int,
+                 bodies: Sequence[bytes], *, endpoint: str = "run",
+                 slo: Optional[str] = None, tenant: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        if not bodies:
+            raise ValueError("LoadGenerator needs at least one request body")
+        self.client = ServeClient(host, port, timeout=timeout)
+        self.bodies = list(bodies)
+        self.endpoint = endpoint
+        self.slo = slo
+        self.tenant = tenant
+
+    def run(self, requests: int, concurrency: int = 1) -> LoadReport:
+        """Issue ``requests`` total requests from ``concurrency`` threads."""
+        report = LoadReport()
+        lock = threading.Lock()
+        next_index = [0]
+
+        def _worker() -> None:
+            while True:
+                with lock:
+                    index = next_index[0]
+                    if index >= requests:
+                        return
+                    next_index[0] += 1
+                body = self.bodies[index % len(self.bodies)]
+                start = time.perf_counter()
+                try:
+                    response = self.client.run_scenario(
+                        body, endpoint=self.endpoint, slo=self.slo,
+                        tenant=self.tenant)
+                    status: Optional[int] = response.status
+                    error = None
+                except Exception as exc:
+                    status, error = None, f"{type(exc).__name__}: {exc}"
+                latency = time.perf_counter() - start
+                with lock:
+                    report.sent += 1
+                    report.latencies_s.append(latency)
+                    if status is not None:
+                        report.status_counts[status] = (
+                            report.status_counts.get(status, 0) + 1)
+                    if error is not None:
+                        report.errors.append(error)
+
+        threads = [threading.Thread(target=_worker, name=f"load-{i}")
+                   for i in range(max(1, concurrency))]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Shared percentile helper (same indexing as :class:`LoadReport`)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]

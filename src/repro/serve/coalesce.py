@@ -1,0 +1,80 @@
+"""Request coalescing: fold concurrent identical scenarios into one run.
+
+The daemon keys every execution request by ``(kind, scenario_id, slo)``.
+While an execution for a key is in flight, further requests for the same
+key *attach* to it instead of spawning their own run: one thread does
+the work, everyone receives the leader's response bytes.  This is safe
+because the service layer's ``response_text()`` is a pure function of
+the key -- cache temperature, worker count, and wall-clock never appear
+in the body -- so the follower's response is byte-identical to what a
+solo run would have produced.
+
+The coalescer is deliberately asyncio-agnostic: it hands out
+:class:`concurrent.futures.Future` objects, which the daemon awaits via
+``asyncio.wrap_future`` and tests can block on directly.
+"""
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Hashable, Tuple
+
+
+class RequestCoalescer:
+    """In-flight execution table keyed by scenario identity."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, Future] = {}
+        self.executions = 0   # requests that became the leader of a run
+        self.attached = 0     # requests folded onto an in-flight run
+
+    def join(self, key: Hashable) -> Tuple[bool, Future]:
+        """Attach to ``key``'s in-flight run, or become its leader.
+
+        Returns ``(leader, future)``.  The leader MUST eventually call
+        :meth:`resolve` or :meth:`reject` with the same future, or every
+        attached request hangs.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.attached += 1
+                return False, future
+            future = Future()
+            self._inflight[key] = future
+            self.executions += 1
+            return True, future
+
+    def resolve(self, key: Hashable, future: Future, value: object) -> None:
+        """Publish the leader's result to every request holding ``future``.
+
+        The key is retired *before* the future resolves: a request
+        arriving after completion starts a fresh run (which will hit the
+        resident caches) rather than receiving a stale future.
+        """
+        self._retire(key, future)
+        future.set_result(value)
+
+    def reject(self, key: Hashable, future: Future,
+               error: BaseException) -> None:
+        """Propagate the leader's failure to every attached request."""
+        self._retire(key, future)
+        future.set_exception(error)
+
+    def _retire(self, key: Hashable, future: Future) -> None:
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "executions": self.executions,
+                "attached": self.attached,
+                "inflight": len(self._inflight),
+            }

@@ -1,0 +1,494 @@
+"""The warm serving daemon: resident caches behind a small HTTP front end.
+
+One-shot CLI invocations pay the full cold-start bill on every run:
+interpreter boot, import graph, chain construction, and -- dominating
+everything for repeated scenarios -- recomputing results whose inputs
+did not change.  The daemon keeps the expensive state **resident**
+instead:
+
+* one process-wide :class:`~repro.runtime.sweep.SweepCache` (bounded
+  LRU, optionally file-backed) so a sweep point computed for any
+  request is a dictionary lookup for every later request;
+* one :class:`~repro.runtime.buildfarm.ArtifactStore` so tailored-shell
+  builds resolve from content-addressed artifacts;
+* the process-wide memos (sweep chains, tailoring, resolve) that the
+  runtime already keeps -- now thread-safe -- stay hot across requests.
+
+The HTTP surface is deliberately tiny and stdlib-only (asyncio
+``start_server`` plus a hand-rolled HTTP/1.1 parser): this is an
+operator-facing control plane for a simulation framework, not a
+general web server.  Connections are ``Connection: close``; request
+bodies are Scenario JSON exactly as ``repro.cli`` consumes from disk.
+
+Endpoints::
+
+    GET  /healthz          liveness + uptime + warm-state summary
+    GET  /metrics          Prometheus text exposition of the daemon registry
+    GET  /stats            JSON: registry snapshot, coalescer, admission, cache
+    GET  /slo              evaluate the serving SLOs against the registry
+    POST /v1/sweep         execute a sweep scenario (body: Scenario JSON)
+    POST /v1/fleet         execute a fleet scenario
+    POST /v1/build         execute a build scenario
+    POST /v1/run           execute any scenario (kind from the body)
+    POST /v1/shutdown      clean shutdown (only with --allow-remote-shutdown)
+
+Execution requests accept ``?slo=default`` (the stock objectives for
+the scenario's kind via :func:`repro.service.slo_monitor_for`; arbitrary
+spec *files* are CLI-only -- an HTTP query must not name server paths)
+and identify their tenant via the ``X-Tenant`` header.
+
+Request flow: quota check (429) -> coalescer join -- followers attach
+to an in-flight identical run for free -> leaders claim a bounded
+queue slot (503 when full) and execute on a thread pool.  Responses for
+identical scenarios are byte-identical no matter how they were served;
+see :mod:`repro.serve.coalesce` and ``docs/serving.md``.
+"""
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ConfigurationError, HarmoniaError
+from repro.runtime.buildfarm import ArtifactStore
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.sweep import SweepCache
+from repro.scenario import Scenario
+from repro.serve.admission import AdmissionController
+from repro.serve.coalesce import RequestCoalescer
+from repro.service import run_scenario, slo_monitor_for
+
+_MAX_REQUEST_LINE = 8_192
+_MAX_HEADERS = 100
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Raised by handlers to produce a non-200 JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs; mirrors the ``repro.cli serve`` flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = let the kernel pick (tests)
+    exec_workers: int = 4              # scenario-execution thread pool
+    max_queue: int = 32                # bounded execution queue (503 beyond)
+    quota_rps: float = 0.0             # per-tenant tokens/s; <= 0 disables
+    quota_burst: Optional[float] = None
+    cache_entries: Optional[int] = 4_096   # SweepCache LRU bound; None = unbounded
+    cache_file: Optional[str] = None   # load at boot, save on clean shutdown
+    artifact_dir: Optional[str] = None  # ArtifactStore root; None = in-memory
+    max_body: int = 1 << 20            # request body ceiling (413 beyond)
+    allow_remote_shutdown: bool = False
+
+    def validate(self) -> None:
+        if self.exec_workers < 1:
+            raise ConfigurationError("exec_workers must be >= 1")
+        if self.max_body < 1:
+            raise ConfigurationError("max_body must be >= 1")
+        # max_queue / quota / cache bounds validate in their own types.
+
+
+class ServingDaemon:
+    """The long-lived server; owns all warm state.
+
+    Construct once, then either :meth:`run` (blocking, installs signal
+    handlers when on the main thread) or drive it from a test thread via
+    :func:`serve_in_thread`.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.metrics = MetricsRegistry()
+        self.cache = SweepCache(max_entries=self.config.cache_entries)
+        self.cache.attach_metrics(self.metrics)
+        if self.config.cache_file:
+            try:
+                self.cache.load(self.config.cache_file)
+            except FileNotFoundError:
+                pass  # first boot: the file appears on clean shutdown
+        self.store = ArtifactStore(self.config.artifact_dir)
+        self.coalescer = RequestCoalescer()
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            quota_rps=self.config.quota_rps,
+            quota_burst=self.config.quota_burst,
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.exec_workers,
+            thread_name_prefix="serve-exec")
+        self.started_at = time.monotonic()
+        self.port: Optional[int] = None   # bound port, set once listening
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run(self, on_ready: Optional[Callable[[str, int], None]] = None) -> int:
+        """Serve until stopped; returns 0 on clean shutdown."""
+        asyncio.run(self._main(on_ready))
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Begin a clean shutdown; safe from any thread or signal context."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            return
+        loop.call_soon_threadsafe(stop.set)
+
+    async def _main(self, on_ready: Optional[Callable[[str, int], None]]) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._install_signal_handlers()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.ready.set()
+        if on_ready is not None:
+            on_ready(self.config.host, self.port)
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            self.executor.shutdown(wait=True)
+            if self.config.cache_file:
+                self.cache.save(self.config.cache_file)
+
+    def _install_signal_handlers(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return  # serve_in_thread: stopped via request_shutdown()
+        loop = self._loop
+        assert loop is not None and self._stop is not None
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self._stop.set)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(signum, lambda *_: self.request_shutdown())
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing                                                      #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        start = time.perf_counter()
+        status, body, extra = 500, b"", {}
+        try:
+            method, target, headers, payload = await self._read_request(reader)
+            self.metrics.increment("serve.requests")
+            with self._requests_lock:
+                self._requests += 1
+            status, body, extra = await self._route(
+                method, target, headers, payload)
+        except _HttpError as exc:
+            self.metrics.increment("serve.requests")
+            status, body = exc.status, _error_body(exc.status, exc.message)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as exc:  # a handler bug, not a client error
+            status, body = 500, _error_body(500, f"internal error: {exc}")
+        try:
+            self.metrics.increment(f"serve.responses.{status}")
+            elapsed = time.perf_counter() - start
+            self.metrics.observe("serve.request.wall_ps",
+                                 int(elapsed * 1e12))
+            self.metrics.set_gauge("serve.queue.depth",
+                                   self.admission.queue_depth)
+            writer.write(_render_response(status, body, extra))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, Dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        if len(request_line) > _MAX_REQUEST_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS + 1):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= _MAX_HEADERS:
+                raise _HttpError(400, "too many headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length < 0:
+            raise _HttpError(400, "negative Content-Length")
+        if length > self.config.max_body:
+            raise _HttpError(
+                413, f"body of {length} bytes exceeds the "
+                f"{self.config.max_body}-byte limit")
+        payload = await reader.readexactly(length) if length else b""
+        return method, target, headers, payload
+
+    async def _route(self, method: str, target: str,
+                     headers: Dict[str, str], payload: bytes
+                     ) -> Tuple[int, bytes, Dict[str, str]]:
+        url = urlsplit(target)
+        path = url.path
+        query = dict(parse_qsl(url.query))
+        if path in ("/healthz", "/metrics", "/stats", "/slo"):
+            if method != "GET":
+                raise _HttpError(405, f"{path} is GET-only")
+            return getattr(self, "_get_" + path.strip("/"))()
+        if path == "/v1/shutdown":
+            if method != "POST":
+                raise _HttpError(405, "/v1/shutdown is POST-only")
+            if not self.config.allow_remote_shutdown:
+                raise _HttpError(
+                    404, "remote shutdown is disabled; start the daemon "
+                    "with --allow-remote-shutdown or send SIGTERM")
+            self.request_shutdown()
+            return 200, _json_body({"status": "shutting down"}), {}
+        if path.startswith("/v1/"):
+            kind = path[len("/v1/"):]
+            if kind not in ("sweep", "fleet", "build", "run"):
+                raise _HttpError(404, f"unknown endpoint {path!r}")
+            if method != "POST":
+                raise _HttpError(405, f"{path} is POST-only")
+            return await self._execute(kind, headers, payload, query)
+        raise _HttpError(404, f"unknown endpoint {path!r}")
+
+    # ------------------------------------------------------------------ #
+    # read-only endpoints                                                #
+    # ------------------------------------------------------------------ #
+
+    def _get_healthz(self) -> Tuple[int, bytes, Dict[str, str]]:
+        with self._requests_lock:
+            requests = self._requests
+        return 200, _json_body({
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests": requests,
+            "warm": {
+                "sweep_cache_entries": len(self.cache),
+                "artifact_store_entries": len(self.store),
+            },
+        }), {}
+
+    def _get_metrics(self) -> Tuple[int, bytes, Dict[str, str]]:
+        from repro.obs.prometheus import to_prometheus_text
+
+        text = to_prometheus_text(self.metrics)
+        return 200, text.encode("utf-8"), {
+            "Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+
+    def _get_stats(self) -> Tuple[int, bytes, Dict[str, str]]:
+        return 200, _json_body({
+            "metrics": self.metrics.snapshot(),
+            "coalescer": self.coalescer.counters(),
+            "admission": {
+                "queue_depth": self.admission.queue_depth,
+                "max_queue": self.admission.max_queue,
+                "shed": self.admission.shed,
+                "quota_rejections": self.admission.quota_rejections,
+                "tenants": self.admission.tenants(),
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "max_entries": self.cache.max_entries,
+                "evictions": self.cache.evictions,
+            },
+        }), {}
+
+    def _get_slo(self) -> Tuple[int, bytes, Dict[str, str]]:
+        monitor = slo_monitor_for("serve", "default")
+        report = monitor.evaluate(self.metrics)
+        body = dict(report.to_json())
+        body["exit_code"] = report.exit_code
+        return 200, _json_body(body), {}
+
+    # ------------------------------------------------------------------ #
+    # scenario execution                                                 #
+    # ------------------------------------------------------------------ #
+
+    async def _execute(self, endpoint_kind: str, headers: Dict[str, str],
+                       payload: bytes, query: Dict[str, str]
+                       ) -> Tuple[int, bytes, Dict[str, str]]:
+        tenant = headers.get("x-tenant", "default")
+        slo = query.get("slo")
+        if slo is not None and slo != "default":
+            raise _HttpError(
+                400, "only ?slo=default is accepted over HTTP; file-based "
+                "SLO specs are a CLI feature")
+        scenario = self._parse_scenario(payload)
+        if endpoint_kind != "run" and scenario.kind != endpoint_kind:
+            raise _HttpError(
+                400, f"scenario kind {scenario.kind!r} does not match "
+                f"endpoint /v1/{endpoint_kind}; use /v1/run or "
+                f"/v1/{scenario.kind}")
+
+        if not self.admission.check_quota(tenant):
+            self.metrics.increment("serve.quota_rejected")
+            raise _HttpError(
+                429, f"tenant {tenant!r} exceeded its "
+                f"{self.admission.quota_rps:g} req/s quota")
+
+        key = (scenario.kind, scenario.scenario_id(), slo)
+        leader, future = self.coalescer.join(key)
+        if leader:
+            self.metrics.increment("serve.coalesce.executed")
+            if not self.admission.try_enter():
+                self.metrics.increment("serve.shed")
+                error = _HttpError(
+                    503, f"execution queue full "
+                    f"({self.admission.max_queue} in flight); retry later")
+                self.coalescer.reject(key, future, error)
+            else:
+                def _work() -> None:
+                    try:
+                        outcome = run_scenario(
+                            scenario, cache=self.cache, store=self.store,
+                            slo=slo)
+                        body = outcome.response_text().encode("utf-8")
+                        self.coalescer.resolve(key, future, body)
+                    except BaseException as exc:
+                        self.coalescer.reject(key, future, exc)
+                    finally:
+                        self.admission.leave()
+
+                self.executor.submit(_work)
+        else:
+            self.metrics.increment("serve.coalesce.attached")
+
+        try:
+            body = await asyncio.wrap_future(future)
+        except _HttpError:
+            raise
+        except ConfigurationError as exc:
+            raise _HttpError(400, str(exc))
+        except HarmoniaError as exc:
+            raise _HttpError(400, str(exc))
+        except Exception as exc:
+            raise _HttpError(500, f"execution failed: {exc}")
+        return 200, body, {
+            "X-Scenario-Id": key[1],
+            "X-Coalesced": "leader" if leader else "follower",
+        }
+
+    def _parse_scenario(self, payload: bytes) -> Scenario:
+        if not payload:
+            raise _HttpError(400, "empty body; POST a Scenario JSON object")
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}")
+        try:
+            return Scenario.from_json(data)
+        except HarmoniaError as exc:
+            raise _HttpError(400, str(exc))
+
+
+# ---------------------------------------------------------------------- #
+# response formatting                                                    #
+# ---------------------------------------------------------------------- #
+
+def _json_body(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_body(status: int, message: str) -> bytes:
+    return _json_body({"error": message, "status": status})
+
+
+def _render_response(status: int, body: bytes,
+                     extra: Dict[str, str]) -> bytes:
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    headers.update(extra)
+    if status == 429:
+        headers.setdefault("Retry-After", "1")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+# ---------------------------------------------------------------------- #
+# in-thread harness (tests, benchmarks)                                  #
+# ---------------------------------------------------------------------- #
+
+class DaemonHandle:
+    """A daemon running on a background thread; context-manager friendly."""
+
+    def __init__(self, daemon: ServingDaemon, thread: threading.Thread) -> None:
+        self.daemon = daemon
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.daemon.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.daemon.port is not None
+        return self.daemon.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.daemon.request_shutdown()
+        self.thread.join(timeout=timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("serving daemon did not shut down in time")
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_in_thread(config: Optional[ServeConfig] = None,
+                    ready_timeout: float = 10.0) -> DaemonHandle:
+    """Start a daemon on a daemon thread and wait until it is listening."""
+    daemon = ServingDaemon(config)
+    thread = threading.Thread(target=daemon.run, name="serve-daemon",
+                              daemon=True)
+    thread.start()
+    if not daemon.ready.wait(timeout=ready_timeout):
+        raise RuntimeError("serving daemon failed to start listening")
+    return DaemonHandle(daemon, thread)

@@ -1,0 +1,29 @@
+"""Shared service layer: one execution path for CLI and HTTP callers.
+
+See :mod:`repro.service.runs`; ``docs/serving.md`` documents the
+daemon-facing contract.
+"""
+
+from repro.service.runs import (
+    SERVICE_KINDS,
+    ServiceResult,
+    build_payload,
+    run_build_service,
+    run_fleet_service,
+    run_scenario,
+    run_sweep_service,
+    slo_monitor_for,
+    sweep_payload,
+)
+
+__all__ = [
+    "SERVICE_KINDS",
+    "ServiceResult",
+    "build_payload",
+    "run_build_service",
+    "run_fleet_service",
+    "run_scenario",
+    "run_sweep_service",
+    "slo_monitor_for",
+    "sweep_payload",
+]

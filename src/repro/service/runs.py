@@ -1,0 +1,278 @@
+"""Scenario execution as reusable service functions.
+
+The CLI subcommands and the serving daemon (:mod:`repro.serve`) must
+behave identically -- same execution path, same SLO evaluation, same
+exit-code semantics -- so both call the functions here instead of
+re-implementing run loops.  Each function takes a validated
+:class:`repro.scenario.Scenario` plus execution options (worker count,
+resident cache/store, SLO spec) and returns a :class:`ServiceResult`:
+
+* ``result`` -- the tier-native outcome object
+  (:class:`~repro.runtime.sweep.SweepResult`,
+  :class:`~repro.runtime.fleet.FleetResult`,
+  :class:`~repro.runtime.buildfarm.BuildReport`) for callers that format
+  tables or write artifacts;
+* ``payload`` -- a **deterministic** JSON projection of the outcome: a
+  pure function of the scenario, independent of cache temperature,
+  worker count, or wall-clock.  Execution provenance (per-point
+  ``cached`` flags, built-vs-cached build statuses) is stripped, which
+  is what lets the daemon serve byte-identical responses for identical
+  scenarios no matter which request warmed the caches;
+* ``slo`` -- the evaluated :class:`~repro.obs.slo.SloReport` when an SLO
+  spec was given, and ``exit_code`` derived from it exactly the way the
+  CLI's ``--slo`` flags always exited (0 ok, 4 on violations).
+
+SLO specs resolve through one shared :func:`slo_monitor_for`, so
+``--slo default`` and an HTTP ``?slo=default`` query pick the same
+objectives per scenario kind.
+"""
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.context import SimContext
+from repro.scenario import Scenario
+
+#: Scenario kinds the service layer can execute (== SCENARIO_KINDS).
+SERVICE_KINDS = ("sweep", "fleet", "build")
+
+
+def slo_monitor_for(kind: str, spec: Optional[str]):
+    """Resolve an ``--slo`` argument into a monitor; one path for all.
+
+    ``None`` disables checking; ``"default"`` picks the stock objectives
+    for ``kind`` (fleet/sweep share the fleet defaults, builds get the
+    build defaults, the daemon gets the serving defaults); anything else
+    is a JSON spec file path.  Raises :class:`ConfigurationError` on
+    unknown kinds and unreadable/invalid spec files.
+    """
+    from repro.obs.slo import (SloMonitor, default_build_slos,
+                               default_fleet_slos, default_serve_slos)
+
+    if spec is None:
+        return None
+    if spec == "default":
+        defaults = {
+            "sweep": default_fleet_slos,
+            "fleet": default_fleet_slos,
+            "build": default_build_slos,
+            "serve": default_serve_slos,
+        }
+        factory = defaults.get(kind)
+        if factory is None:
+            raise ConfigurationError(
+                f"no default SLOs for kind {kind!r}; known: "
+                f"{', '.join(sorted(defaults))}"
+            )
+        return SloMonitor(factory())
+    return SloMonitor.load(spec)
+
+
+@dataclass
+class ServiceResult:
+    """One scenario execution's outcome, shared by CLI and HTTP callers."""
+
+    kind: str
+    scenario: Scenario
+    result: Any
+    payload: Dict[str, Any]
+    slo: Any = None
+    elapsed_s: float = 0.0
+    context: Optional[SimContext] = None
+    cache_hits: int = 0
+    executed_points: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        """0, or :data:`repro.obs.slo.SLO_EXIT_CODE` on SLO violations."""
+        return self.slo.exit_code if self.slo is not None else 0
+
+    def response_json(self) -> Dict[str, Any]:
+        """The deterministic response body (the daemon's wire format).
+
+        A pure function of (scenario, slo spec): wall-clock, cache
+        temperature, and worker count never appear, so coalesced and
+        solo executions of one scenario serialise byte-identically.
+        """
+        return {
+            "kind": self.kind,
+            "scenario_id": self.scenario.scenario_id(),
+            "result": self.payload,
+            "slo": self.slo.to_json() if self.slo is not None else None,
+            "exit_code": self.exit_code,
+        }
+
+    def response_text(self) -> str:
+        """Canonical JSON text of :meth:`response_json`, newline-terminated."""
+        from repro.scenario import canonical_dumps
+
+        return canonical_dumps(self.response_json()) + "\n"
+
+
+def _normalise(payload: Any) -> Any:
+    """Round-trip through stdlib JSON so tuples become lists etc."""
+    return json.loads(json.dumps(payload))
+
+
+def sweep_payload(result: Any) -> Dict[str, Any]:
+    """A :class:`SweepResult` minus execution provenance.
+
+    Per-point ``cached`` flags depend on what ran earlier in the
+    process, not on the scenario, so they are stripped; the content
+    ``cache_key`` stays -- it is a pure function of the point.
+    """
+    payload = _normalise(result.to_json())
+    for point in payload["points"]:
+        point.pop("cached", None)
+    return payload
+
+
+def build_payload(report: Any) -> Dict[str, Any]:
+    """A :class:`BuildReport` minus execution provenance.
+
+    ``built`` / ``cached`` / ``shared`` all mean "this target is served
+    by this artifact" and differ only by cache temperature, so they fold
+    to ``ok``; ``failed`` and ``incompatible`` are properties of the
+    matrix and survive.
+    """
+    payload = _normalise(report.to_json())
+    for target in payload["targets"]:
+        if target["status"] in ("built", "cached", "shared"):
+            target["status"] = "ok"
+    return payload
+
+
+def _require_kind(scenario: Scenario, kind: str) -> None:
+    if scenario.kind != kind:
+        raise ConfigurationError(
+            f"scenario kind {scenario.kind!r} cannot drive the {kind!r} "
+            f"service; write a scenario with \"kind\": \"{kind}\""
+        )
+
+
+def run_sweep_service(scenario: Scenario, *, workers: int = 1,
+                      cache: Any = None, use_cache: bool = True,
+                      slo: Optional[str] = None) -> ServiceResult:
+    """Execute a sweep scenario (the ``repro.cli sweep`` core)."""
+    from repro.obs.slo import registry_from_sweep
+    from repro.runtime.sweep import SweepPlan, SweepRunner
+
+    _require_kind(scenario, "sweep")
+    monitor = slo_monitor_for("sweep", slo)   # fail loud before the run
+    plan = SweepPlan.from_scenario(scenario)
+    runner = SweepRunner(plan, workers=workers, cache=cache,
+                         use_cache=use_cache, engine=scenario.engine)
+    start = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - start
+    report = (monitor.evaluate(registry_from_sweep(result))
+              if monitor is not None else None)
+    return ServiceResult(
+        kind="sweep", scenario=scenario, result=result,
+        payload=sweep_payload(result), slo=report, elapsed_s=elapsed,
+        cache_hits=result.cache_hits,
+        executed_points=len(result) - result.cache_hits,
+    )
+
+
+def run_fleet_service(scenario: Scenario, *,
+                      policies: Optional[Sequence[str]] = None,
+                      slo: Optional[str] = None,
+                      trace_out: Optional[str] = None,
+                      trace_ring: int = 4_096,
+                      context: Optional[SimContext] = None) -> ServiceResult:
+    """Execute a fleet scenario (the ``repro.cli fleet`` core).
+
+    With ``trace_out`` the run streams through the flight recorder, and
+    SLOs are evaluated while the recorder is still attached so violation
+    instants land inside the streamed trace -- the behaviour the CLI has
+    always had, now shared with HTTP callers.
+    """
+    from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
+
+    _require_kind(scenario, "fleet")
+    monitor = slo_monitor_for("fleet", slo)
+    spec = FleetSpec.from_scenario(scenario)
+    run_policies = tuple(policies) if policies else POLICIES
+    run_context = context if context is not None else SimContext(
+        name="fleet", trace=True)
+    simulation = FleetSimulation(spec, context=run_context)
+    start = time.perf_counter()
+
+    def _run_and_check():
+        outcome = simulation.run(run_policies)
+        report = (monitor.evaluate(run_context.metrics,
+                                   trace=run_context.trace)
+                  if monitor is not None else None)
+        return outcome, report
+
+    if trace_out:
+        from repro.obs.recorder import FlightRecorder
+
+        with FlightRecorder(run_context.trace, trace_out, ring=trace_ring):
+            result, report = _run_and_check()
+    else:
+        result, report = _run_and_check()
+    elapsed = time.perf_counter() - start
+    return ServiceResult(
+        kind="fleet", scenario=scenario, result=result,
+        payload=_normalise(result.to_json()), slo=report,
+        elapsed_s=elapsed, context=run_context,
+        executed_points=len(run_policies),
+    )
+
+
+def run_build_service(scenario: Scenario, *, workers: int = 1,
+                      store: Any = None, use_cache: bool = True,
+                      slo: Optional[str] = None,
+                      context: Optional[SimContext] = None) -> ServiceResult:
+    """Execute a build scenario (the ``repro.cli build`` core)."""
+    from repro.runtime.buildfarm import BuildFarm, BuildPlan
+
+    _require_kind(scenario, "build")
+    monitor = slo_monitor_for("build", slo)
+    plan = BuildPlan.from_scenario(scenario)
+    run_context = context if context is not None else SimContext(
+        name="buildfarm", trace=True)
+    farm = BuildFarm(plan, workers=workers, store=store,
+                     use_cache=use_cache, context=run_context)
+    start = time.perf_counter()
+    report = farm.run()
+    elapsed = time.perf_counter() - start
+    slo_report = (monitor.evaluate(run_context.metrics,
+                                   trace=run_context.trace)
+                  if monitor is not None else None)
+    return ServiceResult(
+        kind="build", scenario=scenario, result=report,
+        payload=build_payload(report), slo=slo_report, elapsed_s=elapsed,
+        context=run_context, cache_hits=report.cached,
+        executed_points=report.built,
+    )
+
+
+def run_scenario(scenario: Scenario, *, workers: int = 1, cache: Any = None,
+                 store: Any = None, use_cache: bool = True,
+                 slo: Optional[str] = None,
+                 policies: Optional[Sequence[str]] = None) -> ServiceResult:
+    """Dispatch one scenario to its kind's service function.
+
+    The daemon's single entry point: resident warm state (``cache`` for
+    sweeps, ``store`` for builds) is threaded through; options a kind
+    does not use are ignored by construction, not error.
+    """
+    if scenario.kind == "sweep":
+        return run_sweep_service(scenario, workers=workers, cache=cache,
+                                 use_cache=use_cache, slo=slo)
+    if scenario.kind == "fleet":
+        return run_fleet_service(scenario, policies=policies, slo=slo)
+    if scenario.kind == "build":
+        return run_build_service(scenario, workers=workers, store=store,
+                                 use_cache=use_cache, slo=slo)
+    raise ConfigurationError(
+        f"unknown scenario kind {scenario.kind!r}; known: "
+        f"{', '.join(SERVICE_KINDS)}"
+    )

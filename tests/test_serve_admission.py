@@ -1,0 +1,173 @@
+"""Admission control and request coalescing, in isolation.
+
+Token buckets and the bounded queue use an injected clock, so every
+assertion here is deterministic -- no sleeps, no load-dependent flakes.
+"""
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import AdmissionController, RequestCoalescer, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+        clock.advance(0.5)   # 1 token back at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(3_600.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_bad_parameters_are_loud(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_quota_disabled_by_default(self):
+        admission = AdmissionController(max_queue=4)
+        assert all(admission.check_quota("anyone") for _ in range(1_000))
+        assert admission.quota_rejections == 0
+
+    def test_quotas_are_per_tenant(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue=4, quota_rps=1.0, quota_burst=1.0, clock=clock)
+        assert admission.check_quota("alpha")
+        assert not admission.check_quota("alpha")   # alpha's bucket empty
+        assert admission.check_quota("beta")        # beta unaffected
+        assert admission.quota_rejections == 1
+        clock.advance(1.0)
+        assert admission.check_quota("alpha")       # refilled
+
+    def test_default_burst_is_twice_rate(self):
+        admission = AdmissionController(max_queue=1, quota_rps=5.0)
+        assert admission.quota_burst == 10.0
+
+    def test_queue_bound_sheds_then_recovers(self):
+        admission = AdmissionController(max_queue=2)
+        assert admission.try_enter()
+        assert admission.try_enter()
+        assert not admission.try_enter()
+        assert admission.shed == 1
+        assert admission.queue_depth == 2
+        admission.leave()
+        assert admission.try_enter()
+
+    def test_unbalanced_leave_is_loud(self):
+        admission = AdmissionController(max_queue=1)
+        with pytest.raises(ConfigurationError):
+            admission.leave()
+
+    def test_bad_bounds_are_loud(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue=1, quota_burst=0.0)
+
+    def test_concurrent_entries_respect_the_bound(self):
+        admission = AdmissionController(max_queue=8)
+        admitted = []
+        barrier = threading.Barrier(32)
+
+        def worker():
+            barrier.wait()
+            if admission.try_enter():
+                admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 8
+        assert admission.queue_depth == 8
+        assert admission.shed == 24
+
+
+class TestRequestCoalescer:
+    def test_leader_then_followers_share_one_future(self):
+        coalescer = RequestCoalescer()
+        leader, future = coalescer.join("key")
+        assert leader
+        for _ in range(3):
+            is_leader, attached = coalescer.join("key")
+            assert not is_leader
+            assert attached is future
+        assert coalescer.counters() == {
+            "executions": 1, "attached": 3, "inflight": 1}
+        coalescer.resolve("key", future, b"payload")
+        assert future.result(timeout=1) == b"payload"
+        assert coalescer.inflight == 0
+
+    def test_distinct_keys_never_share(self):
+        coalescer = RequestCoalescer()
+        _, future_a = coalescer.join(("sweep", "aaa", None))
+        _, future_b = coalescer.join(("sweep", "bbb", None))
+        assert future_a is not future_b
+        assert coalescer.executions == 2
+
+    def test_completion_retires_the_key(self):
+        coalescer = RequestCoalescer()
+        leader, future = coalescer.join("key")
+        coalescer.resolve("key", future, b"one")
+        again, fresh = coalescer.join("key")
+        assert again                      # a new run, not the stale future
+        assert fresh is not future
+
+    def test_rejection_propagates_to_followers(self):
+        coalescer = RequestCoalescer()
+        _, future = coalescer.join("key")
+        _, attached = coalescer.join("key")
+        coalescer.reject("key", future, RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            attached.result(timeout=1)
+
+    def test_concurrent_joins_elect_exactly_one_leader(self):
+        coalescer = RequestCoalescer()
+        barrier = threading.Barrier(16)
+        leaders = []
+        futures = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            leader, future = coalescer.join("key")
+            with lock:
+                futures.append(future)
+                if leader:
+                    leaders.append(future)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(leaders) == 1
+        assert len(set(map(id, futures))) == 1
+        assert coalescer.executions == 1
+        assert coalescer.attached == 15

@@ -137,6 +137,54 @@ class TestSweepCache:
         with pytest.raises(ConfigurationError):
             SweepCache().load(str(path))
 
+    @staticmethod
+    def _entry(value):
+        return {"throughput_bps": float(value), "mean_latency_ns": 2.0}
+
+    def test_lru_bound_evicts_least_recently_used(self):
+        cache = SweepCache(max_entries=2)
+        cache.store("a", self._entry(1))
+        cache.store("b", self._entry(2))
+        assert cache.lookup("a", need_trace=False) is not None  # refresh a
+        cache.store("c", self._entry(3))                        # evicts b
+        assert cache.lookup("b", need_trace=False) is None
+        assert cache.lookup("a", need_trace=False) is not None
+        assert cache.lookup("c", need_trace=False) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = SweepCache()
+        for index in range(1_000):
+            cache.store(f"k{index}", self._entry(index))
+        assert len(cache) == 1_000
+        assert cache.evictions == 0
+
+    def test_bad_bound_is_loud(self):
+        with pytest.raises(ConfigurationError):
+            SweepCache(max_entries=0)
+
+    def test_evictions_land_in_an_attached_registry(self):
+        from repro.runtime.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = SweepCache(max_entries=1)
+        cache.attach_metrics(registry)
+        cache.store("a", self._entry(1))
+        cache.store("b", self._entry(2))
+        assert registry.counter("sweep.cache.evictions").value == 1
+
+    def test_load_respects_the_bound(self, tmp_path):
+        full = SweepCache()
+        for index in range(5):
+            full.store(f"k{index}", self._entry(index))
+        path = tmp_path / "sweep.cache.json"
+        full.save(str(path))
+        bounded = SweepCache(max_entries=2)
+        bounded.load(str(path))
+        assert len(bounded) == 2
+        assert bounded.evictions == 3
+
 
 class TestRunner:
     def test_second_run_is_all_cache_hits_with_identical_floats(self):
