@@ -13,6 +13,12 @@ the build when any regresses:
   daemon's own ``/slo`` endpoint (``default_serve_slos`` evaluated over
   the Prometheus-exposed ``serve.*`` metrics) must report zero
   violations: request p99 under 500 ms, no error blow-up, no shedding.
+* **cold sweeps go through the fused planner** -- a cold-cache sweep
+  request must batch its vector-eligible points in-process
+  (``serve.sweep.fused_points`` counts them), un-fusable DES points
+  must fan out to the one resident ProcessPool (``serve.pool.dispatches``
+  grows across requests), and the daemon must never spawn a per-request
+  pool (``serve.pool.request_spawns`` stays zero).
 
 Results land in ``BENCH_serve.json`` at the repository root;
 ``repro.cli report`` folds the file into the reproduction report.
@@ -153,6 +159,37 @@ def coalescing_burst(handle, client: ServeClient) -> dict:
     }
 
 
+def fused_planner_stats(client: ServeClient) -> dict:
+    """Planner provenance after the warm phase plus two DES requests.
+
+    ``time_warm_daemon`` already pushed BASE through cold, so its
+    vector-eligible points must show up as fused.  Two distinct
+    DES-engine scenarios then force the per-point path twice: both must
+    dispatch to the *same* resident pool, with zero per-request spawns.
+    """
+    des_scenarios = tuple(
+        Scenario(kind="sweep", apps=("sec-gateway",), devices=("device-a",),
+                 engine="des",
+                 workload=WorkloadSpec(packet_sizes=sizes,
+                                       packets_per_point=100))
+        for sizes in ((80,), (112,))
+    )
+    for scenario in des_scenarios:
+        response = client.run_scenario(scenario, endpoint="sweep")
+        assert response.status == 200, response.body
+    stats = client.stats()
+    serve = stats["metrics"]["serve"]
+    pool = serve.get("pool", {})
+    return {
+        "fused_points": serve["sweep"]["fused_points"],
+        "fused_groups": serve["sweep"]["fused_groups"],
+        "pooled_points": serve["sweep"].get("pooled_points", 0),
+        "pool_dispatches": pool.get("dispatches", 0),
+        "request_spawns": pool.get("request_spawns", 0),
+        "pool_resident": stats["pool"]["resident"],
+    }
+
+
 def run() -> dict:
     import tempfile
 
@@ -164,6 +201,7 @@ def run() -> dict:
         client = ServeClient(handle.host, handle.port, timeout=120.0)
 
         warm_request_s = time_warm_daemon(client)
+        fused = fused_planner_stats(client)
         coalesce = coalescing_burst(handle, client)
 
         bodies = [json.dumps(s.to_json()).encode("utf-8")
@@ -184,6 +222,7 @@ def run() -> dict:
         "warm_request_s": round(warm_request_s, 6),
         "warm_speedup": round(cold_cli_s / warm_request_s, 3),
         "coalesce": coalesce,
+        "fused": fused,
         "load": load.to_json(),
         "slo": slo,
         "cache_entries": stats["cache"]["entries"],
@@ -211,6 +250,22 @@ def main() -> int:
               f"identical requests "
               f"(efficiency {baseline['coalesce']['efficiency']:.2f}, "
               f"budget {COALESCE_EFFICIENCY_BUDGET:.2f})", file=sys.stderr)
+        failed = True
+    fused = baseline["fused"]
+    if fused["fused_points"] < 1:
+        print("FAIL: cold-cache daemon sweep never went through the "
+              "fused planner (serve.sweep.fused_points == 0)",
+              file=sys.stderr)
+        failed = True
+    if fused["pool_dispatches"] < 2:
+        print(f"FAIL: resident pool dispatched only "
+              f"{fused['pool_dispatches']} times across two DES-engine "
+              f"requests (expected >= 2)", file=sys.stderr)
+        failed = True
+    if fused["request_spawns"] != 0 or not fused["pool_resident"]:
+        print(f"FAIL: daemon spawned {fused['request_spawns']} per-request "
+              f"pools (resident={fused['pool_resident']}); sweeps must "
+              f"reuse the one resident ProcessPool", file=sys.stderr)
         failed = True
     if baseline["slo"]["exit_code"] != 0:
         print(f"FAIL: serving SLOs violated under load: "

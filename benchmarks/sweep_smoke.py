@@ -1,6 +1,6 @@
 """Sweep-runner perf baseline (``make bench-sweep``).
 
-Times one Fig-17/18-style multi-app x multi-device sweep three ways:
+Times one Fig-17/18-style multi-app x multi-device sweep four ways:
 
 * ``serial_seed`` -- the seed's serial hot path: a fresh chain per
   point driven through the pinned
@@ -8,14 +8,20 @@ Times one Fig-17/18-style multi-app x multi-device sweep three ways:
   per-Transaction implementation preserved verbatim for exactly this
   comparison);
 * ``parallel`` -- the :class:`repro.runtime.sweep.SweepRunner` with 4
-  workers and a cold cache;
-* ``cached`` -- the same runner re-run against the warm cache.
+  workers, a cold cache, and the fused planner disabled
+  (``fuse=False``): every point fans out to the ProcessPool;
+* ``fused`` -- the same runner with the fused planner on (the default):
+  cache-miss points batch through the in-process vector kernel, no
+  pool, no pickling;
+* ``cached`` -- the runner re-run against the warm cache.
 
 Results land in ``BENCH_sweep.json`` at the repository root;
 ``repro.cli report`` folds the file into the reproduction report.  The
 script exits non-zero when the parallel run fails its >= 2.5x speedup
-budget against the serial seed path or the warm re-run fails its >= 10x
-budget against the cold run.
+budget against the serial seed path, the fused run fails its >= 3x
+budget against the per-point parallel run, the fused results are not
+byte-identical to the per-point results, or the warm re-run fails its
+>= 10x budget against the cold run.
 
 Run directly: ``PYTHONPATH=src python benchmarks/sweep_smoke.py``
 """
@@ -78,21 +84,40 @@ def run() -> dict:
     # Warm imports/catalog outside every timing window.
     serial_seed_sweep_points = len(PLAN)
     cache = SweepCache()
-    runner = SweepRunner(PLAN, workers=WORKERS, cache=cache)
+    perpoint = SweepRunner(PLAN, workers=WORKERS, cache=cache, fuse=False)
+    fused = SweepRunner(PLAN, workers=WORKERS, cache=cache, fuse=True)
 
     serial_s = best_of(serial_seed_sweep, REPEATS)
 
-    def cold():
+    def cold_perpoint():
         cache.clear()
-        runner.run()
+        perpoint.run()
 
-    cold_s = best_of(cold, REPEATS)
+    cold_s = best_of(cold_perpoint, REPEATS)
+
+    def cold_fused():
+        cache.clear()
+        fused.run()
+
+    fused_s = best_of(cold_fused, REPEATS)
+
+    # Exactness spot-check: the fused planner must be invisible in the
+    # output -- byte-identical results from both cold paths.
+    cache.clear()
+    perpoint_result = perpoint.run()
+    cache.clear()
+    fused_result = fused.run()
+    # Every *executed* point of this all-analytic grid must fuse (the
+    # remainder dedup to shared content keys, not the pool).
+    assert fused_result.pooled_points == 0 and fused_result.fused_points > 0
+    exact = (json.dumps(fused_result.to_json(), sort_keys=True)
+             == json.dumps(perpoint_result.to_json(), sort_keys=True))
 
     # Populate once, then time warm re-runs only.
-    runner.run()
-    warm_s = best_of(runner.run, REPEATS)
+    fused.run()
+    warm_s = best_of(fused.run, REPEATS)
 
-    result = runner.run()
+    result = fused.run()
     assert result.cache_hits == len(result), "warm run must be all hits"
 
     return {
@@ -102,9 +127,13 @@ def run() -> dict:
         "workers": WORKERS,
         "serial_seed_s": round(serial_s, 6),
         "parallel_cold_s": round(cold_s, 6),
+        "fused_cold_s": round(fused_s, 6),
         "cached_warm_s": round(warm_s, 6),
         "parallel_speedup": round(serial_s / cold_s, 3),
-        "cache_speedup": round(cold_s / warm_s, 3),
+        "fused_speedup": round(cold_s / fused_s, 3),
+        "fused_exact": exact,
+        "fused_groups": fused_result.fused_groups,
+        "cache_speedup": round(fused_s / warm_s, 3),
         "cache_entries": len(cache),
     }
 
@@ -119,6 +148,15 @@ def main() -> int:
     if baseline["parallel_speedup"] < 2.5:
         print(f"FAIL: parallel sweep only {baseline['parallel_speedup']:.2f}x "
               f"faster than the serial seed path (budget 2.5x)",
+              file=sys.stderr)
+        failed = True
+    if baseline["fused_speedup"] < 3.0:
+        print(f"FAIL: fused sweep only {baseline['fused_speedup']:.2f}x "
+              f"faster than the per-point parallel path (budget 3x)",
+              file=sys.stderr)
+        failed = True
+    if not baseline["fused_exact"]:
+        print("FAIL: fused results are not byte-identical to per-point",
               file=sys.stderr)
         failed = True
     if baseline["cache_speedup"] < 10.0:

@@ -431,6 +431,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     config = ServeConfig(
         host=args.host, port=args.port, exec_workers=args.exec_workers,
+        pool_workers=args.pool_workers,
         max_queue=args.max_queue, quota_rps=args.quota_rps,
         quota_burst=args.quota_burst,
         cache_entries=args.cache_entries if args.cache_entries > 0 else None,
@@ -767,6 +768,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind port; 0 picks a free port (default 8787)")
     serve.add_argument("--exec-workers", type=int, default=4,
                        help="scenario-execution threads (default 4)")
+    serve.add_argument("--pool-workers", type=int, default=4,
+                       help="resident sweep ProcessPool width for points "
+                            "the fused planner cannot batch (default 4)")
     serve.add_argument("--max-queue", type=int, default=32,
                        help="bounded execution queue; new work beyond this "
                             "is shed with 503 (default 32)")

@@ -36,18 +36,19 @@ merged results afterwards.
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import tempfile
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.profiler import phase as _profile_phase
 from repro.runtime.context import SimContext, isolated_context_stack
-from repro.sim.vector import ENGINES
+from repro.sim.vector import ENGINES, chain_supports_vector
 
 #: Paper sweep of Figure 17/18: the default packet-size axis.
 DEFAULT_PACKET_SIZES: Tuple[int, ...] = (64, 128, 256, 512, 1024)
@@ -243,26 +244,58 @@ class SweepCache:
             if self._metrics is not None:
                 self._metrics.increment("sweep.cache.evictions")
 
+    def _lookup_locked(self, key: str, need_trace: bool
+                       ) -> Optional[Dict[str, Any]]:
+        # Called with the lock held.
+        entry = self._entries.get(key)
+        if entry is None or (need_trace and "trace_jsonl" not in entry):
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def _store_locked(self, key: str, entry: Dict[str, Any]) -> None:
+        # Called with the lock held.
+        existing = self._entries.get(key)
+        if (existing is not None and "trace_jsonl" in existing
+                and "trace_jsonl" not in entry):
+            self._entries.move_to_end(key)
+            return  # never downgrade an entry that carries its trace
+        self._entries[key] = dict(entry)
+        self._entries.move_to_end(key)
+        self._evict_over_bound()
+
     def lookup(self, key: str, need_trace: bool) -> Optional[Dict[str, Any]]:
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None or (need_trace and "trace_jsonl" not in entry):
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+            return self._lookup_locked(key, need_trace)
+
+    def lookup_many(self, keys: Sequence[str], need_traces: Sequence[bool]
+                    ) -> List[Optional[Dict[str, Any]]]:
+        """Probe a whole plan's keys under one lock acquisition.
+
+        Semantically identical to ``[lookup(k, t) for k, t in ...]``
+        (hit/miss counters, LRU refresh, trace-bearing rules), but a
+        45-point sweep pays one lock round trip instead of 45 -- the
+        probe the fused planner issues before partitioning work.
+        """
+        with self._lock:
+            return [self._lookup_locked(key, need)
+                    for key, need in zip(keys, need_traces)]
 
     def store(self, key: str, entry: Dict[str, Any]) -> None:
         with self._lock:
-            existing = self._entries.get(key)
-            if (existing is not None and "trace_jsonl" in existing
-                    and "trace_jsonl" not in entry):
-                self._entries.move_to_end(key)
-                return  # never downgrade an entry that carries its trace
-            self._entries[key] = dict(entry)
-            self._entries.move_to_end(key)
-            self._evict_over_bound()
+            self._store_locked(key, entry)
+
+    def store_many(self, items: Iterable[Tuple[str, Dict[str, Any]]]) -> None:
+        """Insert many entries under one lock acquisition.
+
+        Same per-entry semantics as :meth:`store` (trace-downgrade
+        protection, LRU bound enforced after every insert).
+        """
+        with self._lock:
+            for key, entry in items:
+                self._store_locked(key, entry)
 
     def clear(self) -> None:
         with self._lock:
@@ -426,6 +459,84 @@ def run_point(point: SweepPoint) -> Dict[str, Any]:
     return _run_chain_point(_chain_for(point), point)
 
 
+# ---------------------------------------------------------------------------
+# Fused multi-point planning
+# ---------------------------------------------------------------------------
+
+#: A fusable group's identity: same tailored chain, same packet count.
+FuseKey = Tuple[Tuple[str, str, bool], int]
+
+
+def partition_fusable(points: Sequence[SweepPoint],
+                      indices: Iterable[int]
+                      ) -> Tuple["OrderedDict[FuseKey, List[int]]", List[int]]:
+    """Split pending point indices into fusable groups vs pool work.
+
+    A point fuses when its untraced bulk would run on the vector kernel
+    anyway: no trace requested (a traced point needs its own context and
+    per-packet spans, so it keeps the per-point path) and an engine of
+    ``auto``/``vector`` on a chain the kernel supports.  Fusable points
+    group by (tailored chain, packet_count) -- one batched kernel call
+    per group, bucketed by count so no padding packets exist -- with
+    plan order preserved inside each group.  Everything else (traces,
+    forced DES, non-analytic chains) lands in ``pooled`` for the
+    per-point path; ``engine='vector'`` on an unsupported chain is
+    deliberately routed there too, so it raises the same
+    :class:`ConfigurationError` it always did.
+    """
+    groups: "OrderedDict[FuseKey, List[int]]" = OrderedDict()
+    pooled: List[int] = []
+    for index in indices:
+        point = points[index]
+        if not point.trace and point.engine != "des":
+            chain = _chain_for(point)
+            if chain_supports_vector(chain):
+                key = ((point.app, point.device, point.with_harmonia),
+                       point.packet_count)
+                groups.setdefault(key, []).append(index)
+                continue
+        pooled.append(index)
+    return groups, pooled
+
+
+def run_fused_group(points: Sequence[SweepPoint],
+                    indices: Sequence[int]) -> List[Dict[str, Any]]:
+    """Execute one fusable group through the batched kernel, in-process.
+
+    All ``indices`` must share a tailored chain and packet count (the
+    :func:`partition_fusable` contract).  Returns one result entry per
+    index, bit-exact equal to what :func:`run_point` produces for the
+    same untraced points -- same isolation discipline (point lock,
+    hidden context stack, transaction ids reset), no ProcessPool, no
+    pickling, one kernel launch for the whole group.
+    """
+    from repro.sim.pipeline import reset_transaction_ids
+    from repro.sim.vector import run_packet_sweep_vector_batch
+
+    first = points[indices[0]]
+    chain = _chain_for(first)
+    packet_count = first.packet_count
+    sizes = [points[index].packet_size_bytes for index in indices]
+    with _POINT_LOCK, _profile_phase("sweep.fused"), isolated_context_stack():
+        reset_transaction_ids()
+        rows = run_packet_sweep_vector_batch(chain, sizes, packet_count)
+    return [
+        {"throughput_bps": throughput_bps, "mean_latency_ns": mean_latency_ns}
+        for throughput_bps, mean_latency_ns in rows
+    ]
+
+
+def _pool_chunksize(count: int, workers: int) -> int:
+    """Chunk size for fanning ``count`` points over ``workers`` processes.
+
+    Ceil-divides the work into roughly ``4 * workers`` chunks so every
+    worker gets a few chunks to balance across.  The old floor-divide
+    left the remainder points in undersized tail chunks (and collapsed
+    to chunks of 1 -- maximum pickling overhead -- for small batches).
+    """
+    return max(1, math.ceil(count / (workers * 4)))
+
+
 def point_chain(point: SweepPoint):
     """The (memoised) tailored chain a point runs on."""
     return _chain_for(point)
@@ -451,10 +562,20 @@ class SweepResult:
     """Deterministically merged outcome of one :class:`SweepRunner` run."""
 
     def __init__(self, plan: SweepPlan, points: List[PointResult],
-                 workers: int) -> None:
+                 workers: int, fused_points: int = 0, fused_groups: int = 0,
+                 pooled_points: int = 0, spawned_pool: bool = False) -> None:
         self.plan = plan
         self.points = points
         self.workers = workers
+        #: Execution provenance (how the cold work ran), deliberately
+        #: kept out of :meth:`to_json`: cache-miss points fused through
+        #: the batched kernel vs executed per-point, batched kernel
+        #: launches, and whether this run spawned its own ProcessPool
+        #: (False when an externally owned executor was reused).
+        self.fused_points = fused_points
+        self.fused_groups = fused_groups
+        self.pooled_points = pooled_points
+        self.spawned_pool = spawned_pool
 
     def __len__(self) -> int:
         return len(self.points)
@@ -526,16 +647,30 @@ class SweepResult:
 class SweepRunner:
     """Executes a :class:`SweepPlan` across workers with caching.
 
-    ``workers=1`` (the default) runs every point in-process with no pool;
-    ``workers=N`` fans cache misses out over a ``ProcessPoolExecutor``.
-    Results are merged in plan order either way, and each point runs in
-    its own fresh context, so worker count is invisible in the output --
-    a determinism test asserts byte-identical traces for 1 vs 4 workers.
+    Cache-miss points are partitioned by the **fused planner**
+    (:func:`partition_fusable`): vector-eligible untraced points group
+    by (tailored chain, packet_count) and execute in-process through the
+    batched kernel (:func:`repro.sim.vector.run_packet_sweep_vector_batch`)
+    -- no ProcessPool, no pickling, one kernel launch per group.  The
+    remainder (traced points, forced DES, non-analytic chains) runs
+    per-point: in-process when ``workers=1``, else fanned out over a
+    ``ProcessPoolExecutor``.  ``executor`` injects an externally owned
+    pool (the serving daemon keeps one resident) instead of spawning one
+    per run; ``fuse=False`` disables the planner entirely (benchmarks
+    time the per-point path against it).
+
+    Results are merged in plan order no matter how they executed, and
+    the batched kernel is pinned bit-exact to the per-point tiers, so
+    fusing, worker count, and executor ownership are all invisible in
+    the output -- determinism tests assert byte-identical results and
+    traces across every combination.
     """
 
     def __init__(self, plan: SweepPlan, workers: int = 1,
                  cache: Optional[SweepCache] = None,
-                 use_cache: bool = True, engine: str = "auto") -> None:
+                 use_cache: bool = True, engine: str = "auto",
+                 fuse: bool = True,
+                 executor: Optional[Executor] = None) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if engine not in ENGINES:
@@ -548,6 +683,8 @@ class SweepRunner:
         self.cache = cache if cache is not None else DEFAULT_CACHE
         self.use_cache = use_cache
         self.engine = engine
+        self.fuse = fuse
+        self.executor = executor
 
     def run(self) -> SweepResult:
         points = self.plan.expand()
@@ -568,16 +705,18 @@ class SweepRunner:
                 trace_of=chain.name if point.trace else None,
             ))
 
-        entries: List[Optional[Dict[str, Any]]] = [None] * len(points)
-        pending: List[int] = []
-        for index, (point, key) in enumerate(zip(points, keys)):
-            entry = (self.cache.lookup(key, need_trace=point.trace)
-                     if self.use_cache else None)
-            if entry is None:
-                pending.append(index)
-            else:
-                entries[index] = entry
+        entries: List[Optional[Dict[str, Any]]]
+        if self.use_cache:
+            # One lock acquisition for the whole plan's probe.
+            entries = self.cache.lookup_many(
+                keys, [point.trace for point in points])
+        else:
+            entries = [None] * len(points)
+        pending = [index for index, entry in enumerate(entries)
+                   if entry is None]
 
+        fused_points = fused_groups = pooled_points = 0
+        spawned_pool = False
         if pending:
             # Intra-run dedup: two pending points with equal content keys
             # are the same pure computation (traced points fold the chain
@@ -589,18 +728,32 @@ class SweepRunner:
                 first = duplicates.setdefault(keys[index], index)
                 if first == index:
                     executed.append(index)
-            if self.workers > 1:
-                self._run_pooled(points, executed, entries)
+            if self.fuse:
+                groups, pooled = partition_fusable(points, executed)
             else:
-                for index in executed:
-                    point = points[index]
-                    entries[index] = _run_chain_point(_chain_for(point), point)
+                groups, pooled = OrderedDict(), list(executed)
+            for indices in groups.values():
+                for index, entry in zip(indices,
+                                        run_fused_group(points, indices)):
+                    entries[index] = entry
+                fused_points += len(indices)
+                fused_groups += 1
+            pooled_points = len(pooled)
+            if pooled:
+                if self.workers > 1:
+                    spawned_pool = self._run_pooled(points, pooled, entries)
+                else:
+                    for index in pooled:
+                        point = points[index]
+                        entries[index] = _run_chain_point(
+                            _chain_for(point), point)
             for index in pending:
                 if entries[index] is None:
                     entries[index] = entries[duplicates[keys[index]]]
             if self.use_cache:
-                for index in executed:
-                    self.cache.store(keys[index], entries[index])
+                # One lock acquisition for the whole plan's insert.
+                self.cache.store_many(
+                    (keys[index], entries[index]) for index in executed)
 
         pending_set = set(pending)
         results = [
@@ -614,25 +767,44 @@ class SweepRunner:
             )
             for index, (point, key, entry) in enumerate(zip(points, keys, entries))
         ]
-        return SweepResult(self.plan, results, self.workers)
+        return SweepResult(self.plan, results, self.workers,
+                           fused_points=fused_points,
+                           fused_groups=fused_groups,
+                           pooled_points=pooled_points,
+                           spawned_pool=spawned_pool)
 
     def _run_pooled(self, points: List[SweepPoint], pending: List[int],
-                    entries: List[Optional[Dict[str, Any]]]) -> None:
-        """Fan the pending points out over a process pool, merge in order."""
+                    entries: List[Optional[Dict[str, Any]]]) -> bool:
+        """Fan the pending points out over a process pool, merge in order.
+
+        Uses the injected :attr:`executor` when one was given (and
+        leaves its lifecycle to its owner); otherwise spawns a pool for
+        this run.  Returns whether a pool was spawned.
+        """
         specs: Iterable[Tuple[Any, ...]] = [
             dataclasses.astuple(points[index]) for index in pending
         ]
-        chunksize = max(1, len(pending) // (self.workers * 4) or 1)
+        chunksize = _pool_chunksize(len(pending), self.workers)
+        if self.executor is not None:
+            for index, entry in zip(pending,
+                                    self.executor.map(_execute_point, specs,
+                                                      chunksize=chunksize)):
+                entries[index] = entry
+            return False
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             for index, entry in zip(pending,
                                     pool.map(_execute_point, specs,
                                              chunksize=chunksize)):
                 entries[index] = entry
+        return True
 
 
 def run_plan(plan: SweepPlan, workers: int = 1,
              cache: Optional[SweepCache] = None,
-             use_cache: bool = True, engine: str = "auto") -> SweepResult:
+             use_cache: bool = True, engine: str = "auto",
+             fuse: bool = True,
+             executor: Optional[Executor] = None) -> SweepResult:
     """Convenience wrapper: build a runner and run the plan once."""
     return SweepRunner(plan, workers=workers, cache=cache,
-                       use_cache=use_cache, engine=engine).run()
+                       use_cache=use_cache, engine=engine, fuse=fuse,
+                       executor=executor).run()

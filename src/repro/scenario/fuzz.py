@@ -17,7 +17,7 @@ vector-supported) keys: a scenario that lights up new coverage joins
 the corpus and later scenarios mutate corpus members instead of
 starting from scratch.
 
-Each scenario passes through four conformance checks:
+Each scenario passes through five conformance checks:
 
 * **serialization** -- canonical-JSON round trip is the identity, the
   canonical text is a fixpoint, and :meth:`Scenario.scenario_id` is
@@ -27,6 +27,11 @@ Each scenario passes through four conformance checks:
   tier; entries must match **exactly** -- floats, integers, and the
   full ``trace_jsonl`` -- and the first point's metrics snapshot and
   trace export must match across tiers too;
+* **vector-batch** -- every vector-eligible untraced point group also
+  runs through the fused batched kernel
+  (:func:`repro.sim.vector.run_packet_sweep_vector_batch`); batched,
+  per-point vector, and DES must agree exactly, including the
+  folded-back stage occupancy/statistics;
 * **cache-tier** -- the plan runs cold then warm against a private
   :class:`SweepCache`; the warm run must be all hits and numerically
   and trace-wise identical to the cold run;
@@ -189,6 +194,7 @@ class DifferentialFuzzer:
         self.checks: List[Tuple[str, CheckFn]] = [
             ("serialization", self.check_serialization),
             ("engine-equivalence", self.check_engine_equivalence),
+            ("vector-batch", self.check_vector_batch),
             ("cache-tier", self.check_cache_tier),
             ("baseline-capabilities", self.check_baseline_capabilities),
         ]
@@ -330,6 +336,64 @@ class DifferentialFuzzer:
             what = "trace export" if metrics_equal else "metrics snapshot"
             return (f"{what} differs between vector and des "
                     f"at {point.label()}")
+        return None
+
+    def check_vector_batch(self, scenario: Scenario) -> Optional[str]:
+        """Fused multi-point execution must match per-point exactly.
+
+        Every vector-eligible untraced point group (same tailored chain,
+        same packet count -- the fused planner's bucketing) is executed
+        three ways: forced DES per-point, forced vector per-point, and
+        through the batched kernel
+        (:func:`repro.sim.vector.run_packet_sweep_vector_batch`).  All
+        three must agree exactly -- result floats *and* the folded-back
+        stage occupancy/statistics the batch leaves on the chain, which
+        must equal the sequential per-point loop's state bit for bit.
+        """
+        from repro.runtime.context import isolated_context_stack
+        from repro.runtime.sweep import point_chain, run_point
+        from repro.sim.pipeline import reset_transaction_ids
+        from repro.sim.vector import (chain_supports_vector,
+                                      run_packet_sweep_vector_batch)
+
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        for point in scenario.expand_points():
+            if point.trace:
+                continue   # the planner never fuses traced points
+            if not chain_supports_vector(point_chain(point)):
+                continue
+            key = (point.app, point.device, point.with_harmonia,
+                   point.packet_count)
+            groups.setdefault(key, []).append(point)
+        for points in groups.values():
+            des = [run_point(dataclasses.replace(point, engine="des"))
+                   for point in points]
+            per_point = [run_point(dataclasses.replace(point, engine="vector"))
+                         for point in points]
+            chain = point_chain(points[0])
+            sequential_state = [
+                (stage._next_free_ps, stage.transactions_processed,
+                 stage.busy_ps) for stage in chain.stages]
+            with isolated_context_stack():
+                reset_transaction_ids()
+                rows = run_packet_sweep_vector_batch(
+                    chain, [point.packet_size_bytes for point in points],
+                    points[0].packet_count)
+            batched_state = [
+                (stage._next_free_ps, stage.transactions_processed,
+                 stage.busy_ps) for stage in chain.stages]
+            for point, row, vec, scalar in zip(points, rows, per_point, des):
+                batched = {"throughput_bps": row[0],
+                           "mean_latency_ns": row[1]}
+                if batched != vec:
+                    return (f"batched != per-point vector at "
+                            f"{point.label()}")
+                if batched != scalar:
+                    return f"batched != des at {point.label()}"
+            if batched_state != sequential_state:
+                return (f"batched stage state diverged from the "
+                        f"sequential per-point loop at "
+                        f"{points[-1].label()}")
         return None
 
     def check_cache_tier(self, scenario: Scenario) -> Optional[str]:

@@ -46,10 +46,11 @@ see :mod:`repro.serve.coalesce` and ``docs/serving.md``.
 
 import asyncio
 import json
+import multiprocessing
 import signal
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
@@ -89,6 +90,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0                      # 0 = let the kernel pick (tests)
     exec_workers: int = 4              # scenario-execution thread pool
+    pool_workers: int = 4              # resident sweep ProcessPool width
     max_queue: int = 32                # bounded execution queue (503 beyond)
     quota_rps: float = 0.0             # per-tenant tokens/s; <= 0 disables
     quota_burst: Optional[float] = None
@@ -101,6 +103,8 @@ class ServeConfig:
     def validate(self) -> None:
         if self.exec_workers < 1:
             raise ConfigurationError("exec_workers must be >= 1")
+        if self.pool_workers < 1:
+            raise ConfigurationError("pool_workers must be >= 1")
         if self.max_body < 1:
             raise ConfigurationError("max_body must be >= 1")
         # max_queue / quota / cache bounds validate in their own types.
@@ -135,6 +139,16 @@ class ServingDaemon:
         self.executor = ThreadPoolExecutor(
             max_workers=self.config.exec_workers,
             thread_name_prefix="serve-exec")
+        # One resident ProcessPool for the whole daemon lifetime: sweep
+        # requests whose points cannot fuse (traces, forced DES) fan out
+        # to it instead of spawning a pool per request.  Construction
+        # starts no processes; workers appear lazily on first dispatch.
+        # The spawn start method keeps worker creation safe from the
+        # multi-threaded request executor (a fork could inherit another
+        # request thread's held locks).
+        self.pool = ProcessPoolExecutor(
+            max_workers=self.config.pool_workers,
+            mp_context=multiprocessing.get_context("spawn"))
         self.started_at = time.monotonic()
         self.port: Optional[int] = None   # bound port, set once listening
         self.ready = threading.Event()
@@ -175,6 +189,7 @@ class ServingDaemon:
             server.close()
             await server.wait_closed()
             self.executor.shutdown(wait=True)
+            self.pool.shutdown(wait=True)
             if self.config.cache_file:
                 self.cache.save(self.config.cache_file)
 
@@ -330,6 +345,10 @@ class ServingDaemon:
                 "max_entries": self.cache.max_entries,
                 "evictions": self.cache.evictions,
             },
+            "pool": {
+                "max_workers": self.config.pool_workers,
+                "resident": True,
+            },
         }), {}
 
     def _get_slo(self) -> Tuple[int, bytes, Dict[str, str]]:
@@ -378,9 +397,17 @@ class ServingDaemon:
             else:
                 def _work() -> None:
                     try:
+                        kwargs: Dict[str, Any] = {}
+                        if scenario.kind == "sweep":
+                            # Cold-cache sweeps go through the fused
+                            # planner; points that cannot fuse reuse
+                            # the resident pool instead of spawning one.
+                            kwargs = {"workers": self.config.pool_workers,
+                                      "executor": self.pool}
                         outcome = run_scenario(
                             scenario, cache=self.cache, store=self.store,
-                            slo=slo)
+                            slo=slo, **kwargs)
+                        self._record_execution(outcome)
                         body = outcome.response_text().encode("utf-8")
                         self.coalescer.resolve(key, future, body)
                     except BaseException as exc:
@@ -406,6 +433,30 @@ class ServingDaemon:
             "X-Scenario-Id": key[1],
             "X-Coalesced": "leader" if leader else "follower",
         }
+
+    def _record_execution(self, outcome: Any) -> None:
+        """Fold one execution's planner provenance into the registry.
+
+        ``serve.sweep.fused_points`` / ``pooled_points`` count how the
+        cold work of sweep requests actually ran; ``serve.pool.dispatches``
+        counts resident-pool fan-outs and ``serve.pool.request_spawns``
+        stays zero for as long as no request ever spawned its own
+        executor -- the invariant ``benchmarks/serve_smoke.py`` gates.
+        """
+        if outcome.kind != "sweep":
+            return
+        meta = outcome.meta
+        if meta.get("fused_points"):
+            self.metrics.increment("serve.sweep.fused_points",
+                                   meta["fused_points"])
+            self.metrics.increment("serve.sweep.fused_groups",
+                                   meta["fused_groups"])
+        if meta.get("pooled_points"):
+            self.metrics.increment("serve.sweep.pooled_points",
+                                   meta["pooled_points"])
+            self.metrics.increment("serve.pool.dispatches")
+        if meta.get("spawned_pool"):
+            self.metrics.increment("serve.pool.request_spawns")
 
     def _parse_scenario(self, payload: bytes) -> Scenario:
         if not payload:

@@ -156,8 +156,16 @@ def _require_kind(scenario: Scenario, kind: str) -> None:
 
 def run_sweep_service(scenario: Scenario, *, workers: int = 1,
                       cache: Any = None, use_cache: bool = True,
-                      slo: Optional[str] = None) -> ServiceResult:
-    """Execute a sweep scenario (the ``repro.cli sweep`` core)."""
+                      slo: Optional[str] = None, fuse: bool = True,
+                      executor: Any = None) -> ServiceResult:
+    """Execute a sweep scenario (the ``repro.cli sweep`` core).
+
+    Cache misses route through the fused multi-point planner by default
+    (``fuse=False`` forces per-point execution); ``executor`` injects a
+    resident ProcessPool so a long-lived caller -- the serving daemon --
+    never spawns one per request.  The planner's provenance (fused vs
+    pooled point counts, whether a pool was spawned) lands in ``meta``.
+    """
     from repro.obs.slo import registry_from_sweep
     from repro.runtime.sweep import SweepPlan, SweepRunner
 
@@ -165,7 +173,8 @@ def run_sweep_service(scenario: Scenario, *, workers: int = 1,
     monitor = slo_monitor_for("sweep", slo)   # fail loud before the run
     plan = SweepPlan.from_scenario(scenario)
     runner = SweepRunner(plan, workers=workers, cache=cache,
-                         use_cache=use_cache, engine=scenario.engine)
+                         use_cache=use_cache, engine=scenario.engine,
+                         fuse=fuse, executor=executor)
     start = time.perf_counter()
     result = runner.run()
     elapsed = time.perf_counter() - start
@@ -176,6 +185,12 @@ def run_sweep_service(scenario: Scenario, *, workers: int = 1,
         payload=sweep_payload(result), slo=report, elapsed_s=elapsed,
         cache_hits=result.cache_hits,
         executed_points=len(result) - result.cache_hits,
+        meta={
+            "fused_points": result.fused_points,
+            "fused_groups": result.fused_groups,
+            "pooled_points": result.pooled_points,
+            "spawned_pool": result.spawned_pool,
+        },
     )
 
 
@@ -257,16 +272,19 @@ def run_build_service(scenario: Scenario, *, workers: int = 1,
 def run_scenario(scenario: Scenario, *, workers: int = 1, cache: Any = None,
                  store: Any = None, use_cache: bool = True,
                  slo: Optional[str] = None,
-                 policies: Optional[Sequence[str]] = None) -> ServiceResult:
+                 policies: Optional[Sequence[str]] = None,
+                 executor: Any = None) -> ServiceResult:
     """Dispatch one scenario to its kind's service function.
 
     The daemon's single entry point: resident warm state (``cache`` for
-    sweeps, ``store`` for builds) is threaded through; options a kind
-    does not use are ignored by construction, not error.
+    sweeps, ``store`` for builds, ``executor`` for pooled sweep points)
+    is threaded through; options a kind does not use are ignored by
+    construction, not error.
     """
     if scenario.kind == "sweep":
         return run_sweep_service(scenario, workers=workers, cache=cache,
-                                 use_cache=use_cache, slo=slo)
+                                 use_cache=use_cache, slo=slo,
+                                 executor=executor)
     if scenario.kind == "fleet":
         return run_fleet_service(scenario, policies=policies, slo=slo)
     if scenario.kind == "build":

@@ -123,8 +123,16 @@ class TrainTiming:
 
 
 def _next_edge_array(times_ps, period_ps: int):
-    """Vectorized ``ClockDomain.next_edge_ps`` -- same float ceil-divide."""
-    return _np.ceil(times_ps / period_ps).astype(_np.int64) * period_ps
+    """Vectorized ``ClockDomain.next_edge_ps`` -- same float ceil-divide.
+
+    Always returns a fresh buffer (the division allocates it), so
+    callers may mutate the result in place.
+    """
+    edges = times_ps / period_ps
+    _np.ceil(edges, out=edges)
+    edges = edges.astype(_np.int64)
+    edges *= period_ps
+    return edges
 
 
 def _stage_beats(stage: PipelineStage, sizes_bytes) -> Any:
@@ -252,6 +260,233 @@ def run_packet_sweep_vector(
     throughput_bps = (packet_count - 1) * packet_size_bytes * 8 / (duration_ps / 1e12)
     mean_latency_ns = total_latency / packet_count / 1_000
     return throughput_bps, mean_latency_ns
+
+
+class BatchTrainTiming:
+    """Per-packet timings of a fused multi-train replay.
+
+    ``arrivals_ps``/``completed_ps``/``latencies_ps`` are ``(rows,
+    packets)`` int64 tensors: row ``i`` is one independent train replay
+    of the chain, bit-exact equal to what :func:`simulate_train` would
+    have produced for that row alone.
+    """
+
+    __slots__ = ("arrivals_ps", "completed_ps", "latencies_ps")
+
+    def __init__(self, arrivals_ps, completed_ps) -> None:
+        self.arrivals_ps = arrivals_ps
+        self.completed_ps = completed_ps
+        self.latencies_ps = completed_ps - arrivals_ps
+
+    def __len__(self) -> int:
+        return int(self.completed_ps.shape[0])
+
+    @property
+    def rows(self) -> int:
+        return int(self.completed_ps.shape[0])
+
+    @property
+    def packets(self) -> int:
+        return int(self.completed_ps.shape[1])
+
+    def row(self, index: int) -> TrainTiming:
+        """One row's timings as a :class:`TrainTiming` (array views)."""
+        return TrainTiming(self.arrivals_ps[index], self.completed_ps[index])
+
+
+def _replay_trains(chain: PipelineChain, arrivals, sizes):
+    """The fused cut-through recurrence over a ``(rows, packets)`` grid.
+
+    Each row replays the chain independently from the chain's current
+    carried-in ``_next_free_ps``, exactly as :func:`simulate_train`
+    would for that row alone: the recurrence runs once per stage along
+    axis 1, with per-row ``busy``/``tail`` columns broadcast across the
+    packet axis.  ``sizes`` is a scalar (every row uniform at one size)
+    or a ``(rows,)`` int64 array (per-row uniform sizes -- the sweep
+    planner's shape).  Mutates nothing; returns ``(completed, info)``
+    where ``completed`` is the ``(rows, packets)`` completion tensor and
+    ``info`` is one ``(busy_per_txn, last_starts)`` pair per stage for
+    the caller's state fold-back (``busy_per_txn`` is an int or a
+    ``(rows,)`` array; ``last_starts`` is each row's final issue edge at
+    that stage).
+    """
+    rows, count = (int(arrivals.shape[0]), int(arrivals.shape[1]))
+    uniform = _np.isscalar(sizes) or getattr(sizes, "ndim", 1) == 0
+    out = arrivals
+    completed = arrivals
+    index = _np.arange(count, dtype=_np.int64)[None, :]
+    info = []
+    final = len(chain.stages) - 1
+    for position, stage in enumerate(chain.stages):
+        period = stage.clock.period_ps
+        if uniform:
+            beats = stage.beats(int(sizes))
+            busy = (beats * stage.initiation_interval
+                    + stage.per_transaction_overhead_cycles) * period
+            tail = (stage.latency_cycles
+                    + (beats - 1) * stage.initiation_interval) * period
+            busy_col = busy
+            tail_col = tail
+        else:
+            beats = _stage_beats(stage, sizes)
+            busy = (beats * stage.initiation_interval
+                    + stage.per_transaction_overhead_cycles) * period
+            tail = (stage.latency_cycles
+                    + (beats - 1) * stage.initiation_interval) * period
+            busy_col = busy[:, None]
+            tail_col = tail[:, None]
+        latency = stage.latency_cycles * period
+        # _next_edge_array hands back a fresh buffer; from here on every
+        # op mutates it in place -- same integer operations as the
+        # per-train kernel, just without per-stage temporaries.
+        starts = _next_edge_array(out, period)
+        free0 = stage._next_free_ps
+        if free0 > 0:
+            # Same fold as simulate_train: the carried-in occupancy only
+            # gates each row's first issue edge.
+            aligned = int(math.ceil(free0 / period)) * period
+            _np.maximum(starts[:, 0], aligned, out=starts[:, 0])
+        ramp = busy_col * index
+        # starts = ramp + cummax(edges - ramp) along the packet axis.
+        starts -= ramp
+        _np.maximum.accumulate(starts, axis=1, out=starts)
+        starts += ramp
+        info.append((busy, starts[:, -1].copy()))
+        if position == final:
+            starts += tail_col
+            completed = starts
+        else:
+            starts += latency
+            out = starts
+    return completed, info
+
+
+def simulate_trains(
+    chain: PipelineChain,
+    arrivals_ps,
+    sizes_bytes,
+    update_state: bool = True,
+) -> BatchTrainTiming:
+    """Replay many independent trains through ``chain`` in one pass.
+
+    ``arrivals_ps`` is a ``(rows, packets)`` int64 tensor of creation
+    times; ``sizes_bytes`` is a scalar (one size everywhere) or a
+    ``(rows,)`` int64 array of per-row uniform sizes.  Every row starts
+    from the chain's current carried-in ``_next_free_ps`` and replays
+    independently -- the results are bit-exact equal to calling
+    :func:`simulate_train` once per row with the starting occupancy
+    restored in between.
+
+    With ``update_state`` (the default) the fold-back matches that
+    sequential oracle loop too: ``transactions_processed`` and
+    ``busy_ps`` accumulate over **all** rows and the final occupancy is
+    the **last** row's, which the property tests pin stage for stage.
+
+    Rows must share one packet count: the sweep planner buckets points
+    by ``packet_count`` before calling in, so no padding packets ever
+    exist to lie about throughput or latency.
+    """
+    if _np is None:
+        raise ConfigurationError("numpy is required for the vector kernel")
+    arrivals = _np.asarray(arrivals_ps, dtype=_np.int64)
+    if arrivals.ndim != 2:
+        raise ConfigurationError(
+            "simulate_trains needs a (rows, packets) arrival tensor; "
+            f"got shape {arrivals.shape}"
+        )
+    rows, count = (int(arrivals.shape[0]), int(arrivals.shape[1]))
+    if rows == 0 or count == 0:
+        raise ConfigurationError("a train batch needs >= 1 row and packet")
+    uniform = _np.isscalar(sizes_bytes) or getattr(sizes_bytes, "ndim", 1) == 0
+    if not uniform:
+        sizes_bytes = _np.asarray(sizes_bytes, dtype=_np.int64)
+        if sizes_bytes.shape != (rows,):
+            raise ConfigurationError(
+                "per-row sizes must be one int per train row"
+            )
+    with _profile_phase("vector.kernel"):
+        completed, info = _replay_trains(chain, arrivals, sizes_bytes)
+    if update_state:
+        for stage, (busy, last_starts) in zip(chain.stages, info):
+            if _np.isscalar(busy) or getattr(busy, "ndim", 1) == 0:
+                total_busy = int(busy) * count * rows
+                last_busy = int(busy)
+            else:
+                total_busy = int(busy.sum()) * count
+                last_busy = int(busy[-1])
+            stage._next_free_ps = int(last_starts[-1]) + last_busy
+            stage.transactions_processed += rows * count
+            stage.busy_ps += total_busy
+    return BatchTrainTiming(arrivals, completed)
+
+
+def run_packet_sweep_vector_batch(
+    chain: PipelineChain,
+    packet_sizes: Sequence[int],
+    packet_count: int,
+    offered_loads_bps: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, float]]:
+    """Fused multi-point :func:`run_packet_sweep_vector`.
+
+    Executes one sweep point per entry of ``packet_sizes`` (all sharing
+    ``packet_count``) against ``chain`` in a single ``(points, packets)``
+    kernel pass.  Returns one ``(throughput_bps, mean_latency_ns)`` pair
+    per point, **bit-exact** equal to calling
+    :func:`run_packet_sweep_vector` once per size in order -- including
+    the chain's folded-back stage occupancy and statistics, which end up
+    exactly as the sequential per-point loop leaves them (each point
+    resets the chain, so the final state is the last point's).
+
+    This is the sweep hot path's fused tier: per-point dispatch, memo
+    probes, and kernel launches collapse into one batched replay, so a
+    cold app x device x size grid costs a handful of numpy passes per
+    tailored chain instead of one per point.
+    """
+    if _np is None:
+        raise ConfigurationError("numpy is required for the vector kernel")
+    sizes = [int(size) for size in packet_sizes]
+    if not sizes:
+        return []
+    if packet_count < 1:
+        raise ConfigurationError("packet_count must be >= 1")
+    if offered_loads_bps is not None and len(offered_loads_bps) != len(sizes):
+        raise ConfigurationError(
+            "offered_loads_bps must match packet_sizes one for one"
+        )
+    chain.reset()
+    gaps = []
+    for row, size in enumerate(sizes):
+        load = (offered_loads_bps[row] if offered_loads_bps is not None
+                else chain.bandwidth_bps(size) * 0.98)
+        gaps.append(size * 8 / load * 1e12)
+    index = _np.arange(packet_count, dtype=_np.float64)[None, :]
+    arrivals = _np.rint(
+        _np.asarray(gaps, dtype=_np.float64)[:, None] * index
+    ).astype(_np.int64)
+    sizes_arr = _np.asarray(sizes, dtype=_np.int64)
+    with _profile_phase("vector.kernel"):
+        completed, info = _replay_trains(chain, arrivals, sizes_arr)
+    # Fold back the *last* row's state only: the sequential per-point
+    # loop resets the chain at each point, so after it runs the chain
+    # carries exactly (and only) the final point's occupancy and stats.
+    for stage, (busy, last_starts) in zip(chain.stages, info):
+        last_busy = int(busy if _np.isscalar(busy) else busy[-1])
+        stage._next_free_ps = int(last_starts[-1]) + last_busy
+        stage.transactions_processed += packet_count
+        stage.busy_ps += last_busy * packet_count
+    latencies = completed - arrivals
+    results: List[Tuple[float, float]] = []
+    for row, size in enumerate(sizes):
+        # Per-row scalar arithmetic replicates run_packet_sweep_vector's
+        # float expressions operand for operand.
+        first = int(completed[row, 0])
+        last = int(completed[row, -1])
+        total_latency = int(latencies[row].sum())
+        duration_ps = max(last - (first or 0), 1)
+        throughput_bps = (packet_count - 1) * size * 8 / (duration_ps / 1e12)
+        mean_latency_ns = total_latency / packet_count / 1_000
+        results.append((throughput_bps, mean_latency_ns))
+    return results
 
 
 def simulate_train_reference(

@@ -296,7 +296,7 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "cumulative ms" in out
         assert "fleet.policy" in out
-        assert "sweep.point" in out
+        assert "sweep.fused" in out
 
 
 class TestSloFlags:

@@ -138,15 +138,16 @@ class TestActivation:
         from repro.runtime.fleet import FleetSpec, run_fleet
         from repro.runtime.sweep import SweepPlan, run_plan
 
+        plan = SweepPlan(apps=("sec-gateway",), devices=("device-a",),
+                         packet_sizes=(64,), packets_per_point=50)
         profiler = SelfProfiler()
         with profiler:
-            run_plan(SweepPlan(apps=("sec-gateway",), devices=("device-a",),
-                               packet_sizes=(64,), packets_per_point=50),
-                     use_cache=False)
+            run_plan(plan, use_cache=False)               # fused planner
+            run_plan(plan, use_cache=False, fuse=False)   # per-point path
             run_fleet(FleetSpec(flow_count=5_000, device_count=16),
                       context=SimContext(name="profiled"))
         names = {stats.name for stats in profiler.table(top=0)}
-        assert {"sweep.point", "vector.kernel",
+        assert {"sweep.fused", "sweep.point", "vector.kernel",
                 "fleet.policy"} <= names
 
     def test_profiler_never_touches_sim_time(self):

@@ -57,7 +57,7 @@ class TestCampaign:
         assert report.ok
         assert report.scenarios_run == 8
         assert report.points_checked >= 8
-        assert report.checks_run == 8 * 4
+        assert report.checks_run == 8 * 5
         assert report.coverage > 0
 
     def test_campaign_is_seed_deterministic(self):
@@ -122,6 +122,45 @@ class TestInjectedFailuresAndShrinking:
         assert len(payload["failures"]) == len(report.failures)
         assert payload["failures"][0]["scenario_id"] == \
             report.failures[0].shrunk.scenario_id()
+
+
+class TestVectorBatchCheck:
+    def test_vector_batch_is_a_standing_check(self):
+        fuzzer = DifferentialFuzzer(seed=1)
+        assert "vector-batch" in [name for name, _ in fuzzer.checks]
+
+    def test_broken_batch_kernel_is_caught_and_shrunk(self, monkeypatch,
+                                                      tmp_path):
+        import repro.sim.vector as vector_module
+
+        real = vector_module.run_packet_sweep_vector_batch
+
+        def skewed(chain, sizes, count, offered_loads_bps=None):
+            rows = real(chain, sizes, count,
+                        offered_loads_bps=offered_loads_bps)
+            # Perturb the first row by one ULP-ish nudge: the check must
+            # catch even the smallest float divergence from per-point.
+            return ([(rows[0][0] * (1 + 1e-12), rows[0][1])] + rows[1:]
+                    if rows else rows)
+
+        monkeypatch.setattr(vector_module, "run_packet_sweep_vector_batch",
+                            skewed)
+        fuzzer = DifferentialFuzzer(seed=3, max_packets=8,
+                                    repro_dir=str(tmp_path))
+        report = fuzzer.run(budget=6)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.check == "vector-batch"
+        assert "per-point" in failure.detail
+        shrunk = failure.shrunk
+        assert len(shrunk.apps) == 1
+        assert len(shrunk.devices) == 1
+        assert len(shrunk.workload.packet_sizes) == 1
+        # One-packet trains have zero throughput, which the relative
+        # skew cannot perturb, so the minimal failing train is 2 packets.
+        assert shrunk.workload.packets_per_point == 2
+        assert failure.repro_path is not None
+        assert load_scenario(failure.repro_path) == shrunk
 
 
 class TestPinnedCorpus:

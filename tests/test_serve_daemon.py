@@ -95,8 +95,10 @@ class TestEndpoints:
 
     def test_stats_reports_all_subsystems(self, client):
         stats = client.stats()
-        assert set(stats) == {"metrics", "coalescer", "admission", "cache"}
+        assert set(stats) == {"metrics", "coalescer", "admission", "cache",
+                              "pool"}
         assert stats["admission"]["max_queue"] == 32
+        assert stats["pool"] == {"max_workers": 4, "resident": True}
 
 
 class TestErrors:
@@ -313,3 +315,46 @@ class TestWarmState:
         assert client.shutdown().status == 200
         handle.thread.join(timeout=10)
         assert not handle.thread.is_alive()
+
+
+class TestResidentPool:
+    def test_pool_workers_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ServeConfig(port=0, pool_workers=0).validate()
+
+    def test_cold_sweep_goes_through_the_fused_planner(self, client):
+        assert client.run_scenario(SWEEP, endpoint="sweep").status == 200
+        snapshot = client.stats()["metrics"]["serve"]
+        assert snapshot["sweep"]["fused_points"] == \
+            len(SWEEP.workload.packet_sizes)
+        assert snapshot["sweep"]["fused_groups"] == 1
+        # Fused points never touch the ProcessPool, and no per-request
+        # pool may ever be spawned inside the daemon.
+        assert "pool" not in snapshot
+
+    def test_unfusable_points_dispatch_to_the_resident_pool(self, client):
+        first = Scenario(kind="sweep", apps=("sec-gateway",),
+                         devices=("device-a",), engine="des",
+                         workload=WorkloadSpec(packet_sizes=(64,),
+                                               packets_per_point=50))
+        second = Scenario(kind="sweep", apps=("sec-gateway",),
+                          devices=("device-a",), engine="des",
+                          workload=WorkloadSpec(packet_sizes=(128,),
+                                                packets_per_point=50))
+        for scenario in (first, second):
+            assert client.run_scenario(scenario,
+                                       endpoint="sweep").status == 200
+        snapshot = client.stats()["metrics"]["serve"]
+        assert snapshot["sweep"]["pooled_points"] == 2
+        assert snapshot["pool"]["dispatches"] == 2     # resident pool reused
+        assert "request_spawns" not in snapshot["pool"]
+
+    def test_warm_sweep_executes_nothing(self, client):
+        client.run_scenario(SWEEP, endpoint="sweep")
+        before = client.stats()["metrics"]["serve"]["sweep"]
+        client.run_scenario(SWEEP, endpoint="sweep")
+        after = client.stats()["metrics"]["serve"]["sweep"]
+        assert after["fused_points"] == before["fused_points"]
+        assert after.get("pooled_points") == before.get("pooled_points")
