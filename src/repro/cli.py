@@ -206,6 +206,17 @@ def _traced_sweep(args: argparse.Namespace):
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.target == "analyze":
+        return cmd_trace_analyze(args)
+    if args.target == "diff":
+        return cmd_trace_diff(args)
+    if args.paths:
+        raise ConfigurationError(
+            "unexpected extra arguments; `trace DEVICE` exports a sweep "
+            "trace, `trace analyze FILE` / `trace diff A B` run analytics")
+    if not args.app:
+        raise ConfigurationError("trace DEVICE needs --app")
+    args.device = args.target          # the legacy export path
     context, app, device, samples = _traced_sweep(args)
     if args.format == "chrome":
         from repro.obs.chrome import export_chrome_json
@@ -223,6 +234,76 @@ def cmd_trace(args: argparse.Namespace) -> int:
           f"{len(context.trace)} trace records, "
           f"{len(context.trace.span_names())} distinct span names",
           file=sys.stderr)
+    return 0
+
+
+def _ms(ps: float) -> str:
+    return f"{ps / 1e9:.3f}"
+
+
+def cmd_trace_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import analyze_trace, load_trace
+
+    if len(args.paths) != 1:
+        raise ConfigurationError(
+            "trace analyze takes exactly one trace JSONL file")
+    analysis = analyze_trace(load_trace(args.paths[0]))
+    if not len(analysis):
+        print("trace is empty: no spans to analyze")
+        return 0
+    path = analysis.critical_path()
+    rows = [
+        ("  " * depth + node.name, _ms(node.start_ps),
+         _ms(node.end_ps or 0), _ms(node.duration_ps), _ms(node.self_ps))
+        for depth, node in enumerate(path)
+    ]
+    print(format_table(
+        ["span", "start ms", "end ms", "duration ms", "self ms"], rows,
+        title=f"Critical path: {len(path)} spans, "
+              f"{_ms(path[0].duration_ps)} ms end-to-end",
+    ))
+    flame = analysis.flame(args.top)
+    print(format_table(
+        ["span name", "calls", "total ms", "self ms"],
+        [(name, calls, _ms(total), _ms(self_ps))
+         for name, calls, total, self_ps in flame],
+        title=f"Flame fold: top {len(flame)} by self time "
+              f"({len(analysis)} spans, {len(analysis.roots)} roots)",
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
+            json.dump(analysis.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote analysis to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import analyze_trace, diff_traces, load_trace
+
+    if len(args.paths) != 2:
+        raise ConfigurationError(
+            "trace diff takes exactly two trace JSONL files")
+    before = analyze_trace(load_trace(args.paths[0]))
+    after = analyze_trace(load_trace(args.paths[1]))
+    rows = diff_traces(before, after, top=args.top)
+    print(format_table(
+        ["span name", "calls", "total ms before", "total ms after",
+         "delta ms"],
+        [(row["name"],
+          f"{row['calls_before']} -> {row['calls_after']}",
+          _ms(row["total_before_ps"]), _ms(row["total_after_ps"]),
+          _ms(row["total_delta_ps"]))
+         for row in rows],
+        title=f"Trace diff: top {len(rows)} spans by |total delta| "
+              f"({len(before)} -> {len(after)} spans)",
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
+            json.dump(diff_traces(before, after), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote diff to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -436,7 +517,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         quota_burst=args.quota_burst,
         cache_entries=args.cache_entries if args.cache_entries > 0 else None,
         cache_file=args.cache_file, artifact_dir=args.artifact_dir,
-        allow_remote_shutdown=args.allow_remote_shutdown)
+        allow_remote_shutdown=args.allow_remote_shutdown,
+        telemetry=not args.no_telemetry,
+        telemetry_window_s=args.telemetry_window,
+        trace_ring=args.trace_ring,
+        access_log=args.access_log)
     daemon = ServingDaemon(config)
 
     def _announce(host: str, port: int) -> None:
@@ -611,13 +696,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sweep the native (no-Harmonia) data path")
 
     trace = commands.add_parser(
-        "trace", help="export a traced app sweep as JSONL or Chrome JSON")
-    _sweep_args(trace)
+        "trace", help="export a traced app sweep as JSONL or Chrome JSON, "
+                      "or analyze/diff exported traces")
+    trace.add_argument("target",
+                       help="a device name to export a traced sweep, or "
+                            "'analyze' / 'diff' to run trace analytics")
+    trace.add_argument("paths", nargs="*",
+                       help="trace JSONL file(s): one for analyze, "
+                            "two for diff")
+    trace.add_argument("--app", help="application for the sweep export")
+    trace.add_argument("--packets", type=int, default=500,
+                       help="packets per sweep point (default 500)")
+    trace.add_argument("--sizes", type=int, nargs="+",
+                       help="packet sizes in bytes (default paper sweep)")
+    trace.add_argument("--native", action="store_true",
+                       help="sweep the native (no-Harmonia) data path")
     trace.add_argument("--out", help="write the export here instead of stdout")
     trace.add_argument("--format", choices=("jsonl", "chrome"),
                        default="jsonl",
                        help="jsonl (native records) or chrome "
                             "(trace_event JSON for chrome://tracing/Perfetto)")
+    trace.add_argument("--top", type=int, default=15,
+                       help="rows in the analyze/diff tables (default 15)")
+    trace.add_argument("--json",
+                       help="write the analyze/diff result JSON here")
 
     metrics = commands.add_parser(
         "metrics", help="print a sweep's hierarchical metrics snapshot")
@@ -791,6 +893,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: in-memory)")
     serve.add_argument("--allow-remote-shutdown", action="store_true",
                        help="enable POST /v1/shutdown (default: signals only)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the sliding-window telemetry hub "
+                            "(/telemetry, /metrics histograms)")
+    serve.add_argument("--telemetry-window", type=float, default=60.0,
+                       help="sliding telemetry window in seconds "
+                            "(default 60)")
+    serve.add_argument("--trace-ring", type=int, default=4_096,
+                       help="resident serve-span ring size for GET /trace; "
+                            "0 disables request spans (default 4096)")
+    serve.add_argument("--access-log",
+                       help="write one JSONL line per request here "
+                            "(finalised atomically on clean shutdown)")
 
     commands.add_parser("report", help="collate benchmark result artifacts")
     return parser

@@ -14,7 +14,14 @@ monitoring half the paper dedicates in every RBB's reusable logic
 * :mod:`repro.obs.profiler` -- wall-clock self-profiling of the
   simulator's own hot phases (strictly separate from sim-time);
 * :mod:`repro.obs.slo` -- declarative SLO specs evaluated against the
-  metrics registry, with violations emitted as trace instants.
+  metrics registry, with violations emitted as trace instants;
+* :mod:`repro.obs.tracectx` -- request-scoped trace contexts and the
+  plan-order stitcher that merges per-worker span fragments into one
+  connected, deterministic tree;
+* :mod:`repro.obs.window` -- sliding-window serve telemetry: rolling
+  rates, exponential-bucket latency histograms, SLO burn rates;
+* :mod:`repro.obs.analyze` -- trace analytics over exported JSONL:
+  critical-path extraction, flame aggregation, two-trace diffing.
 
 Submodules are loaded lazily (PEP 562): the profiler's ``phase`` hook
 is imported by hot paths deep in :mod:`repro.sim`, and an eager
@@ -41,6 +48,23 @@ _EXPORTS = {
     "PhaseStats": "repro.obs.profiler",
     "active_profiler": "repro.obs.profiler",
     "phase": "repro.obs.profiler",
+    # tracectx
+    "TraceContext": "repro.obs.tracectx",
+    "sanitise_trace_id": "repro.obs.tracectx",
+    "stitch_spans": "repro.obs.tracectx",
+    # window
+    "ExponentialBuckets": "repro.obs.window",
+    "HistogramSnapshot": "repro.obs.window",
+    "TelemetryHub": "repro.obs.window",
+    "WindowedCounter": "repro.obs.window",
+    "WindowedHistogram": "repro.obs.window",
+    # analyze
+    "SpanNode": "repro.obs.analyze",
+    "TraceAnalysis": "repro.obs.analyze",
+    "analyze_trace": "repro.obs.analyze",
+    "diff_traces": "repro.obs.analyze",
+    "load_trace": "repro.obs.analyze",
+    "parse_trace": "repro.obs.analyze",
     # slo
     "SloMonitor": "repro.obs.slo",
     "SloReport": "repro.obs.slo",

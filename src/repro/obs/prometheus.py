@@ -14,7 +14,16 @@ Maps the registry's dot-path tree onto the exposition format v0.0.4
 * :class:`~repro.sim.stats.LatencyStats` -> a ``summary`` family with
   exact ``quantile`` series (p50/p90/p99, nearest-rank over the stored
   samples) plus ``_sum``/``_count``; values stay in picoseconds, the
-  registry's native unit (family names carry their unit suffix).
+  registry's native unit (family names carry their unit suffix);
+* windowed histograms (the optional ``histograms`` mapping of dot-path
+  -> :class:`~repro.obs.window.HistogramSnapshot`) -> native
+  ``histogram`` families: cumulative ``le``-labelled ``_bucket``
+  series, the ``+Inf`` bucket, and ``_sum``/``_count`` -- what the
+  serving daemon's sliding-window telemetry scrapes as.
+
+Label values are escaped per the text-format spec (backslash, newline,
+double-quote), so registry paths and telemetry labels containing any
+byte still emit well-formed exposition.
 
 Families are emitted in sorted-name order, each with exactly one
 ``# HELP`` and one ``# TYPE`` line; registry paths are unique, so the
@@ -26,7 +35,7 @@ registry contents: identical snapshots expose byte-identical text.
 import os
 import re
 import tempfile
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.runtime.metrics import Gauge, MetricsRegistry
 from repro.sim.stats import Counter, LatencyStats
@@ -87,8 +96,17 @@ def _labels(prefix: str, extra: str = "") -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
-def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """The whole registry as one exposition-format scrape body."""
+def to_prometheus_text(registry: MetricsRegistry,
+                       histograms: Optional[Mapping[str, Any]] = None
+                       ) -> str:
+    """The whole registry as one exposition-format scrape body.
+
+    ``histograms`` adds native ``histogram`` families from snapshot
+    objects with ``bounds`` / ``cumulative`` / ``count`` / ``sum``
+    attributes (duck-typed so :mod:`repro.obs.window` need not import
+    here); keys are dot-paths named like registry paths, so the same
+    last-segment/``path``-label mapping applies.
+    """
     families: Dict[str, _Family] = {}
 
     def family(base: str, kind: str, help_text: str) -> _Family:
@@ -142,6 +160,28 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
                 f"{fam.name}_sum{_labels(prefix)} {_format_value(total)}")
             fam.lines.append(
                 f"{fam.name}_count{_labels(prefix)} {count}")
+
+    for path in sorted(histograms or {}):
+        snapshot = histograms[path]
+        prefix, _, leaf = path.rpartition(".")
+        fam = family(
+            _sanitise(leaf), "histogram",
+            f"Windowed histogram '{leaf}' (picoseconds) from the "
+            f"Harmonia serve telemetry.",
+        )
+        for bound, seen in zip(snapshot.bounds, snapshot.cumulative):
+            bound_label = f'le="{_format_value(bound)}"'
+            fam.lines.append(
+                f"{fam.name}_bucket{_labels(prefix, bound_label)} {seen}")
+        inf_label = 'le="+Inf"'
+        fam.lines.append(
+            f"{fam.name}_bucket{_labels(prefix, inf_label)} "
+            f"{snapshot.count}")
+        fam.lines.append(
+            f"{fam.name}_sum{_labels(prefix)} "
+            f"{_format_value(snapshot.sum)}")
+        fam.lines.append(
+            f"{fam.name}_count{_labels(prefix)} {snapshot.count}")
 
     lines: List[str] = []
     for name in sorted(families):

@@ -1,0 +1,455 @@
+"""Sliding-window serve telemetry: rolling rates, histograms, burn rates.
+
+The daemon's :class:`~repro.runtime.metrics.MetricsRegistry` is
+cumulative -- perfect for Prometheus scrapes, useless for "what is the
+p99 *right now*" or "how fast am I burning this month's error budget".
+This module adds the time-local view:
+
+* :class:`WindowedCounter` / :class:`WindowedHistogram` -- fixed-size
+  slice rings over a sliding window.  The window of ``window_s``
+  seconds is cut into ``slices`` equal slices; an observation lands in
+  the slice of the current epoch (``int(now // slice_s)``), and
+  advancing time clears exactly the slices that expired.  Memory is
+  O(slices x buckets), independent of traffic.
+* :class:`ExponentialBuckets` -- the histogram's bucket layout
+  (first bound, growth factor, bound count), chosen so latency from
+  0.1 ms to seconds lands with ~2x resolution.  Snapshots expose
+  *cumulative* counts per upper bound -- exactly the Prometheus
+  ``le`` convention, so :func:`repro.obs.prometheus.to_prometheus_text`
+  can render them as native ``histogram`` families.
+* :class:`TelemetryHub` -- the per-request fold the daemon calls once
+  per response: windowed request/error/shed rates, per-endpoint and
+  per-tenant latency histograms (label cardinality bounded), and SLO
+  **burn-rate + error-budget** tracking driven by the same
+  :class:`~repro.obs.slo.SloSpec` objects the ``/slo`` endpoint
+  evaluates.
+
+Burn-rate semantics (the Google SRE-workbook definition, applied to
+the window): a latency objective "p99 <= 500 ms" tolerates 1% of
+requests over the threshold; ``burn = bad_fraction / 0.01``.  A ratio
+objective "500s / requests <= 1%" burns at ``observed_ratio / 0.01``.
+Burn 1.0 = consuming budget exactly at the allowed rate; the remaining
+budget for the window is ``max(0, 1 - burn)``.
+
+Everything takes an injectable ``clock`` (seconds, monotonic) so tests
+-- including the hypothesis rotation-arithmetic suite -- drive time
+explicitly.
+"""
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default serve-latency layout: 0.1 ms doubling up to ~3.3 s, in the
+#: registry's native picoseconds.
+DEFAULT_LATENCY_BUCKETS_PS = (1e8, 2.0, 16)
+
+#: Distinct per-endpoint / per-tenant label values tracked before new
+#: ones fold into this overflow label (bounded scrape cardinality).
+MAX_LABEL_VALUES = 64
+OVERFLOW_LABEL = "overflow"
+
+
+class ExponentialBuckets:
+    """Upper bounds ``first * growth**i`` for ``i`` in ``range(count)``."""
+
+    def __init__(self, first: float, growth: float = 2.0,
+                 count: int = 16) -> None:
+        if first <= 0:
+            raise ConfigurationError("bucket bounds must start above zero")
+        if growth <= 1.0:
+            raise ConfigurationError("bucket growth must exceed 1.0")
+        if count < 1:
+            raise ConfigurationError("need at least one bucket bound")
+        self.bounds: Tuple[float, ...] = tuple(
+            first * growth ** index for index in range(count))
+
+    def index(self, value: float) -> int:
+        """The bucket holding ``value`` (``le`` semantics); the last
+        index (== ``len(bounds)``) is the +Inf overflow bucket."""
+        return bisect_left(self.bounds, value)
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A merged window: cumulative counts per bound, Prometheus-style."""
+
+    bounds: Tuple[float, ...]
+    cumulative: Tuple[int, ...]   # one entry per bound; excludes +Inf
+    count: int                    # total observations incl. overflow
+    sum: float
+    max: float
+
+    def percentile(self, quantile: float) -> float:
+        """Upper-bound estimate of ``quantile`` (0..1) over the window.
+
+        Returns the ``le`` bound of the bucket holding the target rank;
+        overflow observations report the window's observed maximum.
+        Empty windows report 0.0 -- absence of traffic is not latency.
+        """
+        if self.count == 0:
+            return 0.0
+        target = max(1, int(quantile * self.count + 0.999999))
+        for bound, seen in zip(self.bounds, self.cumulative):
+            if seen >= target:
+                return bound
+        return self.max
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class _SliceRing:
+    """Shared rotation arithmetic: a ring of per-slice accumulators.
+
+    The slice for wall-time ``t`` is epoch ``int(t // slice_s)``; the
+    ring index is ``epoch % slices``.  Advancing from epoch A to epoch
+    B > A clears every slice in between (capped at the slice count --
+    a long sleep empties the whole window).  A clock that runs
+    backwards resets the ring rather than resurrecting stale slices.
+    """
+
+    def __init__(self, window_s: float, slices: int,
+                 clock: Callable[[], float]) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        if slices < 1:
+            raise ConfigurationError("need at least one window slice")
+        self.window_s = float(window_s)
+        self.slices = int(slices)
+        self.slice_s = self.window_s / self.slices
+        self._clock = clock
+        self._epoch = int(self._clock() // self.slice_s)
+        self._ring: List[Any] = [self._new_slice()
+                                 for _ in range(self.slices)]
+
+    def _new_slice(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _advance(self) -> None:
+        epoch = int(self._clock() // self.slice_s)
+        steps = epoch - self._epoch
+        if steps == 0:
+            return
+        if steps < 0 or steps >= self.slices:
+            for index in range(self.slices):
+                self._ring[index] = self._new_slice()
+        else:
+            for expired in range(self._epoch + 1, epoch + 1):
+                self._ring[expired % self.slices] = self._new_slice()
+        self._epoch = epoch
+
+    def _current(self) -> Any:
+        self._advance()
+        return self._ring[self._epoch % self.slices]
+
+    def _live(self) -> List[Any]:
+        self._advance()
+        return self._ring
+
+
+class WindowedCounter(_SliceRing):
+    """A counter whose total covers only the trailing window."""
+
+    def _new_slice(self) -> List[float]:
+        return [0.0]
+
+    def add(self, amount: float = 1.0) -> None:
+        self._current()[0] += amount
+
+    def total(self) -> float:
+        return sum(cell[0] for cell in self._live())
+
+    def rate(self) -> float:
+        """Events per second over the window."""
+        return self.total() / self.window_s
+
+
+class _HistSlice:
+    __slots__ = ("counts", "sum", "count", "max")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.counts = [0] * bucket_count
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+
+
+class WindowedHistogram(_SliceRing):
+    """An exponential-bucket histogram over the trailing window."""
+
+    def __init__(self, window_s: float, slices: int,
+                 buckets: ExponentialBuckets,
+                 clock: Callable[[], float]) -> None:
+        self.buckets = buckets
+        super().__init__(window_s, slices, clock)
+
+    def _new_slice(self) -> _HistSlice:
+        return _HistSlice(len(self.buckets) + 1)   # +1 = +Inf overflow
+
+    def observe(self, value: float) -> None:
+        cell = self._current()
+        cell.counts[self.buckets.index(value)] += 1
+        cell.sum += value
+        cell.count += 1
+        if value > cell.max:
+            cell.max = value
+
+    def snapshot(self) -> HistogramSnapshot:
+        bounds = self.buckets.bounds
+        merged = [0] * (len(bounds) + 1)
+        total_sum = 0.0
+        total_count = 0
+        seen_max = 0.0
+        for cell in self._live():
+            for index, count in enumerate(cell.counts):
+                merged[index] += count
+            total_sum += cell.sum
+            total_count += cell.count
+            if cell.max > seen_max:
+                seen_max = cell.max
+        cumulative: List[int] = []
+        running = 0
+        for count in merged[:-1]:
+            running += count
+            cumulative.append(running)
+        return HistogramSnapshot(
+            bounds=bounds, cumulative=tuple(cumulative),
+            count=total_count, sum=total_sum, max=seen_max)
+
+
+# --------------------------------------------------------------------- #
+# SLO burn tracking                                                     #
+# --------------------------------------------------------------------- #
+
+class _LatencyObjective:
+    """A percentile-bound latency spec burns on over-threshold requests."""
+
+    def __init__(self, spec: Any, window_s: float, slices: int,
+                 clock: Callable[[], float]) -> None:
+        self.spec = spec
+        self.threshold = float(spec.upper)
+        self.allowed = max(1.0 - float(spec.percentile), 1e-9)
+        self.good = WindowedCounter(window_s, slices, clock)
+        self.bad = WindowedCounter(window_s, slices, clock)
+
+    def observe(self, wall_ps: float) -> None:
+        (self.bad if wall_ps > self.threshold else self.good).add()
+
+    def report(self) -> Dict[str, Any]:
+        good, bad = self.good.total(), self.bad.total()
+        total = good + bad
+        burn = (bad / total) / self.allowed if total else 0.0
+        return {
+            "name": self.spec.name,
+            "kind": "latency",
+            "metric": self.spec.metric,
+            "threshold_ps": self.threshold,
+            "window_requests": int(total),
+            "bad_requests": int(bad),
+            "burn_rate": round(burn, 6),
+            "budget_remaining": round(max(0.0, 1.0 - burn), 6),
+        }
+
+
+class _RatioObjective:
+    """A ``ratio_to`` spec burns on the windowed numerator/denominator."""
+
+    def __init__(self, spec: Any,
+                 counters: Dict[str, WindowedCounter]) -> None:
+        self.spec = spec
+        self.upper = float(spec.upper)
+        self._counters = counters
+
+    def report(self) -> Dict[str, Any]:
+        numerator = self._counter(self.spec.metric)
+        denominator = self._counter(self.spec.ratio_to)
+        ratio = numerator / denominator if denominator else 0.0
+        if self.upper > 0:
+            burn: Optional[float] = round(ratio / self.upper, 6)
+            budget: Optional[float] = round(max(0.0, 1.0 - ratio / self.upper), 6)
+        else:                       # zero-tolerance objective
+            burn = None if numerator == 0 else float("inf")
+            budget = 1.0 if numerator == 0 else 0.0
+        return {
+            "name": self.spec.name,
+            "kind": "ratio",
+            "metric": self.spec.metric,
+            "ratio_to": self.spec.ratio_to,
+            "window_ratio": round(ratio, 6),
+            "burn_rate": burn,
+            "budget_remaining": budget,
+        }
+
+    def _counter(self, path: str) -> float:
+        counter = self._counters.get(path)
+        return counter.total() if counter is not None else 0.0
+
+
+class TelemetryHub:
+    """The daemon's windowed view: one :meth:`record_request` per response.
+
+    Thread-safe (one lock around the fold; the daemon calls from its
+    event loop, tests may not).  Per-endpoint and per-tenant histogram
+    families are capped at :data:`MAX_LABEL_VALUES` distinct values;
+    the tail folds into :data:`OVERFLOW_LABEL` so a tenant-id flood
+    cannot grow the scrape unboundedly.
+    """
+
+    #: Endpoints tracked per-endpoint; anything else folds to "other".
+    KNOWN_ENDPOINTS = (
+        "/healthz", "/metrics", "/stats", "/slo", "/telemetry", "/trace",
+        "/v1/sweep", "/v1/fleet", "/v1/build", "/v1/run", "/v1/shutdown",
+    )
+
+    def __init__(self, specs: Optional[Sequence[Any]] = None, *,
+                 window_s: float = 60.0, slices: int = 12,
+                 clock: Callable[[], float] = monotonic,
+                 latency_buckets: Optional[ExponentialBuckets] = None
+                 ) -> None:
+        from repro.obs.slo import default_serve_slos
+
+        self.window_s = float(window_s)
+        self.slices = int(slices)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets = latency_buckets or ExponentialBuckets(
+            *DEFAULT_LATENCY_BUCKETS_PS)
+        self._counters: Dict[str, WindowedCounter] = {}
+        self._histograms: Dict[str, WindowedHistogram] = {}
+        self._endpoint_hists: Dict[str, WindowedHistogram] = {}
+        self._tenant_hists: Dict[str, WindowedHistogram] = {}
+        self._objectives: List[Any] = []
+        specs = list(specs) if specs is not None else default_serve_slos()
+        for spec in specs:
+            if spec.ratio_to is not None and spec.upper is not None:
+                self._objectives.append(_RatioObjective(spec, self._counters))
+            elif (spec.upper is not None
+                  and spec.metric.endswith("wall_ps")):
+                self._objectives.append(_LatencyObjective(
+                    spec, self.window_s, self.slices, clock))
+            # Other spec shapes (gauge bands etc.) have no per-request
+            # stream to burn against; the cumulative /slo endpoint
+            # still covers them.
+
+    # --- the fold ----------------------------------------------------- #
+
+    def record_request(self, *, endpoint: str, tenant: str, status: int,
+                       wall_ps: float, coalesced: bool = False,
+                       shed: bool = False) -> None:
+        endpoint = (endpoint if endpoint in self.KNOWN_ENDPOINTS
+                    else "other")
+        with self._lock:
+            self._count("serve.requests")
+            self._count(f"serve.responses.{status}")
+            if shed:
+                self._count("serve.shed")
+            if coalesced:
+                self._count("serve.coalesced")
+            self._observe("serve.window.request.wall_ps", wall_ps)
+            self._labelled(self._endpoint_hists, "endpoint",
+                           endpoint).observe(wall_ps)
+            self._labelled(self._tenant_hists, "tenant",
+                           tenant).observe(wall_ps)
+            for objective in self._objectives:
+                if isinstance(objective, _LatencyObjective):
+                    objective.observe(wall_ps)
+
+    def _count(self, path: str) -> None:
+        counter = self._counters.get(path)
+        if counter is None:
+            counter = self._counters[path] = WindowedCounter(
+                self.window_s, self.slices, self._clock)
+        counter.add()
+
+    def _observe(self, path: str, value: float) -> None:
+        histogram = self._histograms.get(path)
+        if histogram is None:
+            histogram = self._histograms[path] = WindowedHistogram(
+                self.window_s, self.slices, self._buckets, self._clock)
+        histogram.observe(value)
+
+    def _labelled(self, table: Dict[str, WindowedHistogram], kind: str,
+                  value: str) -> WindowedHistogram:
+        if value not in table and len(table) >= MAX_LABEL_VALUES:
+            value = OVERFLOW_LABEL
+        histogram = table.get(value)
+        if histogram is None:
+            histogram = table[value] = WindowedHistogram(
+                self.window_s, self.slices, self._buckets, self._clock)
+        return histogram
+
+    # --- views -------------------------------------------------------- #
+
+    def histogram_snapshots(self) -> Dict[str, HistogramSnapshot]:
+        """Dot-path -> snapshot, ready for the Prometheus exporter."""
+        with self._lock:
+            out: Dict[str, HistogramSnapshot] = {
+                path: histogram.snapshot()
+                for path, histogram in self._histograms.items()
+            }
+            for label, histogram in self._endpoint_hists.items():
+                out[f"serve.window.endpoint.{label}.wall_ps"] = (
+                    histogram.snapshot())
+            for label, histogram in self._tenant_hists.items():
+                out[f"serve.window.tenant.{label}.wall_ps"] = (
+                    histogram.snapshot())
+            return out
+
+    def telemetry_json(self) -> Dict[str, Any]:
+        """The ``/telemetry`` body: rates, latencies, burn rates."""
+        with self._lock:
+            rates = {
+                path: {"window_total": int(counter.total()),
+                       "per_second": round(counter.rate(), 6)}
+                for path, counter in sorted(self._counters.items())
+            }
+            latency = {
+                path: histogram.snapshot().to_json()
+                for path, histogram in sorted(self._histograms.items())
+            }
+            endpoints = {
+                label: histogram.snapshot().to_json()
+                for label, histogram in sorted(self._endpoint_hists.items())
+            }
+            tenants = {
+                label: histogram.snapshot().to_json()
+                for label, histogram in sorted(self._tenant_hists.items())
+            }
+            objectives = [objective.report()
+                          for objective in self._objectives]
+        return {
+            "window_s": self.window_s,
+            "slices": self.slices,
+            "rates": rates,
+            "latency": latency,
+            "endpoints": endpoints,
+            "tenants": tenants,
+            "slo_burn": objectives,
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact ``/stats`` section."""
+        with self._lock:
+            requests = self._counters.get("serve.requests")
+            return {
+                "window_s": self.window_s,
+                "slices": self.slices,
+                "window_requests": int(requests.total()) if requests else 0,
+                "endpoints": len(self._endpoint_hists),
+                "tenants": len(self._tenant_hists),
+            }

@@ -614,6 +614,31 @@ class SweepResult:
         """
         return "".join(point.trace_jsonl for point in self.points)
 
+    def stitched_trace_jsonl(self, *, trace_id: str,
+                             scenario_id: Optional[str] = None) -> str:
+        """One *connected* span tree: request -> execute -> point spans.
+
+        Unlike :meth:`merged_trace_jsonl` (a forest of per-point trees),
+        this renumbers every point's fragment into a single id space and
+        hangs the point roots under a synthetic ``serve.request`` ->
+        ``serve.execute`` pair (see :func:`repro.obs.tracectx.stitch_spans`).
+        Fragments are walked in plan order, so the bytes are identical
+        at any worker count and any cache temperature -- the property
+        that lets the serving daemon embed the tree in a coalesced
+        response.  Returns ``""`` when the plan was not traced.
+        """
+        if not any(point.trace_jsonl for point in self.points):
+            return ""
+        from repro.obs.tracectx import stitch_spans
+
+        root_attrs: Dict[str, Any] = {"points": len(self.points)}
+        if scenario_id is not None:
+            root_attrs["scenario_id"] = scenario_id
+        return stitch_spans(
+            [point.trace_jsonl for point in self.points],
+            trace_id=trace_id, root_attrs=root_attrs,
+            exec_attrs={"kind": "sweep"})
+
     def to_json(self) -> Dict[str, Any]:
         """A deterministic JSON-serialisable summary.
 

@@ -49,6 +49,22 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Union
 #: Sentinel for "no explicit timestamp; read the context clock".
 _NOW = None
 
+
+class _Detached:
+    """Sentinel parent: emit as a root even while other spans are open.
+
+    Concurrent emitters (the serving daemon's interleaved requests)
+    must not inherit whatever span happens to top the ambient stack;
+    passing ``parent=DETACHED`` pins a record to the tree root."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DETACHED"
+
+
+DETACHED = _Detached()
+
 #: ``json.dumps`` settings shared by the batch export and the streaming
 #: sinks -- one definition, so the two serialisations cannot drift.
 _DUMPS_KWARGS = {"sort_keys": True, "separators": (",", ":")}
@@ -114,6 +130,8 @@ class TraceBus:
         return span_id
 
     def _parent(self, parent: Optional[int]) -> Optional[int]:
+        if parent is DETACHED:
+            return None
         if parent is not None:
             return parent
         return self._stack[-1] if self._stack else None

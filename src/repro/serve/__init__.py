@@ -4,6 +4,7 @@ See ``docs/serving.md`` for the API, admission-control semantics, and
 the warm-state model; :mod:`repro.serve.daemon` for the server itself.
 """
 
+from repro.serve.accesslog import AccessLog
 from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.client import (
     HttpResponse,
@@ -22,6 +23,7 @@ from repro.serve.daemon import (
 )
 
 __all__ = [
+    "AccessLog",
     "AdmissionController",
     "DaemonHandle",
     "HttpResponse",

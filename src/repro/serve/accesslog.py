@@ -1,0 +1,80 @@
+"""Structured JSONL access log for the serving daemon.
+
+One line per completed request -- the operational ground truth a load
+balancer or an incident review needs, independent of metric windows::
+
+    {"coalesced": false, "method": "POST", "path": "/v1/sweep",
+     "scenario_id": "bf2a...", "shed": false, "status": 200,
+     "tenant": "acme", "trace_id": "req-00000007", "ts": 1754550000.123,
+     "wall_ms": 12.345}
+
+Keys serialise sorted, so the file greps and diffs predictably.  Like
+the flight recorder, the log streams into ``<path>.tmp`` and is moved
+into place atomically on :meth:`close` (the daemon's clean-shutdown
+path): a crashed daemon leaves the *previous* log intact, never a torn
+file, and the ``.tmp`` tail survives for post-mortems.
+
+Writes are lock-serialised; the daemon calls from its event loop but
+tests may hammer it from threads.
+"""
+
+import json
+import os
+import threading
+import time
+from typing import Any, Optional
+
+
+class AccessLog:
+    """Append-one-JSON-line-per-request with atomic finalisation."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tmp_path = path + ".tmp"
+        self._lock = threading.Lock()
+        self._handle: Optional[Any] = open(
+            self._tmp_path, "w", encoding="utf-8", newline="\n")
+        self.lines_written = 0
+
+    def record(self, *, method: str, path: str, status: int, tenant: str,
+               wall_ms: float, trace_id: str = "",
+               scenario_id: Optional[str] = None,
+               coalesced: bool = False, shed: bool = False,
+               ts: Optional[float] = None) -> None:
+        entry = {
+            "ts": round(time.time() if ts is None else ts, 6),
+            "method": method,
+            "path": path,
+            "status": status,
+            "tenant": tenant,
+            "trace_id": trace_id,
+            "scenario_id": scenario_id,
+            "wall_ms": round(wall_ms, 3),
+            "coalesced": coalesced,
+            "shed": shed,
+        }
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush and atomically publish the log at its final path."""
+        with self._lock:
+            handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        handle.close()
+        os.replace(self._tmp_path, self.path)
+
+    @property
+    def active(self) -> bool:
+        return self._handle is not None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -26,6 +26,8 @@ Endpoints::
     GET  /metrics          Prometheus text exposition of the daemon registry
     GET  /stats            JSON: registry snapshot, coalescer, admission, cache
     GET  /slo              evaluate the serving SLOs against the registry
+    GET  /telemetry        sliding-window rates, latencies, SLO burn rates
+    GET  /trace            the resident serve-span ring as JSONL
     POST /v1/sweep         execute a sweep scenario (body: Scenario JSON)
     POST /v1/fleet         execute a fleet scenario
     POST /v1/build         execute a build scenario
@@ -42,6 +44,23 @@ to an in-flight identical run for free -> leaders claim a bounded
 queue slot (503 when full) and execute on a thread pool.  Responses for
 identical scenarios are byte-identical no matter how they were served;
 see :mod:`repro.serve.coalesce` and ``docs/serving.md``.
+
+Every request is observable three ways (``docs/observability.md``):
+
+* **spans** -- a ``serve.request`` root (plus ``serve.admission`` /
+  ``serve.coalesce`` instants and a ``serve.execute`` child for run
+  leaders) lands in a resident ring :class:`TraceBus`, wall-clocked in
+  picoseconds since daemon start.  Requests carry an id from the
+  ``X-Trace-Id`` header (or ``req-NNNNNNNN``); coalesced followers
+  record their leader's trace id, which joins them to the leader's
+  execution span.  Spans are emitted atomically at request completion,
+  so interleaved requests never corrupt each other's parenting.
+* **windows** -- a :class:`repro.obs.window.TelemetryHub` folds every
+  response into sliding-window rates, per-endpoint/per-tenant latency
+  histograms, and SLO burn rates (``/telemetry``, native ``histogram``
+  families on ``/metrics``).
+* **access log** -- with ``--access-log FILE``, one JSONL line per
+  routed request, finalised atomically on clean shutdown.
 """
 
 import asyncio
@@ -56,10 +75,14 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ConfigurationError, HarmoniaError
+from repro.obs.tracectx import TraceContext
+from repro.obs.window import TelemetryHub
 from repro.runtime.buildfarm import ArtifactStore
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.sweep import SweepCache
+from repro.runtime.trace import DETACHED, TraceBus
 from repro.scenario import Scenario
+from repro.serve.accesslog import AccessLog
 from repro.serve.admission import AdmissionController
 from repro.serve.coalesce import RequestCoalescer
 from repro.service import run_scenario, slo_monitor_for
@@ -99,6 +122,11 @@ class ServeConfig:
     artifact_dir: Optional[str] = None  # ArtifactStore root; None = in-memory
     max_body: int = 1 << 20            # request body ceiling (413 beyond)
     allow_remote_shutdown: bool = False
+    telemetry: bool = True             # sliding-window hub + /telemetry
+    telemetry_window_s: float = 60.0   # trailing window length
+    telemetry_slices: int = 12         # slices per window (5 s each)
+    trace_ring: int = 4_096            # resident serve-span ring; 0 disables
+    access_log: Optional[str] = None   # JSONL access log path; None disables
 
     def validate(self) -> None:
         if self.exec_workers < 1:
@@ -107,6 +135,12 @@ class ServeConfig:
             raise ConfigurationError("pool_workers must be >= 1")
         if self.max_body < 1:
             raise ConfigurationError("max_body must be >= 1")
+        if self.telemetry_window_s <= 0:
+            raise ConfigurationError("telemetry_window_s must be positive")
+        if self.telemetry_slices < 1:
+            raise ConfigurationError("telemetry_slices must be >= 1")
+        if self.trace_ring < 0:
+            raise ConfigurationError("trace_ring must be >= 0")
         # max_queue / quota / cache bounds validate in their own types.
 
 
@@ -150,12 +184,35 @@ class ServingDaemon:
             max_workers=self.config.pool_workers,
             mp_context=multiprocessing.get_context("spawn"))
         self.started_at = time.monotonic()
+        # Serve-span ring: wall-clock picoseconds since daemon start
+        # (the simulators' buses run on sim-time; requests live on the
+        # operator's clock).  Spans are emitted in one burst per
+        # completed request with explicit parents, so concurrent
+        # requests interleave safely.
+        self.trace = TraceBus(
+            clock_ps=self._wall_ps,
+            enabled=self.config.trace_ring > 0,
+            max_records=self.config.trace_ring or None)
+        self.telemetry: Optional[TelemetryHub] = (
+            TelemetryHub(window_s=self.config.telemetry_window_s,
+                         slices=self.config.telemetry_slices)
+            if self.config.telemetry else None)
+        self.access_log: Optional[AccessLog] = (
+            AccessLog(self.config.access_log)
+            if self.config.access_log else None)
         self.port: Optional[int] = None   # bound port, set once listening
         self.ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
         self._requests = 0
+        self._trace_seq = 0
         self._requests_lock = threading.Lock()
+        # Leader trace ids by coalescer key, so followers can link
+        # their serve.coalesce instant to the leader's execution span.
+        self._leader_traces: Dict[Any, str] = {}
+
+    def _wall_ps(self) -> int:
+        return int((time.monotonic() - self.started_at) * 1e12)
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                          #
@@ -190,6 +247,8 @@ class ServingDaemon:
             await server.wait_closed()
             self.executor.shutdown(wait=True)
             self.pool.shutdown(wait=True)
+            if self.access_log is not None:
+                self.access_log.close()
             if self.config.cache_file:
                 self.cache.save(self.config.cache_file)
 
@@ -211,14 +270,16 @@ class ServingDaemon:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         start = time.perf_counter()
+        mono_start = time.monotonic()
         status, body, extra = 500, b"", {}
+        info: Dict[str, Any] = {}
         try:
             method, target, headers, payload = await self._read_request(reader)
             self.metrics.increment("serve.requests")
             with self._requests_lock:
                 self._requests += 1
             status, body, extra = await self._route(
-                method, target, headers, payload)
+                method, target, headers, payload, info)
         except _HttpError as exc:
             self.metrics.increment("serve.requests")
             status, body = exc.status, _error_body(exc.status, exc.message)
@@ -227,9 +288,9 @@ class ServingDaemon:
             return
         except Exception as exc:  # a handler bug, not a client error
             status, body = 500, _error_body(500, f"internal error: {exc}")
+        elapsed = time.perf_counter() - start
         try:
             self.metrics.increment(f"serve.responses.{status}")
-            elapsed = time.perf_counter() - start
             self.metrics.observe("serve.request.wall_ps",
                                  int(elapsed * 1e12))
             self.metrics.set_gauge("serve.queue.depth",
@@ -239,6 +300,7 @@ class ServingDaemon:
         except ConnectionError:
             pass
         finally:
+            self._observe_request(info, status, elapsed, mono_start)
             writer.close()
 
     async def _read_request(self, reader: asyncio.StreamReader
@@ -278,12 +340,22 @@ class ServingDaemon:
         return method, target, headers, payload
 
     async def _route(self, method: str, target: str,
-                     headers: Dict[str, str], payload: bytes
+                     headers: Dict[str, str], payload: bytes,
+                     info: Dict[str, Any]
                      ) -> Tuple[int, bytes, Dict[str, str]]:
         url = urlsplit(target)
         path = url.path
         query = dict(parse_qsl(url.query))
-        if path in ("/healthz", "/metrics", "/stats", "/slo"):
+        with self._requests_lock:
+            self._trace_seq += 1
+            seq = self._trace_seq
+        info["method"] = method
+        info["path"] = path
+        info["tenant"] = headers.get("x-tenant", "default")
+        info["trace"] = TraceContext.from_headers(
+            headers, fallback=f"req-{seq:08d}")
+        if path in ("/healthz", "/metrics", "/stats", "/slo",
+                    "/telemetry", "/trace"):
             if method != "GET":
                 raise _HttpError(405, f"{path} is GET-only")
             return getattr(self, "_get_" + path.strip("/"))()
@@ -302,7 +374,7 @@ class ServingDaemon:
                 raise _HttpError(404, f"unknown endpoint {path!r}")
             if method != "POST":
                 raise _HttpError(405, f"{path} is POST-only")
-            return await self._execute(kind, headers, payload, query)
+            return await self._execute(kind, headers, payload, query, info)
         raise _HttpError(404, f"unknown endpoint {path!r}")
 
     # ------------------------------------------------------------------ #
@@ -325,9 +397,25 @@ class ServingDaemon:
     def _get_metrics(self) -> Tuple[int, bytes, Dict[str, str]]:
         from repro.obs.prometheus import to_prometheus_text
 
-        text = to_prometheus_text(self.metrics)
+        histograms = (self.telemetry.histogram_snapshots()
+                      if self.telemetry is not None else None)
+        text = to_prometheus_text(self.metrics, histograms)
         return 200, text.encode("utf-8"), {
             "Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+
+    def _get_telemetry(self) -> Tuple[int, bytes, Dict[str, str]]:
+        if self.telemetry is None:
+            raise _HttpError(
+                404, "windowed telemetry is disabled (--no-telemetry)")
+        return 200, _json_body(self.telemetry.telemetry_json()), {}
+
+    def _get_trace(self) -> Tuple[int, bytes, Dict[str, str]]:
+        if not self.trace.enabled:
+            raise _HttpError(
+                404, "the serve trace ring is disabled (--trace-ring 0)")
+        text = self.trace.export_jsonl()
+        return 200, text.encode("utf-8"), {
+            "Content-Type": "application/x-ndjson; charset=utf-8"}
 
     def _get_stats(self) -> Tuple[int, bytes, Dict[str, str]]:
         return 200, _json_body({
@@ -349,6 +437,14 @@ class ServingDaemon:
                 "max_workers": self.config.pool_workers,
                 "resident": True,
             },
+            "telemetry": (self.telemetry.summary()
+                          if self.telemetry is not None else None),
+            "trace_ring": {
+                "enabled": self.trace.enabled,
+                "resident_records": len(self.trace),
+                "total_records": self.trace.total_records,
+                "max_records": self.trace.max_records,
+            },
         }), {}
 
     def _get_slo(self) -> Tuple[int, bytes, Dict[str, str]]:
@@ -363,9 +459,11 @@ class ServingDaemon:
     # ------------------------------------------------------------------ #
 
     async def _execute(self, endpoint_kind: str, headers: Dict[str, str],
-                       payload: bytes, query: Dict[str, str]
+                       payload: bytes, query: Dict[str, str],
+                       info: Dict[str, Any]
                        ) -> Tuple[int, bytes, Dict[str, str]]:
-        tenant = headers.get("x-tenant", "default")
+        tenant = info.get("tenant", "default")
+        trace_ctx: Optional[TraceContext] = info.get("trace")
         slo = query.get("slo")
         if slo is not None and slo != "default":
             raise _HttpError(
@@ -377,9 +475,11 @@ class ServingDaemon:
                 400, f"scenario kind {scenario.kind!r} does not match "
                 f"endpoint /v1/{endpoint_kind}; use /v1/run or "
                 f"/v1/{scenario.kind}")
+        info["scenario_id"] = scenario.scenario_id()
 
         if not self.admission.check_quota(tenant):
             self.metrics.increment("serve.quota_rejected")
+            info["admission"] = "quota_rejected"
             raise _HttpError(
                 429, f"tenant {tenant!r} exceeded its "
                 f"{self.admission.quota_rps:g} req/s quota")
@@ -387,14 +487,22 @@ class ServingDaemon:
         key = (scenario.kind, scenario.scenario_id(), slo)
         leader, future = self.coalescer.join(key)
         if leader:
+            info["coalesce"] = "leader"
             self.metrics.increment("serve.coalesce.executed")
             if not self.admission.try_enter():
                 self.metrics.increment("serve.shed")
+                info["admission"] = "shed"
                 error = _HttpError(
                     503, f"execution queue full "
                     f"({self.admission.max_queue} in flight); retry later")
                 self.coalescer.reject(key, future, error)
             else:
+                info["admission"] = "admitted"
+                info["exec_start"] = time.monotonic()
+                if trace_ctx is not None:
+                    with self._requests_lock:
+                        self._leader_traces[key] = trace_ctx.trace_id
+
                 def _work() -> None:
                     try:
                         kwargs: Dict[str, Any] = {}
@@ -406,7 +514,7 @@ class ServingDaemon:
                                       "executor": self.pool}
                         outcome = run_scenario(
                             scenario, cache=self.cache, store=self.store,
-                            slo=slo, **kwargs)
+                            slo=slo, trace_context=trace_ctx, **kwargs)
                         self._record_execution(outcome)
                         body = outcome.response_text().encode("utf-8")
                         self.coalescer.resolve(key, future, body)
@@ -414,10 +522,21 @@ class ServingDaemon:
                         self.coalescer.reject(key, future, exc)
                     finally:
                         self.admission.leave()
+                        if trace_ctx is not None:
+                            with self._requests_lock:
+                                if (self._leader_traces.get(key)
+                                        == trace_ctx.trace_id):
+                                    del self._leader_traces[key]
 
                 self.executor.submit(_work)
         else:
+            info["coalesce"] = "follower"
+            info["admission"] = "admitted"
             self.metrics.increment("serve.coalesce.attached")
+            with self._requests_lock:
+                leader_trace = self._leader_traces.get(key)
+            if leader_trace is not None:
+                info["leader_trace"] = leader_trace
 
         try:
             body = await asyncio.wrap_future(future)
@@ -429,10 +548,75 @@ class ServingDaemon:
             raise _HttpError(400, str(exc))
         except Exception as exc:
             raise _HttpError(500, f"execution failed: {exc}")
+        finally:
+            if "exec_start" in info:
+                info["exec_end"] = time.monotonic()
         return 200, body, {
             "X-Scenario-Id": key[1],
             "X-Coalesced": "leader" if leader else "follower",
         }
+
+    def _observe_request(self, info: Dict[str, Any], status: int,
+                         elapsed_s: float, mono_start: float) -> None:
+        """Fold one finished request into spans, windows, and the log.
+
+        Runs in the connection handler's ``finally``; ``info`` is the
+        per-request scratch dict ``_route``/``_execute`` populated.
+        Connection-level noise that never produced a request line (no
+        ``path``) is invisible here, matching the access-log contract
+        of one line per *routed* request.  All spans for a request are
+        emitted in one synchronous burst with explicit parents, so
+        requests interleaved on the event loop cannot corrupt each
+        other's span tree.
+        """
+        path = info.get("path")
+        if path is None:
+            return
+        tenant = info.get("tenant", "default")
+        trace_ctx: Optional[TraceContext] = info.get("trace")
+        trace_id = trace_ctx.trace_id if trace_ctx is not None else ""
+        coalesced = info.get("coalesce") == "follower"
+        shed = info.get("admission") == "shed"
+        if self.telemetry is not None:
+            self.telemetry.record_request(
+                endpoint=path, tenant=tenant, status=status,
+                wall_ps=elapsed_s * 1e12, coalesced=coalesced, shed=shed)
+        if self.trace.enabled:
+            start_ps = int((mono_start - self.started_at) * 1e12)
+            end_ps = start_ps + int(elapsed_s * 1e12)
+            root = self.trace.complete(
+                "serve.request", start_ps, end_ps, parent=DETACHED,
+                trace_id=trace_id, method=info.get("method", "?"),
+                path=path, status=status, tenant=tenant)
+            if "admission" in info:
+                self.trace.instant(
+                    "serve.admission", ts_ps=start_ps, parent=root,
+                    outcome=info["admission"])
+            role = info.get("coalesce")
+            if role is not None:
+                attrs: Dict[str, Any] = {"role": role}
+                if "leader_trace" in info:
+                    # The join key back to the leader's serve.execute
+                    # span (same scenario_id, this trace id).
+                    attrs["leader_trace_id"] = info["leader_trace"]
+                self.trace.instant("serve.coalesce", ts_ps=start_ps,
+                                   parent=root, **attrs)
+            if "exec_start" in info:
+                exec_start = int(
+                    (info["exec_start"] - self.started_at) * 1e12)
+                exec_end = int(
+                    (info.get("exec_end", time.monotonic())
+                     - self.started_at) * 1e12)
+                self.trace.complete(
+                    "serve.execute", exec_start, exec_end, parent=root,
+                    scenario_id=info.get("scenario_id", ""),
+                    trace_id=trace_id)
+        if self.access_log is not None:
+            self.access_log.record(
+                method=info.get("method", "?"), path=path, status=status,
+                tenant=tenant, wall_ms=elapsed_s * 1e3, trace_id=trace_id,
+                scenario_id=info.get("scenario_id"),
+                coalesced=coalesced, shed=shed)
 
     def _record_execution(self, outcome: Any) -> None:
         """Fold one execution's planner provenance into the registry.

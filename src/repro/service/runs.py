@@ -85,6 +85,10 @@ class ServiceResult:
     cache_hits: int = 0
     executed_points: int = 0
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: Stitched request-scoped span tree (sweeps with ``trace: true``);
+    #: ``""`` otherwise.  Derived from the scenario, never the request,
+    #: so including it in the response preserves purity.
+    trace_jsonl: str = ""
 
     @property
     def exit_code(self) -> int:
@@ -98,13 +102,18 @@ class ServiceResult:
         temperature, and worker count never appear, so coalesced and
         solo executions of one scenario serialise byte-identically.
         """
-        return {
+        body = {
             "kind": self.kind,
             "scenario_id": self.scenario.scenario_id(),
             "result": self.payload,
             "slo": self.slo.to_json() if self.slo is not None else None,
             "exit_code": self.exit_code,
         }
+        if self.trace_jsonl:
+            # Only traced scenarios grow the key, so untraced responses
+            # keep their original wire shape byte-for-byte.
+            body["trace"] = self.trace_jsonl
+        return body
 
     def response_text(self) -> str:
         """Canonical JSON text of :meth:`response_json`, newline-terminated."""
@@ -180,9 +189,22 @@ def run_sweep_service(scenario: Scenario, *, workers: int = 1,
     elapsed = time.perf_counter() - start
     report = (monitor.evaluate(registry_from_sweep(result))
               if monitor is not None else None)
+    if scenario.workload.trace:
+        from repro.obs.tracectx import TraceContext
+
+        # The stitched tree's trace id derives from the scenario --
+        # NOT from any per-request context -- so coalesced followers
+        # and solo runs serialise byte-identical responses.
+        scenario_id = scenario.scenario_id()
+        trace_jsonl = result.stitched_trace_jsonl(
+            trace_id=TraceContext.for_scenario(scenario_id).trace_id,
+            scenario_id=scenario_id)
+    else:
+        trace_jsonl = ""
     return ServiceResult(
         kind="sweep", scenario=scenario, result=result,
         payload=sweep_payload(result), slo=report, elapsed_s=elapsed,
+        trace_jsonl=trace_jsonl,
         cache_hits=result.cache_hits,
         executed_points=len(result) - result.cache_hits,
         meta={
@@ -199,13 +221,18 @@ def run_fleet_service(scenario: Scenario, *,
                       slo: Optional[str] = None,
                       trace_out: Optional[str] = None,
                       trace_ring: int = 4_096,
-                      context: Optional[SimContext] = None) -> ServiceResult:
+                      context: Optional[SimContext] = None,
+                      trace_context: Any = None) -> ServiceResult:
     """Execute a fleet scenario (the ``repro.cli fleet`` core).
 
     With ``trace_out`` the run streams through the flight recorder, and
     SLOs are evaluated while the recorder is still attached so violation
     instants land inside the streamed trace -- the behaviour the CLI has
-    always had, now shared with HTTP callers.
+    always had, now shared with HTTP callers.  A ``trace_context``
+    (:class:`repro.obs.tracectx.TraceContext`, threaded down from the
+    daemon) wraps the whole run in a ``serve.execute`` root span
+    carrying the request's trace id, so every simulation span in the
+    context trace is reachable from one root.
     """
     from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
 
@@ -219,10 +246,15 @@ def run_fleet_service(scenario: Scenario, *,
     start = time.perf_counter()
 
     def _run_and_check():
+        root = (run_context.trace.begin(
+                    "serve.execute", trace_id=trace_context.trace_id,
+                    kind="fleet")
+                if trace_context is not None else None)
         outcome = simulation.run(run_policies)
         report = (monitor.evaluate(run_context.metrics,
                                    trace=run_context.trace)
                   if monitor is not None else None)
+        run_context.trace.end(root)
         return outcome, report
 
     if trace_out:
@@ -244,8 +276,14 @@ def run_fleet_service(scenario: Scenario, *,
 def run_build_service(scenario: Scenario, *, workers: int = 1,
                       store: Any = None, use_cache: bool = True,
                       slo: Optional[str] = None,
-                      context: Optional[SimContext] = None) -> ServiceResult:
-    """Execute a build scenario (the ``repro.cli build`` core)."""
+                      context: Optional[SimContext] = None,
+                      trace_context: Any = None) -> ServiceResult:
+    """Execute a build scenario (the ``repro.cli build`` core).
+
+    ``trace_context`` behaves as in :func:`run_fleet_service`: the
+    farm's ``build.target`` Gantt spans parent under one
+    ``serve.execute`` root carrying the request's trace id.
+    """
     from repro.runtime.buildfarm import BuildFarm, BuildPlan
 
     _require_kind(scenario, "build")
@@ -256,11 +294,16 @@ def run_build_service(scenario: Scenario, *, workers: int = 1,
     farm = BuildFarm(plan, workers=workers, store=store,
                      use_cache=use_cache, context=run_context)
     start = time.perf_counter()
+    root = (run_context.trace.begin(
+                "serve.execute", trace_id=trace_context.trace_id,
+                kind="build")
+            if trace_context is not None else None)
     report = farm.run()
     elapsed = time.perf_counter() - start
     slo_report = (monitor.evaluate(run_context.metrics,
                                    trace=run_context.trace)
                   if monitor is not None else None)
+    run_context.trace.end(root)
     return ServiceResult(
         kind="build", scenario=scenario, result=report,
         payload=build_payload(report), slo=slo_report, elapsed_s=elapsed,
@@ -273,23 +316,29 @@ def run_scenario(scenario: Scenario, *, workers: int = 1, cache: Any = None,
                  store: Any = None, use_cache: bool = True,
                  slo: Optional[str] = None,
                  policies: Optional[Sequence[str]] = None,
-                 executor: Any = None) -> ServiceResult:
+                 executor: Any = None,
+                 trace_context: Any = None) -> ServiceResult:
     """Dispatch one scenario to its kind's service function.
 
     The daemon's single entry point: resident warm state (``cache`` for
     sweeps, ``store`` for builds, ``executor`` for pooled sweep points)
     is threaded through; options a kind does not use are ignored by
-    construction, not error.
+    construction, not error.  ``trace_context`` roots fleet/build
+    context traces under the request's trace id; traced sweeps ignore
+    it deliberately -- their stitched tree must stay a pure function of
+    the scenario (see :meth:`ServiceResult.response_json`).
     """
     if scenario.kind == "sweep":
         return run_sweep_service(scenario, workers=workers, cache=cache,
                                  use_cache=use_cache, slo=slo,
                                  executor=executor)
     if scenario.kind == "fleet":
-        return run_fleet_service(scenario, policies=policies, slo=slo)
+        return run_fleet_service(scenario, policies=policies, slo=slo,
+                                 trace_context=trace_context)
     if scenario.kind == "build":
         return run_build_service(scenario, workers=workers, store=store,
-                                 use_cache=use_cache, slo=slo)
+                                 use_cache=use_cache, slo=slo,
+                                 trace_context=trace_context)
     raise ConfigurationError(
         f"unknown scenario kind {scenario.kind!r}; known: "
         f"{', '.join(SERVICE_KINDS)}"

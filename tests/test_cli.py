@@ -93,6 +93,66 @@ class TestTrace:
         assert main(["trace", "device-a", "--app", "nope"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_export_without_app_errors(self, capsys):
+        assert main(["trace", "device-a"]) == 1
+        assert "--app" in capsys.readouterr().err
+
+
+class TestTraceAnalytics:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        import json
+
+        records = [
+            {"type": "B", "id": 0, "name": "root", "ts_ps": 0},
+            {"type": "X", "id": 1, "name": "work", "ts_ps": 0,
+             "dur_ps": 80, "parent": 0},
+            {"type": "E", "id": 0, "name": "root", "ts_ps": 100},
+        ]
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_analyze_prints_critical_path_and_flame(self, capsys,
+                                                    trace_file):
+        assert main(["trace", "analyze", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "root" in out and "work" in out
+        assert "Flame fold" in out
+
+    def test_analyze_writes_json(self, capsys, trace_file, tmp_path):
+        import json
+
+        target = tmp_path / "analysis.json"
+        assert main(["trace", "analyze", str(trace_file),
+                     "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert [row["name"] for row in payload["critical_path"]] == \
+            ["root", "work"]
+
+    def test_diff_ranks_deltas(self, capsys, trace_file, tmp_path):
+        import json
+
+        after = tmp_path / "after.jsonl"
+        after.write_text(json.dumps(
+            {"type": "X", "id": 0, "name": "work", "ts_ps": 0,
+             "dur_ps": 200}) + "\n")
+        assert main(["trace", "diff", str(trace_file), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace diff" in out
+        assert "work" in out
+
+    def test_wrong_arity_errors(self, capsys):
+        assert main(["trace", "analyze"]) == 1
+        assert main(["trace", "diff", "only-one.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["trace", "analyze", "/nonexistent/t.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestMetrics:
     def test_prints_snapshot_tree(self, capsys):

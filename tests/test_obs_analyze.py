@@ -1,0 +1,178 @@
+"""Trace analytics: critical path, flame fold, diff, tolerant parsing.
+
+Traces are built record-by-record so every expectation is exact; the
+determinism pin at the bottom feeds the same trace twice and demands
+identical analytics -- the property the CLI tables inherit.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_trace,
+    diff_traces,
+    load_trace,
+    parse_trace,
+)
+
+
+def _b(span_id, name, ts, parent=None, **attrs):
+    record = {"type": "B", "id": span_id, "name": name, "ts_ps": ts}
+    if parent is not None:
+        record["parent"] = parent
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def _e(span_id, name, ts):
+    return {"type": "E", "id": span_id, "name": name, "ts_ps": ts}
+
+
+def _x(span_id, name, ts, dur, parent=None):
+    record = {"type": "X", "id": span_id, "name": name, "ts_ps": ts,
+              "dur_ps": dur}
+    if parent is not None:
+        record["parent"] = parent
+    return record
+
+
+def _request_trace():
+    """root(0..100) -> fast(0..20), slow(10..90) -> leaf(20..80)."""
+    return [
+        _b(0, "root", 0),
+        _x(1, "fast", 0, 20, parent=0),
+        _b(2, "slow", 10, parent=0),
+        _x(3, "leaf", 20, 60, parent=2),
+        {"type": "I", "id": 4, "name": "marker", "ts_ps": 50, "parent": 2},
+        _e(2, "slow", 90),
+        _e(0, "root", 100),
+    ]
+
+
+class TestForest:
+    def test_tree_reconstruction(self):
+        analysis = TraceAnalysis(_request_trace())
+        assert len(analysis) == 5
+        assert [node.name for node in analysis.roots] == ["root"]
+        root = analysis.roots[0]
+        assert [child.name for child in root.children] == ["fast", "slow"]
+        assert analysis.final_ts == 100
+
+    def test_unclosed_span_closes_at_final_ts(self):
+        analysis = TraceAnalysis([_b(0, "root", 0), _x(1, "work", 0, 70,
+                                                       parent=0)])
+        root = analysis.roots[0]
+        assert root.end_ps == 70
+        assert root.closed is False
+        assert root.duration_ps == 70
+
+    def test_unknown_parent_becomes_a_root(self):
+        analysis = TraceAnalysis([_x(5, "orphan", 0, 10, parent=99)])
+        assert [node.name for node in analysis.roots] == ["orphan"]
+
+    def test_instants_carry_no_duration(self):
+        analysis = TraceAnalysis(_request_trace())
+        marker = analysis.nodes[4]
+        assert marker.kind == "instant"
+        assert marker.duration_ps == 0
+
+
+class TestCriticalPath:
+    def test_follows_latest_ending_children(self):
+        analysis = TraceAnalysis(_request_trace())
+        assert [node.name for node in analysis.critical_path()] == \
+            ["root", "slow", "leaf"]
+
+    def test_latest_ending_root_wins_in_a_forest(self):
+        analysis = TraceAnalysis([_x(0, "early", 0, 10),
+                                  _x(1, "late", 5, 50)])
+        assert [node.name for node in analysis.critical_path()] == ["late"]
+
+    def test_instants_never_appear(self):
+        records = _request_trace() + [
+            {"type": "I", "id": 9, "name": "late-marker", "ts_ps": 99,
+             "parent": 0}]
+        path = TraceAnalysis(records).critical_path()
+        assert all(node.kind != "instant" for node in path)
+
+    def test_empty_trace(self):
+        assert TraceAnalysis([]).critical_path() == []
+
+
+class TestFlame:
+    def test_self_time_subtracts_children(self):
+        analysis = TraceAnalysis(_request_trace())
+        rows = {name: (calls, total, self_ps)
+                for name, calls, total, self_ps in analysis.flame()}
+        assert rows["root"] == (1, 100, 0)     # fully covered by children
+        assert rows["slow"] == (1, 80, 20)     # 80 minus leaf's 60
+        assert rows["leaf"] == (1, 60, 60)
+
+    def test_fold_merges_by_name_and_orders_by_self(self):
+        records = [_x(0, "hot", 0, 40), _x(1, "hot", 40, 40),
+                   _x(2, "cold", 80, 10)]
+        rows = TraceAnalysis(records).flame()
+        assert rows[0] == ("hot", 2, 80, 80)
+        assert rows[1] == ("cold", 1, 10, 10)
+        assert TraceAnalysis(records).flame(top=1) == [("hot", 2, 80, 80)]
+
+    def test_to_json_round_trips(self):
+        payload = TraceAnalysis(_request_trace()).to_json()
+        assert payload["spans"] == 5
+        assert payload["roots"] == 1
+        assert [row["name"] for row in payload["critical_path"]] == \
+            ["root", "slow", "leaf"]
+        json.dumps(payload)    # must be serialisable as-is
+
+
+class TestDiff:
+    def test_ranks_by_absolute_total_delta(self):
+        before = TraceAnalysis([_x(0, "a", 0, 100), _x(1, "b", 0, 10)])
+        after = TraceAnalysis([_x(0, "a", 0, 40), _x(1, "b", 0, 15),
+                               _x(2, "c", 0, 5)])
+        rows = diff_traces(before, after)
+        assert [row["name"] for row in rows] == ["a", "b", "c"]
+        assert rows[0]["total_delta_ps"] == -60
+        assert rows[1]["calls_before"] == 1
+        assert rows[2]["calls_before"] == 0     # new span joins with zeros
+        assert diff_traces(before, after, top=1) == rows[:1]
+
+    def test_identical_traces_diff_to_zero_deltas(self):
+        analysis = TraceAnalysis(_request_trace())
+        rows = diff_traces(analysis, analysis)
+        assert all(row["total_delta_ps"] == 0 for row in rows)
+        assert all(row["self_delta_ps"] == 0 for row in rows)
+
+
+class TestParsing:
+    def test_parse_skips_blank_lines(self):
+        text = "\n" + json.dumps(_x(0, "a", 0, 1)) + "\n\n"
+        assert len(parse_trace(text)) == 1
+
+    def test_junk_json_is_loud(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            parse_trace(json.dumps(_x(0, "a", 0, 1)) + "\n{broken")
+
+    def test_non_record_json_is_loud(self):
+        with pytest.raises(ConfigurationError, match="not a trace record"):
+            parse_trace('{"no": "type"}')
+
+    def test_load_trace_missing_file_is_loud(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_trace(str(tmp_path / "absent.jsonl"))
+
+    def test_load_trace_reads_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(_x(0, "a", 0, 1)) + "\n")
+        analysis = analyze_trace(load_trace(str(path)))
+        assert [node.name for node in analysis.roots] == ["a"]
+
+
+def test_analytics_are_deterministic():
+    records = _request_trace()
+    assert TraceAnalysis(records).to_json() == \
+        TraceAnalysis(list(records)).to_json()

@@ -128,3 +128,61 @@ class TestDeterminismAndSanitising:
         assert lines == body.count("\n")
         assert body == to_prometheus_text(_registry())
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestNativeHistograms:
+    def _snapshot(self):
+        from repro.obs.window import HistogramSnapshot
+
+        return HistogramSnapshot(bounds=(100.0, 200.0, 400.0),
+                                 cumulative=(1, 3, 4), count=5,
+                                 sum=1_300.0, max=900.0)
+
+    def test_histogram_family_shape(self):
+        text = to_prometheus_text(
+            MetricsRegistry(),
+            histograms={"serve.window.request.wall_ps": self._snapshot()})
+        assert "# TYPE harmonia_wall_ps histogram" in text
+        label = 'path="serve.window.request"'
+        assert f'harmonia_wall_ps_bucket{{{label},le="100"}} 1' in text
+        assert f'harmonia_wall_ps_bucket{{{label},le="200"}} 3' in text
+        assert f'harmonia_wall_ps_bucket{{{label},le="400"}} 4' in text
+        assert f'harmonia_wall_ps_bucket{{{label},le="+Inf"}} 5' in text
+        assert f'harmonia_wall_ps_sum{{{label}}} 1300' in text
+        assert f'harmonia_wall_ps_count{{{label}}} 5' in text
+
+    def test_inf_bucket_equals_count(self):
+        _helps, _types, series = _parse(to_prometheus_text(
+            MetricsRegistry(), histograms={"a.wall_ps": self._snapshot()}))
+        inf = [value for name, labels, value in series
+               if name.endswith("_bucket") and 'le="+Inf"' in labels]
+        count = [value for name, _labels, value in series
+                 if name.endswith("_count")]
+        assert inf == count == ["5"]
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        _helps, _types, series = _parse(to_prometheus_text(
+            MetricsRegistry(), histograms={"a.wall_ps": self._snapshot()}))
+        buckets = [int(value) for name, _labels, value in series
+                   if name.endswith("_bucket")]
+        assert buckets == sorted(buckets)
+
+    def test_histogram_labels_are_escaped(self):
+        hostile = 'serve.window.tenant."ev\\il"\n.wall_ps'
+        text = to_prometheus_text(MetricsRegistry(),
+                                  histograms={hostile: self._snapshot()})
+        assert '\\"ev\\\\il\\"\\n' in text
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_histogram_beside_registry_families_stays_sorted(self):
+        registry = MetricsRegistry()
+        registry.increment("engine.events", 1)
+        text = to_prometheus_text(
+            registry, histograms={"a.wall_ps": self._snapshot()})
+        families = [line.split()[2] for line in text.splitlines()
+                    if line.startswith("# TYPE ")]
+        assert families == sorted(families)
+        assert (to_prometheus_text(registry,
+                                   histograms={"a.wall_ps": self._snapshot()})
+                == text)

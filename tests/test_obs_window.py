@@ -1,0 +1,323 @@
+"""Sliding-window telemetry: rings, histograms, burn rates.
+
+The hypothesis suite at the bottom checks the rotation arithmetic
+against an exact model: an observation stamped at time ``t`` (epoch
+``int(t // slice_s)``) must survive a query at time ``T`` iff its epoch
+lies within the trailing ``slices`` epochs -- no off-by-one at slice
+boundaries, no resurrection of expired slices after long idle gaps.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import SloSpec, default_serve_slos
+from repro.obs.window import (
+    MAX_LABEL_VALUES,
+    OVERFLOW_LABEL,
+    ExponentialBuckets,
+    TelemetryHub,
+    WindowedCounter,
+    WindowedHistogram,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestExponentialBuckets:
+    def test_bounds_are_geometric(self):
+        buckets = ExponentialBuckets(100.0, growth=2.0, count=4)
+        assert buckets.bounds == (100.0, 200.0, 400.0, 800.0)
+
+    def test_index_uses_le_semantics(self):
+        buckets = ExponentialBuckets(100.0, growth=2.0, count=4)
+        assert buckets.index(100.0) == 0      # value == bound lands inside
+        assert buckets.index(100.1) == 1
+        assert buckets.index(800.0) == 3
+        assert buckets.index(801.0) == len(buckets)   # +Inf overflow
+
+    def test_bad_layouts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialBuckets(0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialBuckets(1.0, growth=1.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialBuckets(1.0, count=0)
+
+
+class TestWindowedCounter:
+    def test_expiry_is_per_slice(self):
+        clock = FakeClock()
+        counter = WindowedCounter(10.0, 10, clock)   # 1 s slices
+        counter.add()
+        clock.now = 9.0
+        counter.add()
+        assert counter.total() == 2.0
+        clock.now = 10.0        # slice of t=0 just expired
+        assert counter.total() == 1.0
+        clock.now = 18.0        # slice of t=9 on its last legal tick
+        assert counter.total() == 1.0
+        clock.now = 19.0
+        assert counter.total() == 0.0
+
+    def test_long_gap_clears_everything(self):
+        clock = FakeClock()
+        counter = WindowedCounter(10.0, 10, clock)
+        for _ in range(5):
+            counter.add()
+        clock.now = 1_000.0
+        assert counter.total() == 0.0
+
+    def test_backwards_clock_resets(self):
+        clock = FakeClock(100.0)
+        counter = WindowedCounter(10.0, 10, clock)
+        counter.add()
+        clock.now = 5.0
+        assert counter.total() == 0.0
+        counter.add()
+        assert counter.total() == 1.0
+
+    def test_rate_is_per_window_second(self):
+        clock = FakeClock()
+        counter = WindowedCounter(60.0, 12, clock)
+        for _ in range(30):
+            counter.add()
+        assert counter.rate() == pytest.approx(0.5)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WindowedCounter(0.0, 4, FakeClock())
+        with pytest.raises(ConfigurationError):
+            WindowedCounter(10.0, 0, FakeClock())
+
+
+class TestWindowedHistogram:
+    def _histogram(self, clock):
+        return WindowedHistogram(10.0, 5, ExponentialBuckets(100.0, 2.0, 4),
+                                 clock)
+
+    def test_snapshot_is_cumulative(self):
+        histogram = self._histogram(FakeClock())
+        for value in (50.0, 150.0, 150.0, 900.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot.cumulative == (1, 3, 3, 3)   # overflow excluded
+        assert snapshot.count == 4
+        assert snapshot.sum == pytest.approx(1_250.0)
+        assert snapshot.max == 900.0
+
+    def test_percentile_reports_bucket_bound(self):
+        histogram = self._histogram(FakeClock())
+        for value in [50.0] * 98 + [900.0, 900.0]:
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot.percentile(0.50) == 100.0
+        assert snapshot.percentile(0.99) == 900.0    # overflow -> max
+        assert snapshot.to_json()["p99"] == 900.0
+
+    def test_empty_window_percentile_is_zero(self):
+        snapshot = self._histogram(FakeClock()).snapshot()
+        assert snapshot.count == 0
+        assert snapshot.percentile(0.99) == 0.0
+
+    def test_observations_expire_with_their_slice(self):
+        clock = FakeClock()
+        histogram = self._histogram(clock)   # 2 s slices
+        histogram.observe(500.0)
+        clock.now = 9.9
+        histogram.observe(500.0)
+        assert histogram.snapshot().count == 2
+        clock.now = 10.0
+        assert histogram.snapshot().count == 1
+        clock.now = 20.0
+        assert histogram.snapshot().count == 0
+
+
+class TestTelemetryHub:
+    def _hub(self, clock=None, **kwargs):
+        return TelemetryHub(clock=clock or FakeClock(), **kwargs)
+
+    def test_record_request_feeds_every_view(self):
+        hub = self._hub()
+        hub.record_request(endpoint="/v1/sweep", tenant="acme", status=200,
+                           wall_ps=2e11)
+        hub.record_request(endpoint="/v1/sweep", tenant="acme", status=500,
+                           wall_ps=9e11, shed=True)
+        body = hub.telemetry_json()
+        assert body["rates"]["serve.requests"]["window_total"] == 2
+        assert body["rates"]["serve.responses.500"]["window_total"] == 1
+        assert body["rates"]["serve.shed"]["window_total"] == 1
+        assert body["latency"]["serve.window.request.wall_ps"]["count"] == 2
+        assert body["endpoints"]["/v1/sweep"]["count"] == 2
+        assert body["tenants"]["acme"]["count"] == 2
+        assert hub.summary()["window_requests"] == 2
+
+    def test_unknown_endpoints_fold_to_other(self):
+        hub = self._hub()
+        hub.record_request(endpoint="/v1/../../etc", tenant="t", status=404,
+                           wall_ps=1e9)
+        assert list(hub.telemetry_json()["endpoints"]) == ["other"]
+
+    def test_tenant_cardinality_is_bounded(self):
+        hub = self._hub()
+        for index in range(MAX_LABEL_VALUES + 10):
+            hub.record_request(endpoint="/v1/run", tenant=f"t{index}",
+                               status=200, wall_ps=1e9)
+        tenants = hub.telemetry_json()["tenants"]
+        assert len(tenants) == MAX_LABEL_VALUES + 1   # incl. overflow
+        assert tenants[OVERFLOW_LABEL]["count"] == 10
+
+    def test_latency_burn_rate(self):
+        # p99 <= 500 ms tolerates 1% slow; 2% slow burns at 2x.
+        hub = self._hub(specs=default_serve_slos())
+        for index in range(100):
+            slow = index < 2
+            hub.record_request(endpoint="/v1/run", tenant="t", status=200,
+                               wall_ps=6e11 if slow else 1e9)
+        burn = {report["name"]: report
+                for report in hub.telemetry_json()["slo_burn"]}
+        latency = burn["serve-request-p99"]
+        assert latency["bad_requests"] == 2
+        assert latency["burn_rate"] == pytest.approx(2.0, rel=1e-3)
+        assert latency["budget_remaining"] == 0.0
+
+    def test_ratio_burn_rate(self):
+        hub = self._hub(specs=default_serve_slos())
+        for index in range(200):
+            hub.record_request(endpoint="/v1/run", tenant="t",
+                               status=500 if index < 1 else 200, wall_ps=1e9)
+        burn = {report["name"]: report
+                for report in hub.telemetry_json()["slo_burn"]}
+        errors = burn["serve-error-ratio"]
+        assert errors["window_ratio"] == pytest.approx(0.005)
+        assert errors["burn_rate"] == pytest.approx(0.5)
+        assert errors["budget_remaining"] == pytest.approx(0.5)
+
+    def test_zero_tolerance_ratio(self):
+        spec = SloSpec(name="no-5xx", metric="serve.responses.500",
+                       ratio_to="serve.requests", upper=0.0)
+        hub = self._hub(specs=[spec])
+        hub.record_request(endpoint="/v1/run", tenant="t", status=200,
+                           wall_ps=1e9)
+        report = hub.telemetry_json()["slo_burn"][0]
+        assert report["burn_rate"] is None
+        assert report["budget_remaining"] == 1.0
+        hub.record_request(endpoint="/v1/run", tenant="t", status=500,
+                           wall_ps=1e9)
+        report = hub.telemetry_json()["slo_burn"][0]
+        assert report["burn_rate"] == math.inf
+        assert report["budget_remaining"] == 0.0
+
+    def test_histogram_snapshots_expose_prometheus_paths(self):
+        hub = self._hub()
+        hub.record_request(endpoint="/v1/sweep", tenant="acme", status=200,
+                           wall_ps=1e9)
+        paths = set(hub.histogram_snapshots())
+        assert "serve.window.request.wall_ps" in paths
+        assert "serve.window.endpoint./v1/sweep.wall_ps" in paths
+        assert "serve.window.tenant.acme.wall_ps" in paths
+
+
+# --------------------------------------------------------------------- #
+# Rotation arithmetic, checked against an exact survivorship model      #
+# --------------------------------------------------------------------- #
+
+window_layouts = st.tuples(
+    st.floats(min_value=0.5, max_value=120.0, allow_nan=False,
+              allow_infinity=False),
+    st.integers(min_value=1, max_value=24),
+)
+
+event_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False,
+                  allow_infinity=False),          # time delta (monotone)
+        st.floats(min_value=0.0, max_value=1e13, allow_nan=False,
+                  allow_infinity=False),          # observed value
+    ),
+    min_size=0, max_size=60,
+)
+
+
+def _surviving(events, query_time, slice_s, slices):
+    """The model: events whose epoch is within the trailing window."""
+    query_epoch = int(query_time // slice_s)
+    return [value for when, value in events
+            if int(when // slice_s) > query_epoch - slices]
+
+
+@settings(max_examples=200, deadline=None)
+@given(layout=window_layouts, stream=event_streams,
+       tail=st.floats(min_value=0.0, max_value=600.0, allow_nan=False))
+def test_counter_total_matches_survivorship_model(layout, stream, tail):
+    window_s, slices = layout
+    clock = FakeClock()
+    counter = WindowedCounter(window_s, slices, clock)
+    events = []
+    now = 0.0
+    for delta, value in stream:
+        now += delta
+        clock.now = now
+        counter.add(value)
+        events.append((now, value))
+    clock.now = now + tail
+    expected = sum(_surviving(events, clock.now, counter.slice_s, slices))
+    assert counter.total() == pytest.approx(expected)
+
+
+@settings(max_examples=200, deadline=None)
+@given(layout=window_layouts, stream=event_streams,
+       tail=st.floats(min_value=0.0, max_value=600.0, allow_nan=False))
+def test_histogram_snapshot_matches_survivorship_model(layout, stream, tail):
+    window_s, slices = layout
+    clock = FakeClock()
+    buckets = ExponentialBuckets(1e8, 2.0, 8)
+    histogram = WindowedHistogram(window_s, slices, buckets, clock)
+    events = []
+    now = 0.0
+    for delta, value in stream:
+        now += delta
+        clock.now = now
+        histogram.observe(value)
+        events.append((now, value))
+    clock.now = now + tail
+    survivors = _surviving(events, clock.now, histogram.slice_s, slices)
+    snapshot = histogram.snapshot()
+    assert snapshot.count == len(survivors)
+    assert snapshot.sum == pytest.approx(sum(survivors), rel=1e-9, abs=1e-6)
+    # Cumulative counts are monotone and bounded by the total.
+    assert list(snapshot.cumulative) == sorted(snapshot.cumulative)
+    assert (snapshot.cumulative[-1] if snapshot.cumulative else 0) \
+        <= snapshot.count
+    expected_in_bounds = sum(1 for value in survivors
+                             if buckets.index(value) < len(buckets))
+    assert (snapshot.cumulative[-1] if snapshot.cumulative else 0) \
+        == expected_in_bounds
+
+
+@settings(max_examples=100, deadline=None)
+@given(layout=window_layouts,
+       checkpoints=st.lists(st.floats(min_value=0.0, max_value=30.0,
+                                      allow_nan=False),
+                            min_size=1, max_size=20))
+def test_counter_never_resurrects_after_idle(layout, checkpoints):
+    """Once a window drains to zero it stays at zero without new adds."""
+    window_s, slices = layout
+    clock = FakeClock()
+    counter = WindowedCounter(window_s, slices, clock)
+    counter.add()
+    clock.now = window_s + counter.slice_s   # strictly past the window
+    assert counter.total() == 0.0
+    now = clock.now
+    for delta in checkpoints:
+        now += delta
+        clock.now = now
+        assert counter.total() == 0.0

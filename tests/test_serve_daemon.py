@@ -96,9 +96,11 @@ class TestEndpoints:
     def test_stats_reports_all_subsystems(self, client):
         stats = client.stats()
         assert set(stats) == {"metrics", "coalescer", "admission", "cache",
-                              "pool"}
+                              "pool", "telemetry", "trace_ring"}
         assert stats["admission"]["max_queue"] == 32
         assert stats["pool"] == {"max_workers": 4, "resident": True}
+        assert stats["telemetry"]["window_s"] == 60.0
+        assert stats["trace_ring"]["enabled"] is True
 
 
 class TestErrors:
