@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet bench-obs bench-build bench-serve fuzz-smoke report examples lint all
+.PHONY: test bench bench-smoke bench-sweep bench-vector bench-fleet bench-obs bench-build bench-serve bench-orchestrator fuzz-smoke report examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,6 +30,9 @@ bench-build:
 
 bench-serve:
 	$(PYTHON) benchmarks/serve_smoke.py
+
+bench-orchestrator:
+	$(PYTHON) benchmarks/orchestrator_smoke.py
 
 fuzz-smoke:
 	$(PYTHON) benchmarks/fuzz_smoke.py

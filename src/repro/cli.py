@@ -539,20 +539,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def _fleet_scenario(args):
     """The scenario a ``fleet`` invocation describes (file or flags)."""
-    from repro.scenario import Scenario, TenancySpec
+    from repro.scenario import EpochsSpec, Scenario, TenancySpec
 
     if args.scenario:
         _reject_scenario_conflicts([
             ("--flows", args.flows), ("--devices", args.devices),
             ("--tenants", args.tenants), ("--slots", args.slots),
             ("--alpha", args.alpha), ("--load", args.load),
-            ("--seed", args.seed),
+            ("--seed", args.seed), ("--epochs", args.epochs),
+            ("--churn", args.churn),
         ])
         return _load_scenario_arg(args.scenario, "fleet")
+    if args.churn is not None and args.epochs is None:
+        raise ConfigurationError(
+            "--churn only applies to epoch runs; add --epochs N")
 
     def _or(value, default):
         return value if value is not None else default
 
+    epochs = None
+    if args.epochs is not None:
+        epochs = EpochsSpec(epochs=args.epochs,
+                            churn=_or(args.churn, 0.01))
     return Scenario(
         kind="fleet",
         seed=_or(args.seed, 2_025),
@@ -564,7 +572,69 @@ def _fleet_scenario(args):
             alpha=_or(args.alpha, 1.05),
             offered_load=_or(args.load, 0.65),
         ),
+        epochs=epochs,
     )
+
+
+def _report_fleet_epochs(args: argparse.Namespace, outcome) -> int:
+    """Format one orchestrated epoch day: sampled epochs + day totals."""
+    result = outcome.result
+    fleet = result.fleet_spec
+    spec = result.spec
+    epochs = result.epochs
+    # Sample at most 12 evenly spaced epochs (always first and last) so
+    # a 288-epoch day prints a digestible table.
+    if len(epochs) <= 12:
+        sampled = list(epochs)
+    else:
+        step = (len(epochs) - 1) / 11
+        indexes = sorted({round(index * step) for index in range(12)})
+        sampled = [epochs[index] for index in indexes]
+    rows = [
+        (stats.epoch, f"{stats.flows:,}", stats.arrivals, stats.departures,
+         stats.failures + stats.drains, stats.migrations, stats.pr_grants,
+         f"+{stats.scaled_up}/-{stats.scaled_down}", stats.alive_devices,
+         f"{stats.utilization_mean:.2f}", round(stats.p99_ns / 1_000, 1),
+         stats.slo_violations)
+        for stats in sampled
+    ]
+    print(format_table(
+        ["epoch", "flows", "arr", "dep", "fail+drain", "migr", "pr",
+         "scale", "alive", "util", "p99 us", "slo"],
+        rows,
+        title=(f"Orchestrated day: {spec.epochs} epochs x "
+               f"{fleet.flow_count:,} flows x {fleet.device_count:,} "
+               f"devices ({outcome.meta['mode']} mode, "
+               f"policy {spec.policy})"),
+    ))
+    totals = outcome.meta["totals"]
+    print(f"  totals: {totals['arrivals']:,} arrivals, "
+          f"{totals['departures']:,} departures, "
+          f"{totals['failures']} failures, {totals['drains']} drains, "
+          f"{totals['migrations']} migrations, "
+          f"{totals['pr_grants']} PR grants, "
+          f"+{totals['scaled_up']}/-{totals['scaled_down']} scaling, "
+          f"{totals['slo_violations']} SLO violations")
+    final = result.final
+    print(f"  final: {final.flows:,} flows on {final.alive_devices} "
+          f"devices, util {final.utilization_mean:.2f}, "
+          f"p99 {final.p99_ns / 1_000:.1f} us")
+    print(f"# {outcome.elapsed_s:.2f}s wall "
+          f"({outcome.elapsed_s / spec.epochs * 1_000:.1f} ms/epoch), "
+          f"digest {result.aggregate_digest[:12]}", file=sys.stderr)
+    if outcome.slo is not None:
+        print(outcome.slo.format())
+    if args.json:
+        payload = result.to_json()
+        payload["elapsed_s"] = round(outcome.elapsed_s, 3)
+        if outcome.slo is not None:
+            payload["slo"] = outcome.slo.to_json()
+        with open(args.json, "w", encoding="utf-8", newline="\n") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote orchestrator results to {args.json}",
+              file=sys.stderr)
+    return outcome.exit_code
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -574,10 +644,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     # The service layer runs the simulation, streams the trace through
     # the flight recorder when asked, and evaluates SLOs while the
     # recorder is still attached -- identical semantics over HTTP.
+    # Scenarios with an epochs section dispatch to the orchestrator.
     outcome = run_fleet_service(
         scenario, policies=args.policies, slo=args.slo,
         trace_out=args.trace_out, trace_ring=args.trace_ring,
+        mode=args.epoch_mode,
     )
+    if scenario.epochs is not None:
+        return _report_fleet_epochs(args, outcome)
     result = outcome.result
     slo_report = outcome.slo
     context = outcome.context
@@ -633,6 +707,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     fuzzer = DifferentialFuzzer(
         seed=args.seed, repro_dir=args.repro_dir,
         inject_size_threshold=args.inject_failure,
+        epoch_rate=args.epoch_rate,
+        inject_epoch_threshold=args.inject_epoch,
     )
     start = time.perf_counter()
     report = fuzzer.run(args.budget)
@@ -832,6 +908,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="offered load as a fraction of fleet capacity")
     fleet.add_argument("--seed", type=int,
                        help="deterministic scenario seed")
+    fleet.add_argument("--epochs", type=int,
+                       help="orchestrate N churn epochs (arrivals, "
+                            "departures, failures, drains, migration, "
+                            "PR scheduling, autoscaling) instead of the "
+                            "one-shot policy comparison")
+    fleet.add_argument("--churn", type=float,
+                       help="per-epoch arrival/departure fraction of the "
+                            "flow population (default 0.01; needs --epochs)")
+    fleet.add_argument("--epoch-mode",
+                       choices=("incremental", "full", "verify"),
+                       default="incremental",
+                       help="aggregate maintenance for epoch runs: "
+                            "delta-incremental (default), the O(flows) "
+                            "full-recompute oracle, or verify (both, "
+                            "asserting bit-exact equality every epoch)")
     fleet.add_argument("--policies", nargs="+",
                        choices=("round-robin", "least-loaded", "flow-hash"),
                        help="policies to evaluate (default: all three)")
@@ -860,6 +951,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--inject-failure", type=int, metavar="SIZE",
                       help="testing hook: treat any point with packet size "
                            ">= SIZE as failing, to exercise the shrinker")
+    fuzz.add_argument("--epoch-rate", type=float, default=0.0,
+                      help="fraction of generated scenarios carrying an "
+                           "epochs section, cross-checked through the "
+                           "epoch-delta differential (default 0.0)")
+    fuzz.add_argument("--inject-epoch", type=int, metavar="EPOCHS",
+                      help="testing hook: treat any scenario with >= EPOCHS "
+                           "epochs as failing, to exercise the epoch "
+                           "shrinker")
 
     serve = commands.add_parser(
         "serve", help="run the warm serving daemon (resident caches, "

@@ -275,6 +275,28 @@ def default_fleet_slos(p99_ns: float = 400_000.0,
     ]
 
 
+def default_epoch_slos(p99_ns: float = 400_000.0,
+                       utilization_low: float = 0.05,
+                       utilization_high: float = 0.92) -> List[SloSpec]:
+    """The stock per-epoch objectives for the fleet orchestrator.
+
+    Evaluated against the ``fleet.epoch.*`` gauges after every epoch;
+    the orchestrator's autoscaler treats the resulting violations as
+    its feedback signal -- an upper-bound breach (tail latency or
+    utilisation) scales instance groups up from the spare pool, a
+    lower-bound breach drains capacity back.  The thresholds double as
+    the scaling set-points, which is why the utilisation ceiling sits
+    slightly below :func:`default_fleet_slos`' 0.95: the autoscaler
+    should act *before* the fleet-wide objective is in danger.
+    """
+    return [
+        SloSpec(name="epoch-p99", metric="fleet.epoch.p99_ns", upper=p99_ns),
+        SloSpec(name="epoch-utilization",
+                metric="fleet.epoch.utilization_mean",
+                lower=utilization_low, upper=utilization_high),
+    ]
+
+
 def default_build_slos(target_p99_s: float = 300.0,
                        step_p99_s: float = 120.0) -> List[SloSpec]:
     """The stock objectives for a ``repro.cli build`` run.

@@ -369,12 +369,25 @@ class TelemetryHub:
                 if isinstance(objective, _LatencyObjective):
                     objective.observe(wall_ps)
 
-    def _count(self, path: str) -> None:
+    def record_orchestration(self, *, epochs: int, wall_ps: float) -> None:
+        """Fold one epoch-orchestration execution into the windows.
+
+        Epoch days are the daemon's heaviest fleet requests; tracking
+        their rate and wall-time histogram separately keeps the
+        request-level windows honest about what a mixed workload is
+        actually doing.
+        """
+        with self._lock:
+            self._count("serve.orchestrator.runs")
+            self._count("serve.orchestrator.epochs", epochs)
+            self._observe("serve.window.orchestrator.wall_ps", wall_ps)
+
+    def _count(self, path: str, amount: float = 1.0) -> None:
         counter = self._counters.get(path)
         if counter is None:
             counter = self._counters[path] = WindowedCounter(
                 self.window_s, self.slices, self._clock)
-        counter.add()
+        counter.add(amount)
 
     def _observe(self, path: str, value: float) -> None:
         histogram = self._histograms.get(path)

@@ -61,12 +61,29 @@ _BUILDFARM_EXPORTS = frozenset({
     "run_build_plan",
 })
 
+# The orchestrator pulls in ``obs.slo`` (its autoscaling feedback
+# signal), which sits above the runtime primitives -- same lazy
+# treatment as the build farm.
+_ORCHESTRATOR_EXPORTS = frozenset({
+    "DeltaMismatch",
+    "EpochStats",
+    "FleetState",
+    "Orchestrator",
+    "OrchestratorResult",
+    "OrchestratorSpec",
+    "run_orchestrator",
+})
+
 
 def __getattr__(name: str):
     if name in _BUILDFARM_EXPORTS:
         from repro.runtime import buildfarm
 
         return getattr(buildfarm, name)
+    if name in _ORCHESTRATOR_EXPORTS:
+        from repro.runtime import orchestrator
+
+        return getattr(orchestrator, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -78,10 +95,16 @@ __all__ = [
     "BuildTarget",
     "ClockRegistry",
     "CounterDictView",
+    "DeltaMismatch",
+    "EpochStats",
     "FleetResult",
     "FleetSimulation",
     "FleetSpec",
+    "FleetState",
     "Gauge",
+    "Orchestrator",
+    "OrchestratorResult",
+    "OrchestratorSpec",
     "GaugeDictView",
     "MetricsNamespace",
     "MetricsRegistry",
@@ -104,6 +127,7 @@ __all__ = [
     "isolated_context_stack",
     "run_build_plan",
     "run_fleet",
+    "run_orchestrator",
     "run_plan",
     "sweep_cache_key",
 ]

@@ -266,8 +266,15 @@ def _capacity_gbps(device_name: str) -> float:
 def _allocate_instances(units: Sequence[int], device_count: int) -> List[int]:
     """Largest-remainder split of ``device_count`` instances by unit share.
 
-    Every type with installed units gets at least one instance;
-    ties break toward the earlier type, so the split is deterministic.
+    Every type with installed units gets at least one instance.  The
+    largest-remainder pass is **explicitly deterministic**: surplus
+    instances hand out in ascending ``(-remainder, index)`` order, so
+    two types with *equal* fractional remainders always break toward
+    the earlier index -- epoch-to-epoch reruns of the same unit vector
+    can never flap between allocations.  The trim pass (when the
+    one-instance floor over-allocated) is equally pinned: it always
+    shrinks the currently-largest allocation, later index first on
+    ties.
     """
     total = sum(units)
     if total <= 0:
@@ -279,6 +286,9 @@ def _allocate_instances(units: Sequence[int], device_count: int) -> List[int]:
         )
     quotas = [count * device_count / total for count in units]
     allocation = [max(int(quota), 1) for quota in quotas]
+    # Stable largest-remainder order: sort on (remainder, index) with
+    # the remainder negated so bigger remainders come first and equal
+    # remainders fall back to the original index, deterministically.
     remainders = sorted(
         range(len(units)),
         key=lambda index: (-(quotas[index] - int(quotas[index])), index),
@@ -293,6 +303,90 @@ def _allocate_instances(units: Sequence[int], device_count: int) -> List[int]:
             break
         allocation[victim] -= 1
     return allocation
+
+
+# ---------------------------------------------------------------------------
+# Array kernels (shared with the epoch orchestrator)
+# ---------------------------------------------------------------------------
+
+def device_latency_tables(load_gbps, capacity_gbps,
+                          mean_packet_bytes: int):
+    """Per-device latency of the M/M/1 + overload + PR model.
+
+    Returns ``(resident_ns, non_resident_ns)`` arrays over devices:
+    the latency any flow served by device *d* observes, depending on
+    whether its tenant's partial bitstream is resident.  Flow-level
+    consumers gather by their assignment array; because the per-flow
+    model only ever depended on the flow's device and residency bit,
+    ``resident_ns[assign] + PR_PENALTY_NS * non_resident`` is
+    **bit-exact** against the historical per-flow formulation (same
+    float operations, same order, same inputs).
+
+    The terms, in evaluation order:
+
+    * fixed host-side base latency;
+    * store-and-forward service time of one mean packet;
+    * an M/M/1-style queueing term ``service * rho / (1 - rho)`` that
+      saturates at :data:`RHO_KNEE` instead of diverging;
+    * an overload penalty proportional to over-subscription past
+      ``rho = 1``.
+    """
+    if _np is None:
+        raise ConfigurationError("numpy is required for the latency kernel")
+    capacity = _np.asarray(capacity_gbps, dtype=_np.float64)
+    load = _np.asarray(load_gbps, dtype=_np.float64)
+    service_ns = mean_packet_bytes * 8 / capacity
+    rho = load / capacity
+    knee = _np.minimum(rho, RHO_KNEE)
+    resident_ns = (
+        BASE_LATENCY_NS
+        + service_ns
+        + service_ns * knee / (1.0 - knee)
+        + _np.maximum(rho - 1.0, 0.0) * OVERLOAD_PENALTY_NS
+    )
+    return resident_ns, resident_ns + PR_PENALTY_NS
+
+
+def assign_flows(policy: str, flow_rate_gbps, flow_hash, capacity_gbps,
+                 out=None):
+    """flow -> device-instance index array for one placement policy.
+
+    The reusable form of the simulator's policy assignment:
+    ``round-robin`` cycles instances, ``flow-hash`` pins each flow by
+    its stable 32-bit hash, and ``least-loaded`` runs the greedy LPT
+    heuristic (flows arrive heaviest-first in Zipf rank order,
+    utilisation normalised by instance capacity).  ``out`` reuses a
+    caller-owned int64 buffer so batched callers skip per-policy
+    allocations; the returned array is ``out`` when given.
+    """
+    if _np is None:
+        raise ConfigurationError("numpy is required for flow assignment")
+    flow_count = int(_np.asarray(flow_rate_gbps).shape[0])
+    devices = int(_np.asarray(capacity_gbps).shape[0])
+    if out is None:
+        out = _np.empty(flow_count, dtype=_np.int64)
+    if policy == "round-robin":
+        _np.mod(_np.arange(flow_count, dtype=_np.int64), devices, out=out)
+        return out
+    if policy == "flow-hash":
+        _np.mod(flow_hash, devices, out=out)
+        return out
+    if policy == "least-loaded":
+        # Flows arrive heaviest-first (Zipf rank order), so greedy
+        # least-utilised placement is the LPT heuristic, normalised
+        # by each instance's capacity.
+        heap = [(0.0, device) for device in range(devices)]
+        inverse = (1.0 / _np.asarray(capacity_gbps, dtype=_np.float64)).tolist()
+        rates = _np.asarray(flow_rate_gbps, dtype=_np.float64).tolist()
+        for index, rate in enumerate(rates):
+            utilisation, device = heap[0]
+            out[index] = device
+            heapq.heapreplace(
+                heap, (utilisation + rate * inverse[device], device))
+        return out
+    raise ConfigurationError(
+        f"unknown fleet policy {policy!r}; choose from {', '.join(POLICIES)}"
+    )
 
 
 class FleetSimulation:
@@ -373,45 +467,31 @@ class FleetSimulation:
 
     # --- policies -----------------------------------------------------------
 
-    def assignment(self, policy: str):
-        """flow -> device-instance index array for one policy."""
-        devices = self.device_count
-        if policy == "round-robin":
-            return _np.arange(self.spec.flow_count, dtype=_np.int64) % devices
-        if policy == "flow-hash":
-            return self.flow_hash % devices
-        if policy == "least-loaded":
-            # Flows arrive heaviest-first (Zipf rank order), so greedy
-            # least-utilised placement is the LPT heuristic, normalised
-            # by each instance's capacity.
-            heap = [(0.0, device) for device in range(devices)]
-            inverse = (1.0 / self.instance_capacity_gbps).tolist()
-            rates = self.flow_rate_gbps.tolist()
-            assign = _np.empty(self.spec.flow_count, dtype=_np.int64)
-            for index, rate in enumerate(rates):
-                utilisation, device = heap[0]
-                assign[index] = device
-                heapq.heapreplace(
-                    heap, (utilisation + rate * inverse[device], device))
-            return assign
-        raise ConfigurationError(
-            f"unknown fleet policy {policy!r}; choose from {', '.join(POLICIES)}"
+    def assignment(self, policy: str, out=None):
+        """flow -> device-instance index array for one policy.
+
+        ``out`` reuses a caller-owned buffer (see :func:`assign_flows`);
+        batched evaluation passes one scratch array across policies.
+        """
+        return assign_flows(
+            policy, self.flow_rate_gbps, self.flow_hash,
+            self.instance_capacity_gbps, out=out,
         )
 
     # --- evaluation ---------------------------------------------------------
 
-    def run_policy(self, policy: str) -> PolicyResult:
+    def run_policy(self, policy: str, _scratch=None) -> PolicyResult:
         with _profile_phase("fleet.policy"):
-            return self._run_policy(policy)
+            return self._run_policy(policy, _scratch)
 
-    def _run_policy(self, policy: str) -> PolicyResult:
+    def _run_policy(self, policy: str, scratch=None) -> PolicyResult:
         spec = self.spec
         devices = self.device_count
         span = self.context.trace.begin(
             f"fleet.{policy}", ts_ps=0,
             flows=spec.flow_count, devices=devices, tenants=spec.tenant_count,
         )
-        assign = self.assignment(policy)
+        assign = self.assignment(policy, out=scratch)
         load_gbps = _np.bincount(
             assign, weights=self.flow_rate_gbps, minlength=devices)
         utilization = load_gbps / self.instance_capacity_gbps
@@ -424,16 +504,13 @@ class FleetSimulation:
         resident = residency_matrix(tenant_load, spec.slots_per_device)
         non_resident = ~resident[assign, self.flow_tenant]
 
-        service_ns = spec.mean_packet_bytes * 8 / self.instance_capacity_gbps[assign]
-        rho = utilization[assign]
-        knee = _np.minimum(rho, RHO_KNEE)
-        latency_ns = (
-            BASE_LATENCY_NS
-            + service_ns
-            + service_ns * knee / (1.0 - knee)
-            + _np.maximum(rho - 1.0, 0.0) * OVERLOAD_PENALTY_NS
-            + PR_PENALTY_NS * non_resident
-        )
+        # Latency factors through per-device tables (the flow's device
+        # and residency bit are the only per-flow inputs), so one
+        # O(devices) kernel plus a gather replaces the historical
+        # O(flows) expression bit-for-bit.
+        resident_ns, _ = device_latency_tables(
+            load_gbps, self.instance_capacity_gbps, spec.mean_packet_bytes)
+        latency_ns = resident_ns[assign] + PR_PENALTY_NS * non_resident
 
         p50, p99 = (float(v) for v in _np.percentile(latency_ns, (50, 99)))
         tenants: List[TenantStats] = []
@@ -492,7 +569,11 @@ class FleetSimulation:
     def run(self, policies: Sequence[str] = POLICIES) -> FleetResult:
         if not policies:
             raise ConfigurationError("need at least one policy")
-        results = tuple(self.run_policy(policy) for policy in policies)
+        # One flow->device scratch array shared by every policy: the
+        # assignment kernels write in place, so a 3-policy 1M-flow run
+        # allocates the 8 MB index buffer once instead of per policy.
+        scratch = _np.empty(self.spec.flow_count, dtype=_np.int64)
+        results = tuple(self.run_policy(policy, scratch) for policy in policies)
         metrics = self.context.metrics.namespace("fleet")
         metrics.set_gauge("flows", self.spec.flow_count)
         metrics.set_gauge("devices", self.device_count)

@@ -10,6 +10,7 @@ from repro.scenario.spec import (
     SCENARIO_KINDS,
     SCENARIO_VERSION,
     BuildSpec,
+    EpochsSpec,
     Scenario,
     TenancySpec,
     WorkloadSpec,
@@ -50,6 +51,7 @@ __all__ = [
     "SCENARIO_VERSION",
     "BuildSpec",
     "DifferentialFuzzer",
+    "EpochsSpec",
     "FuzzFailure",
     "FuzzReport",
     "Scenario",

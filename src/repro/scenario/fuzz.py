@@ -59,7 +59,9 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import HarmoniaError, IncompatiblePlatformError
 from repro.scenario.spec import (
+    EpochsSpec,
     Scenario,
+    TenancySpec,
     WorkloadSpec,
     known_app_names,
     known_device_names,
@@ -102,6 +104,14 @@ def feasible_pairs() -> Dict[str, Tuple[str, ...]]:
             feasible.append(device.name)
         pairs[app.name] = tuple(feasible)
     return pairs
+
+
+@functools.lru_cache(maxsize=1)
+def _min_fleet_devices() -> int:
+    """The smallest valid fleet: one instance per active device type."""
+    from repro.platform.fleet import production_fleet
+
+    return len(production_fleet().active_introductions(2_024))
 
 
 # ---------------------------------------------------------------------------
@@ -175,16 +185,27 @@ class DifferentialFuzzer:
                  inject_size_threshold: Optional[int] = None,
                  max_apps: int = 2, max_devices: int = 2,
                  max_sizes: int = 3, max_packets: int = 48,
-                 max_size_bytes: int = 2_048) -> None:
+                 max_size_bytes: int = 2_048,
+                 epoch_rate: float = 0.0,
+                 max_epochs: int = 8, max_epoch_flows: int = 2_000,
+                 inject_epoch_threshold: Optional[int] = None) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
         self.repro_dir = repro_dir
         self.inject_size_threshold = inject_size_threshold
+        self.inject_epoch_threshold = inject_epoch_threshold
         self.max_apps = max_apps
         self.max_devices = max_devices
         self.max_sizes = max_sizes
         self.max_packets = max_packets
         self.max_size_bytes = max_size_bytes
+        # Epoch-churn scenarios are opt-in (epoch_rate > 0): the default
+        # generation stream stays byte-identical to earlier campaigns,
+        # so pinned corpora and the smoke benchmark's determinism gates
+        # are unaffected.
+        self.epoch_rate = epoch_rate
+        self.max_epochs = max_epochs
+        self.max_epoch_flows = max_epoch_flows
         self._apps: Tuple[str, ...] = known_app_names()
         self._devices: Tuple[str, ...] = known_device_names()
         self._feasible: Dict[str, Tuple[str, ...]] = feasible_pairs()
@@ -197,9 +218,12 @@ class DifferentialFuzzer:
             ("vector-batch", self.check_vector_batch),
             ("cache-tier", self.check_cache_tier),
             ("baseline-capabilities", self.check_baseline_capabilities),
+            ("epoch-delta", self.check_epoch_delta),
         ]
         if inject_size_threshold is not None:
             self.checks.append(("injected", self.check_injected))
+        if inject_epoch_threshold is not None:
+            self.checks.append(("injected-epoch", self.check_injected_epoch))
 
     # --- generation -----------------------------------------------------
 
@@ -238,8 +262,69 @@ class DifferentialFuzzer:
         return Scenario(kind="sweep", apps=apps, devices=devices,
                         seed=rng.randrange(2 ** 31), workload=workload)
 
+    def generate_epoch(self) -> Scenario:
+        """One random valid fleet scenario with an epochs/churn section.
+
+        Sizes stay small (<= ``max_epoch_flows`` flows, a handful of
+        epochs) so the ``epoch-delta`` differential -- two standalone
+        orchestrator runs plus a verify pass -- costs milliseconds per
+        scenario and a campaign covers hundreds of churn shapes.
+        """
+        rng = self.rng
+        floor = _min_fleet_devices()
+        tenancy = TenancySpec(
+            flow_count=rng.randint(64, self.max_epoch_flows),
+            device_count=rng.randint(floor, floor + 16),
+            tenant_count=rng.randint(2, 12),
+            slots_per_device=rng.randint(1, 4),
+            alpha=round(rng.uniform(0.8, 1.4), 3),
+            offered_load=round(rng.uniform(0.3, 1.1), 3),
+        )
+        epochs = EpochsSpec(
+            epochs=rng.randint(1, self.max_epochs),
+            churn=round(rng.uniform(0.0, 0.2), 4),
+            failure_every=rng.choice((0, 2, 3, 5)),
+            drain_every=rng.choice((0, 3, 4, 7)),
+            migrate_threshold=round(rng.uniform(0.8, 1.5), 3),
+            autoscale=rng.random() < 0.7,
+            spare_fraction=round(rng.uniform(0.0, 0.5), 3),
+            scale_step=rng.randint(1, 4),
+            pr_budget=rng.choice((0, 4, 16)),
+            policy=rng.choice(("flow-hash", "round-robin", "least-loaded")),
+        )
+        return Scenario(kind="fleet", seed=rng.randrange(2 ** 31),
+                        tenancy=tenancy, epochs=epochs)
+
+    def mutate_epoch(self, scenario: Scenario) -> Scenario:
+        """A single random mutation of one epoch-fleet corpus member."""
+        rng = self.rng
+        tenancy = scenario.tenancy
+        section = scenario.epochs
+        move = rng.randrange(6)
+        if move == 0:
+            section = dataclasses.replace(
+                section, epochs=rng.randint(1, self.max_epochs))
+        elif move == 1:
+            section = dataclasses.replace(
+                section, churn=round(rng.uniform(0.0, 0.2), 4))
+        elif move == 2:
+            section = dataclasses.replace(
+                section, policy=rng.choice(
+                    ("flow-hash", "round-robin", "least-loaded")))
+        elif move == 3:
+            section = dataclasses.replace(
+                section, autoscale=not section.autoscale)
+        elif move == 4:
+            tenancy = dataclasses.replace(
+                tenancy, flow_count=rng.randint(64, self.max_epoch_flows))
+        else:
+            return scenario.replace(seed=rng.randrange(2 ** 31))
+        return scenario.replace(tenancy=tenancy, epochs=section)
+
     def mutate(self, scenario: Scenario) -> Scenario:
         """A single random mutation of one corpus member."""
+        if scenario.kind == "fleet" and scenario.epochs is not None:
+            return self.mutate_epoch(scenario)
         rng = self.rng
         workload = scenario.workload
         move = rng.randrange(6)
@@ -272,6 +357,22 @@ class DifferentialFuzzer:
 
     def _coverage_keys(self, scenario: Scenario) -> Set[Tuple[Any, ...]]:
         """Structural coverage keys for one scenario's points."""
+        if scenario.kind == "fleet" and scenario.epochs is not None:
+            tenancy, section = scenario.tenancy, scenario.epochs
+            return {(
+                "fleet-epochs",
+                tenancy.device_count.bit_length(),
+                tenancy.tenant_count.bit_length(),
+                tenancy.slots_per_device,
+                section.policy,
+                section.autoscale,
+                int(section.churn * 100).bit_length(),
+                section.failure_every > 0,
+                section.drain_every > 0,
+                section.pr_budget > 0,
+            )}
+        if scenario.kind != "sweep":
+            return set()
         from repro.runtime.sweep import point_chain
         from repro.sim.vector import chain_supports_vector
 
@@ -302,6 +403,8 @@ class DifferentialFuzzer:
 
     def check_engine_equivalence(self, scenario: Scenario) -> Optional[str]:
         """Forced-vector and forced-DES runs must match exactly."""
+        if scenario.kind != "sweep":
+            return None
         from repro.runtime.sweep import point_chain, run_point
         from repro.sim.vector import chain_supports_vector
 
@@ -350,6 +453,8 @@ class DifferentialFuzzer:
         stage occupancy/statistics the batch leaves on the chain, which
         must equal the sequential per-point loop's state bit for bit.
         """
+        if scenario.kind != "sweep":
+            return None
         from repro.runtime.context import isolated_context_stack
         from repro.runtime.sweep import point_chain, run_point
         from repro.sim.pipeline import reset_transaction_ids
@@ -398,6 +503,8 @@ class DifferentialFuzzer:
 
     def check_cache_tier(self, scenario: Scenario) -> Optional[str]:
         """Cold vs warm runs of the plan against one private cache."""
+        if scenario.kind != "sweep":
+            return None
         from repro.runtime.sweep import SweepCache, run_plan
 
         plan = scenario.sweep_plan()
@@ -467,6 +574,49 @@ class DifferentialFuzzer:
                 return f"{framework.name} shell reports negative utilisation"
         return None
 
+    def check_epoch_delta(self, scenario: Scenario) -> Optional[str]:
+        """Incremental epoch stepping vs the full-recompute oracle.
+
+        The same churned day runs twice standalone -- once maintaining
+        aggregates by O(churn) deltas, once rebuilding them from the
+        per-flow arrays every epoch -- and the *entire* serialised
+        outcome must be exactly equal: per-epoch stats, final tenant
+        stats, aggregate/flow sha256 digests, and the metrics registry
+        snapshot.  A third run in ``verify`` mode pins the per-epoch
+        matrices themselves, so a divergence is reported at the first
+        epoch it appears rather than as an end-of-day diff.
+        """
+        if scenario.kind != "fleet" or scenario.epochs is None:
+            return None
+        from repro.runtime.context import SimContext, isolated_context_stack
+        from repro.runtime.orchestrator import DeltaMismatch, Orchestrator
+
+        surfaces = {}
+        for mode in ("incremental", "full"):
+            with isolated_context_stack():
+                context = SimContext()
+                result = Orchestrator.from_scenario(
+                    scenario, mode=mode, context=context).run()
+                surfaces[mode] = (result.to_json(),
+                                  context.metrics.snapshot())
+        if surfaces["incremental"][0] != surfaces["full"][0]:
+            incremental, full = (surfaces[m][0] for m in
+                                 ("incremental", "full"))
+            diff = sorted(key for key in set(incremental) | set(full)
+                          if incremental.get(key) != full.get(key))
+            return (f"incremental != full-recompute oracle: "
+                    f"mismatched {', '.join(diff)}")
+        if surfaces["incremental"][1] != surfaces["full"][1]:
+            return ("metrics snapshot differs between incremental and "
+                    "full-recompute runs")
+        try:
+            with isolated_context_stack():
+                Orchestrator.from_scenario(
+                    scenario, mode="verify", context=SimContext()).run()
+        except DeltaMismatch as mismatch:
+            return str(mismatch)
+        return None
+
     def check_injected(self, scenario: Scenario) -> Optional[str]:
         """Artificial failure for testing the shrinker end to end."""
         threshold = self.inject_size_threshold
@@ -475,6 +625,15 @@ class DifferentialFuzzer:
                if size >= threshold]
         if bad:
             return (f"injected failure: packet size {min(bad)} >= "
+                    f"{threshold}")
+        return None
+
+    def check_injected_epoch(self, scenario: Scenario) -> Optional[str]:
+        """Artificial epoch failure for testing the epoch shrinker."""
+        threshold = self.inject_epoch_threshold
+        assert threshold is not None
+        if scenario.epochs is not None and scenario.epochs.epochs >= threshold:
+            return (f"injected failure: {scenario.epochs.epochs} epochs >= "
                     f"{threshold}")
         return None
 
@@ -503,6 +662,9 @@ class DifferentialFuzzer:
 
     def _shrink_candidates(self, scenario: Scenario):
         """Strictly-smaller-or-more-default neighbours, in fixed order."""
+        if scenario.kind == "fleet" and scenario.epochs is not None:
+            yield from self._shrink_epoch_candidates(scenario)
+            return
         workload = scenario.workload
         if len(scenario.apps) > 1:
             for index in range(len(scenario.apps)):
@@ -545,6 +707,54 @@ class DifferentialFuzzer:
         if scenario.seed != 2_025:
             yield scenario.replace(seed=2_025)
 
+    def _shrink_epoch_candidates(self, scenario: Scenario):
+        """Epoch-fleet neighbours: fewer epochs, flows, devices, churn."""
+        tenancy = scenario.tenancy
+        section = scenario.epochs
+        for target in (1, section.epochs // 2):
+            if 1 <= target < section.epochs:
+                yield scenario.replace(epochs=dataclasses.replace(
+                    section, epochs=target))
+        for target in (64, tenancy.flow_count // 2):
+            if 1 <= target < tenancy.flow_count:
+                yield scenario.replace(tenancy=dataclasses.replace(
+                    tenancy, flow_count=target))
+        floor = _min_fleet_devices()
+        for target in (floor, tenancy.device_count // 2):
+            if floor <= target < tenancy.device_count:
+                yield scenario.replace(tenancy=dataclasses.replace(
+                    tenancy, device_count=target))
+        for target in (1, tenancy.tenant_count // 2):
+            if 1 <= target < tenancy.tenant_count:
+                yield scenario.replace(tenancy=dataclasses.replace(
+                    tenancy, tenant_count=target))
+        if tenancy.slots_per_device > 1:
+            yield scenario.replace(tenancy=dataclasses.replace(
+                tenancy, slots_per_device=1))
+        if section.churn != 0.0:
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, churn=0.0))
+        if section.failure_every != 0:
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, failure_every=0))
+        if section.drain_every != 0:
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, drain_every=0))
+        if section.autoscale:
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, autoscale=False))
+        if section.pr_budget != 0:
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, pr_budget=0))
+        if section.spare_fraction != 0.0:
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, spare_fraction=0.0))
+        if section.policy != "flow-hash":
+            yield scenario.replace(epochs=dataclasses.replace(
+                section, policy="flow-hash"))
+        if scenario.seed != 2_025:
+            yield scenario.replace(seed=2_025)
+
     def _write_repro(self, shrunk: Scenario) -> Optional[str]:
         if self.repro_dir is None:
             return None
@@ -568,7 +778,12 @@ class DifferentialFuzzer:
         """Fuzz ``budget`` scenarios; returns the campaign report."""
         report = FuzzReport(seed=self.seed, budget=budget)
         for _ in range(budget):
-            if self.corpus and self.rng.random() < 0.5:
+            # Short-circuit on the default epoch_rate=0.0: no extra rng
+            # draw, so default campaigns stay byte-identical to earlier
+            # releases.
+            if self.epoch_rate and self.rng.random() < self.epoch_rate:
+                scenario = self.generate_epoch()
+            elif self.corpus and self.rng.random() < 0.5:
                 scenario = self.mutate(self.rng.choice(self.corpus))
             else:
                 scenario = self.generate()
@@ -577,7 +792,10 @@ class DifferentialFuzzer:
                 self.coverage |= fresh
                 self.corpus.append(scenario)
             report.scenarios_run += 1
-            report.points_checked += len(scenario.expand_points())
+            if scenario.kind == "sweep":
+                report.points_checked += len(scenario.expand_points())
+            elif scenario.epochs is not None:
+                report.points_checked += scenario.epochs.epochs
             report.checks_run += len(self.checks)
             failure = self.check_scenario(scenario)
             if failure is not None:

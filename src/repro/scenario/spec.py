@@ -344,6 +344,93 @@ class BuildSpec:
         return cls(**kwargs)
 
 
+@dataclass(frozen=True)
+class EpochsSpec:
+    """The epoch-stepped orchestration axis of a fleet scenario.
+
+    Optional: a fleet scenario without this section is the one-shot
+    snapshot simulator; with it, ``repro.cli fleet --epochs`` (or the
+    service layer) advances the fleet through churned epochs via
+    :class:`repro.runtime.orchestrator.Orchestrator`.  Field meanings
+    and validation mirror
+    :class:`repro.runtime.orchestrator.OrchestratorSpec`.
+
+    Unlike ``engine``, this section **is** part of scenario identity
+    when present -- orchestration changes what is computed, not how.
+    Scenarios without it serialise exactly as before (the key is
+    omitted), so every pre-existing scenario id is preserved.
+    """
+
+    epochs: int = 288
+    epoch_seconds: int = 300
+    churn: float = 0.01
+    failure_every: int = 48
+    drain_every: int = 96
+    migrate_threshold: float = 1.2
+    autoscale: bool = True
+    spare_fraction: float = 0.25
+    scale_step: int = 4
+    pr_budget: int = 64
+    policy: str = "flow-hash"
+
+    def __post_init__(self) -> None:
+        _expect(self.epochs >= 1, "need at least one epoch")
+        _expect(self.epoch_seconds >= 1, "epoch length must be positive")
+        _expect(0.0 <= self.churn <= 0.5, "churn must be within [0, 0.5]")
+        _expect(self.failure_every >= 0,
+                "failure cadence must be non-negative (0 disables)")
+        _expect(self.drain_every >= 0,
+                "drain cadence must be non-negative (0 disables)")
+        _expect(self.migrate_threshold > 0,
+                "migrate threshold must be positive")
+        _expect(0.0 <= self.spare_fraction <= 4.0,
+                "spare fraction must be within [0, 4]")
+        _expect(self.scale_step >= 1, "scale step must be positive")
+        _expect(self.pr_budget >= 0, "PR budget must be non-negative")
+        from repro.runtime.fleet import POLICIES
+        _expect(self.policy in POLICIES,
+                f"unknown policy {self.policy!r}; "
+                f"choose from {', '.join(POLICIES)}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "epochs": self.epochs,
+            "epoch_seconds": self.epoch_seconds,
+            "churn": self.churn,
+            "failure_every": self.failure_every,
+            "drain_every": self.drain_every,
+            "migrate_threshold": self.migrate_threshold,
+            "autoscale": self.autoscale,
+            "spare_fraction": self.spare_fraction,
+            "scale_step": self.scale_step,
+            "pr_budget": self.pr_budget,
+            "policy": self.policy,
+        }
+
+    _FIELDS = ("epochs", "epoch_seconds", "churn", "failure_every",
+               "drain_every", "migrate_threshold", "autoscale",
+               "spare_fraction", "scale_step", "pr_budget", "policy")
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "EpochsSpec":
+        _expect(isinstance(data, Mapping), "epochs must be an object")
+        _reject_unknown_keys(data, cls._FIELDS, "epochs")
+        kwargs: Dict[str, Any] = {}
+        for key in ("epochs", "epoch_seconds", "failure_every",
+                    "drain_every", "scale_step", "pr_budget"):
+            if key in data:
+                kwargs[key] = _expect_int(data[key], f"epochs.{key}")
+        for key in ("churn", "migrate_threshold", "spare_fraction"):
+            if key in data:
+                kwargs[key] = _expect_number(data[key], f"epochs.{key}")
+        if "autoscale" in data:
+            kwargs["autoscale"] = _expect_bool(data["autoscale"],
+                                               "epochs.autoscale")
+        if "policy" in data:
+            kwargs["policy"] = _expect_str(data["policy"], "epochs.policy")
+        return cls(**kwargs)
+
+
 # ---------------------------------------------------------------------------
 # Scenario
 # ---------------------------------------------------------------------------
@@ -368,6 +455,7 @@ class Scenario:
     workload: WorkloadSpec = WorkloadSpec()
     tenancy: TenancySpec = TenancySpec()
     build: BuildSpec = BuildSpec()
+    epochs: Optional[EpochsSpec] = None
     version: int = SCENARIO_VERSION
 
     def __post_init__(self) -> None:
@@ -393,12 +481,22 @@ class Scenario:
         if self.kind == "sweep" and (not self.apps or not self.devices):
             raise ConfigurationError(
                 "a sweep scenario needs at least one app and one device")
+        if self.epochs is not None and self.kind != "fleet":
+            raise ConfigurationError(
+                "the epochs section only applies to fleet scenarios; "
+                f"this scenario is kind {self.kind!r}"
+            )
 
     # --- identity and serialisation ------------------------------------
 
     def to_json(self) -> Dict[str, Any]:
-        """The scenario as a plain JSON-compatible dict."""
-        return {
+        """The scenario as a plain JSON-compatible dict.
+
+        The ``epochs`` key appears only when the section is present, so
+        scenarios without orchestration serialise byte-for-byte as they
+        always did -- existing scenario ids are stable.
+        """
+        payload: Dict[str, Any] = {
             "version": self.version,
             "kind": self.kind,
             "apps": list(self.apps),
@@ -410,6 +508,9 @@ class Scenario:
             "tenancy": self.tenancy.to_json(),
             "build": self.build.to_json(),
         }
+        if self.epochs is not None:
+            payload["epochs"] = self.epochs.to_json()
+        return payload
 
     def canonical_json(self) -> str:
         """Canonical bytes: equal scenarios -> equal text, any field order."""
@@ -429,7 +530,7 @@ class Scenario:
             canonical_dumps(payload).encode("utf-8")).hexdigest()
 
     _FIELDS = ("version", "kind", "apps", "devices", "engine", "seed",
-               "year", "workload", "tenancy", "build")
+               "year", "workload", "tenancy", "build", "epochs")
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -467,6 +568,8 @@ class Scenario:
             kwargs["tenancy"] = TenancySpec.from_json(data["tenancy"])
         if "build" in data:
             kwargs["build"] = BuildSpec.from_json(data["build"])
+        if "epochs" in data and data["epochs"] is not None:
+            kwargs["epochs"] = EpochsSpec.from_json(data["epochs"])
         scenario = cls(**kwargs)
         scenario.validate_names()
         return scenario
@@ -529,6 +632,17 @@ class Scenario:
         from repro.runtime.fleet import FleetSpec
 
         return FleetSpec.from_scenario(self)
+
+    def orchestrator_spec(self):
+        """This scenario's ``epochs`` section as an
+        :class:`repro.runtime.orchestrator.OrchestratorSpec`."""
+        self._require_kind("fleet")
+        if self.epochs is None:
+            raise ConfigurationError(
+                "this fleet scenario has no epochs section to orchestrate")
+        from repro.runtime.orchestrator import OrchestratorSpec
+
+        return OrchestratorSpec.from_scenario(self)
 
     def build_plan(self):
         """This scenario as a :class:`repro.runtime.buildfarm.BuildPlan`."""

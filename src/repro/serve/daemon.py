@@ -437,6 +437,22 @@ class ServingDaemon:
                 "max_workers": self.config.pool_workers,
                 "resident": True,
             },
+            "orchestrator": {
+                "runs": self.metrics.counter(
+                    "serve.orchestrator.runs").value,
+                "epochs": self.metrics.counter(
+                    "serve.orchestrator.epochs").value,
+                "migrations": self.metrics.counter(
+                    "serve.orchestrator.migrations").value,
+                "pr_grants": self.metrics.counter(
+                    "serve.orchestrator.pr_grants").value,
+                "scaled_up": self.metrics.counter(
+                    "serve.orchestrator.scaled_up").value,
+                "scaled_down": self.metrics.counter(
+                    "serve.orchestrator.scaled_down").value,
+                "slo_violations": self.metrics.counter(
+                    "serve.orchestrator.slo_violations").value,
+            },
             "telemetry": (self.telemetry.summary()
                           if self.telemetry is not None else None),
             "trace_ring": {
@@ -626,7 +642,26 @@ class ServingDaemon:
         counts resident-pool fan-outs and ``serve.pool.request_spawns``
         stays zero for as long as no request ever spawned its own
         executor -- the invariant ``benchmarks/serve_smoke.py`` gates.
+        Epoch-orchestrated fleet requests fold their day's totals into
+        ``serve.orchestrator.*`` and the telemetry hub's windows.
         """
+        if outcome.kind == "fleet" and outcome.meta.get("epochs"):
+            meta = outcome.meta
+            self.metrics.increment("serve.orchestrator.runs")
+            self.metrics.increment("serve.orchestrator.epochs",
+                                   meta["epochs"])
+            for key in ("arrivals", "departures", "failures", "drains",
+                        "migrations", "pr_grants", "scaled_up",
+                        "scaled_down", "slo_violations"):
+                amount = meta.get("totals", {}).get(key, 0)
+                if amount:
+                    self.metrics.increment(f"serve.orchestrator.{key}",
+                                           amount)
+            if self.telemetry is not None:
+                self.telemetry.record_orchestration(
+                    epochs=meta["epochs"],
+                    wall_ps=outcome.elapsed_s * 1e12)
+            return
         if outcome.kind != "sweep":
             return
         meta = outcome.meta

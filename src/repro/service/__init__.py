@@ -10,6 +10,7 @@ from repro.service.runs import (
     build_payload,
     run_build_service,
     run_fleet_service,
+    run_orchestrator_service,
     run_scenario,
     run_sweep_service,
     slo_monitor_for,
@@ -22,6 +23,7 @@ __all__ = [
     "build_payload",
     "run_build_service",
     "run_fleet_service",
+    "run_orchestrator_service",
     "run_scenario",
     "run_sweep_service",
     "slo_monitor_for",

@@ -50,7 +50,8 @@ def slo_monitor_for(kind: str, spec: Optional[str]):
     unknown kinds and unreadable/invalid spec files.
     """
     from repro.obs.slo import (SloMonitor, default_build_slos,
-                               default_fleet_slos, default_serve_slos)
+                               default_epoch_slos, default_fleet_slos,
+                               default_serve_slos)
 
     if spec is None:
         return None
@@ -58,6 +59,7 @@ def slo_monitor_for(kind: str, spec: Optional[str]):
         defaults = {
             "sweep": default_fleet_slos,
             "fleet": default_fleet_slos,
+            "epochs": default_epoch_slos,
             "build": default_build_slos,
             "serve": default_serve_slos,
         }
@@ -216,14 +218,81 @@ def run_sweep_service(scenario: Scenario, *, workers: int = 1,
     )
 
 
+def run_orchestrator_service(scenario: Scenario, *,
+                             mode: str = "incremental",
+                             slo: Optional[str] = None,
+                             trace_out: Optional[str] = None,
+                             trace_ring: int = 4_096,
+                             context: Optional[SimContext] = None,
+                             trace_context: Any = None) -> ServiceResult:
+    """Execute a fleet scenario's ``epochs`` section (the epoch day).
+
+    The resolved SLO monitor is more than a post-run check here: the
+    orchestrator evaluates it **every epoch** and its violations drive
+    the autoscaler, so ``--slo FILE`` changes the control loop's
+    set-points, not just the exit code.  Without ``slo`` the stock
+    :func:`~repro.obs.slo.default_epoch_slos` steer autoscaling and no
+    report (or non-zero exit) is produced.  The response payload is
+    :meth:`~repro.runtime.orchestrator.OrchestratorResult.to_json` --
+    mode-independent by construction (incremental == full bit-exactly),
+    so the daemon's byte-identical-response contract holds.
+    """
+    from repro.runtime.orchestrator import Orchestrator
+
+    _require_kind(scenario, "fleet")
+    monitor = slo_monitor_for("epochs", slo)
+    run_context = context if context is not None else SimContext(
+        name="orchestrator", trace=True)
+    orchestrator = Orchestrator.from_scenario(
+        scenario, mode=mode, monitor=monitor, context=run_context)
+    start = time.perf_counter()
+
+    def _run_and_check():
+        root = (run_context.trace.begin(
+                    "serve.execute", trace_id=trace_context.trace_id,
+                    kind="fleet")
+                if trace_context is not None else None)
+        outcome = orchestrator.run()
+        report = (monitor.evaluate(run_context.metrics,
+                                   trace=run_context.trace)
+                  if monitor is not None else None)
+        run_context.trace.end(root)
+        return outcome, report
+
+    if trace_out:
+        from repro.obs.recorder import FlightRecorder
+
+        with FlightRecorder(run_context.trace, trace_out, ring=trace_ring):
+            result, report = _run_and_check()
+    else:
+        result, report = _run_and_check()
+    elapsed = time.perf_counter() - start
+    payload = _normalise(result.to_json())
+    return ServiceResult(
+        kind="fleet", scenario=scenario, result=result, payload=payload,
+        slo=report, elapsed_s=elapsed, context=run_context,
+        executed_points=result.spec.epochs,
+        meta={"mode": orchestrator.mode, "epochs": result.spec.epochs,
+              "totals": payload["totals"]},
+    )
+
+
 def run_fleet_service(scenario: Scenario, *,
                       policies: Optional[Sequence[str]] = None,
                       slo: Optional[str] = None,
                       trace_out: Optional[str] = None,
                       trace_ring: int = 4_096,
+                      mode: str = "incremental",
                       context: Optional[SimContext] = None,
                       trace_context: Any = None) -> ServiceResult:
     """Execute a fleet scenario (the ``repro.cli fleet`` core).
+
+    A scenario carrying an ``epochs`` section is an orchestrated day,
+    not a one-shot policy comparison, and dispatches to
+    :func:`run_orchestrator_service` (``mode`` picks the aggregate
+    maintenance path there; snapshot runs ignore it).  Naming
+    ``policies`` alongside ``epochs`` is a loud error -- the epoch day
+    runs the single policy its spec declares.
 
     With ``trace_out`` the run streams through the flight recorder, and
     SLOs are evaluated while the recorder is still attached so violation
@@ -237,6 +306,16 @@ def run_fleet_service(scenario: Scenario, *,
     from repro.runtime.fleet import POLICIES, FleetSimulation, FleetSpec
 
     _require_kind(scenario, "fleet")
+    if scenario.epochs is not None:
+        if policies:
+            raise ConfigurationError(
+                "an epochs scenario runs the single policy in its spec "
+                f"({scenario.epochs.policy!r}); drop --policies or the "
+                "scenario's epochs section")
+        return run_orchestrator_service(
+            scenario, mode=mode, slo=slo, trace_out=trace_out,
+            trace_ring=trace_ring, context=context,
+            trace_context=trace_context)
     monitor = slo_monitor_for("fleet", slo)
     spec = FleetSpec.from_scenario(scenario)
     run_policies = tuple(policies) if policies else POLICIES

@@ -92,6 +92,105 @@ def flow_hashes32(count: int, seed: int = 0):
     return (x >> _np.uint64(32)).astype(_np.uint32)
 
 
+def _fnv1a64(text: str) -> int:
+    """FNV-1a 64-bit hash of a channel label (stable across platforms)."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * 0x100000001B3) & _MASK64
+    return value
+
+
+def churn_stream_hashes32(count: int, seed: int, epoch: int, channel: str):
+    """Deterministic 32-bit draws for one ``(seed, epoch, channel)`` stream.
+
+    Each named channel of each epoch is an independent splitmix64
+    stream: the triple is folded into a derived seed and handed to
+    :func:`flow_hashes32`, so epoch N's arrivals never perturb epoch
+    N's departures (or any other epoch's anything).  Pure integer
+    arithmetic -- no :class:`numpy.random.Generator` state -- which is
+    what lets the epoch orchestrator replay the exact same churn under
+    both its incremental and full-recompute paths.
+    """
+    derived = _splitmix64(
+        _splitmix64((seed & _MASK64) ^ _fnv1a64(channel))
+        ^ _splitmix64((epoch * 0x9E3779B97F4A7C15) & _MASK64)
+    )
+    return flow_hashes32(count, derived)
+
+
+class ChurnStream:
+    """Vectorized, replayable churn randomness for epoch stepping.
+
+    The fleet orchestrator draws every stochastic decision -- arrival
+    rates and tenants, departure victims, migration picks -- from named
+    per-epoch channels so any epoch's churn set is a pure function of
+    ``(seed, epoch)``.  Rates come out as *integer* units (1 unit =
+    1 kbps): integer loads keep every partial sum below 2**53, which
+    makes float64 bincount accumulation exact and order-independent --
+    the keystone of the incremental-vs-oracle bit-exactness guarantee.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def draws(self, epoch: int, channel: str, count: int):
+        """``count`` raw uint32 draws from one epoch channel."""
+        return churn_stream_hashes32(count, self.seed, epoch, channel)
+
+    def block(self, epoch: int, channel: str, sizes):
+        """One channel draw split across several consumers.
+
+        The epoch hot loop needs four independent draw streams per
+        epoch (departure victims, arrival rates, arrival tenants,
+        arrival placement); materialising them as slices of ONE
+        splitmix64 pass amortises the per-call vector setup four ways.
+        Slicing is position-based, so the split is exactly as
+        deterministic as separate channels would be.
+        """
+        draws = self.draws(epoch, channel, sum(sizes))
+        parts = []
+        offset = 0
+        for size in sizes:
+            parts.append(draws[offset:offset + size])
+            offset += size
+        return parts
+
+    @staticmethod
+    def as_picks(draws, modulus: int):
+        """Raw uint32 draws folded to indices in ``[0, modulus)``."""
+        if modulus < 1:
+            raise ConfigurationError("pick modulus must be positive")
+        if _np is None:
+            return [int(value) % modulus for value in draws]
+        return draws.astype(_np.int64) % modulus
+
+    def picks(self, epoch: int, channel: str, count: int, modulus: int):
+        """``count`` indices in ``[0, modulus)`` as an int64 array."""
+        return self.as_picks(self.draws(epoch, channel, count), modulus)
+
+    @staticmethod
+    def as_harmonic_units(draws, scale_units: int, max_rank: int):
+        """Raw draws folded to Zipf(alpha=1)-shaped integer rates.
+
+        Each draw picks a uniform rank in ``[1, max_rank]`` and offers
+        ``scale_units // rank`` -- the harmonic popularity law in pure
+        integer division, so the same draw reproduces the same rate on
+        every platform with no float pow in the loop.
+        """
+        if scale_units < 1:
+            raise ConfigurationError("rate scale must be positive")
+        ranks = ChurnStream.as_picks(draws, max_rank)
+        if _np is None:
+            return [max(scale_units // (rank + 1), 1) for rank in ranks]
+        return _np.maximum(scale_units // (ranks + 1), 1)
+
+    def harmonic_rate_units(self, epoch: int, channel: str, count: int,
+                            scale_units: int, max_rank: int):
+        """``count`` Zipf-shaped integer arrival rates from one channel."""
+        return self.as_harmonic_units(
+            self.draws(epoch, channel, count), scale_units, max_rank)
+
+
 @dataclass(frozen=True)
 class FlowProfile:
     """One flow with its popularity weight and total size."""

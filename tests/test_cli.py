@@ -291,6 +291,43 @@ class TestFleet:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFleetEpochs:
+    ARGS = ["fleet", "--flows", "2000", "--devices", "16",
+            "--tenants", "4", "--slots", "2", "--epochs", "4",
+            "--churn", "0.02"]
+
+    def test_epoch_run_prints_day_table_and_totals(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Orchestrated day: 4 epochs" in out
+        assert "incremental mode" in out
+        assert "totals:" in out
+        assert "final:" in out
+
+    def test_epoch_mode_flag_reaches_the_report(self, capsys):
+        assert main(self.ARGS + ["--epoch-mode", "verify"]) == 0
+        assert "verify mode" in capsys.readouterr().out
+
+    def test_json_artifact_round_trips(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "epochs.json"
+        assert main(self.ARGS + ["--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["spec"]["epochs"]["epochs"] == 4
+        assert len(payload["epochs"]) == 4
+        assert payload["digest"]
+
+    def test_churn_without_epochs_errors(self, capsys):
+        assert main(["fleet", "--flows", "2000", "--devices", "16",
+                     "--churn", "0.02"]) == 1
+        assert "--epochs" in capsys.readouterr().err
+
+    def test_policies_conflict_with_epochs(self, capsys):
+        assert main(self.ARGS + ["--policies", "round-robin"]) == 1
+        assert "epochs" in capsys.readouterr().err
+
+
 class TestSweepEngine:
     def test_engine_flag_accepted(self, capsys):
         assert main(["sweep", "--apps", "sec-gateway",

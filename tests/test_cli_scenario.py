@@ -186,6 +186,21 @@ class TestFuzzCommand:
         assert payload["ok"] is False
         assert payload["elapsed_s"] >= 0
 
+    def test_epoch_rate_runs_the_epoch_differential(self, tmp_path, capsys):
+        assert main(["fuzz", "--budget", "4", "--seed", "6",
+                     "--epoch-rate", "1.0",
+                     "--repro-dir", str(tmp_path / "repros")]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_inject_epoch_exits_five_with_minimal_repro(self, tmp_path,
+                                                        capsys):
+        repro_dir = tmp_path / "repros"
+        assert main(["fuzz", "--budget", "4", "--seed", "19",
+                     "--epoch-rate", "1.0", "--inject-epoch", "2",
+                     "--repro-dir", str(repro_dir)]) == 5
+        assert "FAIL injected-epoch" in capsys.readouterr().out
+        assert list(repro_dir.glob("scenario-*.json"))
+
 
 @pytest.mark.parametrize("command", ["sweep", "build", "fleet"])
 def test_every_routed_subcommand_accepts_scenario(command, tmp_path, capsys):

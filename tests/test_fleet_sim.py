@@ -91,6 +91,20 @@ class TestAllocation:
         with pytest.raises(ConfigurationError):
             _allocate_instances([0, 0], 10)
 
+    def test_equal_remainders_break_toward_earlier_index(self):
+        # Three equal unit counts, one surplus instance after the floor
+        # pass: every remainder ties, so the surplus must land on the
+        # earliest index -- never flapping between reruns.
+        assert _allocate_instances([100, 100, 100], 4) == [2, 1, 1]
+        assert _allocate_instances([100, 100, 100], 5) == [2, 2, 1]
+
+    def test_allocation_is_rerun_stable(self):
+        units = [7, 13, 13, 7, 60]
+        first = _allocate_instances(units, 23)
+        assert all(_allocate_instances(units, 23) == first
+                   for _ in range(5))
+        assert sum(first) == 23
+
 
 class TestActiveIntroductions:
     def test_lifecycle_window_respected(self):
@@ -195,6 +209,27 @@ class TestDeterminismAndJson:
         assert simulation.flow_rate_gbps.max() <= \
             simulation.instance_capacity_gbps.max()
         assert simulation.effective_offered_gbps <= simulation.offered_gbps
+
+    def test_batched_run_shares_scratch_byte_identically(self, small_result):
+        # run() threads ONE scratch assignment buffer through every
+        # policy; the payload must be byte-identical to evaluating each
+        # policy with its own freshly allocated arrays.
+        simulation = FleetSimulation(SMALL)
+        separate = {policy: simulation.run_policy(policy)
+                    for policy in POLICIES}
+        batched = {result.policy: result
+                   for result in small_result.policies}
+        for policy in POLICIES:
+            assert json.dumps(batched[policy].to_json(), sort_keys=True) == \
+                json.dumps(separate[policy].to_json(), sort_keys=True)
+
+    def test_assignment_out_buffer_is_reused(self):
+        simulation = FleetSimulation(SMALL)
+        scratch = np.empty(SMALL.flow_count, dtype=np.int64)
+        returned = simulation.assignment("flow-hash", out=scratch)
+        assert returned is scratch
+        fresh = simulation.assignment("flow-hash")
+        assert np.array_equal(returned, fresh)
 
 
 class TestObservability:

@@ -57,7 +57,7 @@ class TestCampaign:
         assert report.ok
         assert report.scenarios_run == 8
         assert report.points_checked >= 8
-        assert report.checks_run == 8 * 5
+        assert report.checks_run == 8 * 6
         assert report.coverage > 0
 
     def test_campaign_is_seed_deterministic(self):
@@ -161,6 +161,77 @@ class TestVectorBatchCheck:
         assert shrunk.workload.packets_per_point == 2
         assert failure.repro_path is not None
         assert load_scenario(failure.repro_path) == shrunk
+
+
+class TestEpochDeltaCheck:
+    def test_epoch_delta_is_a_standing_check(self):
+        fuzzer = DifferentialFuzzer(seed=1)
+        assert "epoch-delta" in [name for name, _ in fuzzer.checks]
+
+    def test_default_stream_is_unchanged_by_epoch_support(self):
+        # epoch_rate=0.0 must not consume any extra rng draws: the
+        # default generation stream stays byte-identical.
+        plain = DifferentialFuzzer(seed=42)
+        epoch_aware = DifferentialFuzzer(seed=42, epoch_rate=0.0)
+        assert ([plain.generate() for _ in range(5)]
+                == [epoch_aware.generate() for _ in range(5)])
+
+    def test_epoch_generation_is_seed_deterministic(self):
+        first = DifferentialFuzzer(seed=21, epoch_rate=1.0)
+        second = DifferentialFuzzer(seed=21, epoch_rate=1.0)
+        assert ([first.generate_epoch() for _ in range(4)]
+                == [second.generate_epoch() for _ in range(4)])
+
+    def test_epoch_campaign_runs_clean(self):
+        fuzzer = DifferentialFuzzer(seed=6, epoch_rate=1.0,
+                                    max_epochs=4, max_epoch_flows=800)
+        report = fuzzer.run(budget=6)
+        assert report.ok, [f.detail for f in report.failures]
+        assert report.scenarios_run == 6
+        assert any(key[0] == "fleet-epochs" for key in fuzzer.coverage)
+
+    def test_epoch_campaign_is_seed_deterministic(self):
+        first = DifferentialFuzzer(seed=7, epoch_rate=1.0, max_epochs=3,
+                                   max_epoch_flows=500).run(budget=4)
+        second = DifferentialFuzzer(seed=7, epoch_rate=1.0, max_epochs=3,
+                                    max_epoch_flows=500).run(budget=4)
+        assert first.to_json() == second.to_json()
+
+    def test_epoch_mutations_stay_valid(self):
+        fuzzer = DifferentialFuzzer(seed=8, epoch_rate=1.0)
+        scenario = fuzzer.generate_epoch()
+        for _ in range(25):
+            scenario = fuzzer.mutate(scenario)
+            scenario.validate_names()
+            assert scenario.kind == "fleet"
+            assert scenario.epochs is not None
+
+    def test_injected_epoch_failure_is_found_and_shrunk(self, tmp_path):
+        shrunk_texts = []
+        for tag in ("a", "b"):
+            fuzzer = DifferentialFuzzer(
+                seed=19, epoch_rate=1.0, max_epochs=6,
+                max_epoch_flows=500, repro_dir=str(tmp_path / tag),
+                inject_epoch_threshold=2)
+            report = fuzzer.run(budget=6)
+            assert report.failures, "an epochs>=2 scenario must appear"
+            failure = report.failures[0]
+            assert failure.check == "injected-epoch"
+            shrunk = failure.shrunk
+            # Minimal epoch shape near the threshold (the greedy halver
+            # stops within one halving step of it), everything else at
+            # its smallest/most-default value.
+            assert 2 <= shrunk.epochs.epochs <= 3
+            assert shrunk.tenancy.flow_count == 1
+            assert shrunk.tenancy.tenant_count == 1
+            assert shrunk.epochs.churn == 0.0
+            assert shrunk.epochs.autoscale is False
+            assert shrunk.epochs.policy == "flow-hash"
+            assert failure.repro_path is not None
+            assert load_scenario(failure.repro_path) == shrunk
+            shrunk_texts.append([f.shrunk.canonical_json()
+                                 for f in report.failures])
+        assert shrunk_texts[0] == shrunk_texts[1]
 
 
 class TestPinnedCorpus:

@@ -15,6 +15,7 @@ from repro.scenario import (
     DEFAULT_BUILD_SOFTWARE,
     SCENARIO_VERSION,
     BuildSpec,
+    EpochsSpec,
     Scenario,
     TenancySpec,
     WorkloadSpec,
@@ -152,6 +153,62 @@ class TestScenarioIdentity:
         scenario = sweep_scenario()
         reordered = dict(reversed(list(scenario.to_json().items())))
         assert Scenario.from_json(reordered).scenario_id() == scenario.scenario_id()
+
+
+class TestEpochsSection:
+    def _fleet(self, **changes):
+        base = Scenario(kind="fleet",
+                        tenancy=TenancySpec(flow_count=500, device_count=12,
+                                            tenant_count=3))
+        return base.replace(**changes) if changes else base
+
+    def test_round_trips_canonically(self):
+        scenario = self._fleet(epochs=EpochsSpec(epochs=6, churn=0.05,
+                                                 policy="round-robin"))
+        clone = loads_scenario(scenario.canonical_json())
+        assert clone == scenario
+        assert clone.epochs.policy == "round-robin"
+        assert clone.canonical_json() == scenario.canonical_json()
+
+    def test_absent_section_is_omitted_from_json(self):
+        # Identity stability: pre-epochs fleet scenarios must keep
+        # their serialised bytes (and so their ids) unchanged.
+        payload = self._fleet().to_json()
+        assert "epochs" not in payload
+
+    def test_section_changes_identity(self):
+        plain = self._fleet()
+        stepped = self._fleet(epochs=EpochsSpec(epochs=6))
+        assert plain.scenario_id() != stepped.scenario_id()
+        other = self._fleet(epochs=EpochsSpec(epochs=7))
+        assert other.scenario_id() != stepped.scenario_id()
+
+    def test_only_fleet_scenarios_take_epochs(self):
+        with pytest.raises(ConfigurationError, match="fleet"):
+            sweep_scenario().replace(epochs=EpochsSpec())
+
+    def test_validation_mirrors_orchestrator_spec(self):
+        for kwargs in ({"epochs": 0}, {"churn": 0.9}, {"scale_step": 0},
+                       {"policy": "bogus"}):
+            with pytest.raises(ConfigurationError):
+                EpochsSpec(**kwargs)
+
+    def test_unknown_epoch_key_is_rejected(self):
+        scenario = self._fleet(epochs=EpochsSpec())
+        payload = scenario.to_json()
+        payload["epochs"]["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            Scenario.from_json(payload)
+
+    def test_orchestrator_spec_conversion(self):
+        from repro.runtime.orchestrator import OrchestratorSpec
+
+        scenario = self._fleet(epochs=EpochsSpec(epochs=6, churn=0.05,
+                                                 pr_budget=3))
+        spec = scenario.orchestrator_spec()
+        assert spec == OrchestratorSpec(epochs=6, churn=0.05, pr_budget=3)
+        with pytest.raises(ConfigurationError, match="epochs"):
+            self._fleet().orchestrator_spec()
 
 
 class TestSweepCacheKeyInsensitivity:

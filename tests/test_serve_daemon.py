@@ -96,11 +96,45 @@ class TestEndpoints:
     def test_stats_reports_all_subsystems(self, client):
         stats = client.stats()
         assert set(stats) == {"metrics", "coalescer", "admission", "cache",
-                              "pool", "telemetry", "trace_ring"}
+                              "pool", "orchestrator", "telemetry",
+                              "trace_ring"}
         assert stats["admission"]["max_queue"] == 32
         assert stats["pool"] == {"max_workers": 4, "resident": True}
         assert stats["telemetry"]["window_s"] == 60.0
         assert stats["trace_ring"]["enabled"] is True
+
+
+class TestOrchestratorServing:
+    def _epoch_fleet(self):
+        from repro.scenario import EpochsSpec
+
+        return FLEET.replace(epochs=EpochsSpec(epochs=3, churn=0.02))
+
+    def test_epoch_fleet_serves_and_matches_solo_bytes(self, client):
+        scenario = self._epoch_fleet()
+        served = client.run_scenario(scenario, endpoint="fleet")
+        assert served.status == 200
+        solo = run_scenario(scenario).response_text().encode("utf-8")
+        assert served.body == solo
+
+    def test_day_totals_fold_into_stats_counters(self, client):
+        scenario = self._epoch_fleet()
+        client.run_scenario(scenario, endpoint="fleet")
+        client.run_scenario(scenario, endpoint="fleet")
+        stats = client.stats()["orchestrator"]
+        assert stats["runs"] == 2
+        assert stats["epochs"] == 6
+        assert stats["migrations"] >= 0
+        solo = run_scenario(scenario)
+        totals = solo.meta["totals"]
+        assert stats["pr_grants"] == 2 * totals["pr_grants"]
+        assert stats["slo_violations"] == 2 * totals["slo_violations"]
+
+    def test_plain_fleet_leaves_orchestrator_counters_cold(self, client):
+        client.run_scenario(FLEET, endpoint="fleet")
+        stats = client.stats()["orchestrator"]
+        assert stats["runs"] == 0
+        assert stats["epochs"] == 0
 
 
 class TestErrors:

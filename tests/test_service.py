@@ -15,10 +15,11 @@ from repro.errors import ConfigurationError
 from repro.obs.slo import SLO_EXIT_CODE, SloMonitor
 from repro.runtime.buildfarm import ArtifactStore
 from repro.runtime.sweep import SweepCache
-from repro.scenario import Scenario, TenancySpec, WorkloadSpec
+from repro.scenario import EpochsSpec, Scenario, TenancySpec, WorkloadSpec
 from repro.service import (
     run_build_service,
     run_fleet_service,
+    run_orchestrator_service,
     run_scenario,
     run_sweep_service,
     slo_monitor_for,
@@ -125,6 +126,38 @@ class TestFleetService:
     def test_kind_mismatch_is_loud(self):
         with pytest.raises(ConfigurationError, match="kind"):
             run_fleet_service(BUILD)
+
+
+class TestOrchestratorService:
+    EPOCH_FLEET = FLEET.replace(epochs=EpochsSpec(epochs=4, churn=0.02,
+                                                  failure_every=2,
+                                                  drain_every=3))
+
+    def test_epochs_scenario_dispatches_to_orchestrator(self):
+        outcome = run_fleet_service(self.EPOCH_FLEET)
+        assert outcome.meta["epochs"] == 4
+        assert outcome.payload["totals"]["arrivals"] > 0
+        assert len(outcome.payload["epochs"]) == 4
+
+    def test_modes_serialise_byte_identically(self):
+        responses = {
+            mode: run_fleet_service(self.EPOCH_FLEET,
+                                    mode=mode).response_text()
+            for mode in ("incremental", "full", "verify")}
+        assert len(set(responses.values())) == 1
+
+    def test_policies_and_epochs_together_are_loud(self):
+        with pytest.raises(ConfigurationError, match="epochs"):
+            run_fleet_service(self.EPOCH_FLEET, policies=("round-robin",))
+
+    def test_plain_fleet_scenario_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="epochs"):
+            run_orchestrator_service(FLEET)
+
+    def test_meta_reports_mode_and_totals(self):
+        outcome = run_orchestrator_service(self.EPOCH_FLEET, mode="verify")
+        assert outcome.meta["mode"] == "verify"
+        assert outcome.meta["totals"] == outcome.payload["totals"]
 
 
 class TestDispatch:
